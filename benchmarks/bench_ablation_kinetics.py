@@ -1,0 +1,55 @@
+"""Ablation: the active-time kinetics exponents (DESIGN.md §5).
+
+Zeroing ``beta_on`` / ``gamma_off`` removes the electron-injection /
+cross-talk terms; the Fig. 7-10 responses must disappear, demonstrating
+the exponents are what carries Obsvs. 8-11.
+"""
+
+from conftest import record_report
+
+import pytest
+
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+from repro.faultmodel.profiles import PROFILES
+from repro.testing.hammer import HammerTester
+from repro.testing.rows import standard_row_sample
+
+
+def _ber_ratio(module, rows, pattern, axis):
+    tester = HammerTester(module)
+    kwargs_base = {}
+    kwargs_ext = {"t_on_ns": 154.5} if axis == "on" else {"t_off_ns": 40.5}
+    base = sum(tester.ber_test(0, r, pattern, temperature_c=50.0,
+                               **kwargs_base).count(0) for r in rows)
+    ext = sum(tester.ber_test(0, r, pattern, temperature_c=50.0,
+                              **kwargs_ext).count(0) for r in rows)
+    if axis == "on":
+        return ext / max(base, 1)
+    return base / max(ext, 1)
+
+
+@pytest.mark.parametrize("axis,exponent", [("on", "beta_on"),
+                                           ("off", "gamma_off")])
+def test_ablate_kinetics_exponent(benchmark, bench_config, axis, exponent):
+    spec = spec_by_id("A0")
+    pattern = pattern_by_name("rowstripe")
+
+    def run():
+        full = spec.instantiate(seed=bench_config.seed)
+        rows = standard_row_sample(full.geometry, 40)
+        with_term = _ber_ratio(full, rows, pattern, axis)
+        ablated_profile = PROFILES["A"].with_overrides(**{exponent: 0.0})
+        ablated = spec.instantiate(seed=bench_config.seed,
+                                   profile=ablated_profile)
+        without_term = _ber_ratio(ablated, rows, pattern, axis)
+        return with_term, without_term
+
+    with_term, without_term = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(f"ablation_kinetics_{axis}", "\n".join([
+        f"Ablation: {exponent} = 0 (axis: tAgg{axis.capitalize()})",
+        f"  BER response with the term:    {with_term:.2f}x",
+        f"  BER response without the term: {without_term:.2f}x",
+    ]))
+    assert with_term > 2.0
+    assert without_term == pytest.approx(1.0, abs=0.25)

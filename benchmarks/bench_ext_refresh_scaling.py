@@ -1,0 +1,33 @@
+"""Extension bench: refresh-rate scaling (the paper's Section 3 motivation
+for why pure refresh becomes prohibitively expensive as HCfirst drops)."""
+
+from conftest import record_report
+
+from repro.defenses.refresh_rate import sweep_refresh_scaling
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+
+
+def test_refresh_scaling_cost_curve(benchmark, bench_config):
+    module = spec_by_id("B0").instantiate(seed=bench_config.seed)
+    pattern = pattern_by_name("checkered")
+
+    points = benchmark.pedantic(
+        lambda: sweep_refresh_scaling(module, 700, pattern,
+                                      multipliers=[1, 2, 4, 8, 16]),
+        rounds=1, iterations=1)
+
+    lines = ["Refresh-rate scaling vs a window-filling double-sided attack:",
+             f"  {'rate':>5} {'window':>9} {'max hammers':>12} "
+             f"{'victim flips':>13} {'refresh overhead':>17}"]
+    for point in points:
+        lines.append(f"  {point.multiplier:>4}x {point.window_ms:>7.1f}ms "
+                     f"{point.max_hammers_in_window:>12d} "
+                     f"{point.victim_flips:>13d} "
+                     f"{point.refresh_overhead_pct:>15.1f}%")
+    record_report("ext_refresh_scaling", "\n".join(lines))
+
+    flips = [p.victim_flips for p in points]
+    assert flips[0] > 0
+    assert flips == sorted(flips, reverse=True)
+    assert points[-1].refresh_overhead_pct > 10 * points[0].refresh_overhead_pct

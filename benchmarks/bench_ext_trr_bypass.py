@@ -1,0 +1,33 @@
+"""Extension bench: many-sided TRR bypass (the TRRespass result the paper
+cites in Section 2.3 as motivation for studying raw circuit behaviour)."""
+
+from conftest import record_report
+
+from repro.attacks.trr_bypass import bypass_sweep
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+from repro.dram.trr import TargetRowRefresh
+from repro.rng import SeedSequenceTree
+
+
+def test_trr_bypass_sweep(benchmark, bench_config):
+    module = spec_by_id("B0").instantiate(seed=bench_config.seed)
+    module.trr = TargetRowRefresh(SeedSequenceTree(2, "bench-bypass"),
+                                  table_size=1, sample_probability=0.5)
+    module.temperature_c = 75.0
+    pattern = pattern_by_name("checkered")
+
+    outcomes = benchmark.pedantic(
+        lambda: bypass_sweep(module, 700, pattern, sides_grid=(2, 4, 8, 12)),
+        rounds=1, iterations=1)
+
+    lines = ["Many-sided TRR bypass (300K hammers, sampler table size 1):"]
+    for outcome in outcomes:
+        status = "BYPASSED" if outcome.bypassed else "blocked"
+        lines.append(f"  {outcome.pattern_name:>9}: {outcome.victim_flips:3d} "
+                     f"victim flips, {outcome.trr_refreshes:3d} TRR "
+                     f"refreshes -> {status}")
+    record_report("ext_trr_bypass", "\n".join(lines))
+
+    assert not outcomes[0].bypassed       # double-sided is caught
+    assert outcomes[-1].bypassed          # 12-sided dilutes the sampler

@@ -1,0 +1,26 @@
+"""Fig. 10: distribution of per-row HCfirst as tAggOff grows."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: Paper: average HCfirst increase at 40.5 ns.
+PAPER_INCREASE = {"A": 0.338, "B": 0.247, "C": 0.501, "D": 0.337}
+
+
+def test_fig10_hcfirst_vs_aggoff(benchmark, acttime_result):
+    def run():
+        return {m: acttime_result.hcfirst_mean_change(m, "off")
+                for m in acttime_result.manufacturers}
+
+    increases = benchmark(run)
+    lines = [report.fig10(acttime_result), "",
+             "paper vs measured (mean HCfirst increase at 40.5 ns):"]
+    for mfr, paper in PAPER_INCREASE.items():
+        lines.append(f"  Mfr. {mfr}: paper +{paper * 100:.1f}%  measured "
+                     f"+{increases[mfr] * 100:.1f}%")
+    record_report("fig10", "\n".join(lines))
+
+    for mfr, paper in PAPER_INCREASE.items():
+        assert abs(increases[mfr] - paper) < 0.10, (mfr, increases[mfr])
+    assert max(increases, key=increases.get) == "C"  # C hardens most (paper)

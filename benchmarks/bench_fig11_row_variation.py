@@ -1,0 +1,27 @@
+"""Fig. 11: per-row HCfirst distribution across the tested rows of every
+module (Obsv. 12's small-fraction-of-weak-rows structure)."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: Paper: 99%/95%/90% of rows show HCfirst >= 1.6x/2.0x/2.2x the minimum.
+PAPER_RATIOS = {99: 1.6, 95: 2.0, 90: 2.2}
+
+
+def test_fig11_row_variation(benchmark, spatial_result):
+    def run():
+        return {p: spatial_result.mean_percentile_over_min(p)
+                for p in PAPER_RATIOS}
+
+    measured = benchmark(run)
+    lines = [report.fig11(spatial_result), "",
+             "paper vs measured (mean P_x / min across modules):"]
+    for percentile, paper in PAPER_RATIOS.items():
+        lines.append(f"  P{percentile}: paper {paper:.1f}x  measured "
+                     f"{measured[percentile]:.2f}x")
+    record_report("fig11", "\n".join(lines))
+
+    assert measured[99] >= 1.2
+    assert measured[95] >= 1.5
+    assert measured[90] >= measured[95] >= measured[99]

@@ -1,0 +1,29 @@
+"""Fig. 12: bit-flip distribution across columns per chip (Obsv. 13)."""
+
+from conftest import record_report
+
+from repro.core import report
+
+
+def test_fig12_column_distribution(benchmark, spatial_result):
+    def run():
+        return {
+            m: (spatial_result.zero_flip_column_fraction(m),
+                spatial_result.min_column_flips(m))
+            for m in spatial_result.manufacturers
+        }
+
+    measured = benchmark(run)
+    lines = [report.fig12(spatial_result), "",
+             "zero-flip chip-columns / min flips per column:"]
+    for mfr, (zeros, minimum) in measured.items():
+        lines.append(f"  Mfr. {mfr}: {zeros * 100:.1f}% zero chip-cols, "
+                     f"min {minimum} flips/col")
+    record_report("fig12", "\n".join(lines))
+
+    # Paper's contrast: B's floor keeps every column flipping while other
+    # manufacturers show flip-free columns.
+    zeros = {m: v[0] for m, v in measured.items()}
+    assert zeros["B"] == min(zeros.values())
+    assert measured["B"][1] >= 1
+    assert max(zeros.values()) > zeros["B"]

@@ -1,0 +1,38 @@
+"""Fig. 13: columns clustered by relative vulnerability and cross-chip CV
+(design- vs process-induced variation, Obsv. 14)."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: Paper: 50.9% of Mfr. B's and 16.6% of Mfr. C's flipping columns show
+#: CV = 0 across chips; A/C/D have large CV = 1 populations.
+PAPER_DESIGN_B = 0.509
+PAPER_PROCESS_A = 0.598
+
+
+def test_fig13_column_clusters(benchmark, spatial_result):
+    def run():
+        return {
+            m: (spatial_result.design_consistent_fraction(m),
+                spatial_result.process_dominated_fraction(m))
+            for m in spatial_result.manufacturers
+        }
+
+    measured = benchmark(run)
+    parts = [report.fig13(spatial_result, m)
+             for m in spatial_result.manufacturers]
+    parts.append(
+        "design-consistent (low CV) / process-dominated (CV ~ 1) column "
+        "fractions:")
+    for mfr, (design, process) in measured.items():
+        parts.append(f"  Mfr. {mfr}: design {design * 100:.1f}%  "
+                     f"process {process * 100:.1f}%")
+    parts.append(f"paper anchors: Mfr. B design {PAPER_DESIGN_B * 100:.1f}%, "
+                 f"Mfr. A process {PAPER_PROCESS_A * 100:.1f}% "
+                 "(our sampling density floors CV near 0.2; see "
+                 "EXPERIMENTS.md)")
+    record_report("fig13", "\n\n".join(parts))
+
+    assert measured["B"][0] > measured["A"][0]  # B design-dominated
+    assert measured["A"][1] > measured["B"][1]  # A process-dominated

@@ -1,0 +1,28 @@
+"""Fig. 14: min-vs-average HCfirst across subarrays with linear fits."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: The paper's fits: slope / R^2 per manufacturer.
+PAPER_FITS = {"A": (0.46, 0.73), "B": (0.41, 0.78),
+              "C": (0.42, 0.93), "D": (0.67, 0.42)}
+
+
+def test_fig14_subarray_fits(benchmark, spatial_result):
+    def run():
+        return {m: spatial_result.subarray_fit(m)
+                for m in spatial_result.manufacturers}
+
+    fits = benchmark(run)
+    lines = [report.fig14(spatial_result), "", "paper vs measured fits:"]
+    for mfr, (slope, r2) in PAPER_FITS.items():
+        fit = fits[mfr]
+        lines.append(f"  Mfr. {mfr}: paper y={slope:.2f}x (R2 {r2:.2f})  "
+                     f"measured y={fit.slope:.2f}x (R2 {fit.r2:.2f})")
+    record_report("fig14", "\n".join(lines))
+
+    positive = sum(fit.slope > 0 for fit in fits.values())
+    strong = sum(fit.r2 >= 0.4 for fit in fits.values())
+    assert positive >= 3
+    assert strong >= 2

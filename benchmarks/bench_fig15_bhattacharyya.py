@@ -1,0 +1,30 @@
+"""Fig. 15: normalized Bhattacharyya distance between subarray HCfirst
+distributions, same-module vs different-module pairs (Obsv. 16)."""
+
+import numpy as np
+
+from conftest import record_report
+
+from repro.core import report
+
+
+def test_fig15_subarray_similarity(benchmark, spatial_result):
+    def run():
+        return {m: spatial_result.bd_norm_values(m)
+                for m in spatial_result.manufacturers}
+
+    values = benchmark(run)
+    lines = [report.fig15(spatial_result), "",
+             "P90 deviation from 1.0 (same / different modules):"]
+    votes = []
+    for mfr, (same, different) in values.items():
+        if same.size == 0 or different.size == 0:
+            continue
+        same_dev = np.percentile(np.abs(same - 1.0), 90)
+        diff_dev = np.percentile(np.abs(different - 1.0), 90)
+        votes.append(same_dev <= diff_dev)
+        lines.append(f"  Mfr. {mfr}: {same_dev:.2f} / {diff_dev:.2f}")
+    record_report("fig15", "\n".join(lines))
+
+    assert votes
+    assert sum(votes) >= len(votes) - 1

@@ -1,0 +1,30 @@
+"""Fig. 3: vulnerable-cell population clustered by vulnerable temperature
+range (one 9x9 grid per manufacturer)."""
+
+from conftest import record_report
+
+from repro.core import report
+
+PAPER_FULL_SWEEP = {"A": 0.142, "B": 0.174, "C": 0.096, "D": 0.298}
+
+
+def test_fig3_range_grids(benchmark, temperature_result):
+    def run():
+        return {m: temperature_result.range_grid(m)
+                for m in temperature_result.manufacturers}
+
+    grids = benchmark(run)
+    parts = [report.fig3(temperature_result, m)
+             for m in temperature_result.manufacturers]
+    parts.append("paper vs measured (cells vulnerable at all tested temps):")
+    for mfr, paper in PAPER_FULL_SWEEP.items():
+        parts.append(f"  Mfr. {mfr}: paper {paper * 100:.1f}%  measured "
+                     f"{grids[mfr].full_sweep_fraction * 100:.1f}%")
+    record_report("fig3", "\n\n".join(parts))
+
+    # Shape checks: D holds the largest all-temperature population; every
+    # grid shows censored-edge mass and interior narrow-range cells.
+    fractions = {m: g.full_sweep_fraction for m, g in grids.items()}
+    assert max(fractions, key=fractions.get) == "D"
+    for grid in grids.values():
+        assert grid.interior_single_fraction > 0.0

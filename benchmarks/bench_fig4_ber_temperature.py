@@ -1,0 +1,28 @@
+"""Fig. 4: percentage change in BER with temperature, per manufacturer,
+for the double-sided victim and the +/-2 single-sided victims."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: Approximate changes at 90 degC read off the paper's Fig. 4.
+PAPER_TREND = {"A": +100.0, "B": -20.0, "C": +40.0, "D": +200.0}
+
+
+def test_fig4_ber_vs_temperature(benchmark, temperature_result):
+    def run():
+        return {
+            m: temperature_result.ber_change_series(m)[90.0][0]
+            for m in temperature_result.manufacturers
+        }
+
+    measured = benchmark(run)
+    lines = [report.fig4(temperature_result), "",
+             "paper vs measured (mean BER change at 90C vs 50C):"]
+    for mfr, paper in PAPER_TREND.items():
+        lines.append(f"  Mfr. {mfr}: paper {paper:+.0f}%  measured "
+                     f"{measured[mfr]:+.0f}%")
+    record_report("fig4", "\n".join(lines))
+
+    for mfr, paper in PAPER_TREND.items():
+        assert measured[mfr] * paper > 0, f"trend sign mismatch for {mfr}"

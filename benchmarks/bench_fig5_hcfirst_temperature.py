@@ -1,0 +1,37 @@
+"""Fig. 5: distribution of per-row HCfirst change as temperature rises
+(50->55 and 50->90), with the crossing percentiles the paper annotates."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: The paper's crossing percentiles (fraction of rows with higher HCfirst).
+PAPER_CROSSINGS = {
+    "A": (0.65, 0.45), "B": (0.67, 0.63), "C": (0.71, 0.64), "D": (0.63, 0.40),
+}
+
+
+def test_fig5_hcfirst_change(benchmark, temperature_result):
+    def run():
+        return {
+            m: (temperature_result.hcfirst_positive_fraction(m, 50.0, 55.0),
+                temperature_result.hcfirst_positive_fraction(m, 50.0, 90.0))
+            for m in temperature_result.manufacturers
+        }
+
+    measured = benchmark(run)
+    lines = [report.fig5(temperature_result), "",
+             "paper vs measured crossing percentiles (dT=5 / dT=40):"]
+    for mfr, (p5, p40) in PAPER_CROSSINGS.items():
+        m5, m40 = measured[mfr]
+        lines.append(f"  Mfr. {mfr}: paper P{p5 * 100:.0f}/P{p40 * 100:.0f}  "
+                     f"measured P{m5 * 100:.0f}/P{m40 * 100:.0f}")
+    record_report("fig5", "\n".join(lines))
+
+    # Shape: every curve crosses in the interior, and A and D lose
+    # positive mass as the delta grows (the paper's dominant trend).
+    for mfr, (m5, m40) in measured.items():
+        assert 0.05 < m5 < 0.95
+        assert 0.05 < m40 < 0.95
+    assert measured["A"][1] < measured["A"][0]
+    assert measured["D"][1] < measured["D"][0]

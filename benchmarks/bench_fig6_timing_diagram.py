@@ -1,0 +1,39 @@
+"""Fig. 6: the command timings of the baseline / aggressor-on /
+aggressor-off tests, validated against the controller."""
+
+from conftest import record_report
+
+from repro.core import report
+from repro.dram.catalog import spec_by_id
+from repro.dram.timing import DDR4_2400
+from repro.softmc.controller import SoftMCController
+from repro.softmc.program import HammerLoop, Program
+
+
+def test_fig6_timings(benchmark, bench_config):
+    module = spec_by_id("A0").instantiate(seed=bench_config.seed)
+
+    def run():
+        """Execute one short loop of each test type; return elapsed times."""
+        elapsed = {}
+        for label, t_on, t_off in (
+                ("baseline", 34.5, 16.5),
+                ("aggressor-on", 154.5, 16.5),
+                ("aggressor-off", 34.5, 40.5)):
+            controller = SoftMCController(module)
+            loop = HammerLoop(count=1000, bank=0, aggressor_rows=(99, 101),
+                              t_on_ns=t_on, t_off_ns=t_off)
+            result = controller.execute(Program([loop]))
+            module.fault_model.restore_all()
+            elapsed[label] = result.elapsed_ns
+        return elapsed
+
+    elapsed = benchmark(run)
+    lines = [report.fig6(DDR4_2400), "",
+             "measured wall-clock per 1000 hammers:"]
+    for label, ns in elapsed.items():
+        lines.append(f"  {label:<14} {ns / 1000:.1f} us")
+    record_report("fig6", "\n".join(lines))
+
+    assert elapsed["baseline"] < elapsed["aggressor-on"]
+    assert elapsed["baseline"] < elapsed["aggressor-off"]

@@ -1,0 +1,26 @@
+"""Fig. 7: distribution of bit flips per victim row as tAggOn grows."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: Paper: average BER increase at 154.5 ns vs 34.5 ns.
+PAPER_BER_X = {"A": 10.2, "B": 3.1, "C": 4.4, "D": 9.6}
+
+
+def test_fig7_ber_vs_aggon(benchmark, acttime_result):
+    def run():
+        return {m: acttime_result.ber_ratio(m, "on")
+                for m in acttime_result.manufacturers}
+
+    ratios = benchmark(run)
+    lines = [report.fig7(acttime_result), "",
+             "paper vs measured (BER at 154.5 ns / BER at 34.5 ns):"]
+    for mfr, paper in PAPER_BER_X.items():
+        lines.append(f"  Mfr. {mfr}: paper {paper:.1f}x  measured "
+                     f"{ratios[mfr]:.1f}x")
+    record_report("fig7", "\n".join(lines))
+
+    for mfr, ratio in ratios.items():
+        assert ratio > 1.8, (mfr, ratio)
+    assert min(ratios, key=ratios.get) == "B"  # B responds weakest (paper)

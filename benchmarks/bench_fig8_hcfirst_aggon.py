@@ -1,0 +1,26 @@
+"""Fig. 8: distribution of per-row HCfirst as tAggOn grows."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: Paper: average HCfirst reduction at 154.5 ns.
+PAPER_REDUCTION = {"A": 0.400, "B": 0.283, "C": 0.327, "D": 0.373}
+
+
+def test_fig8_hcfirst_vs_aggon(benchmark, acttime_result):
+    def run():
+        return {m: -acttime_result.hcfirst_mean_change(m, "on")
+                for m in acttime_result.manufacturers}
+
+    reductions = benchmark(run)
+    lines = [report.fig8(acttime_result), "",
+             "paper vs measured (mean HCfirst reduction at 154.5 ns):"]
+    for mfr, paper in PAPER_REDUCTION.items():
+        lines.append(f"  Mfr. {mfr}: paper {paper * 100:.1f}%  measured "
+                     f"{reductions[mfr] * 100:.1f}%")
+    record_report("fig8", "\n".join(lines))
+
+    for mfr, paper in PAPER_REDUCTION.items():
+        assert abs(reductions[mfr] - paper) < 0.08, (mfr, reductions[mfr])
+    assert max(reductions, key=reductions.get) == "A"

@@ -1,0 +1,25 @@
+"""Fig. 9: distribution of bit flips per victim row as tAggOff grows."""
+
+from conftest import record_report
+
+from repro.core import report
+
+#: Paper: average BER decrease at 40.5 ns vs 16.5 ns.
+PAPER_BER_DIV = {"A": 6.3, "B": 2.9, "C": 4.9, "D": 5.0}
+
+
+def test_fig9_ber_vs_aggoff(benchmark, acttime_result):
+    def run():
+        return {m: 1.0 / acttime_result.ber_ratio(m, "off")
+                for m in acttime_result.manufacturers}
+
+    reductions = benchmark(run)
+    lines = [report.fig9(acttime_result), "",
+             "paper vs measured (BER at 16.5 ns / BER at 40.5 ns):"]
+    for mfr, paper in PAPER_BER_DIV.items():
+        lines.append(f"  Mfr. {mfr}: paper {paper:.1f}x  measured "
+                     f"{reductions[mfr]:.1f}x")
+    record_report("fig9", "\n".join(lines))
+
+    for mfr, value in reductions.items():
+        assert value > 1.5, (mfr, value)

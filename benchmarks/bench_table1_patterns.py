@@ -1,0 +1,27 @@
+"""Table 1: the characterization data patterns, plus WCDP selection."""
+
+from conftest import record_report
+
+from repro.core import report
+from repro.dram.catalog import spec_by_id
+from repro.testing.hammer import HammerTester
+from repro.testing.patterns import pattern_flip_counts
+from repro.testing.rows import standard_row_sample
+
+
+def test_table1_patterns(benchmark, bench_config):
+    module = spec_by_id("A0").instantiate(seed=bench_config.seed)
+    tester = HammerTester(module)
+    rows = standard_row_sample(module.geometry, 6)
+
+    def run():
+        counts = pattern_flip_counts(tester, 0, rows, temperature_c=75.0)
+        return counts
+
+    counts = benchmark(run)
+    lines = [report.table1(), "", "Per-pattern victim flips on module A0 "
+             f"({len(rows)} sample rows):"]
+    for name, total in sorted(counts.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<14} {total}")
+    record_report("table1", "\n".join(lines))
+    assert max(counts.values()) > 0

@@ -1,0 +1,17 @@
+"""Tables 2 and 4: the tested-module inventory."""
+
+from conftest import record_report
+
+from repro.core import report
+from repro.dram.catalog import CATALOG, chip_counts
+
+
+def test_table2_and_table4(benchmark):
+    def run():
+        return chip_counts(), [spec.instantiate() for spec in CATALOG[:4]]
+
+    counts, _modules = benchmark(run)
+    text = report.table2() + "\n\n" + report.table4()
+    record_report("table2_table4", text)
+    assert sum(c["DDR4"] for c in counts.values()) == 248
+    assert sum(c["DDR3"] for c in counts.values()) == 24

@@ -1,0 +1,25 @@
+"""Table 3: fraction of vulnerable cells flipping at every temperature
+point within their vulnerable range."""
+
+from conftest import record_report
+
+from repro.core import report
+
+
+PAPER_TABLE3 = {"A": 0.991, "B": 0.989, "C": 0.980, "D": 0.992}
+
+
+def test_table3_continuity(benchmark, temperature_result):
+    def run():
+        return {m: temperature_result.continuity_fraction(m)
+                for m in temperature_result.manufacturers}
+
+    measured = benchmark(run)
+    lines = [report.table3(temperature_result), "",
+             "paper vs measured (no-gap fraction):"]
+    for mfr, paper in PAPER_TABLE3.items():
+        lines.append(f"  Mfr. {mfr}: paper {paper * 100:.1f}%  "
+                     f"measured {measured[mfr] * 100:.1f}%")
+    record_report("table3", "\n".join(lines))
+    for mfr, value in measured.items():
+        assert value >= 0.95, (mfr, value)

@@ -1,0 +1,64 @@
+"""Simulator throughput: the costs a user of this library actually pays."""
+
+from conftest import record_report
+
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+from repro.testing.hammer import HammerTester
+from repro.testing.rows import standard_row_sample
+
+
+def test_hcfirst_search_throughput(benchmark, bench_config):
+    module = spec_by_id("A0").instantiate(seed=bench_config.seed)
+    module.temperature_c = 75.0
+    tester = HammerTester(module)
+    pattern = pattern_by_name("rowstripe")
+    rows = standard_row_sample(module.geometry, 20)
+    # Warm the population cache so the steady-state rate is measured.
+    for row in rows:
+        tester.hcfirst(0, row, pattern)
+
+    result = benchmark(lambda: [tester.hcfirst(0, r, pattern) for r in rows])
+    assert len(result) == len(rows)
+    record_report("throughput_hcfirst",
+                  "HCfirst binary searches per benchmark round: "
+                  f"{len(rows)} (see pytest-benchmark table)")
+
+
+def test_ber_test_throughput(benchmark, bench_config):
+    module = spec_by_id("B0").instantiate(seed=bench_config.seed)
+    module.temperature_c = 75.0
+    tester = HammerTester(module)
+    pattern = pattern_by_name("checkered")
+    rows = standard_row_sample(module.geometry, 20)
+    for row in rows:
+        tester.ber_test(0, row, pattern)
+
+    result = benchmark(lambda: [tester.ber_test(0, r, pattern).count(0)
+                                for r in rows])
+    assert len(result) == len(rows)
+
+
+def test_command_path_hammer_throughput(benchmark, bench_config):
+    """One full 150K-hammer command-path test (install/hammer/read)."""
+    module = spec_by_id("C0").instantiate(seed=bench_config.seed)
+    module.temperature_c = 75.0
+    tester = HammerTester(module, mode="command")
+    pattern = pattern_by_name("rowstripe")
+
+    result = benchmark(lambda: tester.ber_test(0, 700, pattern))
+    assert result.hammer_count == 150_000
+
+
+def test_population_generation_throughput(benchmark, bench_config):
+    module = spec_by_id("D0").instantiate(seed=bench_config.seed)
+    population = module.fault_model.population
+    counter = iter(range(10, 10_000))
+
+    def run():
+        population.clear_cache()
+        base = next(counter) * 16
+        return [len(population.cells_for(0, base + i)) for i in range(16)]
+
+    counts = benchmark(run)
+    assert len(counts) == 16

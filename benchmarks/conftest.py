@@ -1,0 +1,76 @@
+"""Benchmark harness fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures: the study
+campaigns run once per session (fixtures below), each ``bench_*`` test
+times the analysis that derives the figure from raw measurements, and the
+rendered rows are collected and printed in the terminal summary (so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+them) as well as written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.acttime_study import ActiveTimeStudy
+from repro.core.config import StudyConfig
+from repro.core.spatial_study import SpatialStudy
+from repro.core.temperature_study import TemperatureStudy
+
+#: Scale of the benchmark reproduction runs (2 modules per manufacturer).
+BENCH_CONFIG = StudyConfig(
+    name="benchmark",
+    modules_per_manufacturer=2,
+    rows_per_region=80,
+    acttime_rows_per_region=50,
+    hcfirst_repetitions=3,
+    wcdp_sample_rows=4,
+    subarrays_to_sample=8,
+    rows_per_subarray=32,
+    column_rows=360,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def record_report(name: str, text: str) -> None:
+    """Register a rendered table/figure for the terminal summary."""
+    _REPORTS.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> StudyConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def temperature_result():
+    return TemperatureStudy(BENCH_CONFIG).run()
+
+
+@pytest.fixture(scope="session")
+def acttime_result():
+    return ActiveTimeStudy(BENCH_CONFIG).run()
+
+
+@pytest.fixture(scope="session")
+def spatial_result():
+    return SpatialStudy(BENCH_CONFIG).run()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"### {name}")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Defense shoot-out: PARA vs Graphene vs BlockHammer vs RFM vs TRR.
+
+Replays the same double-sided attack through each mechanism on the same
+module and compares protection and cost, then prints Defense
+Improvement 1's variable-threshold provisioning table (Obsv. 12: configure
+the worst-case threshold for the vulnerable 5 % of rows only).
+"""
+
+from repro import SeedSequenceTree, pattern_by_name, spec_by_id, standard_row_sample
+from repro.defenses import (
+    BlockHammer,
+    DefenseHarness,
+    Graphene,
+    PARA,
+    RefreshManagement,
+    para_refresh_probability,
+)
+from repro.defenses.costs import ACTS_PER_WINDOW, improvement1_summary
+
+BANK = 0
+ATTACK_HAMMERS = 150_000
+PROTECT_HCFIRST = 20_000  # defense provisioning threshold
+
+
+def main() -> None:
+    module = spec_by_id("B1").instantiate()
+    pattern = pattern_by_name("checkered")
+    victims = standard_row_sample(module.geometry, 12)[:6]
+    rows = module.geometry.rows_per_bank
+    tree = SeedSequenceTree(11, "defense-demo")
+
+    defenses = {
+        "none": None,
+        "PARA": PARA(para_refresh_probability(PROTECT_HCFIRST), tree, rows),
+        "Graphene": Graphene(PROTECT_HCFIRST, rows, ACTS_PER_WINDOW),
+        "BlockHammer": BlockHammer(PROTECT_HCFIRST),
+        "RFM": RefreshManagement(raaimt=PROTECT_HCFIRST // 8,
+                                 rows_per_bank=rows, tree=tree),
+    }
+
+    print(f"Attack: {ATTACK_HAMMERS} double-sided hammers per victim, "
+          f"{len(victims)} victims on module {module.module_id}\n")
+    print(f"{'defense':>12} {'victims flipped':>16} {'refreshes':>10} "
+          f"{'attacker loss':>14}")
+    for name, defense in defenses.items():
+        flipped = 0
+        refreshes = 0
+        loss = 0.0
+        for victim in victims:
+            outcome = DefenseHarness(module, defense, BANK).run_double_sided(
+                victim, pattern, ATTACK_HAMMERS)
+            flipped += int(not outcome.protected)
+            refreshes += outcome.refreshes_issued
+            loss = max(loss, outcome.throughput_loss)
+        print(f"{name:>12} {flipped:>8}/{len(victims):<7} {refreshes:>10} "
+              f"{loss * 100:>12.0f}%")
+
+    print("\nDefense Improvement 1: variable-threshold provisioning "
+          "(5% rows at HCfirst, 95% at 2x HCfirst)")
+    print(f"{'defense':>12} {'uniform cost':>13} {'variable cost':>14} "
+          f"{'saving':>8}")
+    for name, report in improvement1_summary(PROTECT_HCFIRST).items():
+        unit = "% slowdown" if name == "para" else "% die area"
+        print(f"{name:>12} {report.uniform_cost:>9.3f}{unit:<4} "
+              f"{report.variable_cost:>10.3f}{unit:<4} "
+              f"{report.saving_pct:>6.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""End-to-end informed RowHammer attack, combining every layer.
+
+The full chain behind the paper's Attack Improvement 1:
+
+1. reverse-engineer the memory controller's bank hash from access
+   latencies alone (DRAMA-style timing channel),
+2. reverse-engineer the DRAM's internal row remapping by single-sided
+   hammering (Section 4.2's methodology),
+3. profile candidate rows across temperatures and pick the softest
+   (row, temperature) operating point,
+4. massage the victim's page onto that row through the page allocator,
+5. heat the chamber to the chosen temperature and hammer.
+"""
+
+from repro import (
+    HammerTester,
+    SeedSequenceTree,
+    SoftMCSession,
+    TemperatureController,
+    pattern_by_name,
+    reverse_engineer_mapping,
+    spec_by_id,
+    standard_row_sample,
+)
+from repro.attacks import plan_temperature_aware_attack
+from repro.dram.timing import DDR4_2400
+from repro.sysmap import (
+    PageAllocator,
+    RowConflictOracle,
+    SystemAddressMapping,
+    massage_victim_onto_row,
+    recover_bank_masks,
+)
+
+BANK = 0
+
+
+def main() -> None:
+    module = spec_by_id("C1").instantiate()
+    pattern = pattern_by_name("rowstripe")
+
+    print("[1] Recovering the controller's bank hash from timing...")
+    sysmap = SystemAddressMapping(col_bits=7, bank_bits=3, row_bits=14)
+    oracle = RowConflictOracle(sysmap, DDR4_2400)
+    masks = recover_bank_masks(oracle)
+    print(f"    recovered XOR masks {[hex(m) for m in masks]} "
+          f"({oracle.measurements} timing measurements)"
+          f" — match: {masks == tuple(sorted(sysmap.bank_masks()))}")
+
+    print("[2] Recovering the DRAM-internal row remapping...")
+    window = list(range(1024, 1024 + 16))
+    inferred = reverse_engineer_mapping(module, BANK, window)
+    print(f"    {type(module.mapping).__name__} recovered: "
+          f"{inferred.matches(module)}")
+
+    print("[3] Profiling candidate rows across temperatures...")
+    candidates = standard_row_sample(module.geometry, 12)
+    plan = plan_temperature_aware_attack(
+        module, BANK, candidates, (50.0, 65.0, 80.0, 90.0), pattern)
+    print(f"    softest point: row {plan.victim_row} at "
+          f"{plan.temperature_c:.0f} degC (HCfirst {plan.hcfirst}; "
+          f"{plan.hammer_reduction * 100:.0f}% below the uninformed "
+          f"baseline of {plan.baseline_hcfirst})")
+
+    print("[4] Massaging the victim page onto the target row...")
+    allocator = PageAllocator(sysmap)
+    outcome = massage_victim_onto_row(
+        allocator, bank=BANK, row=plan.victim_row % sysmap.rows)
+    landed = sysmap.decompose(sysmap.frame_base(outcome.victim_frame))
+    print(f"    victim frame {outcome.victim_frame} -> bank {landed.bank}, "
+          f"row {landed.row} (sprayed {outcome.sprayed_frames} frames)")
+
+    print("[5] Heating the chamber and hammering...")
+    chamber = TemperatureController(SeedSequenceTree(3, "attack-chamber"))
+    session = SoftMCSession(module, chamber=chamber)
+    reached = session.set_temperature(plan.temperature_c)
+    session.install_pattern(BANK, plan.victim_row, pattern)
+    hammers = min(int(plan.hcfirst * 1.3), 400_000)
+    session.hammer_double_sided(BANK, plan.victim_row, hammers)
+    flips = session.collect_flips(BANK, plan.victim_row)
+    print(f"    {hammers} hammers at {reached:.1f} degC -> "
+          f"{len(flips)} bit flip(s) in the victim's row")
+    tester = HammerTester(module)
+    check = tester.ber_test(BANK, plan.victim_row, pattern,
+                            hammer_count=hammers,
+                            temperature_c=50.0)
+    print(f"    the same attack at 50 degC: {check.count(0)} flip(s) — "
+          "temperature targeting paid off"
+          if check.count(0) < len(flips) else
+          "    (this row flips at 50 degC too)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: hammer a simulated DDR4 module and observe bit flips.
+
+Walks the full testbed once, end to end:
+
+1. instantiate a cataloged module (Mfr. A DIMM ``A0``),
+2. settle the thermal chamber at 75 degC (closed-loop PID),
+3. install the worst-case data pattern around a victim row,
+4. run a double-sided hammer through the SoftMC command path,
+5. read the victim back and print its bit flips,
+6. binary-search the victim's HCfirst.
+"""
+
+from repro import (
+    HammerTester,
+    SeedSequenceTree,
+    SoftMCSession,
+    TemperatureController,
+    pattern_by_name,
+    spec_by_id,
+)
+
+BANK = 0
+VICTIM = 4096
+HAMMERS = 250_000  # fits the retention-safe window (~25 ms of DRAM time)
+
+
+def main() -> None:
+    spec = spec_by_id("A0")
+    print(f"Module {spec.module_id}: {spec.standard} {spec.density_gb}Gb "
+          f"{spec.organization}, {spec.n_chips} chips by {spec.chip_maker}")
+    module = spec.instantiate()
+
+    # 2. Thermal chamber: heater pads + thermocouple + PID (Fig. 2's setup).
+    chamber = TemperatureController(SeedSequenceTree(7, "chamber"))
+    session = SoftMCSession(module, chamber=chamber)
+    reached = session.set_temperature(75.0)
+    print(f"Chamber settled at {reached:.2f} degC "
+          f"(+/-0.1 degC tolerance, {chamber.elapsed_s:.0f} s simulated)")
+
+    # 3. Pick a vulnerable victim: scan a few candidates for the lowest
+    #    HCfirst (rows vary wildly — Obsv. 12), then install the pattern.
+    pattern = pattern_by_name("rowstripe")
+    tester = HammerTester(module)
+    candidates = range(VICTIM, VICTIM + 24)
+    victim = min(candidates,
+                 key=lambda row: tester.hcfirst(BANK, row, pattern) or 2**30)
+    session.install_pattern(BANK, victim, pattern)
+
+    # 4. Double-sided hammer through the command-accurate SoftMC path.
+    aggressors = session.double_sided_aggressors(BANK, victim)
+    print(f"Hammering aggressors {aggressors} around victim {victim} "
+          f"({HAMMERS} hammers = {2 * HAMMERS} activations)...")
+    result = session.hammer_double_sided(BANK, victim, HAMMERS)
+    print(f"Attack took {result.elapsed_ns / 1e6:.1f} ms of DRAM time "
+          f"({result.activations_issued} activations)")
+
+    # 5. Read back.
+    flips = session.collect_flips(BANK, victim)
+    print(f"Victim row shows {len(flips)} bit flips:")
+    for flip in flips[:8]:
+        print(f"  chip {flip.chip:2d}  col {flip.col:4d}  bit {flip.bit}  "
+              f"{flip.expected} -> {flip.got}")
+    if len(flips) > 8:
+        print(f"  ... and {len(flips) - 8} more")
+
+    # 6. HCfirst via the paper's binary search.
+    hcfirst = tester.hcfirst(BANK, victim, pattern, temperature_c=75.0)
+    print(f"HCfirst of row {victim} at 75 degC: "
+          f"{hcfirst if hcfirst else 'not vulnerable (>512K)'} hammers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Temperature sensitivities in action (Section 5 + Attack Improvements 1-2).
+
+* Sweeps one module across 50-90 degC and prints the per-row BER trend.
+* Plans a temperature-aware attack: the informed attacker picks the
+  (row, temperature) operating point with the lowest HCfirst.
+* Arms a temperature-*triggered* attack from a cell that only flips at or
+  above a target temperature.
+"""
+
+import numpy as np
+
+from repro import HammerTester, pattern_by_name, spec_by_id, standard_row_sample
+from repro.attacks import TemperatureTrigger, plan_temperature_aware_attack
+
+BANK = 0
+TEMPERATURES = (50.0, 60.0, 70.0, 80.0, 90.0)
+
+
+def main() -> None:
+    module = spec_by_id("A1").instantiate()
+    pattern = pattern_by_name("rowstripe")
+    tester = HammerTester(module)
+    rows = standard_row_sample(module.geometry, 40)
+
+    print("BER vs temperature (150K hammers, mean flips/row):")
+    for temp in TEMPERATURES:
+        counts = [tester.ber_test(BANK, row, pattern,
+                                  temperature_c=temp).count(0)
+                  for row in rows]
+        bar = "#" * int(np.mean(counts) * 4)
+        print(f"  {temp:5.1f} degC: {np.mean(counts):6.2f} {bar}")
+
+    print("\nAttack Improvement 1: temperature-aware targeting")
+    plan = plan_temperature_aware_attack(module, BANK, rows[:16],
+                                         TEMPERATURES, pattern)
+    print(f"  uninformed: row {plan.baseline_row} at 50 degC -> "
+          f"HCfirst {plan.baseline_hcfirst}")
+    print(f"  informed:   row {plan.victim_row} at "
+          f"{plan.temperature_c:.0f} degC -> HCfirst {plan.hcfirst}")
+    print(f"  hammer-count reduction: {plan.hammer_reduction * 100:.0f}%")
+
+    print("\nAttack Improvement 2: temperature-triggered attack")
+    trigger = TemperatureTrigger.arm(module, BANK, rows, pattern,
+                                     target_temperature_c=80.0,
+                                     temperatures_c=TEMPERATURES,
+                                     mode="at-or-above")
+    print(f"  armed on victim row {trigger.victim_row} "
+          f"(fires at >= {trigger.target_temperature_c:.0f} degC)")
+    for temp in (50.0, 70.0, 80.0, 90.0):
+        fired = trigger.fires(temp)
+        print(f"  chip at {temp:.0f} degC -> trigger "
+              f"{'FIRES' if fired else 'silent'}")
+
+
+if __name__ == "__main__":
+    main()

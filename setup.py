@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` in offline
+environments that lack the `wheel` package for PEP 517 editable builds."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""deeprh — a simulation-based reproduction of *A Deeper Look into
+RowHammer's Sensitivities* (Orosa, Yağlıkçı et al., MICRO 2021).
+
+The package builds every layer of the paper's testbed in Python:
+
+* :mod:`repro.dram` — DDR3/DDR4 device models (geometry, timings, banks,
+  row mappings, refresh, TRR, on-die ECC) and the Table 4 module catalog;
+* :mod:`repro.faultmodel` — the per-cell RowHammer physics, calibrated per
+  manufacturer to the paper's published distributions;
+* :mod:`repro.softmc` — the FPGA memory-controller substrate (command
+  programs with hardware loops, precise timings, traces);
+* :mod:`repro.thermal` — heater pads, thermocouple and PID chamber;
+* :mod:`repro.testing` — the characterization methodology (double-sided
+  hammering, BER, HCfirst binary search, WCDP, mapping recovery);
+* :mod:`repro.analysis` — the statistics behind every figure;
+* :mod:`repro.core` — the three study campaigns, the 16 observation
+  checkers and the table/figure renderers;
+* :mod:`repro.attacks` / :mod:`repro.defenses` — Section 8's three attack
+  and six defense improvements plus PARA/Graphene/BlockHammer/RFM.
+
+Quick start::
+
+    from repro import spec_by_id, HammerTester, pattern_by_name
+
+    module = spec_by_id("A0").instantiate()
+    tester = HammerTester(module)
+    hcfirst = tester.hcfirst(bank=0, victim_logical=2048,
+                             pattern=pattern_by_name("rowstripe"),
+                             temperature_c=75.0)
+"""
+
+from repro.rng import DEFAULT_SEED, SeedSequenceTree, derive
+from repro.errors import (
+    ConfigError,
+    GeometryError,
+    MappingError,
+    ProtocolError,
+    ReproError,
+    ThermalError,
+    TimingViolation,
+)
+from repro.dram import (
+    CATALOG,
+    DDR3_1600,
+    DDR4_2400,
+    DRAMModule,
+    Geometry,
+    ModuleSpec,
+    OnDieECC,
+    TargetRowRefresh,
+    TimingSet,
+    modules_for_manufacturer,
+    pattern_by_name,
+    spec_by_id,
+)
+from repro.dram.data import PATTERNS, DataPattern
+from repro.faultmodel import PROFILES, MfrProfile, RowHammerFaultModel, profile_for
+from repro.softmc import HammerLoop, Program, SoftMCController, SoftMCSession
+from repro.thermal import TemperatureController
+from repro.testing import (
+    HammerTester,
+    binary_search_hcfirst,
+    find_worst_case_pattern,
+    reverse_engineer_mapping,
+    standard_row_sample,
+)
+from repro.core import (
+    ActiveTimeStudy,
+    SpatialStudy,
+    StudyConfig,
+    TemperatureStudy,
+    check_all_observations,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DEFAULT_SEED",
+    "SeedSequenceTree",
+    "derive",
+    "ReproError",
+    "GeometryError",
+    "TimingViolation",
+    "ProtocolError",
+    "ThermalError",
+    "ConfigError",
+    "MappingError",
+    "Geometry",
+    "TimingSet",
+    "DDR4_2400",
+    "DDR3_1600",
+    "DRAMModule",
+    "ModuleSpec",
+    "CATALOG",
+    "spec_by_id",
+    "modules_for_manufacturer",
+    "OnDieECC",
+    "TargetRowRefresh",
+    "DataPattern",
+    "PATTERNS",
+    "pattern_by_name",
+    "MfrProfile",
+    "PROFILES",
+    "profile_for",
+    "RowHammerFaultModel",
+    "Program",
+    "HammerLoop",
+    "SoftMCController",
+    "SoftMCSession",
+    "TemperatureController",
+    "HammerTester",
+    "binary_search_hcfirst",
+    "find_worst_case_pattern",
+    "standard_row_sample",
+    "reverse_engineer_mapping",
+    "StudyConfig",
+    "TemperatureStudy",
+    "ActiveTimeStudy",
+    "SpatialStudy",
+    "check_all_observations",
+]

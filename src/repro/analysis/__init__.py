@@ -1,0 +1,51 @@
+"""Statistics used by the paper's analyses.
+
+Coefficient of variation, percentile summaries, box- and letter-value-plot
+statistics, Bhattacharyya distance between HCfirst distributions (Fig. 15),
+least-squares linear regression with R² (Fig. 14), and the clustering of
+cells by vulnerable temperature range (Fig. 3) and of columns by relative
+vulnerability (Fig. 13).
+"""
+
+from repro.analysis.stats import (
+    BoxStats,
+    LetterValueStats,
+    coefficient_of_variation,
+    mean_confidence_interval,
+    percentile_markers,
+    sorted_change_curve,
+    summarize_change,
+)
+from repro.analysis.distance import (
+    bhattacharyya_coefficient,
+    bhattacharyya_distance,
+    histogram_distribution,
+    normalized_bhattacharyya,
+    pairwise_bd_norm,
+)
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.analysis.clusters import (
+    CellTemperatureObservations,
+    TemperatureRangeGrid,
+    column_vulnerability_buckets,
+)
+
+__all__ = [
+    "BoxStats",
+    "LetterValueStats",
+    "coefficient_of_variation",
+    "mean_confidence_interval",
+    "percentile_markers",
+    "sorted_change_curve",
+    "summarize_change",
+    "bhattacharyya_coefficient",
+    "bhattacharyya_distance",
+    "histogram_distribution",
+    "normalized_bhattacharyya",
+    "pairwise_bd_norm",
+    "LinearFit",
+    "linear_fit",
+    "CellTemperatureObservations",
+    "TemperatureRangeGrid",
+    "column_vulnerability_buckets",
+]

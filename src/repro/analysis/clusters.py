@@ -1,0 +1,157 @@
+"""Clustering analyses behind Figs. 3 and 13.
+
+* :class:`TemperatureRangeGrid` — cluster vulnerable cells by their observed
+  vulnerable temperature range, quantized to the 5 degC sweep grid, and
+  report each cluster as a percentage of the vulnerable-cell population
+  (Fig. 3), plus the "no gaps / 1 gap" continuity annotations (Table 3).
+* :func:`column_vulnerability_buckets` — the 11x11 two-dimensional histogram
+  of (relative vulnerability, cross-chip CV) over columns (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import PAPER_TEMP_MAX_C, PAPER_TEMP_MIN_C, PAPER_TEMP_STEP_C
+
+
+@dataclass(frozen=True)
+class CellTemperatureObservations:
+    """Per-cell record: the tested temperatures at which the cell flipped."""
+
+    cell_id: Tuple[int, ...]
+    flip_temperatures: Tuple[float, ...]
+
+
+@dataclass
+class TemperatureRangeGrid:
+    """Vulnerable-cell population clustered by vulnerable temperature range.
+
+    ``grid[(lo, hi)]`` is the fraction of vulnerable cells whose lowest /
+    highest flip temperatures are ``lo`` / ``hi`` (both on the tested grid).
+    Because the sweep is censored at its edges, the (50, *) and (*, 90)
+    clusters include cells whose true range extends further (Fig. 3's
+    caption).
+    """
+
+    grid: Dict[Tuple[float, float], float]
+    no_gap_fraction: float
+    one_gap_fraction: float
+    n_cells: int
+
+    @classmethod
+    def from_observations(
+            cls, observations: Iterable[CellTemperatureObservations],
+            temperatures: Sequence[float] = None) -> "TemperatureRangeGrid":
+        temps = (np.arange(PAPER_TEMP_MIN_C,
+                           PAPER_TEMP_MAX_C + PAPER_TEMP_STEP_C / 2,
+                           PAPER_TEMP_STEP_C)
+                 if temperatures is None else np.asarray(temperatures, float))
+        temp_index = {float(t): i for i, t in enumerate(temps)}
+        counts: Dict[Tuple[float, float], int] = {}
+        gap_histogram = {0: 0, 1: 0}
+        n = 0
+        for obs in observations:
+            flips = sorted(set(obs.flip_temperatures))
+            if not flips:
+                continue
+            for t in flips:
+                if float(t) not in temp_index:
+                    raise ConfigError(
+                        f"flip temperature {t} not on the tested grid")
+            n += 1
+            lo, hi = float(flips[0]), float(flips[-1])
+            counts[(lo, hi)] = counts.get((lo, hi), 0) + 1
+            span = temp_index[hi] - temp_index[lo] + 1
+            gaps = span - len(flips)
+            gap_histogram[gaps] = gap_histogram.get(gaps, 0) + 1
+        if n == 0:
+            return cls({}, float("nan"), float("nan"), 0)
+        grid = {key: count / n for key, count in sorted(counts.items())}
+        return cls(
+            grid=grid,
+            no_gap_fraction=gap_histogram.get(0, 0) / n,
+            one_gap_fraction=gap_histogram.get(1, 0) / n,
+            n_cells=n,
+        )
+
+    # ------------------------------------------------------------------
+    def fraction(self, lo: float, hi: float) -> float:
+        """Cluster share for the range [lo, hi] (0.0 if empty)."""
+        return self.grid.get((float(lo), float(hi)), 0.0)
+
+    @property
+    def full_sweep_fraction(self) -> float:
+        """Cells vulnerable at every tested temperature (Obsv. 2)."""
+        return self.fraction(PAPER_TEMP_MIN_C, PAPER_TEMP_MAX_C)
+
+    @property
+    def single_temperature_fraction(self) -> float:
+        """Cells that flip at exactly one tested temperature (Obsv. 3)."""
+        return sum(share for (lo, hi), share in self.grid.items() if lo == hi)
+
+    @property
+    def interior_single_fraction(self) -> float:
+        """Single-temperature cells away from the censored sweep edges.
+
+        Cells observed only at 50 degC (or only at 90 degC) may extend
+        below (above) the sweep; interior singles are genuinely narrow
+        (the paper's "only vulnerable at 70 degC" example).
+        """
+        return sum(
+            share for (lo, hi), share in self.grid.items()
+            if lo == hi and PAPER_TEMP_MIN_C < lo < PAPER_TEMP_MAX_C)
+
+    def narrow_fraction(self, max_width_c: float = 5.0) -> float:
+        """Cells whose observed range spans at most ``max_width_c``."""
+        return sum(share for (lo, hi), share in self.grid.items()
+                   if hi - lo <= max_width_c)
+
+    def at_or_above_fraction(self, threshold_c: float) -> float:
+        """Cells whose entire range sits at/above ``threshold_c`` (Attack 2)."""
+        return sum(share for (lo, _hi), share in self.grid.items()
+                   if lo >= threshold_c)
+
+
+def column_vulnerability_buckets(flip_counts: np.ndarray,
+                                 n_buckets: int = 11
+                                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fig. 13's 2-D bucketing of columns.
+
+    Args:
+        flip_counts: array of shape ``(chips, columns)`` with per-chip
+            per-column bit-flip counts.
+        n_buckets: buckets per axis (the paper uses 11).
+
+    Returns:
+        ``(bucket_matrix, relative_vulnerability, cv)`` where
+        ``bucket_matrix[i, j]`` is the *fraction of all columns* in
+        relative-vulnerability bucket ``i`` (0 = least vulnerable) and CV
+        bucket ``j`` (CV saturated at 1.0 as in the paper), and the two
+        vectors hold the per-column metrics.
+    """
+    counts = np.asarray(flip_counts, dtype=float)
+    if counts.ndim != 2:
+        raise ConfigError("flip_counts must be (chips, columns)")
+    module_ber = counts.sum(axis=0)
+    max_ber = module_ber.max() if module_ber.size else 0.0
+    relative = module_ber / max_ber if max_ber > 0 else module_ber
+    means = counts.mean(axis=0)
+    stds = counts.std(axis=0, ddof=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cv = np.where(means > 0, stds / means, 0.0)
+    cv = np.minimum(cv, 1.0)
+
+    matrix = np.zeros((n_buckets, n_buckets))
+    edges = np.linspace(0.0, 1.0, n_buckets + 1)
+    rel_idx = np.clip(np.digitize(relative, edges) - 1, 0, n_buckets - 1)
+    cv_idx = np.clip(np.digitize(cv, edges) - 1, 0, n_buckets - 1)
+    for r, c in zip(rel_idx, cv_idx):
+        matrix[r, c] += 1
+    if relative.size:
+        matrix /= relative.size
+    return matrix, relative, cv

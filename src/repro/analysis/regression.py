@@ -1,0 +1,52 @@
+"""Least-squares linear regression with R² (Fig. 14).
+
+The paper fits ``min HCfirst = slope * avg HCfirst + intercept`` across a
+manufacturer's subarrays and reports the fit and its R² score (Wright
+1921), e.g. ``y = 0.42x + 3833, R²: 0.93`` for manufacturer C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted line and its goodness of fit."""
+
+    slope: float
+    intercept: float
+    r2: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def __str__(self) -> str:
+        return (f"y = {self.slope:.2f}x + {self.intercept:.0f} "
+                f"(R²: {self.r2:.2f}, n={self.n})")
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of ``y`` on ``x``."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
+        raise ConfigError("x and y must be one-dimensional with equal length")
+    if x_arr.size < 2:
+        raise ConfigError("need at least two points for a linear fit")
+    finite = np.isfinite(x_arr) & np.isfinite(y_arr)
+    x_arr, y_arr = x_arr[finite], y_arr[finite]
+    if x_arr.size < 2:
+        raise ConfigError("need at least two finite points for a linear fit")
+    slope, intercept = np.polyfit(x_arr, y_arr, deg=1)
+    predictions = slope * x_arr + intercept
+    residual = float(((y_arr - predictions) ** 2).sum())
+    total = float(((y_arr - y_arr.mean()) ** 2).sum())
+    r2 = 1.0 - residual / total if total > 0 else 1.0
+    return LinearFit(float(slope), float(intercept), float(r2), int(x_arr.size))

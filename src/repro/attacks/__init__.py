@@ -1,0 +1,41 @@
+"""RowHammer attack models and the paper's three attack improvements.
+
+* :mod:`repro.attacks.access_patterns` — single-, double- and many-sided
+  aggressor patterns.
+* :mod:`repro.attacks.improvements` — Section 8.1:
+
+  1. temperature-aware victim/row targeting,
+  2. a temperature-triggered attack primitive built from cells with
+     narrow vulnerable temperature ranges,
+  3. aggressor active-time amplification via extra column reads.
+"""
+
+from repro.attacks.access_patterns import (
+    double_sided_aggressors,
+    many_sided_aggressors,
+    single_sided_aggressors,
+)
+from repro.attacks.improvements import (
+    ActiveTimeAmplification,
+    TemperatureAwarePlan,
+    TemperatureTrigger,
+    plan_temperature_aware_attack,
+)
+from repro.attacks.trr_bypass import (
+    TRRBypassOutcome,
+    bypass_sweep,
+    replay_against_trr,
+)
+
+__all__ = [
+    "single_sided_aggressors",
+    "double_sided_aggressors",
+    "many_sided_aggressors",
+    "plan_temperature_aware_attack",
+    "TemperatureAwarePlan",
+    "TemperatureTrigger",
+    "ActiveTimeAmplification",
+    "TRRBypassOutcome",
+    "replay_against_trr",
+    "bypass_sweep",
+]

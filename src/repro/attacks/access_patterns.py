@@ -1,0 +1,48 @@
+"""Aggressor access patterns (Section 2.3 / Section 9 of the paper).
+
+All helpers work in *physical* row space and return the aggressor rows one
+hammer iteration activates.  The characterization uses the double-sided
+pattern exclusively; single-sided drives the mapping reverse-engineering,
+and many-sided (TRRespass-style) patterns exist to exercise the TRR model
+in the defense benches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+
+
+def single_sided_aggressors(aggressor_row: int) -> Tuple[int, ...]:
+    """One aggressor, hammered alone."""
+    return (aggressor_row,)
+
+
+def double_sided_aggressors(victim_row: int) -> Tuple[int, int]:
+    """The two rows physically sandwiching the victim."""
+    if victim_row < 1:
+        raise ConfigError("double-sided victim needs a row below it")
+    return (victim_row - 1, victim_row + 1)
+
+
+def many_sided_aggressors(victim_row: int, sides: int,
+                          spacing: int = 2) -> Tuple[int, ...]:
+    """TRRespass-style N-sided pattern around a victim.
+
+    Places ``sides`` aggressors at alternating offsets (-1, +1, -1-spacing,
+    +1+spacing, ...) so that the victim keeps its double-sided pair while
+    additional decoys dilute an in-DRAM tracker's sampling.
+    """
+    if sides < 2:
+        raise ConfigError("many-sided patterns need at least two aggressors")
+    rows: List[int] = []
+    offset = 1
+    while len(rows) < sides:
+        rows.append(victim_row - offset)
+        if len(rows) < sides:
+            rows.append(victim_row + offset)
+        offset += spacing
+    if min(rows) < 0:
+        raise ConfigError("victim too close to the bank edge for this pattern")
+    return tuple(rows)

@@ -1,0 +1,225 @@
+"""Section 8.1: the three attack improvements, quantified.
+
+Each improvement consumes characterization data (the paper's premise:
+attackers can profile or look up a module's behaviour) and produces an
+attack plan whose advantage over the uninformed baseline is measurable on
+the simulated module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dram.data import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ConfigError
+from repro.testing.hammer import BER_HAMMERS, HammerTester
+
+# ----------------------------------------------------------------------
+# Improvement 1: temperature-aware targeting (exploits Obsvs. 1-3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TemperatureAwarePlan:
+    """The attacker's chosen (victim row, temperature) operating point."""
+
+    victim_row: int
+    temperature_c: float
+    hcfirst: int
+    baseline_hcfirst: int
+    baseline_row: int
+
+    @property
+    def hammer_reduction(self) -> float:
+        """Fractional HCfirst reduction vs the uninformed baseline."""
+        if self.baseline_hcfirst <= 0:
+            return 0.0
+        return 1.0 - self.hcfirst / self.baseline_hcfirst
+
+
+def plan_temperature_aware_attack(module: DRAMModule, bank: int,
+                                  candidate_rows: Sequence[int],
+                                  temperatures_c: Sequence[float],
+                                  pattern: DataPattern,
+                                  baseline_temperature_c: float = 50.0
+                                  ) -> TemperatureAwarePlan:
+    """Profile candidates across temperatures; pick the softest point.
+
+    The uninformed baseline models an attacker who picks the median-
+    vulnerability row at the ambient operating temperature; the informed
+    attacker heats/cools to the (row, temperature) pair with the lowest
+    HCfirst (Attack Improvement 1).
+    """
+    if not candidate_rows:
+        raise ConfigError("need candidate rows to plan an attack")
+    tester = HammerTester(module)
+    baseline: List[Tuple[int, int]] = []
+    for row in candidate_rows:
+        hc = tester.hcfirst(bank, row, pattern,
+                            temperature_c=baseline_temperature_c)
+        if hc is not None:
+            baseline.append((hc, row))
+    if not baseline:
+        raise ConfigError("no vulnerable candidate rows at the baseline "
+                          "temperature")
+    baseline.sort()
+    base_hc, base_row = baseline[len(baseline) // 2]
+
+    best: Optional[Tuple[int, int, float]] = None
+    for temp in temperatures_c:
+        for row in candidate_rows:
+            hc = tester.hcfirst(bank, row, pattern, temperature_c=temp)
+            if hc is not None and (best is None or hc < best[0]):
+                best = (hc, row, float(temp))
+    if best is None:
+        raise ConfigError("no vulnerable (row, temperature) point found")
+    return TemperatureAwarePlan(
+        victim_row=best[1], temperature_c=best[2], hcfirst=best[0],
+        baseline_hcfirst=base_hc, baseline_row=base_row)
+
+
+# ----------------------------------------------------------------------
+# Improvement 2: temperature-triggered attack (exploits Obsv. 3)
+# ----------------------------------------------------------------------
+@dataclass
+class TemperatureTrigger:
+    """A RowHammer-based temperature sensor/trigger.
+
+    Built from a victim row containing a cell that only flips within a
+    narrow temperature band (exact mode) or at/above a threshold
+    temperature (threshold mode).  Hammering the row and checking for a
+    flip tells the attacker whether the chip is at (or above) the target
+    temperature — the trigger condition of the main attack.
+    """
+
+    module: DRAMModule
+    bank: int
+    victim_row: int
+    pattern: DataPattern
+    hammer_count: int
+    target_temperature_c: float
+    mode: str  # "exact" or "at-or-above"
+
+    @classmethod
+    def arm(cls, module: DRAMModule, bank: int,
+            candidate_rows: Sequence[int], pattern: DataPattern,
+            target_temperature_c: float,
+            temperatures_c: Sequence[float],
+            mode: str = "exact",
+            hammer_count: int = BER_HAMMERS) -> "TemperatureTrigger":
+        """Find a victim row whose flip behaviour encodes the target temp.
+
+        ``exact`` mode wants a row that flips at the target temperature and
+        nowhere else on the tested grid; ``at-or-above`` wants monotone
+        onset at the target.
+        """
+        if mode not in ("exact", "at-or-above"):
+            raise ConfigError(f"unknown trigger mode {mode!r}")
+        tester = HammerTester(module)
+        for row in candidate_rows:
+            flips_at = {
+                float(t): tester.ber_test(
+                    bank, row, pattern, hammer_count,
+                    temperature_c=t).count(0) > 0
+                for t in temperatures_c
+            }
+            if not flips_at.get(float(target_temperature_c), False):
+                continue
+            if mode == "exact":
+                others = [v for t, v in flips_at.items()
+                          if t != float(target_temperature_c)]
+                if not any(others):
+                    return cls(module, bank, row, pattern, hammer_count,
+                               float(target_temperature_c), mode)
+            else:
+                below = [v for t, v in flips_at.items()
+                         if t < float(target_temperature_c)]
+                if not any(below):
+                    return cls(module, bank, row, pattern, hammer_count,
+                               float(target_temperature_c), mode)
+        raise ConfigError(
+            f"no candidate row encodes {target_temperature_c} degC in "
+            f"{mode} mode; widen the candidate set")
+
+    def fires(self, temperature_c: float) -> bool:
+        """Hammer once at the given temperature; True if the trigger flips."""
+        tester = HammerTester(self.module)
+        result = tester.ber_test(self.bank, self.victim_row, self.pattern,
+                                 self.hammer_count,
+                                 temperature_c=temperature_c)
+        return result.count(0) > 0
+
+
+# ----------------------------------------------------------------------
+# Improvement 3: active-time amplification via column reads (Obsv. 8)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AmplifiedAttackOutcome:
+    """Effect of stretching the aggressor on-time with extra reads."""
+
+    reads_per_activation: int
+    t_on_ns: float
+    nominal_t_on_ns: float
+    flips: int
+    nominal_flips: int
+    hcfirst: Optional[int]
+    nominal_hcfirst: Optional[int]
+
+    @property
+    def ber_gain(self) -> float:
+        if self.nominal_flips == 0:
+            return float("inf") if self.flips > 0 else 1.0
+        return self.flips / self.nominal_flips
+
+    @property
+    def hcfirst_reduction(self) -> float:
+        if self.hcfirst is None or self.nominal_hcfirst is None:
+            return float("nan")
+        return 1.0 - self.hcfirst / self.nominal_hcfirst
+
+
+class ActiveTimeAmplification:
+    """Attack Improvement 3: issue extra READs to keep aggressors open.
+
+    On systems where an attacker cannot change DRAM timings, issuing 10-15
+    reads per aggressor activation stretches the row's active time ~5x,
+    which Obsv. 8 shows increases BER and lowers HCfirst.
+    """
+
+    def __init__(self, module: DRAMModule, bank: int = 0) -> None:
+        self.module = module
+        self.bank = bank
+        self.tester = HammerTester(module)
+
+    def achieved_t_on_ns(self, reads_per_activation: int) -> float:
+        """Row active time produced by a given read burst."""
+        timing = self.module.timing
+        window = (timing.tRCD + reads_per_activation * timing.tCCD
+                  + timing.burst_ns)
+        return max(timing.tRAS, timing.quantize(window))
+
+    def evaluate(self, victim_row: int, pattern: DataPattern,
+                 reads_per_activation: int,
+                 hammer_count: int = BER_HAMMERS,
+                 temperature_c: float = 50.0) -> AmplifiedAttackOutcome:
+        t_on = self.achieved_t_on_ns(reads_per_activation)
+        nominal = self.tester.ber_test(self.bank, victim_row, pattern,
+                                       hammer_count,
+                                       temperature_c=temperature_c)
+        amplified = self.tester.ber_test(self.bank, victim_row, pattern,
+                                         hammer_count,
+                                         temperature_c=temperature_c,
+                                         t_on_ns=t_on)
+        return AmplifiedAttackOutcome(
+            reads_per_activation=reads_per_activation,
+            t_on_ns=t_on,
+            nominal_t_on_ns=self.module.timing.tRAS,
+            flips=amplified.count(0),
+            nominal_flips=nominal.count(0),
+            hcfirst=self.tester.hcfirst(self.bank, victim_row, pattern,
+                                        temperature_c=temperature_c,
+                                        t_on_ns=t_on),
+            nominal_hcfirst=self.tester.hcfirst(self.bank, victim_row,
+                                                pattern,
+                                                temperature_c=temperature_c),
+        )

@@ -1,0 +1,101 @@
+"""Many-sided TRR bypass (TRRespass-style), for the defense benches.
+
+The paper notes (Section 2.3) that vendor TRR implementations were shown
+ineffective by many-sided access patterns: an in-DRAM sampler with a small
+tracking table cannot follow many simultaneous aggressors, so decoy rows
+dilute its attention while the victim's double-sided pair keeps hammering.
+
+This module replays both patterns against a module with TRR enabled and
+periodic REF opportunities, quantifying the bypass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.attacks.access_patterns import double_sided_aggressors, many_sided_aggressors
+from repro.dram.data import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ConfigError
+from repro.softmc.program import HammerLoop, Program
+from repro.softmc.controller import SoftMCController
+
+
+@dataclass(frozen=True)
+class TRRBypassOutcome:
+    """Result of one attack replay against TRR."""
+
+    pattern_name: str
+    sides: int
+    victim_flips: int
+    trr_refreshes: int
+    hammers: int
+
+    @property
+    def bypassed(self) -> bool:
+        return self.victim_flips > 0
+
+
+def replay_against_trr(module: DRAMModule, victim_logical: int,
+                       pattern: DataPattern, sides: int,
+                       total_hammers: int = 300_000,
+                       ref_interval_hammers: int = 8_192,
+                       bank: int = 0) -> TRRBypassOutcome:
+    """Hammer ``victim_logical`` with an N-sided pattern under active TRR.
+
+    The attack is chunked so the device gets a REF (and therefore a TRR
+    victim-refresh opportunity) every ``ref_interval_hammers`` iterations,
+    modelling a memory controller that keeps refreshing on schedule.
+    ``sides == 2`` is the plain double-sided attack TRR is designed for.
+    """
+    if module.trr is None:
+        raise ConfigError("module has no TRR attached; set module.trr")
+    if sides < 2:
+        raise ConfigError("need at least a double-sided pattern")
+
+    phys_victim = module.to_physical(victim_logical)
+    if sides == 2:
+        physical_aggressors = double_sided_aggressors(phys_victim)
+    else:
+        physical_aggressors = many_sided_aggressors(phys_victim, sides)
+    aggressors = tuple(module.to_logical(p) for p in physical_aggressors)
+
+    window = range(max(phys_victim - 12, 0),
+                   min(phys_victim + 13, module.geometry.rows_per_bank))
+    module.install_pattern(bank, [module.to_logical(p) for p in window],
+                           pattern, victim_logical)
+    module.trr.reset()
+
+    controller = SoftMCController(module)
+    timing = module.timing
+    remaining = total_hammers
+    while remaining > 0:
+        chunk = min(ref_interval_hammers, remaining)
+        loop = HammerLoop(count=chunk, bank=bank, aggressor_rows=aggressors,
+                          t_on_ns=timing.tRAS, t_off_ns=timing.tRP)
+        controller.execute(Program([loop]))
+        module.trr.on_refresh(module)
+        remaining -= chunk
+
+    flips = module.harvest_flips(bank, victim_logical)
+    return TRRBypassOutcome(
+        pattern_name=f"{sides}-sided",
+        sides=sides,
+        victim_flips=len(flips),
+        trr_refreshes=module.trr.refreshes_issued,
+        hammers=total_hammers,
+    )
+
+
+def bypass_sweep(module: DRAMModule, victim_logical: int,
+                 pattern: DataPattern,
+                 sides_grid=(2, 4, 8, 12),
+                 total_hammers: int = 300_000,
+                 bank: int = 0) -> List[TRRBypassOutcome]:
+    """Replay the attack at several side counts (TRRespass's sweep)."""
+    return [
+        replay_against_trr(module, victim_logical, pattern, sides,
+                           total_hammers=total_hammers, bank=bank)
+        for sides in sides_grid
+    ]

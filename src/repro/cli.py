@@ -1,0 +1,198 @@
+"""The ``deeprh`` command-line interface.
+
+Examples::
+
+    deeprh list-modules
+    deeprh run fig5 --preset quick
+    deeprh run fig14 --preset bench
+    deeprh observations --preset quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.core import config as config_mod
+from repro.core import report
+from repro.core.acttime_study import ActiveTimeStudy, ActiveTimeStudyResult
+from repro.core.observations import check_all_observations
+from repro.core.spatial_study import SpatialStudy, SpatialStudyResult
+from repro.core.temperature_study import TemperatureStudy, TemperatureStudyResult
+from repro.dram.timing import DDR4_2400
+from repro.errors import ConfigError
+
+
+class StudyCache:
+    """Runs each study at most once per CLI invocation."""
+
+    def __init__(self, config: config_mod.StudyConfig) -> None:
+        self.config = config
+        self._temperature: Optional[TemperatureStudyResult] = None
+        self._acttime: Optional[ActiveTimeStudyResult] = None
+        self._spatial: Optional[SpatialStudyResult] = None
+
+    def temperature(self) -> TemperatureStudyResult:
+        if self._temperature is None:
+            self._temperature = TemperatureStudy(self.config).run()
+        return self._temperature
+
+    def acttime(self) -> ActiveTimeStudyResult:
+        if self._acttime is None:
+            self._acttime = ActiveTimeStudy(self.config).run()
+        return self._acttime
+
+    def spatial(self) -> SpatialStudyResult:
+        if self._spatial is None:
+            self._spatial = SpatialStudy(self.config).run()
+        return self._spatial
+
+
+def _experiment_renderers(cache: StudyCache) -> Dict[str, Callable[[], str]]:
+    return {
+        "table1": report.table1,
+        "table2": report.table2,
+        "table3": lambda: report.table3(cache.temperature()),
+        "table4": report.table4,
+        "fig3": lambda: "\n\n".join(
+            report.fig3(cache.temperature(), m)
+            for m in cache.temperature().manufacturers),
+        "fig4": lambda: report.fig4(cache.temperature()),
+        "fig5": lambda: report.fig5(cache.temperature()),
+        "fig6": lambda: report.fig6(DDR4_2400),
+        "fig7": lambda: report.fig7(cache.acttime()),
+        "fig8": lambda: report.fig8(cache.acttime()),
+        "fig9": lambda: report.fig9(cache.acttime()),
+        "fig10": lambda: report.fig10(cache.acttime()),
+        "fig11": lambda: report.fig11(cache.spatial()),
+        "fig12": lambda: report.fig12(cache.spatial()),
+        "fig13": lambda: "\n\n".join(
+            report.fig13(cache.spatial(), m)
+            for m in cache.spatial().manufacturers),
+        "fig14": lambda: report.fig14(cache.spatial()),
+        "fig15": lambda: report.fig15(cache.spatial()),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="deeprh",
+        description="Reproduce 'A Deeper Look into RowHammer's "
+                    "Sensitivities' (MICRO 2021) on simulated DRAM.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-modules", help="print the Table 4 module catalog")
+
+    run = sub.add_parser("run", help="regenerate one table or figure")
+    run.add_argument("experiment",
+                     help="table1|table2|table3|table4|fig3..fig15")
+    run.add_argument("--preset", default="quick",
+                     choices=sorted(config_mod.PRESETS))
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--save-json", metavar="DIR", default=None,
+                     help="also dump the raw study results as JSON files")
+
+    obs = sub.add_parser("observations",
+                         help="run all studies and check the 16 observations")
+    obs.add_argument("--preset", default="quick",
+                     choices=sorted(config_mod.PRESETS))
+    obs.add_argument("--seed", type=int, default=None)
+
+    repro = sub.add_parser(
+        "reproduce",
+        help="run everything: all studies, every table/figure, the "
+             "observation scorecard and raw JSON, into one directory")
+    repro.add_argument("--outdir", default="reproduction")
+    repro.add_argument("--preset", default="quick",
+                       choices=sorted(config_mod.PRESETS))
+    repro.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _reproduce(cache: StudyCache, outdir: str) -> int:
+    """The one-command reproduction: every artifact into ``outdir``."""
+    import pathlib
+
+    from repro.core.serialize import save_result
+
+    directory = pathlib.Path(outdir)
+    directory.mkdir(parents=True, exist_ok=True)
+    renderers = _experiment_renderers(cache)
+    for name in sorted(renderers):
+        text = renderers[name]()
+        (directory / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {directory / f'{name}.txt'}")
+    checks = check_all_observations(cache.temperature(), cache.acttime(),
+                                    cache.spatial())
+    scorecard = "\n".join(str(c) for c in checks)
+    passed = sum(c.passed for c in checks)
+    scorecard += f"\n\n{passed}/{len(checks)} observations reproduced\n"
+    (directory / "observations.txt").write_text(scorecard)
+    print(f"wrote {directory / 'observations.txt'}")
+    for label, result in (("temperature", cache.temperature()),
+                          ("acttime", cache.acttime()),
+                          ("spatial", cache.spatial())):
+        path = save_result(result, directory / f"{label}.json")
+        print(f"wrote {path}")
+    print(f"\n{passed}/{len(checks)} observations reproduced")
+    return 0 if passed == len(checks) else 2
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list-modules":
+        print(report.table4())
+        return 0
+
+    config = config_mod.preset(args.preset)
+    if args.seed is not None:
+        config = config.scaled(seed=args.seed)
+    cache = StudyCache(config)
+
+    if args.command == "run":
+        renderers = _experiment_renderers(cache)
+        try:
+            renderer = renderers[args.experiment]
+        except KeyError:
+            parser.error(
+                f"unknown experiment {args.experiment!r}; choose from "
+                f"{', '.join(sorted(renderers))}")
+        try:
+            print(renderer())
+        except ConfigError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if getattr(args, "save_json", None):
+            from repro.core.serialize import save_result
+
+            directory = args.save_json
+            for label, result in (("temperature", cache._temperature),
+                                  ("acttime", cache._acttime),
+                                  ("spatial", cache._spatial)):
+                if result is not None:
+                    path = save_result(result, f"{directory}/{label}.json")
+                    print(f"wrote {path}", file=sys.stderr)
+        return 0
+
+    if args.command == "reproduce":
+        return _reproduce(cache, args.outdir)
+
+    if args.command == "observations":
+        checks = check_all_observations(cache.temperature(), cache.acttime(),
+                                        cache.spatial())
+        for check in checks:
+            print(check)
+        failed = [c for c in checks if not c.passed]
+        print(f"\n{len(checks) - len(failed)}/{len(checks)} observations "
+              "reproduced")
+        return 0 if not failed else 2
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Study orchestration: the paper's three characterization campaigns.
+
+* :mod:`repro.core.temperature_study` — Section 5 (Figs. 3-5, Table 3)
+* :mod:`repro.core.acttime_study` — Section 6 (Figs. 7-10)
+* :mod:`repro.core.spatial_study` — Section 7 (Figs. 11-15)
+
+plus the configuration presets, the 16 observation checkers and the
+plain-text table/figure renderers used by the benchmark harness.
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.temperature_study import TemperatureStudy, TemperatureStudyResult
+from repro.core.acttime_study import ActiveTimeStudy, ActiveTimeStudyResult
+from repro.core.spatial_study import SpatialStudy, SpatialStudyResult
+from repro.core.observations import ObservationCheck, check_all_observations
+from repro.core.serialize import load_result, result_to_dict, save_result
+
+__all__ = [
+    "StudyConfig",
+    "TemperatureStudy",
+    "TemperatureStudyResult",
+    "ActiveTimeStudy",
+    "ActiveTimeStudyResult",
+    "SpatialStudy",
+    "SpatialStudyResult",
+    "ObservationCheck",
+    "check_all_observations",
+    "result_to_dict",
+    "save_result",
+    "load_result",
+]

@@ -1,0 +1,195 @@
+"""Section 6: the aggressor-row active-time campaign.
+
+At 50 degC, sweep the aggressor on-time (tAggOn: tRAS -> 154.5 ns) and the
+bank precharged time (tAggOff: tRP -> 40.5 ns) over the paper's grids,
+measuring per-victim-row BER (150 K hammers) and per-row HCfirst at every
+grid point.  Feeds Figs. 7-10 and Obsvs. 8-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import BoxStats, LetterValueStats, coefficient_of_variation
+from repro.core.config import ACTTIME_TEMPERATURE_C, StudyConfig
+from repro.dram.catalog import MANUFACTURERS, ModuleSpec
+from repro.errors import ConfigError
+from repro.testing.hammer import HammerTester
+from repro.testing.patterns import find_worst_case_pattern
+from repro.testing.rows import standard_row_sample
+
+
+@dataclass
+class ModuleActTimeResult:
+    """Per-module raw measurements of the active-time campaign."""
+
+    module_id: str
+    manufacturer: str
+    wcdp_name: str
+    victim_rows: List[int]
+    n_chips: int
+    # keyed by ("on"|"off", grid value) ->
+    #   per-chip mean flips per victim row, and per-row HCfirst
+    chip_ber: Dict[Tuple[str, float], np.ndarray] = field(default_factory=dict)
+    row_ber: Dict[Tuple[str, float], np.ndarray] = field(default_factory=dict)
+    hcfirst: Dict[Tuple[str, float], np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class ActiveTimeStudyResult:
+    """All modules plus the Fig. 7-10 / Obsv. 8-11 analyses."""
+
+    config: StudyConfig
+    modules: List[ModuleActTimeResult]
+
+    def for_manufacturer(self, mfr: str) -> List[ModuleActTimeResult]:
+        found = [m for m in self.modules if m.manufacturer == mfr]
+        if not found:
+            raise ConfigError(f"no modules for manufacturer {mfr!r} in result")
+        return found
+
+    @property
+    def manufacturers(self) -> List[str]:
+        return [m for m in MANUFACTURERS
+                if any(r.manufacturer == m for r in self.modules)]
+
+    def grid(self, axis: str) -> Tuple[float, ...]:
+        if axis == "on":
+            return self.config.t_agg_on_grid_ns
+        if axis == "off":
+            return self.config.t_agg_off_grid_ns
+        raise ConfigError(f"unknown axis {axis!r} (use 'on' or 'off')")
+
+    # ------------------------------------------------------------------
+    # Figs. 7 / 9: per-chip BER distributions as box plots
+    # ------------------------------------------------------------------
+    def ber_box(self, mfr: str, axis: str, value_ns: float) -> BoxStats:
+        pooled = np.concatenate([
+            m.chip_ber[(axis, value_ns)] for m in self.for_manufacturer(mfr)])
+        return BoxStats.from_values(pooled)
+
+    def ber_mean(self, mfr: str, axis: str, value_ns: float) -> float:
+        pooled = np.concatenate([
+            m.row_ber[(axis, value_ns)] for m in self.for_manufacturer(mfr)])
+        return float(pooled.mean())
+
+    def ber_ratio(self, mfr: str, axis: str) -> float:
+        """Mean BER at the grid extreme over the nominal point (Obsv. 8/10)."""
+        grid = self.grid(axis)
+        base = self.ber_mean(mfr, axis, grid[0])
+        extreme = self.ber_mean(mfr, axis, grid[-1])
+        if base == 0:
+            return float("inf") if extreme > 0 else float("nan")
+        return extreme / base
+
+    # ------------------------------------------------------------------
+    # Figs. 8 / 10: per-row HCfirst distributions as letter-value plots
+    # ------------------------------------------------------------------
+    def hcfirst_letter_values(self, mfr: str, axis: str,
+                              value_ns: float) -> LetterValueStats:
+        pooled = self._pooled_hcfirst(mfr, axis, value_ns)
+        return LetterValueStats.from_values(pooled)
+
+    def _pooled_hcfirst(self, mfr: str, axis: str, value_ns: float) -> np.ndarray:
+        pooled = np.concatenate([
+            m.hcfirst[(axis, value_ns)] for m in self.for_manufacturer(mfr)])
+        return pooled[np.isfinite(pooled)]
+
+    def hcfirst_mean_change(self, mfr: str, axis: str) -> float:
+        """Mean per-row relative HCfirst change, extreme vs nominal.
+
+        Negative values mean the rows became vulnerable at smaller hammer
+        counts (Obsv. 8); positive means hardened (Obsv. 10).
+        """
+        grid = self.grid(axis)
+        changes = []
+        for module in self.for_manufacturer(mfr):
+            base = module.hcfirst[(axis, grid[0])]
+            extreme = module.hcfirst[(axis, grid[-1])]
+            mask = np.isfinite(base) & np.isfinite(extreme) & (base > 0)
+            changes.append((extreme[mask] - base[mask]) / base[mask])
+        pooled = np.concatenate(changes)
+        return float(pooled.mean()) if pooled.size else float("nan")
+
+    def cv_trend(self, mfr: str, axis: str, metric: str) -> Tuple[float, float]:
+        """CV at the nominal and extreme grid points (Obsvs. 9 and 11)."""
+        grid = self.grid(axis)
+        if metric == "ber":
+            values = [
+                coefficient_of_variation(np.concatenate([
+                    m.row_ber[(axis, v)] for m in self.for_manufacturer(mfr)]))
+                for v in (grid[0], grid[-1])
+            ]
+        elif metric == "hcfirst":
+            values = [
+                coefficient_of_variation(self._pooled_hcfirst(mfr, axis, v))
+                for v in (grid[0], grid[-1])
+            ]
+        else:
+            raise ConfigError(f"unknown metric {metric!r}")
+        return values[0], values[1]
+
+
+class ActiveTimeStudy:
+    """Runs the Section 6 campaign for a configuration."""
+
+    def __init__(self, config: StudyConfig,
+                 temperature_c: float = ACTTIME_TEMPERATURE_C) -> None:
+        self.config = config
+        self.temperature_c = temperature_c
+
+    def _grid_points(self) -> List[Tuple[str, float, Dict[str, float]]]:
+        points = []
+        for value in self.config.t_agg_on_grid_ns:
+            points.append(("on", value, {"t_on_ns": value}))
+        for value in self.config.t_agg_off_grid_ns:
+            points.append(("off", value, {"t_off_ns": value}))
+        return points
+
+    def run_module(self, spec: ModuleSpec) -> ModuleActTimeResult:
+        config = self.config
+        module = spec.instantiate(seed=config.seed)
+        tester = HammerTester(module)
+        rows = standard_row_sample(module.geometry,
+                                   config.acttime_rows_per_region)
+        wcdp, _ = find_worst_case_pattern(
+            tester, 0, rows[: config.wcdp_sample_rows],
+            hammer_count=config.ber_hammer_count,
+            temperature_c=self.temperature_c)
+
+        result = ModuleActTimeResult(
+            module_id=spec.module_id,
+            manufacturer=spec.manufacturer,
+            wcdp_name=wcdp.name,
+            victim_rows=list(rows),
+            n_chips=module.geometry.chips,
+        )
+        for axis, value, kwargs in self._grid_points():
+            chip_totals = np.zeros(module.geometry.chips)
+            row_counts = np.zeros(len(rows))
+            hcfirsts = np.full(len(rows), np.inf)
+            for i, row in enumerate(rows):
+                ber = tester.ber_test(0, row, wcdp,
+                                      hammer_count=config.ber_hammer_count,
+                                      temperature_c=self.temperature_c, **kwargs)
+                row_counts[i] = ber.count(0)
+                for cell in ber.victim_flips:
+                    chip_totals[cell.chip] += 1
+                hc = tester.hcfirst(0, row, wcdp,
+                                    temperature_c=self.temperature_c, **kwargs)
+                if hc is not None:
+                    hcfirsts[i] = hc
+            result.chip_ber[(axis, value)] = chip_totals / len(rows)
+            result.row_ber[(axis, value)] = row_counts
+            result.hcfirst[(axis, value)] = hcfirsts
+        module.fault_model.population.clear_cache()
+        return result
+
+    def run(self, specs: Optional[Sequence[ModuleSpec]] = None
+            ) -> ActiveTimeStudyResult:
+        specs = list(specs) if specs is not None else self.config.module_specs()
+        modules = [self.run_module(spec) for spec in specs]
+        return ActiveTimeStudyResult(config=self.config, modules=modules)

@@ -1,0 +1,147 @@
+"""Study configuration and scale presets.
+
+The paper tests 8 K rows per bank region on every module at nine
+temperatures; a pure-Python reproduction scales the sample sizes down while
+keeping every methodological knob (regions, temperature grid, timing grids,
+repetition counts, search parameters) identical.  Three presets trade
+fidelity for wall-clock time:
+
+* ``quick``   — CI-sized: one module per manufacturer, small row samples.
+* ``bench``   — default for the benchmark harness (minutes).
+* ``full``    — every cataloged module, large samples (tens of minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro import rng as rng_mod
+from repro.dram import catalog
+from repro.errors import ConfigError
+from repro.units import PAPER_TEMPERATURES_C
+
+#: tAggOn grid of Section 6: tRAS (34.5 ns) to 154.5 ns in 30 ns steps.
+T_AGG_ON_GRID_NS: Tuple[float, ...] = (34.5, 64.5, 94.5, 124.5, 154.5)
+
+#: tAggOff grid of Section 6: tRP (16.5 ns) to 40.5 ns.
+T_AGG_OFF_GRID_NS: Tuple[float, ...] = (16.5, 22.5, 28.5, 34.5, 40.5)
+
+#: Temperature of the active-time experiments (Section 6).
+ACTTIME_TEMPERATURE_C = 50.0
+
+#: Temperature of the spatial-variation experiments (Section 7).
+SPATIAL_TEMPERATURE_C = 75.0
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Scale and methodology parameters for one study run."""
+
+    name: str = "bench"
+    seed: int = rng_mod.DEFAULT_SEED
+    modules_per_manufacturer: int = 2
+    include_ddr3: bool = False
+    rows_per_region: int = 120
+    acttime_rows_per_region: int = 60
+    temperatures_c: Tuple[float, ...] = tuple(float(t) for t in PAPER_TEMPERATURES_C)
+    t_agg_on_grid_ns: Tuple[float, ...] = T_AGG_ON_GRID_NS
+    t_agg_off_grid_ns: Tuple[float, ...] = T_AGG_OFF_GRID_NS
+    ber_hammer_count: int = 150_000
+    hcfirst_repetitions: int = 5
+    wcdp_sample_rows: int = 8
+    subarrays_to_sample: int = 8
+    rows_per_subarray: int = 40
+    # Column campaign (Figs. 12-13): per-chip per-column counts need dense
+    # statistics (the paper pools 24 K rows); we concentrate flips by
+    # sampling many rows over a narrower column space at the extended
+    # aggressor on-time, which multiplies per-row flips (Obsv. 8).
+    column_rows: int = 400
+    column_cols: int = 96
+    column_t_on_ns: float = 154.5
+
+    def __post_init__(self) -> None:
+        if self.modules_per_manufacturer <= 0:
+            raise ConfigError("modules_per_manufacturer must be positive")
+        if self.rows_per_region <= 0 or self.acttime_rows_per_region <= 0:
+            raise ConfigError("row sample sizes must be positive")
+        if len(self.temperatures_c) < 2:
+            raise ConfigError("need at least two temperatures")
+        if self.ber_hammer_count <= 0:
+            raise ConfigError("ber_hammer_count must be positive")
+
+    # ------------------------------------------------------------------
+    def module_specs(self) -> List[catalog.ModuleSpec]:
+        """The modules this configuration characterizes."""
+        specs: List[catalog.ModuleSpec] = []
+        for mfr in catalog.MANUFACTURERS:
+            ddr4 = catalog.modules_for_manufacturer(mfr, "DDR4")
+            specs.extend(ddr4[: self.modules_per_manufacturer])
+            if self.include_ddr3:
+                specs.extend(catalog.modules_for_manufacturer(mfr, "DDR3"))
+        return specs
+
+    def scaled(self, **overrides) -> "StudyConfig":
+        return replace(self, **overrides)
+
+
+#: CI-sized preset.  Two modules per manufacturer keep the cross-module
+#: analyses (Figs. 14-15 / Obsv. 16) evaluable; the six-point temperature
+#: grid keeps observed vulnerable ranges dense enough for Fig. 3's
+#: narrow-range statistics.
+QUICK = StudyConfig(
+    name="quick",
+    modules_per_manufacturer=2,
+    rows_per_region=30,
+    acttime_rows_per_region=20,
+    temperatures_c=(50.0, 55.0, 60.0, 70.0, 80.0, 90.0),
+    hcfirst_repetitions=2,
+    wcdp_sample_rows=4,
+    subarrays_to_sample=4,
+    rows_per_subarray=14,
+    column_rows=240,
+)
+
+#: Benchmark-harness preset (the default StudyConfig()).
+BENCH = StudyConfig()
+
+#: Large preset: all modules, paper-dense sampling.
+FULL = StudyConfig(
+    name="full",
+    modules_per_manufacturer=9,
+    include_ddr3=True,
+    rows_per_region=400,
+    acttime_rows_per_region=150,
+    subarrays_to_sample=16,
+    rows_per_subarray=64,
+    column_rows=1200,
+)
+
+PRESETS: Dict[str, StudyConfig] = {"quick": QUICK, "bench": BENCH, "full": FULL}
+
+
+def preset(name: str) -> StudyConfig:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}") from None
+
+
+def subarray_row_sample(geometry, n_subarrays: int, rows_per_subarray: int,
+                        seed: int) -> Dict[int, List[int]]:
+    """Victim rows grouped by subarray, spread across the bank (Section 7.3)."""
+    total = geometry.subarrays_per_bank
+    n_subarrays = min(n_subarrays, total)
+    if n_subarrays <= 0:
+        raise ConfigError("need at least one subarray")
+    gen = rng_mod.derive(seed, "subarray-sample")
+    chosen = sorted(gen.choice(total, size=n_subarrays, replace=False).tolist())
+    sample: Dict[int, List[int]] = {}
+    for subarray in chosen:
+        rows = list(geometry.rows_of_subarray(subarray))
+        # Keep away from bank edges (double-sided needs both neighbors).
+        rows = [r for r in rows if 2 <= r < geometry.rows_per_bank - 2]
+        step = max(1, len(rows) // rows_per_subarray)
+        sample[subarray] = rows[::step][:rows_per_subarray]
+    return sample

@@ -1,0 +1,309 @@
+"""Plain-text renderers for the paper's tables and figures.
+
+Every benchmark regenerates its table/figure through these functions so
+that running ``pytest benchmarks/ --benchmark-only`` prints the same rows
+and series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.stats import percentile_markers
+from repro.core.acttime_study import ActiveTimeStudyResult
+from repro.core.spatial_study import SpatialStudyResult
+from repro.core.temperature_study import TemperatureStudyResult
+from repro.dram import catalog
+from repro.dram.data import PATTERNS
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    if value is None or (isinstance(value, float) and not np.isfinite(value)):
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+# ----------------------------------------------------------------------
+# Tables 1, 2, 4 (static methodology tables)
+# ----------------------------------------------------------------------
+def table1() -> str:
+    rows = []
+    for pattern in PATTERNS:
+        even = "random" if pattern.is_random else f"0x{pattern.even_byte:02x}"
+        odd = "random" if pattern.is_random else f"0x{pattern.odd_byte:02x}"
+        rows.append((pattern.name, even, odd))
+    return render_table(
+        "Table 1: data patterns (victim +/- even rows, +/- odd rows)",
+        ("pattern", "V +/- [0,2,4,6,8]", "V +/- [1,3,5,7]"), rows)
+
+
+def table2() -> str:
+    counts = catalog.chip_counts()
+    rows = []
+    for mfr in catalog.MANUFACTURERS:
+        ddr4 = catalog.modules_for_manufacturer(mfr, "DDR4")
+        ddr3 = catalog.modules_for_manufacturer(mfr, "DDR3")
+        rows.append((f"Mfr. {mfr}", len(ddr4), len(ddr3),
+                     counts[mfr]["DDR4"], counts[mfr]["DDR3"]))
+    return render_table(
+        "Table 2: tested DRAM chips",
+        ("mfr", "#DDR4 DIMMs", "#DDR3 SODIMMs", "#DDR4 chips", "#DDR3 chips"),
+        rows)
+
+
+def table4() -> str:
+    rows = [
+        (s.module_id, s.standard, f"{s.manufacturer}: {s.chip_maker}",
+         s.module_vendor, s.freq_mts, s.date_code, f"{s.density_gb}Gb",
+         s.die_revision, s.organization, s.n_chips)
+        for s in catalog.CATALOG
+    ]
+    return render_table(
+        "Table 4: characteristics of the tested DRAM modules",
+        ("id", "type", "chip mfr", "vendor", "MT/s", "date", "density",
+         "die", "org", "#chips"), rows)
+
+
+# ----------------------------------------------------------------------
+# Section 5 reports
+# ----------------------------------------------------------------------
+def table3(result: TemperatureStudyResult) -> str:
+    rows = [
+        (f"Mfr. {m}", f"{result.continuity_fraction(m) * 100:.1f}%")
+        for m in result.manufacturers
+    ]
+    return render_table(
+        "Table 3: vulnerable cells flipping at every temperature point "
+        "within their range",
+        ("mfr", "no-gap fraction"), rows)
+
+
+def fig3(result: TemperatureStudyResult, mfr: str) -> str:
+    grid = result.range_grid(mfr)
+    temps = [float(t) for t in result.config.temperatures_c]
+    headers = ["hi\\lo"] + [f"{t:.0f}" for t in temps]
+    rows = []
+    for hi in temps:
+        row = [f"{hi:.0f}"]
+        for lo in temps:
+            share = grid.fraction(lo, hi)
+            row.append(f"{share * 100:.1f}%" if share > 0 else ".")
+        rows.append(row)
+    footer = (f"no gaps: {grid.no_gap_fraction * 100:.2f}%   "
+              f"1 gap: {grid.one_gap_fraction * 100:.2f}%   "
+              f"cells: {grid.n_cells}")
+    return render_table(
+        f"Fig. 3 (Mfr. {mfr}): population of vulnerable cells by vulnerable "
+        "temperature range", headers, rows) + "\n" + footer
+
+
+def fig4(result: TemperatureStudyResult) -> str:
+    lines = []
+    for mfr in result.manufacturers:
+        rows = []
+        for distance in (0, -2, 2):
+            series = result.ber_change_series(mfr, distance)
+            row = [f"distance {distance:+d}"]
+            for temp in result.config.temperatures_c:
+                mean, low, high = series[temp]
+                if np.isfinite(mean):
+                    row.append(f"{mean:+.0f}% [{low:+.0f},{high:+.0f}]")
+                else:
+                    row.append("-")
+            rows.append(row)
+        headers = ["series"] + [f"{t:.0f}C" for t in result.config.temperatures_c]
+        lines.append(render_table(
+            f"Fig. 4 (Mfr. {mfr}): BER change vs temperature (vs mean at "
+            f"{result.reference_temperature:.0f}C)", headers, rows))
+    return "\n\n".join(lines)
+
+
+def fig5(result: TemperatureStudyResult) -> str:
+    temps = sorted(result.config.temperatures_c)
+    t0, t1, t_hi = temps[0], temps[1], temps[-1]
+    rows = []
+    for mfr in result.manufacturers:
+        rows.append((
+            f"Mfr. {mfr}",
+            f"P{result.hcfirst_positive_fraction(mfr, t0, t1) * 100:.0f}",
+            f"P{result.hcfirst_positive_fraction(mfr, t0, t_hi) * 100:.0f}",
+            _fmt(result.hcfirst_cumulative_magnitude(mfr, t0, t_hi)
+                 / max(result.hcfirst_cumulative_magnitude(mfr, t0, t1), 1e-9),
+                 1) + "x",
+        ))
+    return render_table(
+        f"Fig. 5: HCfirst change distribution crossings "
+        f"({t0:.0f}->{t1:.0f}C and {t0:.0f}->{t_hi:.0f}C)",
+        ("mfr", f"+{t1 - t0:.0f}C crossing", f"+{t_hi - t0:.0f}C crossing",
+         "cum.magnitude ratio"), rows)
+
+
+# ----------------------------------------------------------------------
+# Section 6 reports
+# ----------------------------------------------------------------------
+def fig6(timing) -> str:
+    """The command-timing schematic of the three test types (text form)."""
+    tras, trp = timing.tRAS, timing.tRP
+    return "\n".join([
+        "Fig. 6: aggressor active-time test timings",
+        f"  Baseline:      ACT --[tAggOn = tRAS = {tras:.1f} ns]--> PRE "
+        f"--[tAggOff = tRP = {trp:.1f} ns]--> ACT(next)",
+        f"  Aggressor On:  ACT --[tAggOn > {tras:.1f} ns]--> PRE "
+        f"--[{trp:.1f} ns]--> ACT(next)",
+        f"  Aggressor Off: ACT --[{tras:.1f} ns]--> PRE "
+        f"--[tAggOff > {trp:.1f} ns]--> ACT(next)",
+    ])
+
+
+def _acttime_figure(result: ActiveTimeStudyResult, axis: str, metric: str,
+                    title: str) -> str:
+    grid = result.grid(axis)
+    lines = []
+    for mfr in result.manufacturers:
+        rows = []
+        for value in grid:
+            if metric == "ber":
+                box = result.ber_box(mfr, axis, value)
+                rows.append((f"{value:.1f} ns", _fmt(box.whisker_low),
+                             _fmt(box.q1), _fmt(box.median), _fmt(box.q3),
+                             _fmt(box.whisker_high)))
+            else:
+                lv = result.hcfirst_letter_values(mfr, axis, value)
+                fourth = lv.levels.get("F", (float("nan"), float("nan")))
+                eighth = lv.levels.get("E", (float("nan"), float("nan")))
+                rows.append((f"{value:.1f} ns", _fmt(eighth[0] / 1000, 1),
+                             _fmt(fourth[0] / 1000, 1),
+                             _fmt(lv.median / 1000, 1),
+                             _fmt(fourth[1] / 1000, 1),
+                             _fmt(eighth[1] / 1000, 1)))
+        headers = (("tAgg" + axis.capitalize(), "lo whisker", "Q1", "median",
+                    "Q3", "hi whisker") if metric == "ber" else
+                   ("tAgg" + axis.capitalize(), "octile lo (K)", "Q1 (K)",
+                    "median (K)", "Q3 (K)", "octile hi (K)"))
+        lines.append(render_table(f"{title} (Mfr. {mfr})", headers, rows))
+    return "\n\n".join(lines)
+
+
+def fig7(result: ActiveTimeStudyResult) -> str:
+    return _acttime_figure(result, "on", "ber",
+                           "Fig. 7: bit flips per victim row vs tAggOn")
+
+
+def fig8(result: ActiveTimeStudyResult) -> str:
+    return _acttime_figure(result, "on", "hcfirst",
+                           "Fig. 8: per-row HCfirst vs tAggOn")
+
+
+def fig9(result: ActiveTimeStudyResult) -> str:
+    return _acttime_figure(result, "off", "ber",
+                           "Fig. 9: bit flips per victim row vs tAggOff")
+
+
+def fig10(result: ActiveTimeStudyResult) -> str:
+    return _acttime_figure(result, "off", "hcfirst",
+                           "Fig. 10: per-row HCfirst vs tAggOff")
+
+
+# ----------------------------------------------------------------------
+# Section 7 reports
+# ----------------------------------------------------------------------
+def fig11(result: SpatialStudyResult) -> str:
+    lines = []
+    for mfr in result.manufacturers:
+        rows = []
+        for module in result.for_manufacturer(mfr):
+            values = module.vulnerable_hcfirst()
+            if values.size == 0:
+                continue
+            markers = percentile_markers(values)
+            rows.append([module.module_id, f"{values.min() / 1000:.1f}K"]
+                        + [f"{markers[f'P{p}'] / 1000:.1f}K"
+                           for p in (1, 5, 10, 25, 50, 75, 90, 95, 99)])
+        headers = ["module", "min"] + [f"P{p}"
+                                       for p in (1, 5, 10, 25, 50, 75, 90, 95, 99)]
+        lines.append(render_table(
+            f"Fig. 11 (Mfr. {mfr}): HCfirst across rows (sorted descending; "
+            "P5 = 5% of rows have higher HCfirst)", headers, rows))
+    return "\n\n".join(lines)
+
+
+def fig12(result: SpatialStudyResult) -> str:
+    lines = []
+    for mfr in result.manufacturers:
+        counts = result.column_counts(mfr)
+        per_col = counts.sum(axis=0)
+        rows = [(
+            f"Mfr. {mfr}",
+            int(per_col.max()), f"{(counts == 0).mean() * 100:.1f}%",
+            f"{(per_col > per_col.mean() * 4).mean() * 100:.2f}%",
+            int(counts.max()),
+        )]
+        lines.append(render_table(
+            f"Fig. 12 (Mfr. {mfr}): bit-flip distribution across columns",
+            ("mfr", "max flips/col", "zero chip-cols", "hot cols (>4x mean)",
+             "max flips/chip-col"), rows))
+    return "\n\n".join(lines)
+
+
+def fig13(result: SpatialStudyResult, mfr: str) -> str:
+    matrix = result.column_buckets(mfr)
+    n = matrix.shape[0]
+    headers = ["rel.vuln \\ CV"] + [f"{i / (n - 1):.1f}" for i in range(n)]
+    rows = []
+    for i in range(n - 1, -1, -1):
+        row = [f"{i / (n - 1):.1f}"]
+        for j in range(n):
+            share = matrix[i, j]
+            row.append(f"{share * 100:.1f}%" if share > 0 else ".")
+        rows.append(row)
+    return render_table(
+        f"Fig. 13 (Mfr. {mfr}): columns clustered by relative vulnerability "
+        "and cross-chip CV", headers, rows)
+
+
+def fig14(result: SpatialStudyResult) -> str:
+    rows = []
+    for mfr in result.manufacturers:
+        fit = result.subarray_fit(mfr)
+        rows.append((f"Mfr. {mfr}", f"y={fit.slope:.2f}x+{fit.intercept:.0f}",
+                     _fmt(fit.r2), fit.n))
+    return render_table(
+        "Fig. 14: min vs avg HCfirst across subarrays (linear fits)",
+        ("mfr", "fit", "R^2", "#subarrays"), rows)
+
+
+def fig15(result: SpatialStudyResult) -> str:
+    rows = []
+    for mfr in result.manufacturers:
+        same, different = result.bd_norm_values(mfr)
+        if same.size == 0 or different.size == 0:
+            continue
+        rows.append((
+            f"Mfr. {mfr}",
+            f"[{_fmt(np.percentile(same, 5))}, {_fmt(np.percentile(same, 95))}]",
+            f"[{_fmt(np.percentile(different, 5))}, "
+            f"{_fmt(np.percentile(different, 95))}]",
+            len(same), len(different),
+        ))
+    return render_table(
+        "Fig. 15: normalized Bhattacharyya distance between subarray HCfirst "
+        "distributions (central P90 band)",
+        ("mfr", "same module", "different modules", "#same", "#diff"), rows)

@@ -1,0 +1,139 @@
+"""JSON serialization of study results.
+
+Characterization campaigns are expensive; downstream users want to run
+once and analyze many times.  These helpers flatten the three study result
+objects into plain JSON-compatible dictionaries (and back onto disk).
+Loading returns dictionaries, not result objects — the serialized form is
+an interchange format, not a pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.acttime_study import ActiveTimeStudyResult
+from repro.core.spatial_study import SpatialStudyResult
+from repro.core.temperature_study import TemperatureStudyResult
+from repro.errors import ConfigError
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        number = float(value)
+        return number if np.isfinite(number) else None
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def _config_dict(config) -> Dict[str, Any]:
+    return {
+        "name": config.name,
+        "seed": config.seed,
+        "rows_per_region": config.rows_per_region,
+        "temperatures_c": list(config.temperatures_c),
+        "ber_hammer_count": config.ber_hammer_count,
+    }
+
+
+def temperature_result_to_dict(result: TemperatureStudyResult) -> Dict[str, Any]:
+    return {
+        "study": "temperature",
+        "config": _config_dict(result.config),
+        "modules": [
+            {
+                "module_id": m.module_id,
+                "manufacturer": m.manufacturer,
+                "wcdp": m.wcdp_name,
+                "victim_rows": list(m.victim_rows),
+                "ber_counts": _jsonify(m.ber_counts),
+                "hcfirst": _jsonify(m.hcfirst),
+                "flip_cells": {
+                    str(temp): sorted(cells)
+                    for temp, cells in m.flip_cells.items()
+                },
+            }
+            for m in result.modules
+        ],
+    }
+
+
+def acttime_result_to_dict(result: ActiveTimeStudyResult) -> Dict[str, Any]:
+    return {
+        "study": "acttime",
+        "config": _config_dict(result.config),
+        "modules": [
+            {
+                "module_id": m.module_id,
+                "manufacturer": m.manufacturer,
+                "wcdp": m.wcdp_name,
+                "victim_rows": list(m.victim_rows),
+                "row_ber": {f"{a}:{v}": _jsonify(arr)
+                            for (a, v), arr in m.row_ber.items()},
+                "chip_ber": {f"{a}:{v}": _jsonify(arr)
+                             for (a, v), arr in m.chip_ber.items()},
+                "hcfirst": {f"{a}:{v}": _jsonify(arr)
+                            for (a, v), arr in m.hcfirst.items()},
+            }
+            for m in result.modules
+        ],
+    }
+
+
+def spatial_result_to_dict(result: SpatialStudyResult) -> Dict[str, Any]:
+    return {
+        "study": "spatial",
+        "config": _config_dict(result.config),
+        "modules": [
+            {
+                "module_id": m.module_id,
+                "manufacturer": m.manufacturer,
+                "wcdp": m.wcdp_name,
+                "hcfirst_by_row": _jsonify(m.hcfirst_by_row),
+                "column_flip_counts": _jsonify(m.column_flip_counts),
+                "subarray_hcfirst": _jsonify(m.subarray_hcfirst),
+            }
+            for m in result.modules
+        ],
+    }
+
+
+_SERIALIZERS = {
+    TemperatureStudyResult: temperature_result_to_dict,
+    ActiveTimeStudyResult: acttime_result_to_dict,
+    SpatialStudyResult: spatial_result_to_dict,
+}
+
+
+def result_to_dict(result) -> Dict[str, Any]:
+    """Serialize any of the three study results."""
+    serializer = _SERIALIZERS.get(type(result))
+    if serializer is None:
+        raise ConfigError(f"cannot serialize {type(result).__name__}")
+    return serializer(result)
+
+
+def save_result(result, path: PathLike) -> pathlib.Path:
+    """Write a study result as JSON; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=1,
+                               sort_keys=True))
+    return path
+
+
+def load_result(path: PathLike) -> Dict[str, Any]:
+    """Load a serialized study result as plain dictionaries."""
+    return json.loads(pathlib.Path(path).read_text())

@@ -1,0 +1,273 @@
+"""Section 7: the spatial-variation campaign.
+
+At 75 degC, measure per-row HCfirst (minimum of five repetitions, Fig. 11),
+per-column bit-flip counts per chip (Figs. 12-13) and per-subarray HCfirst
+distributions (Figs. 14-15) on every module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.clusters import column_vulnerability_buckets
+from repro.analysis.distance import normalized_bhattacharyya
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.analysis.stats import percentile_markers
+from repro.core.config import SPATIAL_TEMPERATURE_C, StudyConfig, subarray_row_sample
+from repro.dram.catalog import MANUFACTURERS, ModuleSpec
+from repro.errors import ConfigError
+from repro.testing.hammer import HammerTester
+from repro.testing.patterns import find_worst_case_pattern
+from repro.testing.rows import standard_row_sample
+
+
+@dataclass
+class ModuleSpatialResult:
+    """Per-module raw measurements of the spatial campaign."""
+
+    module_id: str
+    manufacturer: str
+    wcdp_name: str
+    victim_rows: List[int]
+    hcfirst_by_row: Dict[int, Optional[int]] = field(default_factory=dict)
+    column_flip_counts: Optional[np.ndarray] = None   # (chips, cols)
+    subarray_hcfirst: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def vulnerable_hcfirst(self) -> np.ndarray:
+        values = [v for v in self.hcfirst_by_row.values() if v is not None]
+        return np.asarray(sorted(values, reverse=True), dtype=float)
+
+    def percentile_over_min(self, percentile: float) -> float:
+        """``P<percentile> / min`` over the sorted-descending rows (Fig. 11)."""
+        values = self.vulnerable_hcfirst()
+        if values.size == 0:
+            return float("nan")
+        markers = percentile_markers(values, percentiles=(percentile,))
+        return markers[f"P{int(percentile)}"] / values.min()
+
+    def subarray_summary(self) -> List[Tuple[int, float, float]]:
+        """(subarray, average HCfirst, min HCfirst) per sampled subarray."""
+        summary = []
+        for subarray, values in sorted(self.subarray_hcfirst.items()):
+            finite = values[np.isfinite(values)]
+            if finite.size:
+                summary.append((subarray, float(finite.mean()), float(finite.min())))
+        return summary
+
+
+@dataclass
+class SpatialStudyResult:
+    """All modules plus the Fig. 11-15 analyses."""
+
+    config: StudyConfig
+    modules: List[ModuleSpatialResult]
+
+    def for_manufacturer(self, mfr: str) -> List[ModuleSpatialResult]:
+        found = [m for m in self.modules if m.manufacturer == mfr]
+        if not found:
+            raise ConfigError(f"no modules for manufacturer {mfr!r} in result")
+        return found
+
+    @property
+    def manufacturers(self) -> List[str]:
+        return [m for m in MANUFACTURERS
+                if any(r.manufacturer == m for r in self.modules)]
+
+    # ------------------------------------------------------------------
+    # Fig. 11 / Obsv. 12
+    # ------------------------------------------------------------------
+    def mean_percentile_over_min(self, percentile: float,
+                                 mfrs: Optional[Sequence[str]] = None) -> float:
+        """Average P<percentile>/min across modules (the paper's 1.6x/2.0x/2.2x)."""
+        mfrs = list(mfrs) if mfrs is not None else self.manufacturers
+        ratios = [
+            module.percentile_over_min(percentile)
+            for mfr in mfrs for module in self.for_manufacturer(mfr)
+        ]
+        ratios = [r for r in ratios if np.isfinite(r)]
+        return float(np.mean(ratios)) if ratios else float("nan")
+
+    # ------------------------------------------------------------------
+    # Figs. 12-13 / Obsvs. 13-14
+    # ------------------------------------------------------------------
+    def column_counts(self, mfr: str) -> np.ndarray:
+        """Stacked per-chip column counts for a manufacturer (chips, cols)."""
+        return np.vstack([
+            m.column_flip_counts for m in self.for_manufacturer(mfr)
+            if m.column_flip_counts is not None
+        ])
+
+    def zero_flip_column_fraction(self, mfr: str) -> float:
+        counts = self.column_counts(mfr)
+        return float((counts == 0).mean())
+
+    def min_column_flips(self, mfr: str) -> int:
+        """Minimum per-column flips summed per module (Mfr B's 'every column')."""
+        minima = []
+        for module in self.for_manufacturer(mfr):
+            if module.column_flip_counts is not None:
+                minima.append(int(module.column_flip_counts.sum(axis=0).min()))
+        return min(minima) if minima else 0
+
+    def column_buckets(self, mfr: str, n_buckets: int = 11) -> np.ndarray:
+        """Fig. 13's bucket matrix pooled over a manufacturer's modules."""
+        matrices = []
+        for module in self.for_manufacturer(mfr):
+            if module.column_flip_counts is None:
+                continue
+            matrix, _rel, _cv = column_vulnerability_buckets(
+                module.column_flip_counts, n_buckets)
+            matrices.append(matrix)
+        if not matrices:
+            raise ConfigError(f"no column data for manufacturer {mfr!r}")
+        return np.mean(matrices, axis=0)
+
+    def design_consistent_fraction(self, mfr: str,
+                                   cv_threshold: float = 0.25) -> float:
+        """Fraction of flipping columns whose cross-chip CV is small.
+
+        The paper's Obsv. 14 reports columns with CV = 0.0 (the lowest
+        bucket); with our smaller row samples Poisson noise floors the CV,
+        so the checker uses the lowest buckets below ``cv_threshold``.
+        """
+        fractions = []
+        for module in self.for_manufacturer(mfr):
+            if module.column_flip_counts is None:
+                continue
+            _m, rel, cv = column_vulnerability_buckets(module.column_flip_counts)
+            flipping = rel > 0
+            if flipping.any():
+                fractions.append(float((cv[flipping] <= cv_threshold).mean()))
+        return float(np.mean(fractions)) if fractions else float("nan")
+
+    def process_dominated_fraction(self, mfr: str,
+                                   cv_threshold: float = 0.95) -> float:
+        """Fraction of flipping columns with saturated cross-chip CV."""
+        fractions = []
+        for module in self.for_manufacturer(mfr):
+            if module.column_flip_counts is None:
+                continue
+            _m, rel, cv = column_vulnerability_buckets(module.column_flip_counts)
+            flipping = rel > 0
+            if flipping.any():
+                fractions.append(float((cv[flipping] >= cv_threshold).mean()))
+        return float(np.mean(fractions)) if fractions else float("nan")
+
+    # ------------------------------------------------------------------
+    # Fig. 14 / Obsv. 15
+    # ------------------------------------------------------------------
+    def subarray_points(self, mfr: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(avg, min) HCfirst per sampled subarray across the mfr's modules."""
+        avgs, mins = [], []
+        for module in self.for_manufacturer(mfr):
+            for _sa, avg, minimum in module.subarray_summary():
+                avgs.append(avg)
+                mins.append(minimum)
+        return np.asarray(avgs), np.asarray(mins)
+
+    def subarray_fit(self, mfr: str) -> LinearFit:
+        avgs, mins = self.subarray_points(mfr)
+        return linear_fit(avgs, mins)
+
+    # ------------------------------------------------------------------
+    # Fig. 15 / Obsv. 16
+    # ------------------------------------------------------------------
+    def bd_norm_values(self, mfr: str) -> Tuple[np.ndarray, np.ndarray]:
+        """BD_norm populations for (same module, different module) pairs."""
+        modules = self.for_manufacturer(mfr)
+        same, different = [], []
+        samples = [
+            (i, values[np.isfinite(values)])
+            for i, module in enumerate(modules)
+            for values in module.subarray_hcfirst.values()
+        ]
+        samples = [(i, v) for i, v in samples if v.size >= 8]
+        for a_idx, (i, sample_a) in enumerate(samples):
+            for b_idx, (j, sample_b) in enumerate(samples):
+                if a_idx == b_idx:
+                    continue
+                value = normalized_bhattacharyya(sample_a, sample_b)
+                if not np.isfinite(value):
+                    continue
+                (same if i == j else different).append(value)
+        return np.asarray(same), np.asarray(different)
+
+
+class SpatialStudy:
+    """Runs the Section 7 campaign for a configuration."""
+
+    def __init__(self, config: StudyConfig,
+                 temperature_c: float = SPATIAL_TEMPERATURE_C) -> None:
+        self.config = config
+        self.temperature_c = temperature_c
+
+    def run_module(self, spec: ModuleSpec) -> ModuleSpatialResult:
+        config = self.config
+        module = spec.instantiate(seed=config.seed)
+        tester = HammerTester(module)
+        geometry = module.geometry
+        rows = standard_row_sample(geometry, config.rows_per_region)
+        wcdp, _ = find_worst_case_pattern(
+            tester, 0, rows[: config.wcdp_sample_rows],
+            hammer_count=config.ber_hammer_count,
+            temperature_c=self.temperature_c)
+
+        result = ModuleSpatialResult(
+            module_id=spec.module_id,
+            manufacturer=spec.manufacturer,
+            wcdp_name=wcdp.name,
+            victim_rows=list(rows),
+        )
+        # Fig. 11: per-row HCfirst, minimum across repetitions.
+        for row in rows:
+            result.hcfirst_by_row[row] = tester.hcfirst_min(
+                0, row, wcdp, temperature_c=self.temperature_c,
+                repetitions=config.hcfirst_repetitions)
+        # Figs. 12-13: the column campaign.  Per-chip per-column counts need
+        # dense statistics (the paper pools 24 K rows), so this campaign
+        # samples many rows over a narrower column space and hammers at the
+        # extended on-time, which multiplies per-row flips (Obsv. 8).
+        result.column_flip_counts = self._column_campaign(spec, wcdp)
+        # Figs. 14-15: per-subarray HCfirst distributions.
+        sample = subarray_row_sample(geometry, config.subarrays_to_sample,
+                                     config.rows_per_subarray, config.seed)
+        for subarray, sa_rows in sample.items():
+            values = np.full(len(sa_rows), np.inf)
+            for i, row in enumerate(sa_rows):
+                hc = tester.hcfirst(0, row, wcdp,
+                                    temperature_c=self.temperature_c)
+                if hc is not None:
+                    values[i] = hc
+            result.subarray_hcfirst[subarray] = values
+        module.fault_model.population.clear_cache()
+        return result
+
+    def _column_campaign(self, spec: ModuleSpec, wcdp) -> np.ndarray:
+        config = self.config
+        geometry = spec.geometry(cols_per_row=config.column_cols)
+        module = spec.instantiate(seed=config.seed, geometry=geometry)
+        tester = HammerTester(module)
+        stride = max(1, (geometry.rows_per_bank - 8) // config.column_rows)
+        rows = standard_row_sample(geometry, config.column_rows // 3,
+                                   stride=stride // 3 or 1)
+        counts = np.zeros((geometry.chips, geometry.cols_per_row))
+        for row in rows:
+            ber = tester.ber_test(0, row, wcdp,
+                                  hammer_count=config.ber_hammer_count,
+                                  temperature_c=self.temperature_c,
+                                  t_on_ns=config.column_t_on_ns)
+            for flips in ber.flips_by_distance.values():
+                for cell in flips:
+                    counts[cell.chip, cell.col] += 1
+        module.fault_model.population.clear_cache()
+        return counts
+
+    def run(self, specs: Optional[Sequence[ModuleSpec]] = None
+            ) -> SpatialStudyResult:
+        specs = list(specs) if specs is not None else self.config.module_specs()
+        modules = [self.run_module(spec) for spec in specs]
+        return SpatialStudyResult(config=self.config, modules=modules)

@@ -1,0 +1,214 @@
+"""Section 5: the temperature characterization campaign.
+
+For every module: select its worst-case data pattern, then at each tested
+temperature (50-90 degC, 5 degC steps) run a 150 K-hammer BER test and an
+HCfirst binary search on every sampled victim row.  The result object
+exposes the analyses behind Fig. 3 (vulnerable temperature ranges),
+Table 3 (range continuity), Fig. 4 (BER vs temperature) and Fig. 5
+(HCfirst change distributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.clusters import (
+    CellTemperatureObservations,
+    TemperatureRangeGrid,
+)
+from repro.analysis.stats import mean_confidence_interval, sorted_change_curve
+from repro.core.config import StudyConfig
+from repro.dram.catalog import MANUFACTURERS, ModuleSpec
+from repro.errors import ConfigError
+from repro.testing.hammer import HammerTester
+from repro.testing.patterns import find_worst_case_pattern
+from repro.testing.rows import standard_row_sample
+
+CellId = Tuple[int, int, int, int]  # (physical row, chip, col, bit)
+
+
+@dataclass
+class ModuleTemperatureResult:
+    """Per-module raw measurements of the temperature campaign."""
+
+    module_id: str
+    manufacturer: str
+    wcdp_name: str
+    victim_rows: List[int]
+    temperatures_c: List[float]
+    # ber_counts[temp][distance] -> per-victim-row flip counts (row order
+    # follows victim_rows)
+    ber_counts: Dict[float, Dict[int, np.ndarray]] = field(default_factory=dict)
+    # victim-row cells that flipped at each temperature
+    flip_cells: Dict[float, Set[CellId]] = field(default_factory=dict)
+    # hcfirst[temp][victim_row] -> hammer count or None (not vulnerable)
+    hcfirst: Dict[float, Dict[int, Optional[int]]] = field(default_factory=dict)
+
+    def cell_observations(self) -> List[CellTemperatureObservations]:
+        """Per-cell flip temperature lists (input to the Fig. 3 grid)."""
+        by_cell: Dict[CellId, List[float]] = {}
+        for temp, cells in self.flip_cells.items():
+            for cell in cells:
+                by_cell.setdefault(cell, []).append(temp)
+        return [
+            CellTemperatureObservations(cell_id=cell, flip_temperatures=tuple(temps))
+            for cell, temps in by_cell.items()
+        ]
+
+
+@dataclass
+class TemperatureStudyResult:
+    """All modules' measurements plus the paper's derived analyses."""
+
+    config: StudyConfig
+    modules: List[ModuleTemperatureResult]
+
+    # ------------------------------------------------------------------
+    def for_manufacturer(self, mfr: str) -> List[ModuleTemperatureResult]:
+        found = [m for m in self.modules if m.manufacturer == mfr]
+        if not found:
+            raise ConfigError(f"no modules for manufacturer {mfr!r} in result")
+        return found
+
+    @property
+    def manufacturers(self) -> List[str]:
+        return [m for m in MANUFACTURERS
+                if any(r.manufacturer == m for r in self.modules)]
+
+    # ------------------------------------------------------------------
+    # Fig. 3 / Table 3
+    # ------------------------------------------------------------------
+    def range_grid(self, mfr: str) -> TemperatureRangeGrid:
+        observations: List[CellTemperatureObservations] = []
+        for module in self.for_manufacturer(mfr):
+            observations.extend(module.cell_observations())
+        return TemperatureRangeGrid.from_observations(
+            observations, temperatures=self.config.temperatures_c)
+
+    def continuity_fraction(self, mfr: str) -> float:
+        """Table 3: fraction of vulnerable cells gap-free within their range."""
+        return self.range_grid(mfr).no_gap_fraction
+
+    # ------------------------------------------------------------------
+    # Fig. 4
+    # ------------------------------------------------------------------
+    def ber_change_series(self, mfr: str, distance: int = 0
+                          ) -> Dict[float, Tuple[float, float, float]]:
+        """Per-temperature BER %-change vs the 50 degC mean (mean, CI low/high)."""
+        modules = self.for_manufacturer(mfr)
+        reference = float(np.concatenate(
+            [m.ber_counts[self.reference_temperature][distance]
+             for m in modules]).mean())
+        if reference == 0 and distance == 0:
+            raise ConfigError(
+                f"manufacturer {mfr} shows no flips at the reference "
+                "temperature; increase the row sample")
+        series = {}
+        for temp in self.config.temperatures_c:
+            if reference == 0:
+                # Sparse secondary series (e.g. distance +/-2 on barely
+                # vulnerable modules): no meaningful percentage base.
+                series[temp] = (float("nan"), float("nan"), float("nan"))
+                continue
+            pooled = np.concatenate(
+                [m.ber_counts[temp][distance] for m in modules])
+            changes = (pooled - reference) / reference * 100.0
+            series[temp] = mean_confidence_interval(changes)
+        return series
+
+    @property
+    def reference_temperature(self) -> float:
+        return min(self.config.temperatures_c)
+
+    # ------------------------------------------------------------------
+    # Fig. 5
+    # ------------------------------------------------------------------
+    def _paired_hcfirst(self, mfr: str, t_from: float, t_to: float
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        base, changed = [], []
+        for module in self.for_manufacturer(mfr):
+            for row in module.victim_rows:
+                a = module.hcfirst[t_from].get(row)
+                b = module.hcfirst[t_to].get(row)
+                if a is not None and b is not None:
+                    base.append(a)
+                    changed.append(b)
+        return np.asarray(base, float), np.asarray(changed, float)
+
+    def hcfirst_change_curve(self, mfr: str, t_from: float, t_to: float
+                             ) -> np.ndarray:
+        """Sorted per-row HCfirst %-changes, most positive first (Fig. 5)."""
+        base, changed = self._paired_hcfirst(mfr, t_from, t_to)
+        return sorted_change_curve(base, changed)
+
+    def hcfirst_positive_fraction(self, mfr: str, t_from: float,
+                                  t_to: float) -> float:
+        """Fraction of rows whose HCfirst increases from t_from to t_to."""
+        curve = self.hcfirst_change_curve(mfr, t_from, t_to)
+        if curve.size == 0:
+            return float("nan")
+        return float((curve > 0).mean())
+
+    def hcfirst_cumulative_magnitude(self, mfr: str, t_from: float,
+                                     t_to: float) -> float:
+        """Sum of |per-row HCfirst %-change| (Obsv. 7's metric)."""
+        curve = self.hcfirst_change_curve(mfr, t_from, t_to)
+        return float(np.abs(curve).sum())
+
+
+class TemperatureStudy:
+    """Runs the Section 5 campaign for a configuration."""
+
+    def __init__(self, config: StudyConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def run_module(self, spec: ModuleSpec) -> ModuleTemperatureResult:
+        config = self.config
+        module = spec.instantiate(seed=config.seed)
+        tester = HammerTester(module)
+        rows = standard_row_sample(module.geometry, config.rows_per_region)
+        wcdp, _totals = find_worst_case_pattern(
+            tester, 0, rows[: config.wcdp_sample_rows],
+            hammer_count=config.ber_hammer_count,
+            temperature_c=self.reference_temperature)
+
+        result = ModuleTemperatureResult(
+            module_id=spec.module_id,
+            manufacturer=spec.manufacturer,
+            wcdp_name=wcdp.name,
+            victim_rows=list(rows),
+            temperatures_c=list(config.temperatures_c),
+        )
+        for temp in config.temperatures_c:
+            counts: Dict[int, List[int]] = {d: [] for d in tester.observe_distances}
+            cells: Set[CellId] = set()
+            hcfirsts: Dict[int, Optional[int]] = {}
+            for row in rows:
+                ber = tester.ber_test(0, row, wcdp,
+                                      hammer_count=config.ber_hammer_count,
+                                      temperature_c=temp)
+                for distance in tester.observe_distances:
+                    counts[distance].append(ber.count(distance))
+                for cell in ber.victim_flips:
+                    cells.add((cell.row, cell.chip, cell.col, cell.bit))
+                hcfirsts[row] = tester.hcfirst(0, row, wcdp, temperature_c=temp)
+            result.ber_counts[temp] = {
+                d: np.asarray(v, dtype=float) for d, v in counts.items()}
+            result.flip_cells[temp] = cells
+            result.hcfirst[temp] = hcfirsts
+        module.fault_model.population.clear_cache()
+        return result
+
+    @property
+    def reference_temperature(self) -> float:
+        return min(self.config.temperatures_c)
+
+    def run(self, specs: Optional[Sequence[ModuleSpec]] = None
+            ) -> TemperatureStudyResult:
+        specs = list(specs) if specs is not None else self.config.module_specs()
+        modules = [self.run_module(spec) for spec in specs]
+        return TemperatureStudyResult(config=self.config, modules=modules)

@@ -1,0 +1,63 @@
+"""RowHammer defenses and the paper's six defense improvements.
+
+Mechanisms: PARA, Graphene, BlockHammer, RFM (plus the on-die TRR in
+:mod:`repro.dram.trr`), all evaluated through a common activation-stream
+harness against the simulated modules.
+
+Section 8.2 improvements:
+
+1. variable-threshold configuration + area/performance cost models
+   (:mod:`repro.defenses.costs`),
+2. subarray-sampling profiler (:mod:`repro.defenses.profiling`),
+3. temperature-aware row retirement (:mod:`repro.defenses.retirement`),
+4. cooling benefit quantification (:mod:`repro.defenses.cooling`),
+5. scheduler-enforced aggressor active-time cap
+   (:mod:`repro.defenses.scheduling`),
+6. column-aware ECC provisioning (:mod:`repro.defenses.ecc`).
+"""
+
+from repro.defenses.base import ActivationDefense, DefenseHarness, DefenseOutcome
+from repro.defenses.para import PARA
+from repro.defenses.graphene import Graphene
+from repro.defenses.blockhammer import BlockHammer
+from repro.defenses.rfm import RefreshManagement
+from repro.defenses.costs import (
+    blockhammer_area_pct,
+    graphene_area_pct,
+    para_performance_overhead_pct,
+    para_refresh_probability,
+    variable_threshold_report,
+)
+from repro.defenses.profiling import SubarraySamplingProfiler
+from repro.defenses.retirement import RowRetirement
+from repro.defenses.cooling import cooling_benefit_pct
+from repro.defenses.scheduling import ActiveTimeCap
+from repro.defenses.ecc import column_aware_ecc_report
+from repro.defenses.refresh_rate import (
+    refresh_overhead_pct,
+    required_multiplier,
+    sweep_refresh_scaling,
+)
+
+__all__ = [
+    "ActivationDefense",
+    "DefenseHarness",
+    "DefenseOutcome",
+    "PARA",
+    "Graphene",
+    "BlockHammer",
+    "RefreshManagement",
+    "graphene_area_pct",
+    "blockhammer_area_pct",
+    "para_refresh_probability",
+    "para_performance_overhead_pct",
+    "variable_threshold_report",
+    "SubarraySamplingProfiler",
+    "RowRetirement",
+    "cooling_benefit_pct",
+    "ActiveTimeCap",
+    "column_aware_ecc_report",
+    "refresh_overhead_pct",
+    "required_multiplier",
+    "sweep_refresh_scaling",
+]

@@ -1,0 +1,140 @@
+"""Common infrastructure for activation-observing defenses.
+
+A defense watches the ACT stream (as a memory controller or in-DRAM logic
+would), may order victim-row refreshes, and may throttle an aggressor by
+delaying its next activation.  The harness replays a double-sided attack
+through a defense against the simulated module and reports whether the
+victim flipped, how many hammers the attacker landed, and what the defense
+spent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dram.data import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ConfigError
+from repro.units import ms_to_ns, TREFW_MS
+
+
+class ActivationDefense(ABC):
+    """Interface every activation-observing defense implements."""
+
+    name: str = "defense"
+
+    @abstractmethod
+    def on_activate(self, bank: int, physical_row: int,
+                    now_ns: float) -> List[int]:
+        """Observe one activation; return physical rows to refresh now."""
+
+    def activation_delay_ns(self, bank: int, physical_row: int,
+                            now_ns: float) -> float:
+        """Extra delay imposed before this activation (throttling)."""
+        return 0.0
+
+    def on_refresh_window(self) -> None:
+        """Called when a refresh window (tREFW) boundary passes."""
+
+    def reset(self) -> None:
+        """Forget all tracking state."""
+
+
+@dataclass
+class DefenseOutcome:
+    """Result of replaying one attack through a defense."""
+
+    defense_name: str
+    victim_row: int
+    hammers_attempted: int
+    hammers_landed: int
+    victim_flips: int
+    refreshes_issued: int
+    elapsed_ns: float
+
+    @property
+    def protected(self) -> bool:
+        return self.victim_flips == 0
+
+    @property
+    def throughput_loss(self) -> float:
+        """Fraction of attacker activations lost to throttling."""
+        if self.hammers_attempted == 0:
+            return 0.0
+        return 1.0 - self.hammers_landed / self.hammers_attempted
+
+
+class DefenseHarness:
+    """Replays double-sided attacks through a defense."""
+
+    def __init__(self, module: DRAMModule,
+                 defense: Optional[ActivationDefense],
+                 bank: int = 0) -> None:
+        self.module = module
+        self.defense = defense
+        self.bank = bank
+
+    def run_double_sided(self, victim_row: int, pattern: DataPattern,
+                         hammers: int,
+                         temperature_c: float = 50.0,
+                         t_on_ns: Optional[float] = None,
+                         t_off_ns: Optional[float] = None,
+                         window_ms: float = TREFW_MS) -> DefenseOutcome:
+        """Attack ``victim_row`` for up to ``hammers`` iterations.
+
+        The attacker stops when the refresh window closes (a real system
+        refreshes the victim then, resetting the attack), so a throttling
+        defense wins by making HCfirst hammers not fit in the window.
+        """
+        if hammers <= 0:
+            raise ConfigError("hammers must be positive")
+        module, bank = self.module, self.bank
+        timing = module.timing
+        t_on = timing.tRAS if t_on_ns is None else t_on_ns
+        t_off = timing.tRP if t_off_ns is None else t_off_ns
+        window_ns = ms_to_ns(window_ms)
+
+        phys_victim = module.to_physical(victim_row)
+        aggressors = [phys_victim - 1, phys_victim + 1]
+        logical_rows = [module.to_logical(p) for p in
+                        range(max(phys_victim - 8, 0),
+                              min(phys_victim + 9,
+                                  module.geometry.rows_per_bank))]
+        module.install_pattern(bank, logical_rows, pattern, victim_row)
+        if self.defense is not None:
+            self.defense.reset()
+        module.temperature_c = temperature_c
+
+        fault_model = module.fault_model
+        now = 0.0
+        refreshes = 0
+        landed = 0
+        for hammer in range(hammers):
+            for phys in aggressors:
+                if self.defense is not None:
+                    now += self.defense.activation_delay_ns(bank, phys, now)
+                if now >= window_ns:
+                    break
+                fault_model.accrue_activation(bank, phys, t_on, t_off)
+                landed += 1
+                if self.defense is not None:
+                    to_refresh = self.defense.on_activate(bank, phys, now)
+                    if to_refresh:
+                        module.refresh_rows(bank, to_refresh)
+                        refreshes += len(to_refresh)
+                now += t_on + t_off
+            if now >= window_ns:
+                break
+
+        flips = module.harvest_flips(bank, victim_row)
+        return DefenseOutcome(
+            defense_name=self.defense.name if self.defense else "none",
+            victim_row=victim_row,
+            hammers_attempted=hammers,
+            hammers_landed=landed // 2,
+            victim_flips=len(flips),
+            refreshes_issued=refreshes,
+            elapsed_ns=now,
+        )

@@ -1,0 +1,107 @@
+"""BlockHammer: blacklisting-based activation throttling (Yağlıkçı et al.,
+HPCA 2021).
+
+Tracks per-row activation rates in a pair of alternating counting Bloom
+filters.  Once a row's estimated count within the active window crosses
+the blacklist threshold, its subsequent activations are delayed so that no
+row can accumulate the configured HCfirst within a refresh window —
+protection without ever touching the DRAM chip.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.defenses.base import ActivationDefense
+from repro.errors import ConfigError
+from repro.rng import seed_from_path
+from repro.units import ms_to_ns, TREFW_MS
+
+
+class CountingBloomFilter:
+    """Small counting Bloom filter over (bank, row) keys."""
+
+    def __init__(self, size: int, hashes: int, salt: int) -> None:
+        if size <= 0 or hashes <= 0:
+            raise ConfigError("bloom filter size/hashes must be positive")
+        self.counters = np.zeros(size, dtype=np.int64)
+        self.hashes = hashes
+        self.salt = salt
+
+    def _indices(self, bank: int, row: int) -> List[int]:
+        return [
+            seed_from_path(self.salt, h, bank, row) % self.counters.size
+            for h in range(self.hashes)
+        ]
+
+    def insert(self, bank: int, row: int) -> int:
+        """Increment and return the new count estimate (min-of-counters)."""
+        indices = self._indices(bank, row)
+        self.counters[indices] += 1
+        return int(self.counters[indices].min())
+
+    def estimate(self, bank: int, row: int) -> int:
+        return int(self.counters[self._indices(bank, row)].min())
+
+    def clear(self) -> None:
+        self.counters[:] = 0
+
+
+class BlockHammer(ActivationDefense):
+    """Dual counting-Bloom-filter blacklisting throttle."""
+
+    name = "BlockHammer"
+
+    def __init__(self, hcfirst: int, filter_size: int = 1024,
+                 hashes: int = 4, window_ms: float = TREFW_MS,
+                 salt: int = 0x5eed) -> None:
+        if hcfirst <= 0:
+            raise ConfigError("hcfirst must be positive")
+        self.hcfirst = hcfirst
+        # A single aggressor of a double-sided pair must stay below
+        # HCfirst/2 activations per window; blacklist at half that.
+        self.max_acts_per_window = max(2, hcfirst // 2)
+        self.blacklist_threshold = max(1, self.max_acts_per_window // 2)
+        self.window_ns = ms_to_ns(window_ms)
+        # Once blacklisted, a row's remaining activation budget is spread
+        # over the remaining window: delay = window / budget.
+        self.throttle_delay_ns = self.window_ns / max(
+            self.max_acts_per_window - self.blacklist_threshold, 1)
+        self.filters: Tuple[CountingBloomFilter, CountingBloomFilter] = (
+            CountingBloomFilter(filter_size, hashes, salt),
+            CountingBloomFilter(filter_size, hashes, salt + 1),
+        )
+        self._active = 0
+        self._last_rotation_ns = 0.0
+        self.throttled_activations = 0
+
+    # ------------------------------------------------------------------
+    def _rotate_if_due(self, now_ns: float) -> None:
+        if now_ns - self._last_rotation_ns >= self.window_ns / 2:
+            self._active = 1 - self._active
+            self.filters[self._active].clear()
+            self._last_rotation_ns = now_ns
+
+    def activation_delay_ns(self, bank: int, physical_row: int,
+                            now_ns: float) -> float:
+        self._rotate_if_due(now_ns)
+        estimate = max(f.estimate(bank, physical_row) for f in self.filters)
+        if estimate >= self.blacklist_threshold:
+            self.throttled_activations += 1
+            return self.throttle_delay_ns
+        return 0.0
+
+    def on_activate(self, bank: int, physical_row: int,
+                    now_ns: float) -> List[int]:
+        self._rotate_if_due(now_ns)
+        self.filters[self._active].insert(bank, physical_row)
+        return []  # BlockHammer never issues DRAM refreshes
+
+    def reset(self) -> None:
+        for bloom in self.filters:
+            bloom.clear()
+        self._active = 0
+        self._last_rotation_ns = 0.0
+        self.throttled_activations = 0

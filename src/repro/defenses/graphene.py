@@ -1,0 +1,84 @@
+"""Graphene: exact frequent-row tracking (Park et al., MICRO 2020).
+
+Keeps a Misra-Gries summary of per-row activation counts per bank.  Any
+row whose estimated count crosses the refresh threshold gets its neighbors
+refreshed and its counter rebased, guaranteeing no row accumulates the
+configured HCfirst undetected.  Table size scales inversely with the
+threshold, which is what Defense Improvement 1 exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.defenses.base import ActivationDefense
+from repro.errors import ConfigError
+
+
+class Graphene(ActivationDefense):
+    """Misra-Gries activation tracker with threshold-triggered refresh."""
+
+    name = "Graphene"
+
+    def __init__(self, hcfirst: int, rows_per_bank: int,
+                 acts_per_window: int, safety_divisor: int = 4,
+                 neighborhood: int = 2) -> None:
+        if hcfirst <= 0:
+            raise ConfigError("hcfirst must be positive")
+        # A double-sided victim receives damage from two aggressors, so a
+        # single aggressor must be caught after HCfirst/2 of its own
+        # activations; the safety divisor adds margin as in the paper.
+        self.threshold = max(1, hcfirst // safety_divisor)
+        self.table_entries = max(1, acts_per_window // self.threshold)
+        self.rows_per_bank = rows_per_bank
+        self.neighborhood = neighborhood
+        self._tables: Dict[int, Dict[int, int]] = {}
+        self._spillover: Dict[int, int] = {}
+        self.refresh_events = 0
+
+    # ------------------------------------------------------------------
+    def on_activate(self, bank: int, physical_row: int,
+                    now_ns: float) -> List[int]:
+        table = self._tables.setdefault(bank, {})
+        spill = self._spillover.get(bank, 0)
+        if physical_row in table:
+            table[physical_row] += 1
+        elif len(table) < self.table_entries:
+            table[physical_row] = spill + 1
+        else:
+            # Misra-Gries decrement-all step (tracked via the spillover
+            # counter, the standard constant-time formulation).
+            minimum = min(table.values())
+            if minimum > spill:
+                self._spillover[bank] = spill + 1
+                if spill + 1 >= minimum:
+                    victims = [row for row, count in table.items()
+                               if count <= spill + 1]
+                    for row in victims:
+                        del table[row]
+                    table[physical_row] = spill + 2
+            else:
+                table[physical_row] = spill + 1
+
+        count = table.get(physical_row, 0)
+        if count >= self.threshold:
+            table[physical_row] = 0
+            self.refresh_events += 1
+            return self._victims_of(physical_row)
+        return []
+
+    def _victims_of(self, physical_row: int) -> List[int]:
+        victims = []
+        for distance in range(1, self.neighborhood + 1):
+            for row in (physical_row - distance, physical_row + distance):
+                if 0 <= row < self.rows_per_bank:
+                    victims.append(row)
+        return victims
+
+    def on_refresh_window(self) -> None:
+        self._tables.clear()
+        self._spillover.clear()
+
+    def reset(self) -> None:
+        self.on_refresh_window()
+        self.refresh_events = 0

@@ -1,0 +1,48 @@
+"""PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+
+On every activation the memory controller refreshes the aggressor's
+neighbors with a small probability ``p``.  Protection is probabilistic:
+the chance that a victim endures ``HC`` aggressor activations without a
+single refresh is ``(1 - p) ** HC``, so ``p`` is chosen from the target
+HCfirst and an acceptable failure probability (see
+:func:`repro.defenses.costs.para_refresh_probability`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.defenses.base import ActivationDefense
+from repro.errors import ConfigError
+from repro.rng import SeedSequenceTree
+
+
+class PARA(ActivationDefense):
+    """Probabilistic neighbor refresh."""
+
+    name = "PARA"
+
+    def __init__(self, probability: float, tree: SeedSequenceTree,
+                 rows_per_bank: int, neighborhood: int = 2) -> None:
+        if not 0.0 < probability < 1.0:
+            raise ConfigError("PARA probability must be in (0, 1)")
+        self.probability = probability
+        self.rows_per_bank = rows_per_bank
+        self.neighborhood = neighborhood
+        self._gen = tree.generator("para")
+        self.triggers = 0
+
+    def on_activate(self, bank: int, physical_row: int,
+                    now_ns: float) -> List[int]:
+        if self._gen.random() >= self.probability:
+            return []
+        self.triggers += 1
+        victims = []
+        for distance in range(1, self.neighborhood + 1):
+            for row in (physical_row - distance, physical_row + distance):
+                if 0 <= row < self.rows_per_bank:
+                    victims.append(row)
+        return victims
+
+    def reset(self) -> None:
+        self.triggers = 0

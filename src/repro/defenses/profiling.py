@@ -1,0 +1,153 @@
+"""Defense Improvement 2: subarray-sampling profiler (Obsvs. 15-16).
+
+Profiling a module's RowHammer characteristics normally requires testing
+every row under many conditions.  Because subarrays within a module share
+their HCfirst distribution (Obsv. 16) and a subarray's minimum tracks its
+average linearly (Obsv. 15), profiling a few subarrays yields a reliable
+estimate of the whole module's worst case — an order of magnitude faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.dram.data import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ConfigError
+from repro.testing.hammer import HammerTester
+
+
+@dataclass(frozen=True)
+class ProfileEstimate:
+    """Output of the sampling profiler."""
+
+    sampled_subarrays: Tuple[int, ...]
+    total_subarrays: int
+    predicted_module_min: float
+    sampled_min: float
+    hcfirst_search_floor: float
+    hcfirst_search_ceiling: float
+    tests_run: int
+
+    @property
+    def speedup(self) -> float:
+        """Profiling-time reduction vs testing every subarray."""
+        return self.total_subarrays / max(len(self.sampled_subarrays), 1)
+
+
+class SubarraySamplingProfiler:
+    """Profiles a module by sampling a few subarrays."""
+
+    def __init__(self, module: DRAMModule, pattern: DataPattern,
+                 temperature_c: float = 75.0, bank: int = 0) -> None:
+        self.module = module
+        self.pattern = pattern
+        self.temperature_c = temperature_c
+        self.bank = bank
+        self.tester = HammerTester(module)
+
+    # ------------------------------------------------------------------
+    def profile_subarray(self, subarray: int,
+                         rows_per_subarray: int) -> np.ndarray:
+        """HCfirst sample of one subarray (inf = not vulnerable)."""
+        geometry = self.module.geometry
+        rows = [r for r in geometry.rows_of_subarray(subarray)
+                if 2 <= r < geometry.rows_per_bank - 2]
+        step = max(1, len(rows) // rows_per_subarray)
+        rows = rows[::step][:rows_per_subarray]
+        values = np.full(len(rows), np.inf)
+        for i, row in enumerate(rows):
+            hc = self.tester.hcfirst(self.bank, row, self.pattern,
+                                     temperature_c=self.temperature_c)
+            if hc is not None:
+                values[i] = hc
+        return values
+
+    def estimate(self, n_subarrays: int, rows_per_subarray: int = 32,
+                 fit: Optional[LinearFit] = None,
+                 seed_offset: int = 0) -> ProfileEstimate:
+        """Estimate the module's worst-case HCfirst from a subarray sample.
+
+        ``fit`` is the manufacturer-level min-vs-avg linear model (Fig. 14);
+        if omitted, a fit over the sampled subarrays themselves is used.
+        """
+        geometry = self.module.geometry
+        total = geometry.subarrays_per_bank
+        n_subarrays = min(n_subarrays, total)
+        if n_subarrays < 2:
+            raise ConfigError("sample at least two subarrays")
+        gen = self.module.tree.generator("profiler", seed_offset)
+        chosen = tuple(sorted(
+            gen.choice(total, size=n_subarrays, replace=False).tolist()))
+
+        avgs, mins = [], []
+        tests = 0
+        for subarray in chosen:
+            values = self.profile_subarray(subarray, rows_per_subarray)
+            tests += values.size
+            finite = values[np.isfinite(values)]
+            if finite.size:
+                avgs.append(float(finite.mean()))
+                mins.append(float(finite.min()))
+        if not avgs:
+            raise ConfigError("no vulnerable rows in the sampled subarrays")
+
+        if fit is None and len(avgs) >= 3:
+            fit = linear_fit(avgs, mins)
+        if fit is not None:
+            predictions = [fit.predict(a) for a in avgs]
+            predicted = min(min(predictions), min(mins))
+        else:
+            predicted = min(mins)
+        sampled_min = min(mins)
+        # Obsv. 16: other subarrays look like the sampled ones, so the
+        # HCfirst binary search for unprofiled rows can start inside a
+        # narrowed window instead of [512, 512K].
+        floor = max(512.0, predicted * 0.5)
+        ceiling = float(np.max(avgs) * 2.0)
+        return ProfileEstimate(
+            sampled_subarrays=chosen,
+            total_subarrays=total,
+            predicted_module_min=float(predicted),
+            sampled_min=float(sampled_min),
+            hcfirst_search_floor=float(floor),
+            hcfirst_search_ceiling=ceiling,
+            tests_run=tests,
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, estimate: ProfileEstimate,
+                 holdout_subarrays: Sequence[int],
+                 rows_per_subarray: int = 32) -> Dict[str, float]:
+        """Check the estimate against held-out subarrays.
+
+        Returns the held-out minimum, the prediction error, and whether
+        the narrowed search window would have contained every held-out
+        row's HCfirst.
+        """
+        minima: List[float] = []
+        inside = 0
+        count = 0
+        for subarray in holdout_subarrays:
+            values = self.profile_subarray(subarray, rows_per_subarray)
+            finite = values[np.isfinite(values)]
+            if not finite.size:
+                continue
+            minima.append(float(finite.min()))
+            inside += int(np.sum(
+                (finite >= estimate.hcfirst_search_floor)
+                & (finite <= estimate.hcfirst_search_ceiling)))
+            count += finite.size
+        if not minima:
+            raise ConfigError("hold-out subarrays show no vulnerable rows")
+        holdout_min = min(minima)
+        return {
+            "holdout_min": holdout_min,
+            "relative_error": abs(estimate.predicted_module_min - holdout_min)
+            / holdout_min,
+            "window_coverage": inside / count if count else float("nan"),
+        }

@@ -1,0 +1,98 @@
+"""Refresh-rate scaling: the original RowHammer mitigation, quantified.
+
+Increasing the refresh rate shrinks the window in which an aggressor can
+accumulate hammers (the original RowHammer paper's first-line analysis,
+which the paper revisits in Section 3: as HCfirst drops below what a
+refresh window can bound, pure refresh scaling becomes prohibitively
+expensive).  This module quantifies both sides on the simulated modules:
+the k-times-faster refresh that stops a given attack, and the refresh
+bandwidth it costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dram.data import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ConfigError
+from repro.units import TREFW_MS, ms_to_ns
+
+
+@dataclass(frozen=True)
+class RefreshScalingPoint:
+    """Attack outcome under one refresh-rate multiplier."""
+
+    multiplier: int
+    window_ms: float
+    max_hammers_in_window: int
+    victim_flips: int
+    refresh_overhead_pct: float
+
+    @property
+    def protected(self) -> bool:
+        return self.victim_flips == 0
+
+
+def refresh_overhead_pct(multiplier: int, trfc_ns: float = 351.0,
+                         trefi_ns: float = 7800.0) -> float:
+    """Fraction of DRAM time spent refreshing at ``multiplier`` x rate."""
+    if multiplier <= 0:
+        raise ConfigError("multiplier must be positive")
+    busy = trfc_ns * multiplier
+    return min(100.0, busy / trefi_ns * 100.0)
+
+
+def sweep_refresh_scaling(module: DRAMModule, victim_row: int,
+                          pattern: DataPattern,
+                          multipliers: Optional[List[int]] = None,
+                          temperature_c: float = 75.0,
+                          bank: int = 0) -> List[RefreshScalingPoint]:
+    """Attack each refresh window length with the maximum hammers it fits.
+
+    At multiplier ``k`` the victim is refreshed every ``tREFW / k``; the
+    attacker lands as many double-sided hammers as fit between refreshes.
+    """
+    multipliers = multipliers if multipliers is not None else [1, 2, 4, 8, 16]
+    module.temperature_c = temperature_c
+    timing = module.timing
+    hammer_period = 2.0 * timing.tRC
+    points = []
+    phys = module.to_physical(victim_row)
+    window_rows = [module.to_logical(p)
+                   for p in range(max(phys - 8, 0),
+                                  min(phys + 9, module.geometry.rows_per_bank))]
+    for multiplier in multipliers:
+        window_ms = TREFW_MS / multiplier
+        max_hammers = int(ms_to_ns(window_ms) // hammer_period)
+        module.install_pattern(bank, window_rows, pattern, victim_row)
+        for aggressor in (phys - 1, phys + 1):
+            module.fault_model.accrue_activation(
+                bank, aggressor, timing.tRAS, timing.tRP, count=max_hammers)
+        flips = module.harvest_flips(bank, victim_row)
+        points.append(RefreshScalingPoint(
+            multiplier=multiplier,
+            window_ms=window_ms,
+            max_hammers_in_window=max_hammers,
+            victim_flips=len(flips),
+            refresh_overhead_pct=refresh_overhead_pct(
+                multiplier, timing.tRFC, timing.tREFI),
+        ))
+    return points
+
+
+def required_multiplier(module: DRAMModule, victim_row: int,
+                        pattern: DataPattern,
+                        temperature_c: float = 75.0,
+                        bank: int = 0,
+                        limit: int = 64) -> Optional[RefreshScalingPoint]:
+    """Smallest power-of-two refresh multiplier that protects the row."""
+    multiplier = 1
+    while multiplier <= limit:
+        point = sweep_refresh_scaling(module, victim_row, pattern,
+                                      [multiplier], temperature_c, bank)[0]
+        if point.protected:
+            return point
+        multiplier *= 2
+    return None

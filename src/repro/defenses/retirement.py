@@ -1,0 +1,115 @@
+"""Defense Improvement 3: temperature-aware row retirement (Obsvs. 1, 3).
+
+A cell only flips within its bounded temperature range, so the set of
+RowHammer-unsafe rows depends on the operating temperature.  A system can
+retire (remap away) exactly the rows vulnerable at the current temperature
+and *adapt* the retired set when the temperature changes, instead of
+permanently retiring the union over all temperatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.dram.data import DataPattern
+from repro.dram.module import DRAMModule
+from repro.errors import ConfigError
+from repro.testing.hammer import BER_HAMMERS, HammerTester
+
+
+@dataclass
+class RetirementPlan:
+    """Rows retired at one operating temperature."""
+
+    temperature_c: float
+    retired_rows: Set[int]
+    total_rows: int
+
+    @property
+    def retired_fraction(self) -> float:
+        if self.total_rows == 0:
+            return 0.0
+        return len(self.retired_rows) / self.total_rows
+
+
+class RowRetirement:
+    """Profile-driven, temperature-adaptive row retirement."""
+
+    def __init__(self, module: DRAMModule, pattern: DataPattern,
+                 bank: int = 0,
+                 hammer_count: int = BER_HAMMERS) -> None:
+        self.module = module
+        self.pattern = pattern
+        self.bank = bank
+        self.hammer_count = hammer_count
+        self.tester = HammerTester(module)
+        self._profiles: Dict[float, Set[int]] = {}
+        self._rows: List[int] = []
+
+    # ------------------------------------------------------------------
+    def profile(self, rows: Sequence[int],
+                temperatures_c: Sequence[float]) -> None:
+        """Record which rows are vulnerable at each operating temperature."""
+        self._rows = list(rows)
+        for temp in temperatures_c:
+            vulnerable: Set[int] = set()
+            for row in rows:
+                result = self.tester.ber_test(
+                    self.bank, row, self.pattern, self.hammer_count,
+                    temperature_c=temp)
+                if result.count(0) > 0:
+                    vulnerable.add(row)
+            self._profiles[float(temp)] = vulnerable
+
+    def _require_profile(self, temperature_c: float) -> Set[int]:
+        key = float(temperature_c)
+        if key not in self._profiles:
+            raise ConfigError(
+                f"temperature {temperature_c} degC was not profiled")
+        return self._profiles[key]
+
+    # ------------------------------------------------------------------
+    def plan(self, temperature_c: float) -> RetirementPlan:
+        """Rows to retire at the given operating temperature."""
+        return RetirementPlan(
+            temperature_c=float(temperature_c),
+            retired_rows=set(self._require_profile(temperature_c)),
+            total_rows=len(self._rows),
+        )
+
+    def static_plan(self) -> RetirementPlan:
+        """The non-adaptive alternative: retire the union over all temps."""
+        union: Set[int] = set()
+        for vulnerable in self._profiles.values():
+            union |= vulnerable
+        return RetirementPlan(
+            temperature_c=float("nan"),
+            retired_rows=union,
+            total_rows=len(self._rows),
+        )
+
+    def adapt(self, old_temperature_c: float,
+              new_temperature_c: float) -> Dict[str, Set[int]]:
+        """Row movements when the operating temperature changes.
+
+        ``retire`` rows must be vacated (e.g. via RowClone/LISA-style bulk
+        copy); ``restore`` rows become usable again.
+        """
+        old = self._require_profile(old_temperature_c)
+        new = self._require_profile(new_temperature_c)
+        return {"retire": new - old, "restore": old - new}
+
+    def residual_flips(self, temperature_c: float,
+                       plan: Optional[RetirementPlan] = None) -> int:
+        """Bit flips remaining in non-retired rows under attack at a temp."""
+        active_plan = plan if plan is not None else self.plan(temperature_c)
+        flips = 0
+        for row in self._rows:
+            if row in active_plan.retired_rows:
+                continue
+            result = self.tester.ber_test(
+                self.bank, row, self.pattern, self.hammer_count,
+                temperature_c=temperature_c)
+            flips += result.count(0)
+        return flips

@@ -1,0 +1,57 @@
+"""Refresh Management (RFM), per DDR5/LPDDR5 (JESD79-5 / JESD209-5A).
+
+The memory controller counts activations per bank (the Rolling Accumulated
+ACT counter, RAA); when the count reaches RAAIMT it issues an RFM command,
+giving the in-DRAM defense (here: a TRR-style sampler) guaranteed time to
+refresh victim rows.  Section 2.3 of the paper describes this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.defenses.base import ActivationDefense
+from repro.dram.trr import TargetRowRefresh
+from repro.errors import ConfigError
+from repro.rng import SeedSequenceTree
+
+
+class RefreshManagement(ActivationDefense):
+    """Controller-side RAA counting + in-DRAM sampler refresh on RFM."""
+
+    name = "RFM"
+
+    def __init__(self, raaimt: int, rows_per_bank: int,
+                 tree: SeedSequenceTree,
+                 sampler: TargetRowRefresh = None) -> None:
+        if raaimt <= 0:
+            raise ConfigError("RAAIMT must be positive")
+        self.raaimt = raaimt
+        self.rows_per_bank = rows_per_bank
+        self.sampler = sampler if sampler is not None else TargetRowRefresh(
+            tree, table_size=8, sample_probability=0.5)
+        self._raa: Dict[int, int] = {}
+        self.rfm_commands = 0
+
+    def on_activate(self, bank: int, physical_row: int,
+                    now_ns: float) -> List[int]:
+        self.sampler.on_activate(bank, physical_row)
+        count = self._raa.get(bank, 0) + 1
+        if count < self.raaimt:
+            self._raa[bank] = count
+            return []
+        # RFM: the device gets time to act on its sampler state.
+        self._raa[bank] = 0
+        self.rfm_commands += 1
+        victims: List[int] = []
+        table = self.sampler._tables.get(bank)
+        if table:
+            aggressor, _count = table.most_common(1)[0]
+            victims = self.sampler.victims_of(aggressor, self.rows_per_bank)
+            del table[aggressor]
+        return victims
+
+    def reset(self) -> None:
+        self._raa.clear()
+        self.sampler.reset()
+        self.rfm_commands = 0

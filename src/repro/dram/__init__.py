@@ -1,0 +1,70 @@
+"""DRAM device substrate: geometry, timings, commands, banks, modules.
+
+This package models the *device side* of the paper's testbed: DDR3/DDR4
+modules composed of lock-step chips, with JEDEC command timings, bank state
+machines, logical-to-physical row mapping, refresh, on-die TRR and on-die
+ECC.  The RowHammer physics lives in :mod:`repro.faultmodel`; the memory
+controller that drives these devices lives in :mod:`repro.softmc`.
+"""
+
+from repro.dram.geometry import Geometry
+from repro.dram.timing import DDR3_1600, DDR4_2400, TimingSet
+from repro.dram.commands import (
+    Activate,
+    Command,
+    Nop,
+    Precharge,
+    Read,
+    Refresh,
+    Write,
+)
+from repro.dram.data import DataPattern, PATTERNS, pattern_by_name
+from repro.dram.mapping import (
+    BitInversionMapping,
+    DirectMapping,
+    HalfSwapMapping,
+    RowMapping,
+    mapping_for_manufacturer,
+)
+from repro.dram.catalog import (
+    CATALOG,
+    ModuleSpec,
+    modules_for_manufacturer,
+    spec_by_id,
+)
+from repro.dram.module import BitFlip, DRAMModule
+from repro.dram.retention import RetentionFlip, RetentionModel
+from repro.dram.trr import TargetRowRefresh
+from repro.dram.ecc import OnDieECC
+
+__all__ = [
+    "Geometry",
+    "TimingSet",
+    "DDR3_1600",
+    "DDR4_2400",
+    "Command",
+    "Activate",
+    "Precharge",
+    "Read",
+    "Write",
+    "Refresh",
+    "Nop",
+    "DataPattern",
+    "PATTERNS",
+    "pattern_by_name",
+    "RowMapping",
+    "DirectMapping",
+    "HalfSwapMapping",
+    "BitInversionMapping",
+    "mapping_for_manufacturer",
+    "ModuleSpec",
+    "CATALOG",
+    "modules_for_manufacturer",
+    "spec_by_id",
+    "DRAMModule",
+    "BitFlip",
+    "RetentionModel",
+    "RetentionFlip",
+    "TargetRowRefresh",
+    "OnDieECC",
+]

@@ -1,0 +1,116 @@
+"""Per-bank device state: open-row tracking, timing bookkeeping, row data.
+
+A bank enforces the DRAM protocol (one open row at a time, minimum command
+spacings) and owns the *logical data state* of its rows: which data pattern
+each row holds and which bits have been flipped by RowHammer so far.
+
+Row data is stored as a pattern descriptor plus a sparse overlay of flipped
+bits, so holding thousands of 8 KiB rows costs almost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.dram.data import DataPattern, ROWSTRIPE
+from repro.errors import ProtocolError, TimingViolation
+
+
+@dataclass
+class RowData:
+    """Data installed in one row: a pattern descriptor plus flip overlay."""
+
+    pattern: DataPattern = ROWSTRIPE
+    victim_ref: int = 0          # victim row the pattern parity is anchored to
+    flipped: Set[Tuple[int, int, int]] = field(default_factory=set)
+    # flipped holds (chip, col, bit) triples whose value is inverted
+    # relative to the pattern.
+
+    def bit(self, row: int, chip: int, col: int, bit: int, seed: int) -> int:
+        value = self.pattern.bit_for(row, self.victim_ref, col, chip, bit, seed)
+        if (chip, col, bit) in self.flipped:
+            value ^= 1
+        return value
+
+
+class BankState:
+    """Protocol and timing state machine of one bank."""
+
+    def __init__(self, bank_index: int, timing) -> None:
+        self.index = bank_index
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.act_time_ns: float = float("-inf")
+        self.pre_time_ns: float = float("-inf")   # when the bank last precharged
+        self.last_col_cmd_ns: float = float("-inf")
+        self.last_gap_ns: float = timing.tRP       # precharged time before last ACT
+        self.rows: Dict[int, RowData] = {}
+
+    # ------------------------------------------------------------------
+    def row_data(self, row: int) -> RowData:
+        data = self.rows.get(row)
+        if data is None:
+            data = RowData()
+            self.rows[row] = data
+        return data
+
+    # ------------------------------------------------------------------
+    # Protocol + timing checks
+    # ------------------------------------------------------------------
+    def check_activate(self, now_ns: float) -> None:
+        if self.open_row is not None:
+            raise ProtocolError(
+                f"bank {self.index}: ACT while row {self.open_row} is open")
+        elapsed = now_ns - self.pre_time_ns
+        if elapsed + 1e-9 < self.timing.tRP:
+            raise TimingViolation(
+                f"bank {self.index}: ACT after {elapsed:.2f} ns, tRP is "
+                f"{self.timing.tRP} ns", "tRP", self.timing.tRP, elapsed)
+
+    def apply_activate(self, row: int, now_ns: float) -> None:
+        self.check_activate(now_ns)
+        self.last_gap_ns = min(now_ns - self.pre_time_ns, 1e12)
+        self.open_row = row
+        self.act_time_ns = now_ns
+
+    def check_precharge(self, now_ns: float) -> None:
+        if self.open_row is None:
+            return  # PRE on an idle bank is a legal no-op
+        elapsed = now_ns - self.act_time_ns
+        if elapsed + 1e-9 < self.timing.tRAS:
+            raise TimingViolation(
+                f"bank {self.index}: PRE after {elapsed:.2f} ns, tRAS is "
+                f"{self.timing.tRAS} ns", "tRAS", self.timing.tRAS, elapsed)
+
+    def apply_precharge(self, now_ns: float) -> Optional[Tuple[int, float, float]]:
+        """Close the bank; returns ``(row, on_time, preceding_gap)`` or None."""
+        self.check_precharge(now_ns)
+        if self.open_row is None:
+            self.pre_time_ns = max(self.pre_time_ns, now_ns)
+            return None
+        row = self.open_row
+        on_time = now_ns - self.act_time_ns
+        gap = self.last_gap_ns
+        self.open_row = None
+        self.pre_time_ns = now_ns
+        return row, on_time, gap
+
+    def check_column_command(self, now_ns: float) -> int:
+        """Validate a RD/WR; returns the open row."""
+        if self.open_row is None:
+            raise ProtocolError(f"bank {self.index}: column command on idle bank")
+        since_act = now_ns - self.act_time_ns
+        if since_act + 1e-9 < self.timing.tRCD:
+            raise TimingViolation(
+                f"bank {self.index}: column command {since_act:.2f} ns after "
+                f"ACT, tRCD is {self.timing.tRCD} ns", "tRCD",
+                self.timing.tRCD, since_act)
+        since_col = now_ns - self.last_col_cmd_ns
+        if since_col + 1e-9 < self.timing.tCCD:
+            raise TimingViolation(
+                f"bank {self.index}: column command {since_col:.2f} ns after "
+                f"previous, tCCD is {self.timing.tCCD} ns", "tCCD",
+                self.timing.tCCD, since_col)
+        self.last_col_cmd_ns = now_ns
+        return self.open_row

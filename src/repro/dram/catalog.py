@@ -1,0 +1,184 @@
+"""Catalog of the DRAM modules characterized by the paper (Tables 2 and 4).
+
+Each :class:`ModuleSpec` mirrors one row of Table 4: DDR standard, chip
+manufacturer (anonymized A-D), chip/module identifiers, transfer rate, date
+code, chip density, die revision and device organization.  Module IDs follow
+Fig. 14's labels (A0-A9, B0-B4, C0-C5, D0-D3); the last ID of manufacturers
+A, B and C is the DDR3 SODIMM.
+
+Calling :meth:`ModuleSpec.instantiate` builds a simulated
+:class:`~repro.dram.module.DRAMModule` whose fault model is seeded from the
+module ID, so every module in the catalog is a distinct, reproducible device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro import rng as rng_mod
+from repro.dram.geometry import Geometry
+from repro.dram.timing import TimingSet, timing_for_standard
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.dram.module import DRAMModule
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Static description of one tested DRAM module (a Table 4 row)."""
+
+    module_id: str
+    standard: str            # "DDR4" or "DDR3"
+    manufacturer: str        # anonymized: "A", "B", "C", "D"
+    chip_maker: str          # real maker per Table 4
+    chip_identifier: str
+    module_vendor: str
+    module_identifier: str
+    freq_mts: int
+    date_code: str
+    density_gb: int
+    die_revision: str
+    organization: str        # "x4" or "x8"
+    n_chips: int
+
+    def __post_init__(self) -> None:
+        if self.standard not in ("DDR3", "DDR4"):
+            raise ConfigError(f"unknown standard {self.standard!r}")
+        if self.manufacturer not in ("A", "B", "C", "D"):
+            raise ConfigError(f"unknown manufacturer {self.manufacturer!r}")
+        if self.organization not in ("x4", "x8"):
+            raise ConfigError(f"unknown organization {self.organization!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def device_width(self) -> int:
+        """Data bits per chip per column access."""
+        return int(self.organization[1:])
+
+    @property
+    def is_ddr4(self) -> bool:
+        return self.standard == "DDR4"
+
+    def timing(self) -> TimingSet:
+        return timing_for_standard(self.standard)
+
+    def geometry(self, rows_per_bank: int = 65536, banks: int = 4,
+                 cols_per_row: int = 1024) -> Geometry:
+        """Simulation geometry for this module.
+
+        ``rows_per_bank`` defaults to 64 K addressable rows; experiments only
+        touch the row ranges they test, so state stays proportional to the
+        tested rows, not the full die.
+        """
+        return Geometry(
+            banks=banks,
+            rows_per_bank=rows_per_bank,
+            cols_per_row=cols_per_row,
+            bits_per_col=self.device_width,
+            chips=self.n_chips,
+        )
+
+    def instantiate(self, seed: int = rng_mod.DEFAULT_SEED,
+                    geometry: Optional[Geometry] = None,
+                    **model_overrides) -> "DRAMModule":
+        """Build the simulated module with its RowHammer fault model."""
+        from repro.dram.module import DRAMModule  # local import: cycle
+
+        return DRAMModule.from_spec(self, seed=seed, geometry=geometry,
+                                    **model_overrides)
+
+
+def _ddr4(module_id: str, mfr: str, chip_maker: str, chip_id: str, vendor: str,
+          module_ident: str, date: str, density: int, die: str, org: str) -> ModuleSpec:
+    chips = 16 if org == "x4" else 8
+    return ModuleSpec(module_id, "DDR4", mfr, chip_maker, chip_id, vendor,
+                      module_ident, 2400, date, density, die, org, chips)
+
+
+def _ddr3(module_id: str, mfr: str, chip_maker: str, chip_id: str, vendor: str,
+          module_ident: str, date: str, density: int, die: str) -> ModuleSpec:
+    return ModuleSpec(module_id, "DDR3", mfr, chip_maker, chip_id, vendor,
+                      module_ident, 1600, date, density, die, "x8", 8)
+
+
+#: Full module inventory per Table 4.  Mfr A ships nine DDR4 DIMMs across
+#: three date codes plus one DDR3 SODIMM; B four DDR4 + one DDR3; C five
+#: DDR4 + one DDR3; D four DDR4.
+CATALOG: Tuple[ModuleSpec, ...] = tuple(
+    [
+        _ddr4(f"A{i}", "A", "Micron", "MT40A2G4WE-083E:B", "Micron",
+              "MTA18ASF2G72PZ-2G3B1QG", "1911", 8, "B", "x4")
+        for i in range(6)
+    ]
+    + [
+        _ddr4(f"A{i}", "A", "Micron", "MT40A2G4WE-083E:B", "Micron",
+              "MTA18ASF2G72PZ-2G3B1QG", "1843", 8, "B", "x4")
+        for i in range(6, 8)
+    ]
+    + [
+        _ddr4("A8", "A", "Micron", "MT40A2G4WE-083E:B", "Micron",
+              "MTA18ASF2G72PZ-2G3B1QG", "1844", 8, "B", "x4"),
+        _ddr3("A9", "A", "Micron", "MT41K512M8DA-107:P", "Crucial",
+              "CT51264BF160BJ.M8FP", "1703", 4, "P"),
+    ]
+    + [
+        _ddr4(f"B{i}", "B", "Samsung", "K4A4G085WF-BCTD", "G.SKILL",
+              "F4-2400C17S-8GNT", "2101", 4, "F", "x8")
+        for i in range(4)
+    ]
+    + [
+        _ddr3("B4", "B", "Samsung", "K4B4G0846Q", "Samsung",
+              "M471B5173QH0-YK0", "1416", 4, "Q"),
+    ]
+    + [
+        _ddr4(f"C{i}", "C", "SK Hynix", "DWCW (partial marking)", "G.SKILL",
+              "F4-2400C17S-8GNT", "2042", 4, "B", "x8")
+        for i in range(5)
+    ]
+    + [
+        _ddr3("C5", "C", "SK Hynix", "H5TC4G83BFR-PBA", "SK Hynix",
+              "HMT451S6BFR8A-PB", "1535", 4, "B"),
+    ]
+    + [
+        _ddr4(f"D{i}", "D", "Nanya", "D1028AN9CPGRK", "Kingston",
+              "KVR24N17S8/8", "2046", 8, "C", "x8")
+        for i in range(4)
+    ]
+)
+
+_BY_ID: Dict[str, ModuleSpec] = {spec.module_id: spec for spec in CATALOG}
+
+MANUFACTURERS: Tuple[str, ...] = ("A", "B", "C", "D")
+
+
+def spec_by_id(module_id: str) -> ModuleSpec:
+    """Look up a module by its Fig. 14-style ID (e.g. ``"C3"``)."""
+    try:
+        return _BY_ID[module_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown module id {module_id!r}; known: {sorted(_BY_ID)}"
+        ) from None
+
+
+def modules_for_manufacturer(mfr: str, standard: Optional[str] = None) -> List[ModuleSpec]:
+    """All cataloged modules of one manufacturer, optionally one standard."""
+    mfr = mfr.upper()
+    if mfr not in MANUFACTURERS:
+        raise ConfigError(f"unknown manufacturer {mfr!r}")
+    return [
+        spec for spec in CATALOG
+        if spec.manufacturer == mfr and (standard is None or spec.standard == standard)
+    ]
+
+
+def chip_counts() -> Dict[str, Dict[str, int]]:
+    """Chips tested per manufacturer per standard (reproduces Table 2)."""
+    counts: Dict[str, Dict[str, int]] = {
+        mfr: {"DDR4": 0, "DDR3": 0} for mfr in MANUFACTURERS
+    }
+    for spec in CATALOG:
+        counts[spec.manufacturer][spec.standard] += spec.n_chips
+    return counts

@@ -1,0 +1,76 @@
+"""DRAM command vocabulary issued by the SoftMC controller.
+
+Commands are small frozen dataclasses; the controller timestamps and
+validates them against a :class:`~repro.dram.timing.TimingSet` before
+applying them to the device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class Activate:
+    """Open ``row`` in ``bank`` (the paper's ACT)."""
+
+    bank: int
+    row: int
+
+    mnemonic = "ACT"
+
+
+@dataclass(frozen=True)
+class Precharge:
+    """Close the open row in ``bank`` (the paper's PRE)."""
+
+    bank: int
+
+    mnemonic = "PRE"
+
+
+@dataclass(frozen=True)
+class Read:
+    """Column read from the open row of ``bank``."""
+
+    bank: int
+    col: int
+
+    mnemonic = "RD"
+
+
+@dataclass(frozen=True)
+class Write:
+    """Column write to the open row of ``bank``.
+
+    ``data`` is one byte per chip lane; ``None`` means "write the byte the
+    currently-installed row pattern dictates" (used by row-fill helpers).
+    """
+
+    bank: int
+    col: int
+    data: Optional[bytes] = None
+
+    mnemonic = "WR"
+
+
+@dataclass(frozen=True)
+class Refresh:
+    """Auto-refresh command (REF).  Disabled during characterization."""
+
+    mnemonic = "REF"
+
+
+@dataclass(frozen=True)
+class Nop:
+    """Idle for ``cycles`` controller clock cycles."""
+
+    cycles: int = 1
+
+    mnemonic = "NOP"
+
+
+Command = Union[Activate, Precharge, Read, Write, Refresh, Nop]
+
+__all__ = ["Activate", "Precharge", "Read", "Write", "Refresh", "Nop", "Command"]

@@ -1,0 +1,129 @@
+"""Data patterns used by the characterization (Table 1 of the paper).
+
+The paper fills the victim row ``V`` and its 8 physically-adjacent rows on
+each side with one of seven patterns: *colstripe*, *checkered*, *rowstripe*
+(plus the complements of these three) and *random*.  Patterns are defined by
+the byte written as a function of the row's distance-parity from the victim:
+
+======================  ==================  =================
+Pattern                 V +/- even rows     V +/- odd rows
+======================  ==================  =================
+colstripe               0x55                0x55
+checkered               0x55                0xaa
+rowstripe               0x00                0xff
+random                  per-row random      per-row random
+======================  ==================  =================
+
+A :class:`DataPattern` answers "what bit value does cell *(row, col, bit)*
+hold when this pattern is installed around victim ``V``?", which is all the
+fault model needs to decide whether a vulnerable cell's charged state is
+exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro import rng as rng_mod
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DataPattern:
+    """One of the seven characterization data patterns.
+
+    Attributes:
+        name: canonical pattern name (see :data:`PATTERNS`).
+        even_byte: byte stored in rows at an even distance from the victim
+            (including the victim itself); ``None`` for random patterns.
+        odd_byte: byte stored in rows at odd distance; ``None`` for random.
+        random_seed_label: label mixed into the RNG path for random fills.
+    """
+
+    name: str
+    even_byte: Optional[int]
+    odd_byte: Optional[int]
+    random_seed_label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.even_byte is None) != (self.odd_byte is None):
+            raise ConfigError("even_byte and odd_byte must both be set or both None")
+        if self.even_byte is None and self.random_seed_label is None:
+            raise ConfigError(f"random pattern {self.name!r} needs a seed label")
+        for byte in (self.even_byte, self.odd_byte):
+            if byte is not None and not 0 <= byte <= 0xFF:
+                raise ConfigError(f"pattern byte {byte!r} out of range")
+
+    @property
+    def is_random(self) -> bool:
+        return self.even_byte is None
+
+    def byte_for(self, row: int, victim_row: int, col: int = 0,
+                 chip: int = 0, seed: int = 0) -> int:
+        """Byte stored at ``(row, col, chip)`` when hammering victim ``victim_row``."""
+        if self.is_random:
+            gen = rng_mod.derive(seed, "pattern", self.random_seed_label, row, col, chip)
+            return int(gen.integers(0, 256))
+        distance = abs(row - victim_row)
+        return self.even_byte if distance % 2 == 0 else self.odd_byte
+
+    def bit_for(self, row: int, victim_row: int, col: int, chip: int,
+                bit: int, seed: int = 0) -> int:
+        """Bit value held by cell ``(row, col, chip, bit)`` under this pattern."""
+        byte = self.byte_for(row, victim_row, col, chip, seed)
+        return (byte >> (bit & 7)) & 1
+
+    def complemented(self) -> "DataPattern":
+        """Bitwise complement of this pattern (random complements itself)."""
+        if self.is_random:
+            return self
+        return DataPattern(
+            name=_complement_name(self.name),
+            even_byte=self.even_byte ^ 0xFF,
+            odd_byte=self.odd_byte ^ 0xFF,
+        )
+
+
+def _complement_name(name: str) -> str:
+    if name.endswith("_inv"):
+        return name[: -len("_inv")]
+    return name + "_inv"
+
+
+COLSTRIPE = DataPattern("colstripe", 0x55, 0x55)
+CHECKERED = DataPattern("checkered", 0x55, 0xAA)
+ROWSTRIPE = DataPattern("rowstripe", 0x00, 0xFF)
+RANDOM = DataPattern("random", None, None, random_seed_label="random")
+
+#: The seven patterns of Table 1, in the order the paper lists them.
+PATTERNS: Tuple[DataPattern, ...] = (
+    COLSTRIPE,
+    COLSTRIPE.complemented(),
+    CHECKERED,
+    CHECKERED.complemented(),
+    ROWSTRIPE,
+    ROWSTRIPE.complemented(),
+    RANDOM,
+)
+
+PATTERN_NAMES = tuple(p.name for p in PATTERNS)
+_BY_NAME = {p.name: p for p in PATTERNS}
+
+
+def pattern_by_name(name: str) -> DataPattern:
+    """Look up one of the seven canonical patterns by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown data pattern {name!r}; choose from {PATTERN_NAMES}"
+        ) from None
+
+
+def pattern_index(name: str) -> int:
+    """Stable index of a canonical pattern (used by per-cell sensitivities)."""
+    try:
+        return PATTERN_NAMES.index(name)
+    except ValueError:
+        raise ConfigError(f"unknown data pattern {name!r}") from None

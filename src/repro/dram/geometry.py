@@ -1,0 +1,122 @@
+"""DRAM geometry: the dimensional layout of a module under test.
+
+Mirrors the hierarchy of Fig. 1 in the paper: a module has ranks of chips
+operating in lock-step; each chip has banks; each bank is a 2-D array of
+rows and columns partitioned into subarrays of (typically) 512 rows.
+
+The characterization infrastructure addresses DRAM at *module* granularity
+(a column access touches the same (bank, row, column) in every chip), so the
+geometry carries both the per-chip dimensions and the chip count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Dimensions of a DRAM module under test.
+
+    Attributes:
+        banks: number of banks per chip (all chips identical).
+        rows_per_bank: addressable rows in a bank.
+        cols_per_row: column addresses per row (per chip).
+        bits_per_col: device data width per column access (x4 -> 4, x8 -> 8).
+        chips: chips operating in lock-step in the tested rank.
+        subarray_rows: rows per subarray (paper conservatively assumes 512).
+    """
+
+    banks: int = 4
+    rows_per_bank: int = 65536
+    cols_per_row: int = 1024
+    bits_per_col: int = 8
+    chips: int = 8
+    subarray_rows: int = 512
+
+    def __post_init__(self) -> None:
+        for field in ("banks", "rows_per_bank", "cols_per_row", "bits_per_col",
+                      "chips", "subarray_rows"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value <= 0:
+                raise GeometryError(f"{field} must be a positive integer, got {value!r}")
+        if self.subarray_rows > self.rows_per_bank:
+            raise GeometryError(
+                f"subarray_rows ({self.subarray_rows}) cannot exceed "
+                f"rows_per_bank ({self.rows_per_bank})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def subarrays_per_bank(self) -> int:
+        """Number of (possibly ragged) subarrays per bank."""
+        return -(-self.rows_per_bank // self.subarray_rows)
+
+    @property
+    def row_bits(self) -> int:
+        """Bits of data stored in one module row (all chips)."""
+        return self.cols_per_row * self.bits_per_col * self.chips
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per module row (all chips)."""
+        return self.row_bits // 8
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def check_bank(self, bank: int) -> None:
+        if not 0 <= bank < self.banks:
+            raise GeometryError(f"bank {bank} out of range [0, {self.banks})")
+
+    def check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows_per_bank:
+            raise GeometryError(f"row {row} out of range [0, {self.rows_per_bank})")
+
+    def check_col(self, col: int) -> None:
+        if not 0 <= col < self.cols_per_row:
+            raise GeometryError(f"column {col} out of range [0, {self.cols_per_row})")
+
+    def subarray_of(self, row: int) -> int:
+        """Index of the subarray containing ``row``."""
+        self.check_row(row)
+        return row // self.subarray_rows
+
+    def rows_of_subarray(self, subarray: int) -> range:
+        """Row range belonging to ``subarray``."""
+        if not 0 <= subarray < self.subarrays_per_bank:
+            raise GeometryError(
+                f"subarray {subarray} out of range [0, {self.subarrays_per_bank})"
+            )
+        start = subarray * self.subarray_rows
+        stop = min(start + self.subarray_rows, self.rows_per_bank)
+        return range(start, stop)
+
+    def neighbors(self, row: int, max_distance: int = 2):
+        """Yield ``(neighbor_row, distance)`` pairs within the bank.
+
+        ``distance`` is signed: negative for rows below, positive for rows
+        above.  Rows past the bank edge are skipped (edge rows have fewer
+        neighbors, exactly as on a real die).
+        """
+        self.check_row(row)
+        for distance in range(-max_distance, max_distance + 1):
+            if distance == 0:
+                continue
+            neighbor = row + distance
+            if 0 <= neighbor < self.rows_per_bank:
+                yield neighbor, distance
+
+    def scaled(self, **overrides: int) -> "Geometry":
+        """Return a copy with some dimensions overridden (for fast tests)."""
+        return replace(self, **overrides)
+
+
+#: Reduced geometry used by unit tests and quick examples: small enough to
+#: enumerate exhaustively, large enough to contain several subarrays.
+TINY = Geometry(banks=1, rows_per_bank=2048, cols_per_row=128, bits_per_col=8,
+                chips=2, subarray_rows=512)

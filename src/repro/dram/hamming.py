@@ -1,0 +1,149 @@
+"""Bit-level Hamming SEC-DED (72, 64) codec.
+
+:mod:`repro.dram.ecc` models on-die ECC positionally (which flips survive
+correction); this module implements the actual code underneath that model:
+a (72, 64) single-error-correcting, double-error-detecting extended
+Hamming code, the construction on-die and rank-level DRAM ECC schemes use.
+
+Construction: 7 Hamming check bits (syndrome = XOR of the indices of set
+bits in a 71-position layout) plus one overall parity bit for double-error
+detection.  Encoding, decoding and the correction/detection/miscorrection
+behaviour are fully implemented and property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+
+DATA_BITS = 64
+HAMMING_CHECK_BITS = 7
+#: Total codeword bits: 64 data + 7 Hamming checks + 1 overall parity.
+CODEWORD_LENGTH = DATA_BITS + HAMMING_CHECK_BITS + 1
+
+#: Positions 1..71 of the Hamming layout: powers of two are check bits.
+_CHECK_POSITIONS = tuple(1 << i for i in range(HAMMING_CHECK_BITS))
+_DATA_POSITIONS = tuple(p for p in range(1, DATA_BITS + HAMMING_CHECK_BITS + 1)
+                        if p not in _CHECK_POSITIONS)
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+
+class DecodeStatus(Enum):
+    """Outcome classes of a SEC-DED decode."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DOUBLE_DETECTED = "double-detected"
+    UNCORRECTABLE = "uncorrectable"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoded data word plus what the decoder concluded."""
+
+    data: int
+    status: DecodeStatus
+    corrected_position: int = -1   # Hamming layout position, if corrected
+
+
+def _check_data(data: int) -> None:
+    if not 0 <= data < (1 << DATA_BITS):
+        raise ConfigError(f"data must be a {DATA_BITS}-bit value")
+
+
+def _layout_from_data(data: int) -> List[int]:
+    """Place data bits into the 1-indexed Hamming layout (checks zeroed)."""
+    layout = [0] * (DATA_BITS + HAMMING_CHECK_BITS + 1)  # index 0 unused
+    for i, position in enumerate(_DATA_POSITIONS):
+        layout[position] = (data >> i) & 1
+    return layout
+
+
+def _syndrome(layout: List[int]) -> int:
+    syndrome = 0
+    for position in range(1, len(layout)):
+        if layout[position]:
+            syndrome ^= position
+    return syndrome
+
+
+def encode(data: int) -> int:
+    """Encode a 64-bit word into a 72-bit codeword.
+
+    Bit layout of the returned integer: bits [0, 70] are the Hamming
+    layout positions 1..71 (data interleaved with check bits), bit 71 is
+    the overall parity.
+    """
+    _check_data(data)
+    layout = _layout_from_data(data)
+    syndrome = _syndrome(layout)
+    for i, position in enumerate(_CHECK_POSITIONS):
+        layout[position] = (syndrome >> i) & 1
+    codeword = 0
+    ones = 0
+    for position in range(1, len(layout)):
+        if layout[position]:
+            codeword |= 1 << (position - 1)
+            ones ^= 1
+    codeword |= ones << (CODEWORD_LENGTH - 1)   # overall even parity
+    return codeword
+
+
+def _extract_data(layout: List[int]) -> int:
+    data = 0
+    for i, position in enumerate(_DATA_POSITIONS):
+        data |= layout[position] << i
+    return data
+
+
+def decode(codeword: int) -> DecodeResult:
+    """Decode a 72-bit codeword with SEC-DED semantics.
+
+    * zero syndrome, parity ok        -> CLEAN
+    * nonzero syndrome, parity odd    -> single error, CORRECTED
+      (a syndrome pointing past the layout means the error is marked
+      UNCORRECTABLE rather than silently miscorrected)
+    * nonzero syndrome, parity ok     -> DOUBLE_DETECTED (not corrected)
+    * zero syndrome, parity odd       -> parity bit itself flipped: CLEAN
+      data, CORRECTED status on the parity position (0).
+    """
+    if not 0 <= codeword < (1 << CODEWORD_LENGTH):
+        raise ConfigError(f"codeword must be a {CODEWORD_LENGTH}-bit value")
+    layout = [0] * (DATA_BITS + HAMMING_CHECK_BITS + 1)
+    ones = 0
+    for position in range(1, len(layout)):
+        bit = (codeword >> (position - 1)) & 1
+        layout[position] = bit
+        ones ^= bit
+    stored_parity = (codeword >> (CODEWORD_LENGTH - 1)) & 1
+    parity_ok = (ones == stored_parity)
+    syndrome = _syndrome(layout)
+
+    if syndrome == 0:
+        if parity_ok:
+            return DecodeResult(_extract_data(layout), DecodeStatus.CLEAN)
+        # The overall parity bit itself flipped.
+        return DecodeResult(_extract_data(layout), DecodeStatus.CORRECTED,
+                            corrected_position=0)
+    if parity_ok:
+        # Even number of errors with a nonzero syndrome: double error.
+        return DecodeResult(_extract_data(layout),
+                            DecodeStatus.DOUBLE_DETECTED)
+    if syndrome >= len(layout):
+        return DecodeResult(_extract_data(layout),
+                            DecodeStatus.UNCORRECTABLE)
+    layout[syndrome] ^= 1
+    return DecodeResult(_extract_data(layout), DecodeStatus.CORRECTED,
+                        corrected_position=syndrome)
+
+
+def flip_bits(codeword: int, positions: Tuple[int, ...]) -> int:
+    """Flip codeword bits (0-indexed over the 72-bit word) — error injection."""
+    for position in positions:
+        if not 0 <= position < CODEWORD_LENGTH:
+            raise ConfigError(f"bit position {position} out of range")
+        codeword ^= 1 << position
+    return codeword

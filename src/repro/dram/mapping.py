@@ -1,0 +1,129 @@
+"""Logical-to-physical DRAM row address mappings.
+
+DRAM manufacturers remap memory-controller-visible ("logical") row addresses
+to internal ("physical") row locations for yield and layout reasons
+(Section 4.2 of the paper).  Double-sided hammering must target the rows
+that are *physically* adjacent to the victim, so the characterization first
+reverse-engineers the mapping (see
+:mod:`repro.testing.mapping_reveng`).
+
+Every mapping here is a bijection on ``[0, rows)`` with an exact inverse.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import MappingError
+
+
+class RowMapping(ABC):
+    """Bijective translation between logical and physical row addresses."""
+
+    def __init__(self, rows: int) -> None:
+        if rows <= 0:
+            raise MappingError(f"rows must be positive, got {rows}")
+        self.rows = rows
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def logical_to_physical(self, row: int) -> int:
+        """Translate a controller-visible row address to a die location."""
+
+    @abstractmethod
+    def physical_to_logical(self, row: int) -> int:
+        """Inverse translation."""
+
+    # ------------------------------------------------------------------
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise MappingError(f"row {row} out of range [0, {self.rows})")
+
+    def physical_neighbors_logical(self, logical_row: int, distance: int = 1):
+        """Logical addresses of the rows physically at ``+/-distance``.
+
+        Returns a list with zero, one or two entries (edge rows have fewer
+        physical neighbors).
+        """
+        phys = self.logical_to_physical(logical_row)
+        result = []
+        for neighbor in (phys - distance, phys + distance):
+            if 0 <= neighbor < self.rows:
+                result.append(self.physical_to_logical(neighbor))
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rows={self.rows})"
+
+
+class DirectMapping(RowMapping):
+    """Identity mapping: logical address == physical address."""
+
+    def logical_to_physical(self, row: int) -> int:
+        self._check(row)
+        return row
+
+    def physical_to_logical(self, row: int) -> int:
+        self._check(row)
+        return row
+
+
+class HalfSwapMapping(RowMapping):
+    """Adjacent-pair swap within 4-row groups, seen in some dies.
+
+    Within each aligned group of four rows ``(a, b, c, d)`` the physical
+    order is ``(a, c, b, d)``: the middle two rows are swapped.  This is a
+    self-inverse permutation.
+    """
+
+    _PERM = (0, 2, 1, 3)
+
+    def logical_to_physical(self, row: int) -> int:
+        self._check(row)
+        base, offset = row & ~3, row & 3
+        mapped = base | self._PERM[offset]
+        return mapped if mapped < self.rows else row
+
+    def physical_to_logical(self, row: int) -> int:
+        # The permutation is an involution.
+        return self.logical_to_physical(row)
+
+
+class BitInversionMapping(RowMapping):
+    """Low-order address-bit inversion in the upper half of 8-row blocks.
+
+    Models the widely documented vendor scheme in which, inside each aligned
+    8-row block, rows whose bit 2 is set have their low two address bits
+    inverted (a consequence of twisted wordline stitching).  Self-inverse.
+    """
+
+    def logical_to_physical(self, row: int) -> int:
+        self._check(row)
+        if row & 0b100:
+            mapped = row ^ 0b011
+            return mapped if mapped < self.rows else row
+        return row
+
+    def physical_to_logical(self, row: int) -> int:
+        return self.logical_to_physical(row)
+
+
+#: Which mapping scheme each (anonymized) manufacturer uses in our model.
+#: Mfr A and D ship direct mappings; B uses low-bit inversion; C swaps the
+#: middle pair of each 4-row group.  These choices exercise all code paths
+#: of the reverse-engineering harness.
+_MFR_MAPPINGS = {
+    "A": DirectMapping,
+    "B": BitInversionMapping,
+    "C": HalfSwapMapping,
+    "D": DirectMapping,
+}
+
+
+def mapping_for_manufacturer(mfr: str, rows: int) -> RowMapping:
+    """Instantiate the row mapping our model assigns to manufacturer ``mfr``."""
+    try:
+        cls = _MFR_MAPPINGS[mfr.upper()]
+    except KeyError:
+        raise MappingError(f"unknown manufacturer {mfr!r}") from None
+    return cls(rows)

@@ -1,0 +1,265 @@
+"""The simulated DRAM module: the device under test.
+
+A :class:`DRAMModule` joins together
+
+* the bank protocol/timing state machines (:mod:`repro.dram.bank`),
+* the logical-to-physical row mapping (:mod:`repro.dram.mapping`),
+* the RowHammer fault model (:mod:`repro.faultmodel.model`),
+* optional on-die TRR and the refresh engine.
+
+All addresses at this interface are **logical** (controller-visible); the
+module translates to physical rows internally, exactly like a real chip.
+Flips materialize when a row is *activated*: the sense amplifiers latch the
+(possibly corrupted) cell contents, the flips become part of the stored
+data, and the restore operation clears the accumulated disturbance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.dram.bank import BankState
+from repro.dram.data import DataPattern
+from repro.dram.geometry import Geometry
+from repro.dram.mapping import RowMapping, mapping_for_manufacturer
+from repro.dram.timing import TimingSet
+from repro.errors import ConfigError, TimingViolation
+from repro.faultmodel.model import RowHammerFaultModel
+from repro.faultmodel.profiles import MfrProfile, profile_for
+from repro.rng import SeedSequenceTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dram.catalog import ModuleSpec
+    from repro.dram.trr import TargetRowRefresh
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """An observed bit flip: where it happened and what was read."""
+
+    bank: int
+    logical_row: int
+    physical_row: int
+    chip: int
+    col: int
+    bit: int
+    expected: int
+    got: int
+
+
+class DRAMModule:
+    """One simulated DRAM module under test."""
+
+    def __init__(self, profile: MfrProfile, geometry: Geometry,
+                 timing: TimingSet, mapping: RowMapping,
+                 tree: SeedSequenceTree, module_id: str = "module",
+                 spec: Optional["ModuleSpec"] = None,
+                 trr: Optional["TargetRowRefresh"] = None) -> None:
+        if mapping.rows != geometry.rows_per_bank:
+            raise ConfigError("mapping row count must match geometry")
+        self.profile = profile
+        self.geometry = geometry
+        self.timing = timing
+        self.mapping = mapping
+        self.module_id = module_id
+        self.spec = spec
+        self.tree = tree
+        self.fault_model = RowHammerFaultModel(profile, geometry, timing, tree)
+        self.temperature_c: float = 50.0
+        self.trr = trr
+        self._banks: Dict[int, BankState] = {}
+        self._trial_gen: Optional[np.random.Generator] = None
+        # Rank-level activation history for tRRD / tFAW enforcement: the
+        # four most recent ACT timestamps across all banks.
+        self._recent_acts: List[float] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: "ModuleSpec", seed: int = rng_mod.DEFAULT_SEED,
+                  geometry: Optional[Geometry] = None,
+                  profile: Optional[MfrProfile] = None,
+                  trr: Optional["TargetRowRefresh"] = None) -> "DRAMModule":
+        geometry = geometry if geometry is not None else spec.geometry()
+        profile = profile if profile is not None else profile_for(spec.manufacturer)
+        tree = SeedSequenceTree(seed, "module", spec.module_id)
+        mapping = mapping_for_manufacturer(spec.manufacturer,
+                                           geometry.rows_per_bank)
+        return cls(profile, geometry, spec.timing(), mapping, tree,
+                   module_id=spec.module_id, spec=spec, trr=trr)
+
+    # ------------------------------------------------------------------
+    def bank(self, index: int) -> BankState:
+        self.geometry.check_bank(index)
+        state = self._banks.get(index)
+        if state is None:
+            state = BankState(index, self.timing)
+            self._banks[index] = state
+        return state
+
+    def set_trial_noise(self, gen: Optional[np.random.Generator]) -> None:
+        """Install per-repetition measurement jitter (None disables it)."""
+        self._trial_gen = gen
+
+    def to_physical(self, logical_row: int) -> int:
+        return self.mapping.logical_to_physical(logical_row)
+
+    def to_logical(self, physical_row: int) -> int:
+        return self.mapping.physical_to_logical(physical_row)
+
+    # ------------------------------------------------------------------
+    # Device-side command handlers (called by the SoftMC controller)
+    # ------------------------------------------------------------------
+    def _check_rank_act_timings(self, now_ns: float) -> None:
+        """Enforce the rank-level ACT constraints (tRRD, tFAW)."""
+        if self._recent_acts:
+            since_last = now_ns - self._recent_acts[-1]
+            if since_last + 1e-9 < self.timing.tRRD:
+                raise TimingViolation(
+                    f"ACT {since_last:.2f} ns after the previous ACT, tRRD "
+                    f"is {self.timing.tRRD} ns", "tRRD",
+                    self.timing.tRRD, since_last)
+        if len(self._recent_acts) >= 4:
+            window = now_ns - self._recent_acts[-4]
+            if window + 1e-9 < self.timing.tFAW:
+                raise TimingViolation(
+                    f"fifth ACT within {window:.2f} ns, tFAW is "
+                    f"{self.timing.tFAW} ns", "tFAW",
+                    self.timing.tFAW, window)
+
+    def activate(self, bank: int, logical_row: int, now_ns: float) -> None:
+        self.geometry.check_row(logical_row)
+        state = self.bank(bank)
+        phys = self.to_physical(logical_row)
+        self._check_rank_act_timings(now_ns)
+        state.apply_activate(phys, now_ns)
+        self._recent_acts.append(now_ns)
+        if len(self._recent_acts) > 4:
+            del self._recent_acts[0]
+        # Latch: pending disturbance materializes as stored bit flips, then
+        # the restore operation refreshes the row's charge.
+        self._materialize_flips(bank, phys)
+        if self.trr is not None:
+            self.trr.on_activate(bank, phys)
+
+    def precharge(self, bank: int, now_ns: float) -> None:
+        state = self.bank(bank)
+        closed = state.apply_precharge(now_ns)
+        if closed is None:
+            return
+        phys_row, on_time, gap = closed
+        self.fault_model.accrue_activation(bank, phys_row, on_time, gap)
+
+    def read(self, bank: int, col: int, now_ns: float) -> bytes:
+        """Column read: one byte per chip from the open row."""
+        self.geometry.check_col(col)
+        state = self.bank(bank)
+        phys = state.check_column_command(now_ns)
+        data = state.row_data(phys)
+        out = bytearray()
+        for chip in range(self.geometry.chips):
+            byte = 0
+            for bit in range(self.geometry.bits_per_col):
+                byte |= data.bit(phys, chip, col, bit,
+                                 self.fault_model.data_seed) << bit
+            out.append(byte)
+        return bytes(out)
+
+    def write(self, bank: int, col: int, data: Optional[bytes],
+              now_ns: float) -> None:
+        """Column write.  ``None`` re-asserts the installed pattern bytes."""
+        self.geometry.check_col(col)
+        state = self.bank(bank)
+        phys = state.check_column_command(now_ns)
+        row_data = state.row_data(phys)
+        if data is None:
+            # Refill with the pattern: clear any flips at this column.
+            row_data.flipped = {
+                key for key in row_data.flipped if key[1] != col}
+            return
+        if len(data) != self.geometry.chips:
+            raise ConfigError(
+                f"write data must have {self.geometry.chips} bytes, "
+                f"got {len(data)}")
+        for chip, byte in enumerate(data):
+            for bit in range(self.geometry.bits_per_col):
+                want = (byte >> bit) & 1
+                base = row_data.pattern.bit_for(phys, row_data.victim_ref, col,
+                                                chip, bit,
+                                                self.fault_model.data_seed)
+                key = (chip, col, bit)
+                if want != base:
+                    row_data.flipped.add(key)
+                else:
+                    row_data.flipped.discard(key)
+
+    def refresh_rows(self, bank: int, physical_rows: Sequence[int]) -> None:
+        """Refresh specific rows.
+
+        A refresh senses and rewrites the row: disturbance that already
+        crossed a cell's threshold is locked in as a flip, while cells still
+        below threshold are restored to full charge.
+        """
+        for row in physical_rows:
+            self._materialize_flips(bank, row)
+
+    def refresh_all(self) -> None:
+        """Refresh every row that has pending disturbance (one tREFW worth)."""
+        pending = list(self.fault_model._damage.keys())
+        for bank, row in pending:
+            self._materialize_flips(bank, row)
+
+    # ------------------------------------------------------------------
+    # High-level helpers used by the characterization harness
+    # ------------------------------------------------------------------
+    def install_pattern(self, bank: int, logical_rows: Sequence[int],
+                        pattern: DataPattern, victim_logical_row: int) -> None:
+        """Install ``pattern`` into rows, anchored at the victim's parity.
+
+        Equivalent to activating each row and writing every column; resets
+        any previous flips and pending disturbance for those rows.
+        """
+        state = self.bank(bank)
+        victim_phys = self.to_physical(victim_logical_row)
+        for logical in logical_rows:
+            phys = self.to_physical(logical)
+            data = state.row_data(phys)
+            data.pattern = pattern
+            data.victim_ref = victim_phys
+            data.flipped.clear()
+            self.fault_model.restore_row(bank, phys)
+
+    def harvest_flips(self, bank: int, logical_row: int) -> List[BitFlip]:
+        """Activate + read back a row, returning its accumulated bit flips.
+
+        This is the fast inspection path used by tests and studies; the
+        command-accurate path goes through the SoftMC controller instead.
+        """
+        phys = self.to_physical(logical_row)
+        self._materialize_flips(bank, phys)
+        state = self.bank(bank)
+        data = state.row_data(phys)
+        flips = []
+        for chip, col, bit in sorted(data.flipped):
+            expected = data.pattern.bit_for(phys, data.victim_ref, col, chip,
+                                            bit, self.fault_model.data_seed)
+            flips.append(BitFlip(bank, logical_row, phys, chip, col, bit,
+                                 expected=expected, got=expected ^ 1))
+        return flips
+
+    # ------------------------------------------------------------------
+    def _materialize_flips(self, bank: int, phys_row: int) -> None:
+        """Convert pending disturbance into stored flips, then restore."""
+        damage = self.fault_model.damage_units(bank, phys_row)
+        if damage > 0.0:
+            state = self.bank(bank)
+            data = state.row_data(phys_row)
+            flips = self.fault_model.flips(bank, phys_row, self.temperature_c,
+                                           data.pattern, data.victim_ref,
+                                           self._trial_gen)
+            for cell in flips:
+                data.flipped.add((cell.chip, cell.col, cell.bit))
+        self.fault_model.restore_row(bank, phys_row)

@@ -1,0 +1,84 @@
+"""DRAM refresh engine and retention guard.
+
+Two concerns from the paper's methodology (Section 4.2):
+
+* Characterization runs with refresh **disabled** so TRR cannot interfere;
+  the harness must therefore keep every test shorter than the retention
+  guard window so no retention errors pollute the RowHammer measurements.
+  :class:`RetentionGuard` enforces that invariant.
+* Defense benches need normal auto-refresh behaviour back:
+  :class:`RefreshEngine` spreads the 8192 refresh bundles of a tREFW across
+  REF commands, round-robin, exactly like a controller issuing REF every
+  tREFI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError, ReproError
+from repro.units import ms_to_ns, TREFW_MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dram.module import DRAMModule
+
+#: REF commands per refresh window mandated by JEDEC.
+REFS_PER_WINDOW = 8192
+
+
+class RetentionGuardViolation(ReproError):
+    """A refresh-disabled test ran long enough to risk retention errors."""
+
+
+class RetentionGuard:
+    """Tracks elapsed test time against the retention-safe budget.
+
+    The paper sizes HCfirst tests "so that our hammer tests run for less
+    than 64 ms"; this guard makes the same budget explicit and testable.
+    """
+
+    def __init__(self, budget_ms: float = TREFW_MS) -> None:
+        if budget_ms <= 0:
+            raise ConfigError("retention budget must be positive")
+        self.budget_ns = ms_to_ns(budget_ms)
+
+    def check(self, elapsed_ns: float, context: str = "test") -> None:
+        if elapsed_ns > self.budget_ns:
+            raise RetentionGuardViolation(
+                f"{context} ran {elapsed_ns / 1e6:.2f} ms with refresh "
+                f"disabled; retention-safe budget is "
+                f"{self.budget_ns / 1e6:.0f} ms")
+
+    def max_hammers(self, hammer_period_ns: float) -> int:
+        """Largest hammer count that fits in the retention budget."""
+        if hammer_period_ns <= 0:
+            raise ConfigError("hammer period must be positive")
+        return int(self.budget_ns // hammer_period_ns)
+
+
+class RefreshEngine:
+    """Round-robin auto-refresh: each REF refreshes one bundle of rows."""
+
+    def __init__(self, module: "DRAMModule") -> None:
+        self.module = module
+        rows = module.geometry.rows_per_bank
+        self.rows_per_ref = max(1, rows // REFS_PER_WINDOW)
+        self._cursor = 0
+        self.refs_issued = 0
+
+    def on_ref(self) -> None:
+        """Handle one REF command: refresh the next bundle in every bank."""
+        rows = self.module.geometry.rows_per_bank
+        start = self._cursor
+        bundle = [(start + i) % rows for i in range(self.rows_per_ref)]
+        for bank in range(self.module.geometry.banks):
+            self.module.refresh_rows(bank, bundle)
+        self._cursor = (start + self.rows_per_ref) % rows
+        self.refs_issued += 1
+        if self.module.trr is not None:
+            self.module.trr.on_refresh(self.module)
+
+    def refresh_window(self) -> None:
+        """Issue a full tREFW worth of REF commands."""
+        for _ in range(REFS_PER_WINDOW):
+            self.on_ref()

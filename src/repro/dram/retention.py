@@ -1,0 +1,133 @@
+"""Data-retention error model.
+
+The paper's methodology keeps every refresh-disabled test short enough
+that retention errors cannot pollute the RowHammer measurements
+(Section 4.2: "we ensure that all RowHammer tests are conducted within a
+relatively short period of time such that we do not observe retention
+errors").  This module supplies the phenomenon that rule guards against:
+a sparse population of *weak cells* whose charge leaks away within seconds
+if not refreshed, leaking roughly twice as fast for every +10 degC
+(the classic DRAM leakage rule of thumb the JEDEC extended-temperature
+refresh requirement encodes).
+
+The model is independent of the RowHammer fault model: retention flips
+depend only on (time since restore, temperature), not on neighbor
+activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.dram.geometry import Geometry
+from repro.errors import ConfigError
+from repro.rng import SeedSequenceTree
+from repro.units import ms_to_ns
+
+#: Reference temperature of the sampled retention times.
+RETENTION_REFERENCE_C = 45.0
+
+#: Leakage doubles every this many degrees Celsius.
+LEAKAGE_DOUBLING_C = 10.0
+
+
+@dataclass(frozen=True)
+class RetentionFlip:
+    """One retention error."""
+
+    bank: int
+    row: int
+    chip: int
+    col: int
+    bit: int
+    retention_ms: float
+
+
+class RetentionModel:
+    """Sparse weak-cell retention model.
+
+    Attributes:
+        weak_cells_per_row: Poisson mean of weak cells per row.  Real
+            devices show a handful of sub-second cells per million rows;
+            the default is inflated so tests can observe the phenomenon
+            without simulating gigabit arrays.
+        min_retention_ms: no weak cell leaks faster than this at the
+            reference temperature (devices meeting JEDEC must hold data
+            for a full tREFW at nominal conditions).
+        median_retention_ms: log-normal median of weak-cell retention.
+    """
+
+    def __init__(self, geometry: Geometry, tree: SeedSequenceTree,
+                 weak_cells_per_row: float = 0.05,
+                 min_retention_ms: float = 64.0,
+                 median_retention_ms: float = 2000.0,
+                 sigma: float = 1.0) -> None:
+        if weak_cells_per_row < 0:
+            raise ConfigError("weak_cells_per_row must be non-negative")
+        if min_retention_ms <= 0 or median_retention_ms <= min_retention_ms:
+            raise ConfigError(
+                "median retention must exceed the minimum retention")
+        self.geometry = geometry
+        self.tree = tree
+        self.weak_cells_per_row = weak_cells_per_row
+        self.min_retention_ms = min_retention_ms
+        self.median_retention_ms = median_retention_ms
+        self.sigma = sigma
+        self._cache: Dict[Tuple[int, int], Tuple[np.ndarray, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def weak_cells_for(self, bank: int, row: int):
+        """Deterministic weak cells of one row: (chip, col, bit, t_ret_ms)."""
+        key = (bank, row)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.geometry.check_bank(bank)
+        self.geometry.check_row(row)
+        gen = self.tree.generator("retention", bank, row)
+        n = int(gen.poisson(self.weak_cells_per_row))
+        chip = gen.integers(0, self.geometry.chips, size=n)
+        col = gen.integers(0, self.geometry.cols_per_row, size=n)
+        bit = gen.integers(0, self.geometry.bits_per_col, size=n)
+        retention = self.min_retention_ms + np.exp(
+            gen.normal(np.log(self.median_retention_ms), self.sigma, size=n))
+        cells = (chip, col, bit, retention)
+        self._cache[key] = cells
+        return cells
+
+    def effective_retention_ms(self, retention_ms: np.ndarray,
+                               temperature_c: float) -> np.ndarray:
+        """Retention shortened by leakage doubling per +10 degC."""
+        factor = 2.0 ** ((temperature_c - RETENTION_REFERENCE_C)
+                         / LEAKAGE_DOUBLING_C)
+        return retention_ms / max(factor, 1e-12)
+
+    def flips(self, bank: int, row: int, elapsed_ns: float,
+              temperature_c: float) -> List[RetentionFlip]:
+        """Retention errors in ``row`` after ``elapsed_ns`` without refresh."""
+        if elapsed_ns <= 0:
+            return []
+        chip, col, bit, retention = self.weak_cells_for(bank, row)
+        if retention.size == 0:
+            return []
+        effective = self.effective_retention_ms(retention, temperature_c)
+        failed = np.flatnonzero(ms_to_ns(effective) <= elapsed_ns)
+        return [
+            RetentionFlip(bank, row, int(chip[i]), int(col[i]), int(bit[i]),
+                          float(retention[i]))
+            for i in failed
+        ]
+
+    def max_safe_interval_ns(self, temperature_c: float) -> float:
+        """Longest refresh-free interval with zero retention errors.
+
+        At the reference temperature this equals the minimum retention
+        (>= one tREFW); the paper's retention guard keeps refresh-disabled
+        tests below it.
+        """
+        effective = self.effective_retention_ms(
+            np.asarray([self.min_retention_ms]), temperature_c)
+        return float(ms_to_ns(effective[0]))

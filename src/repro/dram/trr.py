@@ -1,0 +1,109 @@
+"""On-die Target Row Refresh (TRR) model.
+
+Modern DDR4 devices ship a proprietary in-DRAM mitigation that samples
+aggressor activations and, piggybacking on REF commands, refreshes the
+sampled aggressors' neighbors (Section 2.3).  The paper *disables* TRR
+during characterization by never issuing REF; we model a representative
+sampler-based TRR so that
+
+* the characterization path demonstrably sees raw circuit-level flips, and
+* the defense benches can re-enable it and measure its (in)effectiveness
+  against many-sided patterns, as TRRespass showed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.rng import SeedSequenceTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dram.module import DRAMModule
+
+
+class TargetRowRefresh:
+    """Counter-sampling TRR: tracks a few aggressors per bank, refreshes
+    their neighbors on REF.
+
+    Attributes:
+        table_size: aggressor rows tracked per bank (vendors use 1-4ish).
+        sample_probability: probability an activation is considered for
+            tracking (models the lossy sampling real TRRs employ).
+        neighborhood: rows refreshed on each side of a tracked aggressor.
+    """
+
+    def __init__(self, tree: SeedSequenceTree, table_size: int = 4,
+                 sample_probability: float = 0.20,
+                 neighborhood: int = 1) -> None:
+        self.table_size = table_size
+        self.sample_probability = sample_probability
+        self.neighborhood = neighborhood
+        self._gen = tree.generator("trr")
+        self._tables: Dict[int, Counter] = {}
+        self.refreshes_issued = 0
+
+    # ------------------------------------------------------------------
+    def on_activate(self, bank: int, physical_row: int) -> None:
+        """Observe one activation (called by the module on every ACT)."""
+        if self._gen.random() >= self.sample_probability:
+            return
+        table = self._tables.setdefault(bank, Counter())
+        if physical_row in table or len(table) < self.table_size:
+            table[physical_row] += 1
+            return
+        # Table full: decrement-all (Misra-Gries style eviction).
+        for row in list(table):
+            table[row] -= 1
+            if table[row] <= 0:
+                del table[row]
+
+    def on_activate_bulk(self, bank: int, physical_row: int, count: int) -> None:
+        """Observe ``count`` activations of the same row at once.
+
+        Used by the controller's native hammer loops: the number of sampled
+        activations is drawn binomially, which is distribution-identical to
+        sampling each activation independently.
+        """
+        if count <= 0:
+            return
+        sampled = int(self._gen.binomial(count, self.sample_probability))
+        if sampled == 0:
+            return
+        table = self._tables.setdefault(bank, Counter())
+        if physical_row in table or len(table) < self.table_size:
+            table[physical_row] += sampled
+            return
+        for row in list(table):
+            table[row] -= sampled
+            if table[row] <= 0:
+                del table[row]
+
+    def victims_of(self, physical_row: int, rows_per_bank: int) -> List[int]:
+        victims = []
+        for distance in range(1, self.neighborhood + 1):
+            for victim in (physical_row - distance, physical_row + distance):
+                if 0 <= victim < rows_per_bank:
+                    victims.append(victim)
+        return victims
+
+    def on_refresh(self, module: "DRAMModule") -> int:
+        """Refresh the neighbors of the hottest tracked aggressors.
+
+        Returns the number of victim-row refreshes issued.
+        """
+        issued = 0
+        for bank, table in self._tables.items():
+            if not table:
+                continue
+            (aggressor, _count), = table.most_common(1)
+            victims = self.victims_of(aggressor, module.geometry.rows_per_bank)
+            module.refresh_rows(bank, victims)
+            issued += len(victims)
+            del table[aggressor]
+        self.refreshes_issued += issued
+        return issued
+
+    def reset(self) -> None:
+        self._tables.clear()
+        self.refreshes_issued = 0

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the deeprh reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the package with a single ``except`` clause
+while still being able to discriminate specific failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GeometryError(ReproError):
+    """An address or dimension is outside the device geometry."""
+
+
+class TimingViolation(ReproError):
+    """A DRAM command violates a minimum JEDEC timing constraint.
+
+    The SoftMC substrate deliberately *allows* relaxing some timings upward
+    (e.g. holding a row open longer than ``tRAS``); this exception is only
+    raised for commands issued *too early*, which a real DRAM device would
+    not service reliably.
+    """
+
+    def __init__(self, message: str, parameter: str = "", required_ns: float = 0.0,
+                 actual_ns: float = 0.0) -> None:
+        super().__init__(message)
+        self.parameter = parameter
+        self.required_ns = required_ns
+        self.actual_ns = actual_ns
+
+
+class ProtocolError(ReproError):
+    """A DRAM command is illegal in the current bank state.
+
+    Examples: activating a bank that already has an open row, or reading
+    from a precharged bank.
+    """
+
+
+class ThermalError(ReproError):
+    """The thermal chamber could not reach or hold a requested temperature."""
+
+
+class ConfigError(ReproError):
+    """An experiment or model configuration is inconsistent."""
+
+
+class MappingError(ReproError):
+    """A logical/physical row translation failed or is not invertible."""
+
+
+class DefenseError(ReproError):
+    """A RowHammer defense mechanism was configured or driven incorrectly."""

@@ -1,0 +1,29 @@
+"""Physics-inspired RowHammer fault model.
+
+This package is the simulation substitute for the paper's 272 real DRAM
+chips.  It produces per-cell bit-flip behaviour as a joint function of
+
+* hammer count (``HCfirst`` thresholds with log-normal spatial structure),
+* temperature (per-cell bounded vulnerable ranges, per-row response curves),
+* aggressor row active/precharged time (electron-injection vs. cross-talk
+  kinetics), and
+* physical location (row / subarray / column / chip variation fields),
+
+calibrated per manufacturer profile so that every figure and table of the
+paper can be regenerated with the same *shape* the authors measured.
+"""
+
+from repro.faultmodel.profiles import MfrProfile, PROFILES, profile_for
+from repro.faultmodel.kinetics import DisturbanceKinetics
+from repro.faultmodel.population import RowCells, CellPopulation
+from repro.faultmodel.model import RowHammerFaultModel
+
+__all__ = [
+    "MfrProfile",
+    "PROFILES",
+    "profile_for",
+    "DisturbanceKinetics",
+    "RowCells",
+    "CellPopulation",
+    "RowHammerFaultModel",
+]

@@ -1,0 +1,111 @@
+"""Disturbance kinetics: how one aggressor activation damages neighbors.
+
+The paper's circuit-level hypothesis (Sections 6.3 and 7.4) combines two
+mechanisms:
+
+* **electron injection** into victim cells, which grows the longer the
+  aggressor wordline stays raised -> damage scales like
+  ``(tAggOn / tRAS) ** beta_on``;
+* **wordline-to-wordline cross-talk** during activation, whose integrated
+  effect shrinks when the bank rests longer between activations -> damage
+  scales like ``(tRP / tAggOff) ** gamma_off``.
+
+One *hammer* is a pair of activations, one per aggressor of a double-sided
+attack; with the distance-1 weight of 0.5 per activation, one hammer
+deposits exactly one damage *unit* into the double-sided victim at nominal
+timings.  Cell thresholds (``hc_base``) are therefore expressed directly in
+hammer units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.errors import ConfigError
+
+#: Per-activation damage weight at physical distance 1 (immediate neighbor).
+WEIGHT_DISTANCE_1 = 0.5
+
+#: Per-activation damage weight at physical distance 2 (the paper observes
+#: flips in rows +/-2 of the aggressor pair; coupling is much weaker).
+WEIGHT_DISTANCE_2 = 0.06
+
+#: Blast radius of a single activation, in rows.
+MAX_COUPLING_DISTANCE = 2
+
+DISTANCE_WEIGHTS: Dict[int, float] = {
+    1: WEIGHT_DISTANCE_1,
+    2: WEIGHT_DISTANCE_2,
+}
+
+
+def distance_weight(distance: int) -> float:
+    """Damage weight of one activation on a row ``|distance|`` rows away."""
+    return DISTANCE_WEIGHTS.get(abs(distance), 0.0)
+
+
+@dataclass(frozen=True)
+class DisturbanceKinetics:
+    """Active/precharged-time scaling of per-activation damage.
+
+    Attributes:
+        beta_on: exponent of the aggressor-on-time term (Obsv. 8-9).
+        gamma_off: exponent of the aggressor-off-time term (Obsv. 10-11).
+        tras_ns: nominal aggressor on-time (the JEDEC ``tRAS``).
+        trp_ns: nominal precharged time (the JEDEC ``tRP``).
+    """
+
+    beta_on: float
+    gamma_off: float
+    tras_ns: float
+    trp_ns: float
+
+    def __post_init__(self) -> None:
+        if self.beta_on < 0 or self.gamma_off < 0:
+            raise ConfigError("kinetics exponents must be non-negative")
+        if self.tras_ns <= 0 or self.trp_ns <= 0:
+            raise ConfigError("nominal timings must be positive")
+
+    # ------------------------------------------------------------------
+    def on_time_factor(self, t_agg_on_ns: float) -> float:
+        """Damage multiplier for an aggressor held open ``t_agg_on_ns``.
+
+        Equal to 1.0 at nominal ``tRAS``; grows sub-linearly with on-time
+        (electron injection accumulates while the wordline is raised).
+        On-times shorter than ``tRAS`` are illegal and clipped to nominal.
+        """
+        ratio = max(t_agg_on_ns, self.tras_ns) / self.tras_ns
+        return ratio ** self.beta_on
+
+    def off_time_factor(self, t_agg_off_ns: float) -> float:
+        """Damage multiplier for a bank precharged ``t_agg_off_ns``.
+
+        Equal to 1.0 at nominal ``tRP``; decays as the bank rests longer
+        (cross-talk noise integrates over back-to-back activations).
+        """
+        ratio = max(t_agg_off_ns, self.trp_ns) / self.trp_ns
+        return ratio ** (-self.gamma_off)
+
+    def activation_damage(self, distance: int, t_agg_on_ns: float,
+                          t_agg_off_ns: float) -> float:
+        """Damage units deposited by one activation at ``distance`` rows."""
+        weight = distance_weight(distance)
+        if weight == 0.0:
+            return 0.0
+        return (weight
+                * self.on_time_factor(t_agg_on_ns)
+                * self.off_time_factor(t_agg_off_ns))
+
+    def hammer_units(self, victim_row: int, aggressor_rows: Sequence[int],
+                     t_agg_on_ns: float, t_agg_off_ns: float) -> float:
+        """Damage units one *hammer* deposits in ``victim_row``.
+
+        One hammer activates each aggressor once.  For the canonical
+        double-sided pattern ``(victim - 1, victim + 1)`` at nominal timings
+        this is exactly 1.0.
+        """
+        return sum(
+            self.activation_damage(victim_row - aggressor, t_agg_on_ns, t_agg_off_ns)
+            for aggressor in aggressor_rows
+        )

@@ -1,0 +1,217 @@
+"""The per-module RowHammer fault model.
+
+:class:`RowHammerFaultModel` is the single source of truth for bit flips.
+It exposes two equivalent views:
+
+* a **command path** — the DRAM module calls :meth:`accrue_activation` on
+  every precharge and :meth:`flips` on reads, so arbitrary SoftMC programs
+  (any access pattern, any timing) produce flips; and
+* an **analytic oracle** — :meth:`row_hcfirst` / :meth:`flip_cells` compute,
+  from the same per-cell thresholds and the same kinetics, what a hammer
+  test *would* measure, without enumerating 300 K commands.
+
+Both views share every constant, so fast sweeps and command-accurate runs
+agree by construction (verified by ``tests/integration/test_oracle_vs_commands.py``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.data import DataPattern
+from repro.dram.geometry import Geometry
+from repro.dram.timing import TimingSet
+from repro.faultmodel.kinetics import (
+    DisturbanceKinetics,
+    MAX_COUPLING_DISTANCE,
+    distance_weight,
+)
+from repro.faultmodel.population import CellPopulation, RowCells
+from repro.faultmodel.profiles import MfrProfile
+from repro.rng import SeedSequenceTree
+
+
+@dataclass(frozen=True)
+class FlippedCell:
+    """One observed RowHammer bit flip."""
+
+    bank: int
+    row: int
+    chip: int
+    col: int
+    bit: int
+
+
+class RowHammerFaultModel:
+    """RowHammer physics of one DRAM module (all chips, lock-step)."""
+
+    def __init__(self, profile: MfrProfile, geometry: Geometry,
+                 timing: TimingSet, tree: SeedSequenceTree) -> None:
+        self.profile = profile
+        self.geometry = geometry
+        self.timing = timing
+        self.tree = tree
+        self.kinetics = DisturbanceKinetics(
+            beta_on=profile.beta_on,
+            gamma_off=profile.gamma_off,
+            tras_ns=timing.tRAS,
+            trp_ns=timing.tRP,
+        )
+        self.population = CellPopulation(profile, geometry, tree)
+        self.data_seed = tree.seed("data-fill")
+        self._damage: Dict[Tuple[int, int], float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    # Command path: called by the DRAM module model
+    # ------------------------------------------------------------------
+    def accrue_activation(self, bank: int, aggressor_row: int,
+                          t_on_ns: float, t_off_ns: float,
+                          count: int = 1) -> None:
+        """Deposit the damage of ``count`` identical activations.
+
+        Called when the aggressor row is precharged, once the actual on-time
+        (and the preceding precharged time) is known.
+        """
+        if count <= 0:
+            return
+        on_factor = self.kinetics.on_time_factor(t_on_ns)
+        off_factor = self.kinetics.off_time_factor(t_off_ns)
+        scale = on_factor * off_factor * count
+        for distance in range(1, MAX_COUPLING_DISTANCE + 1):
+            weight = distance_weight(distance) * scale
+            for neighbor in (aggressor_row - distance, aggressor_row + distance):
+                if 0 <= neighbor < self.geometry.rows_per_bank:
+                    self._damage[(bank, neighbor)] += weight
+
+    def restore_row(self, bank: int, row: int) -> None:
+        """Clear accumulated disturbance (refresh or rewrite restores charge)."""
+        self._damage.pop((bank, row), None)
+
+    def restore_all(self) -> None:
+        """Clear all disturbance (e.g. a full refresh cycle)."""
+        self._damage.clear()
+
+    def damage_units(self, bank: int, row: int) -> float:
+        """Accumulated damage units of ``row`` since its last restore."""
+        return self._damage.get((bank, row), 0.0)
+
+    def flips(self, bank: int, row: int, temperature_c: float,
+              pattern: DataPattern, pattern_victim_row: int,
+              trial_gen: Optional[np.random.Generator] = None
+              ) -> List[FlippedCell]:
+        """Bit flips observable in ``row`` given its accumulated damage."""
+        damage = self.damage_units(bank, row)
+        if damage <= 0.0:
+            return []
+        cells = self.population.cells_for(bank, row)
+        if not len(cells):
+            return []
+        thresholds = cells.thresholds(temperature_c, pattern, pattern_victim_row,
+                                      self.data_seed, trial_gen)
+        flipped = np.flatnonzero(damage >= thresholds)
+        return [
+            FlippedCell(bank, row, int(cells.chip[i]), int(cells.col[i]),
+                        int(cells.bit[i]))
+            for i in flipped
+        ]
+
+    # ------------------------------------------------------------------
+    # Analytic oracle: what a hammer test would measure
+    # ------------------------------------------------------------------
+    def default_aggressors(self, victim_row: int) -> Tuple[int, int]:
+        """The double-sided aggressor pair of ``victim_row``."""
+        return (victim_row - 1, victim_row + 1)
+
+    def hammer_units(self, observed_row: int,
+                     aggressors: Sequence[int],
+                     t_on_ns: Optional[float] = None,
+                     t_off_ns: Optional[float] = None) -> float:
+        """Damage units one hammer deposits into ``observed_row``."""
+        t_on = self.timing.tRAS if t_on_ns is None else t_on_ns
+        t_off = self.timing.tRP if t_off_ns is None else t_off_ns
+        return self.kinetics.hammer_units(observed_row, aggressors, t_on, t_off)
+
+    def cell_hcfirst(self, bank: int, observed_row: int, temperature_c: float,
+                     pattern: DataPattern, pattern_victim_row: int,
+                     aggressors: Optional[Sequence[int]] = None,
+                     t_on_ns: Optional[float] = None,
+                     t_off_ns: Optional[float] = None,
+                     trial_gen: Optional[np.random.Generator] = None
+                     ) -> Tuple[RowCells, np.ndarray]:
+        """Per-cell hammer counts at which each cell of ``observed_row`` flips.
+
+        Returns ``(cells, hcfirst_array)`` where unreachable cells hold
+        ``inf``.  ``observed_row`` need not be the double-sided victim: pass
+        the single-sided victims (distance +/-2) to reproduce Fig. 4's
+        secondary series.
+        """
+        if aggressors is None:
+            aggressors = self.default_aggressors(pattern_victim_row)
+        units = self.hammer_units(observed_row, aggressors, t_on_ns, t_off_ns)
+        cells = self.population.cells_for(bank, observed_row)
+        if not len(cells):
+            return cells, np.empty(0)
+        if units <= 0.0:
+            return cells, np.full(len(cells), np.inf)
+        thresholds = cells.thresholds(temperature_c, pattern, pattern_victim_row,
+                                      self.data_seed, trial_gen)
+        return cells, thresholds / units
+
+    def row_hcfirst(self, bank: int, observed_row: int, temperature_c: float,
+                    pattern: DataPattern,
+                    pattern_victim_row: Optional[int] = None,
+                    aggressors: Optional[Sequence[int]] = None,
+                    t_on_ns: Optional[float] = None,
+                    t_off_ns: Optional[float] = None,
+                    trial_gen: Optional[np.random.Generator] = None) -> float:
+        """Minimum hammer count at which ``observed_row`` shows its first flip.
+
+        ``inf`` if no cell can flip under these conditions.
+        """
+        victim = observed_row if pattern_victim_row is None else pattern_victim_row
+        _, hcs = self.cell_hcfirst(bank, observed_row, temperature_c, pattern,
+                                   victim, aggressors, t_on_ns, t_off_ns,
+                                   trial_gen)
+        return float(hcs.min()) if hcs.size else float("inf")
+
+    def flip_cells(self, bank: int, observed_row: int, hammer_count: float,
+                   temperature_c: float, pattern: DataPattern,
+                   pattern_victim_row: Optional[int] = None,
+                   aggressors: Optional[Sequence[int]] = None,
+                   t_on_ns: Optional[float] = None,
+                   t_off_ns: Optional[float] = None,
+                   trial_gen: Optional[np.random.Generator] = None
+                   ) -> List[FlippedCell]:
+        """Cells of ``observed_row`` that flip after ``hammer_count`` hammers."""
+        victim = observed_row if pattern_victim_row is None else pattern_victim_row
+        cells, hcs = self.cell_hcfirst(bank, observed_row, temperature_c, pattern,
+                                       victim, aggressors, t_on_ns, t_off_ns,
+                                       trial_gen)
+        if not hcs.size:
+            return []
+        flipped = np.flatnonzero(hcs <= hammer_count)
+        return [
+            FlippedCell(bank, observed_row, int(cells.chip[i]),
+                        int(cells.col[i]), int(cells.bit[i]))
+            for i in flipped
+        ]
+
+    def row_flip_count(self, bank: int, observed_row: int, hammer_count: float,
+                       temperature_c: float, pattern: DataPattern,
+                       pattern_victim_row: Optional[int] = None,
+                       aggressors: Optional[Sequence[int]] = None,
+                       t_on_ns: Optional[float] = None,
+                       t_off_ns: Optional[float] = None,
+                       trial_gen: Optional[np.random.Generator] = None) -> int:
+        """Number of bit flips in ``observed_row`` after ``hammer_count`` hammers."""
+        victim = observed_row if pattern_victim_row is None else pattern_victim_row
+        _, hcs = self.cell_hcfirst(bank, observed_row, temperature_c, pattern,
+                                   victim, aggressors, t_on_ns, t_off_ns,
+                                   trial_gen)
+        if not hcs.size:
+            return 0
+        return int(np.count_nonzero(hcs <= hammer_count))

@@ -1,0 +1,205 @@
+"""Vulnerable-cell populations: the lazily-generated per-row cell arrays.
+
+A DRAM row contains a sparse set of RowHammer-vulnerable cells.  Rather than
+modelling every bit of a 64 K-row bank, the population generator materializes
+the vulnerable cells of a row on first touch, deterministically from the
+module's seed tree — the same row always yields the same cells, in any
+access order.
+
+Each cell carries everything the fault model needs to decide whether it
+flips: its location (chip, column, bit), its damage threshold in hammer
+units, its vulnerable temperature range, its charged ("vulnerable") bit
+value, and its per-data-pattern sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.data import DataPattern, PATTERNS
+from repro.dram.geometry import Geometry
+from repro.faultmodel import temperature as temp_mod
+from repro.faultmodel import variation
+from repro.faultmodel.profiles import MfrProfile
+from repro.rng import SeedSequenceTree
+
+
+@dataclass
+class RowCells:
+    """Vulnerable cells of one physical row.
+
+    All arrays share the same length (the number of vulnerable cells).
+    ``s``, ``q``, ``z`` are the row-level temperature-response parameters
+    shared by the row's cells (see
+    :func:`repro.faultmodel.variation.row_temperature_response`).
+    """
+
+    bank: int
+    row: int
+    chip: np.ndarray          # int16
+    col: np.ndarray           # int32
+    bit: np.ndarray           # int8
+    hc_base: np.ndarray       # float64, hammer units at reference conditions
+    t_lo: np.ndarray          # float64, degC
+    t_hi: np.ndarray          # float64, degC
+    gap: np.ndarray           # float64, degC or NaN
+    vul_value: np.ndarray     # int8: bit value that exposes the cell
+    pattern_factors: np.ndarray  # float64, shape (n, len(PATTERNS))
+    s: float
+    q: float
+    z: float
+    walk_sd: float
+    trial_sigma: float
+    _stored_bit_cache: Dict[Tuple[str, int], np.ndarray] = field(
+        default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return int(self.hc_base.shape[0])
+
+    # ------------------------------------------------------------------
+    def temperature_shift(self, temperature_c: float) -> float:
+        """Row-level ``g(T)``: log-space shift of every cell's threshold."""
+        return variation.temperature_log_shift(
+            self.s, self.q, self.z, self.walk_sd, temperature_c)
+
+    def active_at(self, temperature_c: float) -> np.ndarray:
+        """Mask of cells inside their vulnerable range at this temperature."""
+        return temp_mod.active_mask(self.t_lo, self.t_hi, self.gap, temperature_c)
+
+    def stored_bits(self, pattern: DataPattern, victim_row: int,
+                    seed: int = 0) -> np.ndarray:
+        """Bit each cell holds when ``pattern`` is installed around ``victim_row``."""
+        # Non-random patterns depend only on the row's distance parity from
+        # the victim; random fills depend only on (row, col, chip).  A module
+        # uses a single data seed, so the seed is not part of the key.
+        key = (pattern.name, 0 if pattern.is_random else (self.row - victim_row) % 2)
+        cached = self._stored_bit_cache.get(key)
+        if cached is not None:
+            return cached
+        if pattern.is_random:
+            bits = np.fromiter(
+                (pattern.bit_for(self.row, victim_row, int(c), int(ch), int(b), seed)
+                 for c, ch, b in zip(self.col, self.chip, self.bit)),
+                dtype=np.int8, count=len(self))
+        else:
+            byte = pattern.byte_for(self.row, victim_row)
+            bits = ((np.int32(byte) >> self.bit.astype(np.int32)) & 1).astype(np.int8)
+        self._stored_bit_cache[key] = bits
+        return bits
+
+    def pattern_factor(self, pattern: DataPattern) -> np.ndarray:
+        """Per-cell damage multiplier under ``pattern``."""
+        index = next(i for i, p in enumerate(PATTERNS) if p.name == pattern.name)
+        return self.pattern_factors[:, index]
+
+    # ------------------------------------------------------------------
+    def thresholds(self, temperature_c: float, pattern: DataPattern,
+                   victim_row: int, data_seed: int = 0,
+                   trial_gen: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Damage-unit thresholds per cell under the given conditions.
+
+        Inactive cells (temperature outside their range, or stored bit not
+        equal to their charged value) get ``inf``.  Dividing a cell's
+        threshold by the per-hammer damage units of an access pattern yields
+        its HCfirst under that pattern.
+        """
+        shift = np.exp(self.temperature_shift(temperature_c))
+        thresholds = self.hc_base * shift / self.pattern_factor(pattern)
+        if trial_gen is not None and self.trial_sigma > 0.0:
+            thresholds = thresholds * np.exp(
+                trial_gen.normal(0.0, self.trial_sigma, size=len(self)))
+        exposed = self.stored_bits(pattern, victim_row, data_seed) == self.vul_value
+        active = self.active_at(temperature_c)
+        out = np.where(active & exposed, thresholds, np.inf)
+        return out
+
+
+class CellPopulation:
+    """Deterministic generator and cache of per-row vulnerable cells."""
+
+    def __init__(self, profile: MfrProfile, geometry: Geometry,
+                 tree: SeedSequenceTree) -> None:
+        self.profile = profile
+        self.geometry = geometry
+        self.tree = tree
+        self._module_factor = variation.module_factor(tree, profile)
+        self._base_constant = variation.base_constant(profile)
+        self._column_weights = variation.column_weight_field(tree, profile, geometry)
+        self._flat_weights = self._column_weights.ravel()
+        self._subarray_cache: Dict[Tuple[int, int], float] = {}
+        self._row_cache: Dict[Tuple[int, int], RowCells] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def module_factor(self) -> float:
+        return self._module_factor
+
+    @property
+    def column_weights(self) -> np.ndarray:
+        """(chips, cols) placement probability field (sums to 1)."""
+        return self._column_weights
+
+    def subarray_factor(self, bank: int, subarray: int) -> float:
+        key = (bank, subarray)
+        if key not in self._subarray_cache:
+            self._subarray_cache[key] = variation.subarray_factor(
+                self.tree, self.profile, bank, subarray)
+        return self._subarray_cache[key]
+
+    def clear_cache(self) -> None:
+        """Drop cached rows (used by long sweeps to bound memory)."""
+        self._row_cache.clear()
+
+    # ------------------------------------------------------------------
+    def cells_for(self, bank: int, row: int) -> RowCells:
+        """The vulnerable cells of physical ``row`` in ``bank`` (cached)."""
+        key = (bank, row)
+        cached = self._row_cache.get(key)
+        if cached is not None:
+            return cached
+        cells = self._generate(bank, row)
+        self._row_cache[key] = cells
+        return cells
+
+    def _generate(self, bank: int, row: int) -> RowCells:
+        geometry, profile = self.geometry, self.profile
+        geometry.check_bank(bank)
+        geometry.check_row(row)
+        gen = self.tree.generator("row-cells", bank, row)
+
+        n = int(gen.poisson(profile.cells_per_row_mean))
+        subarray = geometry.subarray_of(row)
+        row_scale = (self._base_constant
+                     * self._module_factor
+                     * self.subarray_factor(bank, subarray)
+                     * variation.row_factor(self.tree, profile, bank, row))
+
+        placement = gen.choice(self._flat_weights.size, size=n,
+                               p=self._flat_weights) if n else np.empty(0, int)
+        chip = (placement // geometry.cols_per_row).astype(np.int16)
+        col = (placement % geometry.cols_per_row).astype(np.int32)
+        bit = gen.integers(0, geometry.bits_per_col, size=n).astype(np.int8)
+
+        # Bounded power-law cell factors: F(x) = x**k on (0, 1].  See
+        # variation.expected_min_cell_factor for why this shape is needed.
+        cell_factor = gen.random(size=n) ** (1.0 / profile.cell_tail_exponent)
+        hc_base = row_scale * cell_factor
+        t_lo, t_hi, gap = temp_mod.sample_ranges(gen, profile, n)
+        vul_value = gen.integers(0, 2, size=n).astype(np.int8)
+
+        bias = np.asarray(profile.pattern_bias)
+        factors = np.exp(bias[None, :]
+                         + gen.normal(0.0, profile.pattern_sd,
+                                      size=(n, len(PATTERNS))))
+        np.clip(factors, 0.25, 4.0, out=factors)
+
+        s, q, z = variation.row_temperature_response(self.tree, profile, bank, row)
+        return RowCells(
+            bank=bank, row=row, chip=chip, col=col, bit=bit, hc_base=hc_base,
+            t_lo=t_lo, t_hi=t_hi, gap=gap, vul_value=vul_value,
+            pattern_factors=factors, s=s, q=q, z=z,
+            walk_sd=profile.temp_walk_sd, trial_sigma=profile.trial_sigma,
+        )

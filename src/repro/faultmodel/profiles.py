@@ -1,0 +1,244 @@
+"""Per-manufacturer fault-model calibration profiles.
+
+Each :class:`MfrProfile` gathers every constant that makes one anonymized
+manufacturer (A = Micron, B = Samsung, C = SK Hynix, D = Nanya in Table 4)
+behave the way the paper measured it:
+
+* spatial HCfirst structure (Figs. 11, 14, 15),
+* vulnerable-temperature-range population (Fig. 3, Table 3),
+* per-row temperature response of HCfirst (Figs. 4, 5),
+* aggressor active-time kinetics (Figs. 7-10),
+* column vulnerability structure (Figs. 12, 13),
+* data-pattern sensitivity (Table 1 / WCDP selection).
+
+The values were derived analytically from the paper's published statistics
+and refined against the calibration test-suite in
+``tests/calibration`` (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+#: Reference temperature at which ``hc_base`` thresholds are defined.
+REFERENCE_TEMPERATURE_C = 50.0
+
+
+@dataclass(frozen=True)
+class MfrProfile:
+    """Calibration constants for one manufacturer's chips."""
+
+    name: str
+
+    # --- spatial HCfirst structure (hammer = aggressor-pair activation) ---
+    row_hcfirst_median: float      # target median per-row HCfirst at 50 degC
+    sigma_module: float            # log-normal sd of module-to-module factor
+    sigma_subarray: float          # log-normal sd of subarray factor
+    sigma_row: float               # log-normal sd of row factor
+    cell_tail_exponent: float      # k: within-row threshold CDF ~ (x/x_max)^k
+    outlier_row_fraction: float    # extra super-vulnerable row mixture
+    outlier_row_factor: float      # multiplicative HCfirst factor for outliers
+
+    # --- vulnerable-cell population density ---
+    cells_per_row_mean: float      # Poisson mean of vulnerable cells per row
+
+    # --- vulnerable temperature ranges (Fig. 3) ---
+    full_range_fraction: float     # cells vulnerable across the whole sweep
+    range_center_mu: float         # degC, mean of range centers
+    range_center_sd: float
+    range_width_min: float         # degC
+    range_width_mean: float        # degC, exponential mean beyond the minimum
+    gap_fraction: float            # cells with one non-flipping temp inside range
+
+    # --- per-row temperature response of log HCfirst (Fig. 5) ---
+    temp_slope_mu: float           # s: 1/degC
+    temp_slope_sd: float
+    temp_quad_mu: float            # q: 1/degC^2
+    temp_quad_sd: float
+    temp_walk_sd: float            # bounded-noise amplitude at dT = 5 degC
+
+    # --- active-time kinetics (Figs. 7-10) ---
+    beta_on: float                 # HCfirst ~ (tAggOn/tRAS)^-beta_on
+    gamma_off: float               # HCfirst ~ (tAggOff/tRP)^+gamma_off
+
+    # --- column structure (Figs. 12-13) ---
+    col_design_sigma: float        # sd of the design field (shared by chips)
+    col_process_sigma: float       # sd of the per-chip process field
+    col_design_mix: float          # 0..1: exponent share of the design field
+    col_weight_floor: float        # additive floor (prevents zero columns)
+
+    # --- data-pattern sensitivity (Table 1) ---
+    pattern_bias: Tuple[float, float, float, float, float, float, float]
+    pattern_sd: float
+
+    # --- measurement noise ---
+    trial_sigma: float             # per-repetition threshold jitter (log space)
+
+    def __post_init__(self) -> None:
+        if self.row_hcfirst_median <= 0:
+            raise ConfigError(f"{self.name}: row_hcfirst_median must be positive")
+        for field in ("sigma_module", "sigma_subarray", "sigma_row",
+                      "temp_walk_sd", "pattern_sd", "trial_sigma"):
+            if getattr(self, field) < 0:
+                raise ConfigError(f"{self.name}: {field} must be non-negative")
+        if self.cell_tail_exponent <= 0.5:
+            raise ConfigError(f"{self.name}: cell_tail_exponent must exceed 0.5")
+        for field in ("full_range_fraction", "gap_fraction", "col_design_mix",
+                      "outlier_row_fraction"):
+            if not 0.0 <= getattr(self, field) <= 1.0:
+                raise ConfigError(f"{self.name}: {field} must lie in [0, 1]")
+        if len(self.pattern_bias) != 7:
+            raise ConfigError(f"{self.name}: pattern_bias must have 7 entries")
+        if self.cells_per_row_mean <= 0:
+            raise ConfigError(f"{self.name}: cells_per_row_mean must be positive")
+
+    def with_overrides(self, **overrides) -> "MfrProfile":
+        """Copy of this profile with selected constants replaced (ablations)."""
+        return replace(self, **overrides)
+
+
+# Pattern order matches repro.dram.data.PATTERNS:
+# (colstripe, colstripe_inv, checkered, checkered_inv,
+#  rowstripe, rowstripe_inv, random)
+_PATTERN_BIAS_ROWSTRIPE_WC = (0.00, 0.00, 0.06, 0.06, 0.12, 0.12, 0.03)
+_PATTERN_BIAS_CHECKERED_WC = (0.02, 0.02, 0.12, 0.12, 0.06, 0.06, 0.03)
+
+PROFILES: Dict[str, MfrProfile] = {
+    "A": MfrProfile(
+        name="A",
+        row_hcfirst_median=140_000.0,
+        sigma_module=0.20,
+        sigma_subarray=0.12,
+        sigma_row=0.30,
+        cell_tail_exponent=5.8,
+        outlier_row_fraction=0.01,
+        outlier_row_factor=0.70,
+        cells_per_row_mean=768.0,
+        full_range_fraction=0.142,
+        range_center_mu=78.0,
+        range_center_sd=18.0,
+        range_width_min=1.0,
+        range_width_mean=14.0,
+        gap_fraction=0.009,
+        temp_slope_mu=0.003,
+        temp_slope_sd=0.002,
+        temp_quad_mu=-7.5e-05,
+        temp_quad_sd=4e-05,
+        temp_walk_sd=0.02,
+        beta_on=0.34,
+        gamma_off=0.32,
+        col_design_sigma=0.9,
+        col_process_sigma=1.8,
+        col_design_mix=0.25,
+        col_weight_floor=0.0,
+        pattern_bias=_PATTERN_BIAS_ROWSTRIPE_WC,
+        pattern_sd=0.10,
+        trial_sigma=0.03,
+    ),
+    "B": MfrProfile(
+        name="B",
+        row_hcfirst_median=85_000.0,
+        sigma_module=0.25,
+        sigma_subarray=0.12,
+        sigma_row=0.31,
+        cell_tail_exponent=3.4,
+        outlier_row_fraction=0.01,
+        outlier_row_factor=0.70,
+        cells_per_row_mean=768.0,
+        full_range_fraction=0.174,
+        range_center_mu=62.0,
+        range_center_sd=20.0,
+        range_width_min=1.0,
+        range_width_mean=15.0,
+        gap_fraction=0.011,
+        temp_slope_mu=0.0029,
+        temp_slope_sd=0.002,
+        temp_quad_mu=-4e-05,
+        temp_quad_sd=4e-05,
+        temp_walk_sd=0.02,
+        beta_on=0.22,
+        gamma_off=0.25,
+        col_design_sigma=1.1,
+        col_process_sigma=0.35,
+        col_design_mix=0.85,
+        col_weight_floor=0.25,
+        pattern_bias=_PATTERN_BIAS_CHECKERED_WC,
+        pattern_sd=0.10,
+        trial_sigma=0.03,
+    ),
+    "C": MfrProfile(
+        name="C",
+        row_hcfirst_median=90_000.0,
+        sigma_module=0.50,
+        sigma_subarray=0.12,
+        sigma_row=0.15,
+        cell_tail_exponent=4.5,
+        outlier_row_fraction=0.01,
+        outlier_row_factor=0.70,
+        cells_per_row_mean=640.0,
+        full_range_fraction=0.096,
+        range_center_mu=77.0,
+        range_center_sd=16.0,
+        range_width_min=1.0,
+        range_width_mean=20.0,
+        gap_fraction=0.020,
+        temp_slope_mu=0.00375,
+        temp_slope_sd=0.002,
+        temp_quad_mu=-5.5e-05,
+        temp_quad_sd=4e-05,
+        temp_walk_sd=0.02,
+        beta_on=0.26,
+        gamma_off=0.45,
+        col_design_sigma=1.0,
+        col_process_sigma=1.1,
+        col_design_mix=0.50,
+        col_weight_floor=0.0,
+        pattern_bias=_PATTERN_BIAS_ROWSTRIPE_WC,
+        pattern_sd=0.10,
+        trial_sigma=0.03,
+    ),
+    "D": MfrProfile(
+        name="D",
+        row_hcfirst_median=148_000.0,
+        sigma_module=0.08,
+        sigma_subarray=0.07,
+        sigma_row=0.05,
+        cell_tail_exponent=5.0,
+        outlier_row_fraction=0.005,
+        outlier_row_factor=0.80,
+        cells_per_row_mean=288.0,
+        full_range_fraction=0.298,
+        range_center_mu=74.0,
+        range_center_sd=20.0,
+        range_width_min=1.0,
+        range_width_mean=16.0,
+        gap_fraction=0.008,
+        temp_slope_mu=0.0025,
+        temp_slope_sd=0.002,
+        temp_quad_mu=-8.5e-05,
+        temp_quad_sd=4e-05,
+        temp_walk_sd=0.02,
+        beta_on=0.31,
+        gamma_off=0.32,
+        col_design_sigma=0.9,
+        col_process_sigma=1.4,
+        col_design_mix=0.45,
+        col_weight_floor=0.02,
+        pattern_bias=_PATTERN_BIAS_CHECKERED_WC,
+        pattern_sd=0.10,
+        trial_sigma=0.03,
+    ),
+}
+
+
+def profile_for(manufacturer: str) -> MfrProfile:
+    """Profile for an anonymized manufacturer letter."""
+    try:
+        return PROFILES[manufacturer.upper()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown manufacturer {manufacturer!r}; known: {sorted(PROFILES)}"
+        ) from None

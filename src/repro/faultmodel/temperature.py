@@ -1,0 +1,78 @@
+"""Per-cell vulnerable temperature ranges (Section 5.1 of the paper).
+
+Every vulnerable cell owns a *bounded, continuous* temperature range
+``[t_lo, t_hi]`` outside which it never experiences RowHammer bit flips
+(Obsv. 1).  Ranges are sampled from a manufacturer-specific mixture:
+
+* an atom of cells vulnerable across (at least) the whole tested sweep
+  (Obsv. 2: 9.6 %-29.8 % of cells depending on manufacturer),
+* a continuum with normally-distributed centers and exponentially
+  distributed widths, producing both very narrow (Obsv. 3) and wide ranges.
+
+A small fraction of cells additionally carries a *gap*: a single tested
+temperature inside the range at which the cell does not flip (the ~1 %
+"1 gap" populations annotated in Fig. 3 / Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.faultmodel.profiles import MfrProfile
+from repro.units import PAPER_TEMP_MAX_C, PAPER_TEMP_MIN_C, PAPER_TEMP_STEP_C
+
+#: Margin by which "full range" cells extend past the tested sweep, so they
+#: remain vulnerable at the sweep edges regardless of measurement jitter.
+_FULL_RANGE_MARGIN_C = 15.0
+
+
+def sample_ranges(gen: np.random.Generator, profile: MfrProfile,
+                  n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample ``n`` cells' ``(t_lo, t_hi, gap_temperature)`` arrays.
+
+    ``gap_temperature`` is NaN for gap-free cells; for gap cells it is one
+    interior tested temperature at which the cell refuses to flip.
+    """
+    if n == 0:
+        empty = np.empty(0)
+        return empty, empty.copy(), empty.copy()
+
+    is_full = gen.random(n) < profile.full_range_fraction
+    centers = gen.normal(profile.range_center_mu, profile.range_center_sd, size=n)
+    widths = profile.range_width_min + gen.exponential(profile.range_width_mean,
+                                                       size=n)
+
+    t_lo = centers - widths / 2.0
+    t_hi = centers + widths / 2.0
+    t_lo[is_full] = PAPER_TEMP_MIN_C - _FULL_RANGE_MARGIN_C
+    t_hi[is_full] = PAPER_TEMP_MAX_C + _FULL_RANGE_MARGIN_C
+
+    gap = np.full(n, np.nan)
+    has_gap = gen.random(n) < profile.gap_fraction
+    if has_gap.any():
+        # A gap sits on one of the paper's tested temperatures strictly
+        # inside the cell's range; cells whose range contains no interior
+        # tested point simply stay gap-free.
+        tested = np.arange(PAPER_TEMP_MIN_C + PAPER_TEMP_STEP_C,
+                           PAPER_TEMP_MAX_C, PAPER_TEMP_STEP_C)
+        for idx in np.flatnonzero(has_gap):
+            interior = tested[(tested > t_lo[idx]) & (tested < t_hi[idx])]
+            if interior.size:
+                gap[idx] = gen.choice(interior)
+    return t_lo, t_hi, gap
+
+
+def active_mask(t_lo: np.ndarray, t_hi: np.ndarray, gap: np.ndarray,
+                temperature_c: float) -> np.ndarray:
+    """Boolean mask of cells vulnerable at ``temperature_c``.
+
+    A cell is active when the temperature lies within its range and does not
+    coincide with its gap point (gap points block a +/- half-step window,
+    i.e. exactly one tested temperature of the paper's 5 degC sweep).
+    """
+    mask = (t_lo <= temperature_c) & (temperature_c <= t_hi)
+    gap_filled = np.nan_to_num(gap, nan=np.inf)
+    gap_hit = np.abs(gap_filled - temperature_c) < (PAPER_TEMP_STEP_C / 2.0)
+    return mask & ~gap_hit

@@ -1,0 +1,39 @@
+"""Memory-controller substrate: row-buffer policies over request streams.
+
+Defense Improvement 5 (Section 8.2) proposes bounding every row's active
+time through the memory controller's scheduling / row-buffer policy.  The
+security benefit is quantified in :mod:`repro.defenses.scheduling`; this
+package supplies the *cost* side: a single-bank request scheduler that
+replays synthetic benign workloads under open-page, closed-page and
+capped-open-page policies and reports row-hit rates and average latency.
+"""
+
+from repro.memctrl.workloads import (
+    Request,
+    row_hog_stream,
+    sequential_stream,
+    strided_stream,
+    zipf_stream,
+)
+from repro.memctrl.policies import (
+    CappedOpenPagePolicy,
+    ClosedPagePolicy,
+    OpenPagePolicy,
+    RowBufferPolicy,
+)
+from repro.memctrl.scheduler import BankScheduler, ScheduleStats, compare_policies
+
+__all__ = [
+    "Request",
+    "sequential_stream",
+    "strided_stream",
+    "zipf_stream",
+    "row_hog_stream",
+    "RowBufferPolicy",
+    "OpenPagePolicy",
+    "ClosedPagePolicy",
+    "CappedOpenPagePolicy",
+    "BankScheduler",
+    "ScheduleStats",
+    "compare_policies",
+]

@@ -1,0 +1,83 @@
+"""Row-buffer management policies.
+
+The policy decides whether the open row stays open after an access.  The
+RowHammer-relevant property is the *maximum row active time* a policy
+permits: an attacker can stretch tAggOn only as far as the policy lets any
+row stay open (Obsv. 8 / Defense Improvement 5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError
+
+
+class RowBufferPolicy(ABC):
+    """Decides, after each access, whether to close the open row."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def close_after_access(self, open_time_ns: float,
+                           next_same_row: bool) -> bool:
+        """Close now?  ``open_time_ns`` is how long the row has been open;
+        ``next_same_row`` is the scheduler's lookahead hint."""
+
+    def max_row_open_ns(self, window_ns: float) -> float:
+        """Longest time any row can stay open under this policy."""
+        return window_ns
+
+
+class OpenPagePolicy(RowBufferPolicy):
+    """Keep rows open until a conflicting access arrives.
+
+    Maximizes row hits; gives an attacker unbounded active time (up to the
+    refresh window).
+    """
+
+    name = "open-page"
+
+    def close_after_access(self, open_time_ns: float,
+                           next_same_row: bool) -> bool:
+        return False
+
+
+class ClosedPagePolicy(RowBufferPolicy):
+    """Precharge immediately after every access.
+
+    The attacker gets exactly one access worth of active time, but every
+    benign access pays the full ACT latency.
+    """
+
+    name = "closed-page"
+
+    def close_after_access(self, open_time_ns: float,
+                           next_same_row: bool) -> bool:
+        return True
+
+    def max_row_open_ns(self, window_ns: float) -> float:
+        return 0.0  # bounded by a single access window (tRAS floor applies)
+
+
+class CappedOpenPagePolicy(RowBufferPolicy):
+    """Open-page with a hard cap on the row's open time (Improvement 5).
+
+    Rows close once they have been open ``cap_ns``, regardless of pending
+    hits — bounding tAggOn for every row in the system while preserving
+    most short-burst locality.
+    """
+
+    name = "capped-open-page"
+
+    def __init__(self, cap_ns: float) -> None:
+        if cap_ns <= 0:
+            raise ConfigError("cap must be positive")
+        self.cap_ns = cap_ns
+
+    def close_after_access(self, open_time_ns: float,
+                           next_same_row: bool) -> bool:
+        return open_time_ns >= self.cap_ns
+
+    def max_row_open_ns(self, window_ns: float) -> float:
+        return min(self.cap_ns, window_ns)

@@ -1,0 +1,102 @@
+"""Synthetic memory request streams.
+
+Small, deterministic generators covering the locality regimes that make
+row-buffer policies interesting: streaming (perfect locality), strided
+(page-crossing), Zipf-popular rows (mixed locality, the common server
+case), and a row-hog stream that models the long same-row bursts an
+active-time cap deliberately breaks up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import SeedSequenceTree
+
+
+@dataclass(frozen=True)
+class Request:
+    """One column access: (row, col), arriving ``arrival_ns``."""
+
+    row: int
+    col: int
+    arrival_ns: float
+    is_write: bool = False
+
+
+def _check(n_requests: int, rows: int, cols: int) -> None:
+    if n_requests <= 0:
+        raise ConfigError("n_requests must be positive")
+    if rows <= 0 or cols <= 0:
+        raise ConfigError("rows and cols must be positive")
+
+
+def sequential_stream(n_requests: int, rows: int = 4096, cols: int = 128,
+                      gap_ns: float = 10.0) -> List[Request]:
+    """Streaming access: consecutive columns, advancing rows."""
+    _check(n_requests, rows, cols)
+    requests = []
+    for i in range(n_requests):
+        requests.append(Request(row=(i // cols) % rows, col=i % cols,
+                                arrival_ns=i * gap_ns))
+    return requests
+
+
+def strided_stream(n_requests: int, stride_rows: int = 7, rows: int = 4096,
+                   cols: int = 128, gap_ns: float = 10.0) -> List[Request]:
+    """Row-crossing strides: near-zero row-buffer locality."""
+    _check(n_requests, rows, cols)
+    if stride_rows <= 0:
+        raise ConfigError("stride_rows must be positive")
+    return [
+        Request(row=(i * stride_rows) % rows, col=(i * 3) % cols,
+                arrival_ns=i * gap_ns)
+        for i in range(n_requests)
+    ]
+
+
+def zipf_stream(n_requests: int, rows: int = 4096, cols: int = 128,
+                alpha: float = 1.2, gap_ns: float = 10.0,
+                seed: int = 0) -> List[Request]:
+    """Zipf-popular rows: a few hot rows absorb most accesses."""
+    _check(n_requests, rows, cols)
+    if alpha <= 1.0:
+        raise ConfigError("zipf alpha must exceed 1.0")
+    gen = SeedSequenceTree(seed, "workload", "zipf").generator(alpha)
+    ranks = gen.zipf(alpha, size=n_requests)
+    hot_rows = gen.permutation(rows)
+    requests = []
+    for i, rank in enumerate(ranks):
+        row = int(hot_rows[min(int(rank) - 1, rows - 1)])
+        requests.append(Request(row=row, col=int(gen.integers(0, cols)),
+                                arrival_ns=i * gap_ns))
+    return requests
+
+
+def row_hog_stream(n_requests: int, burst_length: int = 32, rows: int = 4096,
+                   cols: int = 128, gap_ns: float = 10.0,
+                   seed: int = 0) -> List[Request]:
+    """Long same-row bursts: the workload an active-time cap penalizes."""
+    _check(n_requests, rows, cols)
+    if burst_length <= 0:
+        raise ConfigError("burst_length must be positive")
+    gen = SeedSequenceTree(seed, "workload", "hog").generator(burst_length)
+    requests = []
+    row = int(gen.integers(0, rows))
+    for i in range(n_requests):
+        if i % burst_length == 0:
+            row = int(gen.integers(0, rows))
+        requests.append(Request(row=row, col=i % cols, arrival_ns=i * gap_ns))
+    return requests
+
+
+def row_hit_potential(requests: List[Request]) -> float:
+    """Upper bound on the row-hit rate (back-to-back same-row fraction)."""
+    if not requests:
+        return 0.0
+    hits = sum(1 for a, b in zip(requests, requests[1:]) if a.row == b.row)
+    return hits / max(len(requests) - 1, 1)

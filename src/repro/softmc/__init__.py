@@ -1,0 +1,30 @@
+"""SoftMC-like memory-controller substrate.
+
+Models the paper's FPGA testing infrastructure (Section 4.1): a host-driven
+memory controller that issues raw DRAM command sequences with precise,
+programmable timings and **no** self-regulation (no auto-refresh, no
+scheduler) so circuit-level RowHammer behaviour is observable.
+
+Programs are small instruction lists with hardware-style loops, mirroring
+how SoftMC offloads tight hammer loops to the FPGA.
+"""
+
+from repro.softmc.program import (
+    HammerLoop,
+    Instruction,
+    Loop,
+    Program,
+)
+from repro.softmc.trace import CommandTrace
+from repro.softmc.controller import SoftMCController
+from repro.softmc.session import SoftMCSession
+
+__all__ = [
+    "Instruction",
+    "Loop",
+    "HammerLoop",
+    "Program",
+    "CommandTrace",
+    "SoftMCController",
+    "SoftMCSession",
+]

@@ -1,0 +1,165 @@
+"""The SoftMC controller: executes instruction programs against a module.
+
+The controller owns the experiment clock.  Commands are issued at precise
+timestamps; the device model raises :class:`~repro.errors.TimingViolation`
+or :class:`~repro.errors.ProtocolError` if a program under-waits, exactly
+like silicon would misbehave.
+
+:class:`~repro.softmc.program.HammerLoop` steps execute *natively*: the
+controller validates the kernel's timing once, then applies the aggregate
+disturbance of all iterations through the same fault-model entry point the
+per-command path uses.  This mirrors SoftMC's FPGA hardware loops and keeps
+multi-million-activation tests O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dram.commands import (
+    Activate,
+    Nop,
+    Precharge,
+    Read,
+    Refresh,
+    Write,
+)
+from repro.dram.module import DRAMModule
+from repro.dram.refresh import RefreshEngine, RetentionGuard
+from repro.errors import ConfigError, ProtocolError, TimingViolation
+from repro.softmc.program import HammerLoop, Instruction, Loop, Program
+from repro.softmc.trace import CommandTrace
+
+
+@dataclass
+class ExecutionResult:
+    """What came back from running one program."""
+
+    elapsed_ns: float
+    reads: List[Tuple[float, int, int, bytes]] = field(default_factory=list)
+    activations_issued: int = 0
+
+
+class SoftMCController:
+    """Executes :class:`~repro.softmc.program.Program` objects on a module."""
+
+    def __init__(self, module: DRAMModule,
+                 trace: Optional[CommandTrace] = None,
+                 refresh_engine: Optional[RefreshEngine] = None,
+                 retention_guard: Optional[RetentionGuard] = None) -> None:
+        self.module = module
+        self.trace = trace
+        self.refresh_engine = refresh_engine
+        self.retention_guard = retention_guard
+        self.now_ns: float = 0.0
+
+    # ------------------------------------------------------------------
+    def execute(self, program: Program) -> ExecutionResult:
+        """Run a program; returns reads and elapsed wall-clock time."""
+        start = self.now_ns
+        result = ExecutionResult(elapsed_ns=0.0)
+        for step in program:
+            self._execute_step(step, result)
+        result.elapsed_ns = self.now_ns - start
+        if self.retention_guard is not None:
+            self.retention_guard.check(result.elapsed_ns, "program")
+        return result
+
+    # ------------------------------------------------------------------
+    def _execute_step(self, step, result: ExecutionResult) -> None:
+        if isinstance(step, Instruction):
+            self._issue(step, result)
+        elif isinstance(step, Loop):
+            for _ in range(step.count):
+                for inner in step.body:
+                    self._execute_step(inner, result)
+        elif isinstance(step, HammerLoop):
+            self._execute_hammer_loop(step, result)
+        else:
+            raise ConfigError(f"unknown program step: {step!r}")
+
+    def _issue(self, instruction: Instruction, result: ExecutionResult) -> None:
+        command = instruction.command
+        module, now = self.module, self.now_ns
+        if self.trace is not None:
+            self.trace.record(now, command)
+        if isinstance(command, Activate):
+            module.activate(command.bank, command.row, now)
+            result.activations_issued += 1
+        elif isinstance(command, Precharge):
+            module.precharge(command.bank, now)
+        elif isinstance(command, Read):
+            data = module.read(command.bank, command.col, now)
+            result.reads.append((now, command.bank, command.col, data))
+        elif isinstance(command, Write):
+            module.write(command.bank, command.col, command.data, now)
+        elif isinstance(command, Refresh):
+            if self.refresh_engine is not None:
+                self.refresh_engine.on_ref()
+            self.now_ns += module.timing.tRFC
+        elif isinstance(command, Nop):
+            self.now_ns += command.cycles * module.timing.clock_ns
+        else:  # pragma: no cover - exhaustive over the command union
+            raise ConfigError(f"unknown command: {command!r}")
+        self.now_ns += self.module.timing.quantize(instruction.gap_ns)
+
+    # ------------------------------------------------------------------
+    def _execute_hammer_loop(self, loop: HammerLoop,
+                             result: ExecutionResult) -> None:
+        module, timing = self.module, self.module.timing
+        t_on = timing.quantize(loop.t_on_ns)
+        t_off = timing.quantize(loop.t_off_ns)
+        if t_on + 1e-9 < timing.tRAS:
+            raise TimingViolation(
+                f"hammer loop t_on {t_on} ns below tRAS {timing.tRAS} ns",
+                "tRAS", timing.tRAS, t_on)
+        if t_off + 1e-9 < timing.tRP:
+            raise TimingViolation(
+                f"hammer loop t_off {t_off} ns below tRP {timing.tRP} ns",
+                "tRP", timing.tRP, t_off)
+        if loop.reads_per_activation:
+            reads_window = (timing.tRCD
+                            + loop.reads_per_activation * timing.tCCD
+                            + timing.burst_ns)
+            if reads_window > t_on + 1e-9:
+                raise TimingViolation(
+                    f"{loop.reads_per_activation} reads need "
+                    f"{reads_window:.1f} ns but t_on is {t_on:.1f} ns",
+                    "tAggOn", reads_window, t_on)
+        bank_state = module.bank(loop.bank)
+        if bank_state.open_row is not None:
+            raise ProtocolError(
+                f"hammer loop on bank {loop.bank} with row "
+                f"{bank_state.open_row} open")
+        for row in loop.aggressor_rows:
+            module.geometry.check_row(row)
+        if loop.count == 0:
+            return
+
+        # Aggregate disturbance: every activation of every aggressor at the
+        # steady-state (t_on, t_off) point, through the same entry point the
+        # per-command path uses.
+        physical = [module.to_physical(row) for row in loop.aggressor_rows]
+        for phys in physical:
+            module.fault_model.accrue_activation(loop.bank, phys, t_on, t_off,
+                                                 count=loop.count)
+        # Each aggressor is itself activated (hence restored) every
+        # iteration; at loop end at most a fraction of one iteration's
+        # disturbance would remain, which we drop.
+        for phys in physical:
+            module.fault_model.restore_row(loop.bank, phys)
+        if module.trr is not None:
+            for phys in physical:
+                module.trr.on_activate_bulk(loop.bank, phys, loop.count)
+
+        elapsed = loop.count * len(loop.aggressor_rows) * (t_on + t_off)
+        self.now_ns += elapsed
+        bank_state.pre_time_ns = self.now_ns
+        bank_state.last_gap_ns = t_off
+        # Keep the rank-level ACT history coherent: the loop's final
+        # activation opened at (end - t_on - t_off).
+        module._recent_acts = [self.now_ns - t_on - t_off]
+        result.activations_issued += loop.count * len(loop.aggressor_rows)
+        if self.retention_guard is not None:
+            self.retention_guard.check(elapsed, "hammer loop")

@@ -1,0 +1,111 @@
+"""SoftMC instruction programs.
+
+A :class:`Program` is a list of timed instructions.  Each instruction wraps
+a DRAM command plus the *issue gap*: the time until the next instruction
+may issue, quantized to the infrastructure's command granularity (1.25 ns
+for DDR4, 2.5 ns for DDR3 — Section 4.1).
+
+Loops mirror SoftMC's hardware loop support: the FPGA repeats a short
+command kernel millions of times with cycle-exact timing.
+:class:`HammerLoop` is the specialized kernel used by every hammer test —
+the controller executes it analytically (validating one iteration, then
+accruing the aggregate effect), which is what makes large parameter sweeps
+tractable while staying faithful to the command stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from repro.dram.commands import Command
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One DRAM command plus the gap before the next instruction issues."""
+
+    command: Command
+    gap_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gap_ns < 0:
+            raise ConfigError("instruction gap must be non-negative")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat ``body`` ``count`` times (general-purpose hardware loop)."""
+
+    count: int
+    body: Tuple["ProgramStep", ...]
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigError("loop count must be non-negative")
+        if not self.body:
+            raise ConfigError("loop body must not be empty")
+
+
+@dataclass(frozen=True)
+class HammerLoop:
+    """The double/many-sided hammer kernel, executed natively by the FPGA.
+
+    One iteration activates each aggressor in order, holding it open for
+    ``t_on_ns`` and keeping the bank precharged for ``t_off_ns`` before the
+    next activation.  ``reads_per_activation`` column reads are issued while
+    the row is open (Attack Improvement 3 uses these to stretch the
+    aggressor's active time on systems where timings are fixed).
+    """
+
+    count: int
+    bank: int
+    aggressor_rows: Tuple[int, ...]
+    t_on_ns: float
+    t_off_ns: float
+    reads_per_activation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigError("hammer count must be non-negative")
+        if not self.aggressor_rows:
+            raise ConfigError("hammer loop needs at least one aggressor")
+        if self.t_on_ns <= 0 or self.t_off_ns <= 0:
+            raise ConfigError("hammer loop timings must be positive")
+        if self.reads_per_activation < 0:
+            raise ConfigError("reads_per_activation must be non-negative")
+
+    @property
+    def iteration_ns(self) -> float:
+        """Wall-clock duration of one hammer iteration."""
+        return len(self.aggressor_rows) * (self.t_on_ns + self.t_off_ns)
+
+    @property
+    def total_ns(self) -> float:
+        """Wall-clock duration of the whole loop."""
+        return self.count * self.iteration_ns
+
+
+ProgramStep = Union[Instruction, Loop, HammerLoop]
+
+
+@dataclass
+class Program:
+    """An executable SoftMC program."""
+
+    steps: List[ProgramStep] = field(default_factory=list)
+
+    def add(self, step: ProgramStep) -> "Program":
+        self.steps.append(step)
+        return self
+
+    def extend(self, steps: Sequence[ProgramStep]) -> "Program":
+        self.steps.extend(steps)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)

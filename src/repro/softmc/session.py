@@ -1,0 +1,142 @@
+"""Host-machine session: the user-facing handle on one testing setup.
+
+Combines the module under test, the SoftMC controller and (optionally) the
+temperature chamber into the workflow of Section 4.2:
+
+1. set and settle the chip temperature,
+2. install a data pattern into the victim's neighborhood,
+3. hammer with precise command timings,
+4. read back and collect bit flips.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dram.commands import Activate, Nop, Precharge, Read
+from repro.dram.data import DataPattern
+from repro.dram.module import BitFlip, DRAMModule
+from repro.dram.refresh import RetentionGuard
+from repro.errors import ConfigError
+from repro.softmc.controller import ExecutionResult, SoftMCController
+from repro.softmc.program import HammerLoop, Instruction, Program
+from repro.softmc.trace import CommandTrace
+
+
+class SoftMCSession:
+    """One host <-> FPGA <-> module testing session."""
+
+    def __init__(self, module: DRAMModule, chamber=None,
+                 trace: Optional[CommandTrace] = None,
+                 retention_guard: Optional[RetentionGuard] = None) -> None:
+        self.module = module
+        self.chamber = chamber
+        self.controller = SoftMCController(
+            module, trace=trace, retention_guard=retention_guard)
+
+    # ------------------------------------------------------------------
+    # Temperature
+    # ------------------------------------------------------------------
+    def set_temperature(self, target_c: float) -> float:
+        """Bring the module to ``target_c`` (within +/-0.1 degC).
+
+        With a chamber attached this runs the PID settling loop; without
+        one the module is set directly (ideal chamber), which is what the
+        large sweeps use.
+        """
+        if self.chamber is not None:
+            reached = self.chamber.settle(target_c)
+            self.module.temperature_c = reached
+            return reached
+        self.module.temperature_c = float(target_c)
+        return float(target_c)
+
+    # ------------------------------------------------------------------
+    # Data preparation
+    # ------------------------------------------------------------------
+    def install_pattern(self, bank: int, victim_row: int, pattern: DataPattern,
+                        halo: int = 8) -> List[int]:
+        """Install ``pattern`` in the victim's *physical* neighborhood.
+
+        Mirrors Table 1: the pattern covers the victim and the ``halo``
+        physically-adjacent rows on each side, with parity anchored at the
+        victim's physical address.  Returns the logical rows written.
+        """
+        phys_victim = self.module.to_physical(victim_row)
+        rows = [
+            self.module.to_logical(phys)
+            for phys in range(phys_victim - halo, phys_victim + halo + 1)
+            if 0 <= phys < self.module.geometry.rows_per_bank
+        ]
+        self.module.install_pattern(bank, rows, pattern, victim_row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Hammering
+    # ------------------------------------------------------------------
+    def double_sided_aggressors(self, bank: int, victim_row: int) -> Tuple[int, int]:
+        """Logical addresses of the victim's two physical neighbors."""
+        neighbors = self.module.mapping.physical_neighbors_logical(victim_row, 1)
+        if len(neighbors) != 2:
+            raise ConfigError(
+                f"victim row {victim_row} is at the bank edge; double-sided "
+                "hammering needs both physical neighbors")
+        return neighbors[0], neighbors[1]
+
+    def hammer(self, bank: int, aggressor_rows: Sequence[int], count: int,
+               t_on_ns: Optional[float] = None,
+               t_off_ns: Optional[float] = None,
+               reads_per_activation: int = 0) -> ExecutionResult:
+        """Run a hammer loop over logical ``aggressor_rows``."""
+        timing = self.module.timing
+        loop = HammerLoop(
+            count=count,
+            bank=bank,
+            aggressor_rows=tuple(aggressor_rows),
+            t_on_ns=timing.tRAS if t_on_ns is None else t_on_ns,
+            t_off_ns=timing.tRP if t_off_ns is None else t_off_ns,
+            reads_per_activation=reads_per_activation,
+        )
+        return self.controller.execute(Program([loop]))
+
+    def hammer_double_sided(self, bank: int, victim_row: int, count: int,
+                            t_on_ns: Optional[float] = None,
+                            t_off_ns: Optional[float] = None,
+                            reads_per_activation: int = 0) -> ExecutionResult:
+        """Double-sided hammer: ``count`` aggressor-pair activations."""
+        aggressors = self.double_sided_aggressors(bank, victim_row)
+        return self.hammer(bank, aggressors, count, t_on_ns, t_off_ns,
+                           reads_per_activation)
+
+    def hammer_single_sided(self, bank: int, aggressor_row: int, count: int,
+                            t_on_ns: Optional[float] = None,
+                            t_off_ns: Optional[float] = None) -> ExecutionResult:
+        """Single-sided hammer of one aggressor (used by mapping recovery)."""
+        return self.hammer(bank, (aggressor_row,), count, t_on_ns, t_off_ns)
+
+    # ------------------------------------------------------------------
+    # Read-back
+    # ------------------------------------------------------------------
+    def collect_flips(self, bank: int, row: int) -> List[BitFlip]:
+        """Read one row back and return its bit flips (fast path)."""
+        return self.module.harvest_flips(bank, row)
+
+    def read_row_bytes(self, bank: int, row: int) -> bytes:
+        """Command-accurate whole-row read through ACT / RD* / PRE."""
+        timing = self.module.timing
+        n_cols = self.module.geometry.cols_per_row
+        # Leave tRP of settling time in case the bank was just precharged.
+        program = Program([Instruction(Nop(1), gap_ns=timing.tRP),
+                           Instruction(Activate(bank, row), gap_ns=timing.tRCD)])
+        for col in range(n_cols):
+            program.add(Instruction(Read(bank, col), gap_ns=timing.tCCD))
+        # Honor tRAS before closing the row (matters for very short rows).
+        open_time = timing.tRCD + n_cols * timing.tCCD
+        if open_time < timing.tRAS:
+            program.add(Instruction(Nop(1), gap_ns=timing.tRAS - open_time))
+        program.add(Instruction(Precharge(bank), gap_ns=timing.tRP))
+        result = self.controller.execute(program)
+        data = bytearray()
+        for _, _, _, chunk in sorted(result.reads, key=lambda r: r[2]):
+            data.extend(chunk)
+        return bytes(data)

@@ -1,0 +1,59 @@
+"""Command trace: a bounded record of issued DRAM commands.
+
+Useful for debugging programs, asserting command-level behaviour in tests,
+and feeding memory-controller-side defense mechanisms that observe the
+activation stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+from repro.dram.commands import Activate, Command
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One issued command with its issue timestamp."""
+
+    time_ns: float
+    command: Command
+
+
+class CommandTrace:
+    """Bounded FIFO of issued commands.
+
+    ``capacity=None`` keeps everything (only sane for short programs);
+    otherwise the oldest entries are dropped, like a logic analyzer buffer.
+    """
+
+    def __init__(self, capacity: Optional[int] = 65536) -> None:
+        self._entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def record(self, time_ns: float, command: Command) -> None:
+        self._entries.append(TraceEntry(time_ns, command))
+        self.total_recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def entries(self) -> List[TraceEntry]:
+        return list(self._entries)
+
+    def activations(self, bank: Optional[int] = None) -> List[TraceEntry]:
+        """All recorded ACT commands, optionally filtered by bank."""
+        return [
+            entry for entry in self._entries
+            if isinstance(entry.command, Activate)
+            and (bank is None or entry.command.bank == bank)
+        ]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.total_recorded = 0

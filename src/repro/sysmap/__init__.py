@@ -1,0 +1,34 @@
+"""System-level memory mapping: the attacker-side substrate of Section 8.1.
+
+The paper's attack improvements presuppose capabilities demonstrated by
+prior work it builds on: knowing how physical addresses map onto DRAM
+banks and rows (DRAMA), and steering victim data onto chosen rows
+(Flip Feng Shui-style memory massaging — "the attacker can force the
+sensitive data to be stored in the DRAM cells that are more vulnerable...
+using known techniques").  This package implements those capabilities
+against the simulated devices:
+
+* :mod:`repro.sysmap.mapping` — physical-address <-> (bank, row, col)
+  translation with XOR-hashed bank bits, as real memory controllers use;
+* :mod:`repro.sysmap.timing_channel` — a row-conflict timing oracle and
+  the DRAMA-style recovery of the XOR bank functions from latencies alone;
+* :mod:`repro.sysmap.massage` — a page-frame allocator model and the
+  massaging primitive that lands a victim page on a chosen row.
+"""
+
+from repro.sysmap.mapping import DramAddress, SystemAddressMapping
+from repro.sysmap.timing_channel import (
+    RowConflictOracle,
+    recover_bank_masks,
+)
+from repro.sysmap.massage import MassageOutcome, PageAllocator, massage_victim_onto_row
+
+__all__ = [
+    "DramAddress",
+    "SystemAddressMapping",
+    "RowConflictOracle",
+    "recover_bank_masks",
+    "PageAllocator",
+    "MassageOutcome",
+    "massage_victim_onto_row",
+]

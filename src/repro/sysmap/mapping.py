@@ -1,0 +1,138 @@
+"""Physical-address to DRAM-coordinate translation.
+
+Memory controllers hash physical-address bits into bank indices (to spread
+row-buffer conflicts) and slice the remaining bits into row and column.
+We model the widely documented XOR-pair scheme: bank bit ``k`` is the XOR
+of two physical-address bits, one low (column-adjacent) and one inside the
+row field — which is exactly the structure DRAMA recovered from Intel
+controllers.
+
+The mapping is bijective on the modeled address range and invertible in
+both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """One DRAM coordinate triple (single channel / rank modeled)."""
+
+    bank: int
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class SystemAddressMapping:
+    """XOR-hashed bank mapping over a physical address space.
+
+    Physical address layout (bit indices, LSB = 0):
+
+    * ``[0, col_shift)``                 — byte-in-column (burst offset),
+    * ``[col_shift, col_shift+col_bits)`` — column,
+    * ``[bank_shift, bank_shift+bank_bits)`` — the *low* halves of the
+      bank hash,
+    * ``[row_shift, row_shift+row_bits)`` — row; the first ``bank_bits``
+      row bits double as the *high* halves of the bank hash:
+      ``bank_k = PA[bank_shift+k] XOR PA[row_shift+k]``.
+    """
+
+    col_bits: int = 7
+    bank_bits: int = 3
+    row_bits: int = 14
+    col_shift: int = 3
+
+    def __post_init__(self) -> None:
+        if min(self.col_bits, self.bank_bits, self.row_bits) <= 0:
+            raise ConfigError("all field widths must be positive")
+        if self.bank_bits > self.row_bits:
+            raise ConfigError("bank hash needs one row bit per bank bit")
+
+    # ------------------------------------------------------------------
+    @property
+    def bank_shift(self) -> int:
+        return self.col_shift + self.col_bits
+
+    @property
+    def row_shift(self) -> int:
+        return self.bank_shift + self.bank_bits
+
+    @property
+    def address_bits(self) -> int:
+        return self.row_shift + self.row_bits
+
+    @property
+    def banks(self) -> int:
+        return 1 << self.bank_bits
+
+    @property
+    def rows(self) -> int:
+        return 1 << self.row_bits
+
+    @property
+    def cols(self) -> int:
+        return 1 << self.col_bits
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes per row-sized frame (the massaging granularity)."""
+        return 1 << (self.col_shift + self.col_bits)
+
+    def bank_masks(self) -> Tuple[int, ...]:
+        """The XOR mask of physical-address bits behind each bank bit."""
+        return tuple(
+            (1 << (self.bank_shift + k)) | (1 << (self.row_shift + k))
+            for k in range(self.bank_bits)
+        )
+
+    # ------------------------------------------------------------------
+    def _check_pa(self, physical_address: int) -> None:
+        if not 0 <= physical_address < (1 << self.address_bits):
+            raise ConfigError(
+                f"physical address {physical_address:#x} outside the "
+                f"{self.address_bits}-bit modeled space")
+
+    def decompose(self, physical_address: int) -> DramAddress:
+        """Physical address -> DRAM coordinates."""
+        self._check_pa(physical_address)
+        col = (physical_address >> self.col_shift) & (self.cols - 1)
+        row = (physical_address >> self.row_shift) & (self.rows - 1)
+        bank = 0
+        for k, mask in enumerate(self.bank_masks()):
+            bits = physical_address & mask
+            bank |= (bin(bits).count("1") & 1) << k
+        return DramAddress(bank=bank, row=row, col=col)
+
+    def compose(self, address: DramAddress) -> int:
+        """DRAM coordinates -> the canonical physical address."""
+        if not 0 <= address.bank < self.banks:
+            raise ConfigError(f"bank {address.bank} out of range")
+        if not 0 <= address.row < self.rows:
+            raise ConfigError(f"row {address.row} out of range")
+        if not 0 <= address.col < self.cols:
+            raise ConfigError(f"col {address.col} out of range")
+        physical = (address.row << self.row_shift) | \
+            (address.col << self.col_shift)
+        for k in range(self.bank_bits):
+            row_half = (address.row >> k) & 1
+            bank_bit = (address.bank >> k) & 1
+            low_half = bank_bit ^ row_half
+            physical |= low_half << (self.bank_shift + k)
+        return physical
+
+    def frame_of(self, physical_address: int) -> int:
+        """Frame number (row-granular) containing the address."""
+        self._check_pa(physical_address)
+        return physical_address >> (self.col_shift + self.col_bits)
+
+    def frame_base(self, frame: int) -> int:
+        """First physical address of a frame."""
+        base = frame << (self.col_shift + self.col_bits)
+        self._check_pa(base)
+        return base

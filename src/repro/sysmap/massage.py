@@ -1,0 +1,121 @@
+"""Memory massaging: landing victim data on an attacker-chosen row.
+
+Models the Flip Feng Shui / page-spraying primitive the paper's Attack
+Improvement 1 presupposes: the attacker exhausts the OS page-frame
+allocator, then frees exactly the frames that map onto the target DRAM
+row; the next allocation the victim makes is served from those frames.
+
+The allocator is a LIFO free-list over row-sized frames — the behaviour
+that makes the primitive reliable on real systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ConfigError
+from repro.sysmap.mapping import DramAddress, SystemAddressMapping
+
+
+class PageAllocator:
+    """LIFO free-list allocator over physical frames."""
+
+    def __init__(self, mapping: SystemAddressMapping,
+                 total_frames: Optional[int] = None) -> None:
+        self.mapping = mapping
+        max_frames = 1 << (mapping.bank_bits + mapping.row_bits)
+        self.total_frames = total_frames if total_frames is not None \
+            else max_frames
+        if not 0 < self.total_frames <= max_frames:
+            raise ConfigError("total_frames outside the mapped space")
+        # LIFO: the most recently freed frame is handed out first.
+        self._free: List[int] = list(range(self.total_frames - 1, -1, -1))
+        self._owner: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    def allocate(self, owner: str) -> int:
+        """Allocate one frame; returns the frame number."""
+        if not self._free:
+            raise ConfigError("out of frames")
+        frame = self._free.pop()
+        self._owner[frame] = owner
+        return frame
+
+    def free(self, frame: int, owner: str) -> None:
+        if self._owner.get(frame) != owner:
+            raise ConfigError(f"frame {frame} is not owned by {owner!r}")
+        del self._owner[frame]
+        self._free.append(frame)
+
+    def owner_of(self, frame: int) -> Optional[str]:
+        return self._owner.get(frame)
+
+    def frames_owned_by(self, owner: str) -> List[int]:
+        return [f for f, o in self._owner.items() if o == owner]
+
+
+@dataclass(frozen=True)
+class MassageOutcome:
+    """Result of one massaging campaign."""
+
+    victim_frame: int
+    target_bank: int
+    target_row: int
+    sprayed_frames: int
+    freed_frames: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.freed_frames > 0
+
+
+def frames_on_row(mapping: SystemAddressMapping, bank: int,
+                  row: int) -> Set[int]:
+    """All frame numbers that decompose onto (bank, row)."""
+    base = mapping.compose(DramAddress(bank=bank, row=row, col=0))
+    return {mapping.frame_of(base)}
+
+
+def massage_victim_onto_row(allocator: PageAllocator, bank: int, row: int,
+                            attacker: str = "attacker",
+                            victim: str = "victim") -> MassageOutcome:
+    """Steer the victim's next page allocation onto (bank, row).
+
+    1. Spray: the attacker allocates every free frame.
+    2. Carve: it frees exactly the frames mapping onto the target row.
+    3. The victim's next allocation is served from the carved set (LIFO).
+    """
+    mapping = allocator.mapping
+    targets = frames_on_row(mapping, bank, row)
+    in_range_targets = {f for f in targets if f < allocator.total_frames}
+    if not in_range_targets:
+        raise ConfigError("target row has no frames in the allocator range")
+
+    sprayed = 0
+    while allocator.free_frames:
+        allocator.allocate(attacker)
+        sprayed += 1
+
+    freed = 0
+    for frame in sorted(in_range_targets):
+        if allocator.owner_of(frame) == attacker:
+            allocator.free(frame, attacker)
+            freed += 1
+    if freed == 0:
+        raise ConfigError(
+            "the attacker does not own any target-row frame; massage "
+            "impossible in this allocator state")
+
+    victim_frame = allocator.allocate(victim)
+    return MassageOutcome(
+        victim_frame=victim_frame,
+        target_bank=bank,
+        target_row=row,
+        sprayed_frames=sprayed,
+        freed_frames=freed,
+    )

@@ -1,0 +1,109 @@
+"""DRAMA-style recovery of the bank hash from access latencies.
+
+Two addresses in the *same bank but different rows* conflict in the row
+buffer: accessing them alternately forces precharge + activate cycles and
+is measurably slower than any other address relationship.  DRAMA used this
+timing side channel to reverse-engineer Intel's bank hash functions; we
+run the same attack against :class:`~repro.sysmap.mapping.SystemAddressMapping`
+through a latency oracle built from the JEDEC timings.
+
+Recovery algorithm (single-bit probing):
+
+1. find which single physical-address bit flips change the bank
+   (flipping them removes the row conflict with the base address);
+2. pair up bank-affecting bits whose *joint* flip restores the conflict —
+   those two bits XOR into the same bank bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.dram.timing import TimingSet
+from repro.errors import ConfigError
+from repro.sysmap.mapping import SystemAddressMapping
+
+
+class RowConflictOracle:
+    """Latency of an alternating access pair, as an attacker measures it."""
+
+    def __init__(self, mapping: SystemAddressMapping,
+                 timing: TimingSet) -> None:
+        self.mapping = mapping
+        self.timing = timing
+        self.measurements = 0
+
+    def pair_latency_ns(self, pa_a: int, pa_b: int) -> float:
+        """Average per-access latency when alternating between two addresses.
+
+        Same bank + same row: row-buffer hits.  Different banks: pipelined
+        activations.  Same bank + different row: the row conflict the
+        attack keys on (tRP + tRCD on every access).
+        """
+        self.measurements += 1
+        a = self.mapping.decompose(pa_a)
+        b = self.mapping.decompose(pa_b)
+        timing = self.timing
+        base = timing.tCCD + timing.burst_ns
+        if a.bank != b.bank:
+            return base + timing.tRRD / 2.0
+        if a.row == b.row:
+            return base
+        return base + timing.tRP + timing.tRCD
+
+    def conflicts(self, pa_a: int, pa_b: int) -> bool:
+        """Is the pair in the slow (same-bank, different-row) class?"""
+        threshold = (self.timing.tCCD + self.timing.burst_ns
+                     + self.timing.tRP / 2.0)
+        return self.pair_latency_ns(pa_a, pa_b) > threshold
+
+
+def recover_bank_masks(oracle: RowConflictOracle,
+                       base_address: int = 0) -> Tuple[int, ...]:
+    """Recover the XOR bank-hash masks from timing alone.
+
+    Returns the masks sorted by their low bit, in the same canonical form
+    :meth:`SystemAddressMapping.bank_masks` reports.
+    """
+    mapping = oracle.mapping
+    # A reference pair in conflict with the base: same bank, distant row.
+    # Flipping a high row bit (beyond the bank-hash halves) changes the
+    # row but never the bank.
+    probe_row_bit = mapping.row_shift + mapping.bank_bits
+    if probe_row_bit >= mapping.address_bits:
+        raise ConfigError("address space too small to probe")
+    reference = base_address ^ (1 << probe_row_bit)
+    if not oracle.conflicts(base_address, reference):
+        raise ConfigError("reference pair does not conflict; bad base")
+
+    # Step 1: single bits whose flip breaks the conflict = bank-affecting.
+    bank_bits: List[int] = []
+    for bit in range(mapping.address_bits):
+        if bit == probe_row_bit:
+            continue
+        flipped = reference ^ (1 << bit)
+        if flipped == base_address:
+            continue
+        if not oracle.conflicts(base_address, flipped):
+            bank_bits.append(bit)
+
+    # Step 2: pair bits whose joint flip restores the conflict.
+    masks: List[int] = []
+    used = set()
+    for i, bit_a in enumerate(bank_bits):
+        if bit_a in used:
+            continue
+        for bit_b in bank_bits[i + 1:]:
+            if bit_b in used:
+                continue
+            flipped = reference ^ (1 << bit_a) ^ (1 << bit_b)
+            if oracle.conflicts(base_address, flipped):
+                masks.append((1 << bit_a) | (1 << bit_b))
+                used.add(bit_a)
+                used.add(bit_b)
+                break
+        else:
+            raise ConfigError(
+                f"unpaired bank-affecting bit {bit_a}; the hash is not "
+                "a two-bit XOR")
+    return tuple(sorted(masks))

@@ -1,0 +1,23 @@
+"""Characterization methodology (Section 4.2 of the paper).
+
+Test routines built on the SoftMC substrate: double-sided hammer tests with
+controlled aggressor on/off times, BER measurement at a fixed hammer count,
+the HCfirst binary search, worst-case data pattern selection, tested-row
+sampling, and reverse engineering of the logical-to-physical row mapping.
+"""
+
+from repro.testing.hammer import BERResult, HammerTester
+from repro.testing.hcfirst import binary_search_hcfirst
+from repro.testing.patterns import find_worst_case_pattern
+from repro.testing.rows import standard_row_sample
+from repro.testing.mapping_reveng import InferredMapping, reverse_engineer_mapping
+
+__all__ = [
+    "HammerTester",
+    "BERResult",
+    "binary_search_hcfirst",
+    "find_worst_case_pattern",
+    "standard_row_sample",
+    "InferredMapping",
+    "reverse_engineer_mapping",
+]

@@ -1,0 +1,239 @@
+"""Hammer-test harness: BER and HCfirst measurements on one module.
+
+Implements the paper's double-sided test loop (Section 4.2): install the
+worst-case data pattern in the victim's physical neighborhood, hammer the
+two physically-adjacent aggressors at a precise (tAggOn, tAggOff) point,
+and read back the victim (distance 0) and the single-sided victims
+(distance +/-2).
+
+Two execution modes share the same fault-model math:
+
+* ``"oracle"`` (default) — analytic evaluation; used by the large sweeps.
+* ``"command"`` — drives the full SoftMC command path; used by integration
+  tests and examples to show that both paths agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.data import DataPattern
+from repro.dram.module import DRAMModule
+from repro.dram.refresh import RetentionGuard
+from repro.errors import ConfigError
+from repro.faultmodel.model import FlippedCell
+from repro.softmc.session import SoftMCSession
+from repro.testing import hcfirst as hcfirst_mod
+
+#: Hammer count of all BER experiments (Section 4.2): low enough for a
+#: real system-level attack, high enough to produce many flips.
+BER_HAMMERS = 150_000
+
+#: Physical distances read back after each hammer test.
+OBSERVE_DISTANCES: Tuple[int, ...] = (0, -2, 2)
+
+
+@dataclass
+class BERResult:
+    """Outcome of one BER hammer test on one victim row."""
+
+    victim_row: int
+    hammer_count: int
+    temperature_c: float
+    pattern_name: str
+    t_on_ns: float
+    t_off_ns: float
+    flips_by_distance: Dict[int, List[FlippedCell]] = field(default_factory=dict)
+
+    def count(self, distance: int = 0) -> int:
+        """Bit flips observed at the given physical distance."""
+        return len(self.flips_by_distance.get(distance, []))
+
+    @property
+    def victim_flips(self) -> List[FlippedCell]:
+        return self.flips_by_distance.get(0, [])
+
+    @property
+    def total(self) -> int:
+        return sum(len(v) for v in self.flips_by_distance.values())
+
+
+class HammerTester:
+    """Runs the paper's hammer tests against one module."""
+
+    def __init__(self, module: DRAMModule, mode: str = "oracle",
+                 retention_guard: Optional[RetentionGuard] = None,
+                 observe_distances: Sequence[int] = OBSERVE_DISTANCES) -> None:
+        if mode not in ("oracle", "command"):
+            raise ConfigError(f"unknown tester mode {mode!r}")
+        self.module = module
+        self.mode = mode
+        self.guard = retention_guard if retention_guard is not None \
+            else RetentionGuard()
+        self.observe_distances = tuple(observe_distances)
+        self._session = SoftMCSession(module) if mode == "command" else None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _resolve_timing(self, t_on_ns: Optional[float],
+                        t_off_ns: Optional[float]) -> Tuple[float, float]:
+        timing = self.module.timing
+        t_on = timing.tRAS if t_on_ns is None else timing.quantize(t_on_ns)
+        t_off = timing.tRP if t_off_ns is None else timing.quantize(t_off_ns)
+        return t_on, t_off
+
+    def hammer_period_ns(self, t_on_ns: Optional[float] = None,
+                         t_off_ns: Optional[float] = None) -> float:
+        """Wall-clock time of one double-sided hammer (two activations)."""
+        t_on, t_off = self._resolve_timing(t_on_ns, t_off_ns)
+        return 2.0 * (t_on + t_off)
+
+    def max_safe_hammers(self, t_on_ns: Optional[float] = None,
+                         t_off_ns: Optional[float] = None) -> int:
+        """Largest hammer count that stays retention-safe (Section 4.2)."""
+        return min(hcfirst_mod.MAX_HAMMERS,
+                   self.guard.max_hammers(self.hammer_period_ns(t_on_ns, t_off_ns)))
+
+    def _trial_gen(self, bank: int, victim: int,
+                   repetition: int) -> np.random.Generator:
+        return self.module.tree.generator("trial", bank, victim, repetition)
+
+    def _set_temperature(self, temperature_c: Optional[float]) -> float:
+        if temperature_c is not None:
+            self.module.temperature_c = float(temperature_c)
+        return self.module.temperature_c
+
+    def observed_physical_rows(self, victim_logical: int) -> Dict[int, int]:
+        """Physical row read back for each observed distance."""
+        phys_victim = self.module.to_physical(victim_logical)
+        rows = {}
+        for distance in self.observe_distances:
+            phys = phys_victim + distance
+            if 0 <= phys < self.module.geometry.rows_per_bank:
+                rows[distance] = phys
+        return rows
+
+    # ------------------------------------------------------------------
+    # BER tests
+    # ------------------------------------------------------------------
+    def ber_test(self, bank: int, victim_logical: int, pattern: DataPattern,
+                 hammer_count: int = BER_HAMMERS,
+                 temperature_c: Optional[float] = None,
+                 t_on_ns: Optional[float] = None,
+                 t_off_ns: Optional[float] = None,
+                 repetition: int = 0) -> BERResult:
+        """One hammer test; returns flips at each observed distance."""
+        t_on, t_off = self._resolve_timing(t_on_ns, t_off_ns)
+        temperature = self._set_temperature(temperature_c)
+        self.guard.check(hammer_count * 2 * (t_on + t_off), "BER test")
+        trial_gen = self._trial_gen(bank, victim_logical, repetition)
+        result = BERResult(victim_row=victim_logical, hammer_count=hammer_count,
+                           temperature_c=temperature, pattern_name=pattern.name,
+                           t_on_ns=t_on, t_off_ns=t_off)
+        if self.mode == "oracle":
+            self._ber_oracle(bank, victim_logical, pattern, hammer_count,
+                             temperature, t_on, t_off, trial_gen, result)
+        else:
+            self._ber_command(bank, victim_logical, pattern, hammer_count,
+                              t_on, t_off, trial_gen, result)
+        return result
+
+    def _ber_oracle(self, bank, victim_logical, pattern, hammer_count,
+                    temperature, t_on, t_off, trial_gen, result) -> None:
+        model = self.module.fault_model
+        phys_victim = self.module.to_physical(victim_logical)
+        aggressors = (phys_victim - 1, phys_victim + 1)
+        for distance, phys in self.observed_physical_rows(victim_logical).items():
+            flips = model.flip_cells(
+                bank, phys, hammer_count, temperature, pattern,
+                pattern_victim_row=phys_victim, aggressors=aggressors,
+                t_on_ns=t_on, t_off_ns=t_off, trial_gen=trial_gen)
+            result.flips_by_distance[distance] = flips
+
+    def _ber_command(self, bank, victim_logical, pattern, hammer_count,
+                     t_on, t_off, trial_gen, result) -> None:
+        session = self._session
+        session.install_pattern(bank, victim_logical, pattern)
+        self.module.set_trial_noise(trial_gen)
+        try:
+            session.hammer_double_sided(bank, victim_logical, hammer_count,
+                                        t_on_ns=t_on, t_off_ns=t_off)
+            for distance, phys in self.observed_physical_rows(
+                    victim_logical).items():
+                logical = self.module.to_logical(phys)
+                flips = [
+                    FlippedCell(bank, phys, f.chip, f.col, f.bit)
+                    for f in session.collect_flips(bank, logical)
+                ]
+                result.flips_by_distance[distance] = flips
+        finally:
+            self.module.set_trial_noise(None)
+
+    def ber_counts(self, bank: int, victim_logical: int, pattern: DataPattern,
+                   hammer_count: int = BER_HAMMERS,
+                   temperature_c: Optional[float] = None,
+                   t_on_ns: Optional[float] = None,
+                   t_off_ns: Optional[float] = None,
+                   repetitions: int = 1) -> Dict[int, float]:
+        """Mean flips per observed distance across repetitions."""
+        if repetitions <= 0:
+            raise ConfigError("repetitions must be positive")
+        totals: Dict[int, float] = {d: 0.0 for d in self.observe_distances}
+        for rep in range(repetitions):
+            result = self.ber_test(bank, victim_logical, pattern, hammer_count,
+                                   temperature_c, t_on_ns, t_off_ns, rep)
+            for distance in totals:
+                totals[distance] += result.count(distance)
+        return {d: total / repetitions for d, total in totals.items()}
+
+    # ------------------------------------------------------------------
+    # HCfirst
+    # ------------------------------------------------------------------
+    def hcfirst(self, bank: int, victim_logical: int, pattern: DataPattern,
+                temperature_c: Optional[float] = None,
+                t_on_ns: Optional[float] = None,
+                t_off_ns: Optional[float] = None,
+                repetition: int = 0) -> Optional[int]:
+        """Binary-searched HCfirst of the victim row (None: not vulnerable)."""
+        t_on, t_off = self._resolve_timing(t_on_ns, t_off_ns)
+        temperature = self._set_temperature(temperature_c)
+        maximum = self.max_safe_hammers(t_on, t_off)
+        trial_gen = self._trial_gen(bank, victim_logical, repetition)
+
+        if self.mode == "oracle":
+            model = self.module.fault_model
+            phys_victim = self.module.to_physical(victim_logical)
+            threshold = model.row_hcfirst(
+                bank, phys_victim, temperature, pattern,
+                pattern_victim_row=phys_victim,
+                aggressors=(phys_victim - 1, phys_victim + 1),
+                t_on_ns=t_on, t_off_ns=t_off, trial_gen=trial_gen)
+
+            def has_flips(hammer_count: int) -> bool:
+                return hammer_count >= threshold
+        else:
+            def has_flips(hammer_count: int) -> bool:
+                result = self.ber_test(bank, victim_logical, pattern,
+                                       hammer_count, temperature, t_on, t_off,
+                                       repetition)
+                return result.count(0) > 0
+
+        return hcfirst_mod.binary_search_hcfirst(has_flips, maximum=maximum)
+
+    def hcfirst_min(self, bank: int, victim_logical: int, pattern: DataPattern,
+                    temperature_c: Optional[float] = None,
+                    t_on_ns: Optional[float] = None,
+                    t_off_ns: Optional[float] = None,
+                    repetitions: int = 5) -> Optional[int]:
+        """Minimum HCfirst across repetitions (Fig. 11 plots this)."""
+        values = [
+            self.hcfirst(bank, victim_logical, pattern, temperature_c,
+                         t_on_ns, t_off_ns, rep)
+            for rep in range(repetitions)
+        ]
+        observed = [v for v in values if v is not None]
+        return min(observed) if observed else None

@@ -1,0 +1,67 @@
+"""The HCfirst binary search (Section 4.2, "Metrics").
+
+The paper locates the minimum hammer count that produces the first bit
+flip with a binary search: start at 256 K hammers with a step of 128 K;
+on every test, decrease the hammer count by the step if flips were
+observed, increase it otherwise; halve the step each round down to a
+resolution of 512 activations.  Tests never exceed the hammer count that
+fits in a retention-safe window (512 K at nominal timings).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+
+#: Paper defaults (in hammers; one hammer = one aggressor-pair activation).
+INITIAL_HAMMERS = 256 * 1024
+INITIAL_DELTA = 128 * 1024
+RESOLUTION = 512
+MAX_HAMMERS = 512 * 1024
+
+
+def binary_search_hcfirst(has_flips: Callable[[int], bool],
+                          initial: int = INITIAL_HAMMERS,
+                          initial_delta: int = INITIAL_DELTA,
+                          resolution: int = RESOLUTION,
+                          maximum: int = MAX_HAMMERS) -> Optional[int]:
+    """Run the paper's binary search against a flip predicate.
+
+    Args:
+        has_flips: callable running one hammer test; must return whether the
+            victim showed at least one bit flip at the given hammer count.
+        initial / initial_delta / resolution / maximum: search parameters;
+            the defaults are the paper's.
+
+    Returns:
+        The smallest tested hammer count that produced a flip (an upper
+        bound on the true HCfirst within ``resolution``), or ``None`` if
+        the row never flips even at ``maximum`` hammers (the row is not
+        vulnerable under the tested conditions).
+    """
+    if initial <= 0 or initial_delta <= 0 or resolution <= 0:
+        raise ConfigError("search parameters must be positive")
+    if initial > maximum:
+        initial = maximum
+
+    hammer_count = initial
+    delta = initial_delta
+    lowest_flipping: Optional[int] = None
+    while delta >= resolution:
+        if has_flips(hammer_count):
+            if lowest_flipping is None or hammer_count < lowest_flipping:
+                lowest_flipping = hammer_count
+            hammer_count -= delta
+        else:
+            hammer_count += delta
+        hammer_count = max(resolution, min(hammer_count, maximum))
+        delta //= 2
+
+    if lowest_flipping is None:
+        # The search climbed without ever flipping; one last test at the
+        # ceiling decides vulnerability.
+        if has_flips(maximum):
+            return maximum
+        return None
+    return lowest_flipping

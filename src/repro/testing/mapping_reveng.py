@@ -1,0 +1,132 @@
+"""Reverse engineering the logical-to-physical row mapping (Section 4.2).
+
+The paper reconstructs each module's internal row remapping by
+
+1. single-sided hammering every row in a window,
+2. inferring that the two rows showing the most flips are the aggressor's
+   physical neighbors,
+3. assembling the aggressor-victim adjacency relations into a physical
+   ordering of the logical addresses.
+
+The physical adjacency graph of a row window is a path; we rebuild the
+path by chaining neighbors from one endpoint to the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dram.data import DataPattern, ROWSTRIPE
+from repro.dram.module import DRAMModule
+from repro.errors import MappingError
+#: Default single-sided hammer count: the mapping recovery is a one-time
+#: offline step (the paper refreshes between tests), so it can hammer far
+#: beyond the retention-safe budget of a single test to make even the least
+#: vulnerable rows' neighbors flip.
+REVENG_HAMMERS = 1_000_000
+
+
+@dataclass
+class InferredMapping:
+    """Physical ordering of a window of logical rows.
+
+    ``order`` lists logical rows by inferred physical position; physical
+    direction is arbitrary (a die can be probed upside-down), so comparison
+    against ground truth must allow reversal.
+    """
+
+    order: List[int]
+
+    def position_of(self, logical_row: int) -> int:
+        try:
+            return self.order.index(logical_row)
+        except ValueError:
+            raise MappingError(f"row {logical_row} not in inferred window") from None
+
+    def matches(self, module: DRAMModule) -> bool:
+        """Does the inferred order agree with the module's true mapping?"""
+        truth = sorted(self.order, key=module.to_physical)
+        return self.order == truth or self.order == truth[::-1]
+
+
+#: A second "most-flipping" row only counts as physically adjacent when it
+#: flips at least this fraction as much as the first: rows at distance 2
+#: couple an order of magnitude more weakly, so edge aggressors (with a
+#: single true neighbor) must not promote them.
+ADJACENCY_MARGIN = 0.25
+
+
+def _single_sided_victims(module: DRAMModule, bank: int, aggressor: int,
+                          window: Sequence[int], pattern: DataPattern,
+                          hammer_count: int) -> List[int]:
+    """The two (or fewer) rows flipping most when ``aggressor`` is hammered."""
+    model = module.fault_model
+    phys_aggr = module.to_physical(aggressor)
+    counts: List[Tuple[int, int]] = []
+    for candidate in window:
+        if candidate == aggressor:
+            continue
+        phys = module.to_physical(candidate)
+        flips = model.row_flip_count(
+            bank, phys, hammer_count, module.temperature_c, pattern,
+            pattern_victim_row=phys, aggressors=(phys_aggr,))
+        if flips > 0:
+            counts.append((flips, candidate))
+    counts.sort(reverse=True)
+    victims = [row for _flips, row in counts[:1]]
+    if len(counts) >= 2 and counts[1][0] >= counts[0][0] * ADJACENCY_MARGIN:
+        victims.append(counts[1][1])
+    return victims
+
+
+def reverse_engineer_mapping(module: DRAMModule, bank: int,
+                             window: Sequence[int],
+                             pattern: DataPattern = ROWSTRIPE,
+                             hammer_count: int = REVENG_HAMMERS,
+                             temperature_c: float = 75.0) -> InferredMapping:
+    """Infer the physical ordering of ``window`` (contiguous logical rows).
+
+    The window must map onto a contiguous physical range (true for the
+    block-local mappings real vendors use, when the window is aligned to
+    the mapping block size).  The test runs at ``temperature_c`` (75 degC
+    by default, where most cells are inside their vulnerable range).
+    """
+    module.temperature_c = float(temperature_c)
+    window = list(window)
+    if len(window) < 3:
+        raise MappingError("need at least three rows to infer adjacency")
+
+    adjacency: Dict[int, List[int]] = {row: [] for row in window}
+    window_set = set(window)
+    for aggressor in window:
+        for victim in _single_sided_victims(module, bank, aggressor, window,
+                                            pattern, hammer_count):
+            if victim in window_set and victim not in adjacency[aggressor]:
+                adjacency[aggressor].append(victim)
+                if aggressor not in adjacency[victim]:
+                    adjacency[victim].append(aggressor)
+
+    endpoints = [row for row, neighbors in adjacency.items()
+                 if len(neighbors) == 1]
+    if len(endpoints) != 2:
+        raise MappingError(
+            f"adjacency is not a path (found {len(endpoints)} endpoints); "
+            "is the window aligned to the mapping block size?")
+
+    order = [min(endpoints)]
+    previous: Optional[int] = None
+    while True:
+        current = order[-1]
+        next_rows = [n for n in adjacency[current] if n != previous]
+        if not next_rows:
+            break
+        if len(next_rows) > 1:
+            raise MappingError("ambiguous adjacency while walking the path")
+        previous = current
+        order.append(next_rows[0])
+    if len(order) != len(window):
+        raise MappingError(
+            f"path covers {len(order)} of {len(window)} rows; adjacency "
+            "inference failed")
+    return InferredMapping(order)

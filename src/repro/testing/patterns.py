@@ -1,0 +1,46 @@
+"""Worst-case data pattern (WCDP) selection (Section 4.2, Table 1).
+
+The paper identifies, per module, the pattern producing the most bit flips
+among the seven candidates, and uses it for every subsequent experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.dram.data import DataPattern, PATTERNS
+from repro.errors import ConfigError
+from repro.testing.hammer import BER_HAMMERS, HammerTester
+
+
+def pattern_flip_counts(tester: HammerTester, bank: int,
+                        sample_rows: Sequence[int],
+                        hammer_count: int = BER_HAMMERS,
+                        temperature_c: Optional[float] = None,
+                        patterns: Sequence[DataPattern] = PATTERNS
+                        ) -> Dict[str, int]:
+    """Total victim flips per candidate pattern over a row sample."""
+    if not sample_rows:
+        raise ConfigError("need at least one sample row for WCDP selection")
+    totals: Dict[str, int] = {}
+    for pattern in patterns:
+        total = 0
+        for row in sample_rows:
+            result = tester.ber_test(bank, row, pattern, hammer_count,
+                                     temperature_c)
+            total += result.count(0)
+        totals[pattern.name] = total
+    return totals
+
+
+def find_worst_case_pattern(tester: HammerTester, bank: int,
+                            sample_rows: Sequence[int],
+                            hammer_count: int = BER_HAMMERS,
+                            temperature_c: Optional[float] = None
+                            ) -> Tuple[DataPattern, Dict[str, int]]:
+    """The module's WCDP and the per-pattern flip totals behind the choice."""
+    totals = pattern_flip_counts(tester, bank, sample_rows, hammer_count,
+                                 temperature_c)
+    best_name = max(totals, key=lambda name: totals[name])
+    best = next(p for p in PATTERNS if p.name == best_name)
+    return best, totals

@@ -1,0 +1,19 @@
+"""Temperature-control substrate.
+
+Models the paper's setup (Section 4.1, Fig. 2): silicone heater pads pressed
+against the module, a thermocouple on the chip package, and a Maxwell
+FT200-style closed-loop PID controller that keeps the chip within
++/-0.1 degC of the reference temperature.
+"""
+
+from repro.thermal.plant import ThermalPlant
+from repro.thermal.sensor import Thermocouple
+from repro.thermal.pid import PIDController
+from repro.thermal.chamber import TemperatureController
+
+__all__ = [
+    "ThermalPlant",
+    "Thermocouple",
+    "PIDController",
+    "TemperatureController",
+]

@@ -1,0 +1,87 @@
+"""The temperature controller facade (the paper's Maxwell FT200 analog).
+
+Drives the heater pads with a PID loop against thermocouple readings until
+the module settles within the tolerance band (+/-0.1 degC in the paper's
+infrastructure), then reports the achieved temperature.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ThermalError
+from repro.rng import SeedSequenceTree
+from repro.thermal.pid import PIDController
+from repro.thermal.plant import ThermalPlant
+from repro.thermal.sensor import Thermocouple
+
+#: The paper's measurement error bound (Section 4.1).
+TOLERANCE_C = 0.1
+
+
+class TemperatureController:
+    """Closed-loop chamber: plant + sensor + PID + settling logic."""
+
+    def __init__(self, tree: SeedSequenceTree,
+                 plant: Optional[ThermalPlant] = None,
+                 sensor: Optional[Thermocouple] = None,
+                 pid: Optional[PIDController] = None,
+                 tolerance_c: float = TOLERANCE_C,
+                 control_period_s: float = 0.25,
+                 required_stable_steps: int = 12,
+                 timeout_s: float = 1800.0) -> None:
+        self.plant = plant if plant is not None else ThermalPlant()
+        self.sensor = sensor if sensor is not None else Thermocouple(tree)
+        self.pid = pid if pid is not None else PIDController()
+        self.tolerance_c = tolerance_c
+        self.control_period_s = control_period_s
+        self.required_stable_steps = required_stable_steps
+        self.timeout_s = timeout_s
+        self.setpoint_c: Optional[float] = None
+        self.elapsed_s = 0.0
+
+    # ------------------------------------------------------------------
+    def set_reference(self, setpoint_c: float) -> None:
+        """Program a new reference temperature (the host's RS485 write)."""
+        if not self.plant.ambient_c <= setpoint_c <= self.plant.max_reachable_c:
+            raise ThermalError(
+                f"setpoint {setpoint_c} degC outside reachable range "
+                f"[{self.plant.ambient_c}, {self.plant.max_reachable_c:.1f}]")
+        self.setpoint_c = float(setpoint_c)
+        self.pid.reset()
+
+    def step(self) -> float:
+        """One control period; returns the current sensor reading."""
+        if self.setpoint_c is None:
+            raise ThermalError("no reference temperature programmed")
+        reading = self.sensor.read_averaged(self.plant.temperature_c)
+        duty = self.pid.update(self.setpoint_c, reading, self.control_period_s)
+        self.plant.step(duty, self.control_period_s)
+        self.elapsed_s += self.control_period_s
+        return reading
+
+    def settle(self, setpoint_c: float) -> float:
+        """Drive to ``setpoint_c`` and hold until stable; returns the reading.
+
+        "Stable" means ``required_stable_steps`` consecutive readings within
+        the tolerance band.  Raises :class:`ThermalError` on timeout.
+        """
+        self.set_reference(setpoint_c)
+        deadline = self.elapsed_s + self.timeout_s
+        stable = 0
+        reading = self.sensor.read_averaged(self.plant.temperature_c)
+        while self.elapsed_s < deadline:
+            reading = self.step()
+            if abs(reading - setpoint_c) <= self.tolerance_c:
+                stable += 1
+                if stable >= self.required_stable_steps:
+                    return reading
+            else:
+                stable = 0
+        raise ThermalError(
+            f"failed to settle at {setpoint_c} degC within "
+            f"{self.timeout_s:.0f} s (last reading {reading:.2f} degC)")
+
+    def report(self) -> float:
+        """Instantaneous temperature report (the RS485 read-back)."""
+        return self.sensor.read(self.plant.temperature_c)

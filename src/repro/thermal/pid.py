@@ -1,0 +1,48 @@
+"""Discrete PID controller for the heater duty cycle."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class PIDController:
+    """Classic positional PID with output clamping and anti-windup.
+
+    Output is the heater duty cycle in [0, 1].
+    """
+
+    def __init__(self, kp: float = 0.12, ki: float = 0.02, kd: float = 0.08,
+                 output_min: float = 0.0, output_max: float = 1.0) -> None:
+        if output_min >= output_max:
+            raise ConfigError("output_min must be below output_max")
+        self.kp, self.ki, self.kd = kp, ki, kd
+        self.output_min, self.output_max = output_min, output_max
+        self._integral = 0.0
+        self._previous_error = None
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._previous_error = None
+
+    def update(self, setpoint: float, measurement: float, dt_s: float) -> float:
+        """One control step; returns the clamped heater duty cycle."""
+        if dt_s <= 0:
+            raise ConfigError("dt must be positive")
+        error = setpoint - measurement
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / dt_s
+        self._previous_error = error
+
+        candidate_integral = self._integral + error * dt_s
+        output = (self.kp * error
+                  + self.ki * candidate_integral
+                  + self.kd * derivative)
+        if self.output_min <= output <= self.output_max:
+            self._integral = candidate_integral  # anti-windup: only when unsaturated
+            return output
+        # Saturated: hold the integral and clamp.
+        output = (self.kp * error
+                  + self.ki * self._integral
+                  + self.kd * derivative)
+        return min(max(output, self.output_min), self.output_max)

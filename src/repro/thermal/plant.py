@@ -1,0 +1,53 @@
+"""Lumped-RC thermal model of a DRAM module clamped in heater pads.
+
+The package temperature follows a first-order response::
+
+    C * dT/dt = P_heater - k * (T - T_ambient)
+
+The paper notes (citing Micron TN-00-08) that package and die temperatures
+are strongly correlated, so a single lumped node is adequate for the
+characterization's purposes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ThermalPlant:
+    """First-order thermal plant: one temperature node, one heater input."""
+
+    def __init__(self, ambient_c: float = 25.0,
+                 heat_capacity_j_per_k: float = 18.0,
+                 loss_w_per_k: float = 0.9,
+                 max_heater_w: float = 60.0,
+                 initial_c: float = None) -> None:
+        if heat_capacity_j_per_k <= 0 or loss_w_per_k <= 0:
+            raise ConfigError("thermal constants must be positive")
+        if max_heater_w <= 0:
+            raise ConfigError("heater power must be positive")
+        self.ambient_c = ambient_c
+        self.heat_capacity = heat_capacity_j_per_k
+        self.loss = loss_w_per_k
+        self.max_heater_w = max_heater_w
+        self.temperature_c = ambient_c if initial_c is None else initial_c
+
+    @property
+    def max_reachable_c(self) -> float:
+        """Steady-state temperature at full heater power."""
+        return self.ambient_c + self.max_heater_w / self.loss
+
+    def step(self, heater_fraction: float, dt_s: float) -> float:
+        """Advance the plant ``dt_s`` seconds with the heater at a duty cycle.
+
+        ``heater_fraction`` is clamped to [0, 1].  Returns the new package
+        temperature.
+        """
+        if dt_s <= 0:
+            raise ConfigError("time step must be positive")
+        duty = min(max(heater_fraction, 0.0), 1.0)
+        power = duty * self.max_heater_w
+        dTdt = (power - self.loss * (self.temperature_c - self.ambient_c)) \
+            / self.heat_capacity
+        self.temperature_c += dTdt * dt_s
+        return self.temperature_c

@@ -1,0 +1,34 @@
+"""Thermocouple model: the sensor placed on the DRAM package.
+
+Adds small Gaussian measurement noise and a fixed quantization, matching
+the JESD51-1-style electrical test method the paper follows.  The paper's
+infrastructure achieves a worst-case measurement error of +/-0.1 degC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import SeedSequenceTree
+
+
+class Thermocouple:
+    """A noisy, quantized temperature sensor."""
+
+    def __init__(self, tree: SeedSequenceTree, noise_sd_c: float = 0.03,
+                 resolution_c: float = 0.01) -> None:
+        self._gen = tree.generator("thermocouple")
+        self.noise_sd_c = noise_sd_c
+        self.resolution_c = resolution_c
+
+    def read(self, true_temperature_c: float) -> float:
+        """One temperature sample with sensor noise and quantization."""
+        noisy = true_temperature_c + self._gen.normal(0.0, self.noise_sd_c)
+        if self.resolution_c > 0:
+            noisy = round(noisy / self.resolution_c) * self.resolution_c
+        return float(noisy)
+
+    def read_averaged(self, true_temperature_c: float, samples: int = 4) -> float:
+        """Average of several samples (the controller's filtered reading)."""
+        values = [self.read(true_temperature_c) for _ in range(max(1, samples))]
+        return float(np.mean(values))

@@ -1,0 +1,63 @@
+"""Physical units and conversions used across the library.
+
+Internally, all times are kept in **nanoseconds** (float), temperatures in
+**degrees Celsius** (float) and frequencies in **MT/s** as in DRAM datasheets.
+These helpers keep conversions explicit at API boundaries.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+#: The refresh window of DDR3/DDR4 devices at normal temperatures (JEDEC).
+TREFW_MS = 64.0
+
+#: Temperature sweep used throughout the paper's experiments (Section 4.2).
+PAPER_TEMPERATURES_C = tuple(range(50, 95, 5))
+
+#: Minimum / maximum temperature tested in the paper; ranges touching these
+#: bounds are *censored* (the true vulnerable range may extend past them).
+PAPER_TEMP_MIN_C = 50.0
+PAPER_TEMP_MAX_C = 90.0
+
+#: Temperature step of the paper's sweep.
+PAPER_TEMP_STEP_C = 5.0
+
+
+def ms_to_ns(ms: float) -> float:
+    """Convert milliseconds to nanoseconds."""
+    return ms * NS_PER_MS
+
+
+def us_to_ns(us: float) -> float:
+    """Convert microseconds to nanoseconds."""
+    return us * NS_PER_US
+
+
+def s_to_ns(s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return s * NS_PER_S
+
+
+def ns_to_ms(ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return ns / NS_PER_MS
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def clock_period_ns(transfer_rate_mts: float) -> float:
+    """Clock period for a DDR transfer rate given in MT/s.
+
+    DDR transfers two beats per clock, so the command-clock period is
+    ``2000 / rate`` nanoseconds (e.g. DDR4-2400 -> 0.833 ns clock,
+    command granularity 1.25 ns on the paper's SoftMC after FPGA division).
+    """
+    if transfer_rate_mts <= 0:
+        raise ValueError(f"transfer rate must be positive, got {transfer_rate_mts}")
+    return 2000.0 / transfer_rate_mts

@@ -1,0 +1,41 @@
+"""Shared study results for the calibration suite.
+
+The calibration tests pin the paper's *shapes* (signs, orderings, rough
+magnitudes) with tolerance bands (DESIGN.md §6).  They run the studies once
+per session at a scale between QUICK and BENCH.
+"""
+
+import pytest
+
+from repro.core.acttime_study import ActiveTimeStudy
+from repro.core.config import StudyConfig
+from repro.core.spatial_study import SpatialStudy
+from repro.core.temperature_study import TemperatureStudy
+
+#: Deterministic calibration scale (seeded; results are reproducible).
+CALIBRATION = StudyConfig(
+    name="calibration",
+    modules_per_manufacturer=2,
+    rows_per_region=80,
+    acttime_rows_per_region=50,
+    hcfirst_repetitions=3,
+    wcdp_sample_rows=4,
+    subarrays_to_sample=8,
+    rows_per_subarray=32,
+    column_rows=360,
+)
+
+
+@pytest.fixture(scope="session")
+def temperature_result():
+    return TemperatureStudy(CALIBRATION).run()
+
+
+@pytest.fixture(scope="session")
+def acttime_result():
+    return ActiveTimeStudy(CALIBRATION).run()
+
+
+@pytest.fixture(scope="session")
+def spatial_result():
+    return SpatialStudy(CALIBRATION).run()

@@ -1,0 +1,83 @@
+"""Calibration: Section 6 shapes (Figs. 7-10, Obsvs. 8-11)."""
+
+import pytest
+
+from repro.core import observations as obs
+
+MFRS = ("A", "B", "C", "D")
+
+
+class TestAggressorOnTime:
+    def test_ber_grows_with_on_time_everywhere(self, acttime_result):
+        for mfr in MFRS:
+            grid = acttime_result.grid("on")
+            means = [acttime_result.ber_mean(mfr, "on", v) for v in grid]
+            assert means[-1] > means[0], mfr
+            # Monotone along the grid within sampling noise.
+            assert all(b >= a * 0.85 for a, b in zip(means, means[1:])), mfr
+
+    def test_ber_ratio_bands(self, acttime_result):
+        # Paper: 10.2x / 3.1x / 4.4x / 9.6x at 154.5 ns vs 34.5 ns.
+        bands = {"A": (3.0, 14.0), "B": (1.8, 6.0),
+                 "C": (2.5, 10.0), "D": (4.0, 40.0)}
+        for mfr, (low, high) in bands.items():
+            ratio = acttime_result.ber_ratio(mfr, "on")
+            assert low <= ratio <= high, (mfr, ratio)
+
+    def test_b_weakest_response(self, acttime_result):
+        ratios = {m: acttime_result.ber_ratio(m, "on") for m in MFRS}
+        assert min(ratios, key=ratios.get) == "B"
+
+    def test_hcfirst_reduction_bands(self, acttime_result):
+        # Paper: -40.0% / -28.3% / -32.7% / -37.3% on average.
+        paper = {"A": -0.400, "B": -0.283, "C": -0.327, "D": -0.373}
+        for mfr, target in paper.items():
+            change = acttime_result.hcfirst_mean_change(mfr, "on")
+            assert target - 0.08 <= change <= target + 0.08, (mfr, change)
+
+
+class TestAggressorOffTime:
+    def test_ber_shrinks_with_off_time(self, acttime_result):
+        for mfr in MFRS:
+            grid = acttime_result.grid("off")
+            means = [acttime_result.ber_mean(mfr, "off", v) for v in grid]
+            assert means[-1] < means[0], mfr
+
+    def test_ber_reduction_bands(self, acttime_result):
+        # Paper: 6.3x / 2.9x / 4.9x / 5.0x fewer flips at 40.5 ns.
+        bands = {"A": (2.0, 9.0), "B": (1.5, 4.5),
+                 "C": (2.5, 10.0), "D": (2.0, 12.0)}
+        for mfr, (low, high) in bands.items():
+            reduction = 1.0 / acttime_result.ber_ratio(mfr, "off")
+            assert low <= reduction <= high, (mfr, reduction)
+
+    def test_hcfirst_increase_bands(self, acttime_result):
+        # Paper: +33.8% / +24.7% / +50.1% / +33.7%.
+        paper = {"A": 0.338, "B": 0.247, "C": 0.501, "D": 0.337}
+        for mfr, target in paper.items():
+            change = acttime_result.hcfirst_mean_change(mfr, "off")
+            assert target - 0.10 <= change <= target + 0.10, (mfr, change)
+
+    def test_c_hardens_most(self, acttime_result):
+        changes = {m: acttime_result.hcfirst_mean_change(m, "off")
+                   for m in MFRS}
+        assert max(changes, key=changes.get) == "C"
+
+
+class TestConsistency:
+    def test_hcfirst_cv_does_not_grow(self, acttime_result):
+        # Obsvs. 9 and 11: the response is consistent across rows.
+        for axis in ("on", "off"):
+            for mfr in MFRS:
+                base, extreme = acttime_result.cv_trend(mfr, axis, "hcfirst")
+                assert extreme <= base * 1.10, (axis, mfr)
+
+
+class TestObservations8to11:
+    @pytest.mark.parametrize("checker", [
+        obs.observation_8, obs.observation_9, obs.observation_10,
+        obs.observation_11,
+    ])
+    def test_observation_passes(self, acttime_result, checker):
+        check = checker(acttime_result)
+        assert check.passed, str(check)

@@ -1,0 +1,109 @@
+"""Calibration: Section 7 shapes (Figs. 11-15, Obsvs. 12-16)."""
+
+import numpy as np
+import pytest
+
+from repro.core import observations as obs
+
+MFRS = ("A", "B", "C", "D")
+
+
+class TestFig11RowVariation:
+    def test_percentile_over_min_averages(self, spatial_result):
+        # Paper: 99%/95%/90% of rows are >= 1.6x/2.0x/2.2x the minimum,
+        # on average across manufacturers.
+        p99 = spatial_result.mean_percentile_over_min(99)
+        p95 = spatial_result.mean_percentile_over_min(95)
+        p90 = spatial_result.mean_percentile_over_min(90)
+        assert 1.2 <= p99 <= 2.6
+        assert 1.5 <= p95 <= 3.2
+        assert p90 >= p95 >= p99
+
+    def test_d_least_vulnerable_minimum(self, spatial_result):
+        # Fig. 11: Mfr. D's most vulnerable rows sit far above the other
+        # manufacturers' (~130K vs 10-45K hammers).
+        minima = {}
+        for mfr in MFRS:
+            values = [m.vulnerable_hcfirst().min()
+                      for m in spatial_result.for_manufacturer(mfr)]
+            minima[mfr] = np.mean(values)
+        assert minima["D"] == max(minima.values())
+
+    def test_hcfirst_magnitudes_paper_scale(self, spatial_result):
+        # Fig. 11's y-axis spans ~10K-300K hammers.
+        for module in spatial_result.modules:
+            values = module.vulnerable_hcfirst()
+            assert values.size
+            assert 5_000 <= values.min() <= 250_000
+            assert values.max() <= 524_288
+
+
+class TestFig12Columns:
+    def test_column_spread_large(self, spatial_result):
+        check = obs.observation_13(spatial_result)
+        assert check.passed, check.measured
+
+    def test_b_has_fewest_empty_columns(self, spatial_result):
+        zeros = {m: spatial_result.zero_flip_column_fraction(m) for m in MFRS}
+        assert zeros["B"] == min(zeros.values())
+
+    def test_b_every_column_flips(self, spatial_result):
+        # Paper: the Mfr. B module shows at least 6 flips in every column.
+        assert spatial_result.min_column_flips("B") >= 1
+
+
+class TestFig13Clusters:
+    def test_design_vs_process_contrast(self, spatial_result):
+        design_b = spatial_result.design_consistent_fraction("B")
+        design_a = spatial_result.design_consistent_fraction("A")
+        process_a = spatial_result.process_dominated_fraction("A")
+        process_b = spatial_result.process_dominated_fraction("B")
+        assert design_b > design_a
+        assert process_a > process_b
+
+    def test_bucket_matrix_valid(self, spatial_result):
+        for mfr in MFRS:
+            matrix = spatial_result.column_buckets(mfr)
+            assert matrix.sum() == pytest.approx(1.0)
+
+
+class TestFig14Subarrays:
+    def test_min_tracks_average(self, spatial_result):
+        # Paper slopes: 0.46 / 0.41 / 0.42 / 0.67 with R2 0.73/0.78/0.93/0.42.
+        fits = {m: spatial_result.subarray_fit(m) for m in MFRS}
+        for mfr in ("A", "B", "C"):
+            assert 0.1 <= fits[mfr].slope <= 1.0, (mfr, fits[mfr])
+        good_fits = sum(fit.r2 >= 0.4 for fit in fits.values())
+        assert good_fits >= 2
+
+    def test_average_about_double_the_min(self, spatial_result):
+        for mfr in MFRS:
+            avgs, mins = spatial_result.subarray_points(mfr)
+            ratio = np.mean(avgs / mins)
+            assert 1.3 <= ratio <= 5.0, (mfr, ratio)
+
+
+class TestFig15Similarity:
+    def test_same_module_more_similar(self, spatial_result):
+        check = obs.observation_16(spatial_result)
+        assert check.passed, check.measured
+
+    def test_c_cross_module_spread_largest(self, spatial_result):
+        # Mfr. C's modules differ most (sigma_module; Fig. 15's wide
+        # purple curve for C).
+        deviations = {}
+        for mfr in MFRS:
+            _same, different = spatial_result.bd_norm_values(mfr)
+            if different.size:
+                deviations[mfr] = float(np.percentile(np.abs(different - 1), 90))
+        assert deviations["C"] == max(deviations.values())
+
+
+class TestObservations12to16:
+    @pytest.mark.parametrize("checker", [
+        obs.observation_12, obs.observation_13, obs.observation_14,
+        obs.observation_15, obs.observation_16,
+    ])
+    def test_observation_passes(self, spatial_result, checker):
+        check = checker(spatial_result)
+        assert check.passed, str(check)

@@ -1,0 +1,104 @@
+"""Calibration: Section 5 shapes (Figs. 3-5, Table 3, Obsvs. 1-7)."""
+
+import pytest
+
+from repro.core import observations as obs
+
+MFRS = ("A", "B", "C", "D")
+
+
+class TestTable3Continuity:
+    def test_no_gap_fraction_matches_paper(self, temperature_result):
+        # Paper: 99.1 / 98.9 / 98.0 / 99.2 percent.
+        for mfr in MFRS:
+            fraction = temperature_result.continuity_fraction(mfr)
+            assert fraction >= 0.95, mfr
+
+    def test_one_gap_population_small(self, temperature_result):
+        for mfr in MFRS:
+            grid = temperature_result.range_grid(mfr)
+            assert grid.one_gap_fraction <= 0.04, mfr
+
+
+class TestFig3Ranges:
+    def test_full_sweep_population_bands(self, temperature_result):
+        # Paper: 14.2% / 17.4% / 9.6% / 29.8% of vulnerable cells flip at
+        # every tested temperature.
+        paper = {"A": 0.142, "B": 0.174, "C": 0.096, "D": 0.298}
+        for mfr in MFRS:
+            measured = temperature_result.range_grid(mfr).full_sweep_fraction
+            assert paper[mfr] * 0.4 <= measured <= paper[mfr] * 2.5, \
+                (mfr, measured)
+
+    def test_d_has_largest_full_sweep_population(self, temperature_result):
+        fractions = {m: temperature_result.range_grid(m).full_sweep_fraction
+                     for m in MFRS}
+        assert max(fractions, key=fractions.get) == "D"
+
+    def test_narrow_range_cells_exist_but_minority(self, temperature_result):
+        for mfr in MFRS:
+            grid = temperature_result.range_grid(mfr)
+            assert grid.interior_single_fraction > 0.0, mfr
+            assert grid.interior_single_fraction < 0.30, mfr
+
+    def test_censored_edges_hold_mass(self, temperature_result):
+        # Ranges touching 50 or 90 degC include censored cells; the x=50
+        # column and y=90 row must hold substantial mass (Fig. 3's shape).
+        grid = temperature_result.range_grid("A")
+        at_50 = sum(v for (lo, _hi), v in grid.grid.items() if lo == 50.0)
+        at_90 = sum(v for (_lo, hi), v in grid.grid.items() if hi == 90.0)
+        assert at_50 > 0.2
+        assert at_90 > 0.2
+
+
+class TestFig4BERTrend:
+    def test_trend_signs_match_paper(self, temperature_result):
+        # Paper Fig. 4: A/C/D increase with temperature, B decreases.
+        check = obs.observation_4(temperature_result)
+        assert check.passed, check.measured
+
+    def test_magnitude_bands(self, temperature_result):
+        # Paper approximate changes at 90 degC: A +100%, B -20%, C +40%,
+        # D +200%.  Bands allow the simulator's calibration slack.
+        bands = {"A": (20.0, 160.0), "B": (-60.0, -5.0),
+                 "C": (5.0, 90.0), "D": (15.0, 250.0)}
+        for mfr, (low, high) in bands.items():
+            mean_change = temperature_result.ber_change_series(mfr)[90.0][0]
+            assert low <= mean_change <= high, (mfr, mean_change)
+
+    def test_single_sided_victims_follow_victim_trend(self, temperature_result):
+        for distance in (-2, 2):
+            change = temperature_result.ber_change_series("A", distance)[90.0][0]
+            assert change > 0.0
+
+
+class TestFig5HCfirstChanges:
+    def test_crossing_fractions(self, temperature_result):
+        # Paper: at dT=5 about 57-71% of rows harden slightly; at dT=40
+        # A drops to ~45% and D to ~40%, while B/C stay above half.
+        for mfr in MFRS:
+            small = temperature_result.hcfirst_positive_fraction(mfr, 50.0, 55.0)
+            assert 0.45 <= small <= 0.80, (mfr, small)
+        assert temperature_result.hcfirst_positive_fraction("A", 50.0, 90.0) < 0.55
+        assert temperature_result.hcfirst_positive_fraction("D", 50.0, 90.0) < 0.50
+        assert temperature_result.hcfirst_positive_fraction("B", 50.0, 90.0) > 0.50
+
+    def test_cumulative_magnitude_grows_with_delta(self, temperature_result):
+        # Paper: 4.2x / 3.9x / 3.8x / 4.3x larger for 50->90 than 50->55.
+        for mfr in MFRS:
+            small = temperature_result.hcfirst_cumulative_magnitude(
+                mfr, 50.0, 55.0)
+            large = temperature_result.hcfirst_cumulative_magnitude(
+                mfr, 50.0, 90.0)
+            assert 2.0 <= large / small <= 7.0, mfr
+
+
+class TestObservations1to7:
+    @pytest.mark.parametrize("checker", [
+        obs.observation_1, obs.observation_2, obs.observation_3,
+        obs.observation_4, obs.observation_5, obs.observation_6,
+        obs.observation_7,
+    ])
+    def test_observation_passes(self, temperature_result, checker):
+        check = checker(temperature_result)
+        assert check.passed, str(check)

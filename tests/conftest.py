@@ -1,0 +1,61 @@
+"""Shared fixtures: small, fast module instances and common objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+from repro.dram.geometry import Geometry
+from repro.rng import SeedSequenceTree
+
+#: Compact geometry for unit tests: real structure, tiny state.
+SMALL_GEOMETRY = Geometry(banks=2, rows_per_bank=4096, cols_per_row=64,
+                          bits_per_col=8, chips=4, subarray_rows=512)
+
+
+@pytest.fixture(scope="session")
+def small_geometry():
+    return SMALL_GEOMETRY
+
+
+@pytest.fixture()
+def module_a(small_geometry):
+    """A fresh Mfr. A module with compact geometry."""
+    return spec_by_id("A0").instantiate(geometry=small_geometry)
+
+
+@pytest.fixture()
+def module_b(small_geometry):
+    return spec_by_id("B0").instantiate(geometry=small_geometry)
+
+
+@pytest.fixture()
+def module_c(small_geometry):
+    return spec_by_id("C0").instantiate(geometry=small_geometry)
+
+
+@pytest.fixture()
+def module_d(small_geometry):
+    return spec_by_id("D0").instantiate(geometry=small_geometry)
+
+
+@pytest.fixture(params=["A0", "B0", "C0", "D0"])
+def any_module(request, small_geometry):
+    """Parametrized over one module of each manufacturer."""
+    return spec_by_id(request.param).instantiate(geometry=small_geometry)
+
+
+@pytest.fixture()
+def rowstripe():
+    return pattern_by_name("rowstripe")
+
+
+@pytest.fixture()
+def checkered():
+    return pattern_by_name("checkered")
+
+
+@pytest.fixture()
+def tree():
+    return SeedSequenceTree(1234, "tests")

@@ -1,0 +1,118 @@
+"""End-to-end flows: chamber -> pattern -> hammer -> flips -> defense."""
+
+import pytest
+
+from repro.dram.data import pattern_by_name
+from repro.dram.refresh import RefreshEngine
+from repro.dram.trr import TargetRowRefresh
+from repro.rng import SeedSequenceTree
+from repro.softmc.session import SoftMCSession
+from repro.thermal import TemperatureController
+
+
+class TestFullWorkflow:
+    def test_paper_section42_workflow(self, module_a, rowstripe):
+        """The complete Section 4.2 methodology on one victim."""
+        chamber = TemperatureController(SeedSequenceTree(1, "e2e"))
+        session = SoftMCSession(module_a, chamber=chamber)
+
+        reached = session.set_temperature(75.0)
+        assert abs(reached - 75.0) <= 0.1
+
+        session.install_pattern(0, 700, rowstripe)
+        result = session.hammer_double_sided(0, 700, 500_000)
+        assert result.activations_issued == 1_000_000
+
+        flips = session.collect_flips(0, 700)
+        assert flips
+        # Flips corrupt exactly the pattern bits they claim to.
+        data = session.read_row_bytes(0, 700)
+        assert any(byte != 0x00 for byte in data)
+
+    def test_refresh_disabled_vs_enabled(self, module_a, rowstripe):
+        """With periodic refresh the same attack yields no flips."""
+        module_a.temperature_c = 75.0
+        session = SoftMCSession(module_a)
+        victim = 700
+        phys = module_a.to_physical(victim)
+
+        # Attack without refresh: flips.
+        session.install_pattern(0, victim, rowstripe)
+        session.hammer_double_sided(0, victim, 500_000)
+        assert session.collect_flips(0, victim)
+
+        # Attack interleaved with victim refreshes: no flips.
+        session.install_pattern(0, victim, rowstripe)
+        for _ in range(10):
+            session.hammer_double_sided(0, victim, 50_000)
+            module_a.refresh_rows(0, [phys])
+        assert session.collect_flips(0, victim) == []
+
+    def test_trr_breaks_naive_double_sided(self, small_geometry, rowstripe):
+        """An aggressive TRR sampler catches a plain double-sided attack."""
+        from repro.dram.catalog import spec_by_id
+
+        tree = SeedSequenceTree(3, "trr-e2e")
+        module = spec_by_id("A0").instantiate(geometry=small_geometry)
+        module.trr = TargetRowRefresh(tree, table_size=2,
+                                      sample_probability=0.5)
+        module.temperature_c = 75.0
+        engine = RefreshEngine(module)
+        session = SoftMCSession(module)
+        victim = 700
+        session.install_pattern(0, victim, rowstripe)
+        # Hammer in bursts with REF opportunities in between (a real system
+        # refreshes every tREFI; chunks model that cadence).
+        for _ in range(20):
+            session.hammer_double_sided(0, victim, 25_000)
+            engine.on_ref()
+        assert session.collect_flips(0, victim) == []
+
+    def test_ecc_masks_single_flips(self, module_a, rowstripe):
+        from repro.dram.ecc import OnDieECC
+
+        module_a.temperature_c = 75.0
+        session = SoftMCSession(module_a)
+        session.install_pattern(0, 700, rowstripe)
+        session.hammer_double_sided(0, 700, 500_000)
+        flips = session.collect_flips(0, 700)
+        ecc = OnDieECC(bits_per_col=module_a.geometry.bits_per_col)
+        survivors = ecc.filter_flips(flips)
+        assert len(survivors) <= len(flips)
+        assert ecc.corrected + ecc.escaped == len(flips)
+
+
+class TestDDR3:
+    def test_ddr3_module_hammers(self, small_geometry):
+        """The DDR3 SODIMMs work through the same stack (Obsv. 2 check)."""
+        from repro.dram.catalog import spec_by_id
+        from repro.testing.hammer import HammerTester
+
+        module = spec_by_id("B4").instantiate(geometry=small_geometry)
+        assert module.timing.name == "DDR3-1600"
+        module.temperature_c = 75.0
+        tester = HammerTester(module)
+        pattern = pattern_by_name("checkered")
+        counts = [tester.ber_test(0, row, pattern, hammer_count=400_000).count(0)
+                  for row in range(600, 640)]
+        assert sum(counts) > 0
+
+    def test_ddr3_full_range_cells_exist(self, small_geometry):
+        """Obsv. 2 holds for the DDR3 modules too."""
+        from repro.dram.catalog import spec_by_id
+        from repro.testing.hammer import HammerTester
+
+        module = spec_by_id("C5").instantiate(geometry=small_geometry)
+        tester = HammerTester(module)
+        pattern = pattern_by_name("rowstripe")
+        always = None
+        for temp in (50.0, 70.0, 90.0):
+            cells = set()
+            for row in range(600, 660):
+                result = tester.ber_test(0, row, pattern,
+                                         hammer_count=400_000,
+                                         temperature_c=temp)
+                cells |= {(f.row, f.chip, f.col, f.bit)
+                          for f in result.victim_flips}
+            always = cells if always is None else (always & cells)
+        assert always, "some cells must flip at every tested temperature"

@@ -1,0 +1,36 @@
+"""Reverse engineering the row mapping on every manufacturer's modules."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.testing.mapping_reveng import reverse_engineer_mapping
+
+
+def test_recovers_every_manufacturer_mapping(any_module):
+    module = any_module
+    module.temperature_c = 75.0
+    window = list(range(512, 512 + 16))  # aligned to all block sizes
+    inferred = reverse_engineer_mapping(module, 0, window)
+    assert inferred.matches(module)
+
+
+def test_recovered_order_covers_window(module_c):
+    module_c.temperature_c = 75.0
+    window = list(range(1024, 1024 + 12))
+    inferred = reverse_engineer_mapping(module_c, 0, window)
+    assert sorted(inferred.order) == window
+
+
+def test_position_lookup(module_b):
+    module_b.temperature_c = 75.0
+    window = list(range(512, 512 + 8))
+    inferred = reverse_engineer_mapping(module_b, 0, window)
+    positions = [inferred.position_of(r) for r in window]
+    assert sorted(positions) == list(range(8))
+    with pytest.raises(MappingError):
+        inferred.position_of(9999)
+
+
+def test_too_small_window_rejected(module_a):
+    with pytest.raises(MappingError):
+        reverse_engineer_mapping(module_a, 0, [5, 6])

@@ -1,0 +1,124 @@
+"""Structural integration tests of the three study campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.acttime_study import ActiveTimeStudy
+from repro.core.spatial_study import SpatialStudy
+from repro.core.temperature_study import TemperatureStudy
+from repro.core import report
+
+
+@pytest.fixture(scope="module")
+def temp_result():
+    return TemperatureStudy(QUICK).run()
+
+
+@pytest.fixture(scope="module")
+def act_result():
+    return ActiveTimeStudy(QUICK).run()
+
+
+@pytest.fixture(scope="module")
+def spatial_result():
+    return SpatialStudy(QUICK).run()
+
+
+class TestTemperatureStudy:
+    def test_covers_all_manufacturers(self, temp_result):
+        assert temp_result.manufacturers == ["A", "B", "C", "D"]
+
+    def test_every_temperature_measured(self, temp_result):
+        for module in temp_result.modules:
+            assert set(module.ber_counts) == set(QUICK.temperatures_c)
+            assert set(module.hcfirst) == set(QUICK.temperatures_c)
+
+    def test_ber_arrays_aligned_to_rows(self, temp_result):
+        module = temp_result.modules[0]
+        for per_distance in module.ber_counts.values():
+            for counts in per_distance.values():
+                assert counts.shape == (len(module.victim_rows),)
+
+    def test_wcdp_chosen_per_module(self, temp_result):
+        for module in temp_result.modules:
+            assert module.wcdp_name
+
+    def test_cell_observations_consistent(self, temp_result):
+        module = temp_result.modules[0]
+        observations = module.cell_observations()
+        total_cells = {obs.cell_id for obs in observations}
+        union = set()
+        for cells in module.flip_cells.values():
+            union |= cells
+        assert total_cells == union
+
+    def test_reference_temperature_is_minimum(self, temp_result):
+        assert temp_result.reference_temperature == min(QUICK.temperatures_c)
+
+    def test_reports_render(self, temp_result):
+        assert "Table 3" in report.table3(temp_result)
+        assert "Fig. 3" in report.fig3(temp_result, "A")
+        assert "Fig. 4" in report.fig4(temp_result)
+        assert "Fig. 5" in report.fig5(temp_result)
+
+    def test_deterministic_given_seed(self):
+        a = TemperatureStudy(QUICK).run_module(QUICK.module_specs()[0])
+        b = TemperatureStudy(QUICK).run_module(QUICK.module_specs()[0])
+        assert a.hcfirst == b.hcfirst
+
+
+class TestActiveTimeStudy:
+    def test_grids_measured(self, act_result):
+        for module in act_result.modules:
+            for value in QUICK.t_agg_on_grid_ns:
+                assert ("on", value) in module.row_ber
+            for value in QUICK.t_agg_off_grid_ns:
+                assert ("off", value) in module.hcfirst
+
+    def test_chip_ber_shape(self, act_result):
+        module = act_result.modules[0]
+        key = ("on", QUICK.t_agg_on_grid_ns[0])
+        assert module.chip_ber[key].shape == (module.n_chips,)
+
+    def test_box_and_letter_summaries(self, act_result):
+        for mfr in act_result.manufacturers:
+            box = act_result.ber_box(mfr, "on", 34.5)
+            assert box.n > 0
+            lv = act_result.hcfirst_letter_values(mfr, "on", 34.5)
+            assert lv.n > 0
+
+    def test_reports_render(self, act_result):
+        for renderer in (report.fig7, report.fig8, report.fig9, report.fig10):
+            text = renderer(act_result)
+            assert "Mfr. A" in text
+
+
+class TestSpatialStudy:
+    def test_hcfirst_per_row(self, spatial_result):
+        module = spatial_result.modules[0]
+        assert set(module.hcfirst_by_row) == set(module.victim_rows)
+
+    def test_column_counts_shape(self, spatial_result):
+        for module in spatial_result.modules:
+            counts = module.column_flip_counts
+            assert counts is not None
+            assert counts.shape[1] == QUICK.column_cols
+            assert counts.sum() > 0
+
+    def test_subarray_samples(self, spatial_result):
+        module = spatial_result.modules[0]
+        assert len(module.subarray_hcfirst) >= 2
+
+    def test_percentile_helpers(self, spatial_result):
+        value = spatial_result.mean_percentile_over_min(95)
+        assert np.isfinite(value)
+        assert value >= 1.0
+
+    def test_reports_render(self, spatial_result):
+        for renderer in (report.fig11, report.fig12, report.fig14):
+            assert "Mfr." in renderer(spatial_result)
+        assert "Fig. 13" in report.fig13(spatial_result, "B")
+        # QUICK has one module per manufacturer, so Fig. 15 has no
+        # different-module pairs; the header still renders.
+        assert "Fig. 15" in report.fig15(spatial_result)

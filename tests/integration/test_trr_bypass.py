@@ -1,0 +1,51 @@
+"""TRRespass-style many-sided bypass of the on-die TRR."""
+
+import pytest
+
+from repro.attacks.trr_bypass import bypass_sweep, replay_against_trr
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+from repro.dram.trr import TargetRowRefresh
+from repro.errors import ConfigError
+from repro.rng import SeedSequenceTree
+
+
+@pytest.fixture()
+def trr_module(small_geometry):
+    module = spec_by_id("B0").instantiate(geometry=small_geometry)
+    module.trr = TargetRowRefresh(SeedSequenceTree(2, "bypass"),
+                                  table_size=1, sample_probability=0.5)
+    module.temperature_c = 75.0
+    return module
+
+
+PATTERN = pattern_by_name("checkered")
+
+
+class TestReplay:
+    def test_double_sided_is_blocked(self, trr_module):
+        outcome = replay_against_trr(trr_module, 700, PATTERN, sides=2,
+                                     total_hammers=300_000)
+        assert not outcome.bypassed
+        assert outcome.trr_refreshes > 0
+
+    def test_many_sided_gets_through(self, trr_module):
+        outcome = replay_against_trr(trr_module, 700, PATTERN, sides=12,
+                                     total_hammers=300_000)
+        assert outcome.bypassed
+
+    def test_sweep_monotone_in_sides(self, trr_module):
+        outcomes = bypass_sweep(trr_module, 700, PATTERN,
+                                sides_grid=(2, 12))
+        assert outcomes[0].victim_flips <= outcomes[-1].victim_flips
+        assert not outcomes[0].bypassed
+        assert outcomes[-1].bypassed
+
+    def test_requires_trr(self, small_geometry):
+        module = spec_by_id("B0").instantiate(geometry=small_geometry)
+        with pytest.raises(ConfigError):
+            replay_against_trr(module, 700, PATTERN, sides=2)
+
+    def test_requires_two_sides(self, trr_module):
+        with pytest.raises(ConfigError):
+            replay_against_trr(trr_module, 700, PATTERN, sides=1)

@@ -1,0 +1,69 @@
+"""Property-based guarantees of the tracking defenses.
+
+Graphene's security argument is that *no* activation sequence can bring a
+row to the refresh threshold undetected; BlockHammer's is that no row can
+land more than its activation budget per window.  Hypothesis searches for
+adversarial sequences violating these bounds.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.defenses.blockhammer import BlockHammer
+from repro.defenses.graphene import Graphene
+from repro.defenses.para import PARA
+from repro.rng import SeedSequenceTree
+
+ROWS = 64
+
+# Adversarial sequences: heavy repetition of a few rows mixed with noise.
+sequences = st.lists(
+    st.one_of(st.integers(0, 3), st.integers(0, ROWS - 1)),
+    min_size=1, max_size=3000)
+
+
+@given(sequences)
+@settings(max_examples=60, deadline=None)
+def test_graphene_bounds_untracked_activations(sequence):
+    """Between refreshes of a row's neighbors, no row accumulates more
+    than threshold + table-spillover activations undetected."""
+    g = Graphene(hcfirst=64, rows_per_bank=ROWS, acts_per_window=4096)
+    since_refresh = Counter()
+    for row in sequence:
+        refreshed = g.on_activate(0, row, 0.0)
+        since_refresh[row] += 1
+        if refreshed:
+            # The refresh of row r's neighbors is triggered by aggressor
+            # r itself, resetting its accumulated damage budget.
+            since_refresh[row] = 0
+        # Misra-Gries guarantee: a row's true count never exceeds its
+        # tracked count by more than the spillover (acts / table size).
+        bound = g.threshold + len(sequence) // g.table_entries + 1
+        assert since_refresh[row] <= bound
+
+
+@given(sequences)
+@settings(max_examples=60, deadline=None)
+def test_blockhammer_never_underestimates(sequence):
+    """The counting Bloom filter estimate is always >= the true count
+    (no false negatives), so blacklisting can never be evaded."""
+    bh = BlockHammer(hcfirst=512, filter_size=256)
+    truth = Counter()
+    for row in sequence[:800]:
+        bh.on_activate(0, row, 0.0)
+        truth[row] += 1
+        estimate = max(f.estimate(0, row) for f in bh.filters)
+        assert estimate >= truth[row]
+
+
+@given(st.integers(0, ROWS - 1), st.integers(1, 2000))
+@settings(max_examples=40, deadline=None)
+def test_para_expected_refreshes_scale(row, n_acts):
+    """PARA's triggers concentrate around p * n (its protection math)."""
+    para = PARA(0.2, SeedSequenceTree(9, "para-prop"), ROWS)
+    triggers = sum(
+        bool(para.on_activate(0, row, 0.0)) for _ in range(n_acts))
+    expected = 0.2 * n_acts
+    slack = 6.0 * (expected ** 0.5) + 3.0
+    assert abs(triggers - expected) <= slack

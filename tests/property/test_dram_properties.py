@@ -1,0 +1,78 @@
+"""Property-based tests for DRAM substrate invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.data import CHECKERED, COLSTRIPE, ROWSTRIPE
+from repro.dram.ecc import OnDieECC, codeword_of
+from repro.dram.geometry import Geometry
+
+
+@st.composite
+def geometries(draw):
+    return Geometry(
+        banks=draw(st.integers(1, 4)),
+        rows_per_bank=draw(st.integers(128, 8192)),
+        cols_per_row=draw(st.integers(16, 256)),
+        bits_per_col=draw(st.sampled_from([4, 8])),
+        chips=draw(st.integers(1, 16)),
+        subarray_rows=draw(st.sampled_from([32, 64, 128])),
+    )
+
+
+@given(geometries())
+@settings(max_examples=60)
+def test_subarrays_partition_rows(geometry):
+    covered = []
+    for subarray in range(geometry.subarrays_per_bank):
+        covered.extend(geometry.rows_of_subarray(subarray))
+    assert covered == list(range(geometry.rows_per_bank))
+
+
+@given(geometries(), st.data())
+@settings(max_examples=60)
+def test_neighbors_symmetric(geometry, data):
+    row = data.draw(st.integers(0, geometry.rows_per_bank - 1))
+    for neighbor, distance in geometry.neighbors(row):
+        back = dict(geometry.neighbors(neighbor))
+        assert back[row] == -distance
+
+
+@given(st.sampled_from([COLSTRIPE, CHECKERED, ROWSTRIPE]),
+       st.integers(0, 1000), st.integers(0, 1000))
+@settings(max_examples=100)
+def test_pattern_complement_inverts_every_bit(pattern, row, victim):
+    inverse = pattern.complemented()
+    for bit in range(8):
+        assert (pattern.bit_for(row, victim, 0, 0, bit)
+                ^ inverse.bit_for(row, victim, 0, 0, bit)) == 1
+
+
+@given(st.integers(0, 4095), st.integers(0, 7),
+       st.sampled_from([4, 8]))
+@settings(max_examples=100)
+def test_codeword_of_contiguous(col, bit, width):
+    word = codeword_of(col, bit % width, width)
+    linear = col * width + (bit % width)
+    assert word == linear // 64
+
+
+@st.composite
+def flip_lists(draw):
+    from tests.unit.dram.test_ecc import Flip
+
+    n = draw(st.integers(0, 20))
+    return [
+        Flip(draw(st.integers(0, 3)), draw(st.integers(0, 63)),
+             draw(st.integers(0, 7)))
+        for _ in range(n)
+    ]
+
+
+@given(flip_lists())
+@settings(max_examples=100)
+def test_ecc_survivors_subset_and_accounted(flips):
+    ecc = OnDieECC()
+    survivors = ecc.filter_flips(flips)
+    assert set(survivors) <= set(flips)
+    assert ecc.corrected + ecc.escaped == len(set(flips)) + (
+        len(flips) - len(set(flips)))  # duplicates count individually

@@ -1,0 +1,43 @@
+"""Property-based tests: row mappings are always bijections."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.mapping import (
+    BitInversionMapping,
+    DirectMapping,
+    HalfSwapMapping,
+)
+
+MAPPING_CLASSES = [DirectMapping, HalfSwapMapping, BitInversionMapping]
+
+mapping_strategy = st.builds(
+    lambda cls, rows: cls(rows),
+    st.sampled_from(MAPPING_CLASSES),
+    st.integers(min_value=8, max_value=4096),
+)
+
+
+@given(mapping_strategy, st.data())
+@settings(max_examples=80)
+def test_roundtrip(mapping, data):
+    row = data.draw(st.integers(min_value=0, max_value=mapping.rows - 1))
+    phys = mapping.logical_to_physical(row)
+    assert 0 <= phys < mapping.rows
+    assert mapping.physical_to_logical(phys) == row
+
+
+@given(mapping_strategy)
+@settings(max_examples=30)
+def test_injective_on_prefix(mapping):
+    prefix = range(min(mapping.rows, 256))
+    images = [mapping.logical_to_physical(r) for r in prefix]
+    assert len(set(images)) == len(images)
+
+
+@given(mapping_strategy, st.data())
+@settings(max_examples=50)
+def test_neighbors_are_physically_adjacent(mapping, data):
+    row = data.draw(st.integers(min_value=0, max_value=mapping.rows - 1))
+    phys = mapping.logical_to_physical(row)
+    for neighbor in mapping.physical_neighbors_logical(row):
+        assert abs(mapping.logical_to_physical(neighbor) - phys) == 1

@@ -1,0 +1,76 @@
+"""Property-based tests on fault-model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.data import PATTERNS
+from repro.dram.geometry import Geometry
+from repro.faultmodel.kinetics import DisturbanceKinetics
+from repro.faultmodel.population import CellPopulation
+from repro.faultmodel.profiles import PROFILES
+from repro.rng import SeedSequenceTree
+
+GEOMETRY = Geometry(banks=1, rows_per_bank=2048, cols_per_row=64,
+                    bits_per_col=8, chips=2)
+
+_POPULATION = CellPopulation(PROFILES["A"], GEOMETRY,
+                             SeedSequenceTree(88, "props"))
+
+
+@given(st.floats(min_value=34.5, max_value=1000.0),
+       st.floats(min_value=34.5, max_value=1000.0))
+@settings(max_examples=100)
+def test_on_time_factor_monotone(t1, t2):
+    kinetics = DisturbanceKinetics(0.3, 0.4, 34.5, 16.5)
+    lo, hi = sorted((t1, t2))
+    assert kinetics.on_time_factor(lo) <= kinetics.on_time_factor(hi) + 1e-12
+
+
+@given(st.floats(min_value=16.5, max_value=1000.0),
+       st.floats(min_value=16.5, max_value=1000.0))
+@settings(max_examples=100)
+def test_off_time_factor_antitone(t1, t2):
+    kinetics = DisturbanceKinetics(0.3, 0.4, 34.5, 16.5)
+    lo, hi = sorted((t1, t2))
+    assert kinetics.off_time_factor(lo) >= kinetics.off_time_factor(hi) - 1e-12
+
+
+@given(st.integers(min_value=2, max_value=GEOMETRY.rows_per_bank - 3),
+       st.sampled_from([p.name for p in PATTERNS]),
+       st.sampled_from([50.0, 65.0, 75.0, 90.0]))
+@settings(max_examples=60, deadline=None)
+def test_thresholds_positive_or_inf(row, pattern_name, temperature):
+    from repro.dram.data import pattern_by_name
+
+    cells = _POPULATION.cells_for(0, row)
+    if not len(cells):
+        return
+    thresholds = cells.thresholds(temperature, pattern_by_name(pattern_name),
+                                  row)
+    assert (thresholds > 0).all()
+
+
+@given(st.integers(min_value=2, max_value=GEOMETRY.rows_per_bank - 3),
+       st.floats(min_value=50.0, max_value=90.0))
+@settings(max_examples=60, deadline=None)
+def test_flip_count_monotone_in_damage(row, temperature):
+    from repro.dram.data import ROWSTRIPE
+
+    cells = _POPULATION.cells_for(0, row)
+    if not len(cells):
+        return
+    thresholds = cells.thresholds(temperature, ROWSTRIPE, row)
+    counts = [int(np.sum(thresholds <= u)) for u in (1e4, 1e5, 1e6, 1e7)]
+    assert counts == sorted(counts)
+
+
+@given(st.integers(min_value=0, max_value=5))
+@settings(max_examples=6, deadline=None)
+def test_population_regeneration_identical(row):
+    fresh = CellPopulation(PROFILES["A"], GEOMETRY,
+                           SeedSequenceTree(88, "props"))
+    a = _POPULATION.cells_for(0, row + 10)
+    b = fresh.cells_for(0, row + 10)
+    assert np.array_equal(a.hc_base, b.hc_base)
+    assert np.array_equal(a.t_lo, b.t_lo)

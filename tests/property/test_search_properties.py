@@ -1,0 +1,47 @@
+"""Property-based tests for the HCfirst binary search."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.testing.hcfirst import MAX_HAMMERS, RESOLUTION, binary_search_hcfirst
+
+
+@given(st.integers(min_value=1, max_value=MAX_HAMMERS))
+@settings(max_examples=200)
+def test_search_brackets_any_threshold(threshold):
+    result = binary_search_hcfirst(lambda hc: hc >= threshold)
+    assert result is not None
+    # The reported count always produced a flip...
+    assert result >= threshold
+    # ...and sits within a few resolution steps of the true threshold
+    # (or at the floor for extremely vulnerable rows).
+    assert result - threshold <= 4 * RESOLUTION or result <= 2 * RESOLUTION
+
+
+@given(st.integers(min_value=MAX_HAMMERS + 1, max_value=MAX_HAMMERS * 10))
+@settings(max_examples=30)
+def test_search_reports_invulnerable(threshold):
+    assert binary_search_hcfirst(lambda hc: hc >= threshold) is None
+
+
+@given(st.integers(min_value=1, max_value=MAX_HAMMERS),
+       st.integers(min_value=9, max_value=14))
+@settings(max_examples=60)
+def test_resolution_controls_accuracy(threshold, resolution_log2):
+    resolution = 2 ** resolution_log2
+    result = binary_search_hcfirst(lambda hc: hc >= threshold,
+                                   resolution=resolution)
+    assert result is not None
+    assert result - threshold <= 4 * resolution or result <= 2 * resolution
+
+
+@given(st.integers(min_value=1, max_value=MAX_HAMMERS))
+@settings(max_examples=50)
+def test_search_never_tests_beyond_bounds(threshold):
+    tested = []
+
+    def predicate(hc):
+        tested.append(hc)
+        return hc >= threshold
+
+    binary_search_hcfirst(predicate)
+    assert all(RESOLUTION <= hc <= MAX_HAMMERS for hc in tested)

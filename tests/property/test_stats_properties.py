@@ -1,0 +1,87 @@
+"""Property-based tests for the statistics helpers."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.distance import (
+    bhattacharyya_coefficient,
+    bhattacharyya_distance,
+    histogram_distribution,
+)
+from repro.analysis.regression import linear_fit
+from repro.analysis.stats import BoxStats, coefficient_of_variation
+
+positive_samples = st.lists(
+    st.floats(min_value=0.1, max_value=1e6, allow_nan=False), min_size=2,
+    max_size=60)
+
+
+@given(positive_samples, st.floats(min_value=0.01, max_value=1000))
+@settings(max_examples=100)
+def test_cv_scale_invariant(values, scale):
+    base = coefficient_of_variation(values)
+    scaled = coefficient_of_variation([v * scale for v in values])
+    assert np.isclose(base, scaled, rtol=1e-6, atol=1e-9)
+
+
+@given(positive_samples)
+@settings(max_examples=100)
+def test_cv_nonnegative(values):
+    assert coefficient_of_variation(values) >= 0.0
+
+
+@given(positive_samples)
+@settings(max_examples=100)
+def test_box_stats_ordering(values):
+    box = BoxStats.from_values(values)
+    assert box.whisker_low <= box.q1 <= box.median <= box.q3 <= box.whisker_high
+    assert box.n == len(values)
+
+
+@st.composite
+def distributions(draw, size=12):
+    raw = draw(arrays(np.float64, size,
+                      elements=st.floats(min_value=0.01, max_value=1.0)))
+    return raw / raw.sum()
+
+
+@given(distributions(), distributions())
+@settings(max_examples=100)
+def test_bhattacharyya_bounds(p, q):
+    coefficient = bhattacharyya_coefficient(p, q)
+    assert 0.0 < coefficient <= 1.0 + 1e-9
+    assert bhattacharyya_distance(p, q) >= -1e-9
+
+
+@given(distributions())
+@settings(max_examples=50)
+def test_bhattacharyya_self_is_zero(p):
+    assert bhattacharyya_distance(p, p) == np.float64(0) or \
+        abs(bhattacharyya_distance(p, p)) < 1e-9
+
+
+@given(st.lists(st.floats(min_value=-1e5, max_value=1e5), min_size=3,
+                max_size=40))
+@settings(max_examples=100)
+def test_histogram_distribution_normalized(values):
+    bins = np.linspace(-1e5, 1e5, 9)
+    dist = histogram_distribution(values, bins)
+    assert np.isclose(dist.sum(), 1.0)
+    assert (dist > 0).all()
+
+
+@given(st.floats(min_value=-100, max_value=100),
+       st.floats(min_value=-1e4, max_value=1e4),
+       st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=3,
+                max_size=30, unique=True))
+@settings(max_examples=100)
+def test_linear_fit_recovers_exact_lines(slope, intercept, xs):
+    assume(len(set(xs)) >= 2)
+    ys = [slope * x + intercept for x in xs]
+    # Skip numerically degenerate inputs where the signal drowns in the
+    # float rounding of slope*x + intercept.
+    assume(np.std(ys) > 1e-6 * (abs(intercept) + 1.0))
+    fit = linear_fit(xs, ys)
+    assert np.isclose(fit.slope, slope, atol=1e-6 + abs(slope) * 1e-6)
+    assert fit.r2 >= 1.0 - 1e-6

@@ -1,0 +1,46 @@
+"""Property-based tests for the system address mapping."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.timing import DDR4_2400
+from repro.sysmap.mapping import DramAddress, SystemAddressMapping
+from repro.sysmap.timing_channel import RowConflictOracle, recover_bank_masks
+
+
+@st.composite
+def mappings(draw):
+    bank_bits = draw(st.integers(1, 4))
+    return SystemAddressMapping(
+        col_bits=draw(st.integers(2, 7)),
+        bank_bits=bank_bits,
+        row_bits=draw(st.integers(bank_bits + 2, 12)),
+        col_shift=draw(st.integers(0, 4)),
+    )
+
+
+@given(mappings(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_compose_decompose_roundtrip(mapping, data):
+    address = DramAddress(
+        bank=data.draw(st.integers(0, mapping.banks - 1)),
+        row=data.draw(st.integers(0, mapping.rows - 1)),
+        col=data.draw(st.integers(0, mapping.cols - 1)),
+    )
+    assert mapping.decompose(mapping.compose(address)) == address
+
+
+@given(mappings(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_decompose_total_on_space(mapping, data):
+    pa = data.draw(st.integers(0, (1 << mapping.address_bits) - 1))
+    coords = mapping.decompose(pa)
+    assert 0 <= coords.bank < mapping.banks
+    assert 0 <= coords.row < mapping.rows
+    assert 0 <= coords.col < mapping.cols
+
+
+@given(mappings())
+@settings(max_examples=25, deadline=None)
+def test_bank_masks_recoverable_from_timing(mapping):
+    oracle = RowConflictOracle(mapping, DDR4_2400)
+    assert recover_bank_masks(oracle) == tuple(sorted(mapping.bank_masks()))

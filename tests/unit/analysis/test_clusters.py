@@ -1,0 +1,112 @@
+"""Tests for the Fig. 3 / Fig. 13 clustering analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clusters import (
+    CellTemperatureObservations,
+    TemperatureRangeGrid,
+    column_vulnerability_buckets,
+)
+from repro.errors import ConfigError
+
+
+def obs(cell_id, temps):
+    return CellTemperatureObservations(cell_id=cell_id,
+                                       flip_temperatures=tuple(temps))
+
+
+class TestTemperatureRangeGrid:
+    def test_basic_clustering(self):
+        grid = TemperatureRangeGrid.from_observations([
+            obs((0,), [50, 55, 60, 65, 70, 75, 80, 85, 90]),
+            obs((1,), [70]),
+            obs((2,), [70]),
+            obs((3,), [60, 65, 70]),
+        ])
+        assert grid.n_cells == 4
+        assert grid.fraction(50, 90) == 0.25
+        assert grid.fraction(70, 70) == 0.5
+        assert grid.fraction(60, 70) == 0.25
+
+    def test_full_sweep_fraction(self):
+        grid = TemperatureRangeGrid.from_observations([
+            obs((0,), [50, 55, 60, 65, 70, 75, 80, 85, 90]),
+            obs((1,), [55]),
+        ])
+        assert grid.full_sweep_fraction == 0.5
+
+    def test_single_and_interior_fractions(self):
+        grid = TemperatureRangeGrid.from_observations([
+            obs((0,), [50]),    # censored edge single
+            obs((1,), [70]),    # interior single
+            obs((2,), [90]),    # censored edge single
+            obs((3,), [60, 65]),
+        ])
+        assert grid.single_temperature_fraction == 0.75
+        assert grid.interior_single_fraction == 0.25
+
+    def test_narrow_fraction(self):
+        grid = TemperatureRangeGrid.from_observations([
+            obs((0,), [60, 65]),
+            obs((1,), [50, 55, 60, 65, 70]),
+        ])
+        assert grid.narrow_fraction(5.0) == 0.5
+        assert grid.narrow_fraction(20.0) == 1.0
+
+    def test_gap_detection(self):
+        grid = TemperatureRangeGrid.from_observations([
+            obs((0,), [60, 65, 70]),       # continuous
+            obs((1,), [60, 70]),           # one gap at 65
+        ])
+        assert grid.no_gap_fraction == 0.5
+        assert grid.one_gap_fraction == 0.5
+
+    def test_at_or_above_fraction(self):
+        grid = TemperatureRangeGrid.from_observations([
+            obs((0,), [80, 85]),
+            obs((1,), [50, 55]),
+        ])
+        assert grid.at_or_above_fraction(80.0) == 0.5
+
+    def test_off_grid_temperature_rejected(self):
+        with pytest.raises(ConfigError):
+            TemperatureRangeGrid.from_observations([obs((0,), [62.0])])
+
+    def test_empty(self):
+        grid = TemperatureRangeGrid.from_observations([])
+        assert grid.n_cells == 0
+        assert np.isnan(grid.no_gap_fraction)
+
+    def test_cells_without_flips_ignored(self):
+        grid = TemperatureRangeGrid.from_observations([
+            obs((0,), []), obs((1,), [70]),
+        ])
+        assert grid.n_cells == 1
+
+
+class TestColumnBuckets:
+    def test_matrix_sums_to_one(self):
+        counts = np.array([[0, 5, 10], [0, 5, 2]])
+        matrix, _rel, _cv = column_vulnerability_buckets(counts)
+        assert matrix.sum() == pytest.approx(1.0)
+        assert matrix.shape == (11, 11)
+
+    def test_relative_vulnerability(self):
+        counts = np.array([[0, 5, 10], [0, 5, 10]])
+        _m, rel, _cv = column_vulnerability_buckets(counts)
+        assert rel.tolist() == [0.0, 0.5, 1.0]
+
+    def test_cv_zero_for_identical_chips(self):
+        counts = np.array([[4, 8], [4, 8], [4, 8]])
+        _m, _rel, cv = column_vulnerability_buckets(counts)
+        assert cv.tolist() == [0.0, 0.0]
+
+    def test_cv_saturates_at_one(self):
+        counts = np.array([[100, 0], [0, 0], [0, 0], [0, 0]])
+        _m, _rel, cv = column_vulnerability_buckets(counts)
+        assert cv[0] == 1.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigError):
+            column_vulnerability_buckets(np.array([1, 2, 3]))

@@ -1,0 +1,82 @@
+"""Tests for Bhattacharyya distance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance import (
+    bhattacharyya_coefficient,
+    bhattacharyya_distance,
+    histogram_distribution,
+    normalized_bhattacharyya,
+    pairwise_bd_norm,
+)
+from repro.errors import ConfigError
+from repro.rng import derive
+
+
+class TestBhattacharyya:
+    def test_identical_distributions_zero_distance(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert bhattacharyya_coefficient(p, p) == pytest.approx(1.0)
+        assert bhattacharyya_distance(p, p) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        p = np.array([0.7, 0.2, 0.1])
+        q = np.array([0.1, 0.3, 0.6])
+        assert bhattacharyya_distance(p, q) == pytest.approx(
+            bhattacharyya_distance(q, p))
+
+    def test_disjoint_supports_infinite(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert bhattacharyya_distance(p, q) == float("inf")
+
+    def test_mismatched_support_rejected(self):
+        with pytest.raises(ConfigError):
+            bhattacharyya_coefficient(np.ones(3) / 3, np.ones(4) / 4)
+
+    def test_more_different_is_larger(self):
+        p = np.array([0.5, 0.5, 0.0])
+        close = np.array([0.45, 0.55, 0.0])
+        far = np.array([0.1, 0.2, 0.7])
+        assert (bhattacharyya_distance(p, close)
+                < bhattacharyya_distance(p, far))
+
+
+class TestHistogramDistribution:
+    def test_normalized(self):
+        bins = np.linspace(0, 10, 6)
+        dist = histogram_distribution([1, 2, 3, 9], bins)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_smoothing_avoids_zeros(self):
+        bins = np.linspace(0, 10, 6)
+        dist = histogram_distribution([1.0], bins, smoothing=0.5)
+        assert (dist > 0).all()
+
+
+class TestNormalized:
+    def test_same_population_near_one(self):
+        gen = derive(1, "bd")
+        sample = gen.normal(100, 10, size=600)
+        other = gen.normal(100, 10, size=600)
+        value = normalized_bhattacharyya(sample, other)
+        # Within a few times the split-half similarity floor.
+        assert 0.3 < value < 5.0
+
+    def test_different_population_far_from_one(self):
+        gen = derive(2, "bd")
+        a = gen.normal(100, 10, size=600)
+        b = gen.normal(200, 10, size=600)
+        same = normalized_bhattacharyya(a, gen.normal(100, 10, size=600))
+        different = normalized_bhattacharyya(a, b)
+        assert abs(different - 1.0) > abs(same - 1.0)
+
+    def test_empty_sample_nan(self):
+        assert np.isnan(normalized_bhattacharyya([], [1.0, 2.0]))
+
+    def test_pairwise_excludes_self(self):
+        samples = [np.arange(100.0), np.arange(100.0) + 5]
+        indices, values = pairwise_bd_norm(samples)
+        assert len(indices) == 2
+        assert all(i != j for i, j in indices)

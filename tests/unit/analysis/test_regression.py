@@ -1,0 +1,52 @@
+"""Tests for the linear regression helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.errors import ConfigError
+from repro.rng import derive
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        fit = linear_fit(x, 0.42 * x + 3833.0)
+        assert fit.slope == pytest.approx(0.42)
+        assert fit.intercept == pytest.approx(3833.0)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.n == 4
+
+    def test_predict(self):
+        fit = LinearFit(2.0, 1.0, 1.0, 10)
+        assert fit.predict(3.0) == 7.0
+
+    def test_noise_lowers_r2(self):
+        gen = derive(3, "fit")
+        x = np.linspace(0, 100, 200)
+        clean = linear_fit(x, 2 * x)
+        noisy = linear_fit(x, 2 * x + gen.normal(0, 60, size=x.size))
+        assert noisy.r2 < clean.r2
+
+    def test_constant_y_r2_one(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r2 == 1.0
+
+    def test_nonfinite_points_dropped(self):
+        fit = linear_fit([1, 2, 3, 4], [2, 4, np.inf, 8])
+        assert fit.n == 3
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_str_matches_paper_format(self):
+        fit = LinearFit(0.42, 3833.0, 0.93, 24)
+        assert "0.42x" in str(fit)
+        assert "0.93" in str(fit)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigError):
+            linear_fit([1.0], [1.0])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ConfigError):
+            linear_fit([1, 2], [1, 2, 3])

@@ -1,0 +1,147 @@
+"""Tests for descriptive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    BoxStats,
+    LetterValueStats,
+    coefficient_of_variation,
+    mean_confidence_interval,
+    percentile_markers,
+    sorted_change_curve,
+    summarize_change,
+)
+from repro.errors import ConfigError
+
+
+class TestCV:
+    def test_known_value(self):
+        # sd([1,3]) = 1 (population), mean = 2 -> CV = 0.5.
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_constant_sample_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_empty_is_nan(self):
+        assert np.isnan(coefficient_of_variation([]))
+
+    def test_zero_mean_is_nan(self):
+        assert np.isnan(coefficient_of_variation([-1.0, 1.0]))
+
+    def test_scale_invariance(self):
+        values = [1.0, 2.0, 5.0, 9.0]
+        assert coefficient_of_variation(values) == pytest.approx(
+            coefficient_of_variation([v * 17 for v in values]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            coefficient_of_variation(np.ones((2, 2)))
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1, 2, 3, 4, 5])
+        assert low < mean < high
+        assert mean == 3.0
+
+    def test_single_sample_collapses(self):
+        mean, low, high = mean_confidence_interval([7.0])
+        assert mean == low == high == 7.0
+
+    def test_constant_sample_collapses(self):
+        mean, low, high = mean_confidence_interval([2.0] * 10)
+        assert low == high == 2.0
+
+    def test_wider_at_higher_confidence(self):
+        data = list(range(20))
+        _, low95, high95 = mean_confidence_interval(data, 0.95)
+        _, low99, high99 = mean_confidence_interval(data, 0.99)
+        assert (high99 - low99) > (high95 - low95)
+
+    def test_empty_is_nan(self):
+        mean, low, high = mean_confidence_interval([])
+        assert np.isnan(mean)
+
+
+class TestPercentileMarkers:
+    def test_descending_convention(self):
+        values = list(range(1, 101))
+        markers = percentile_markers(values, percentiles=(5, 95))
+        # Descending: P5 is near the top of the distribution.
+        assert markers["P5"] > markers["P95"]
+        assert markers["P5"] == pytest.approx(95.05)
+
+    def test_ascending_option(self):
+        values = list(range(1, 101))
+        markers = percentile_markers(values, percentiles=(5,), descending=False)
+        assert markers["P5"] == pytest.approx(5.95)
+
+    def test_empty_gives_nans(self):
+        markers = percentile_markers([], percentiles=(50,))
+        assert np.isnan(markers["P50"])
+
+
+class TestBoxStats:
+    def test_quartiles(self):
+        box = BoxStats.from_values(list(range(1, 101)))
+        assert box.median == pytest.approx(50.5)
+        assert box.q1 == pytest.approx(25.75)
+        assert box.q3 == pytest.approx(75.25)
+        assert box.iqr == pytest.approx(49.5)
+        assert box.n == 100
+
+    def test_outliers_counted(self):
+        values = [10.0] * 50 + [1000.0]
+        box = BoxStats.from_values(values)
+        assert box.n_outliers == 1
+        assert box.whisker_high == 10.0
+
+    def test_empty(self):
+        box = BoxStats.from_values([])
+        assert box.n == 0
+        assert np.isnan(box.median)
+
+
+class TestLetterValues:
+    def test_median_and_fourths(self):
+        lv = LetterValueStats.from_values(list(range(1, 1001)))
+        assert lv.median == pytest.approx(500.5)
+        low_f, high_f = lv.levels["F"]
+        assert low_f == pytest.approx(250.75)
+        assert high_f == pytest.approx(750.25)
+
+    def test_deeper_levels_with_more_data(self):
+        small = LetterValueStats.from_values(list(range(20)))
+        large = LetterValueStats.from_values(list(range(20000)))
+        assert len(large.levels) > len(small.levels)
+
+    def test_outlier_fraction(self):
+        lv = LetterValueStats.from_values(list(range(10000)),
+                                          outlier_fraction=0.01)
+        assert len(lv.outliers) == pytest.approx(100, abs=20)
+
+    def test_empty(self):
+        lv = LetterValueStats.from_values([])
+        assert lv.n == 0
+        assert np.isnan(lv.median)
+
+
+class TestChangeSummaries:
+    def test_summarize_change(self):
+        summary = summarize_change([100, 100], [110, 90])
+        assert summary["mean_change_pct"] == pytest.approx(0.0)
+        assert summary["fraction_positive"] == pytest.approx(0.5)
+        assert summary["cumulative_magnitude"] == pytest.approx(20.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize_change([1], [1, 2])
+
+    def test_sorted_change_curve_descending(self):
+        curve = sorted_change_curve([100, 100, 100], [150, 90, 120])
+        assert list(curve) == pytest.approx([50.0, 20.0, -10.0])
+
+    def test_zero_baseline_dropped(self):
+        curve = sorted_change_curve([0.0, 100.0], [5.0, 110.0])
+        assert curve.size == 1

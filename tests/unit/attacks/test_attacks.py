@@ -1,0 +1,115 @@
+"""Tests for attack patterns and the three attack improvements."""
+
+import pytest
+
+from repro.attacks.access_patterns import (
+    double_sided_aggressors,
+    many_sided_aggressors,
+    single_sided_aggressors,
+)
+from repro.attacks.improvements import (
+    ActiveTimeAmplification,
+    TemperatureTrigger,
+    plan_temperature_aware_attack,
+)
+from repro.errors import ConfigError
+
+
+class TestAccessPatterns:
+    def test_single_sided(self):
+        assert single_sided_aggressors(7) == (7,)
+
+    def test_double_sided(self):
+        assert double_sided_aggressors(100) == (99, 101)
+
+    def test_double_sided_edge_rejected(self):
+        with pytest.raises(ConfigError):
+            double_sided_aggressors(0)
+
+    def test_many_sided_keeps_double_pair(self):
+        rows = many_sided_aggressors(100, sides=4)
+        assert 99 in rows and 101 in rows
+        assert len(rows) == 4
+        assert len(set(rows)) == 4
+
+    def test_many_sided_odd_count(self):
+        assert len(many_sided_aggressors(100, sides=5)) == 5
+
+    def test_many_sided_validation(self):
+        with pytest.raises(ConfigError):
+            many_sided_aggressors(100, sides=1)
+        with pytest.raises(ConfigError):
+            many_sided_aggressors(1, sides=6)
+
+
+class TestTemperatureAwarePlanning:
+    def test_informed_beats_baseline(self, module_a, rowstripe):
+        plan = plan_temperature_aware_attack(
+            module_a, 0, list(range(600, 616)), (50.0, 70.0, 90.0),
+            rowstripe)
+        assert plan.hcfirst <= plan.baseline_hcfirst
+        assert 0.0 <= plan.hammer_reduction < 1.0
+
+    def test_chosen_point_is_grid_minimum(self, module_a, rowstripe):
+        from repro.testing.hammer import HammerTester
+
+        rows = list(range(600, 612))
+        temps = (50.0, 90.0)
+        plan = plan_temperature_aware_attack(module_a, 0, rows, temps,
+                                             rowstripe)
+        tester = HammerTester(module_a)
+        for temp in temps:
+            for row in rows:
+                hc = tester.hcfirst(0, row, rowstripe, temperature_c=temp)
+                if hc is not None:
+                    assert plan.hcfirst <= hc
+
+    def test_empty_candidates_rejected(self, module_a, rowstripe):
+        with pytest.raises(ConfigError):
+            plan_temperature_aware_attack(module_a, 0, [], (50.0,), rowstripe)
+
+
+class TestTemperatureTrigger:
+    def test_at_or_above_mode(self, module_a, rowstripe):
+        temps = (50.0, 60.0, 70.0, 80.0, 90.0)
+        trigger = TemperatureTrigger.arm(
+            module_a, 0, list(range(600, 700)), rowstripe,
+            target_temperature_c=80.0, temperatures_c=temps,
+            mode="at-or-above")
+        assert trigger.fires(80.0)
+        assert not trigger.fires(50.0)
+
+    def test_unknown_mode_rejected(self, module_a, rowstripe):
+        with pytest.raises(ConfigError):
+            TemperatureTrigger.arm(module_a, 0, [600], rowstripe, 70.0,
+                                   (50.0, 70.0), mode="sideways")
+
+    def test_impossible_target_raises(self, module_a, rowstripe):
+        with pytest.raises(ConfigError):
+            TemperatureTrigger.arm(module_a, 0, [600], rowstripe,
+                                   target_temperature_c=55.0,
+                                   temperatures_c=(50.0, 55.0, 60.0),
+                                   mode="exact")
+
+
+class TestActiveTimeAmplification:
+    def test_reads_stretch_on_time(self, module_a):
+        attack = ActiveTimeAmplification(module_a)
+        assert attack.achieved_t_on_ns(0) == module_a.timing.tRAS
+        assert attack.achieved_t_on_ns(15) > module_a.timing.tRAS
+        assert attack.achieved_t_on_ns(25) > attack.achieved_t_on_ns(10)
+
+    def test_amplification_monotone(self, module_d, checkered):
+        module_d.temperature_c = 50.0
+        attack = ActiveTimeAmplification(module_d)
+        base = attack.evaluate(600, checkered, reads_per_activation=0)
+        amplified = attack.evaluate(600, checkered, reads_per_activation=25)
+        assert amplified.flips >= base.flips
+        if base.hcfirst and amplified.hcfirst:
+            assert amplified.hcfirst <= base.hcfirst
+
+    def test_outcome_metrics(self, module_d, checkered):
+        attack = ActiveTimeAmplification(module_d)
+        outcome = attack.evaluate(600, checkered, reads_per_activation=15)
+        assert outcome.nominal_t_on_ns == module_d.timing.tRAS
+        assert outcome.ber_gain >= 0

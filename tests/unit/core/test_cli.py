@@ -1,0 +1,47 @@
+"""Tests for the deeprh CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig5"])
+        assert args.experiment == "fig5"
+        assert args.preset == "quick"
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig5", "--preset", "huge"])
+
+
+class TestCommands:
+    def test_list_modules(self, capsys):
+        assert main(["list-modules"]) == 0
+        out = capsys.readouterr().out
+        assert "A0" in out and "Kingston" in out
+
+    def test_run_static_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "colstripe" in capsys.readouterr().out
+
+    def test_run_fig6(self, capsys):
+        assert main(["run", "fig6"]) == 0
+        assert "Baseline" in capsys.readouterr().out
+
+    def test_run_table4(self, capsys):
+        assert main(["run", "table4"]) == 0
+        assert "Micron" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_seed_override_accepted(self):
+        args = build_parser().parse_args(["observations", "--seed", "7"])
+        assert args.seed == 7

@@ -1,0 +1,115 @@
+"""Tests for study configuration presets."""
+
+import pytest
+
+from repro.core.config import (
+    ACTTIME_TEMPERATURE_C,
+    BENCH,
+    FULL,
+    PRESETS,
+    QUICK,
+    SPATIAL_TEMPERATURE_C,
+    StudyConfig,
+    T_AGG_OFF_GRID_NS,
+    T_AGG_ON_GRID_NS,
+    preset,
+    subarray_row_sample,
+)
+from repro.dram.geometry import Geometry
+from repro.errors import ConfigError
+
+
+class TestPaperGrids:
+    def test_t_agg_on_grid(self):
+        # Section 6: 34.5 ns to 154.5 ns in 30 ns steps.
+        assert T_AGG_ON_GRID_NS == (34.5, 64.5, 94.5, 124.5, 154.5)
+
+    def test_t_agg_off_grid(self):
+        # Section 6: 16.5 ns to 40.5 ns.
+        assert T_AGG_OFF_GRID_NS[0] == 16.5
+        assert T_AGG_OFF_GRID_NS[-1] == 40.5
+
+    def test_study_temperatures(self):
+        assert ACTTIME_TEMPERATURE_C == 50.0
+        assert SPATIAL_TEMPERATURE_C == 75.0
+
+    def test_default_temperature_sweep(self):
+        assert StudyConfig().temperatures_c == tuple(
+            float(t) for t in range(50, 95, 5))
+
+    def test_ber_hammer_count(self):
+        assert StudyConfig().ber_hammer_count == 150_000
+
+    def test_hcfirst_repetitions_default_five(self):
+        assert StudyConfig().hcfirst_repetitions == 5
+
+
+class TestPresets:
+    def test_preset_lookup(self):
+        assert preset("quick") is QUICK
+        assert preset("bench") is BENCH
+        assert preset("full") is FULL
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError):
+            preset("gigantic")
+
+    def test_quick_smaller_than_full(self):
+        assert QUICK.rows_per_region < FULL.rows_per_region
+        assert QUICK.modules_per_manufacturer < FULL.modules_per_manufacturer
+
+    def test_full_covers_catalog(self):
+        specs = FULL.module_specs()
+        assert len(specs) == 25  # 22 DDR4 + 3 DDR3
+
+    def test_bench_module_selection(self):
+        specs = BENCH.module_specs()
+        assert len(specs) == 8
+        assert {s.manufacturer for s in specs} == {"A", "B", "C", "D"}
+
+    def test_scaled_override(self):
+        scaled = BENCH.scaled(seed=7)
+        assert scaled.seed == 7
+        assert scaled.rows_per_region == BENCH.rows_per_region
+
+    def test_presets_registry(self):
+        assert set(PRESETS) == {"quick", "bench", "full"}
+
+
+class TestValidation:
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ConfigError):
+            StudyConfig(rows_per_region=0)
+
+    def test_rejects_single_temperature(self):
+        with pytest.raises(ConfigError):
+            StudyConfig(temperatures_c=(50.0,))
+
+    def test_rejects_zero_modules(self):
+        with pytest.raises(ConfigError):
+            StudyConfig(modules_per_manufacturer=0)
+
+
+class TestSubarraySample:
+    GEOMETRY = Geometry(banks=1, rows_per_bank=8192, subarray_rows=512)
+
+    def test_groups_by_subarray(self):
+        sample = subarray_row_sample(self.GEOMETRY, 4, 16, seed=1)
+        assert len(sample) == 4
+        for subarray, rows in sample.items():
+            assert len(rows) <= 16
+            assert all(self.GEOMETRY.subarray_of(r) == subarray for r in rows)
+
+    def test_avoids_bank_edges(self):
+        sample = subarray_row_sample(self.GEOMETRY, 16, 8, seed=1)
+        for rows in sample.values():
+            assert all(2 <= r < self.GEOMETRY.rows_per_bank - 2 for r in rows)
+
+    def test_deterministic(self):
+        a = subarray_row_sample(self.GEOMETRY, 4, 8, seed=5)
+        b = subarray_row_sample(self.GEOMETRY, 4, 8, seed=5)
+        assert a == b
+
+    def test_clamped_to_total(self):
+        sample = subarray_row_sample(self.GEOMETRY, 100, 8, seed=1)
+        assert len(sample) == self.GEOMETRY.subarrays_per_bank

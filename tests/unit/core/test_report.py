@@ -1,0 +1,48 @@
+"""Tests for the table/figure renderers."""
+
+import pytest
+
+from repro.core import report
+from repro.dram.timing import DDR3_1600, DDR4_2400
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = report.render_table("Title", ("a", "bb"), [(1, 2), (30, 40)])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert lines[2].startswith("-")
+        assert "30" in lines[4]
+
+    def test_columns_padded_to_widest(self):
+        text = report.render_table("t", ("x",), [("longvalue",)])
+        header, _, row = text.splitlines()[1:4]
+        assert len(header) == len(row)
+
+
+class TestStaticTables:
+    def test_table1_lists_seven_patterns(self):
+        text = report.table1()
+        for name in ("colstripe", "checkered", "rowstripe", "random"):
+            assert name in text
+        assert "0x55" in text and "0xaa" in text
+
+    def test_table2_counts(self):
+        text = report.table2()
+        assert "144" in text  # Mfr. A DDR4 chips
+        assert "Mfr. D" in text
+
+    def test_table4_lists_all_modules(self):
+        text = report.table4()
+        for module_id in ("A0", "A9", "B4", "C5", "D3"):
+            assert module_id in text
+        assert "Micron" in text and "Nanya" in text
+
+    def test_fig6_shows_test_types(self):
+        text = report.fig6(DDR4_2400)
+        assert "Baseline" in text
+        assert "Aggressor On" in text
+        assert "34.5" in text
+        text3 = report.fig6(DDR3_1600)
+        assert "35.0" in text3

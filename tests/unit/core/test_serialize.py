@@ -1,0 +1,72 @@
+"""Tests for study-result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.serialize import (
+    load_result,
+    result_to_dict,
+    save_result,
+)
+from repro.core.temperature_study import TemperatureStudy
+from repro.core.acttime_study import ActiveTimeStudy
+from repro.core.spatial_study import SpatialStudy
+from repro.errors import ConfigError
+
+
+TINY = QUICK.scaled(rows_per_region=12, modules_per_manufacturer=1,
+                    temperatures_c=(50.0, 90.0), hcfirst_repetitions=1,
+                    subarrays_to_sample=2, rows_per_subarray=8,
+                    column_rows=30, wcdp_sample_rows=2)
+
+
+@pytest.fixture(scope="module")
+def temp_result():
+    return TemperatureStudy(TINY).run(TINY.module_specs()[:2])
+
+
+class TestRoundtrip:
+    def test_temperature_result_serializes(self, temp_result, tmp_path):
+        path = save_result(temp_result, tmp_path / "temp.json")
+        loaded = load_result(path)
+        assert loaded["study"] == "temperature"
+        assert loaded["config"]["seed"] == TINY.seed
+        assert len(loaded["modules"]) == 2
+        module = loaded["modules"][0]
+        assert module["module_id"] == temp_result.modules[0].module_id
+        assert "50.0" in module["hcfirst"]
+
+    def test_json_is_valid_and_finite(self, temp_result, tmp_path):
+        path = save_result(temp_result, tmp_path / "temp.json")
+        text = path.read_text()
+        json.loads(text)
+        assert "Infinity" not in text
+        assert "NaN" not in text
+
+    def test_acttime_result_serializes(self, tmp_path):
+        result = ActiveTimeStudy(TINY.scaled(acttime_rows_per_region=8)).run(
+            TINY.module_specs()[:1])
+        data = result_to_dict(result)
+        assert data["study"] == "acttime"
+        keys = set(data["modules"][0]["row_ber"])
+        assert "on:34.5" in keys
+        assert "off:40.5" in keys
+        save_result(result, tmp_path / "act.json")
+
+    def test_spatial_result_serializes(self, tmp_path):
+        result = SpatialStudy(TINY).run(TINY.module_specs()[:1])
+        data = result_to_dict(result)
+        assert data["study"] == "spatial"
+        module = data["modules"][0]
+        assert module["column_flip_counts"]
+        save_result(result, tmp_path / "spatial.json")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigError):
+            result_to_dict(object())
+
+    def test_save_creates_directories(self, temp_result, tmp_path):
+        path = save_result(temp_result, tmp_path / "nested" / "dir" / "r.json")
+        assert path.exists()

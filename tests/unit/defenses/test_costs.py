@@ -1,0 +1,82 @@
+"""Tests for the defense cost models (Defense Improvement 1)."""
+
+import pytest
+
+from repro.defenses.costs import (
+    REFERENCE_HCFIRST,
+    blockhammer_area_pct,
+    graphene_area_pct,
+    graphene_entries,
+    improvement1_summary,
+    para_performance_overhead_pct,
+    para_refresh_probability,
+    variable_threshold_report,
+)
+from repro.errors import ConfigError
+
+
+class TestAnchors:
+    def test_graphene_anchor(self):
+        # The paper quotes ~0.5% of a high-end die at the worst case.
+        assert graphene_area_pct(REFERENCE_HCFIRST) == pytest.approx(0.5)
+
+    def test_blockhammer_anchor(self):
+        assert blockhammer_area_pct(REFERENCE_HCFIRST) == pytest.approx(0.6)
+
+    def test_para_anchor_28pct_at_1k(self):
+        # "PARA incurs 28% slowdown on average when configured for an
+        # HCfirst of 1K".
+        assert para_performance_overhead_pct(1_000) == pytest.approx(28.0)
+
+    def test_para_halves_when_threshold_doubles(self):
+        # The paper: "this large performance overhead can be halved ... by
+        # simply using lower probability thresholds".
+        assert para_performance_overhead_pct(2_000) == pytest.approx(
+            14.0, rel=0.01)
+
+
+class TestScaling:
+    def test_graphene_entries_scale_inverse(self):
+        assert graphene_entries(5_000) > graphene_entries(10_000)
+
+    def test_area_decreases_with_hcfirst(self):
+        for model in (graphene_area_pct, blockhammer_area_pct):
+            assert model(40_000) < model(10_000)
+
+    def test_para_probability_bounds(self):
+        p = para_refresh_probability(10_000)
+        assert 0.0 < p < 1.0
+
+    def test_para_probability_protection_math(self):
+        hc, failure = 5_000, 1e-15
+        p = para_refresh_probability(hc, failure)
+        assert (1 - p) ** hc == pytest.approx(failure, rel=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            graphene_area_pct(0)
+        with pytest.raises(ConfigError):
+            para_refresh_probability(1000, failure_probability=2.0)
+
+
+class TestVariableThreshold:
+    @pytest.mark.parametrize("defense", ["graphene", "blockhammer", "para"])
+    def test_variable_always_cheaper(self, defense):
+        report = variable_threshold_report(defense, REFERENCE_HCFIRST)
+        assert report.variable_cost < report.uniform_cost
+        assert report.saving_pct > 20.0
+
+    def test_relaxed_threshold_is_double(self):
+        report = variable_threshold_report("graphene", 10_000)
+        assert report.relaxed_hcfirst == 20_000
+        assert report.vulnerable_row_fraction == 0.05
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ConfigError):
+            variable_threshold_report("trr", 10_000)
+
+    def test_summary_covers_all_models(self):
+        summary = improvement1_summary()
+        assert sorted(summary) == ["blockhammer", "graphene", "para"]
+        for report in summary.values():
+            assert report.saving_pct > 0

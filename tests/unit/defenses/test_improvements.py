@@ -1,0 +1,145 @@
+"""Tests for defense improvements 2-6 (profiling, retirement, cooling,
+scheduling, column-aware ECC)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.defenses.ecc import ECCComparison, column_aware_ecc_report, hot_columns
+from repro.defenses.profiling import SubarraySamplingProfiler
+from repro.defenses.retirement import RowRetirement
+from repro.defenses.scheduling import ActiveTimeCap
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Flip:
+    chip: int
+    col: int
+    bit: int
+
+
+class TestProfiler:
+    @pytest.fixture()
+    def profiler(self, module_a, rowstripe):
+        return SubarraySamplingProfiler(module_a, rowstripe)
+
+    def test_estimate_speedup(self, profiler, module_a):
+        estimate = profiler.estimate(n_subarrays=2, rows_per_subarray=12)
+        total = module_a.geometry.subarrays_per_bank
+        assert estimate.speedup == pytest.approx(total / 2)
+        assert estimate.tests_run == 24
+
+    def test_prediction_is_conservative_vs_sample(self, profiler):
+        estimate = profiler.estimate(n_subarrays=3, rows_per_subarray=12)
+        assert estimate.predicted_module_min <= estimate.sampled_min
+
+    def test_search_window_brackets_sample(self, profiler):
+        estimate = profiler.estimate(n_subarrays=3, rows_per_subarray=12)
+        assert estimate.hcfirst_search_floor < estimate.sampled_min
+        assert estimate.hcfirst_search_ceiling > estimate.sampled_min
+
+    def test_validation_reports_coverage(self, profiler):
+        estimate = profiler.estimate(n_subarrays=3, rows_per_subarray=12)
+        holdout = [s for s in range(4)
+                   if s not in estimate.sampled_subarrays][:2]
+        report = profiler.validate(estimate, holdout, rows_per_subarray=12)
+        assert 0.0 <= report["window_coverage"] <= 1.0
+        assert report["holdout_min"] > 0
+
+    def test_needs_two_subarrays(self, profiler):
+        with pytest.raises(ConfigError):
+            profiler.estimate(n_subarrays=1)
+
+
+class TestRetirement:
+    @pytest.fixture()
+    def retirement(self, module_a, rowstripe):
+        retirement = RowRetirement(module_a, rowstripe)
+        retirement.profile(rows=list(range(600, 624)),
+                           temperatures_c=(50.0, 90.0))
+        return retirement
+
+    def test_plan_eliminates_flips(self, retirement):
+        plan = retirement.plan(90.0)
+        assert retirement.residual_flips(90.0, plan) == 0
+
+    def test_adaptive_retires_fewer_than_static(self, retirement):
+        static = retirement.static_plan()
+        adaptive = retirement.plan(50.0)
+        assert len(adaptive.retired_rows) <= len(static.retired_rows)
+
+    def test_adapt_returns_movements(self, retirement):
+        moves = retirement.adapt(50.0, 90.0)
+        assert set(moves) == {"retire", "restore"}
+        assert moves["retire"].isdisjoint(moves["restore"])
+
+    def test_unprofiled_temperature_rejected(self, retirement):
+        with pytest.raises(ConfigError):
+            retirement.plan(42.0)
+
+    def test_retired_fraction(self, retirement):
+        plan = retirement.plan(90.0)
+        assert 0.0 <= plan.retired_fraction <= 1.0
+
+
+class TestActiveTimeCap:
+    def test_cap_bounds_requested_time(self, module_a):
+        cap = ActiveTimeCap(module_a)
+        assert cap.effective_t_on(154.5) == module_a.timing.tRAS
+        assert cap.effective_t_on(20.0) == 20.0
+
+    def test_cap_below_tras_rejected(self, module_a):
+        with pytest.raises(ConfigError):
+            ActiveTimeCap(module_a, cap_ns=10.0)
+
+    def test_evaluation_shows_reduction(self, module_a, rowstripe):
+        module_a.temperature_c = 75.0
+        cap = ActiveTimeCap(module_a)
+        report = cap.evaluate(600, rowstripe, requested_t_on_ns=154.5,
+                              hammer_count=150_000)
+        assert report.capped_t_on_ns == module_a.timing.tRAS
+        assert report.flips_capped <= report.flips_uncapped
+        if report.hcfirst_uncapped and report.hcfirst_capped:
+            assert report.hcfirst_capped >= report.hcfirst_uncapped
+
+
+class TestColumnAwareECC:
+    def test_hot_columns_budget(self):
+        counts = np.zeros((2, 10))
+        counts[0, 3] = 50
+        counts[1, 7] = 40
+        hot = hot_columns(counts, budget_fraction=0.1)
+        assert (0, 3) in hot and (1, 7) in hot
+        assert len(hot) == 2
+
+    def test_hot_columns_validation(self):
+        with pytest.raises(ConfigError):
+            hot_columns(np.zeros((2, 4)), budget_fraction=1.5)
+        with pytest.raises(ConfigError):
+            hot_columns(np.zeros(4), budget_fraction=0.1)
+
+    def test_double_flip_in_hot_columns_corrected(self):
+        counts = np.zeros((1, 16))
+        counts[0, 0] = counts[0, 1] = 100
+        flips = [Flip(0, 0, 0), Flip(0, 1, 0)]  # same 64-bit codeword
+        report = column_aware_ecc_report(flips, counts, budget_fraction=0.2)
+        assert report.uniform_escapes == 2
+        assert report.aware_escapes == 0
+        assert report.escape_reduction == 1.0
+
+    def test_double_flip_in_cold_columns_escapes_both(self):
+        counts = np.zeros((1, 16))
+        counts[0, 10] = 100  # the hot column is elsewhere
+        flips = [Flip(0, 0, 0), Flip(0, 1, 0)]
+        report = column_aware_ecc_report(flips, counts, budget_fraction=0.05)
+        assert report.uniform_escapes == 2
+        assert report.aware_escapes == 2
+
+    def test_singles_never_escape(self):
+        counts = np.ones((1, 16))
+        flips = [Flip(0, 0, 0), Flip(0, 9, 0)]  # different codewords
+        report = column_aware_ecc_report(flips, counts)
+        assert report.uniform_escapes == 0
+        assert isinstance(report, ECCComparison)

@@ -1,0 +1,206 @@
+"""Tests for PARA, Graphene, BlockHammer and RFM mechanisms."""
+
+import pytest
+
+from repro.defenses.base import DefenseHarness
+from repro.defenses.blockhammer import BlockHammer, CountingBloomFilter
+from repro.defenses.costs import ACTS_PER_WINDOW
+from repro.defenses.graphene import Graphene
+from repro.defenses.para import PARA
+from repro.defenses.rfm import RefreshManagement
+from repro.errors import ConfigError
+
+ROWS = 4096
+
+
+class TestPARA:
+    def test_probability_validated(self, tree):
+        with pytest.raises(ConfigError):
+            PARA(0.0, tree, ROWS)
+        with pytest.raises(ConfigError):
+            PARA(1.0, tree, ROWS)
+
+    def test_trigger_rate_matches_probability(self, tree):
+        para = PARA(0.1, tree, ROWS)
+        refreshes = sum(
+            bool(para.on_activate(0, 100, 0.0)) for _ in range(20000))
+        assert refreshes == pytest.approx(2000, rel=0.15)
+
+    def test_refresh_targets_neighbors(self, tree):
+        para = PARA(0.999, tree, ROWS, neighborhood=1)
+        victims = para.on_activate(0, 100, 0.0)
+        assert sorted(victims) == [99, 101]
+
+    def test_edge_rows_clipped(self, tree):
+        para = PARA(0.999, tree, ROWS, neighborhood=2)
+        victims = para.on_activate(0, 0, 0.0)
+        assert min(victims) >= 0
+
+    def test_reset_clears_counter(self, tree):
+        para = PARA(0.999, tree, ROWS)
+        para.on_activate(0, 1, 0.0)
+        para.reset()
+        assert para.triggers == 0
+
+
+class TestGraphene:
+    def test_table_sized_by_threshold(self):
+        g = Graphene(hcfirst=20_000, rows_per_bank=ROWS,
+                     acts_per_window=1_000_000)
+        assert g.threshold == 5000
+        assert g.table_entries == 200
+
+    def test_hot_row_triggers_refresh(self):
+        g = Graphene(hcfirst=4000, rows_per_bank=ROWS,
+                     acts_per_window=100_000)
+        refreshed = []
+        for _ in range(2000):
+            refreshed.extend(g.on_activate(0, 100, 0.0))
+        assert 99 in refreshed and 101 in refreshed
+        assert g.refresh_events >= 1
+
+    def test_cold_rows_never_refresh(self):
+        g = Graphene(hcfirst=4000, rows_per_bank=ROWS,
+                     acts_per_window=100_000)
+        refreshed = []
+        for row in range(500):  # each row touched once
+            refreshed.extend(g.on_activate(0, row, 0.0))
+        assert refreshed == []
+
+    def test_misra_gries_catches_hot_row_despite_full_table(self):
+        g = Graphene(hcfirst=4000, rows_per_bank=ROWS,
+                     acts_per_window=100_000)
+        refreshed = []
+        for i in range(40_000):
+            refreshed.extend(g.on_activate(0, 100, 0.0))   # hot row
+            refreshed.extend(g.on_activate(0, i % 4000, 0.0))  # noise
+        assert 99 in refreshed
+
+    def test_window_reset(self):
+        g = Graphene(hcfirst=4000, rows_per_bank=ROWS,
+                     acts_per_window=100_000)
+        g.on_activate(0, 100, 0.0)
+        g.on_refresh_window()
+        assert not g._tables
+
+    def test_rejects_bad_hcfirst(self):
+        with pytest.raises(ConfigError):
+            Graphene(0, ROWS, 100_000)
+
+
+class TestBloomFilter:
+    def test_insert_and_estimate(self):
+        bloom = CountingBloomFilter(256, 4, salt=1)
+        for _ in range(10):
+            bloom.insert(0, 42)
+        assert bloom.estimate(0, 42) >= 10
+
+    def test_never_undercounts(self):
+        bloom = CountingBloomFilter(128, 3, salt=1)
+        for row in range(50):
+            bloom.insert(0, row)
+        for row in range(50):
+            assert bloom.estimate(0, row) >= 1
+
+    def test_clear(self):
+        bloom = CountingBloomFilter(128, 3, salt=1)
+        bloom.insert(0, 1)
+        bloom.clear()
+        assert bloom.estimate(0, 1) == 0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            CountingBloomFilter(0, 3, salt=1)
+
+
+class TestBlockHammer:
+    def test_below_threshold_no_delay(self):
+        bh = BlockHammer(hcfirst=20_000)
+        assert bh.activation_delay_ns(0, 5, 0.0) == 0.0
+
+    def test_blacklisted_row_throttled(self):
+        bh = BlockHammer(hcfirst=2_000)
+        for i in range(1000):
+            bh.on_activate(0, 5, float(i))
+        assert bh.activation_delay_ns(0, 5, 1000.0) > 0.0
+        assert bh.throttled_activations == 1
+
+    def test_throttle_caps_window_hammers(self):
+        bh = BlockHammer(hcfirst=2_000)
+        # With the throttle delay, the achievable activations in a window
+        # stay below the protection threshold.
+        achievable = (bh.blacklist_threshold
+                      + bh.window_ns / bh.throttle_delay_ns)
+        assert achievable <= bh.hcfirst
+
+    def test_filter_rotation_forgets_old_counts(self):
+        bh = BlockHammer(hcfirst=2_000, window_ms=1.0)
+        for i in range(600):
+            bh.on_activate(0, 5, 0.0)
+        # After a full window both filters rotated away the counts.
+        bh.activation_delay_ns(0, 5, 0.6e6)
+        bh.activation_delay_ns(0, 5, 1.2e6)
+        assert max(f.estimate(0, 5) for f in bh.filters) < 600
+
+    def test_never_issues_refreshes(self):
+        bh = BlockHammer(hcfirst=2_000)
+        assert bh.on_activate(0, 5, 0.0) == []
+
+
+class TestRFM:
+    def test_rfm_issued_at_raaimt(self, tree):
+        rfm = RefreshManagement(raaimt=100, rows_per_bank=ROWS, tree=tree)
+        for _ in range(99):
+            assert rfm.on_activate(0, 7, 0.0) == []
+        rfm.on_activate(0, 7, 0.0)
+        assert rfm.rfm_commands == 1
+
+    def test_victims_come_from_sampler(self, tree):
+        rfm = RefreshManagement(raaimt=50, rows_per_bank=ROWS, tree=tree)
+        refreshed = []
+        for _ in range(500):
+            refreshed.extend(rfm.on_activate(0, 7, 0.0))
+        assert 6 in refreshed and 8 in refreshed
+
+    def test_reset(self, tree):
+        rfm = RefreshManagement(raaimt=10, rows_per_bank=ROWS, tree=tree)
+        for _ in range(20):
+            rfm.on_activate(0, 7, 0.0)
+        rfm.reset()
+        assert rfm.rfm_commands == 0
+        assert rfm._raa == {}
+
+    def test_rejects_bad_raaimt(self, tree):
+        with pytest.raises(ConfigError):
+            RefreshManagement(0, ROWS, tree)
+
+
+class TestHarness:
+    def test_no_defense_attack_succeeds(self, module_b, checkered):
+        harness = DefenseHarness(module_b, None)
+        outcome = harness.run_double_sided(600, checkered, 400_000,
+                                           temperature_c=75.0)
+        assert not outcome.protected
+        assert outcome.hammers_landed == 400_000
+
+    def test_graphene_protects(self, module_b, checkered):
+        g = Graphene(hcfirst=30_000, rows_per_bank=module_b.geometry.rows_per_bank,
+                     acts_per_window=ACTS_PER_WINDOW)
+        harness = DefenseHarness(module_b, g)
+        outcome = harness.run_double_sided(600, checkered, 400_000,
+                                           temperature_c=75.0)
+        assert outcome.protected
+        assert outcome.refreshes_issued > 0
+
+    def test_blockhammer_limits_hammers(self, module_b, checkered):
+        bh = BlockHammer(hcfirst=30_000)
+        harness = DefenseHarness(module_b, bh)
+        outcome = harness.run_double_sided(600, checkered, 400_000,
+                                           temperature_c=75.0)
+        assert outcome.protected
+        assert outcome.hammers_landed < 60_000
+        assert outcome.throughput_loss > 0.5
+
+    def test_rejects_zero_hammers(self, module_b, checkered):
+        with pytest.raises(ConfigError):
+            DefenseHarness(module_b, None).run_double_sided(600, checkered, 0)

@@ -1,0 +1,52 @@
+"""Tests for refresh-rate scaling as a mitigation."""
+
+import pytest
+
+from repro.defenses.refresh_rate import (
+    refresh_overhead_pct,
+    required_multiplier,
+    sweep_refresh_scaling,
+)
+from repro.errors import ConfigError
+
+
+class TestOverheadModel:
+    def test_nominal_overhead_small(self):
+        assert refresh_overhead_pct(1) == pytest.approx(4.5, rel=0.1)
+
+    def test_overhead_scales_linearly(self):
+        assert refresh_overhead_pct(4) == pytest.approx(
+            4 * refresh_overhead_pct(1))
+
+    def test_saturates_at_100(self):
+        assert refresh_overhead_pct(1000) == 100.0
+
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(ConfigError):
+            refresh_overhead_pct(0)
+
+
+class TestSweep:
+    def test_flips_shrink_with_rate(self, module_b, checkered):
+        points = sweep_refresh_scaling(module_b, 700, checkered)
+        flips = [p.victim_flips for p in points]
+        assert flips[0] > 0          # nominal refresh does not protect
+        assert flips == sorted(flips, reverse=True)
+
+    def test_window_budget_halves(self, module_b, checkered):
+        points = sweep_refresh_scaling(module_b, 700, checkered,
+                                       multipliers=[1, 2])
+        assert points[1].max_hammers_in_window == pytest.approx(
+            points[0].max_hammers_in_window / 2, rel=0.01)
+
+    def test_required_multiplier_protects(self, module_b, checkered):
+        point = required_multiplier(module_b, 700, checkered)
+        assert point is not None
+        assert point.protected
+        assert point.multiplier >= 2
+
+    def test_protection_costs_bandwidth(self, module_b, checkered):
+        point = required_multiplier(module_b, 700, checkered)
+        baseline = refresh_overhead_pct(1, module_b.timing.tRFC,
+                                        module_b.timing.tREFI)
+        assert point.refresh_overhead_pct > baseline

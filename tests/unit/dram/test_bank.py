@@ -1,0 +1,102 @@
+"""Tests for the bank protocol/timing state machine."""
+
+import pytest
+
+from repro.dram.bank import BankState, RowData
+from repro.dram.data import CHECKERED
+from repro.dram.timing import DDR4_2400
+from repro.errors import ProtocolError, TimingViolation
+
+
+@pytest.fixture()
+def bank():
+    return BankState(0, DDR4_2400)
+
+
+class TestActivate:
+    def test_activate_opens_row(self, bank):
+        bank.apply_activate(10, 100.0)
+        assert bank.open_row == 10
+        assert bank.act_time_ns == 100.0
+
+    def test_double_activate_rejected(self, bank):
+        bank.apply_activate(10, 100.0)
+        with pytest.raises(ProtocolError):
+            bank.apply_activate(11, 200.0)
+
+    def test_activate_too_soon_after_precharge(self, bank):
+        bank.apply_activate(10, 100.0)
+        bank.apply_precharge(100.0 + DDR4_2400.tRAS)
+        with pytest.raises(TimingViolation) as excinfo:
+            bank.apply_activate(11, 100.0 + DDR4_2400.tRAS + 5.0)
+        assert excinfo.value.parameter == "tRP"
+
+    def test_activate_after_trp_allowed(self, bank):
+        bank.apply_activate(10, 0.0)
+        bank.apply_precharge(DDR4_2400.tRAS)
+        bank.apply_activate(11, DDR4_2400.tRAS + DDR4_2400.tRP)
+        assert bank.open_row == 11
+
+
+class TestPrecharge:
+    def test_precharge_before_tras_rejected(self, bank):
+        bank.apply_activate(10, 0.0)
+        with pytest.raises(TimingViolation) as excinfo:
+            bank.apply_precharge(DDR4_2400.tRAS - 1.0)
+        assert excinfo.value.parameter == "tRAS"
+
+    def test_precharge_returns_on_time_and_gap(self, bank):
+        bank.apply_activate(10, 0.0)
+        closed = bank.apply_precharge(40.0)
+        row, on_time, _gap = closed
+        assert row == 10
+        assert on_time == 40.0
+
+    def test_precharge_idle_bank_is_noop(self, bank):
+        assert bank.apply_precharge(10.0) is None
+
+    def test_gap_tracks_precharged_time(self, bank):
+        bank.apply_activate(10, 0.0)
+        bank.apply_precharge(40.0)
+        bank.apply_activate(11, 40.0 + 25.0)   # 25 ns precharged
+        closed = bank.apply_precharge(40.0 + 25.0 + DDR4_2400.tRAS)
+        assert closed[2] == pytest.approx(25.0)
+
+
+class TestColumnCommands:
+    def test_column_on_idle_bank_rejected(self, bank):
+        with pytest.raises(ProtocolError):
+            bank.check_column_command(100.0)
+
+    def test_column_before_trcd_rejected(self, bank):
+        bank.apply_activate(10, 0.0)
+        with pytest.raises(TimingViolation) as excinfo:
+            bank.check_column_command(DDR4_2400.tRCD - 1.0)
+        assert excinfo.value.parameter == "tRCD"
+
+    def test_back_to_back_columns_respect_tccd(self, bank):
+        bank.apply_activate(10, 0.0)
+        bank.check_column_command(DDR4_2400.tRCD)
+        with pytest.raises(TimingViolation) as excinfo:
+            bank.check_column_command(DDR4_2400.tRCD + DDR4_2400.tCCD - 1.0)
+        assert excinfo.value.parameter == "tCCD"
+
+    def test_column_returns_open_row(self, bank):
+        bank.apply_activate(7, 0.0)
+        assert bank.check_column_command(DDR4_2400.tRCD) == 7
+
+
+class TestRowData:
+    def test_default_pattern(self, bank):
+        data = bank.row_data(5)
+        assert isinstance(data, RowData)
+        assert data.flipped == set()
+
+    def test_row_data_is_cached(self, bank):
+        assert bank.row_data(5) is bank.row_data(5)
+
+    def test_bit_applies_flip_overlay(self):
+        data = RowData(pattern=CHECKERED, victim_ref=0)
+        base = data.bit(0, chip=0, col=0, bit=0, seed=0)
+        data.flipped.add((0, 0, 0))
+        assert data.bit(0, chip=0, col=0, bit=0, seed=0) == base ^ 1

@@ -1,0 +1,111 @@
+"""Tests for the Table 2 / Table 4 module catalog."""
+
+import pytest
+
+from repro.dram.catalog import (
+    CATALOG,
+    MANUFACTURERS,
+    ModuleSpec,
+    chip_counts,
+    modules_for_manufacturer,
+    spec_by_id,
+)
+from repro.dram.timing import DDR3_1600, DDR4_2400
+from repro.errors import ConfigError
+
+
+class TestTable2Counts:
+    """The catalog must reproduce Table 2 exactly."""
+
+    def test_total_ddr4_chips(self):
+        counts = chip_counts()
+        assert sum(c["DDR4"] for c in counts.values()) == 248
+
+    def test_total_ddr3_chips(self):
+        counts = chip_counts()
+        assert sum(c["DDR3"] for c in counts.values()) == 24
+
+    @pytest.mark.parametrize("mfr,ddr4_modules,ddr4_chips", [
+        ("A", 9, 144), ("B", 4, 32), ("C", 5, 40), ("D", 4, 32),
+    ])
+    def test_per_manufacturer(self, mfr, ddr4_modules, ddr4_chips):
+        assert len(modules_for_manufacturer(mfr, "DDR4")) == ddr4_modules
+        assert chip_counts()[mfr]["DDR4"] == ddr4_chips
+
+    def test_ddr3_one_module_each_for_abc(self):
+        for mfr in ("A", "B", "C"):
+            assert len(modules_for_manufacturer(mfr, "DDR3")) == 1
+        assert len(modules_for_manufacturer("D", "DDR3")) == 0
+
+
+class TestTable4Details:
+    def test_mfr_a_is_micron_x4(self):
+        spec = spec_by_id("A0")
+        assert spec.chip_maker == "Micron"
+        assert spec.organization == "x4"
+        assert spec.n_chips == 16
+        assert spec.density_gb == 8
+        assert spec.die_revision == "B"
+
+    def test_mfr_b_is_samsung(self):
+        spec = spec_by_id("B0")
+        assert spec.chip_maker == "Samsung"
+        assert spec.module_identifier == "F4-2400C17S-8GNT"
+
+    def test_mfr_d_is_nanya_kingston(self):
+        spec = spec_by_id("D0")
+        assert spec.chip_maker == "Nanya"
+        assert spec.module_vendor == "Kingston"
+
+    def test_ddr3_sodimm_ids(self):
+        assert spec_by_id("A9").standard == "DDR3"
+        assert spec_by_id("B4").standard == "DDR3"
+        assert spec_by_id("C5").standard == "DDR3"
+
+    def test_all_ddr4_run_2400(self):
+        for spec in CATALOG:
+            if spec.standard == "DDR4":
+                assert spec.freq_mts == 2400
+
+
+class TestSpecBehaviour:
+    def test_device_width(self):
+        assert spec_by_id("A0").device_width == 4
+        assert spec_by_id("B0").device_width == 8
+
+    def test_timing_selection(self):
+        assert spec_by_id("A0").timing() is DDR4_2400
+        assert spec_by_id("A9").timing() is DDR3_1600
+
+    def test_geometry_inherits_org(self):
+        geometry = spec_by_id("A0").geometry()
+        assert geometry.bits_per_col == 4
+        assert geometry.chips == 16
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ConfigError):
+            spec_by_id("Z9")
+
+    def test_unknown_manufacturer_raises(self):
+        with pytest.raises(ConfigError):
+            modules_for_manufacturer("Z")
+
+    def test_instantiate_distinct_devices(self):
+        a = spec_by_id("A0").instantiate()
+        b = spec_by_id("A1").instantiate()
+        assert (a.fault_model.population.module_factor
+                != b.fault_model.population.module_factor)
+
+    def test_instantiate_reproducible(self):
+        a = spec_by_id("C2").instantiate(seed=5)
+        b = spec_by_id("C2").instantiate(seed=5)
+        assert (a.fault_model.population.module_factor
+                == b.fault_model.population.module_factor)
+
+    def test_validation_rejects_bad_standard(self):
+        with pytest.raises(ConfigError):
+            ModuleSpec("X0", "DDR5", "A", "x", "x", "x", "x", 2400, "2020",
+                       8, "B", "x8", 8)
+
+    def test_manufacturers_constant(self):
+        assert MANUFACTURERS == ("A", "B", "C", "D")

@@ -1,0 +1,109 @@
+"""Tests for the Table 1 data patterns."""
+
+import pytest
+
+from repro.dram.data import (
+    CHECKERED,
+    COLSTRIPE,
+    DataPattern,
+    PATTERNS,
+    PATTERN_NAMES,
+    ROWSTRIPE,
+    RANDOM,
+    pattern_by_name,
+    pattern_index,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1:
+    def test_seven_patterns(self):
+        assert len(PATTERNS) == 7
+
+    def test_table1_bytes(self):
+        # Table 1's exact byte assignments.
+        assert (COLSTRIPE.even_byte, COLSTRIPE.odd_byte) == (0x55, 0x55)
+        assert (CHECKERED.even_byte, CHECKERED.odd_byte) == (0x55, 0xAA)
+        assert (ROWSTRIPE.even_byte, ROWSTRIPE.odd_byte) == (0x00, 0xFF)
+
+    def test_complements_present(self):
+        names = set(PATTERN_NAMES)
+        for base in ("colstripe", "checkered", "rowstripe"):
+            assert base in names
+            assert f"{base}_inv" in names
+        assert "random" in names
+
+
+class TestComplement:
+    def test_complement_bytes(self):
+        inv = ROWSTRIPE.complemented()
+        assert inv.even_byte == 0xFF
+        assert inv.odd_byte == 0x00
+
+    def test_complement_is_involution(self):
+        assert CHECKERED.complemented().complemented().name == CHECKERED.name
+
+    def test_random_complements_itself(self):
+        assert RANDOM.complemented() is RANDOM
+
+
+class TestByteFor:
+    def test_parity_anchored_at_victim(self):
+        victim = 100
+        assert CHECKERED.byte_for(victim, victim) == 0x55        # distance 0
+        assert CHECKERED.byte_for(victim + 1, victim) == 0xAA    # distance 1
+        assert CHECKERED.byte_for(victim - 1, victim) == 0xAA
+        assert CHECKERED.byte_for(victim + 2, victim) == 0x55
+
+    def test_random_is_deterministic(self):
+        a = RANDOM.byte_for(5, 0, col=3, chip=1, seed=42)
+        b = RANDOM.byte_for(5, 0, col=3, chip=1, seed=42)
+        assert a == b
+
+    def test_random_varies_with_location(self):
+        values = {RANDOM.byte_for(5, 0, col=c, chip=0, seed=42)
+                  for c in range(64)}
+        assert len(values) > 16  # essentially all distinct bytes appear
+
+
+class TestBitFor:
+    def test_colstripe_alternates_by_bit(self):
+        # 0x55 = 01010101: even bit positions hold 1.
+        for bit in range(8):
+            expected = 1 if bit % 2 == 0 else 0
+            assert COLSTRIPE.bit_for(0, 0, col=0, chip=0, bit=bit) == expected
+
+    def test_rowstripe_uniform_within_row(self):
+        assert all(ROWSTRIPE.bit_for(2, 2, 0, 0, b) == 0 for b in range(8))
+        assert all(ROWSTRIPE.bit_for(3, 2, 0, 0, b) == 1 for b in range(8))
+
+
+class TestLookup:
+    def test_pattern_by_name(self):
+        assert pattern_by_name("rowstripe") is ROWSTRIPE
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            pattern_by_name("zebra")
+
+    def test_pattern_index_stable(self):
+        assert pattern_index("colstripe") == 0
+        assert pattern_index("random") == 6
+
+    def test_pattern_index_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            pattern_index("zebra")
+
+
+class TestValidation:
+    def test_mixed_none_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            DataPattern("bad", 0x55, None)
+
+    def test_random_needs_seed_label(self):
+        with pytest.raises(ConfigError):
+            DataPattern("bad", None, None)
+
+    def test_byte_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            DataPattern("bad", 0x155, 0x00)

@@ -1,0 +1,80 @@
+"""Tests for the on-die ECC model."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.dram.ecc import CODEWORD_BITS, OnDieECC, codeword_of
+
+
+@dataclass(frozen=True)
+class Flip:
+    chip: int
+    col: int
+    bit: int
+
+
+class TestCodewordOf:
+    def test_first_codeword(self):
+        assert codeword_of(0, 0, 8) == 0
+        assert codeword_of(7, 7, 8) == 0   # bit 63
+
+    def test_boundary(self):
+        assert codeword_of(8, 0, 8) == 1   # bit 64
+
+    def test_x4_devices(self):
+        # x4: 16 columns per 64-bit word.
+        assert codeword_of(15, 3, 4) == 0
+        assert codeword_of(16, 0, 4) == 1
+
+
+class TestFilterFlips:
+    def test_single_flip_corrected(self):
+        ecc = OnDieECC()
+        assert ecc.filter_flips([Flip(0, 0, 0)]) == []
+        assert ecc.corrected == 1
+
+    def test_double_flip_same_word_escapes(self):
+        ecc = OnDieECC()
+        flips = [Flip(0, 0, 0), Flip(0, 1, 3)]
+        assert set(ecc.filter_flips(flips)) == set(flips)
+        assert ecc.escaped == 2
+
+    def test_flips_in_different_words_both_corrected(self):
+        ecc = OnDieECC()
+        flips = [Flip(0, 0, 0), Flip(0, 20, 0)]
+        assert ecc.filter_flips(flips) == []
+
+    def test_flips_in_different_chips_independent(self):
+        ecc = OnDieECC()
+        flips = [Flip(0, 0, 0), Flip(1, 0, 0)]
+        assert ecc.filter_flips(flips) == []
+
+    def test_disabled_passes_everything(self):
+        ecc = OnDieECC(enabled=False)
+        flips = [Flip(0, 0, 0)]
+        assert ecc.filter_flips(flips) == flips
+
+    def test_triple_flip_escapes(self):
+        ecc = OnDieECC()
+        flips = [Flip(0, 0, b) for b in range(3)]
+        assert len(ecc.filter_flips(flips)) == 3
+
+
+class TestCorrectionRate:
+    def test_all_singles(self):
+        ecc = OnDieECC()
+        flips = [Flip(0, c * 8, 0) for c in range(5)]
+        assert ecc.correction_rate(flips) == 1.0
+
+    def test_empty_is_full_rate(self):
+        assert OnDieECC().correction_rate([]) == 1.0
+
+    def test_mixed(self):
+        ecc = OnDieECC()
+        flips = [Flip(0, 0, 0), Flip(0, 0, 1), Flip(0, 40, 0)]
+        assert ecc.correction_rate(flips) == pytest.approx(1 / 3)
+
+
+def test_codeword_bits_constant():
+    assert CODEWORD_BITS == 64

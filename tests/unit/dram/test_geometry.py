@@ -1,0 +1,108 @@
+"""Tests for DRAM geometry and addressing."""
+
+import pytest
+
+from repro.dram.geometry import Geometry, TINY
+from repro.errors import GeometryError
+
+
+class TestConstruction:
+    def test_defaults_are_sane(self):
+        geometry = Geometry()
+        assert geometry.banks == 4
+        assert geometry.rows_per_bank == 65536
+        assert geometry.subarray_rows == 512
+
+    @pytest.mark.parametrize("field", ["banks", "rows_per_bank", "cols_per_row",
+                                       "bits_per_col", "chips", "subarray_rows"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(GeometryError):
+            Geometry(**{field: 0})
+
+    def test_rejects_subarray_larger_than_bank(self):
+        with pytest.raises(GeometryError):
+            Geometry(rows_per_bank=256, subarray_rows=512)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GeometryError):
+            Geometry(banks=2.5)
+
+
+class TestDerived:
+    def test_subarrays_per_bank_exact(self):
+        assert Geometry(rows_per_bank=1024, subarray_rows=512).subarrays_per_bank == 2
+
+    def test_subarrays_per_bank_ragged(self):
+        assert Geometry(rows_per_bank=1100, subarray_rows=512).subarrays_per_bank == 3
+
+    def test_row_bits_and_bytes(self):
+        geometry = Geometry(cols_per_row=1024, bits_per_col=8, chips=8)
+        assert geometry.row_bits == 1024 * 8 * 8
+        assert geometry.row_bytes == geometry.row_bits // 8
+
+
+class TestAddressChecks:
+    def test_check_bank_bounds(self):
+        geometry = Geometry(banks=2)
+        geometry.check_bank(0)
+        geometry.check_bank(1)
+        with pytest.raises(GeometryError):
+            geometry.check_bank(2)
+        with pytest.raises(GeometryError):
+            geometry.check_bank(-1)
+
+    def test_check_row_bounds(self):
+        with pytest.raises(GeometryError):
+            TINY.check_row(TINY.rows_per_bank)
+
+    def test_check_col_bounds(self):
+        with pytest.raises(GeometryError):
+            TINY.check_col(TINY.cols_per_row)
+
+
+class TestSubarrays:
+    def test_subarray_of(self):
+        geometry = Geometry(rows_per_bank=2048, subarray_rows=512)
+        assert geometry.subarray_of(0) == 0
+        assert geometry.subarray_of(511) == 0
+        assert geometry.subarray_of(512) == 1
+        assert geometry.subarray_of(2047) == 3
+
+    def test_rows_of_subarray_roundtrip(self):
+        geometry = Geometry(rows_per_bank=2048, subarray_rows=512)
+        for subarray in range(geometry.subarrays_per_bank):
+            for row in geometry.rows_of_subarray(subarray):
+                assert geometry.subarray_of(row) == subarray
+
+    def test_rows_of_subarray_out_of_range(self):
+        with pytest.raises(GeometryError):
+            TINY.rows_of_subarray(TINY.subarrays_per_bank)
+
+    def test_ragged_last_subarray(self):
+        geometry = Geometry(rows_per_bank=1100, subarray_rows=512)
+        assert len(geometry.rows_of_subarray(2)) == 1100 - 1024
+
+
+class TestNeighbors:
+    def test_interior_row_has_four_neighbors(self):
+        neighbors = dict(TINY.neighbors(100))
+        assert neighbors == {98: -2, 99: -1, 101: 1, 102: 2}
+
+    def test_edge_row_has_fewer(self):
+        neighbors = dict(TINY.neighbors(0))
+        assert neighbors == {1: 1, 2: 2}
+
+    def test_near_top_edge(self):
+        top = TINY.rows_per_bank - 1
+        neighbors = dict(TINY.neighbors(top))
+        assert neighbors == {top - 1: -1, top - 2: -2}
+
+    def test_custom_distance(self):
+        neighbors = dict(TINY.neighbors(100, max_distance=1))
+        assert set(neighbors) == {99, 101}
+
+
+def test_scaled_overrides():
+    scaled = TINY.scaled(rows_per_bank=4096)
+    assert scaled.rows_per_bank == 4096
+    assert scaled.cols_per_row == TINY.cols_per_row

@@ -1,0 +1,95 @@
+"""Tests for the Hamming SEC-DED (72, 64) codec."""
+
+import pytest
+
+from repro.dram.hamming import (
+    CODEWORD_LENGTH,
+    DATA_BITS,
+    DecodeStatus,
+    decode,
+    encode,
+    flip_bits,
+)
+from repro.errors import ConfigError
+from repro.rng import derive
+
+SAMPLE_WORDS = [0, 1, 0xDEADBEEFCAFEF00D, (1 << 64) - 1,
+                0x5555555555555555, 0x8000000000000001]
+
+
+class TestEncode:
+    @pytest.mark.parametrize("data", SAMPLE_WORDS)
+    def test_roundtrip_clean(self, data):
+        result = decode(encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == data
+
+    def test_codeword_fits_72_bits(self):
+        for data in SAMPLE_WORDS:
+            assert 0 <= encode(data) < (1 << CODEWORD_LENGTH)
+
+    def test_distinct_words_distinct_codewords(self):
+        codewords = {encode(d) for d in SAMPLE_WORDS}
+        assert len(codewords) == len(SAMPLE_WORDS)
+
+    def test_rejects_oversized_data(self):
+        with pytest.raises(ConfigError):
+            encode(1 << DATA_BITS)
+        with pytest.raises(ConfigError):
+            encode(-1)
+
+
+class TestSingleErrorCorrection:
+    @pytest.mark.parametrize("data", SAMPLE_WORDS)
+    def test_every_single_bit_error_corrected(self, data):
+        codeword = encode(data)
+        for position in range(CODEWORD_LENGTH):
+            corrupted = flip_bits(codeword, (position,))
+            result = decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED, position
+            assert result.data == data, position
+
+
+class TestDoubleErrorDetection:
+    def test_double_errors_detected_not_miscorrected(self):
+        gen = derive(1, "hamming")
+        data = 0xA5A5_F00D_1234_5678
+        codeword = encode(data)
+        for _ in range(300):
+            a, b = gen.choice(CODEWORD_LENGTH, size=2, replace=False)
+            corrupted = flip_bits(codeword, (int(a), int(b)))
+            result = decode(corrupted)
+            assert result.status is DecodeStatus.DOUBLE_DETECTED
+            # SEC-DED never silently returns corrected-looking wrong data.
+
+
+class TestTripleErrors:
+    def test_triple_errors_can_miscorrect(self):
+        """SEC-DED's known limit: 3 errors look like a correctable single."""
+        gen = derive(2, "hamming3")
+        data = 0x0123_4567_89AB_CDEF
+        codeword = encode(data)
+        statuses = set()
+        wrong_data = 0
+        for _ in range(200):
+            positions = tuple(int(p) for p in
+                              gen.choice(CODEWORD_LENGTH, size=3,
+                                         replace=False))
+            result = decode(flip_bits(codeword, positions))
+            statuses.add(result.status)
+            if (result.status is DecodeStatus.CORRECTED
+                    and result.data != data):
+                wrong_data += 1
+        assert DecodeStatus.CORRECTED in statuses or \
+            DecodeStatus.UNCORRECTABLE in statuses
+        assert wrong_data > 0  # miscorrection is observable, as in silicon
+
+
+class TestValidation:
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(ConfigError):
+            decode(1 << CODEWORD_LENGTH)
+
+    def test_flip_bits_rejects_bad_position(self):
+        with pytest.raises(ConfigError):
+            flip_bits(0, (CODEWORD_LENGTH,))

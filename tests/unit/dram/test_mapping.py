@@ -1,0 +1,110 @@
+"""Tests for logical-to-physical row mappings."""
+
+import pytest
+
+from repro.dram.mapping import (
+    BitInversionMapping,
+    DirectMapping,
+    HalfSwapMapping,
+    RowMapping,
+    mapping_for_manufacturer,
+)
+from repro.errors import MappingError
+
+ALL_MAPPINGS = [DirectMapping, HalfSwapMapping, BitInversionMapping]
+
+
+@pytest.mark.parametrize("cls", ALL_MAPPINGS)
+class TestBijectivity:
+    def test_is_bijection(self, cls):
+        mapping = cls(256)
+        images = {mapping.logical_to_physical(r) for r in range(256)}
+        assert images == set(range(256))
+
+    def test_inverse_roundtrip(self, cls):
+        mapping = cls(256)
+        for row in range(256):
+            phys = mapping.logical_to_physical(row)
+            assert mapping.physical_to_logical(phys) == row
+
+    def test_out_of_range_raises(self, cls):
+        mapping = cls(64)
+        with pytest.raises(MappingError):
+            mapping.logical_to_physical(64)
+        with pytest.raises(MappingError):
+            mapping.logical_to_physical(-1)
+
+
+class TestDirect:
+    def test_identity(self):
+        mapping = DirectMapping(16)
+        assert [mapping.logical_to_physical(r) for r in range(16)] == list(range(16))
+
+
+class TestHalfSwap:
+    def test_swaps_middle_pair(self):
+        mapping = HalfSwapMapping(8)
+        assert mapping.logical_to_physical(0) == 0
+        assert mapping.logical_to_physical(1) == 2
+        assert mapping.logical_to_physical(2) == 1
+        assert mapping.logical_to_physical(3) == 3
+
+    def test_block_local(self):
+        mapping = HalfSwapMapping(64)
+        for row in range(64):
+            assert mapping.logical_to_physical(row) // 4 == row // 4
+
+
+class TestBitInversion:
+    def test_upper_half_of_block_inverted(self):
+        mapping = BitInversionMapping(16)
+        assert mapping.logical_to_physical(4) == 7
+        assert mapping.logical_to_physical(5) == 6
+        assert mapping.logical_to_physical(6) == 5
+        assert mapping.logical_to_physical(7) == 4
+
+    def test_lower_half_untouched(self):
+        mapping = BitInversionMapping(16)
+        for row in (0, 1, 2, 3, 8, 9, 10, 11):
+            assert mapping.logical_to_physical(row) == row
+
+
+class TestNeighbors:
+    def test_physical_neighbors_direct(self):
+        mapping = DirectMapping(16)
+        assert sorted(mapping.physical_neighbors_logical(5)) == [4, 6]
+
+    def test_physical_neighbors_at_edge(self):
+        mapping = DirectMapping(16)
+        assert mapping.physical_neighbors_logical(0) == [1]
+
+    def test_physical_neighbors_remapped(self):
+        mapping = HalfSwapMapping(8)
+        # logical 1 sits at physical 2; its physical neighbors are 1 and 3,
+        # which are logical rows 2 and 3.
+        assert sorted(mapping.physical_neighbors_logical(1)) == [2, 3]
+
+    def test_distance_two(self):
+        mapping = DirectMapping(16)
+        assert sorted(mapping.physical_neighbors_logical(5, 2)) == [3, 7]
+
+
+class TestManufacturerAssignment:
+    @pytest.mark.parametrize("mfr,cls", [
+        ("A", DirectMapping), ("B", BitInversionMapping),
+        ("C", HalfSwapMapping), ("D", DirectMapping),
+    ])
+    def test_mapping_classes(self, mfr, cls):
+        assert isinstance(mapping_for_manufacturer(mfr, 64), cls)
+
+    def test_lowercase_accepted(self):
+        assert isinstance(mapping_for_manufacturer("b", 64), BitInversionMapping)
+
+    def test_unknown_raises(self):
+        with pytest.raises(MappingError):
+            mapping_for_manufacturer("Z", 64)
+
+
+def test_zero_rows_rejected():
+    with pytest.raises(MappingError):
+        DirectMapping(0)

@@ -1,0 +1,144 @@
+"""Tests for the DRAM module device model."""
+
+import pytest
+
+from repro.dram.data import pattern_by_name
+from repro.errors import ConfigError, ProtocolError, TimingViolation
+
+
+def open_close(module, bank, row, now=0.0):
+    """ACT + legal PRE around a row; returns the time after tRP."""
+    timing = module.timing
+    module.activate(bank, row, now)
+    module.precharge(bank, now + timing.tRAS)
+    return now + timing.tRC
+
+
+class TestCommandHandlers:
+    def test_activate_precharge_cycle(self, module_a):
+        now = open_close(module_a, 0, 100)
+        assert module_a.bank(0).open_row is None
+        # Can immediately reopen after tRC.
+        module_a.activate(0, 101, now)
+
+    def test_activate_checks_row_range(self, module_a):
+        with pytest.raises(Exception):
+            module_a.activate(0, module_a.geometry.rows_per_bank, 0.0)
+
+    def test_read_requires_open_row(self, module_a):
+        with pytest.raises(ProtocolError):
+            module_a.read(0, 0, 0.0)
+
+    def test_read_returns_chip_bytes(self, module_a):
+        pattern = pattern_by_name("rowstripe")
+        module_a.install_pattern(0, [100], pattern, 100)
+        module_a.activate(0, 100, 0.0)
+        data = module_a.read(0, 3, module_a.timing.tRCD)
+        assert len(data) == module_a.geometry.chips
+        assert all(byte == 0x00 for byte in data)  # rowstripe even row
+
+    def test_write_then_read_roundtrip(self, module_a):
+        module_a.activate(0, 50, 0.0)
+        timing = module_a.timing
+        payload = bytes(range(module_a.geometry.chips))
+        module_a.write(0, 2, payload, timing.tRCD)
+        got = module_a.read(0, 2, timing.tRCD + timing.tCCD)
+        # bits beyond the device width are masked off
+        width_mask = (1 << module_a.geometry.bits_per_col) - 1
+        assert got == bytes(b & width_mask for b in payload)
+
+    def test_write_wrong_width_rejected(self, module_a):
+        module_a.activate(0, 50, 0.0)
+        with pytest.raises(ConfigError):
+            module_a.write(0, 2, b"\x00", module_a.timing.tRCD)
+
+
+class TestHammerToFlips:
+    def _hammer(self, module, victim_phys, hammers):
+        for phys in (victim_phys - 1, victim_phys + 1):
+            module.fault_model.accrue_activation(
+                0, phys, module.timing.tRAS, module.timing.tRP, count=hammers)
+
+    def test_damage_materializes_into_flips(self, any_module):
+        module = any_module
+        pattern = pattern_by_name("rowstripe")
+        victim = 600
+        module.temperature_c = 75.0
+        module.install_pattern(
+            0, [module.to_logical(p) for p in range(592, 609)], pattern, victim)
+        self._hammer(module, module.to_physical(victim), 500_000)
+        flips = module.harvest_flips(0, victim)
+        assert flips, "500K hammers must flip the victim in this model"
+        for flip in flips:
+            assert flip.got == flip.expected ^ 1
+
+    def test_flips_persist_after_harvest(self, module_a):
+        pattern = pattern_by_name("rowstripe")
+        victim = 600
+        module_a.temperature_c = 75.0
+        module_a.install_pattern(0, [victim], pattern, victim)
+        self._hammer(module_a, module_a.to_physical(victim), 500_000)
+        first = module_a.harvest_flips(0, victim)
+        second = module_a.harvest_flips(0, victim)
+        assert first == second
+
+    def test_install_pattern_clears_flips_and_damage(self, module_a):
+        pattern = pattern_by_name("rowstripe")
+        victim = 600
+        module_a.temperature_c = 75.0
+        module_a.install_pattern(0, [victim], pattern, victim)
+        self._hammer(module_a, module_a.to_physical(victim), 500_000)
+        assert module_a.harvest_flips(0, victim)
+        module_a.install_pattern(0, [victim], pattern, victim)
+        assert module_a.harvest_flips(0, victim) == []
+
+    def test_refresh_before_threshold_prevents_flips(self, module_a):
+        pattern = pattern_by_name("rowstripe")
+        victim = 600
+        module_a.temperature_c = 75.0
+        module_a.install_pattern(0, [victim], pattern, victim)
+        phys = module_a.to_physical(victim)
+        # Hammer in small slices, refreshing between slices.
+        for _ in range(10):
+            self._hammer(module_a, phys, 50_000)
+            module_a.refresh_rows(0, [phys])
+        assert module_a.harvest_flips(0, victim) == []
+
+    def test_aggressor_activation_restores_itself(self, module_a):
+        phys = 300
+        module_a.fault_model.accrue_activation(
+            0, phys + 1, module_a.timing.tRAS, module_a.timing.tRP, count=1000)
+        assert module_a.fault_model.damage_units(0, phys) > 0
+        module_a.activate(0, module_a.to_logical(phys), 0.0)
+        assert module_a.fault_model.damage_units(0, phys) == 0.0
+
+
+class TestTrialNoise:
+    def test_trial_noise_changes_marginal_outcomes(self, module_a):
+        import numpy as np
+
+        pattern = pattern_by_name("rowstripe")
+        module_a.temperature_c = 75.0
+        phys = module_a.to_physical(700)
+        counts = set()
+        for rep in range(4):
+            module_a.install_pattern(0, [700], pattern, 700)
+            module_a.set_trial_noise(np.random.default_rng(rep))
+            module_a.fault_model.accrue_activation(
+                0, phys - 1, module_a.timing.tRAS, module_a.timing.tRP, 400_000)
+            module_a.fault_model.accrue_activation(
+                0, phys + 1, module_a.timing.tRAS, module_a.timing.tRP, 400_000)
+            counts.add(len(module_a.harvest_flips(0, 700)))
+        module_a.set_trial_noise(None)
+        assert len(counts) >= 1  # runs are valid; jitter may or may not split
+
+
+class TestMappingIntegration:
+    def test_logical_physical_roundtrip(self, module_b):
+        for row in (0, 1, 5, 6, 7, 100):
+            assert module_b.to_logical(module_b.to_physical(row)) == row
+
+    def test_mfr_b_uses_remapping(self, module_b):
+        remapped = [r for r in range(64)
+                    if module_b.to_physical(r) != r]
+        assert remapped, "Mfr. B modules must remap some rows"

@@ -1,0 +1,92 @@
+"""Additional DRAM-module behaviours: pattern refill writes, multi-bank
+independence, temperature gating of flips."""
+
+import pytest
+
+from repro.dram.data import pattern_by_name
+
+
+class TestPatternRefillWrite:
+    def test_write_none_restores_pattern_bytes(self, module_a, rowstripe):
+        module_a.install_pattern(0, [50], rowstripe, 50)
+        module_a.activate(0, 50, 0.0)
+        timing = module_a.timing
+        payload = bytes([0xFF & ((1 << module_a.geometry.bits_per_col) - 1)]
+                        * module_a.geometry.chips)
+        module_a.write(0, 2, payload, timing.tRCD)
+        # Refill column 2 with the installed pattern.
+        module_a.write(0, 2, None, timing.tRCD + timing.tCCD)
+        got = module_a.read(0, 2, timing.tRCD + 2 * timing.tCCD)
+        assert set(got) == {0x00}
+
+    def test_refill_only_touches_named_column(self, module_a, rowstripe):
+        module_a.install_pattern(0, [50], rowstripe, 50)
+        module_a.activate(0, 50, 0.0)
+        timing = module_a.timing
+        width_mask = (1 << module_a.geometry.bits_per_col) - 1
+        payload = bytes([width_mask] * module_a.geometry.chips)
+        now = timing.tRCD
+        module_a.write(0, 2, payload, now)
+        now += timing.tCCD
+        module_a.write(0, 3, payload, now)
+        now += timing.tCCD
+        module_a.write(0, 2, None, now)
+        now += timing.tCCD
+        assert set(module_a.read(0, 3, now)) == {width_mask}
+
+
+class TestBankIndependence:
+    def test_damage_isolated_per_bank(self, module_a):
+        module_a.fault_model.accrue_activation(0, 100, 34.5, 16.5, 1000)
+        assert module_a.fault_model.damage_units(1, 99) == 0.0
+        assert module_a.fault_model.damage_units(0, 99) > 0
+
+    def test_open_rows_independent(self, module_a):
+        module_a.activate(0, 10, 0.0)
+        module_a.activate(1, 20, module_a.timing.tRRD)
+        assert module_a.bank(0).open_row == module_a.to_physical(10)
+        assert module_a.bank(1).open_row == module_a.to_physical(20)
+
+
+class TestTemperatureGating:
+    def test_flips_depend_on_temperature(self, module_a, rowstripe):
+        """The same damage yields different flips at different temps."""
+        victim = 700
+        phys = module_a.to_physical(victim)
+        counts = {}
+        for temp in (50.0, 90.0):
+            module_a.install_pattern(0, [victim], rowstripe, victim)
+            module_a.temperature_c = temp
+            module_a.fault_model.accrue_activation(0, phys - 1, 34.5, 16.5,
+                                                   400_000)
+            module_a.fault_model.accrue_activation(0, phys + 1, 34.5, 16.5,
+                                                   400_000)
+            counts[temp] = len(module_a.harvest_flips(0, victim))
+        assert counts[50.0] != counts[90.0]
+
+    def test_out_of_range_cells_never_flip(self, module_a, rowstripe):
+        """Cells whose range excludes the temperature stay silent even
+        under extreme hammering."""
+        victim = 700
+        phys = module_a.to_physical(victim)
+        cells = module_a.fault_model.population.cells_for(0, phys)
+        inactive_at_50 = ~cells.active_at(50.0)
+        if not inactive_at_50.any():
+            pytest.skip("row has no 50-degC-inactive cells")
+        module_a.install_pattern(0, [victim], rowstripe, victim)
+        module_a.temperature_c = 50.0
+        module_a.fault_model.accrue_activation(0, phys - 1, 34.5, 16.5,
+                                               5_000_000)
+        module_a.fault_model.accrue_activation(0, phys + 1, 34.5, 16.5,
+                                               5_000_000)
+        flips = module_a.harvest_flips(0, victim)
+        # Distinct vulnerable cells can share (chip, col, bit) coordinates,
+        # so assert the positive form: every flip maps to an active cell.
+        active_cells = {
+            (int(c), int(col), int(b))
+            for c, col, b in zip(cells.chip[~inactive_at_50],
+                                 cells.col[~inactive_at_50],
+                                 cells.bit[~inactive_at_50])
+        }
+        flipped = {(f.chip, f.col, f.bit) for f in flips}
+        assert flipped <= active_cells

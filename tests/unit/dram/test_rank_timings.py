@@ -1,0 +1,75 @@
+"""Rank-level activation constraints: tRRD and tFAW."""
+
+import pytest
+
+from repro.errors import TimingViolation
+
+
+class TestTRRD:
+    def test_back_to_back_cross_bank_acts_rejected(self, module_a):
+        module_a.activate(0, 10, 0.0)
+        with pytest.raises(TimingViolation) as excinfo:
+            module_a.activate(1, 20, module_a.timing.tRRD - 1.0)
+        assert excinfo.value.parameter == "tRRD"
+
+    def test_spaced_cross_bank_acts_allowed(self, module_a):
+        module_a.activate(0, 10, 0.0)
+        module_a.activate(1, 20, module_a.timing.tRRD)
+        assert module_a.bank(1).open_row is not None
+
+
+class TestTFAW:
+    def _act(self, module, bank, row, now):
+        module.activate(bank, row, now)
+
+    def test_four_acts_allowed_fifth_rejected(self, small_geometry):
+        from repro.dram.catalog import spec_by_id
+        from repro.dram.geometry import Geometry
+
+        geometry = Geometry(banks=8, rows_per_bank=1024, cols_per_row=64,
+                            bits_per_col=8, chips=4, subarray_rows=512)
+        module = spec_by_id("A0").instantiate(geometry=geometry)
+        timing = module.timing
+        for i in range(4):
+            self._act(module, i, 10, i * timing.tRRD)
+        with pytest.raises(TimingViolation) as excinfo:
+            self._act(module, 4, 10, 4 * timing.tRRD)
+        assert excinfo.value.parameter == "tFAW"
+
+    def test_fifth_act_after_tfaw_allowed(self, small_geometry):
+        from repro.dram.catalog import spec_by_id
+        from repro.dram.geometry import Geometry
+
+        geometry = Geometry(banks=8, rows_per_bank=1024, cols_per_row=64,
+                            bits_per_col=8, chips=4, subarray_rows=512)
+        module = spec_by_id("A0").instantiate(geometry=geometry)
+        timing = module.timing
+        for i in range(4):
+            self._act(module, i, 10, i * timing.tRRD)
+        self._act(module, 4, 10, timing.tFAW)
+        assert module.bank(4).open_row is not None
+
+    def test_single_bank_hammering_unconstrained(self, module_a):
+        """Per-bank tRC (51 ns) already exceeds tFAW/4, so the paper's
+        single-bank hammer loops never hit the rank constraints."""
+        timing = module_a.timing
+        assert timing.tRC >= timing.tFAW / 4.0
+        now = 0.0
+        for _ in range(8):
+            module_a.activate(0, 10, now)
+            module_a.precharge(0, now + timing.tRAS)
+            now += timing.tRC
+
+    def test_hammer_loop_updates_rank_history(self, module_a):
+        from repro.softmc.controller import SoftMCController
+        from repro.softmc.program import HammerLoop, Program
+
+        controller = SoftMCController(module_a)
+        loop = HammerLoop(count=100, bank=0, aggressor_rows=(99, 101),
+                          t_on_ns=module_a.timing.tRAS,
+                          t_off_ns=module_a.timing.tRP)
+        controller.execute(Program([loop]))
+        # An immediate cross-bank ACT after the loop respects tRRD
+        # relative to the loop's last activation.
+        assert module_a._recent_acts
+        module_a.activate(1, 20, controller.now_ns + module_a.timing.tRRD)

@@ -1,0 +1,77 @@
+"""Tests for the refresh engine and retention guard."""
+
+import pytest
+
+from repro.dram.refresh import (
+    REFS_PER_WINDOW,
+    RefreshEngine,
+    RetentionGuard,
+    RetentionGuardViolation,
+)
+from repro.errors import ConfigError
+from repro.units import ms_to_ns
+
+
+class TestRetentionGuard:
+    def test_within_budget_passes(self):
+        RetentionGuard().check(ms_to_ns(63.9))
+
+    def test_over_budget_raises(self):
+        with pytest.raises(RetentionGuardViolation):
+            RetentionGuard().check(ms_to_ns(64.1), "BER test")
+
+    def test_message_names_context(self):
+        with pytest.raises(RetentionGuardViolation, match="HCfirst sweep"):
+            RetentionGuard().check(ms_to_ns(100), "HCfirst sweep")
+
+    def test_custom_budget(self):
+        guard = RetentionGuard(budget_ms=10.0)
+        guard.check(ms_to_ns(9.0))
+        with pytest.raises(RetentionGuardViolation):
+            guard.check(ms_to_ns(11.0))
+
+    def test_max_hammers(self):
+        guard = RetentionGuard()
+        # 64 ms at 102 ns per double-sided hammer.
+        assert guard.max_hammers(102.0) == int(ms_to_ns(64.0) // 102.0)
+
+    def test_max_hammers_shrinks_with_longer_period(self):
+        guard = RetentionGuard()
+        assert guard.max_hammers(342.0) < guard.max_hammers(102.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            RetentionGuard(budget_ms=0)
+        with pytest.raises(ConfigError):
+            RetentionGuard().max_hammers(0)
+
+
+class TestRefreshEngine:
+    def test_refs_per_window_constant(self):
+        assert REFS_PER_WINDOW == 8192
+
+    def test_ref_clears_pending_damage_round_robin(self, module_a):
+        engine = RefreshEngine(module_a)
+        module_a.fault_model.accrue_activation(0, 1, 34.5, 16.5, 100)
+        # Row 0 and 2 hold damage; the first REF bundle covers them.
+        assert module_a.fault_model.damage_units(0, 0) > 0
+        for _ in range(8):
+            engine.on_ref()
+        assert module_a.fault_model.damage_units(0, 0) == 0.0
+
+    def test_cursor_wraps(self, module_a):
+        engine = RefreshEngine(module_a)
+        rows = module_a.geometry.rows_per_bank
+        steps = rows // engine.rows_per_ref + 1
+        for _ in range(steps):
+            engine.on_ref()
+        assert engine.refs_issued == steps
+        assert 0 <= engine._cursor < rows
+
+    def test_ref_drives_trr(self, module_a, tree):
+        from repro.dram.trr import TargetRowRefresh
+
+        module_a.trr = TargetRowRefresh(tree, sample_probability=1.0)
+        module_a.trr.on_activate(0, 100)
+        RefreshEngine(module_a).on_ref()
+        assert module_a.trr.refreshes_issued > 0

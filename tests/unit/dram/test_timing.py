@@ -1,0 +1,72 @@
+"""Tests for JEDEC timing sets."""
+
+import pytest
+
+from repro.dram.timing import (
+    DDR3_1600,
+    DDR4_2400,
+    TimingSet,
+    timing_for_standard,
+)
+from repro.errors import ConfigError
+
+
+class TestPresets:
+    def test_ddr4_paper_baselines(self):
+        # The paper's Section 6 baselines: tRAS = 34.5 ns, tRP = 16.5 ns.
+        assert DDR4_2400.tRAS == 34.5
+        assert DDR4_2400.tRP == 16.5
+        assert DDR4_2400.clock_ns == 1.5
+
+    def test_ddr3_granularity(self):
+        assert DDR3_1600.clock_ns == 2.5
+
+    def test_trc_is_sum(self):
+        assert DDR4_2400.tRC == DDR4_2400.tRAS + DDR4_2400.tRP
+
+    def test_lookup_by_standard(self):
+        assert timing_for_standard("DDR4") is DDR4_2400
+        assert timing_for_standard("DDR3") is DDR3_1600
+        assert timing_for_standard("ddr4-2400") is DDR4_2400
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            timing_for_standard("DDR5")
+
+
+class TestQuantize:
+    def test_exact_multiple_unchanged(self):
+        assert DDR4_2400.quantize(3.0) == 3.0
+
+    def test_rounds_up_not_down(self):
+        # 16.6 / 1.5 = 11.07 -> must round UP to 12 ticks = 18.0 ns.
+        assert DDR4_2400.quantize(16.6) == pytest.approx(18.0)
+
+    def test_quantize_preserves_nominal_points(self):
+        # Every paper grid point is exactly representable.
+        for value in (34.5, 64.5, 94.5, 124.5, 154.5, 16.5, 22.5, 40.5):
+            assert DDR4_2400.quantize(value) == pytest.approx(value)
+
+    def test_quantize_tolerates_float_noise(self):
+        # A value representing 5 clock periods with float noise must not
+        # jump up a whole period.
+        assert DDR4_2400.quantize(7.5 + 1e-12) == pytest.approx(7.5)
+
+    @pytest.mark.parametrize("value", [0.1, 1.0, 16.5, 34.5, 154.5, 1000.0])
+    def test_quantize_is_idempotent(self, value):
+        once = DDR4_2400.quantize(value)
+        assert DDR4_2400.quantize(once) == pytest.approx(once)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_timing(self):
+        with pytest.raises(ConfigError):
+            TimingSet("bad", clock_ns=1.0, tRCD=0.0, tRAS=35.0, tRP=15.0,
+                      tCCD=5.0, tWR=15.0, tRFC=350.0, tREFI=7800.0,
+                      burst_ns=3.3)
+
+
+def test_hammers_per_refresh_window():
+    hammers = DDR4_2400.hammers_per_refresh_window()
+    # 64 ms / (2 * 51 ns) ~ 627K double-sided hammers.
+    assert 600_000 < hammers < 650_000

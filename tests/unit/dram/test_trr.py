@@ -1,0 +1,78 @@
+"""Tests for the on-die TRR model."""
+
+import pytest
+
+from repro.dram.trr import TargetRowRefresh
+from repro.rng import SeedSequenceTree
+
+
+@pytest.fixture()
+def trr(tree):
+    return TargetRowRefresh(tree, table_size=2, sample_probability=1.0)
+
+
+class TestTracking:
+    def test_sampled_activation_is_tracked(self, trr):
+        trr.on_activate(0, 100)
+        assert trr._tables[0][100] == 1
+
+    def test_sampling_probability_zero_tracks_nothing(self, tree):
+        trr = TargetRowRefresh(tree, sample_probability=0.0)
+        for _ in range(100):
+            trr.on_activate(0, 100)
+        assert not trr._tables.get(0)
+
+    def test_table_eviction_keeps_hot_rows(self, trr):
+        for _ in range(10):
+            trr.on_activate(0, 1)
+        trr.on_activate(0, 2)
+        for _ in range(5):
+            trr.on_activate(0, 3)  # decrements since table is full
+        assert 1 in trr._tables[0]
+
+    def test_bulk_matches_scale(self, tree):
+        trr = TargetRowRefresh(tree, table_size=4, sample_probability=0.25)
+        trr.on_activate_bulk(0, 7, 100_000)
+        count = trr._tables[0][7]
+        assert 23_000 < count < 27_000  # binomial around 25K
+
+    def test_bulk_zero_count_noop(self, trr):
+        trr.on_activate_bulk(0, 7, 0)
+        assert not trr._tables.get(0)
+
+
+class TestVictims:
+    def test_victims_of_interior(self, trr):
+        assert sorted(trr.victims_of(100, 4096)) == [99, 101]
+
+    def test_victims_of_edge(self, trr):
+        assert trr.victims_of(0, 4096) == [1]
+
+    def test_wider_neighborhood(self, tree):
+        trr = TargetRowRefresh(tree, neighborhood=2)
+        assert sorted(trr.victims_of(100, 4096)) == [98, 99, 101, 102]
+
+
+class TestRefresh:
+    def test_on_refresh_protects_victim(self, module_a, tree):
+        trr = TargetRowRefresh(tree, sample_probability=1.0)
+        module_a.trr = trr
+        phys = 500
+        # Build up damage on the victim, with TRR observing the aggressor.
+        module_a.fault_model.accrue_activation(0, phys + 1, 34.5, 16.5, 1000)
+        trr.on_activate_bulk(0, phys + 1, 1000)
+        issued = trr.on_refresh(module_a)
+        assert issued >= 1
+        assert module_a.fault_model.damage_units(0, phys) == 0.0
+
+    def test_refresh_consumes_table_entry(self, module_a, trr):
+        trr.on_activate(0, 100)
+        trr.on_refresh(module_a)
+        assert 100 not in trr._tables[0]
+
+    def test_reset(self, trr):
+        trr.on_activate(0, 100)
+        trr.refreshes_issued = 5
+        trr.reset()
+        assert not trr._tables
+        assert trr.refreshes_issued == 0

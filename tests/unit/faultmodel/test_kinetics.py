@@ -1,0 +1,100 @@
+"""Tests for disturbance kinetics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faultmodel.kinetics import (
+    DisturbanceKinetics,
+    MAX_COUPLING_DISTANCE,
+    WEIGHT_DISTANCE_1,
+    WEIGHT_DISTANCE_2,
+    distance_weight,
+)
+
+
+@pytest.fixture()
+def kinetics():
+    return DisturbanceKinetics(beta_on=0.3, gamma_off=0.4,
+                               tras_ns=34.5, trp_ns=16.5)
+
+
+class TestDistanceWeights:
+    def test_distance_one(self):
+        assert distance_weight(1) == WEIGHT_DISTANCE_1 == 0.5
+
+    def test_distance_two_weak(self):
+        assert distance_weight(2) == WEIGHT_DISTANCE_2
+        assert WEIGHT_DISTANCE_2 < WEIGHT_DISTANCE_1 / 4
+
+    def test_sign_ignored(self):
+        assert distance_weight(-1) == distance_weight(1)
+
+    def test_beyond_radius_zero(self):
+        assert distance_weight(MAX_COUPLING_DISTANCE + 1) == 0.0
+        assert distance_weight(0) == 0.0  # the aggressor itself
+
+
+class TestOnTimeFactor:
+    def test_nominal_is_one(self, kinetics):
+        assert kinetics.on_time_factor(34.5) == pytest.approx(1.0)
+
+    def test_monotone_increasing(self, kinetics):
+        values = [kinetics.on_time_factor(t) for t in (34.5, 64.5, 94.5, 154.5)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_below_nominal_clipped(self, kinetics):
+        assert kinetics.on_time_factor(10.0) == pytest.approx(1.0)
+
+    def test_power_law_exponent(self, kinetics):
+        ratio = kinetics.on_time_factor(69.0) / kinetics.on_time_factor(34.5)
+        assert ratio == pytest.approx(2.0 ** 0.3)
+
+
+class TestOffTimeFactor:
+    def test_nominal_is_one(self, kinetics):
+        assert kinetics.off_time_factor(16.5) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self, kinetics):
+        values = [kinetics.off_time_factor(t) for t in (16.5, 22.5, 40.5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_below_nominal_clipped(self, kinetics):
+        assert kinetics.off_time_factor(5.0) == pytest.approx(1.0)
+
+
+class TestHammerUnits:
+    def test_double_sided_nominal_is_one_unit(self, kinetics):
+        # One hammer = both aggressors activated once; the victim sits at
+        # distance 1 from each.
+        units = kinetics.hammer_units(100, (99, 101), 34.5, 16.5)
+        assert units == pytest.approx(1.0)
+
+    def test_single_sided_victim_is_half(self, kinetics):
+        units = kinetics.hammer_units(102, (99, 101), 34.5, 16.5)
+        assert units == pytest.approx(0.5)
+
+    def test_distance_two_coupling(self, kinetics):
+        units = kinetics.hammer_units(103, (99, 101), 34.5, 16.5)
+        assert units == pytest.approx(WEIGHT_DISTANCE_2)
+
+    def test_far_row_untouched(self, kinetics):
+        assert kinetics.hammer_units(200, (99, 101), 34.5, 16.5) == 0.0
+
+    def test_on_time_scales_units(self, kinetics):
+        base = kinetics.hammer_units(100, (99, 101), 34.5, 16.5)
+        longer = kinetics.hammer_units(100, (99, 101), 154.5, 16.5)
+        assert longer / base == pytest.approx((154.5 / 34.5) ** 0.3)
+
+    def test_activation_damage_zero_weight(self, kinetics):
+        assert kinetics.activation_damage(5, 34.5, 16.5) == 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_exponents(self):
+        with pytest.raises(ConfigError):
+            DisturbanceKinetics(-0.1, 0.3, 34.5, 16.5)
+
+    def test_rejects_nonpositive_timings(self):
+        with pytest.raises(ConfigError):
+            DisturbanceKinetics(0.3, 0.3, 0.0, 16.5)

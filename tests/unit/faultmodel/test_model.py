@@ -1,0 +1,145 @@
+"""Tests for the RowHammer fault model (command path and oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.data import pattern_by_name
+from repro.faultmodel.kinetics import WEIGHT_DISTANCE_1, WEIGHT_DISTANCE_2
+
+
+@pytest.fixture()
+def model(module_a):
+    module_a.temperature_c = 75.0
+    return module_a.fault_model
+
+
+@pytest.fixture()
+def pattern():
+    return pattern_by_name("rowstripe")
+
+
+class TestDamageAccrual:
+    def test_accrue_hits_neighbors(self, model):
+        model.accrue_activation(0, 100, 34.5, 16.5, count=10)
+        assert model.damage_units(0, 99) == pytest.approx(10 * WEIGHT_DISTANCE_1)
+        assert model.damage_units(0, 101) == pytest.approx(10 * WEIGHT_DISTANCE_1)
+        assert model.damage_units(0, 98) == pytest.approx(10 * WEIGHT_DISTANCE_2)
+        assert model.damage_units(0, 102) == pytest.approx(10 * WEIGHT_DISTANCE_2)
+
+    def test_aggressor_itself_untouched(self, model):
+        model.accrue_activation(0, 100, 34.5, 16.5, count=10)
+        assert model.damage_units(0, 100) == 0.0
+
+    def test_bank_edge_clipped(self, model):
+        model.accrue_activation(0, 0, 34.5, 16.5, count=1)
+        assert model.damage_units(0, 1) > 0  # no exception for row -1
+
+    def test_double_sided_accumulates_one_unit_per_hammer(self, model):
+        model.accrue_activation(0, 99, 34.5, 16.5, count=1000)
+        model.accrue_activation(0, 101, 34.5, 16.5, count=1000)
+        assert model.damage_units(0, 100) == pytest.approx(1000.0)
+
+    def test_restore_row(self, model):
+        model.accrue_activation(0, 100, 34.5, 16.5, count=10)
+        model.restore_row(0, 99)
+        assert model.damage_units(0, 99) == 0.0
+        assert model.damage_units(0, 101) > 0
+
+    def test_restore_all(self, model):
+        model.accrue_activation(0, 100, 34.5, 16.5, count=10)
+        model.restore_all()
+        assert model.damage_units(0, 99) == 0.0
+
+    def test_zero_count_noop(self, model):
+        model.accrue_activation(0, 100, 34.5, 16.5, count=0)
+        assert model.damage_units(0, 99) == 0.0
+
+    def test_extended_on_time_accrues_more(self, model):
+        model.accrue_activation(0, 100, 154.5, 16.5, count=10)
+        extended = model.damage_units(0, 99)
+        model.restore_all()
+        model.accrue_activation(0, 100, 34.5, 16.5, count=10)
+        assert extended > model.damage_units(0, 99)
+
+
+class TestFlips:
+    def test_no_damage_no_flips(self, model, pattern):
+        assert model.flips(0, 100, 75.0, pattern, 100) == []
+
+    def test_enough_damage_flips(self, model, pattern):
+        victim = 600
+        threshold = model.row_hcfirst(0, victim, 75.0, pattern)
+        model.accrue_activation(0, victim - 1, 34.5, 16.5,
+                                count=int(threshold) + 1)
+        model.accrue_activation(0, victim + 1, 34.5, 16.5,
+                                count=int(threshold) + 1)
+        flips = model.flips(0, victim, 75.0, pattern, victim)
+        assert flips
+        for cell in flips:
+            assert cell.row == victim
+            assert cell.bank == 0
+
+
+class TestOracle:
+    def test_hcfirst_equals_min_threshold_over_units(self, model, pattern):
+        victim = 700
+        cells, hcs = model.cell_hcfirst(0, victim, 75.0, pattern, victim)
+        thresholds = cells.thresholds(75.0, pattern, victim, model.data_seed)
+        assert hcs == pytest.approx(thresholds / 1.0)
+
+    def test_row_hcfirst_is_min(self, model, pattern):
+        victim = 700
+        _, hcs = model.cell_hcfirst(0, victim, 75.0, pattern, victim)
+        assert model.row_hcfirst(0, victim, 75.0, pattern) == hcs.min()
+
+    def test_flip_count_monotone_in_hammer_count(self, model, pattern):
+        victim = 700
+        counts = [model.row_flip_count(0, victim, hc, 75.0, pattern)
+                  for hc in (50_000, 150_000, 500_000, 2_000_000)]
+        assert counts == sorted(counts)
+
+    def test_single_sided_victim_needs_double_hammers(self, model, pattern):
+        victim = 700
+        aggressors = (victim - 1, victim + 1)
+        direct = model.hammer_units(victim, aggressors)
+        side = model.hammer_units(victim + 2, aggressors)
+        assert direct == pytest.approx(1.0)
+        assert side == pytest.approx(0.5)
+
+    def test_longer_on_time_lowers_hcfirst(self, model, pattern):
+        victim = 700
+        base = model.row_hcfirst(0, victim, 75.0, pattern)
+        faster = model.row_hcfirst(0, victim, 75.0, pattern, t_on_ns=154.5)
+        assert faster < base
+        assert faster == pytest.approx(base / (154.5 / 34.5) ** model.profile.beta_on)
+
+    def test_longer_off_time_raises_hcfirst(self, model, pattern):
+        victim = 700
+        base = model.row_hcfirst(0, victim, 75.0, pattern)
+        slower = model.row_hcfirst(0, victim, 75.0, pattern, t_off_ns=40.5)
+        assert slower > base
+
+    def test_flip_cells_locations(self, model, pattern):
+        victim = 700
+        flips = model.flip_cells(0, victim, 2_000_000, 75.0, pattern)
+        assert flips
+        for cell in flips:
+            assert 0 <= cell.col < model.geometry.cols_per_row
+            assert 0 <= cell.chip < model.geometry.chips
+
+    def test_row_without_cells_returns_inf(self, module_a, pattern):
+        # Force an empty population by monkeypatching the cache.
+        model = module_a.fault_model
+        cells = model.population.cells_for(0, 50)
+        import dataclasses
+        empty = dataclasses.replace(
+            cells,
+            chip=cells.chip[:0], col=cells.col[:0], bit=cells.bit[:0],
+            hc_base=cells.hc_base[:0], t_lo=cells.t_lo[:0],
+            t_hi=cells.t_hi[:0], gap=cells.gap[:0],
+            vul_value=cells.vul_value[:0],
+            pattern_factors=cells.pattern_factors[:0],
+        )
+        model.population._row_cache[(0, 50)] = empty
+        assert model.row_hcfirst(0, 50, 75.0, pattern) == float("inf")
+        assert model.row_flip_count(0, 50, 1e9, 75.0, pattern) == 0

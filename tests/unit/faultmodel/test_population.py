@@ -1,0 +1,134 @@
+"""Tests for the vulnerable-cell population generator."""
+
+import numpy as np
+import pytest
+
+from repro.dram.data import PATTERNS, pattern_by_name
+from repro.dram.geometry import Geometry
+from repro.faultmodel.population import CellPopulation
+from repro.faultmodel.profiles import PROFILES
+from repro.rng import SeedSequenceTree
+
+GEOMETRY = Geometry(banks=2, rows_per_bank=4096, cols_per_row=64,
+                    bits_per_col=8, chips=4)
+
+
+@pytest.fixture()
+def population():
+    return CellPopulation(PROFILES["A"], GEOMETRY,
+                          SeedSequenceTree(4, "pop-tests"))
+
+
+class TestGeneration:
+    def test_deterministic_across_instances(self):
+        tree = SeedSequenceTree(4, "pop-tests")
+        a = CellPopulation(PROFILES["A"], GEOMETRY, tree).cells_for(0, 100)
+        b = CellPopulation(PROFILES["A"], GEOMETRY, tree).cells_for(0, 100)
+        assert np.array_equal(a.hc_base, b.hc_base)
+        assert np.array_equal(a.col, b.col)
+
+    def test_access_order_irrelevant(self):
+        tree = SeedSequenceTree(4, "pop-tests")
+        first = CellPopulation(PROFILES["A"], GEOMETRY, tree)
+        _ = first.cells_for(0, 1)
+        a = first.cells_for(0, 100)
+        second = CellPopulation(PROFILES["A"], GEOMETRY, tree)
+        b = second.cells_for(0, 100)
+        assert np.array_equal(a.hc_base, b.hc_base)
+
+    def test_cached(self, population):
+        assert population.cells_for(0, 5) is population.cells_for(0, 5)
+
+    def test_clear_cache(self, population):
+        cells = population.cells_for(0, 5)
+        population.clear_cache()
+        assert population.cells_for(0, 5) is not cells
+
+    def test_count_near_poisson_mean(self, population):
+        counts = [len(population.cells_for(0, r)) for r in range(60)]
+        mean = PROFILES["A"].cells_per_row_mean
+        assert abs(np.mean(counts) - mean) < mean * 0.1
+
+    def test_locations_in_geometry(self, population):
+        cells = population.cells_for(1, 200)
+        assert (cells.col >= 0).all() and (cells.col < GEOMETRY.cols_per_row).all()
+        assert (cells.chip >= 0).all() and (cells.chip < GEOMETRY.chips).all()
+        assert (cells.bit >= 0).all() and (cells.bit < GEOMETRY.bits_per_col).all()
+
+    def test_banks_independent(self, population):
+        a = population.cells_for(0, 100)
+        b = population.cells_for(1, 100)
+        assert not np.array_equal(a.hc_base, b.hc_base)
+
+    def test_bad_address_rejected(self, population):
+        from repro.errors import GeometryError
+        with pytest.raises(GeometryError):
+            population.cells_for(0, GEOMETRY.rows_per_bank)
+
+    def test_thresholds_positive_and_bounded(self, population):
+        cells = population.cells_for(0, 123)
+        assert (cells.hc_base > 0).all()
+        # Bounded power law: no cell exceeds the row's scale constant.
+        assert cells.hc_base.max() < 1e8
+
+
+class TestThresholds:
+    def test_inactive_cells_are_inf(self, population):
+        cells = population.cells_for(0, 77)
+        pattern = pattern_by_name("rowstripe")
+        thresholds = cells.thresholds(70.0, pattern, 77)
+        inactive = ~cells.active_at(70.0)
+        assert np.isinf(thresholds[inactive]).all()
+
+    def test_unexposed_cells_are_inf(self, population):
+        cells = population.cells_for(0, 77)
+        pattern = pattern_by_name("rowstripe")
+        thresholds = cells.thresholds(70.0, pattern, 77)
+        exposed = cells.stored_bits(pattern, 77) == cells.vul_value
+        assert np.isinf(thresholds[~exposed]).all()
+
+    def test_complement_exposes_other_half(self, population):
+        cells = population.cells_for(0, 77)
+        pattern = pattern_by_name("rowstripe")
+        both = (np.isfinite(cells.thresholds(70.0, pattern, 77))
+                | np.isfinite(cells.thresholds(
+                    70.0, pattern.complemented(), 77)))
+        active = cells.active_at(70.0)
+        # Every active cell is exposed by the pattern or its complement.
+        assert (both[active]).all()
+
+    def test_temperature_shift_scales_all(self, population):
+        cells = population.cells_for(0, 77)
+        pattern = pattern_by_name("rowstripe")
+        t50 = cells.thresholds(50.0, pattern, 77)
+        t70 = cells.thresholds(70.0, pattern, 77)
+        finite = np.isfinite(t50) & np.isfinite(t70)
+        ratios = t70[finite] / t50[finite]
+        assert ratios.size
+        assert np.allclose(ratios, ratios[0])
+
+    def test_trial_jitter_perturbs(self, population):
+        cells = population.cells_for(0, 77)
+        pattern = pattern_by_name("rowstripe")
+        base = cells.thresholds(50.0, pattern, 77)
+        jittered = cells.thresholds(50.0, pattern, 77,
+                                    trial_gen=np.random.default_rng(0))
+        finite = np.isfinite(base)
+        assert not np.allclose(base[finite], jittered[finite])
+        # Jitter is small (3 % log-sd).
+        assert np.abs(np.log(jittered[finite] / base[finite])).max() < 0.2
+
+    def test_pattern_factors_shape(self, population):
+        cells = population.cells_for(0, 77)
+        assert cells.pattern_factors.shape == (len(cells), len(PATTERNS))
+        assert (cells.pattern_factors >= 0.25).all()
+        assert (cells.pattern_factors <= 4.0).all()
+
+    def test_stored_bits_cached_by_parity(self, population):
+        cells = population.cells_for(0, 77)
+        pattern = pattern_by_name("checkered")
+        a = cells.stored_bits(pattern, 77)
+        b = cells.stored_bits(pattern, 79)  # same parity
+        assert a is b
+        c = cells.stored_bits(pattern, 78)  # other parity
+        assert c is not a

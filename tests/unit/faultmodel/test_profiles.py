@@ -1,0 +1,89 @@
+"""Tests for manufacturer profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faultmodel.profiles import PROFILES, profile_for
+
+
+class TestCatalog:
+    def test_four_profiles(self):
+        assert sorted(PROFILES) == ["A", "B", "C", "D"]
+
+    def test_profile_for_case_insensitive(self):
+        assert profile_for("a") is PROFILES["A"]
+
+    def test_profile_for_unknown(self):
+        with pytest.raises(ConfigError):
+            profile_for("X")
+
+    def test_names_match_keys(self):
+        for key, profile in PROFILES.items():
+            assert profile.name == key
+
+
+class TestPaperStructure:
+    """Structural relations the paper's data imposes on the profiles."""
+
+    def test_obsv2_full_range_ordering(self):
+        # Fig. 3: D has the largest all-temperature population (29.8%),
+        # C the smallest (9.6%).
+        fractions = {m: p.full_range_fraction for m, p in PROFILES.items()}
+        assert max(fractions, key=fractions.get) == "D"
+        assert min(fractions, key=fractions.get) == "C"
+
+    def test_obsv8_beta_ordering(self):
+        # Fig. 8: A shows the strongest on-time response, B the weakest.
+        betas = {m: p.beta_on for m, p in PROFILES.items()}
+        assert max(betas, key=betas.get) == "A"
+        assert min(betas, key=betas.get) == "B"
+
+    def test_obsv10_gamma_c_strongest(self):
+        # Fig. 10: C shows the strongest off-time hardening (+50.1%).
+        gammas = {m: p.gamma_off for m, p in PROFILES.items()}
+        assert max(gammas, key=gammas.get) == "C"
+
+    def test_mfr_b_design_dominated_columns(self):
+        # Obsv. 14: B's columns are consistent across chips.
+        assert PROFILES["B"].col_design_mix > PROFILES["A"].col_design_mix
+        assert PROFILES["B"].col_weight_floor > 0
+
+    def test_mfr_d_tight_row_distribution(self):
+        # Fig. 11: D's per-row HCfirst curves are much tighter.
+        assert PROFILES["D"].sigma_row < min(
+            PROFILES[m].sigma_row for m in "ABC")
+
+
+class TestValidation:
+    def test_with_overrides_returns_copy(self):
+        base = PROFILES["A"]
+        changed = base.with_overrides(beta_on=0.5)
+        assert changed.beta_on == 0.5
+        assert base.beta_on != 0.5
+        assert changed is not base
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigError):
+            PROFILES["A"].with_overrides(sigma_row=-0.1)
+
+    def test_rejects_fraction_out_of_range(self):
+        with pytest.raises(ConfigError):
+            PROFILES["A"].with_overrides(gap_fraction=1.5)
+
+    def test_rejects_tiny_tail_exponent(self):
+        with pytest.raises(ConfigError):
+            PROFILES["A"].with_overrides(cell_tail_exponent=0.2)
+
+    def test_rejects_bad_pattern_bias(self):
+        with pytest.raises(ConfigError):
+            PROFILES["A"].with_overrides(pattern_bias=(0.0, 0.1))
+
+    def test_rejects_nonpositive_median(self):
+        with pytest.raises(ConfigError):
+            PROFILES["A"].with_overrides(row_hcfirst_median=0)
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PROFILES["A"].beta_on = 1.0

@@ -1,0 +1,92 @@
+"""Tests for vulnerable temperature range sampling."""
+
+import numpy as np
+import pytest
+
+from repro.faultmodel import temperature as temp_mod
+from repro.faultmodel.profiles import PROFILES
+from repro.rng import derive
+
+
+@pytest.fixture()
+def gen():
+    return derive(5, "temp-tests")
+
+
+class TestSampleRanges:
+    def test_shapes(self, gen):
+        lo, hi, gap = temp_mod.sample_ranges(gen, PROFILES["A"], 1000)
+        assert lo.shape == hi.shape == gap.shape == (1000,)
+
+    def test_empty(self, gen):
+        lo, hi, gap = temp_mod.sample_ranges(gen, PROFILES["A"], 0)
+        assert lo.size == 0
+
+    def test_lo_below_hi(self, gen):
+        lo, hi, _ = temp_mod.sample_ranges(gen, PROFILES["A"], 5000)
+        assert (lo < hi).all()
+
+    def test_full_range_fraction_approximate(self, gen):
+        profile = PROFILES["D"]  # largest atom (Obsv. 2)
+        lo, hi, _ = temp_mod.sample_ranges(gen, profile, 20000)
+        covers = (lo <= 50.0) & (hi >= 90.0)
+        # The explicit atom plus wide continuum cells.
+        assert covers.mean() >= profile.full_range_fraction * 0.9
+
+    def test_gap_inside_range(self, gen):
+        lo, hi, gap = temp_mod.sample_ranges(gen, PROFILES["C"], 20000)
+        has_gap = ~np.isnan(gap)
+        assert has_gap.any()
+        assert (gap[has_gap] > lo[has_gap]).all()
+        assert (gap[has_gap] < hi[has_gap]).all()
+
+    def test_gap_on_tested_grid(self, gen):
+        _, _, gap = temp_mod.sample_ranges(gen, PROFILES["C"], 20000)
+        values = gap[~np.isnan(gap)]
+        assert np.all(values % 5.0 == 0)
+        assert values.min() >= 55.0
+        assert values.max() <= 85.0
+
+    def test_gap_fraction_approximate(self, gen):
+        profile = PROFILES["C"]
+        _, _, gap = temp_mod.sample_ranges(gen, profile, 40000)
+        fraction = (~np.isnan(gap)).mean()
+        # Some gap draws land on cells with no interior tested point.
+        assert 0.2 * profile.gap_fraction < fraction <= profile.gap_fraction * 1.2
+
+
+class TestActiveMask:
+    def test_inside_range_active(self):
+        lo = np.array([50.0])
+        hi = np.array([90.0])
+        gap = np.array([np.nan])
+        assert temp_mod.active_mask(lo, hi, gap, 70.0).all()
+
+    def test_outside_range_inactive(self):
+        lo = np.array([60.0])
+        hi = np.array([70.0])
+        gap = np.array([np.nan])
+        assert not temp_mod.active_mask(lo, hi, gap, 75.0).any()
+        assert not temp_mod.active_mask(lo, hi, gap, 55.0).any()
+
+    def test_boundaries_inclusive(self):
+        lo = np.array([60.0])
+        hi = np.array([70.0])
+        gap = np.array([np.nan])
+        assert temp_mod.active_mask(lo, hi, gap, 60.0).all()
+        assert temp_mod.active_mask(lo, hi, gap, 70.0).all()
+
+    def test_gap_blocks_exactly_one_tested_point(self):
+        lo = np.array([50.0])
+        hi = np.array([90.0])
+        gap = np.array([70.0])
+        assert not temp_mod.active_mask(lo, hi, gap, 70.0).any()
+        assert temp_mod.active_mask(lo, hi, gap, 65.0).all()
+        assert temp_mod.active_mask(lo, hi, gap, 75.0).all()
+
+    def test_vectorized(self):
+        lo = np.array([50.0, 80.0, 55.0])
+        hi = np.array([90.0, 85.0, 60.0])
+        gap = np.array([np.nan, np.nan, np.nan])
+        mask = temp_mod.active_mask(lo, hi, gap, 60.0)
+        assert mask.tolist() == [True, False, True]

@@ -1,0 +1,108 @@
+"""Tests for the spatial variation fields."""
+
+import numpy as np
+import pytest
+
+from repro.dram.geometry import Geometry
+from repro.faultmodel import variation
+from repro.faultmodel.profiles import PROFILES
+from repro.rng import SeedSequenceTree
+
+GEOMETRY = Geometry(banks=1, rows_per_bank=2048, cols_per_row=64,
+                    bits_per_col=8, chips=4)
+
+
+@pytest.fixture()
+def tree():
+    return SeedSequenceTree(99, "variation-tests")
+
+
+class TestFactors:
+    def test_module_factor_deterministic(self, tree):
+        a = variation.module_factor(tree, PROFILES["A"])
+        b = variation.module_factor(tree, PROFILES["A"])
+        assert a == b
+
+    def test_module_factor_positive(self, tree):
+        assert variation.module_factor(tree, PROFILES["C"]) > 0
+
+    def test_row_factor_varies_by_row(self, tree):
+        factors = {variation.row_factor(tree, PROFILES["A"], 0, r)
+                   for r in range(32)}
+        assert len(factors) == 32
+
+    def test_row_factor_log_std_matches_profile(self, tree):
+        profile = PROFILES["A"]
+        logs = np.log([variation.row_factor(tree, profile, 0, r)
+                       for r in range(4000)])
+        assert np.std(logs) == pytest.approx(profile.sigma_row, rel=0.15)
+
+    def test_subarray_factor_tighter_than_rows(self, tree):
+        profile = PROFILES["A"]
+        logs = np.log([variation.subarray_factor(tree, profile, 0, s)
+                       for s in range(2000)])
+        assert np.std(logs) < profile.sigma_row
+
+
+class TestBaseConstant:
+    def test_min_factor_in_unit_interval(self):
+        for profile in PROFILES.values():
+            factor = variation.expected_min_cell_factor(profile)
+            assert 0.0 < factor < 1.0
+
+    def test_base_constant_above_row_median(self):
+        # C = median / min_factor must exceed the row-level median.
+        for profile in PROFILES.values():
+            assert variation.base_constant(profile) > profile.row_hcfirst_median
+
+    def test_min_factor_decreases_with_density(self):
+        profile = PROFILES["A"]
+        sparse = profile.with_overrides(cells_per_row_mean=16.0)
+        dense = profile.with_overrides(cells_per_row_mean=1024.0)
+        assert (variation.expected_min_cell_factor(dense)
+                < variation.expected_min_cell_factor(sparse))
+
+
+class TestColumnWeights:
+    def test_shape_and_normalization(self, tree):
+        weights = variation.column_weight_field(tree, PROFILES["A"], GEOMETRY)
+        assert weights.shape == (GEOMETRY.chips, GEOMETRY.cols_per_row)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights >= 0).all()
+
+    def test_design_component_correlates_chips(self, tree):
+        # Mfr. B is design-dominated: per-chip column profiles correlate.
+        weights_b = variation.column_weight_field(tree, PROFILES["B"], GEOMETRY)
+        corr_b = np.corrcoef(weights_b[0], weights_b[1])[0, 1]
+        weights_a = variation.column_weight_field(tree, PROFILES["A"], GEOMETRY)
+        corr_a = np.corrcoef(weights_a[0], weights_a[1])[0, 1]
+        assert corr_b > 0.5
+        assert corr_b > corr_a
+
+    def test_floor_prevents_starved_columns(self, tree):
+        weights = variation.column_weight_field(tree, PROFILES["B"], GEOMETRY)
+        uniform = 1.0 / weights.size
+        assert weights.min() > uniform / 20
+
+
+class TestTemperatureResponse:
+    def test_deterministic_per_row(self, tree):
+        a = variation.row_temperature_response(tree, PROFILES["A"], 0, 7)
+        b = variation.row_temperature_response(tree, PROFILES["A"], 0, 7)
+        assert a == b
+
+    def test_zero_shift_at_reference(self):
+        assert variation.temperature_log_shift(0.01, -1e-4, 0.5, 0.02,
+                                               50.0) == 0.0
+
+    def test_shift_monotone_components(self):
+        # With positive slope and no curvature/noise the shift grows with T.
+        shifts = [variation.temperature_log_shift(0.01, 0.0, 0.0, 0.0, t)
+                  for t in (55.0, 70.0, 90.0)]
+        assert shifts == sorted(shifts)
+
+    def test_walk_scales_sublinearly(self):
+        small = variation.temperature_log_shift(0.0, 0.0, 1.0, 0.02, 55.0)
+        large = variation.temperature_log_shift(0.0, 0.0, 1.0, 0.02, 90.0)
+        assert small == pytest.approx(0.02)
+        assert 1.0 < large / small < (40.0 / 5.0) ** 0.5

@@ -1,0 +1,111 @@
+"""Tests for the row-buffer policies and the bank scheduler."""
+
+import pytest
+
+from repro.dram.timing import DDR4_2400
+from repro.errors import ConfigError
+from repro.memctrl.policies import (
+    CappedOpenPagePolicy,
+    ClosedPagePolicy,
+    OpenPagePolicy,
+)
+from repro.memctrl.scheduler import BankScheduler, compare_policies
+from repro.memctrl.workloads import (
+    Request,
+    row_hog_stream,
+    sequential_stream,
+    strided_stream,
+    zipf_stream,
+)
+
+
+class TestPolicies:
+    def test_open_page_never_closes(self):
+        assert not OpenPagePolicy().close_after_access(1e9, False)
+
+    def test_closed_page_always_closes(self):
+        assert ClosedPagePolicy().close_after_access(0.0, True)
+
+    def test_capped_closes_at_cap(self):
+        policy = CappedOpenPagePolicy(100.0)
+        assert not policy.close_after_access(50.0, True)
+        assert policy.close_after_access(100.0, True)
+
+    def test_capped_bounds_open_time(self):
+        policy = CappedOpenPagePolicy(200.0)
+        assert policy.max_row_open_ns(64e6) == 200.0
+        assert OpenPagePolicy().max_row_open_ns(64e6) == 64e6
+
+    def test_cap_validation(self):
+        with pytest.raises(ConfigError):
+            CappedOpenPagePolicy(0.0)
+
+
+class TestScheduler:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigError):
+            BankScheduler(DDR4_2400, OpenPagePolicy()).run([])
+
+    def test_same_row_requests_hit(self):
+        stream = [Request(5, c, c * 10.0) for c in range(10)]
+        stats = BankScheduler(DDR4_2400, OpenPagePolicy()).run(stream)
+        assert stats.row_hits == 9   # all but the first
+        assert stats.activations == 1
+
+    def test_closed_page_never_hits(self):
+        stream = [Request(5, c, c * 10.0) for c in range(10)]
+        stats = BankScheduler(DDR4_2400, ClosedPagePolicy()).run(stream)
+        assert stats.row_hits == 0
+        assert stats.activations == 10
+
+    def test_open_page_beats_closed_on_locality(self):
+        stream = sequential_stream(600)
+        open_stats, closed_stats = compare_policies(
+            DDR4_2400, [OpenPagePolicy(), ClosedPagePolicy()], stream)
+        assert open_stats.hit_rate > closed_stats.hit_rate
+        assert open_stats.avg_latency_ns < closed_stats.avg_latency_ns
+
+    def test_policies_equal_on_zero_locality(self):
+        stream = strided_stream(400)
+        open_stats, closed_stats = compare_policies(
+            DDR4_2400, [OpenPagePolicy(), ClosedPagePolicy()], stream)
+        assert open_stats.row_hits == closed_stats.row_hits == 0
+
+    def test_cap_bounds_observed_open_time(self):
+        stream = row_hog_stream(800, burst_length=64, seed=2)
+        cap = 200.0
+        stats = BankScheduler(DDR4_2400, CappedOpenPagePolicy(cap)).run(stream)
+        # tRAS is the floor: a row must stay open at least that long.
+        assert stats.max_row_open_ns <= max(cap, DDR4_2400.tRAS) + 100.0
+
+    def test_open_page_unbounded_open_time(self):
+        stream = row_hog_stream(800, burst_length=64, seed=2)
+        open_stats = BankScheduler(DDR4_2400, OpenPagePolicy()).run(stream)
+        capped = BankScheduler(DDR4_2400,
+                               CappedOpenPagePolicy(200.0)).run(stream)
+        assert open_stats.max_row_open_ns > capped.max_row_open_ns
+
+    def test_capped_cost_between_open_and_closed(self):
+        stream = zipf_stream(1200, alpha=1.3, seed=4)
+        open_s, capped_s, closed_s = compare_policies(
+            DDR4_2400,
+            [OpenPagePolicy(), CappedOpenPagePolicy(300.0),
+             ClosedPagePolicy()],
+            stream)
+        assert open_s.hit_rate >= capped_s.hit_rate >= closed_s.hit_rate
+        assert open_s.avg_latency_ns <= capped_s.avg_latency_ns * 1.001
+        assert capped_s.avg_latency_ns <= closed_s.avg_latency_ns * 1.001
+
+    def test_latency_accounts_for_queueing(self):
+        # Back-to-back conflicting requests: later ones wait for the bank.
+        stream = [Request(r, 0, 0.0) for r in range(8)]
+        stats = BankScheduler(DDR4_2400, OpenPagePolicy()).run(stream)
+        assert stats.avg_latency_ns > DDR4_2400.tRC
+
+    def test_stats_fields_consistent(self):
+        stream = zipf_stream(300, seed=7)
+        stats = BankScheduler(DDR4_2400, OpenPagePolicy()).run(stream)
+        assert stats.requests == 300
+        assert 0 <= stats.row_hits < 300
+        assert stats.finish_ns > 0
+        assert stats.activations == 300 - stats.row_hits

@@ -1,0 +1,74 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memctrl.workloads import (
+    Request,
+    row_hit_potential,
+    row_hog_stream,
+    sequential_stream,
+    strided_stream,
+    zipf_stream,
+)
+
+
+class TestGenerators:
+    def test_sequential_has_high_locality(self):
+        stream = sequential_stream(1000, cols=128)
+        assert row_hit_potential(stream) > 0.95
+
+    def test_strided_has_no_locality(self):
+        stream = strided_stream(1000, stride_rows=7)
+        assert row_hit_potential(stream) == 0.0
+
+    def test_zipf_concentrates_on_hot_rows(self):
+        stream = zipf_stream(4000, rows=4096, alpha=1.3, seed=3)
+        from collections import Counter
+        counts = Counter(r.row for r in stream)
+        top_share = sum(c for _r, c in counts.most_common(10)) / len(stream)
+        assert top_share > 0.4
+
+    def test_zipf_deterministic(self):
+        a = zipf_stream(100, seed=5)
+        b = zipf_stream(100, seed=5)
+        assert a == b
+        assert a != zipf_stream(100, seed=6)
+
+    def test_row_hog_bursts(self):
+        stream = row_hog_stream(640, burst_length=32, seed=1)
+        # Within a burst every request targets one row.
+        first_burst_rows = {r.row for r in stream[:32]}
+        assert len(first_burst_rows) == 1
+        assert row_hit_potential(stream) > 0.9
+
+    def test_arrivals_monotone(self):
+        for stream in (sequential_stream(50), strided_stream(50),
+                       zipf_stream(50), row_hog_stream(50)):
+            arrivals = [r.arrival_ns for r in stream]
+            assert arrivals == sorted(arrivals)
+
+    def test_addresses_in_range(self):
+        for stream in (sequential_stream(500, rows=64, cols=16),
+                       strided_stream(500, rows=64, cols=16),
+                       zipf_stream(500, rows=64, cols=16),
+                       row_hog_stream(500, rows=64, cols=16)):
+            assert all(0 <= r.row < 64 and 0 <= r.col < 16 for r in stream)
+
+
+class TestValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            sequential_stream(0)
+        with pytest.raises(ConfigError):
+            strided_stream(10, stride_rows=0)
+        with pytest.raises(ConfigError):
+            zipf_stream(10, alpha=1.0)
+        with pytest.raises(ConfigError):
+            row_hog_stream(10, burst_length=0)
+
+    def test_row_hit_potential_empty(self):
+        assert row_hit_potential([]) == 0.0
+
+    def test_request_is_value_object(self):
+        assert Request(1, 2, 3.0) == Request(1, 2, 3.0)

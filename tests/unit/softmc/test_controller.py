@@ -1,0 +1,175 @@
+"""Tests for the SoftMC controller."""
+
+import pytest
+
+from repro.dram.commands import Activate, Nop, Precharge, Read, Refresh, Write
+from repro.dram.refresh import RefreshEngine, RetentionGuard, RetentionGuardViolation
+from repro.errors import ProtocolError, TimingViolation
+from repro.softmc.controller import SoftMCController
+from repro.softmc.program import HammerLoop, Instruction, Loop, Program
+from repro.softmc.trace import CommandTrace
+
+
+def instr(cmd, gap):
+    return Instruction(cmd, gap_ns=gap)
+
+
+@pytest.fixture()
+def controller(module_a):
+    return SoftMCController(module_a)
+
+
+class TestInstructionExecution:
+    def test_act_read_pre_sequence(self, controller, module_a):
+        timing = module_a.timing
+        program = Program([
+            instr(Activate(0, 10), timing.tRCD),
+            instr(Read(0, 3), timing.tCCD),
+            instr(Nop(1), timing.tRAS),
+            instr(Precharge(0), timing.tRP),
+        ])
+        result = controller.execute(program)
+        assert len(result.reads) == 1
+        assert result.activations_issued == 1
+        assert result.elapsed_ns > timing.tRAS
+
+    def test_under_waiting_raises(self, controller, module_a):
+        program = Program([
+            instr(Activate(0, 10), 1.0),   # far below tRCD
+            instr(Read(0, 3), 0.0),
+        ])
+        with pytest.raises(TimingViolation):
+            controller.execute(program)
+
+    def test_writes_apply(self, controller, module_a):
+        timing = module_a.timing
+        payload = bytes([0x0F] * module_a.geometry.chips)
+        program = Program([
+            instr(Activate(0, 10), timing.tRCD),
+            instr(Write(0, 2, payload), timing.tCCD),
+            instr(Read(0, 2), timing.tCCD),
+        ])
+        result = controller.execute(program)
+        assert result.reads[0][3] == payload
+
+    def test_nop_advances_clock(self, controller, module_a):
+        program = Program([instr(Nop(100), 0.0)])
+        result = controller.execute(program)
+        assert result.elapsed_ns == pytest.approx(
+            100 * module_a.timing.clock_ns)
+
+    def test_refresh_without_engine_advances_trfc(self, controller, module_a):
+        result = controller.execute(Program([instr(Refresh(), 0.0)]))
+        assert result.elapsed_ns >= module_a.timing.tRFC
+
+    def test_refresh_with_engine(self, module_a):
+        engine = RefreshEngine(module_a)
+        controller = SoftMCController(module_a, refresh_engine=engine)
+        controller.execute(Program([instr(Refresh(), 0.0)]))
+        assert engine.refs_issued == 1
+
+
+class TestLoops:
+    def test_loop_repeats_body(self, controller, module_a):
+        timing = module_a.timing
+        body = (
+            instr(Activate(0, 10), timing.tRAS),
+            instr(Precharge(0), timing.tRP),
+        )
+        result = controller.execute(Program([Loop(50, body)]))
+        assert result.activations_issued == 50
+
+    def test_loop_accrues_damage(self, controller, module_a):
+        timing = module_a.timing
+        body = (
+            instr(Activate(0, 10), timing.tRAS),
+            instr(Precharge(0), timing.tRP),
+        )
+        controller.execute(Program([Loop(50, body)]))
+        assert module_a.fault_model.damage_units(
+            0, module_a.to_physical(10) + 1) > 0
+
+
+class TestHammerLoop:
+    def _loop(self, module, count=1000, **kwargs):
+        defaults = dict(count=count, bank=0, aggressor_rows=(99, 101),
+                        t_on_ns=module.timing.tRAS,
+                        t_off_ns=module.timing.tRP)
+        defaults.update(kwargs)
+        return HammerLoop(**defaults)
+
+    def test_native_execution_accrues_damage(self, controller, module_a):
+        controller.execute(Program([self._loop(module_a, count=1000)]))
+        phys = module_a.to_physical(100)
+        assert module_a.fault_model.damage_units(0, phys) == pytest.approx(
+            1000.0)
+
+    def test_aggressors_left_restored(self, controller, module_a):
+        controller.execute(Program([self._loop(module_a, count=1000)]))
+        for row in (99, 101):
+            phys = module_a.to_physical(row)
+            assert module_a.fault_model.damage_units(0, phys) == 0.0
+
+    def test_clock_advances_by_total(self, controller, module_a):
+        loop = self._loop(module_a, count=1000)
+        result = controller.execute(Program([loop]))
+        assert result.elapsed_ns == pytest.approx(loop.total_ns)
+
+    def test_rejects_t_on_below_tras(self, controller, module_a):
+        with pytest.raises(TimingViolation):
+            controller.execute(Program([
+                self._loop(module_a, t_on_ns=20.0)]))
+
+    def test_rejects_t_off_below_trp(self, controller, module_a):
+        with pytest.raises(TimingViolation):
+            controller.execute(Program([
+                self._loop(module_a, t_off_ns=10.0)]))
+
+    def test_rejects_reads_that_do_not_fit(self, controller, module_a):
+        with pytest.raises(TimingViolation):
+            controller.execute(Program([
+                self._loop(module_a, reads_per_activation=50)]))
+
+    def test_rejects_open_bank(self, controller, module_a):
+        module_a.activate(0, 5, controller.now_ns)
+        with pytest.raises(ProtocolError):
+            controller.execute(Program([self._loop(module_a)]))
+
+    def test_zero_count_noop(self, controller, module_a):
+        result = controller.execute(Program([self._loop(module_a, count=0)]))
+        assert result.activations_issued == 0
+
+    def test_retention_guard_trips_on_long_loop(self, module_a):
+        controller = SoftMCController(module_a,
+                                      retention_guard=RetentionGuard())
+        loop = self._loop(module_a, count=400_000, t_on_ns=154.5)
+        with pytest.raises(RetentionGuardViolation):
+            controller.execute(Program([loop]))
+
+
+class TestTrace:
+    def test_commands_recorded(self, module_a):
+        trace = CommandTrace()
+        controller = SoftMCController(module_a, trace=trace)
+        timing = module_a.timing
+        controller.execute(Program([
+            instr(Activate(0, 10), timing.tRAS),
+            instr(Precharge(0), timing.tRP),
+        ]))
+        assert trace.total_recorded == 2
+        assert len(trace.activations(bank=0)) == 1
+
+    def test_trace_capacity_bounds(self):
+        trace = CommandTrace(capacity=4)
+        for i in range(10):
+            trace.record(float(i), Nop())
+        assert len(trace) == 4
+        assert trace.total_recorded == 10
+        assert trace.entries()[0].time_ns == 6.0
+
+    def test_trace_clear(self):
+        trace = CommandTrace()
+        trace.record(0.0, Nop())
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.total_recorded == 0

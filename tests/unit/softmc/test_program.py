@@ -1,0 +1,67 @@
+"""Tests for SoftMC program construction."""
+
+import pytest
+
+from repro.dram.commands import Activate, Nop, Precharge
+from repro.errors import ConfigError
+from repro.softmc.program import HammerLoop, Instruction, Loop, Program
+
+
+class TestInstruction:
+    def test_default_gap(self):
+        instr = Instruction(Activate(0, 5))
+        assert instr.gap_ns == 0.0
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ConfigError):
+            Instruction(Nop(), gap_ns=-1.0)
+
+
+class TestLoop:
+    def test_requires_body(self):
+        with pytest.raises(ConfigError):
+            Loop(3, ())
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            Loop(-1, (Instruction(Nop()),))
+
+    def test_nested_loops_allowed(self):
+        inner = Loop(2, (Instruction(Nop()),))
+        outer = Loop(3, (inner,))
+        assert outer.count == 3
+
+
+class TestHammerLoop:
+    def test_iteration_duration(self):
+        loop = HammerLoop(count=10, bank=0, aggressor_rows=(4, 6),
+                          t_on_ns=34.5, t_off_ns=16.5)
+        assert loop.iteration_ns == pytest.approx(2 * (34.5 + 16.5))
+        assert loop.total_ns == pytest.approx(10 * loop.iteration_ns)
+
+    def test_requires_aggressors(self):
+        with pytest.raises(ConfigError):
+            HammerLoop(count=10, bank=0, aggressor_rows=(),
+                       t_on_ns=34.5, t_off_ns=16.5)
+
+    def test_rejects_nonpositive_timing(self):
+        with pytest.raises(ConfigError):
+            HammerLoop(count=10, bank=0, aggressor_rows=(4,),
+                       t_on_ns=0.0, t_off_ns=16.5)
+
+    def test_rejects_negative_reads(self):
+        with pytest.raises(ConfigError):
+            HammerLoop(count=10, bank=0, aggressor_rows=(4,),
+                       t_on_ns=34.5, t_off_ns=16.5, reads_per_activation=-1)
+
+
+class TestProgram:
+    def test_add_chains(self):
+        program = Program()
+        program.add(Instruction(Activate(0, 1))).add(Instruction(Precharge(0)))
+        assert len(program) == 2
+
+    def test_extend_and_iterate(self):
+        steps = [Instruction(Nop()), Instruction(Nop(2))]
+        program = Program().extend(steps)
+        assert list(program) == steps

@@ -1,0 +1,91 @@
+"""Tests for the host session facade."""
+
+import pytest
+
+from repro.dram.data import pattern_by_name
+from repro.errors import ConfigError
+from repro.softmc.session import SoftMCSession
+
+
+@pytest.fixture()
+def session(module_a):
+    module_a.temperature_c = 75.0
+    return SoftMCSession(module_a)
+
+
+class TestTemperature:
+    def test_direct_set_without_chamber(self, session, module_a):
+        reached = session.set_temperature(80.0)
+        assert reached == 80.0
+        assert module_a.temperature_c == 80.0
+
+    def test_chamber_settling(self, module_a, tree):
+        from repro.thermal import TemperatureController
+
+        chamber = TemperatureController(tree)
+        session = SoftMCSession(module_a, chamber=chamber)
+        reached = session.set_temperature(60.0)
+        assert abs(reached - 60.0) <= chamber.tolerance_c
+        assert module_a.temperature_c == reached
+
+
+class TestInstallPattern:
+    def test_covers_physical_window(self, session, module_a, rowstripe):
+        rows = session.install_pattern(0, 100, rowstripe, halo=3)
+        phys = sorted(module_a.to_physical(r) for r in rows)
+        center = module_a.to_physical(100)
+        assert phys == list(range(center - 3, center + 4))
+
+    def test_clipped_at_bank_edge(self, session, module_a, rowstripe):
+        rows = session.install_pattern(0, 1, rowstripe, halo=8)
+        assert all(0 <= module_a.to_physical(r)
+                   < module_a.geometry.rows_per_bank for r in rows)
+
+    def test_anchors_victim_parity(self, session, module_a, checkered):
+        session.install_pattern(0, 100, checkered)
+        victim_phys = module_a.to_physical(100)
+        data = module_a.bank(0).row_data(victim_phys)
+        assert data.victim_ref == victim_phys
+
+
+class TestHammering:
+    def test_double_sided_aggressors_are_physical_neighbors(self, session,
+                                                            module_a):
+        a, b = session.double_sided_aggressors(0, 100)
+        phys = module_a.to_physical(100)
+        assert sorted((module_a.to_physical(a), module_a.to_physical(b))) == \
+            [phys - 1, phys + 1]
+
+    def test_edge_victim_rejected(self, session, module_a):
+        edge = module_a.to_logical(0)
+        with pytest.raises(ConfigError):
+            session.double_sided_aggressors(0, edge)
+
+    def test_hammer_produces_flips(self, session, module_a, rowstripe):
+        session.install_pattern(0, 600, rowstripe)
+        session.hammer_double_sided(0, 600, 500_000)
+        assert session.collect_flips(0, 600)
+
+    def test_single_sided_hammer(self, session, module_a, rowstripe):
+        session.install_pattern(0, 600, rowstripe)
+        session.hammer_single_sided(0, 600, 100_000)
+        phys = module_a.to_physical(600)
+        neighbor = module_a.to_logical(phys + 1)
+        # Damage landed on the physical neighbor.
+        assert module_a.fault_model.damage_units(0, phys + 1) > 0
+        del neighbor
+
+
+class TestReadRowBytes:
+    def test_reads_full_row(self, session, module_a, rowstripe):
+        session.install_pattern(0, 100, rowstripe)
+        data = session.read_row_bytes(0, 100)
+        geometry = module_a.geometry
+        assert len(data) == geometry.cols_per_row * geometry.chips
+        assert set(data) == {0x00}  # victim row of rowstripe
+
+    def test_flips_visible_in_bytes(self, session, module_a, rowstripe):
+        session.install_pattern(0, 600, rowstripe)
+        session.hammer_double_sided(0, 600, 500_000)
+        data = session.read_row_bytes(0, 600)
+        assert any(byte != 0x00 for byte in data)

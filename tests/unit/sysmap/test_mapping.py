@@ -1,0 +1,72 @@
+"""Tests for the physical-address <-> DRAM mapping."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sysmap.mapping import DramAddress, SystemAddressMapping
+
+
+@pytest.fixture()
+def mapping():
+    return SystemAddressMapping(col_bits=5, bank_bits=3, row_bits=8)
+
+
+class TestRoundtrip:
+    def test_compose_decompose_roundtrip(self, mapping):
+        for bank in range(mapping.banks):
+            for row in (0, 1, 7, mapping.rows - 1):
+                for col in (0, mapping.cols - 1):
+                    address = DramAddress(bank, row, col)
+                    assert mapping.decompose(mapping.compose(address)) == address
+
+    def test_decompose_ignores_byte_offset(self, mapping):
+        base = mapping.compose(DramAddress(2, 5, 3))
+        for offset in range(1 << mapping.col_shift):
+            assert mapping.decompose(base + offset) == DramAddress(2, 5, 3)
+
+    def test_bank_hash_mixes_row_bits(self, mapping):
+        # Flipping a low row bit flips the corresponding bank bit.
+        base = mapping.compose(DramAddress(0, 0, 0))
+        flipped = base ^ (1 << mapping.row_shift)
+        assert mapping.decompose(flipped).bank == 1
+
+    def test_distinct_coordinates_distinct_addresses(self, mapping):
+        seen = set()
+        for bank in range(mapping.banks):
+            for row in range(16):
+                pa = mapping.compose(DramAddress(bank, row, 0))
+                assert pa not in seen
+                seen.add(pa)
+
+
+class TestFrames:
+    def test_frame_roundtrip(self, mapping):
+        for frame in (0, 1, 17, 255):
+            assert mapping.frame_of(mapping.frame_base(frame)) == frame
+
+    def test_frame_bytes(self, mapping):
+        assert mapping.frame_bytes == 1 << (mapping.col_shift + mapping.col_bits)
+
+
+class TestValidation:
+    def test_rejects_out_of_space_address(self, mapping):
+        with pytest.raises(ConfigError):
+            mapping.decompose(1 << mapping.address_bits)
+
+    def test_rejects_bad_coordinates(self, mapping):
+        with pytest.raises(ConfigError):
+            mapping.compose(DramAddress(mapping.banks, 0, 0))
+        with pytest.raises(ConfigError):
+            mapping.compose(DramAddress(0, mapping.rows, 0))
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ConfigError):
+            SystemAddressMapping(bank_bits=0)
+        with pytest.raises(ConfigError):
+            SystemAddressMapping(bank_bits=5, row_bits=4)
+
+    def test_bank_masks_shape(self, mapping):
+        masks = mapping.bank_masks()
+        assert len(masks) == mapping.bank_bits
+        for mask in masks:
+            assert bin(mask).count("1") == 2

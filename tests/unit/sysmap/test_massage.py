@@ -1,0 +1,92 @@
+"""Tests for the page allocator and memory massaging."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sysmap.mapping import SystemAddressMapping
+from repro.sysmap.massage import (
+    PageAllocator,
+    frames_on_row,
+    massage_victim_onto_row,
+)
+
+
+@pytest.fixture()
+def mapping():
+    return SystemAddressMapping(col_bits=5, bank_bits=3, row_bits=8)
+
+
+@pytest.fixture()
+def allocator(mapping):
+    return PageAllocator(mapping)
+
+
+class TestAllocator:
+    def test_lifo_reuse(self, allocator):
+        a = allocator.allocate("p1")
+        allocator.free(a, "p1")
+        assert allocator.allocate("p2") == a
+
+    def test_ownership_enforced(self, allocator):
+        frame = allocator.allocate("p1")
+        with pytest.raises(ConfigError):
+            allocator.free(frame, "p2")
+
+    def test_exhaustion(self, mapping):
+        allocator = PageAllocator(mapping, total_frames=2)
+        allocator.allocate("a")
+        allocator.allocate("a")
+        with pytest.raises(ConfigError):
+            allocator.allocate("a")
+
+    def test_owner_tracking(self, allocator):
+        frame = allocator.allocate("victim")
+        assert allocator.owner_of(frame) == "victim"
+        assert frame in allocator.frames_owned_by("victim")
+
+    def test_total_frames_validated(self, mapping):
+        with pytest.raises(ConfigError):
+            PageAllocator(mapping, total_frames=0)
+
+
+class TestMassage:
+    def test_victim_lands_on_target_row(self, mapping, allocator):
+        outcome = massage_victim_onto_row(allocator, bank=3, row=42)
+        assert outcome.succeeded
+        base = mapping.frame_base(outcome.victim_frame)
+        coords = mapping.decompose(base)
+        assert coords.bank == 3
+        assert coords.row == 42
+
+    def test_victim_frame_owned_by_victim(self, mapping, allocator):
+        outcome = massage_victim_onto_row(allocator, bank=1, row=7)
+        assert allocator.owner_of(outcome.victim_frame) == "victim"
+
+    def test_spray_covers_all_frames(self, mapping, allocator):
+        outcome = massage_victim_onto_row(allocator, bank=0, row=0)
+        assert outcome.sprayed_frames == allocator.total_frames
+
+    def test_partially_allocated_pool(self, mapping):
+        allocator = PageAllocator(mapping)
+        # Someone else holds memory already; massaging still works as
+        # long as the target frames are free for the attacker to grab.
+        for _ in range(10):
+            allocator.allocate("other")
+        outcome = massage_victim_onto_row(allocator, bank=2, row=100)
+        assert outcome.succeeded
+
+    def test_target_frame_held_by_other_fails(self, mapping):
+        allocator = PageAllocator(mapping)
+        target = sorted(frames_on_row(mapping, 2, 100))[0]
+        # Walk the allocator until someone else owns the target frame.
+        while True:
+            frame = allocator.allocate("other")
+            if frame == target:
+                break
+        with pytest.raises(ConfigError):
+            massage_victim_onto_row(allocator, bank=2, row=100)
+
+    def test_frames_on_row_decompose_back(self, mapping):
+        for frame in frames_on_row(mapping, 5, 33):
+            coords = mapping.decompose(mapping.frame_base(frame))
+            assert (coords.bank, coords.row) == (5, 33)

@@ -1,0 +1,77 @@
+"""Tests for the DRAMA-style timing channel and bank-hash recovery."""
+
+import pytest
+
+from repro.dram.timing import DDR4_2400
+from repro.errors import ConfigError
+from repro.sysmap.mapping import DramAddress, SystemAddressMapping
+from repro.sysmap.timing_channel import RowConflictOracle, recover_bank_masks
+
+
+@pytest.fixture()
+def mapping():
+    return SystemAddressMapping(col_bits=5, bank_bits=3, row_bits=8)
+
+
+@pytest.fixture()
+def oracle(mapping):
+    return RowConflictOracle(mapping, DDR4_2400)
+
+
+class TestOracle:
+    def test_row_conflict_is_slowest(self, oracle, mapping):
+        same_row = (mapping.compose(DramAddress(0, 5, 0)),
+                    mapping.compose(DramAddress(0, 5, 3)))
+        conflict = (mapping.compose(DramAddress(0, 5, 0)),
+                    mapping.compose(DramAddress(0, 9, 0)))
+        cross_bank = (mapping.compose(DramAddress(0, 5, 0)),
+                      mapping.compose(DramAddress(1, 9, 0)))
+        latencies = {
+            "hit": oracle.pair_latency_ns(*same_row),
+            "cross": oracle.pair_latency_ns(*cross_bank),
+            "conflict": oracle.pair_latency_ns(*conflict),
+        }
+        assert latencies["conflict"] > latencies["cross"] > latencies["hit"]
+
+    def test_conflicts_predicate(self, oracle, mapping):
+        a = mapping.compose(DramAddress(2, 5, 0))
+        b = mapping.compose(DramAddress(2, 200, 0))
+        c = mapping.compose(DramAddress(3, 200, 0))
+        assert oracle.conflicts(a, b)
+        assert not oracle.conflicts(a, c)
+
+    def test_measurement_counter(self, oracle, mapping):
+        a = mapping.compose(DramAddress(0, 0, 0))
+        oracle.pair_latency_ns(a, a)
+        assert oracle.measurements == 1
+
+
+class TestRecovery:
+    def test_recovers_exact_masks(self, mapping, oracle):
+        recovered = recover_bank_masks(oracle)
+        assert recovered == tuple(sorted(mapping.bank_masks()))
+
+    @pytest.mark.parametrize("bank_bits,row_bits", [(2, 6), (4, 10)])
+    def test_recovers_other_geometries(self, bank_bits, row_bits):
+        mapping = SystemAddressMapping(col_bits=4, bank_bits=bank_bits,
+                                       row_bits=row_bits)
+        oracle = RowConflictOracle(mapping, DDR4_2400)
+        assert recover_bank_masks(oracle) == tuple(sorted(mapping.bank_masks()))
+
+    def test_recovery_uses_timing_only(self, mapping):
+        """The recovery never calls decompose directly."""
+        oracle = RowConflictOracle(mapping, DDR4_2400)
+        before = oracle.measurements
+        recover_bank_masks(oracle)
+        assert oracle.measurements > before
+
+    def test_measurement_budget_modest(self, mapping, oracle):
+        recover_bank_masks(oracle)
+        # Single-bit probing is linear in address bits, plus pairing.
+        assert oracle.measurements < 40 * mapping.address_bits
+
+    def test_tiny_space_rejected(self):
+        mapping = SystemAddressMapping(col_bits=2, bank_bits=3, row_bits=3)
+        oracle = RowConflictOracle(mapping, DDR4_2400)
+        with pytest.raises(ConfigError):
+            recover_bank_masks(oracle)

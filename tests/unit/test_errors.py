@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.GeometryError,
+    errors.TimingViolation,
+    errors.ProtocolError,
+    errors.ThermalError,
+    errors.ConfigError,
+    errors.MappingError,
+    errors.DefenseError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_timing_violation_carries_details():
+    violation = errors.TimingViolation("too early", "tRP", 16.5, 12.0)
+    assert violation.parameter == "tRP"
+    assert violation.required_ns == 16.5
+    assert violation.actual_ns == 12.0
+    assert "too early" in str(violation)
+
+
+def test_catching_base_catches_all():
+    for exc in ALL_ERRORS:
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")

@@ -1,0 +1,80 @@
+"""Tests for the deterministic RNG substrate."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, SeedSequenceTree, derive, seed_from_path
+
+
+class TestSeedFromPath:
+    def test_deterministic(self):
+        assert seed_from_path(1, "a", 2) == seed_from_path(1, "a", 2)
+
+    def test_root_seed_changes_result(self):
+        assert seed_from_path(1, "a") != seed_from_path(2, "a")
+
+    def test_path_changes_result(self):
+        assert seed_from_path(1, "a") != seed_from_path(1, "b")
+
+    def test_path_order_matters(self):
+        assert seed_from_path(1, "a", "b") != seed_from_path(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert seed_from_path(1, "ab", "c") != seed_from_path(1, "a", "bc")
+
+    def test_int_vs_string_distinct(self):
+        assert seed_from_path(1, 5) != seed_from_path(1, "5")
+
+    def test_bool_vs_int_distinct(self):
+        assert seed_from_path(1, True) != seed_from_path(1, 1)
+
+    def test_float_vs_int_distinct(self):
+        assert seed_from_path(1, 2.0) != seed_from_path(1, 2)
+
+    def test_bytes_supported(self):
+        assert seed_from_path(1, b"xy") == seed_from_path(1, b"xy")
+        assert seed_from_path(1, b"xy") != seed_from_path(1, "xy")
+
+    def test_result_is_128_bit(self):
+        value = seed_from_path(1, "anything")
+        assert 0 <= value < 2 ** 128
+
+
+class TestDerive:
+    def test_same_path_same_stream(self):
+        a = derive(7, "x").random(8)
+        b = derive(7, "x").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_paths_different_streams(self):
+        a = derive(7, "x").random(8)
+        b = derive(7, "y").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_streams_look_independent(self):
+        # Correlation between sibling streams should be near zero.
+        a = derive(7, "s", 0).normal(size=4000)
+        b = derive(7, "s", 1).normal(size=4000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05
+
+
+class TestSeedSequenceTree:
+    def test_child_extends_prefix(self):
+        tree = SeedSequenceTree(3, "module", "A0")
+        child = tree.child("bank", 0)
+        assert child.prefix == ("module", "A0", "bank", 0)
+        assert child.root_seed == 3
+
+    def test_generator_matches_derive(self):
+        tree = SeedSequenceTree(3, "m")
+        a = tree.generator("row", 5).random(4)
+        b = derive(3, "m", "row", 5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_seed_matches_seed_from_path(self):
+        tree = SeedSequenceTree(3, "m")
+        assert tree.seed("x") == seed_from_path(3, "m", "x")
+
+    def test_default_seed_constant(self):
+        assert DEFAULT_SEED == 2021

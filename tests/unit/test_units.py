@@ -1,0 +1,42 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_ms_to_ns():
+    assert units.ms_to_ns(64.0) == 64_000_000.0
+
+
+def test_us_to_ns():
+    assert units.us_to_ns(2.5) == 2500.0
+
+
+def test_s_to_ns_roundtrip():
+    assert units.ns_to_s(units.s_to_ns(1.5)) == pytest.approx(1.5)
+
+
+def test_ns_to_ms_roundtrip():
+    assert units.ns_to_ms(units.ms_to_ns(64.0)) == pytest.approx(64.0)
+
+
+def test_paper_temperatures():
+    assert units.PAPER_TEMPERATURES_C == (50, 55, 60, 65, 70, 75, 80, 85, 90)
+    assert units.PAPER_TEMP_MIN_C == 50.0
+    assert units.PAPER_TEMP_MAX_C == 90.0
+    assert units.PAPER_TEMP_STEP_C == 5.0
+
+
+def test_clock_period_ddr4_2400():
+    # DDR4-2400: 1200 MHz clock -> 0.833 ns period.
+    assert units.clock_period_ns(2400) == pytest.approx(0.8333, abs=1e-3)
+
+
+def test_clock_period_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.clock_period_ns(0)
+
+
+def test_trefw_is_64ms():
+    assert units.TREFW_MS == 64.0

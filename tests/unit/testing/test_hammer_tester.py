@@ -1,0 +1,112 @@
+"""Tests for the hammer-test harness."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.testing.hammer import BER_HAMMERS, HammerTester
+
+
+@pytest.fixture()
+def tester(module_a):
+    module_a.temperature_c = 75.0
+    return HammerTester(module_a)
+
+
+class TestConfiguration:
+    def test_default_is_oracle(self, module_a):
+        assert HammerTester(module_a).mode == "oracle"
+
+    def test_unknown_mode_rejected(self, module_a):
+        with pytest.raises(ConfigError):
+            HammerTester(module_a, mode="fpga")
+
+    def test_ber_hammers_constant(self):
+        assert BER_HAMMERS == 150_000
+
+    def test_hammer_period(self, tester, module_a):
+        timing = module_a.timing
+        assert tester.hammer_period_ns() == pytest.approx(
+            2 * (timing.tRAS + timing.tRP))
+
+    def test_max_safe_hammers_nominal_is_512k(self, tester):
+        # 64 ms fits more than 512K nominal hammers; the search cap rules.
+        assert tester.max_safe_hammers() == 512 * 1024
+
+    def test_max_safe_hammers_shrinks_with_t_on(self, tester):
+        assert tester.max_safe_hammers(t_on_ns=154.5) < 512 * 1024
+
+
+class TestBER:
+    def test_result_metadata(self, tester, rowstripe):
+        result = tester.ber_test(0, 600, rowstripe, temperature_c=70.0)
+        assert result.victim_row == 600
+        assert result.hammer_count == BER_HAMMERS
+        assert result.temperature_c == 70.0
+        assert result.pattern_name == "rowstripe"
+        assert result.t_on_ns == pytest.approx(34.5)
+
+    def test_observes_three_distances(self, tester, rowstripe):
+        result = tester.ber_test(0, 600, rowstripe)
+        assert set(result.flips_by_distance) == {0, -2, 2}
+        assert result.total == sum(result.count(d) for d in (0, -2, 2))
+
+    def test_more_hammers_more_flips(self, tester, rowstripe):
+        few = tester.ber_test(0, 600, rowstripe, hammer_count=50_000)
+        many = tester.ber_test(0, 600, rowstripe, hammer_count=500_000)
+        assert many.count(0) >= few.count(0)
+
+    def test_retention_guard_enforced(self, tester, rowstripe):
+        from repro.dram.refresh import RetentionGuardViolation
+        with pytest.raises(RetentionGuardViolation):
+            tester.ber_test(0, 600, rowstripe, hammer_count=2_000_000)
+
+    def test_ber_counts_averages_repetitions(self, tester, rowstripe):
+        counts = tester.ber_counts(0, 600, rowstripe, repetitions=3)
+        assert set(counts) == {0, -2, 2}
+        assert all(v >= 0 for v in counts.values())
+
+    def test_ber_counts_rejects_zero_reps(self, tester, rowstripe):
+        with pytest.raises(ConfigError):
+            tester.ber_counts(0, 600, rowstripe, repetitions=0)
+
+    def test_single_sided_victims_flip_less(self, tester, rowstripe):
+        totals = {0: 0, -2: 0, 2: 0}
+        for row in range(600, 640):
+            result = tester.ber_test(0, row, rowstripe,
+                                     hammer_count=500_000)
+            for d in totals:
+                totals[d] += result.count(d)
+        assert totals[0] > totals[-2]
+        assert totals[0] > totals[2]
+
+
+class TestHCfirst:
+    def test_hcfirst_matches_flip_behaviour(self, tester, rowstripe):
+        hc = tester.hcfirst(0, 600, rowstripe)
+        if hc is None:
+            pytest.skip("row not vulnerable at this temperature")
+        flips = tester.ber_test(0, 600, rowstripe, hammer_count=hc)
+        assert flips.count(0) > 0
+        below = tester.ber_test(0, 600, rowstripe,
+                                hammer_count=max(hc - 4096, 1))
+        assert below.count(0) <= flips.count(0)
+
+    def test_hcfirst_quantized(self, tester, rowstripe):
+        hc = tester.hcfirst(0, 600, rowstripe)
+        if hc is not None:
+            assert hc % 512 == 0
+
+    def test_hcfirst_min_over_repetitions(self, tester, rowstripe):
+        single = tester.hcfirst(0, 600, rowstripe, repetition=0)
+        minimum = tester.hcfirst_min(0, 600, rowstripe, repetitions=5)
+        if single is None:
+            pytest.skip("row not vulnerable")
+        assert minimum is not None
+        assert minimum <= single * 1.1
+
+    def test_extended_on_time_lowers_hcfirst(self, tester, rowstripe):
+        base = tester.hcfirst(0, 600, rowstripe)
+        extended = tester.hcfirst(0, 600, rowstripe, t_on_ns=154.5)
+        if base is None or extended is None:
+            pytest.skip("row not vulnerable")
+        assert extended < base

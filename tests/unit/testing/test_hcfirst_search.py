@@ -1,0 +1,79 @@
+"""Tests for the HCfirst binary search."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.testing.hcfirst import (
+    INITIAL_DELTA,
+    INITIAL_HAMMERS,
+    MAX_HAMMERS,
+    RESOLUTION,
+    binary_search_hcfirst,
+)
+
+
+def predicate_for(threshold):
+    """A row that flips at or above ``threshold`` hammers."""
+    calls = []
+
+    def has_flips(hc):
+        calls.append(hc)
+        return hc >= threshold
+
+    has_flips.calls = calls
+    return has_flips
+
+
+class TestPaperParameters:
+    def test_defaults(self):
+        assert INITIAL_HAMMERS == 256 * 1024
+        assert INITIAL_DELTA == 128 * 1024
+        assert RESOLUTION == 512
+        assert MAX_HAMMERS == 512 * 1024
+
+
+class TestSearch:
+    @pytest.mark.parametrize("threshold", [600, 5_000, 33_000, 139_000,
+                                           256 * 1024, 400_000, 511_000])
+    def test_finds_threshold_within_resolution(self, threshold):
+        result = binary_search_hcfirst(predicate_for(threshold))
+        assert result is not None
+        assert result >= threshold               # result always shows flips
+        # The reported value is an upper bound within a few resolutions of
+        # the true threshold (the paper's 512-activation accuracy).
+        assert result - threshold <= 4 * RESOLUTION
+
+    def test_not_vulnerable_returns_none(self):
+        assert binary_search_hcfirst(predicate_for(MAX_HAMMERS + 1)) is None
+
+    def test_threshold_exactly_at_maximum(self):
+        assert binary_search_hcfirst(predicate_for(MAX_HAMMERS)) == MAX_HAMMERS
+
+    def test_extremely_vulnerable_row(self):
+        # The last tested point before the step shrinks below the
+        # resolution is 2x the resolution.
+        result = binary_search_hcfirst(predicate_for(1))
+        assert result is not None
+        assert result <= 2 * RESOLUTION
+
+    def test_respects_reduced_maximum(self):
+        # The retention guard can shrink the ceiling (long tAggOn tests).
+        result = binary_search_hcfirst(predicate_for(300_000), maximum=200_000)
+        assert result is None
+
+    def test_number_of_tests_is_logarithmic(self):
+        predicate = predicate_for(100_000)
+        binary_search_hcfirst(predicate)
+        # log2(128K / 512) + 1 = 9 steps, plus at most one ceiling probe.
+        assert len(predicate.calls) <= 10
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            binary_search_hcfirst(predicate_for(1), initial=0)
+        with pytest.raises(ConfigError):
+            binary_search_hcfirst(predicate_for(1), resolution=0)
+
+    def test_initial_above_maximum_is_clamped(self):
+        result = binary_search_hcfirst(predicate_for(1000),
+                                       initial=10 ** 9, maximum=MAX_HAMMERS)
+        assert result is not None

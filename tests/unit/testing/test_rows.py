@@ -1,0 +1,55 @@
+"""Tests for tested-row sampling."""
+
+import pytest
+
+from repro.dram.geometry import Geometry
+from repro.errors import ConfigError
+from repro.testing.rows import EDGE_MARGIN, standard_row_sample
+
+GEOMETRY = Geometry(banks=1, rows_per_bank=8192)
+
+
+class TestStandardSample:
+    def test_three_regions(self):
+        rows = standard_row_sample(GEOMETRY, 10)
+        assert len(rows) == 30
+
+    def test_regions_positions(self):
+        rows = standard_row_sample(GEOMETRY, 10)
+        assert rows[0] == EDGE_MARGIN                      # first region
+        assert any(3500 < r < 4600 for r in rows)          # middle region
+        assert rows[-1] >= GEOMETRY.rows_per_bank - EDGE_MARGIN - 10
+
+    def test_edge_margin_enforced(self):
+        rows = standard_row_sample(GEOMETRY, 20)
+        assert min(rows) >= EDGE_MARGIN
+        assert max(rows) < GEOMETRY.rows_per_bank - EDGE_MARGIN
+
+    def test_no_duplicates(self):
+        rows = standard_row_sample(GEOMETRY, 50)
+        assert len(rows) == len(set(rows))
+
+    def test_subset_of_regions(self):
+        rows = standard_row_sample(GEOMETRY, 10, regions=("middle",))
+        assert len(rows) == 10
+        assert all(3000 < r < 5200 for r in rows)
+
+    def test_stride_spreads_sample(self):
+        dense = standard_row_sample(GEOMETRY, 10, regions=("first",))
+        spread = standard_row_sample(GEOMETRY, 10, regions=("first",), stride=7)
+        assert max(spread) - min(spread) > max(dense) - min(dense)
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ConfigError):
+            standard_row_sample(GEOMETRY, 10, regions=("edge",))
+
+    def test_nonpositive_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            standard_row_sample(GEOMETRY, 0)
+        with pytest.raises(ConfigError):
+            standard_row_sample(GEOMETRY, 10, stride=0)
+
+    def test_oversized_sample_rejected(self):
+        small = Geometry(banks=1, rows_per_bank=128, subarray_rows=64)
+        with pytest.raises(ConfigError):
+            standard_row_sample(small, 500)

@@ -1,0 +1,47 @@
+"""Tests for worst-case data pattern selection."""
+
+import pytest
+
+from repro.dram.data import PATTERNS
+from repro.errors import ConfigError
+from repro.testing.hammer import HammerTester
+from repro.testing.patterns import find_worst_case_pattern, pattern_flip_counts
+
+
+@pytest.fixture()
+def tester(module_a):
+    module_a.temperature_c = 75.0
+    return HammerTester(module_a)
+
+
+SAMPLE_ROWS = list(range(600, 612))
+
+
+class TestWCDP:
+    def test_counts_cover_all_patterns(self, tester):
+        counts = pattern_flip_counts(tester, 0, SAMPLE_ROWS,
+                                     hammer_count=400_000)
+        assert set(counts) == {p.name for p in PATTERNS}
+        assert all(v >= 0 for v in counts.values())
+
+    def test_wcdp_is_argmax(self, tester):
+        best, counts = find_worst_case_pattern(tester, 0, SAMPLE_ROWS,
+                                               hammer_count=400_000)
+        assert counts[best.name] == max(counts.values())
+
+    def test_mfr_a_prefers_rowstripe_family(self, tester):
+        # Profile A biases the rowstripe pair (Table 1 behaviour).
+        best, counts = find_worst_case_pattern(tester, 0,
+                                               list(range(600, 640)),
+                                               hammer_count=400_000)
+        assert best.name.startswith("rowstripe")
+
+    def test_deterministic(self, tester):
+        first = find_worst_case_pattern(tester, 0, SAMPLE_ROWS)
+        second = find_worst_case_pattern(tester, 0, SAMPLE_ROWS)
+        assert first[0].name == second[0].name
+        assert first[1] == second[1]
+
+    def test_empty_sample_rejected(self, tester):
+        with pytest.raises(ConfigError):
+            find_worst_case_pattern(tester, 0, [])

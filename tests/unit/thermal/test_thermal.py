@@ -1,0 +1,127 @@
+"""Tests for the thermal substrate: plant, sensor, PID, chamber."""
+
+import pytest
+
+from repro.errors import ConfigError, ThermalError
+from repro.rng import SeedSequenceTree
+from repro.thermal.chamber import TemperatureController
+from repro.thermal.pid import PIDController
+from repro.thermal.plant import ThermalPlant
+from repro.thermal.sensor import Thermocouple
+
+
+@pytest.fixture()
+def tree():
+    return SeedSequenceTree(77, "thermal-tests")
+
+
+class TestPlant:
+    def test_idle_decays_to_ambient(self):
+        plant = ThermalPlant(ambient_c=25.0, initial_c=80.0)
+        for _ in range(10000):
+            plant.step(0.0, 0.5)
+        assert plant.temperature_c == pytest.approx(25.0, abs=0.5)
+
+    def test_full_power_approaches_max(self):
+        plant = ThermalPlant()
+        for _ in range(10000):
+            plant.step(1.0, 0.5)
+        assert plant.temperature_c == pytest.approx(plant.max_reachable_c,
+                                                    abs=1.0)
+
+    def test_duty_is_clamped(self):
+        plant = ThermalPlant()
+        before = plant.temperature_c
+        plant.step(-5.0, 1.0)
+        assert plant.temperature_c <= before  # no negative heating
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ConfigError):
+            ThermalPlant(heat_capacity_j_per_k=0.0)
+
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(ConfigError):
+            ThermalPlant().step(0.5, 0.0)
+
+
+class TestThermocouple:
+    def test_reading_near_truth(self, tree):
+        sensor = Thermocouple(tree)
+        readings = [sensor.read(70.0) for _ in range(200)]
+        assert abs(sum(readings) / len(readings) - 70.0) < 0.02
+
+    def test_quantization(self, tree):
+        sensor = Thermocouple(tree, noise_sd_c=0.0, resolution_c=0.25)
+        assert sensor.read(70.1) in (70.0, 70.25)
+
+    def test_averaged_reading_tighter(self, tree):
+        sensor = Thermocouple(tree, noise_sd_c=0.5)
+        import numpy as np
+        singles = np.std([sensor.read(70.0) for _ in range(300)])
+        averaged = np.std([sensor.read_averaged(70.0, samples=16)
+                           for _ in range(300)])
+        assert averaged < singles
+
+
+class TestPID:
+    def test_output_clamped(self):
+        pid = PIDController()
+        assert pid.update(1000.0, 0.0, 1.0) == 1.0
+        pid.reset()
+        assert pid.update(0.0, 1000.0, 1.0) == 0.0
+
+    def test_zero_error_zero_output(self):
+        pid = PIDController()
+        assert pid.update(50.0, 50.0, 1.0) == pytest.approx(0.0)
+
+    def test_integral_accumulates(self):
+        pid = PIDController(kp=0.0, ki=0.1, kd=0.0)
+        first = pid.update(1.0, 0.0, 1.0)
+        second = pid.update(1.0, 0.0, 1.0)
+        assert second > first
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ConfigError):
+            PIDController().update(1.0, 0.0, 0.0)
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ConfigError):
+            PIDController(output_min=1.0, output_max=0.0)
+
+
+class TestChamber:
+    def test_settles_within_tolerance(self, tree):
+        chamber = TemperatureController(tree)
+        reading = chamber.settle(75.0)
+        assert abs(reading - 75.0) <= chamber.tolerance_c
+        assert abs(chamber.plant.temperature_c - 75.0) < 0.5
+
+    def test_settles_at_every_paper_temperature(self, tree):
+        chamber = TemperatureController(tree)
+        for target in (50.0, 70.0, 90.0):
+            reading = chamber.settle(target)
+            assert abs(reading - target) <= chamber.tolerance_c
+
+    def test_rejects_unreachable_setpoint(self, tree):
+        chamber = TemperatureController(tree)
+        with pytest.raises(ThermalError):
+            chamber.set_reference(chamber.plant.max_reachable_c + 50.0)
+
+    def test_rejects_below_ambient(self, tree):
+        chamber = TemperatureController(tree)
+        with pytest.raises(ThermalError):
+            chamber.set_reference(chamber.plant.ambient_c - 10.0)
+
+    def test_step_requires_reference(self, tree):
+        with pytest.raises(ThermalError):
+            TemperatureController(tree).step()
+
+    def test_timeout_raises(self, tree):
+        chamber = TemperatureController(tree, timeout_s=1.0)
+        with pytest.raises(ThermalError):
+            chamber.settle(90.0)  # cannot get there in one second
+
+    def test_report_reads_sensor(self, tree):
+        chamber = TemperatureController(tree)
+        chamber.settle(60.0)
+        assert abs(chamber.report() - 60.0) < 1.0

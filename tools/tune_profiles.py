@@ -1,0 +1,53 @@
+"""Offline calibration helper: measures headline shape metrics for a profile
+override set.  Not part of the installed package; used to derive the
+constants committed in repro/faultmodel/profiles.py."""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+from repro.faultmodel.profiles import PROFILES
+from repro.testing.hammer import HammerTester
+from repro.testing.rows import standard_row_sample
+
+
+def measure(mfr: str, overrides: dict, n_rows: int = 120, seed: int = 2021):
+    spec = spec_by_id(f"{mfr}0")
+    profile = PROFILES[mfr].with_overrides(**overrides)
+    mod = spec.instantiate(seed=seed, profile=profile)
+    tester = HammerTester(mod)
+    rows = standard_row_sample(mod.geometry, n_rows)
+    pname = "rowstripe" if mfr in ("A", "C") else "checkered"
+    pat = pattern_by_name(pname)
+    b = {}
+    for key, kw in [("base", {}), ("on", dict(t_on_ns=154.5)),
+                    ("off", dict(t_off_ns=40.5)), ("t90", {})]:
+        T = 90 if key == "t90" else 50
+        b[key] = np.mean([tester.ber_test(0, r, pat, temperature_c=T, **kw).count(0)
+                          for r in rows])
+    h0 = np.array([tester.hcfirst(0, r, pat, temperature_c=50) or np.nan
+                   for r in rows], float)
+    hcs75 = np.array([tester.hcfirst(0, r, pat, temperature_c=75) or np.nan
+                      for r in rows], float)
+    hcs75 = hcs75[~np.isnan(hcs75)]
+    return dict(
+        ber_base=b["base"],
+        on_ratio=b["on"] / b["base"],
+        off_ratio=b["base"] / b["off"],
+        t90_ratio=b["t90"] / b["base"],
+        med75=float(np.median(hcs75)),
+        min75=float(hcs75.min()),
+        p5_over_min=float(np.percentile(hcs75, 5) / hcs75.min()),
+    )
+
+
+if __name__ == "__main__":
+    mfr = sys.argv[1]
+    overrides = eval(sys.argv[2]) if len(sys.argv) > 2 else {}
+    t0 = time.time()
+    result = measure(mfr, overrides)
+    print(mfr, {k: round(v, 3) for k, v in result.items()},
+          f"({time.time()-t0:.1f}s)")
