@@ -1,0 +1,74 @@
+"""Overhead of the resilient campaign runner (faults disabled).
+
+The runner wraps every unit of work in retry/fault/checkpoint plumbing;
+with no faults injected and no checkpoint directory this must be nearly
+free — the target is < 5% wall-clock overhead over driving the study
+directly.  A third benchmark prices the checkpoint writes separately.
+"""
+
+import time
+
+from conftest import record_report
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.core.temperature_study import TemperatureStudy
+from repro.runner import CampaignRunner
+
+#: Small enough for several timed repetitions, large enough that per-unit
+#: bookkeeping (dozens of units) would show up if it were expensive.
+RESILIENCE_CONFIG = QUICK.scaled(rows_per_region=16,
+                                 modules_per_manufacturer=1,
+                                 temperatures_c=(50.0, 70.0, 90.0),
+                                 hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+def _best_of(fn, rounds=3):
+    timings = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def test_runner_overhead_vs_direct_study():
+    specs = RESILIENCE_CONFIG.module_specs()
+    direct_s = _best_of(
+        lambda: TemperatureStudy(RESILIENCE_CONFIG).run(specs))
+    runner_s = _best_of(
+        lambda: CampaignRunner(RESILIENCE_CONFIG).run("temperature", specs))
+    overhead = runner_s / direct_s - 1.0
+    record_report(
+        "runner_resilience",
+        "Campaign runner overhead (faults disabled, no checkpoints):\n"
+        f"  direct study : {direct_s * 1e3:8.1f} ms\n"
+        f"  via runner   : {runner_s * 1e3:8.1f} ms\n"
+        f"  overhead     : {overhead * 100:+7.2f} %  (target < 5 %)")
+    # Generous CI bound; the report records the precise number.
+    assert overhead < 0.05 + 0.05, \
+        f"runner overhead {overhead * 100:.1f}% far above the 5% target"
+
+
+def test_runner_result_matches_direct(benchmark):
+    """Parity is part of the contract the overhead is measured against."""
+    specs = RESILIENCE_CONFIG.module_specs()[:1]
+    outcome = benchmark(
+        lambda: CampaignRunner(RESILIENCE_CONFIG).run("temperature", specs))
+    direct = TemperatureStudy(RESILIENCE_CONFIG).run(specs)
+    assert result_to_dict(outcome.result) == result_to_dict(direct)
+
+
+def test_checkpoint_write_cost(tmp_path, benchmark):
+    """Price of persisting per-module checkpoints during a campaign."""
+    specs = RESILIENCE_CONFIG.module_specs()[:1]
+    counter = iter(range(10_000))
+
+    def run():
+        directory = tmp_path / f"ckpt-{next(counter)}"
+        return CampaignRunner(
+            RESILIENCE_CONFIG,
+            checkpoint_dir=directory).run("temperature", specs)
+
+    outcome = benchmark(run)
+    assert outcome.stats.modules_completed == 1

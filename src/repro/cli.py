@@ -6,6 +6,8 @@ Examples::
     deeprh run fig5 --preset quick
     deeprh run fig14 --preset bench
     deeprh observations --preset quick
+    deeprh campaign temperature --checkpoint-dir ckpt --fault-plan campaign.unit=0.05
+    deeprh campaign temperature --checkpoint-dir ckpt --resume
 """
 
 from __future__ import annotations
@@ -107,7 +109,62 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument("--preset", default="quick",
                        choices=sorted(config_mod.PRESETS))
     repro.add_argument("--seed", type=int, default=None)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run one study through the resilient campaign runner "
+             "(bounded retry, quarantine, checkpoint/resume, optional "
+             "fault injection)")
+    campaign.add_argument("study", choices=("temperature", "acttime",
+                                            "spatial"))
+    campaign.add_argument("--preset", default="quick",
+                          choices=sorted(config_mod.PRESETS))
+    campaign.add_argument("--seed", type=int, default=None)
+    campaign.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                          help="write per-module checkpoints into DIR")
+    campaign.add_argument("--resume", action="store_true",
+                          help="resume a previous campaign from "
+                               "--checkpoint-dir")
+    campaign.add_argument("--fault-plan", metavar="SPEC", default=None,
+                          help="inject substrate faults, e.g. "
+                               "'campaign.unit=0.1,"
+                               "thermal.settle:overshoot=0.25'")
+    campaign.add_argument("--fault-seed", type=int, default=None,
+                          help="seed of the fault plan (default: the "
+                               "study seed)")
+    campaign.add_argument("--max-attempts", type=int, default=3,
+                          help="retry budget per unit of work")
+    campaign.add_argument("--save-json", metavar="FILE", default=None,
+                          help="also dump the merged study result as JSON")
     return parser
+
+
+def _campaign(args, config: config_mod.StudyConfig) -> int:
+    from repro.faults import parse_fault_plan
+    from repro.runner import CampaignRunner, RetryPolicy
+
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 1
+    fault_plan = None
+    if args.fault_plan:
+        fault_seed = args.fault_seed if args.fault_seed is not None \
+            else config.seed
+        fault_plan = parse_fault_plan(args.fault_plan, seed=fault_seed)
+    runner = CampaignRunner(
+        config,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        fault_plan=fault_plan,
+        retry=RetryPolicy(max_attempts=args.max_attempts))
+    outcome = runner.run(args.study)
+    print(outcome.degradation_report())
+    if args.save_json:
+        from repro.core.serialize import save_result
+
+        path = save_result(outcome.result, args.save_json)
+        print(f"wrote {path}", file=sys.stderr)
+    return 0 if outcome.ok else 2
 
 
 def _reproduce(cache: StudyCache, outdir: str) -> int:
@@ -176,6 +233,13 @@ def main(argv=None) -> int:
                     path = save_result(result, f"{directory}/{label}.json")
                     print(f"wrote {path}", file=sys.stderr)
         return 0
+
+    if args.command == "campaign":
+        try:
+            return _campaign(args, config)
+        except ConfigError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
 
     if args.command == "reproduce":
         return _reproduce(cache, args.outdir)

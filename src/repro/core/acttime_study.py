@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis.stats import BoxStats, LetterValueStats, coefficient_of_variation
 from repro.core.config import ACTTIME_TEMPERATURE_C, StudyConfig
+from repro.core.studybase import ModuleRun, PointwiseStudy
 from repro.dram.catalog import MANUFACTURERS, ModuleSpec
 from repro.errors import ConfigError
 from repro.testing.hammer import HammerTester
@@ -133,23 +134,32 @@ class ActiveTimeStudyResult:
         return values[0], values[1]
 
 
-class ActiveTimeStudy:
-    """Runs the Section 6 campaign for a configuration."""
+class ActiveTimeStudy(PointwiseStudy):
+    """Runs the Section 6 campaign for a configuration.
+
+    Decomposed pointwise (one point per (axis, grid value) timing point)
+    so the resilient campaign runner can retry and checkpoint
+    mid-campaign; see :mod:`repro.core.studybase`.
+    """
 
     def __init__(self, config: StudyConfig,
                  temperature_c: float = ACTTIME_TEMPERATURE_C) -> None:
-        self.config = config
+        super().__init__(config)
         self.temperature_c = temperature_c
 
-    def _grid_points(self) -> List[Tuple[str, float, Dict[str, float]]]:
-        points = []
+    def points(self) -> List[Tuple[str, float]]:
+        points: List[Tuple[str, float]] = []
         for value in self.config.t_agg_on_grid_ns:
-            points.append(("on", value, {"t_on_ns": value}))
+            points.append(("on", value))
         for value in self.config.t_agg_off_grid_ns:
-            points.append(("off", value, {"t_off_ns": value}))
+            points.append(("off", value))
         return points
 
-    def run_module(self, spec: ModuleSpec) -> ModuleActTimeResult:
+    def point_label(self, point: Tuple[str, float]) -> str:
+        axis, value = point
+        return f"{axis}:{value}"
+
+    def prepare_module(self, spec: ModuleSpec) -> ModuleRun:
         config = self.config
         module = spec.instantiate(seed=config.seed)
         tester = HammerTester(module)
@@ -167,29 +177,32 @@ class ActiveTimeStudy:
             victim_rows=list(rows),
             n_chips=module.geometry.chips,
         )
-        for axis, value, kwargs in self._grid_points():
-            chip_totals = np.zeros(module.geometry.chips)
-            row_counts = np.zeros(len(rows))
-            hcfirsts = np.full(len(rows), np.inf)
-            for i, row in enumerate(rows):
-                ber = tester.ber_test(0, row, wcdp,
-                                      hammer_count=config.ber_hammer_count,
-                                      temperature_c=self.temperature_c, **kwargs)
-                row_counts[i] = ber.count(0)
-                for cell in ber.victim_flips:
-                    chip_totals[cell.chip] += 1
-                hc = tester.hcfirst(0, row, wcdp,
-                                    temperature_c=self.temperature_c, **kwargs)
-                if hc is not None:
-                    hcfirsts[i] = hc
-            result.chip_ber[(axis, value)] = chip_totals / len(rows)
-            result.row_ber[(axis, value)] = row_counts
-            result.hcfirst[(axis, value)] = hcfirsts
-        module.fault_model.population.clear_cache()
-        return result
+        return ModuleRun(spec=spec, module=module, tester=tester, rows=rows,
+                         wcdp=wcdp, result=result)
 
-    def run(self, specs: Optional[Sequence[ModuleSpec]] = None
-            ) -> ActiveTimeStudyResult:
-        specs = list(specs) if specs is not None else self.config.module_specs()
-        modules = [self.run_module(spec) for spec in specs]
+    def run_point(self, run: ModuleRun, point: Tuple[str, float]) -> None:
+        axis, value = point
+        kwargs = {"t_on_ns": value} if axis == "on" else {"t_off_ns": value}
+        config, tester, result = self.config, run.tester, run.result
+        rows = run.rows
+        chip_totals = np.zeros(run.module.geometry.chips)
+        row_counts = np.zeros(len(rows))
+        hcfirsts = np.full(len(rows), np.inf)
+        for i, row in enumerate(rows):
+            ber = tester.ber_test(0, row, run.wcdp,
+                                  hammer_count=config.ber_hammer_count,
+                                  temperature_c=self.temperature_c, **kwargs)
+            row_counts[i] = ber.count(0)
+            for cell in ber.victim_flips:
+                chip_totals[cell.chip] += 1
+            hc = tester.hcfirst(0, row, run.wcdp,
+                                temperature_c=self.temperature_c, **kwargs)
+            if hc is not None:
+                hcfirsts[i] = hc
+        result.chip_ber[(axis, value)] = chip_totals / len(rows)
+        result.row_ber[(axis, value)] = row_counts
+        result.hcfirst[(axis, value)] = hcfirsts
+
+    def make_result(self, modules: List[ModuleActTimeResult]
+                    ) -> ActiveTimeStudyResult:
         return ActiveTimeStudyResult(config=self.config, modules=modules)

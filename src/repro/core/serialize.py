@@ -3,8 +3,15 @@
 Characterization campaigns are expensive; downstream users want to run
 once and analyze many times.  These helpers flatten the three study result
 objects into plain JSON-compatible dictionaries (and back onto disk).
-Loading returns dictionaries, not result objects — the serialized form is
-an interchange format, not a pickle.
+Loading a whole *study* result returns dictionaries, not result objects —
+the serialized form is an interchange format, not a pickle.
+
+Per-*module* results additionally round-trip losslessly
+(``*_module_to_dict`` / ``*_module_from_dict``): the resilient campaign
+runner checkpoints each completed module to disk and reconstructs the
+exact in-memory object on resume, so a resumed campaign is bit-identical
+to an uninterrupted one.  Non-finite HCfirst values (``inf`` = row never
+flipped) are stored as JSON ``null`` and restored as ``inf``.
 """
 
 from __future__ import annotations
@@ -15,9 +22,12 @@ from typing import Any, Dict, Union
 
 import numpy as np
 
-from repro.core.acttime_study import ActiveTimeStudyResult
-from repro.core.spatial_study import SpatialStudyResult
-from repro.core.temperature_study import TemperatureStudyResult
+from repro.core.acttime_study import ActiveTimeStudyResult, ModuleActTimeResult
+from repro.core.spatial_study import ModuleSpatialResult, SpatialStudyResult
+from repro.core.temperature_study import (
+    ModuleTemperatureResult,
+    TemperatureStudyResult,
+)
 from repro.errors import ConfigError
 
 PathLike = Union[str, pathlib.Path]
@@ -48,25 +58,138 @@ def _config_dict(config) -> Dict[str, Any]:
     }
 
 
+def _array_from_json(values, fill: float = np.inf) -> np.ndarray:
+    """Rebuild a float array, restoring JSON ``null`` as ``fill``."""
+    def restore(value):
+        if value is None:
+            return fill
+        if isinstance(value, list):
+            return [restore(v) for v in value]
+        return float(value)
+
+    return np.asarray(restore(list(values)), dtype=float)
+
+
+# ----------------------------------------------------------------------
+# Per-module round-trips (the campaign runner's checkpoint format)
+# ----------------------------------------------------------------------
+def temperature_module_to_dict(m: ModuleTemperatureResult) -> Dict[str, Any]:
+    return {
+        "module_id": m.module_id,
+        "manufacturer": m.manufacturer,
+        "wcdp": m.wcdp_name,
+        "victim_rows": list(m.victim_rows),
+        "temperatures_c": list(m.temperatures_c),
+        "ber_counts": _jsonify(m.ber_counts),
+        "hcfirst": _jsonify(m.hcfirst),
+        "flip_cells": {
+            str(temp): sorted(cells)
+            for temp, cells in m.flip_cells.items()
+        },
+    }
+
+
+def temperature_module_from_dict(data: Dict[str, Any]) -> ModuleTemperatureResult:
+    return ModuleTemperatureResult(
+        module_id=data["module_id"],
+        manufacturer=data["manufacturer"],
+        wcdp_name=data["wcdp"],
+        victim_rows=[int(r) for r in data["victim_rows"]],
+        temperatures_c=[float(t) for t in data["temperatures_c"]],
+        ber_counts={
+            float(temp): {int(dist): np.asarray(counts, dtype=float)
+                          for dist, counts in per_distance.items()}
+            for temp, per_distance in data["ber_counts"].items()
+        },
+        flip_cells={
+            float(temp): {tuple(int(part) for part in cell) for cell in cells}
+            for temp, cells in data["flip_cells"].items()
+        },
+        hcfirst={
+            float(temp): {int(row): (None if hc is None else int(hc))
+                          for row, hc in per_row.items()}
+            for temp, per_row in data["hcfirst"].items()
+        },
+    )
+
+
+def _grid_key(axis: str, value: float) -> str:
+    return f"{axis}:{value}"
+
+
+def _grid_key_parse(key: str):
+    axis, _, value = key.partition(":")
+    return axis, float(value)
+
+
+def acttime_module_to_dict(m: ModuleActTimeResult) -> Dict[str, Any]:
+    return {
+        "module_id": m.module_id,
+        "manufacturer": m.manufacturer,
+        "wcdp": m.wcdp_name,
+        "victim_rows": list(m.victim_rows),
+        "n_chips": m.n_chips,
+        "row_ber": {_grid_key(a, v): _jsonify(arr)
+                    for (a, v), arr in m.row_ber.items()},
+        "chip_ber": {_grid_key(a, v): _jsonify(arr)
+                     for (a, v), arr in m.chip_ber.items()},
+        "hcfirst": {_grid_key(a, v): _jsonify(arr)
+                    for (a, v), arr in m.hcfirst.items()},
+    }
+
+
+def acttime_module_from_dict(data: Dict[str, Any]) -> ModuleActTimeResult:
+    return ModuleActTimeResult(
+        module_id=data["module_id"],
+        manufacturer=data["manufacturer"],
+        wcdp_name=data["wcdp"],
+        victim_rows=[int(r) for r in data["victim_rows"]],
+        n_chips=int(data["n_chips"]),
+        chip_ber={_grid_key_parse(k): _array_from_json(v)
+                  for k, v in data["chip_ber"].items()},
+        row_ber={_grid_key_parse(k): _array_from_json(v)
+                 for k, v in data["row_ber"].items()},
+        hcfirst={_grid_key_parse(k): _array_from_json(v)
+                 for k, v in data["hcfirst"].items()},
+    )
+
+
+def spatial_module_to_dict(m: ModuleSpatialResult) -> Dict[str, Any]:
+    return {
+        "module_id": m.module_id,
+        "manufacturer": m.manufacturer,
+        "wcdp": m.wcdp_name,
+        "victim_rows": list(m.victim_rows),
+        "hcfirst_by_row": _jsonify(m.hcfirst_by_row),
+        "column_flip_counts": _jsonify(m.column_flip_counts),
+        "subarray_hcfirst": _jsonify(m.subarray_hcfirst),
+    }
+
+
+def spatial_module_from_dict(data: Dict[str, Any]) -> ModuleSpatialResult:
+    column_counts = data.get("column_flip_counts")
+    return ModuleSpatialResult(
+        module_id=data["module_id"],
+        manufacturer=data["manufacturer"],
+        wcdp_name=data["wcdp"],
+        victim_rows=[int(r) for r in data["victim_rows"]],
+        hcfirst_by_row={int(row): (None if hc is None else int(hc))
+                        for row, hc in data["hcfirst_by_row"].items()},
+        column_flip_counts=(None if column_counts is None
+                            else _array_from_json(column_counts, fill=0.0)),
+        subarray_hcfirst={int(sa): _array_from_json(values)
+                          for sa, values in data["subarray_hcfirst"].items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-study serialization
+# ----------------------------------------------------------------------
 def temperature_result_to_dict(result: TemperatureStudyResult) -> Dict[str, Any]:
     return {
         "study": "temperature",
         "config": _config_dict(result.config),
-        "modules": [
-            {
-                "module_id": m.module_id,
-                "manufacturer": m.manufacturer,
-                "wcdp": m.wcdp_name,
-                "victim_rows": list(m.victim_rows),
-                "ber_counts": _jsonify(m.ber_counts),
-                "hcfirst": _jsonify(m.hcfirst),
-                "flip_cells": {
-                    str(temp): sorted(cells)
-                    for temp, cells in m.flip_cells.items()
-                },
-            }
-            for m in result.modules
-        ],
+        "modules": [temperature_module_to_dict(m) for m in result.modules],
     }
 
 
@@ -74,21 +197,7 @@ def acttime_result_to_dict(result: ActiveTimeStudyResult) -> Dict[str, Any]:
     return {
         "study": "acttime",
         "config": _config_dict(result.config),
-        "modules": [
-            {
-                "module_id": m.module_id,
-                "manufacturer": m.manufacturer,
-                "wcdp": m.wcdp_name,
-                "victim_rows": list(m.victim_rows),
-                "row_ber": {f"{a}:{v}": _jsonify(arr)
-                            for (a, v), arr in m.row_ber.items()},
-                "chip_ber": {f"{a}:{v}": _jsonify(arr)
-                             for (a, v), arr in m.chip_ber.items()},
-                "hcfirst": {f"{a}:{v}": _jsonify(arr)
-                            for (a, v), arr in m.hcfirst.items()},
-            }
-            for m in result.modules
-        ],
+        "modules": [acttime_module_to_dict(m) for m in result.modules],
     }
 
 
@@ -96,17 +205,7 @@ def spatial_result_to_dict(result: SpatialStudyResult) -> Dict[str, Any]:
     return {
         "study": "spatial",
         "config": _config_dict(result.config),
-        "modules": [
-            {
-                "module_id": m.module_id,
-                "manufacturer": m.manufacturer,
-                "wcdp": m.wcdp_name,
-                "hcfirst_by_row": _jsonify(m.hcfirst_by_row),
-                "column_flip_counts": _jsonify(m.column_flip_counts),
-                "subarray_hcfirst": _jsonify(m.subarray_hcfirst),
-            }
-            for m in result.modules
-        ],
+        "modules": [spatial_module_to_dict(m) for m in result.modules],
     }
 
 

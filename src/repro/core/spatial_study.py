@@ -17,6 +17,7 @@ from repro.analysis.distance import normalized_bhattacharyya
 from repro.analysis.regression import LinearFit, linear_fit
 from repro.analysis.stats import percentile_markers
 from repro.core.config import SPATIAL_TEMPERATURE_C, StudyConfig, subarray_row_sample
+from repro.core.studybase import ModuleRun, PointwiseStudy
 from repro.dram.catalog import MANUFACTURERS, ModuleSpec
 from repro.errors import ConfigError
 from repro.testing.hammer import HammerTester
@@ -197,20 +198,30 @@ class SpatialStudyResult:
         return np.asarray(same), np.asarray(different)
 
 
-class SpatialStudy:
-    """Runs the Section 7 campaign for a configuration."""
+class SpatialStudy(PointwiseStudy):
+    """Runs the Section 7 campaign for a configuration.
+
+    Decomposed pointwise (three phases per module: per-row HCfirst, the
+    column campaign, the per-subarray sweep) so the resilient campaign
+    runner can retry and checkpoint mid-campaign; see
+    :mod:`repro.core.studybase`.
+    """
+
+    PHASES: Tuple[str, ...] = ("rows", "columns", "subarrays")
 
     def __init__(self, config: StudyConfig,
                  temperature_c: float = SPATIAL_TEMPERATURE_C) -> None:
-        self.config = config
+        super().__init__(config)
         self.temperature_c = temperature_c
 
-    def run_module(self, spec: ModuleSpec) -> ModuleSpatialResult:
+    def points(self) -> List[str]:
+        return list(self.PHASES)
+
+    def prepare_module(self, spec: ModuleSpec) -> ModuleRun:
         config = self.config
         module = spec.instantiate(seed=config.seed)
         tester = HammerTester(module)
-        geometry = module.geometry
-        rows = standard_row_sample(geometry, config.rows_per_region)
+        rows = standard_row_sample(module.geometry, config.rows_per_region)
         wcdp, _ = find_worst_case_pattern(
             tester, 0, rows[: config.wcdp_sample_rows],
             hammer_count=config.ber_hammer_count,
@@ -222,29 +233,44 @@ class SpatialStudy:
             wcdp_name=wcdp.name,
             victim_rows=list(rows),
         )
-        # Fig. 11: per-row HCfirst, minimum across repetitions.
-        for row in rows:
-            result.hcfirst_by_row[row] = tester.hcfirst_min(
-                0, row, wcdp, temperature_c=self.temperature_c,
-                repetitions=config.hcfirst_repetitions)
-        # Figs. 12-13: the column campaign.  Per-chip per-column counts need
-        # dense statistics (the paper pools 24 K rows), so this campaign
-        # samples many rows over a narrower column space and hammers at the
-        # extended on-time, which multiplies per-row flips (Obsv. 8).
-        result.column_flip_counts = self._column_campaign(spec, wcdp)
-        # Figs. 14-15: per-subarray HCfirst distributions.
-        sample = subarray_row_sample(geometry, config.subarrays_to_sample,
-                                     config.rows_per_subarray, config.seed)
-        for subarray, sa_rows in sample.items():
-            values = np.full(len(sa_rows), np.inf)
-            for i, row in enumerate(sa_rows):
-                hc = tester.hcfirst(0, row, wcdp,
-                                    temperature_c=self.temperature_c)
-                if hc is not None:
-                    values[i] = hc
-            result.subarray_hcfirst[subarray] = values
-        module.fault_model.population.clear_cache()
-        return result
+        return ModuleRun(spec=spec, module=module, tester=tester, rows=rows,
+                         wcdp=wcdp, result=result)
+
+    def run_point(self, run: ModuleRun, point: str) -> None:
+        config, tester, result = self.config, run.tester, run.result
+        if point == "rows":
+            # Fig. 11: per-row HCfirst, minimum across repetitions.
+            for row in run.rows:
+                result.hcfirst_by_row[row] = tester.hcfirst_min(
+                    0, row, run.wcdp, temperature_c=self.temperature_c,
+                    repetitions=config.hcfirst_repetitions)
+        elif point == "columns":
+            # Figs. 12-13: the column campaign.  Per-chip per-column counts
+            # need dense statistics (the paper pools 24 K rows), so this
+            # campaign samples many rows over a narrower column space and
+            # hammers at the extended on-time, which multiplies per-row
+            # flips (Obsv. 8).
+            result.column_flip_counts = self._column_campaign(run.spec,
+                                                              run.wcdp)
+        elif point == "subarrays":
+            # Figs. 14-15: per-subarray HCfirst distributions.
+            sample = subarray_row_sample(
+                run.module.geometry, config.subarrays_to_sample,
+                config.rows_per_subarray, config.seed)
+            for subarray, sa_rows in sample.items():
+                values = np.full(len(sa_rows), np.inf)
+                for i, row in enumerate(sa_rows):
+                    hc = tester.hcfirst(0, row, run.wcdp,
+                                        temperature_c=self.temperature_c)
+                    if hc is not None:
+                        values[i] = hc
+                result.subarray_hcfirst[subarray] = values
+        else:
+            raise ConfigError(f"unknown spatial phase {point!r}")
+
+    def make_result(self, modules: List[ModuleSpatialResult]
+                    ) -> SpatialStudyResult:
+        return SpatialStudyResult(config=self.config, modules=modules)
 
     def _column_campaign(self, spec: ModuleSpec, wcdp) -> np.ndarray:
         config = self.config
@@ -265,9 +291,3 @@ class SpatialStudy:
                     counts[cell.chip, cell.col] += 1
         module.fault_model.population.clear_cache()
         return counts
-
-    def run(self, specs: Optional[Sequence[ModuleSpec]] = None
-            ) -> SpatialStudyResult:
-        specs = list(specs) if specs is not None else self.config.module_specs()
-        modules = [self.run_module(spec) for spec in specs]
-        return SpatialStudyResult(config=self.config, modules=modules)

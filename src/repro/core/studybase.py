@@ -1,0 +1,84 @@
+"""Pointwise study skeleton: campaigns as resumable units of work.
+
+The three characterization campaigns (Sections 5-7) all share the same
+shape: per module, an expensive *preparation* phase (instantiate the
+device, pick the worst-case data pattern), then a sequence of independent
+*points* (a temperature, a timing-grid value, a spatial phase), then a
+cheap *finalization*.  This module names that shape so the resilient
+campaign runner (:mod:`repro.runner`) can retry and checkpoint at the
+natural unit-of-work boundaries instead of re-running whole campaigns.
+
+Every ``run_point`` implementation writes its measurements with plain
+assignment into the per-module result object, so re-running a point after
+a partial failure is idempotent — a retried unit converges to exactly the
+values an undisturbed run produces (the device model draws all randomness
+structurally from the seed, never from call order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Optional, Sequence
+
+from repro.core.config import StudyConfig
+from repro.dram.catalog import ModuleSpec
+
+#: A study point is any hashable unit-of-work id: a temperature (float),
+#: an (axis, value) timing-grid pair, or a named spatial phase.
+PointId = Hashable
+
+
+@dataclass
+class ModuleRun:
+    """In-flight per-module state shared by prepare/point/finalize."""
+
+    spec: ModuleSpec
+    module: Any
+    tester: Any
+    rows: List[int]
+    wcdp: Any
+    result: Any
+
+
+class PointwiseStudy:
+    """Base class: a campaign decomposed into per-module points."""
+
+    def __init__(self, config: StudyConfig) -> None:
+        self.config = config
+
+    # -- the pointwise protocol ----------------------------------------
+    def points(self) -> Sequence[PointId]:
+        """Unit-of-work ids, run in order for every module."""
+        raise NotImplementedError
+
+    def point_label(self, point: PointId) -> str:
+        """Human/checkpoint label for one point (used in unit ids)."""
+        return str(point)
+
+    def prepare_module(self, spec: ModuleSpec) -> ModuleRun:
+        """Instantiate the device and the empty per-module result."""
+        raise NotImplementedError
+
+    def run_point(self, run: ModuleRun, point: PointId) -> None:
+        """Measure one point, writing into ``run.result`` idempotently."""
+        raise NotImplementedError
+
+    def finalize_module(self, run: ModuleRun):
+        """Release per-module caches and return the finished result."""
+        run.module.fault_model.population.clear_cache()
+        return run.result
+
+    def make_result(self, modules: List[Any]):
+        """Wrap the per-module results into the study result object."""
+        raise NotImplementedError
+
+    # -- the monolithic drivers, built on the protocol -----------------
+    def run_module(self, spec: ModuleSpec):
+        run = self.prepare_module(spec)
+        for point in self.points():
+            self.run_point(run, point)
+        return self.finalize_module(run)
+
+    def run(self, specs: Optional[Sequence[ModuleSpec]] = None):
+        specs = list(specs) if specs is not None else self.config.module_specs()
+        return self.make_result([self.run_module(spec) for spec in specs])

@@ -21,6 +21,7 @@ from repro.analysis.clusters import (
 )
 from repro.analysis.stats import mean_confidence_interval, sorted_change_curve
 from repro.core.config import StudyConfig
+from repro.core.studybase import ModuleRun, PointwiseStudy
 from repro.dram.catalog import MANUFACTURERS, ModuleSpec
 from repro.errors import ConfigError
 from repro.testing.hammer import HammerTester
@@ -159,14 +160,19 @@ class TemperatureStudyResult:
         return float(np.abs(curve).sum())
 
 
-class TemperatureStudy:
-    """Runs the Section 5 campaign for a configuration."""
+class TemperatureStudy(PointwiseStudy):
+    """Runs the Section 5 campaign for a configuration.
 
-    def __init__(self, config: StudyConfig) -> None:
-        self.config = config
+    Decomposed pointwise (one point per tested temperature) so the
+    resilient campaign runner can retry and checkpoint mid-campaign; see
+    :mod:`repro.core.studybase`.
+    """
 
     # ------------------------------------------------------------------
-    def run_module(self, spec: ModuleSpec) -> ModuleTemperatureResult:
+    def points(self) -> List[float]:
+        return list(self.config.temperatures_c)
+
+    def prepare_module(self, spec: ModuleSpec) -> ModuleRun:
         config = self.config
         module = spec.instantiate(seed=config.seed)
         tester = HammerTester(module)
@@ -183,32 +189,33 @@ class TemperatureStudy:
             victim_rows=list(rows),
             temperatures_c=list(config.temperatures_c),
         )
-        for temp in config.temperatures_c:
-            counts: Dict[int, List[int]] = {d: [] for d in tester.observe_distances}
-            cells: Set[CellId] = set()
-            hcfirsts: Dict[int, Optional[int]] = {}
-            for row in rows:
-                ber = tester.ber_test(0, row, wcdp,
-                                      hammer_count=config.ber_hammer_count,
-                                      temperature_c=temp)
-                for distance in tester.observe_distances:
-                    counts[distance].append(ber.count(distance))
-                for cell in ber.victim_flips:
-                    cells.add((cell.row, cell.chip, cell.col, cell.bit))
-                hcfirsts[row] = tester.hcfirst(0, row, wcdp, temperature_c=temp)
-            result.ber_counts[temp] = {
-                d: np.asarray(v, dtype=float) for d, v in counts.items()}
-            result.flip_cells[temp] = cells
-            result.hcfirst[temp] = hcfirsts
-        module.fault_model.population.clear_cache()
-        return result
+        return ModuleRun(spec=spec, module=module, tester=tester, rows=rows,
+                         wcdp=wcdp, result=result)
+
+    def run_point(self, run: ModuleRun, point: float) -> None:
+        temp = float(point)
+        config, tester, result = self.config, run.tester, run.result
+        counts: Dict[int, List[int]] = {d: [] for d in tester.observe_distances}
+        cells: Set[CellId] = set()
+        hcfirsts: Dict[int, Optional[int]] = {}
+        for row in run.rows:
+            ber = tester.ber_test(0, row, run.wcdp,
+                                  hammer_count=config.ber_hammer_count,
+                                  temperature_c=temp)
+            for distance in tester.observe_distances:
+                counts[distance].append(ber.count(distance))
+            for cell in ber.victim_flips:
+                cells.add((cell.row, cell.chip, cell.col, cell.bit))
+            hcfirsts[row] = tester.hcfirst(0, row, run.wcdp, temperature_c=temp)
+        result.ber_counts[temp] = {
+            d: np.asarray(v, dtype=float) for d, v in counts.items()}
+        result.flip_cells[temp] = cells
+        result.hcfirst[temp] = hcfirsts
+
+    def make_result(self, modules: List[ModuleTemperatureResult]
+                    ) -> TemperatureStudyResult:
+        return TemperatureStudyResult(config=self.config, modules=modules)
 
     @property
     def reference_temperature(self) -> float:
         return min(self.config.temperatures_c)
-
-    def run(self, specs: Optional[Sequence[ModuleSpec]] = None
-            ) -> TemperatureStudyResult:
-        specs = list(specs) if specs is not None else self.config.module_specs()
-        modules = [self.run_module(spec) for spec in specs]
-        return TemperatureStudyResult(config=self.config, modules=modules)

@@ -55,3 +55,42 @@ class MappingError(ReproError):
 
 class DefenseError(ReproError):
     """A RowHammer defense mechanism was configured or driven incorrectly."""
+
+
+class SubstrateFault(ReproError):
+    """The testing *infrastructure* (not the DRAM physics) misbehaved.
+
+    Real characterization rigs drift, hang and drop sessions: a thermal
+    chamber misses its settling window, a thermocouple opens, the SoftMC
+    session resets mid-sweep.  The fault-injection layer raises this class
+    (or corrupts data in-band) to reproduce those failure modes; the
+    campaign runner treats it as retryable.
+
+    ``site`` names the injection point (e.g. ``"thermal.settle"``),
+    ``kind`` the failure mode at that site (e.g. ``"timeout"``), and
+    ``unit`` the unit-of-work identifier during which it fired (empty when
+    raised below the campaign layer).
+    """
+
+    def __init__(self, message: str, site: str = "", kind: str = "",
+                 unit: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+        self.kind = kind
+        self.unit = unit
+
+
+class RetryExhaustedError(ReproError):
+    """A unit of work kept failing after its retry budget was spent.
+
+    Carries the unit-of-work id, how many attempts were made, and the last
+    underlying exception (``last_cause``) so the campaign runner can
+    quarantine the offending module with a meaningful degradation report.
+    """
+
+    def __init__(self, message: str, unit: str = "", attempts: int = 0,
+                 last_cause: Exception = None) -> None:
+        super().__init__(message)
+        self.unit = unit
+        self.attempts = attempts
+        self.last_cause = last_cause

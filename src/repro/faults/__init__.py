@@ -1,0 +1,28 @@
+"""Fault injection: seeded, structured failures for the simulated rig.
+
+See :mod:`repro.faults.plan` for the fault taxonomy and determinism
+guarantees, and :mod:`repro.faults.injector` for attaching a plan to the
+thermal and SoftMC substrates.
+"""
+
+from repro.faults.injector import attach_softmc, attach_thermal, detach
+from repro.faults.plan import (
+    SITES,
+    FaultEvent,
+    FaultLog,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "SITES",
+    "FaultEvent",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
+    "attach_softmc",
+    "attach_thermal",
+    "detach",
+    "parse_fault_plan",
+]

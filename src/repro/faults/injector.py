@@ -1,0 +1,47 @@
+"""Wiring a :class:`~repro.faults.plan.FaultPlan` into substrate objects.
+
+The substrate classes each expose an optional ``faults`` attribute (``None``
+by default — the zero-overhead happy path).  These helpers attach one plan
+consistently across a whole rig so every component draws from the same
+seeded schedule and records into the same log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+
+
+def attach_thermal(chamber, plan: Optional[FaultPlan]) -> None:
+    """Arm a :class:`~repro.thermal.chamber.TemperatureController`.
+
+    Covers both the settle loop (timeout / overshoot) and its thermocouple
+    (dropout).
+    """
+    chamber.faults = plan
+    if getattr(chamber, "sensor", None) is not None:
+        chamber.sensor.faults = plan
+
+
+def attach_softmc(session, plan: Optional[FaultPlan]) -> None:
+    """Arm a :class:`~repro.softmc.session.SoftMCSession` and its controller.
+
+    Covers session resets, corrupted read-backs and sporadic timing /
+    protocol violations; if the session drives a chamber, that is armed
+    too.
+    """
+    session.faults = plan
+    session.controller.faults = plan
+    if getattr(session, "chamber", None) is not None:
+        attach_thermal(session.chamber, plan)
+
+
+def detach(obj) -> None:
+    """Disarm a previously-attached component tree."""
+    if hasattr(obj, "controller"):
+        attach_softmc(obj, None)
+    elif hasattr(obj, "sensor"):
+        attach_thermal(obj, None)
+    else:
+        obj.faults = None

@@ -1,0 +1,39 @@
+"""Resilient campaign execution: retry, quarantine, checkpoint/resume.
+
+Entry point: :class:`~repro.runner.campaign.CampaignRunner`.
+"""
+
+from repro.runner.adapters import ADAPTERS, StudyAdapter, adapter_for
+from repro.runner.campaign import (
+    CampaignOutcome,
+    CampaignRunner,
+    CampaignStats,
+    QuarantineRecord,
+)
+from repro.runner.checkpoint import CheckpointStore, config_fingerprint
+from repro.runner.retry import (
+    FATAL_FAULT_KINDS,
+    RETRYABLE_ERRORS,
+    RetryPolicy,
+    VirtualClock,
+    WallClock,
+    call_with_retry,
+)
+
+__all__ = [
+    "ADAPTERS",
+    "CampaignOutcome",
+    "CampaignRunner",
+    "CampaignStats",
+    "CheckpointStore",
+    "FATAL_FAULT_KINDS",
+    "QuarantineRecord",
+    "RETRYABLE_ERRORS",
+    "RetryPolicy",
+    "StudyAdapter",
+    "VirtualClock",
+    "WallClock",
+    "adapter_for",
+    "call_with_retry",
+    "config_fingerprint",
+]

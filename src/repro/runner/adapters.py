@@ -1,0 +1,98 @@
+"""Uniform adapter layer between the campaign runner and the studies.
+
+Each adapter binds one :class:`~repro.core.studybase.PointwiseStudy`
+subclass to its checkpoint (de)serializers, giving the runner a single
+study-agnostic surface: points, prepare, run_point, finalize, and the
+per-module dict round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.core import serialize
+from repro.core.acttime_study import ActiveTimeStudy
+from repro.core.config import StudyConfig
+from repro.core.spatial_study import SpatialStudy
+from repro.core.studybase import ModuleRun, PointId, PointwiseStudy
+from repro.core.temperature_study import TemperatureStudy
+from repro.dram.catalog import ModuleSpec
+from repro.errors import ConfigError
+
+
+class StudyAdapter:
+    """One study + its checkpoint codecs, behind a uniform interface."""
+
+    #: Subclasses set these three.
+    name: str = ""
+    study_cls = None
+    module_to_dict: Callable = None
+    module_from_dict: Callable = None
+
+    def __init__(self, config: StudyConfig) -> None:
+        self.config = config
+        self.study: PointwiseStudy = self.study_cls(config)
+
+    # -- delegation ----------------------------------------------------
+    def points(self) -> Sequence[PointId]:
+        return self.study.points()
+
+    def point_label(self, point: PointId) -> str:
+        return self.study.point_label(point)
+
+    def prepare(self, spec: ModuleSpec) -> ModuleRun:
+        return self.study.prepare_module(spec)
+
+    def run_point(self, run: ModuleRun, point: PointId) -> None:
+        self.study.run_point(run, point)
+
+    def finalize(self, run: ModuleRun):
+        return self.study.finalize_module(run)
+
+    def make_result(self, modules: List):
+        return self.study.make_result(modules)
+
+    # -- checkpoint codecs ---------------------------------------------
+    def to_dict(self, module_result) -> dict:
+        return type(self).module_to_dict(module_result)
+
+    def from_dict(self, payload: dict):
+        return type(self).module_from_dict(payload)
+
+
+class TemperatureAdapter(StudyAdapter):
+    name = "temperature"
+    study_cls = TemperatureStudy
+    module_to_dict = staticmethod(serialize.temperature_module_to_dict)
+    module_from_dict = staticmethod(serialize.temperature_module_from_dict)
+
+
+class ActTimeAdapter(StudyAdapter):
+    name = "acttime"
+    study_cls = ActiveTimeStudy
+    module_to_dict = staticmethod(serialize.acttime_module_to_dict)
+    module_from_dict = staticmethod(serialize.acttime_module_from_dict)
+
+
+class SpatialAdapter(StudyAdapter):
+    name = "spatial"
+    study_cls = SpatialStudy
+    module_to_dict = staticmethod(serialize.spatial_module_to_dict)
+    module_from_dict = staticmethod(serialize.spatial_module_from_dict)
+
+
+ADAPTERS: Dict[str, type] = {
+    TemperatureAdapter.name: TemperatureAdapter,
+    ActTimeAdapter.name: ActTimeAdapter,
+    SpatialAdapter.name: SpatialAdapter,
+}
+
+
+def adapter_for(study: str, config: StudyConfig) -> StudyAdapter:
+    try:
+        adapter_cls = ADAPTERS[study]
+    except KeyError:
+        raise ConfigError(
+            f"unknown study {study!r}; choose from {sorted(ADAPTERS)}"
+        ) from None
+    return adapter_cls(config)

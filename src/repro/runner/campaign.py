@@ -1,0 +1,200 @@
+"""The resilient campaign runner: studies as a fault-tolerant service.
+
+Wraps the three characterization studies with the machinery a weeks-long
+run on real hardware needs:
+
+* **bounded retry** with exponential backoff + seeded jitter per unit of
+  work (one module preparation, one (module, point) measurement);
+* **deadline guards** so a wedged unit cannot stall the campaign forever;
+* **quarantine** — a module whose unit keeps failing is pulled from the
+  campaign and reported in the degradation report instead of crashing the
+  sweep;
+* **per-module checkpointing** via :mod:`repro.core.serialize`, so an
+  interrupted campaign resumes from the last completed module and the
+  merged result is bit-identical to an uninterrupted run with the same
+  seed;
+* optional **fault injection** (:mod:`repro.faults`) at the unit-of-work
+  boundary, for testing exactly this machinery.
+
+Because every study draws its randomness structurally from the
+configuration seed, retried and resumed units converge to exactly the
+values an undisturbed run produces — resilience never changes the science.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.config import StudyConfig
+from repro.dram.catalog import ModuleSpec
+from repro.errors import RetryExhaustedError, SubstrateFault
+from repro.faults.plan import FaultPlan
+from repro.rng import SeedSequenceTree
+from repro.runner.adapters import StudyAdapter, adapter_for
+from repro.runner.checkpoint import CheckpointStore, PathLike
+from repro.runner.retry import RetryPolicy, VirtualClock, call_with_retry
+
+
+@dataclass
+class QuarantineRecord:
+    """One module pulled from the campaign after exhausting retries."""
+
+    module_id: str
+    unit: str
+    attempts: int
+    cause: str
+
+    def __str__(self) -> str:
+        return (f"{self.module_id}: unit {self.unit} failed "
+                f"{self.attempts} attempt(s); last cause: {self.cause}")
+
+
+@dataclass
+class CampaignStats:
+    """Counters the degradation report summarizes."""
+
+    modules_requested: int = 0
+    modules_completed: int = 0
+    modules_resumed: int = 0
+    units_run: int = 0
+    units_retried: int = 0
+    backoff_slept_s: float = 0.0
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one resilient campaign produced."""
+
+    study: str
+    config: StudyConfig
+    result: object                      # the usual *StudyResult
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    stats: CampaignStats = field(default_factory=CampaignStats)
+    fault_plan: Optional[FaultPlan] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every requested module completed."""
+        return not self.quarantined
+
+    def degradation_report(self) -> str:
+        """Human-readable account of how gracefully the campaign degraded."""
+        stats = self.stats
+        done = stats.modules_completed + stats.modules_resumed
+        lines = [
+            f"resilient campaign '{self.study}' "
+            f"(preset {self.config.name!r}, seed {self.config.seed})",
+            f"  modules: {done}/{stats.modules_requested} completed "
+            f"({stats.modules_resumed} from checkpoint), "
+            f"{len(self.quarantined)} quarantined",
+            f"  units:   {stats.units_run} run, {stats.units_retried} "
+            f"retries; backoff slept {stats.backoff_slept_s:.2f} s (virtual)",
+        ]
+        if self.fault_plan is not None:
+            histogram = self.fault_plan.log.by_site_kind()
+            summary = ", ".join(f"{label}: {fires}"
+                                for label, fires in histogram.items())
+            lines.append(f"  faults:  {len(self.fault_plan.log)} injected"
+                         + (f" ({summary})" if summary else ""))
+        if self.quarantined:
+            lines.append("  quarantined modules:")
+            for record in self.quarantined:
+                lines.append(f"    - {record}")
+        else:
+            lines.append("  no modules quarantined")
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Drives one study to completion through faults and interruptions."""
+
+    def __init__(self, config: StudyConfig, *,
+                 checkpoint_dir: Optional[PathLike] = None,
+                 resume: bool = False,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 clock=None) -> None:
+        self.config = config
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.fault_plan = fault_plan
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.clock = clock if clock is not None else VirtualClock()
+        # Jitter streams are derived from the config seed, one per unit id,
+        # so the retry schedule is reproducible and order-independent.
+        self._tree = SeedSequenceTree(config.seed, "campaign")
+
+    # ------------------------------------------------------------------
+    def run(self, study: str = "temperature",
+            specs: Optional[Sequence[ModuleSpec]] = None) -> CampaignOutcome:
+        """Run ``study`` over ``specs`` (default: the config's modules)."""
+        adapter = adapter_for(study, self.config)
+        store = None
+        if self.checkpoint_dir is not None:
+            store = CheckpointStore(self.checkpoint_dir, study, self.config,
+                                    resume=self.resume)
+        specs = list(specs) if specs is not None \
+            else self.config.module_specs()
+        stats = CampaignStats(modules_requested=len(specs))
+        modules: List[object] = []
+        quarantined: List[QuarantineRecord] = []
+        for spec in specs:
+            module_id = spec.module_id
+            if store is not None and store.has(module_id):
+                modules.append(adapter.from_dict(store.load(module_id)))
+                stats.modules_resumed += 1
+                continue
+            try:
+                module_result = self._run_module(adapter, study, spec, stats)
+            except RetryExhaustedError as error:
+                quarantined.append(QuarantineRecord(
+                    module_id=module_id, unit=error.unit,
+                    attempts=error.attempts, cause=repr(error.last_cause)))
+                continue
+            modules.append(module_result)
+            stats.modules_completed += 1
+            if store is not None:
+                store.save(module_id, adapter.to_dict(module_result))
+        stats.backoff_slept_s = getattr(self.clock, "slept_s", 0.0)
+        return CampaignOutcome(study=study, config=self.config,
+                               result=adapter.make_result(modules),
+                               quarantined=quarantined, stats=stats,
+                               fault_plan=self.fault_plan)
+
+    # ------------------------------------------------------------------
+    def _run_module(self, adapter: StudyAdapter, study: str,
+                    spec: ModuleSpec, stats: CampaignStats):
+        prepare_unit = self._unit_id(study, spec.module_id, "prepare")
+        run = self._run_unit(prepare_unit, stats,
+                             lambda attempt: adapter.prepare(spec))
+        for point in adapter.points():
+            unit = self._unit_id(study, spec.module_id,
+                                 adapter.point_label(point))
+            self._run_unit(
+                unit, stats,
+                lambda attempt, p=point: adapter.run_point(run, p))
+        return adapter.finalize(run)
+
+    @staticmethod
+    def _unit_id(study: str, module_id: str, label: str) -> str:
+        return f"{study}/{module_id}/{label}"
+
+    def _run_unit(self, unit: str, stats: CampaignStats, fn):
+        stats.units_run += 1
+
+        def attempt_once(attempt: int):
+            if attempt > 1:
+                stats.units_retried += 1
+            if self.fault_plan is not None:
+                event = self.fault_plan.roll("campaign.unit", unit, attempt)
+                if event is not None:
+                    raise SubstrateFault(
+                        f"injected campaign fault at {unit} "
+                        f"(attempt {attempt})", site="campaign.unit",
+                        kind=event.kind, unit=unit)
+            return fn(attempt)
+
+        return call_with_retry(attempt_once, unit=unit, policy=self.retry,
+                               clock=self.clock,
+                               gen=self._tree.generator("retry", unit))

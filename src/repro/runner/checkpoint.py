@@ -1,0 +1,98 @@
+"""Per-module campaign checkpoints: interrupt anywhere, resume anywhere.
+
+Layout of a checkpoint directory::
+
+    <dir>/manifest.json                  # study + config fingerprint
+    <dir>/module-<study>-<module_id>.json  # one file per completed module
+
+Each module file holds the lossless per-module dictionary from
+:mod:`repro.core.serialize`, written atomically (temp file + rename) so a
+kill mid-write never leaves a truncated checkpoint behind.  The manifest
+pins the exact study and configuration (including the seed); resuming
+against a different configuration is refused rather than silently merging
+incompatible measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Union
+
+from repro.core.config import StudyConfig
+from repro.errors import ConfigError
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when the checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+
+def config_fingerprint(study: str, config: StudyConfig) -> Dict[str, Any]:
+    """JSON-safe identity of one campaign: study name + every config knob."""
+    fields = {key: (list(value) if isinstance(value, tuple) else value)
+              for key, value in dataclasses.asdict(config).items()}
+    return {"format": CHECKPOINT_FORMAT, "study": study, "config": fields}
+
+
+def _write_atomic(path: pathlib.Path, payload: Dict[str, Any]) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    os.replace(tmp, path)
+
+
+class CheckpointStore:
+    """One campaign's on-disk checkpoint directory."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: PathLike, study: str, config: StudyConfig,
+                 resume: bool = False) -> None:
+        self.directory = pathlib.Path(directory)
+        self.study = study
+        self.fingerprint = config_fingerprint(study, config)
+        manifest_path = self.directory / self.MANIFEST
+        if manifest_path.exists():
+            if not resume:
+                raise ConfigError(
+                    f"checkpoint directory {self.directory} already holds a "
+                    "campaign; pass resume=True (CLI: --resume) to continue "
+                    "it, or point at a fresh directory")
+            existing = json.loads(manifest_path.read_text())
+            if existing != self.fingerprint:
+                raise ConfigError(
+                    f"checkpoint directory {self.directory} was written by a "
+                    "different study/configuration; refusing to merge "
+                    "incompatible measurements")
+        else:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            _write_atomic(manifest_path, self.fingerprint)
+
+    # ------------------------------------------------------------------
+    def module_path(self, module_id: str) -> pathlib.Path:
+        return self.directory / f"module-{self.study}-{module_id}.json"
+
+    def has(self, module_id: str) -> bool:
+        return self.module_path(module_id).exists()
+
+    def save(self, module_id: str, payload: Dict[str, Any]) -> pathlib.Path:
+        path = self.module_path(module_id)
+        _write_atomic(path, payload)
+        return path
+
+    def load(self, module_id: str) -> Dict[str, Any]:
+        path = self.module_path(module_id)
+        if not path.exists():
+            raise ConfigError(f"no checkpoint for module {module_id!r} "
+                              f"in {self.directory}")
+        return json.loads(path.read_text())
+
+    def completed_modules(self) -> List[str]:
+        """Module ids with a finished checkpoint, sorted."""
+        prefix = f"module-{self.study}-"
+        found = []
+        for path in self.directory.glob(f"{prefix}*.json"):
+            found.append(path.name[len(prefix):-len(".json")])
+        return sorted(found)

@@ -1,0 +1,145 @@
+"""Bounded retry with exponential backoff, jitter and deadline guards.
+
+The campaign runner wraps every unit of work (one module preparation, one
+(module, point) measurement) in :func:`call_with_retry`.  Transient
+substrate failures — injected or real — are absorbed up to a budget;
+exhaustion surfaces as :class:`~repro.errors.RetryExhaustedError` carrying
+the unit id, attempt count and last cause, which the runner converts into
+a quarantine entry instead of a crash.
+
+Backoff jitter draws from a seeded generator (one stream per unit id), so
+a campaign's retry schedule is as reproducible as its measurements.  Time
+is abstracted behind a clock: the default :class:`VirtualClock` only
+*accounts* for sleeps (the substrate is simulated; stalling a benchmark
+for seconds would be theater), while :class:`WallClock` really sleeps for
+deployments pacing a physical rig.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.errors import (
+    ConfigError,
+    ProtocolError,
+    RetryExhaustedError,
+    SubstrateFault,
+    ThermalError,
+    TimingViolation,
+)
+
+#: Exception classes the retry layer treats as transient.  Everything else
+#: (including programming errors) propagates immediately.
+RETRYABLE_ERRORS: Tuple[Type[Exception], ...] = (
+    SubstrateFault, ThermalError, TimingViolation, ProtocolError)
+
+#: SubstrateFault kinds the retry layer refuses to absorb — simulated
+#: power cuts that must take the whole campaign down (checkpoint/resume
+#: is the recovery path, not retry).
+FATAL_FAULT_KINDS: Tuple[str, ...] = ("crash",)
+
+
+class VirtualClock:
+    """Accounting-only clock: ``sleep`` advances time without stalling."""
+
+    def __init__(self) -> None:
+        self._now_s = 0.0
+        self.slept_s = 0.0
+
+    def now(self) -> float:
+        return self._now_s
+
+    def sleep(self, seconds: float) -> None:
+        self._now_s += seconds
+        self.slept_s += seconds
+
+
+class WallClock:
+    """Real monotonic time and real sleeps (for paced physical rigs)."""
+
+    def __init__(self) -> None:
+        self.slept_s = 0.0
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+        self.slept_s += seconds
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before quarantining a unit of work."""
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter_fraction: float = 0.25
+    #: Give up on a unit once its attempts + backoff exceed this budget
+    #: (``None`` = no deadline).
+    unit_deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigError("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigError("jitter_fraction must be in [0, 1]")
+        if self.unit_deadline_s is not None and self.unit_deadline_s <= 0:
+            raise ConfigError("unit_deadline_s must be positive (or None)")
+
+    def backoff_s(self, attempt: int, gen: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt + 1`` (attempts are 1-based).
+
+        Exponential growth capped at ``backoff_max_s``, plus a uniform
+        jitter of up to ``jitter_fraction`` of the base value so a fleet
+        of workers retrying in lockstep would de-synchronize.
+        """
+        base = min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_factor ** (attempt - 1))
+        return base * (1.0 + self.jitter_fraction * float(gen.random()))
+
+
+def call_with_retry(fn: Callable[[int], object], *, unit: str,
+                    policy: RetryPolicy, clock, gen: np.random.Generator,
+                    retryable: Tuple[Type[Exception], ...] = RETRYABLE_ERRORS):
+    """Run ``fn(attempt)`` under ``policy``; attempts are numbered from 1.
+
+    Returns ``fn``'s value on first success.  Raises
+    :class:`RetryExhaustedError` when the attempt budget or the per-unit
+    deadline is spent, and re-raises immediately on non-retryable
+    exceptions or fatal fault kinds.
+    """
+    started_s = clock.now()
+    last_cause: Optional[Exception] = None
+    attempt = 0
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn(attempt)
+        except retryable as error:
+            if isinstance(error, SubstrateFault) \
+                    and error.kind in FATAL_FAULT_KINDS:
+                raise
+            last_cause = error
+        if attempt >= policy.max_attempts:
+            break
+        elapsed_s = clock.now() - started_s
+        if policy.unit_deadline_s is not None \
+                and elapsed_s >= policy.unit_deadline_s:
+            raise RetryExhaustedError(
+                f"unit {unit} exceeded its {policy.unit_deadline_s:.1f} s "
+                f"deadline after {attempt} attempt(s): {last_cause!r}",
+                unit=unit, attempts=attempt, last_cause=last_cause)
+        clock.sleep(policy.backoff_s(attempt, gen))
+    raise RetryExhaustedError(
+        f"unit {unit} failed after {attempt} attempt(s): {last_cause!r}",
+        unit=unit, attempts=attempt, last_cause=last_cause)

@@ -47,16 +47,30 @@ class SoftMCController:
     def __init__(self, module: DRAMModule,
                  trace: Optional[CommandTrace] = None,
                  refresh_engine: Optional[RefreshEngine] = None,
-                 retention_guard: Optional[RetentionGuard] = None) -> None:
+                 retention_guard: Optional[RetentionGuard] = None,
+                 faults=None) -> None:
         self.module = module
         self.trace = trace
         self.refresh_engine = refresh_engine
         self.retention_guard = retention_guard
+        self.faults = faults
         self.now_ns: float = 0.0
+        self._programs = 0
+        self._fault_reads = 0
 
     # ------------------------------------------------------------------
     def execute(self, program: Program) -> ExecutionResult:
         """Run a program; returns reads and elapsed wall-clock time."""
+        if self.faults is not None:
+            self._programs += 1
+            if self.faults.roll("softmc.timing", self._programs) is not None:
+                raise TimingViolation(
+                    f"injected sporadic timing violation before program "
+                    f"#{self._programs}", "injected", 0.0, 0.0)
+            if self.faults.roll("softmc.protocol", self._programs) is not None:
+                raise ProtocolError(
+                    f"injected illegal-command fault before program "
+                    f"#{self._programs}")
         start = self.now_ns
         result = ExecutionResult(elapsed_ns=0.0)
         for step in program:
@@ -91,6 +105,14 @@ class SoftMCController:
             module.precharge(command.bank, now)
         elif isinstance(command, Read):
             data = module.read(command.bank, command.col, now)
+            if self.faults is not None:
+                self._fault_reads += 1
+                if data and self.faults.roll("softmc.readback",
+                                             self._fault_reads) is not None:
+                    # Bus corruption: the burst arrives with its first byte
+                    # inverted.  The device contents stay intact, so a
+                    # retried read-back returns clean data.
+                    data = bytes([data[0] ^ 0xFF]) + data[1:]
             result.reads.append((now, command.bank, command.col, data))
         elif isinstance(command, Write):
             module.write(command.bank, command.col, command.data, now)

@@ -17,10 +17,14 @@ from repro.dram.commands import Activate, Nop, Precharge, Read
 from repro.dram.data import DataPattern
 from repro.dram.module import BitFlip, DRAMModule
 from repro.dram.refresh import RetentionGuard
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SubstrateFault, ThermalError
 from repro.softmc.controller import ExecutionResult, SoftMCController
 from repro.softmc.program import HammerLoop, Instruction, Program
 from repro.softmc.trace import CommandTrace
+
+#: Fallback settling tolerance when the chamber does not publish one
+#: (the paper's +/-0.1 degC measurement error bound, Section 4.1).
+TEMPERATURE_TOLERANCE_C = 0.1
 
 
 class SoftMCSession:
@@ -28,11 +32,15 @@ class SoftMCSession:
 
     def __init__(self, module: DRAMModule, chamber=None,
                  trace: Optional[CommandTrace] = None,
-                 retention_guard: Optional[RetentionGuard] = None) -> None:
+                 retention_guard: Optional[RetentionGuard] = None,
+                 faults=None) -> None:
         self.module = module
         self.chamber = chamber
+        self.faults = faults
         self.controller = SoftMCController(
-            module, trace=trace, retention_guard=retention_guard)
+            module, trace=trace, retention_guard=retention_guard,
+            faults=faults)
+        self._hammer_calls = 0
 
     # ------------------------------------------------------------------
     # Temperature
@@ -40,12 +48,23 @@ class SoftMCSession:
     def set_temperature(self, target_c: float) -> float:
         """Bring the module to ``target_c`` (within +/-0.1 degC).
 
-        With a chamber attached this runs the PID settling loop; without
-        one the module is set directly (ideal chamber), which is what the
-        large sweeps use.
+        With a chamber attached this runs the PID settling loop and
+        *validates* the reached temperature against the tolerance band:
+        a chamber that reports convergence off-target (drift, overshoot)
+        raises :class:`ThermalError` instead of silently running the
+        experiment at the wrong temperature.  Without a chamber the module
+        is set directly (ideal chamber), which is what the large sweeps
+        use.
         """
         if self.chamber is not None:
             reached = self.chamber.settle(target_c)
+            tolerance = getattr(self.chamber, "tolerance_c",
+                                TEMPERATURE_TOLERANCE_C)
+            if abs(reached - target_c) > tolerance + 1e-9:
+                raise ThermalError(
+                    f"chamber settled {abs(reached - target_c):.2f} degC off "
+                    f"target ({reached:.2f} vs {target_c:.2f} degC, "
+                    f"tolerance +/-{tolerance} degC)")
             self.module.temperature_c = reached
             return reached
         self.module.temperature_c = float(target_c)
@@ -87,7 +106,20 @@ class SoftMCSession:
                t_on_ns: Optional[float] = None,
                t_off_ns: Optional[float] = None,
                reads_per_activation: int = 0) -> ExecutionResult:
-        """Run a hammer loop over logical ``aggressor_rows``."""
+        """Run a hammer loop over logical ``aggressor_rows``.
+
+        With a fault plan attached, the host<->FPGA link can drop mid-call
+        (an injected session reset), surfacing as a retryable
+        :class:`SubstrateFault` before any activation is issued.
+        """
+        self._hammer_calls += 1
+        if self.faults is not None:
+            event = self.faults.roll("softmc.session", self._hammer_calls)
+            if event is not None:
+                raise SubstrateFault(
+                    f"SoftMC session reset during hammer call "
+                    f"#{self._hammer_calls} (link dropped)",
+                    site="softmc.session", kind=event.kind)
         timing = self.module.timing
         loop = HammerLoop(
             count=count,

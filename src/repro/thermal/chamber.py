@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ThermalError
+from repro.errors import SubstrateFault, ThermalError
 from repro.rng import SeedSequenceTree
 from repro.thermal.pid import PIDController
 from repro.thermal.plant import ThermalPlant
@@ -29,9 +29,12 @@ class TemperatureController:
                  tolerance_c: float = TOLERANCE_C,
                  control_period_s: float = 0.25,
                  required_stable_steps: int = 12,
-                 timeout_s: float = 1800.0) -> None:
+                 timeout_s: float = 1800.0,
+                 faults=None) -> None:
+        self.faults = faults
         self.plant = plant if plant is not None else ThermalPlant()
-        self.sensor = sensor if sensor is not None else Thermocouple(tree)
+        self.sensor = sensor if sensor is not None \
+            else Thermocouple(tree, faults=faults)
         self.pid = pid if pid is not None else PIDController()
         self.tolerance_c = tolerance_c
         self.control_period_s = control_period_s
@@ -39,6 +42,7 @@ class TemperatureController:
         self.timeout_s = timeout_s
         self.setpoint_c: Optional[float] = None
         self.elapsed_s = 0.0
+        self._settles = 0
 
     # ------------------------------------------------------------------
     def set_reference(self, setpoint_c: float) -> None:
@@ -65,7 +69,26 @@ class TemperatureController:
 
         "Stable" means ``required_stable_steps`` consecutive readings within
         the tolerance band.  Raises :class:`ThermalError` on timeout.
+
+        With a fault plan attached, a settle attempt can be injected with a
+        ``timeout`` (the chamber hangs; raised as a retryable
+        :class:`SubstrateFault`) or an ``overshoot`` (the loop reports
+        convergence at a temperature outside the tolerance band, which the
+        session-level validation then rejects).
         """
+        self._settles += 1
+        overshoot_c = 0.0
+        if self.faults is not None:
+            event = self.faults.roll("thermal.settle", self._settles,
+                                     float(setpoint_c))
+            if event is not None and event.kind == "timeout":
+                raise SubstrateFault(
+                    f"chamber hung while settling at {setpoint_c} degC "
+                    f"(injected timeout, attempt #{self._settles})",
+                    site="thermal.settle", kind="timeout")
+            if event is not None and event.kind == "overshoot":
+                overshoot_c = event.magnitude if event.magnitude > 0 \
+                    else 4.0 * self.tolerance_c
         self.set_reference(setpoint_c)
         deadline = self.elapsed_s + self.timeout_s
         stable = 0
@@ -75,7 +98,7 @@ class TemperatureController:
             if abs(reading - setpoint_c) <= self.tolerance_c:
                 stable += 1
                 if stable >= self.required_stable_steps:
-                    return reading
+                    return reading + overshoot_c
             else:
                 stable = 0
         raise ThermalError(

@@ -3,12 +3,18 @@
 Adds small Gaussian measurement noise and a fixed quantization, matching
 the JESD51-1-style electrical test method the paper follows.  The paper's
 infrastructure achieves a worst-case measurement error of +/-0.1 degC.
+
+When a :class:`~repro.faults.plan.FaultPlan` is attached (``faults``), the
+sensor can drop out mid-read — the open-thermocouple failure real rigs see
+after weeks in a hot chamber — surfacing as a retryable
+:class:`~repro.errors.SubstrateFault`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import SubstrateFault
 from repro.rng import SeedSequenceTree
 
 
@@ -16,13 +22,22 @@ class Thermocouple:
     """A noisy, quantized temperature sensor."""
 
     def __init__(self, tree: SeedSequenceTree, noise_sd_c: float = 0.03,
-                 resolution_c: float = 0.01) -> None:
+                 resolution_c: float = 0.01, faults=None) -> None:
         self._gen = tree.generator("thermocouple")
         self.noise_sd_c = noise_sd_c
         self.resolution_c = resolution_c
+        self.faults = faults
+        self._reads = 0
 
     def read(self, true_temperature_c: float) -> float:
         """One temperature sample with sensor noise and quantization."""
+        self._reads += 1
+        if self.faults is not None:
+            event = self.faults.roll("thermal.sensor", self._reads)
+            if event is not None:
+                raise SubstrateFault(
+                    f"thermocouple dropout (open circuit) on read "
+                    f"#{self._reads}", site="thermal.sensor", kind=event.kind)
         noisy = true_temperature_c + self._gen.normal(0.0, self.noise_sd_c)
         if self.resolution_c > 0:
             noisy = round(noisy / self.resolution_c) * self.resolution_c

@@ -1,0 +1,105 @@
+"""End-to-end resilience: faulted campaigns, kill mid-sweep, resume.
+
+These integration tests exercise the acceptance criteria of the resilient
+campaign runner: a seeded fault-injected temperature campaign across >= 3
+modules and >= 3 temperatures completes with quarantined modules reported,
+and a campaign killed mid-sweep resumes from its checkpoints to a merged
+result bit-identical to an uninterrupted run with the same seed.
+"""
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.core.temperature_study import TemperatureStudy
+from repro.errors import SubstrateFault
+from repro.faults.plan import FaultPlan, FaultSpec, parse_fault_plan
+from repro.runner import CampaignRunner, RetryPolicy
+
+pytestmark = pytest.mark.faults
+
+#: >= 3 modules (one per manufacturer: A, B, C, D) x >= 3 temperatures.
+CONFIG = QUICK.scaled(rows_per_region=12, modules_per_manufacturer=1,
+                      temperatures_c=(50.0, 70.0, 90.0),
+                      hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return CONFIG.module_specs()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_dict(specs):
+    return result_to_dict(TemperatureStudy(CONFIG).run(specs))
+
+
+class TestFaultedCampaign:
+    def test_seeded_fault_rate_campaign_completes(self, specs,
+                                                  uninterrupted_dict):
+        """A realistic faulty substrate: random unit aborts, all absorbed
+        or quarantined, never crashing the sweep."""
+        plan = parse_fault_plan("campaign.unit=0.08", seed=CONFIG.seed)
+        outcome = CampaignRunner(
+            CONFIG, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=3)).run("temperature", specs)
+        assert len(specs) >= 3 and len(CONFIG.temperatures_c) >= 3
+        done = outcome.stats.modules_completed + len(outcome.quarantined)
+        assert done == len(specs)
+        # The degradation report accounts for every module and every fault.
+        report = outcome.degradation_report()
+        assert f"{outcome.stats.modules_completed}/{len(specs)}" in report
+        if plan.log.count():
+            assert "injected" in report
+        # Modules that survived the faults carry undisturbed measurements.
+        if outcome.ok:
+            assert result_to_dict(outcome.result) == uninterrupted_dict
+
+    def test_hostile_plan_quarantines_exactly_target(self, specs):
+        target = specs[2].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", match=target)])
+        outcome = CampaignRunner(
+            CONFIG, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2)).run("temperature", specs)
+        assert [r.module_id for r in outcome.quarantined] == [target]
+        assert outcome.stats.modules_completed == len(specs) - 1
+        assert target in outcome.degradation_report()
+
+
+class TestKillAndResume:
+    def test_kill_mid_sweep_resume_bit_identical(self, tmp_path, specs,
+                                                 uninterrupted_dict):
+        points = len(CONFIG.temperatures_c)
+        units_per_module = points + 1  # prepare + one unit per temperature
+        # Simulated power cut partway through the third module.
+        kill_at = 2 * units_per_module + 2
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.unit", kind="crash", after=kill_at,
+                      max_fires=1)])
+        runner = CampaignRunner(CONFIG, checkpoint_dir=tmp_path,
+                                fault_plan=plan)
+        with pytest.raises(SubstrateFault):
+            runner.run("temperature", specs)
+
+        # The first two modules were checkpointed before the kill.
+        ckpts = sorted(p.name for p in tmp_path.glob("module-*.json"))
+        assert len(ckpts) == 2
+
+        resumed = CampaignRunner(CONFIG, checkpoint_dir=tmp_path,
+                                 resume=True)
+        outcome = resumed.run("temperature", specs)
+        assert outcome.ok
+        assert outcome.stats.modules_resumed == 2
+        assert outcome.stats.modules_completed == len(specs) - 2
+        assert result_to_dict(outcome.result) == uninterrupted_dict
+
+    def test_resume_after_clean_finish_runs_nothing(self, tmp_path, specs,
+                                                    uninterrupted_dict):
+        CampaignRunner(CONFIG, checkpoint_dir=tmp_path).run("temperature",
+                                                            specs)
+        outcome = CampaignRunner(CONFIG, checkpoint_dir=tmp_path,
+                                 resume=True).run("temperature", specs)
+        assert outcome.stats.units_run == 0
+        assert outcome.stats.modules_resumed == len(specs)
+        assert result_to_dict(outcome.result) == uninterrupted_dict

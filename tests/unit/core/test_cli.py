@@ -45,3 +45,54 @@ class TestCommands:
     def test_seed_override_accepted(self):
         args = build_parser().parse_args(["observations", "--seed", "7"])
         assert args.seed == 7
+
+
+@pytest.mark.faults
+class TestCampaignCommand:
+    TINY_KWARGS = dict(rows_per_region=8, modules_per_manufacturer=1,
+                       temperatures_c=(50.0, 90.0), hcfirst_repetitions=1,
+                       wcdp_sample_rows=2)
+
+    @pytest.fixture()
+    def tiny_quick(self, monkeypatch):
+        from repro.core import config as config_mod
+
+        tiny = config_mod.QUICK.scaled(**self.TINY_KWARGS)
+        monkeypatch.setitem(config_mod.PRESETS, "quick", tiny)
+        return tiny
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign", "temperature"])
+        assert args.study == "temperature"
+        assert args.checkpoint_dir is None
+        assert not args.resume
+        assert args.max_attempts == 3
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "voltage"])
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["campaign", "temperature", "--resume"]) == 1
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_bad_fault_plan_reports_config_error(self, capsys):
+        assert main(["campaign", "temperature",
+                     "--fault-plan", "chamber.door=0.5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_runs_and_resumes(self, tiny_quick, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["campaign", "temperature", "--checkpoint-dir", ckpt,
+                     "--fault-plan", "campaign.unit=0.05"]) == 0
+        first = capsys.readouterr().out
+        assert "resilient campaign 'temperature'" in first
+        assert "no modules quarantined" in first
+
+        out_json = str(tmp_path / "result.json")
+        assert main(["campaign", "temperature", "--checkpoint-dir", ckpt,
+                     "--resume", "--save-json", out_json]) == 0
+        second = capsys.readouterr().out
+        assert "from checkpoint" in second
+        import json
+        assert json.load(open(out_json))["study"] == "temperature"

@@ -6,9 +6,15 @@ import pytest
 
 from repro.core.config import QUICK
 from repro.core.serialize import (
+    acttime_module_from_dict,
+    acttime_module_to_dict,
     load_result,
     result_to_dict,
     save_result,
+    spatial_module_from_dict,
+    spatial_module_to_dict,
+    temperature_module_from_dict,
+    temperature_module_to_dict,
 )
 from repro.core.temperature_study import TemperatureStudy
 from repro.core.acttime_study import ActiveTimeStudy
@@ -70,3 +76,40 @@ class TestRoundtrip:
     def test_save_creates_directories(self, temp_result, tmp_path):
         path = save_result(temp_result, tmp_path / "nested" / "dir" / "r.json")
         assert path.exists()
+
+
+class TestModuleRoundtrip:
+    """The per-module codecs the campaign checkpoints rely on are lossless:
+    decode(encode(m)) re-encodes to the identical dictionary, even through
+    a real JSON round-trip (inf <-> null, tuple/float/int keys)."""
+
+    def check_lossless(self, module, to_dict, from_dict):
+        encoded = to_dict(module)
+        wire = json.loads(json.dumps(encoded))  # what a checkpoint stores
+        assert to_dict(from_dict(wire)) == encoded
+
+    def test_temperature_module(self, temp_result):
+        for module in temp_result.modules:
+            self.check_lossless(module, temperature_module_to_dict,
+                                temperature_module_from_dict)
+
+    def test_temperature_restores_key_types(self, temp_result):
+        module = temp_result.modules[0]
+        restored = temperature_module_from_dict(
+            json.loads(json.dumps(temperature_module_to_dict(module))))
+        assert set(restored.hcfirst) == set(module.hcfirst)
+        assert all(isinstance(t, float) for t in restored.hcfirst)
+        assert restored.flip_cells.keys() == module.flip_cells.keys()
+        for temp, cells in module.flip_cells.items():
+            assert restored.flip_cells[temp] == cells
+
+    def test_acttime_module(self):
+        result = ActiveTimeStudy(TINY.scaled(acttime_rows_per_region=8)).run(
+            TINY.module_specs()[:1])
+        self.check_lossless(result.modules[0], acttime_module_to_dict,
+                            acttime_module_from_dict)
+
+    def test_spatial_module(self):
+        result = SpatialStudy(TINY).run(TINY.module_specs()[:1])
+        self.check_lossless(result.modules[0], spatial_module_to_dict,
+                            spatial_module_from_dict)

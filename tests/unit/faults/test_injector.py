@@ -1,0 +1,137 @@
+"""Substrate-level fault injection: chamber, sensor, session, controller."""
+
+import pytest
+
+from repro.errors import ProtocolError, SubstrateFault, ThermalError, TimingViolation
+from repro.faults import attach_softmc, attach_thermal, detach
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.softmc.session import SoftMCSession
+from repro.thermal.chamber import TemperatureController
+from repro.thermal.sensor import Thermocouple
+
+pytestmark = pytest.mark.faults
+
+
+def plan_for(site, kind="", **kwargs):
+    return FaultPlan(seed=42, specs=[FaultSpec(site=site, kind=kind, **kwargs)])
+
+
+class TestThermocouple:
+    def test_dropout_raises_substrate_fault(self, tree):
+        sensor = Thermocouple(tree, faults=plan_for("thermal.sensor"))
+        with pytest.raises(SubstrateFault) as excinfo:
+            sensor.read(50.0)
+        assert excinfo.value.site == "thermal.sensor"
+        assert excinfo.value.kind == "dropout"
+
+    def test_unarmed_sensor_reads_identically(self, tree):
+        clean = Thermocouple(tree)
+        armed = Thermocouple(tree, faults=FaultPlan(seed=42))
+        assert clean.read(50.0) == armed.read(50.0)
+
+
+class TestChamber:
+    def test_injected_settle_timeout(self, tree):
+        chamber = TemperatureController(tree,
+                                        faults=plan_for("thermal.settle",
+                                                        "timeout"))
+        with pytest.raises(SubstrateFault) as excinfo:
+            chamber.settle(60.0)
+        assert excinfo.value.kind == "timeout"
+
+    def test_overshoot_reports_off_target(self, tree):
+        chamber = TemperatureController(
+            tree, faults=plan_for("thermal.settle", "overshoot"))
+        reached = chamber.settle(60.0)
+        assert abs(reached - 60.0) > chamber.tolerance_c
+
+    def test_overshoot_magnitude_configurable(self, tree):
+        chamber = TemperatureController(
+            tree, faults=plan_for("thermal.settle", "overshoot",
+                                  magnitude=2.5))
+        reached = chamber.settle(60.0)
+        assert reached == pytest.approx(62.5, abs=chamber.tolerance_c + 1e-6)
+
+    def test_transient_timeout_retry_succeeds(self, tree):
+        chamber = TemperatureController(
+            tree, faults=plan_for("thermal.settle", "timeout", max_fires=1))
+        with pytest.raises(SubstrateFault):
+            chamber.settle(60.0)
+        reached = chamber.settle(60.0)
+        assert abs(reached - 60.0) <= chamber.tolerance_c
+
+
+class TestSessionTemperature:
+    def test_overshoot_rejected_by_session_validation(self, tree, module_a):
+        chamber = TemperatureController(
+            tree, faults=plan_for("thermal.settle", "overshoot"))
+        session = SoftMCSession(module_a, chamber=chamber)
+        before = module_a.temperature_c
+        with pytest.raises(ThermalError):
+            session.set_temperature(60.0)
+        assert module_a.temperature_c == before  # off-target value not adopted
+
+
+class TestSessionAndController:
+    def test_injected_session_reset(self, module_a):
+        session = SoftMCSession(module_a,
+                                faults=plan_for("softmc.session", "reset"))
+        with pytest.raises(SubstrateFault) as excinfo:
+            session.hammer_double_sided(0, 100, count=10)
+        assert excinfo.value.kind == "reset"
+
+    def test_transient_reset_then_clean_hammer(self, module_a):
+        session = SoftMCSession(
+            module_a, faults=plan_for("softmc.session", "reset", max_fires=1))
+        with pytest.raises(SubstrateFault):
+            session.hammer_double_sided(0, 100, count=10)
+        result = session.hammer_double_sided(0, 100, count=10)
+        assert result.activations_issued == 20
+
+    def test_injected_timing_violation(self, module_a, rowstripe):
+        session = SoftMCSession(module_a,
+                                faults=plan_for("softmc.timing"))
+        session.install_pattern(0, 100, rowstripe)
+        with pytest.raises(TimingViolation):
+            session.read_row_bytes(0, 100)
+
+    def test_injected_protocol_error(self, module_a, rowstripe):
+        session = SoftMCSession(module_a,
+                                faults=plan_for("softmc.protocol"))
+        session.install_pattern(0, 100, rowstripe)
+        with pytest.raises(ProtocolError):
+            session.read_row_bytes(0, 100)
+
+    def test_corrupted_readback_differs_then_recovers(self, module_a,
+                                                      rowstripe):
+        plan = plan_for("softmc.readback", "corrupt", max_fires=1)
+        session = SoftMCSession(module_a, faults=plan)
+        session.install_pattern(0, 100, rowstripe)
+        corrupted = session.read_row_bytes(0, 100)
+        # The corruption is on the bus, not in the array: re-reads are clean.
+        clean = session.read_row_bytes(0, 100)
+        assert corrupted != clean
+        assert plan.log.count("softmc.readback", "corrupt") == 1
+        assert session.read_row_bytes(0, 100) == clean
+
+
+class TestAttachHelpers:
+    def test_attach_thermal_arms_chamber_and_sensor(self, tree):
+        chamber = TemperatureController(tree)
+        plan = FaultPlan(seed=1)
+        attach_thermal(chamber, plan)
+        assert chamber.faults is plan
+        assert chamber.sensor.faults is plan
+        detach(chamber)
+        assert chamber.faults is None and chamber.sensor.faults is None
+
+    def test_attach_softmc_arms_whole_rig(self, tree, module_a):
+        chamber = TemperatureController(tree)
+        session = SoftMCSession(module_a, chamber=chamber)
+        plan = FaultPlan(seed=1)
+        attach_softmc(session, plan)
+        assert session.faults is plan
+        assert session.controller.faults is plan
+        assert chamber.faults is plan and chamber.sensor.faults is plan
+        detach(session)
+        assert session.controller.faults is None

@@ -1,0 +1,166 @@
+"""Tests for the seeded fault plan and structured log."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    SITES,
+    FaultEvent,
+    FaultLog,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_plan,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultSpec:
+    def test_default_kind_is_sites_first(self):
+        spec = FaultSpec(site="thermal.settle")
+        assert spec.kind == SITES["thermal.settle"][0] == "timeout"
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="chamber.door")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="thermal.settle", kind="explode")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="campaign.unit", rate=1.5)
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="campaign.unit", after=-1)
+        with pytest.raises(ConfigError):
+            FaultSpec(site="campaign.unit", max_fires=0)
+
+
+class TestRollDeterminism:
+    def test_empty_plan_never_fires(self):
+        plan = FaultPlan(seed=1)
+        assert plan.roll("campaign.unit", "u", 1) is None
+        assert len(plan.log) == 0
+
+    def test_rate_one_always_fires_and_logs(self):
+        plan = FaultPlan(seed=1, specs=[FaultSpec(site="campaign.unit",
+                                                  kind="abort")])
+        event = plan.roll("campaign.unit", "temperature/A0/50.0", 1)
+        assert event is not None
+        assert event.site == "campaign.unit" and event.kind == "abort"
+        assert plan.log.count("campaign.unit", "abort") == 1
+
+    def test_same_seed_same_decisions(self):
+        def decisions(seed):
+            plan = FaultPlan(seed=seed, specs=[
+                FaultSpec(site="campaign.unit", kind="abort", rate=0.4)])
+            return [plan.roll("campaign.unit", f"u{i}", 1) is not None
+                    for i in range(50)]
+
+        assert decisions(11) == decisions(11)
+        assert decisions(11) != decisions(12)
+
+    def test_decision_independent_of_call_order(self):
+        """A resumed campaign skipping some units must see the same faults."""
+        make = lambda: FaultPlan(seed=3, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", rate=0.5)])
+        keys = [(f"u{i}", 1) for i in range(20)]
+        forward = {k: make().roll("campaign.unit", *k) is not None
+                   for k in keys}
+        plan = FaultPlan(seed=3, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", rate=0.5)])
+        backward = {k: plan.roll("campaign.unit", *k) is not None
+                    for k in reversed(keys)}
+        assert forward == backward
+
+    def test_intermediate_rate_fires_sometimes(self):
+        plan = FaultPlan(seed=5, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", rate=0.3)])
+        fired = sum(plan.roll("campaign.unit", f"u{i}", 1) is not None
+                    for i in range(200))
+        assert 20 < fired < 120  # ~60 expected
+
+
+class TestWindows:
+    def test_match_targets_one_unit(self):
+        plan = FaultPlan(seed=1, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", match="B0")])
+        assert plan.roll("campaign.unit", "temperature/A0/50.0", 1) is None
+        assert plan.roll("campaign.unit", "temperature/B0/50.0", 1) is not None
+
+    def test_after_arms_late(self):
+        plan = FaultPlan(seed=1, specs=[
+            FaultSpec(site="campaign.unit", kind="crash", after=3)])
+        fires = [plan.roll("campaign.unit", f"u{i}", 1) is not None
+                 for i in range(6)]
+        assert fires == [False, False, False, True, True, True]
+
+    def test_max_fires_caps_total(self):
+        plan = FaultPlan(seed=1, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", max_fires=2)])
+        fires = [plan.roll("campaign.unit", f"u{i}", 1) is not None
+                 for i in range(5)]
+        assert fires == [True, True, False, False, False]
+
+    def test_kill_switch_combination(self):
+        """rate=1, after=N, max_fires=1: crash exactly once, mid-sweep."""
+        plan = FaultPlan(seed=1, specs=[
+            FaultSpec(site="campaign.unit", kind="crash", after=4,
+                      max_fires=1)])
+        fires = [plan.roll("campaign.unit", f"u{i}", 1) is not None
+                 for i in range(8)]
+        assert fires == [False] * 4 + [True] + [False] * 3
+
+
+class TestLog:
+    def test_histogram_and_render(self):
+        log = FaultLog()
+        log.record(FaultEvent("campaign.unit", "abort", ("u1", 1)))
+        log.record(FaultEvent("campaign.unit", "abort", ("u2", 1)))
+        log.record(FaultEvent("thermal.settle", "timeout", (3,)))
+        assert log.by_site_kind() == {"campaign.unit/abort": 2,
+                                      "thermal.settle/timeout": 1}
+        assert log.count() == 3
+        assert log.count(site="campaign.unit") == 2
+        assert log.count(site="campaign.unit", kind="abort") == 2
+        assert "3 fault(s) injected" in log.render()
+
+    def test_to_dicts_is_structured(self):
+        log = FaultLog()
+        log.record(FaultEvent("thermal.settle", "overshoot", (1, 50.0),
+                              magnitude=0.5))
+        (entry,) = log.to_dicts()
+        assert entry == {"site": "thermal.settle", "kind": "overshoot",
+                         "key": [1, 50.0], "magnitude": 0.5}
+
+    def test_empty_render(self):
+        assert FaultLog().render() == "no faults injected"
+
+
+class TestParse:
+    def test_default_kind(self):
+        plan = parse_fault_plan("campaign.unit=0.25", seed=9)
+        (spec,) = plan.specs
+        assert spec.site == "campaign.unit"
+        assert spec.kind == "abort"
+        assert spec.rate == 0.25
+        assert plan.seed == 9
+
+    def test_explicit_kind_and_multiple_tokens(self):
+        plan = parse_fault_plan(
+            "thermal.settle:overshoot=0.2, softmc.session=0.1")
+        assert [(s.site, s.kind, s.rate) for s in plan.specs] == [
+            ("thermal.settle", "overshoot", 0.2),
+            ("softmc.session", "reset", 0.1),
+        ]
+
+    def test_bad_tokens_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_fault_plan("campaign.unit")
+        with pytest.raises(ConfigError):
+            parse_fault_plan("campaign.unit=lots")
+        with pytest.raises(ConfigError):
+            parse_fault_plan("  ,  ")

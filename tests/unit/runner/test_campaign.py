@@ -1,0 +1,133 @@
+"""Tests for the resilient campaign runner."""
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.core.temperature_study import TemperatureStudy
+from repro.errors import ConfigError, SubstrateFault
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.runner import CampaignRunner, RetryPolicy
+from repro.runner.adapters import ADAPTERS, adapter_for
+
+pytestmark = pytest.mark.faults
+
+TINY = QUICK.scaled(rows_per_region=10, modules_per_manufacturer=1,
+                    temperatures_c=(50.0, 70.0, 90.0),
+                    hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return TINY.module_specs()
+
+
+@pytest.fixture(scope="module")
+def direct_dict(specs):
+    return result_to_dict(TemperatureStudy(TINY).run(specs))
+
+
+class TestAdapters:
+    def test_registry_covers_all_studies(self):
+        assert sorted(ADAPTERS) == ["acttime", "spatial", "temperature"]
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(ConfigError, match="unknown study"):
+            adapter_for("voltage", TINY)
+
+
+class TestFaultFreeParity:
+    def test_runner_matches_direct_study(self, specs, direct_dict):
+        outcome = CampaignRunner(TINY).run("temperature", specs)
+        assert outcome.ok
+        assert result_to_dict(outcome.result) == direct_dict
+
+    def test_stats_count_every_unit(self, specs):
+        outcome = CampaignRunner(TINY).run("temperature", specs)
+        points = len(TINY.temperatures_c)
+        assert outcome.stats.modules_requested == len(specs)
+        assert outcome.stats.modules_completed == len(specs)
+        assert outcome.stats.units_run == len(specs) * (points + 1)
+        assert outcome.stats.units_retried == 0
+        assert outcome.stats.backoff_slept_s == 0.0
+
+
+class TestFaultedCampaigns:
+    def test_transient_faults_absorbed_without_changing_result(
+            self, specs, direct_dict):
+        plan = FaultPlan(seed=5, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", max_fires=2)])
+        outcome = CampaignRunner(
+            TINY, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=3)).run("temperature", specs)
+        assert outcome.ok
+        assert outcome.stats.units_retried == 2
+        assert len(plan.log) == 2
+        assert result_to_dict(outcome.result) == direct_dict
+
+    def test_persistent_fault_quarantines_one_module(self, specs):
+        target = specs[1].module_id
+        plan = FaultPlan(seed=5, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", match=target)])
+        outcome = CampaignRunner(
+            TINY, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2)).run("temperature", specs)
+        assert not outcome.ok
+        (record,) = outcome.quarantined
+        assert record.module_id == target
+        assert record.attempts == 2
+        assert "SubstrateFault" in record.cause
+        assert outcome.stats.modules_completed == len(specs) - 1
+        surviving = {m.module_id for m in outcome.result.modules}
+        assert target not in surviving
+
+    def test_degradation_report_names_quarantined_modules(self, specs):
+        target = specs[0].module_id
+        plan = FaultPlan(seed=5, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", match=target)])
+        outcome = CampaignRunner(
+            TINY, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2)).run("temperature", specs)
+        text = outcome.degradation_report()
+        assert "1 quarantined" in text
+        assert target in text
+        assert "campaign.unit/abort" in text
+
+
+class TestCheckpointing:
+    def test_resume_skips_completed_modules(self, tmp_path, specs,
+                                            direct_dict):
+        first = CampaignRunner(TINY, checkpoint_dir=tmp_path)
+        first.run("temperature", specs)
+        second = CampaignRunner(TINY, checkpoint_dir=tmp_path, resume=True)
+        outcome = second.run("temperature", specs)
+        assert outcome.stats.modules_resumed == len(specs)
+        assert outcome.stats.units_run == 0
+        assert result_to_dict(outcome.result) == direct_dict
+
+    def test_second_run_without_resume_refuses(self, tmp_path, specs):
+        CampaignRunner(TINY, checkpoint_dir=tmp_path).run("temperature",
+                                                          specs[:1])
+        with pytest.raises(ConfigError, match="--resume"):
+            CampaignRunner(TINY, checkpoint_dir=tmp_path).run("temperature",
+                                                              specs[:1])
+
+    def test_crash_then_resume_is_bit_identical(self, tmp_path, specs,
+                                                direct_dict):
+        points = len(TINY.temperatures_c)
+        # Crash mid-sweep: after the first module's units (prepare + all
+        # points) plus one unit of the second module.
+        crash_plan = FaultPlan(seed=5, specs=[
+            FaultSpec(site="campaign.unit", kind="crash", after=points + 2,
+                      max_fires=1)])
+        runner = CampaignRunner(TINY, checkpoint_dir=tmp_path,
+                                fault_plan=crash_plan)
+        with pytest.raises(SubstrateFault):
+            runner.run("temperature", specs)
+
+        resumed = CampaignRunner(TINY, checkpoint_dir=tmp_path, resume=True)
+        outcome = resumed.run("temperature", specs)
+        assert outcome.ok
+        assert outcome.stats.modules_resumed == 1
+        assert outcome.stats.modules_completed == len(specs) - 1
+        assert result_to_dict(outcome.result) == direct_dict

@@ -1,0 +1,83 @@
+"""Tests for the on-disk checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.errors import ConfigError
+from repro.runner.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    config_fingerprint,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFingerprint:
+    def test_pins_study_and_every_knob(self):
+        fp = config_fingerprint("temperature", QUICK)
+        assert fp["format"] == CHECKPOINT_FORMAT
+        assert fp["study"] == "temperature"
+        assert fp["config"]["seed"] == QUICK.seed
+        assert fp["config"]["rows_per_region"] == QUICK.rows_per_region
+
+    def test_is_json_safe(self):
+        fp = config_fingerprint("spatial", QUICK)
+        assert json.loads(json.dumps(fp)) == fp
+
+    def test_differs_across_seed_and_study(self):
+        base = config_fingerprint("temperature", QUICK)
+        assert base != config_fingerprint("acttime", QUICK)
+        assert base != config_fingerprint("temperature",
+                                          QUICK.scaled(seed=999))
+
+
+class TestStore:
+    def test_fresh_directory_writes_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", "temperature", QUICK)
+        manifest = json.loads(
+            (tmp_path / "ckpt" / "manifest.json").read_text())
+        assert manifest == store.fingerprint
+
+    def test_save_load_roundtrip_and_listing(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        payload = {"module_id": "A0", "values": [1.5, None, 3.0]}
+        store.save("A0", payload)
+        store.save("B1", {"module_id": "B1"})
+        assert store.has("A0") and not store.has("C2")
+        assert store.load("A0") == payload
+        assert store.completed_modules() == ["A0", "B1"]
+
+    def test_load_missing_module_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        with pytest.raises(ConfigError):
+            store.load("A0")
+
+    def test_existing_campaign_requires_resume(self, tmp_path):
+        CheckpointStore(tmp_path, "temperature", QUICK)
+        with pytest.raises(ConfigError, match="--resume"):
+            CheckpointStore(tmp_path, "temperature", QUICK)
+        CheckpointStore(tmp_path, "temperature", QUICK, resume=True)
+
+    def test_resume_refuses_config_mismatch(self, tmp_path):
+        CheckpointStore(tmp_path, "temperature", QUICK)
+        with pytest.raises(ConfigError, match="different study"):
+            CheckpointStore(tmp_path, "temperature", QUICK.scaled(seed=77),
+                            resume=True)
+        with pytest.raises(ConfigError, match="different study"):
+            CheckpointStore(tmp_path, "acttime", QUICK, resume=True)
+
+    def test_studies_do_not_collide_in_one_directory(self, tmp_path):
+        temp = CheckpointStore(tmp_path / "t", "temperature", QUICK)
+        spatial = CheckpointStore(tmp_path / "s", "spatial", QUICK)
+        temp.save("A0", {"study": "temperature"})
+        spatial.save("A0", {"study": "spatial"})
+        assert temp.load("A0") != spatial.load("A0")
+        assert temp.module_path("A0").name == "module-temperature-A0.json"
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        store.save("A0", {"module_id": "A0"})
+        assert not list(tmp_path.glob("*.tmp"))

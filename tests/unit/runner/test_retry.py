@@ -1,0 +1,159 @@
+"""Tests for the retry policy, clocks and call_with_retry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    RetryExhaustedError,
+    SubstrateFault,
+    ThermalError,
+)
+from repro.runner.retry import (
+    RETRYABLE_ERRORS,
+    RetryPolicy,
+    VirtualClock,
+    WallClock,
+    call_with_retry,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def gen(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"backoff_base_s": -1.0},
+        {"backoff_max_s": -0.1},
+        {"backoff_factor": 0.5},
+        {"jitter_fraction": 1.5},
+        {"jitter_fraction": -0.1},
+        {"unit_deadline_s": 0.0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_factor=2.0,
+                             backoff_max_s=3.0, jitter_fraction=0.0)
+        assert policy.backoff_s(1, gen()) == 1.0
+        assert policy.backoff_s(2, gen()) == 2.0
+        assert policy.backoff_s(3, gen()) == 3.0  # capped, not 4.0
+        assert policy.backoff_s(10, gen()) == 3.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_factor=1.0,
+                             jitter_fraction=0.25)
+        g = gen(7)
+        samples = [policy.backoff_s(1, g) for _ in range(100)]
+        assert all(1.0 <= s <= 1.25 for s in samples)
+        assert max(samples) > min(samples)  # jitter actually varies
+
+    def test_jitter_is_seeded(self):
+        policy = RetryPolicy()
+        a = [policy.backoff_s(i, gen(3)) for i in range(1, 5)]
+        b = [policy.backoff_s(i, gen(3)) for i in range(1, 5)]
+        assert a == b
+
+
+class TestClocks:
+    def test_virtual_clock_accounts_without_stalling(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.sleep(2.5)
+        clock.sleep(1.0)
+        assert clock.now() == 3.5
+        assert clock.slept_s == 3.5
+
+    def test_wall_clock_interface(self):
+        clock = WallClock()
+        before = clock.now()
+        clock.sleep(0.0)
+        assert clock.now() >= before
+        assert clock.slept_s == 0.0
+
+
+class TestCallWithRetry:
+    def run(self, fn, policy=None, clock=None):
+        return call_with_retry(fn, unit="t/u", policy=policy or RetryPolicy(),
+                               clock=clock or VirtualClock(), gen=gen())
+
+    def test_success_passes_value_through(self):
+        assert self.run(lambda attempt: attempt * 10) == 10
+
+    def test_transient_failure_then_success(self):
+        def flaky(attempt):
+            if attempt < 3:
+                raise SubstrateFault("blip", site="softmc.session",
+                                     kind="reset")
+            return "done"
+
+        clock = VirtualClock()
+        assert self.run(flaky, RetryPolicy(max_attempts=3), clock) == "done"
+        assert clock.slept_s > 0.0  # backed off twice
+
+    def test_exhaustion_carries_unit_attempts_cause(self):
+        cause = ThermalError("chamber never settled")
+
+        def always_fails(attempt):
+            raise cause
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            self.run(always_fails, RetryPolicy(max_attempts=4))
+        error = excinfo.value
+        assert error.unit == "t/u"
+        assert error.attempts == 4
+        assert error.last_cause is cause
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def broken(attempt):
+            calls.append(attempt)
+            raise ValueError("programming error")
+
+        with pytest.raises(ValueError):
+            self.run(broken)
+        assert calls == [1]
+
+    def test_fatal_crash_kind_propagates(self):
+        calls = []
+
+        def crashes(attempt):
+            calls.append(attempt)
+            raise SubstrateFault("power cut", site="campaign.unit",
+                                 kind="crash")
+
+        with pytest.raises(SubstrateFault):
+            self.run(crashes)
+        assert calls == [1]  # no retry for fatal kinds
+
+    def test_deadline_guard_stops_early(self):
+        policy = RetryPolicy(max_attempts=100, backoff_base_s=10.0,
+                             jitter_fraction=0.0, unit_deadline_s=25.0)
+        attempts = []
+
+        def always_fails(attempt):
+            attempts.append(attempt)
+            raise SubstrateFault("blip", site="softmc.session", kind="reset")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            self.run(always_fails, policy, VirtualClock())
+        # Backoffs of 10 s + 20 s cross the 25 s budget; attempt 3 is last.
+        assert excinfo.value.attempts == 3
+        assert len(attempts) == 3
+        assert "deadline" in str(excinfo.value)
+
+    def test_retryable_tuple_covers_substrate_errors(self):
+        assert SubstrateFault in RETRYABLE_ERRORS
+        assert ThermalError in RETRYABLE_ERRORS

@@ -28,6 +28,41 @@ class TestTemperature:
         assert abs(reached - 60.0) <= chamber.tolerance_c
         assert module_a.temperature_c == reached
 
+    def test_off_target_chamber_rejected(self, module_a):
+        class OffTargetChamber:
+            tolerance_c = 0.5
+
+            def settle(self, target_c):
+                return target_c + 1.2  # converged, but outside the band
+
+        from repro.errors import ThermalError
+
+        session = SoftMCSession(module_a, chamber=OffTargetChamber())
+        before = module_a.temperature_c
+        with pytest.raises(ThermalError, match="off target"):
+            session.set_temperature(60.0)
+        assert module_a.temperature_c == before
+
+    def test_default_tolerance_when_chamber_has_none(self, module_a):
+        class MinimalChamber:
+            def settle(self, target_c):
+                return target_c + 0.05  # inside the default +/-0.1 degC
+
+        from repro.errors import ThermalError
+        from repro.softmc.session import TEMPERATURE_TOLERANCE_C
+
+        session = SoftMCSession(module_a, chamber=MinimalChamber())
+        reached = session.set_temperature(60.0)
+        assert abs(reached - 60.0) <= TEMPERATURE_TOLERANCE_C
+
+        class DriftingChamber:
+            def settle(self, target_c):
+                return target_c + 0.25  # outside the default band
+
+        drifting = SoftMCSession(module_a, chamber=DriftingChamber())
+        with pytest.raises(ThermalError):
+            drifting.set_temperature(60.0)
+
 
 class TestInstallPattern:
     def test_covers_physical_window(self, session, module_a, rowstripe):

@@ -13,6 +13,8 @@ ALL_ERRORS = [
     errors.ConfigError,
     errors.MappingError,
     errors.DefenseError,
+    errors.SubstrateFault,
+    errors.RetryExhaustedError,
 ]
 
 
@@ -37,3 +39,33 @@ def test_catching_base_catches_all():
     for exc in ALL_ERRORS:
         with pytest.raises(errors.ReproError):
             raise exc("boom")
+
+
+def test_substrate_fault_carries_details():
+    fault = errors.SubstrateFault("chamber hung", site="thermal.settle",
+                                  kind="timeout", unit="temperature/A0/50.0")
+    assert fault.site == "thermal.settle"
+    assert fault.kind == "timeout"
+    assert fault.unit == "temperature/A0/50.0"
+    assert "chamber hung" in str(fault)
+
+
+def test_substrate_fault_defaults_are_empty():
+    fault = errors.SubstrateFault("boom")
+    assert fault.site == "" and fault.kind == "" and fault.unit == ""
+
+
+def test_retry_exhausted_carries_details():
+    cause = errors.SubstrateFault("session reset", site="softmc.session",
+                                  kind="reset")
+    exhausted = errors.RetryExhaustedError(
+        "gave up", unit="temperature/B0/60.0", attempts=3, last_cause=cause)
+    assert exhausted.unit == "temperature/B0/60.0"
+    assert exhausted.attempts == 3
+    assert exhausted.last_cause is cause
+    assert "gave up" in str(exhausted)
+
+
+def test_retry_exhausted_last_cause_optional():
+    exhausted = errors.RetryExhaustedError("deadline", unit="u", attempts=1)
+    assert exhausted.last_cause is None
