@@ -62,3 +62,95 @@ def test_population_generation_throughput(benchmark, bench_config):
 
     counts = benchmark(run)
     assert len(counts) == 16
+
+
+# ----------------------------------------------------------------------
+# Batched-oracle sweeps: the pointwise/grid pairs below time the same
+# physical sweep through both paths.  The sweep is the paper's sensitivity
+# grid — every temperature x tAggOn combination — per victim row; the grid
+# benches assert bit-for-bit agreement with a pointwise reference, so the
+# speedup they report is for identical results.  ``tools/bench_compare.py``
+# reads the recorded means from ``BENCH_throughput.json`` and fails on
+# >20% regressions.
+# ----------------------------------------------------------------------
+
+SWEEP_TEMPS = tuple(float(t) for t in range(50, 95, 5))
+SWEEP_T_ON = (None, 52.5, 105.0, 154.5)
+
+
+def _sweep_tester(module_id, seed, pattern_name, n_rows):
+    from repro.faultmodel.batch import OraclePoint
+
+    module = spec_by_id(module_id).instantiate(seed=seed)
+    tester = HammerTester(module)
+    pattern = pattern_by_name(pattern_name)
+    rows = standard_row_sample(module.geometry, n_rows)
+    points = [OraclePoint(t, t_on, None)
+              for t in SWEEP_TEMPS for t_on in SWEEP_T_ON]
+    return tester, pattern, rows, points
+
+
+def _pointwise_hcfirst_sweep(tester, pattern, rows, points):
+    return [
+        [tester.hcfirst(0, row, pattern, temperature_c=p.temperature_c,
+                        t_on_ns=p.t_on_ns)
+         for p in points]
+        for row in rows
+    ]
+
+
+def _pointwise_ber_sweep(tester, pattern, rows, points):
+    return [
+        [tester.ber_test(0, row, pattern, temperature_c=p.temperature_c,
+                         t_on_ns=p.t_on_ns).count(0)
+         for p in points]
+        for row in rows
+    ]
+
+
+def test_hcfirst_sensitivity_sweep_pointwise(benchmark, bench_config):
+    """Per-point HCfirst the pre-batching way: one call per grid point."""
+    tester, pattern, rows, points = _sweep_tester("A0", bench_config.seed,
+                                                  "rowstripe", 8)
+    _pointwise_hcfirst_sweep(tester, pattern, rows[:1], points)  # warm-up
+
+    result = benchmark(_pointwise_hcfirst_sweep, tester, pattern, rows,
+                       points)
+    assert len(result) == len(rows)
+
+
+def test_hcfirst_sensitivity_sweep_grid(benchmark, bench_config):
+    """The same sweep through ``hcfirst_grid`` (one matrix per row)."""
+    tester, pattern, rows, points = _sweep_tester("A0", bench_config.seed,
+                                                  "rowstripe", 8)
+    reference = _pointwise_hcfirst_sweep(tester, pattern, rows, points)
+
+    result = benchmark(lambda: [
+        tester.hcfirst_grid(0, row, pattern, points) for row in rows
+    ])
+    assert result == reference
+    record_report("throughput_sweep",
+                  "pointwise-vs-grid sensitivity sweeps cover "
+                  f"{len(rows)} rows x {len(points)} (temperature, tAggOn) "
+                  "points; grid results asserted bit-identical to pointwise")
+
+
+def test_ber_sensitivity_sweep_pointwise(benchmark, bench_config):
+    tester, pattern, rows, points = _sweep_tester("B0", bench_config.seed,
+                                                  "checkered", 8)
+    _pointwise_ber_sweep(tester, pattern, rows[:1], points)  # warm-up
+
+    result = benchmark(_pointwise_ber_sweep, tester, pattern, rows, points)
+    assert len(result) == len(rows)
+
+
+def test_ber_sensitivity_sweep_grid(benchmark, bench_config):
+    tester, pattern, rows, points = _sweep_tester("B0", bench_config.seed,
+                                                  "checkered", 8)
+    reference = _pointwise_ber_sweep(tester, pattern, rows, points)
+
+    result = benchmark(lambda: [
+        [ber.count(0) for ber in tester.ber_grid(0, row, pattern, points)]
+        for row in rows
+    ])
+    assert result == reference

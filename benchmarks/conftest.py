@@ -10,6 +10,8 @@ them) as well as written to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
 from typing import Dict, List, Tuple
 
@@ -34,6 +36,10 @@ BENCH_CONFIG = StudyConfig(
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable benchmark history; ``tools/bench_compare.py`` fails
+#: the build when the latest run regresses >20% against the previous one.
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_throughput.json"
 
 _REPORTS: List[Tuple[str, str]] = []
 
@@ -65,7 +71,49 @@ def spatial_result():
     return SpatialStudy(BENCH_CONFIG).run()
 
 
+def _grid_speedups(results: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """mean(pointwise)/mean(grid) for each ``*_pointwise``/``*_grid`` pair."""
+    speedups = {}
+    for name, stats in results.items():
+        if not name.endswith("_pointwise"):
+            continue
+        partner = name[: -len("_pointwise")] + "_grid"
+        if partner in results and results[partner]["mean_s"] > 0.0:
+            stem = name[len("test_"):-len("_pointwise")]
+            speedups[stem] = round(
+                stats["mean_s"] / results[partner]["mean_s"], 2)
+    return speedups
+
+
+def _persist_benchmark_run(config) -> None:
+    session = getattr(config, "_benchmarksession", None)
+    if session is None or not session.benchmarks:
+        return
+    results = {
+        bench.name: {
+            "mean_s": bench.stats.mean,
+            "min_s": bench.stats.min,
+            "stddev_s": bench.stats.stddev,
+            "rounds": bench.stats.rounds,
+        }
+        for bench in session.benchmarks
+    }
+    history = {"runs": []}
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            pass
+    history.setdefault("runs", []).append({
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "results": results,
+        "speedups": _grid_speedups(results),
+    })
+    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    _persist_benchmark_run(config)
     if not _REPORTS:
         return
     terminalreporter.section("reproduced tables and figures")

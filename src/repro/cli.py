@@ -134,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "study seed)")
     campaign.add_argument("--max-attempts", type=int, default=3,
                           help="retry budget per unit of work")
+    campaign.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="run modules in N worker processes; results "
+                               "and checkpoints are byte-identical to a "
+                               "serial run (default: 1)")
     campaign.add_argument("--save-json", metavar="FILE", default=None,
                           help="also dump the merged study result as JSON")
     return parser
@@ -156,7 +160,8 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         fault_plan=fault_plan,
-        retry=RetryPolicy(max_attempts=args.max_attempts))
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        workers=args.workers)
     outcome = runner.run(args.study)
     print(outcome.degradation_report())
     if args.save_json:

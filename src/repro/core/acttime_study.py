@@ -18,6 +18,7 @@ from repro.core.config import ACTTIME_TEMPERATURE_C, StudyConfig
 from repro.core.studybase import ModuleRun, PointwiseStudy
 from repro.dram.catalog import MANUFACTURERS, ModuleSpec
 from repro.errors import ConfigError
+from repro.faultmodel.batch import OraclePoint
 from repro.testing.hammer import HammerTester
 from repro.testing.patterns import find_worst_case_pattern
 from repro.testing.rows import standard_row_sample
@@ -180,23 +181,50 @@ class ActiveTimeStudy(PointwiseStudy):
         return ModuleRun(spec=spec, module=module, tester=tester, rows=rows,
                          wcdp=wcdp, result=result)
 
+    def _sweep_points(self) -> List[OraclePoint]:
+        """The whole timing grid as oracle points at the study temperature."""
+        return [
+            OraclePoint(self.temperature_c, value, None) if axis == "on"
+            else OraclePoint(self.temperature_c, None, value)
+            for axis, value in self.points()
+        ]
+
+    def _module_grids(self, run: ModuleRun):
+        """Whole-grid BER and HCfirst results, computed once per module.
+
+        The timing grid shares a single temperature, so the batched oracle
+        collapses all per-temperature work (threshold matrices, stored-bit
+        masks) to one column and sweeps only the cheap kinetics vector.
+        """
+        grids = run.cache.get("acttime")
+        if grids is None:
+            sweep = self._sweep_points()
+            grids = {
+                row: (run.tester.ber_grid(
+                          0, row, run.wcdp, sweep,
+                          hammer_count=self.config.ber_hammer_count),
+                      run.tester.hcfirst_grid(0, row, run.wcdp, sweep))
+                for row in run.rows
+            }
+            run.cache["acttime"] = grids
+        return grids
+
     def run_point(self, run: ModuleRun, point: Tuple[str, float]) -> None:
         axis, value = point
-        kwargs = {"t_on_ns": value} if axis == "on" else {"t_off_ns": value}
-        config, tester, result = self.config, run.tester, run.result
+        index = self.points().index(point)
+        result = run.result
         rows = run.rows
+        grids = self._module_grids(run)
         chip_totals = np.zeros(run.module.geometry.chips)
         row_counts = np.zeros(len(rows))
         hcfirsts = np.full(len(rows), np.inf)
         for i, row in enumerate(rows):
-            ber = tester.ber_test(0, row, run.wcdp,
-                                  hammer_count=config.ber_hammer_count,
-                                  temperature_c=self.temperature_c, **kwargs)
+            ber_points, hc_points = grids[row]
+            ber = ber_points[index]
             row_counts[i] = ber.count(0)
             for cell in ber.victim_flips:
                 chip_totals[cell.chip] += 1
-            hc = tester.hcfirst(0, row, run.wcdp,
-                                temperature_c=self.temperature_c, **kwargs)
+            hc = hc_points[index]
             if hc is not None:
                 hcfirsts[i] = hc
         result.chip_ber[(axis, value)] = chip_totals / len(rows)

@@ -20,6 +20,7 @@ from repro.core.config import SPATIAL_TEMPERATURE_C, StudyConfig, subarray_row_s
 from repro.core.studybase import ModuleRun, PointwiseStudy
 from repro.dram.catalog import MANUFACTURERS, ModuleSpec
 from repro.errors import ConfigError
+from repro.faultmodel.batch import OraclePoint
 from repro.testing.hammer import HammerTester
 from repro.testing.patterns import find_worst_case_pattern
 from repro.testing.rows import standard_row_sample
@@ -239,11 +240,15 @@ class SpatialStudy(PointwiseStudy):
     def run_point(self, run: ModuleRun, point: str) -> None:
         config, tester, result = self.config, run.tester, run.result
         if point == "rows":
-            # Fig. 11: per-row HCfirst, minimum across repetitions.
+            # Fig. 11: per-row HCfirst, minimum across repetitions.  The
+            # spatial phases are single points, so the grid calls carry a
+            # one-element sweep: they still route through the batched
+            # oracle's shared threshold matrices.
+            study_point = [OraclePoint(self.temperature_c)]
             for row in run.rows:
-                result.hcfirst_by_row[row] = tester.hcfirst_min(
-                    0, row, run.wcdp, temperature_c=self.temperature_c,
-                    repetitions=config.hcfirst_repetitions)
+                result.hcfirst_by_row[row] = tester.hcfirst_min_grid(
+                    0, row, run.wcdp, study_point,
+                    repetitions=config.hcfirst_repetitions)[0]
         elif point == "columns":
             # Figs. 12-13: the column campaign.  Per-chip per-column counts
             # need dense statistics (the paper pools 24 K rows), so this
@@ -257,11 +262,11 @@ class SpatialStudy(PointwiseStudy):
             sample = subarray_row_sample(
                 run.module.geometry, config.subarrays_to_sample,
                 config.rows_per_subarray, config.seed)
+            study_point = [OraclePoint(self.temperature_c)]
             for subarray, sa_rows in sample.items():
                 values = np.full(len(sa_rows), np.inf)
                 for i, row in enumerate(sa_rows):
-                    hc = tester.hcfirst(0, row, run.wcdp,
-                                        temperature_c=self.temperature_c)
+                    hc = tester.hcfirst_grid(0, row, run.wcdp, study_point)[0]
                     if hc is not None:
                         values[i] = hc
                 result.subarray_hcfirst[subarray] = values
@@ -281,11 +286,11 @@ class SpatialStudy(PointwiseStudy):
         rows = standard_row_sample(geometry, config.column_rows // 3,
                                    stride=stride // 3 or 1)
         counts = np.zeros((geometry.chips, geometry.cols_per_row))
+        study_point = [OraclePoint(self.temperature_c, config.column_t_on_ns,
+                                   None)]
         for row in rows:
-            ber = tester.ber_test(0, row, wcdp,
-                                  hammer_count=config.ber_hammer_count,
-                                  temperature_c=self.temperature_c,
-                                  t_on_ns=config.column_t_on_ns)
+            ber = tester.ber_grid(0, row, wcdp, study_point,
+                                  hammer_count=config.ber_hammer_count)[0]
             for flips in ber.flips_by_distance.values():
                 for cell in flips:
                     counts[cell.chip, cell.col] += 1

@@ -17,8 +17,8 @@ structurally from the seed, never from call order).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Hashable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from repro.core.config import StudyConfig
 from repro.dram.catalog import ModuleSpec
@@ -30,7 +30,13 @@ PointId = Hashable
 
 @dataclass
 class ModuleRun:
-    """In-flight per-module state shared by prepare/point/finalize."""
+    """In-flight per-module state shared by prepare/point/finalize.
+
+    ``cache`` holds batched grid results shared across this module's
+    points (the whole sweep is computed on first touch, then each point
+    reads its slice).  It never outlives the module: retried points see
+    the same deterministic values, and finalization drops it.
+    """
 
     spec: ModuleSpec
     module: Any
@@ -38,6 +44,7 @@ class ModuleRun:
     rows: List[int]
     wcdp: Any
     result: Any
+    cache: Dict[str, Any] = field(default_factory=dict)
 
 
 class PointwiseStudy:
@@ -65,6 +72,7 @@ class PointwiseStudy:
 
     def finalize_module(self, run: ModuleRun):
         """Release per-module caches and return the finished result."""
+        run.cache.clear()
         run.module.fault_model.population.clear_cache()
         return run.result
 

@@ -24,6 +24,7 @@ from repro.core.config import StudyConfig
 from repro.core.studybase import ModuleRun, PointwiseStudy
 from repro.dram.catalog import MANUFACTURERS, ModuleSpec
 from repro.errors import ConfigError
+from repro.faultmodel.batch import temperature_sweep
 from repro.testing.hammer import HammerTester
 from repro.testing.patterns import find_worst_case_pattern
 from repro.testing.rows import standard_row_sample
@@ -192,21 +193,42 @@ class TemperatureStudy(PointwiseStudy):
         return ModuleRun(spec=spec, module=module, tester=tester, rows=rows,
                          wcdp=wcdp, result=result)
 
+    def _module_grids(self, run: ModuleRun):
+        """Whole-sweep BER and HCfirst grids, computed once per module.
+
+        Per-point work then reduces to slicing, so the per-row cell arrays
+        and pattern masks are built once for the entire temperature sweep
+        instead of once per tested temperature.
+        """
+        grids = run.cache.get("temperature")
+        if grids is None:
+            sweep = temperature_sweep(self.points())
+            grids = {
+                row: (run.tester.ber_grid(
+                          0, row, run.wcdp, sweep,
+                          hammer_count=self.config.ber_hammer_count),
+                      run.tester.hcfirst_grid(0, row, run.wcdp, sweep))
+                for row in run.rows
+            }
+            run.cache["temperature"] = grids
+        return grids
+
     def run_point(self, run: ModuleRun, point: float) -> None:
         temp = float(point)
-        config, tester, result = self.config, run.tester, run.result
+        index = self.points().index(temp)
+        tester, result = run.tester, run.result
+        grids = self._module_grids(run)
         counts: Dict[int, List[int]] = {d: [] for d in tester.observe_distances}
         cells: Set[CellId] = set()
         hcfirsts: Dict[int, Optional[int]] = {}
         for row in run.rows:
-            ber = tester.ber_test(0, row, run.wcdp,
-                                  hammer_count=config.ber_hammer_count,
-                                  temperature_c=temp)
+            ber_points, hc_points = grids[row]
+            ber = ber_points[index]
             for distance in tester.observe_distances:
                 counts[distance].append(ber.count(distance))
             for cell in ber.victim_flips:
                 cells.add((cell.row, cell.chip, cell.col, cell.bit))
-            hcfirsts[row] = tester.hcfirst(0, row, run.wcdp, temperature_c=temp)
+            hcfirsts[row] = hc_points[index]
         result.ber_counts[temp] = {
             d: np.asarray(v, dtype=float) for d, v in counts.items()}
         result.flip_cells[temp] = cells

@@ -23,10 +23,69 @@ exposed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro import rng as rng_mod
 from repro.errors import ConfigError
+
+# ----------------------------------------------------------------------
+# Vectorized random fills
+#
+# Random-pattern bytes must be a pure function of (data seed, pattern
+# label, row, col, chip): the command path asks for one cell at a time
+# while the batched oracle asks for a whole row's cells at once, and both
+# must see the same device data.  A per-cell BLAKE2b + Philox derivation
+# is far too slow for the vectorized path, so random fills use a
+# SplitMix64-style integer hash evaluated elementwise over uint64 arrays
+# (numpy wraps silently on uint64 overflow, which is exactly the
+# modular arithmetic the mixer needs).  Only the 64-bit fill *key* still
+# goes through the seed tree, once per (seed, label).
+# ----------------------------------------------------------------------
+_MASK64 = (1 << 64) - 1
+_SALT_ROW = 0x9E3779B97F4A7C15
+_SALT_COL = 0xC2B2AE3D27D4EB4F
+_SALT_CHIP = 0x165667B19E3779F9
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+
+_FILL_KEYS: Dict[Tuple[int, str], int] = {}
+
+
+def _fill_key(seed: int, label: str) -> int:
+    """64-bit key of one (data seed, pattern label) random fill."""
+    key = _FILL_KEYS.get((seed, label))
+    if key is None:
+        key = rng_mod.seed_from_path(seed, "pattern-fill", label) & _MASK64
+        _FILL_KEYS[(seed, label)] = key
+    return key
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer, elementwise over a uint64 array (in place)."""
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(_MIX_1)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX_2)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def random_fill_bytes(label: str, seed, rows, cols, chips) -> np.ndarray:
+    """Random fill bytes for (broadcast) cell coordinate arrays.
+
+    Returns a uint8 array of the broadcast shape of ``rows``/``cols``/
+    ``chips``.  Deterministic in (seed, label, row, col, chip) only.
+    """
+    rows = np.atleast_1d(np.asarray(rows, dtype=np.uint64))
+    cols = np.atleast_1d(np.asarray(cols, dtype=np.uint64))
+    chips = np.atleast_1d(np.asarray(chips, dtype=np.uint64))
+    x = (rows * np.uint64(_SALT_ROW)
+         ^ cols * np.uint64(_SALT_COL)
+         ^ chips * np.uint64(_SALT_CHIP)
+         ^ np.uint64(_fill_key(int(seed), label)))
+    return (_mix64(_mix64(x)) & np.uint64(0xFF)).astype(np.uint8)
 
 
 @dataclass(frozen=True)
@@ -63,8 +122,8 @@ class DataPattern:
                  chip: int = 0, seed: int = 0) -> int:
         """Byte stored at ``(row, col, chip)`` when hammering victim ``victim_row``."""
         if self.is_random:
-            gen = rng_mod.derive(seed, "pattern", self.random_seed_label, row, col, chip)
-            return int(gen.integers(0, 256))
+            return int(random_fill_bytes(self.random_seed_label, seed,
+                                         row, col, chip)[0])
         distance = abs(row - victim_row)
         return self.even_byte if distance % 2 == 0 else self.odd_byte
 
@@ -73,6 +132,23 @@ class DataPattern:
         """Bit value held by cell ``(row, col, chip, bit)`` under this pattern."""
         byte = self.byte_for(row, victim_row, col, chip, seed)
         return (byte >> (bit & 7)) & 1
+
+    def bits_for_cells(self, row: int, victim_row: int, cols, chips, bits,
+                       seed: int = 0) -> np.ndarray:
+        """Vectorized :meth:`bit_for` over parallel per-cell coordinate arrays.
+
+        ``cols``/``chips``/``bits`` are equal-length arrays describing the
+        cells of one row; returns an int8 array of their stored bits.
+        Element ``i`` equals ``bit_for(row, victim_row, cols[i], chips[i],
+        bits[i], seed)`` exactly.
+        """
+        shifts = np.atleast_1d(np.asarray(bits)).astype(np.int32) & 7
+        if self.is_random:
+            fill = random_fill_bytes(self.random_seed_label, seed,
+                                     row, cols, chips)
+            return ((fill.astype(np.int32) >> shifts) & 1).astype(np.int8)
+        byte = self.byte_for(row, victim_row)
+        return ((np.int32(byte) >> shifts) & 1).astype(np.int8)
 
     def complemented(self) -> "DataPattern":
         """Bitwise complement of this pattern (random complements itself)."""
@@ -110,6 +186,10 @@ PATTERNS: Tuple[DataPattern, ...] = (
 PATTERN_NAMES = tuple(p.name for p in PATTERNS)
 _BY_NAME = {p.name: p for p in PATTERNS}
 
+#: Precomputed name -> index map; per-cell sensitivity lookups are on the
+#: oracle's innermost loop, so the index must not be a linear scan.
+PATTERN_INDEX: Dict[str, int] = {p.name: i for i, p in enumerate(PATTERNS)}
+
 
 def pattern_by_name(name: str) -> DataPattern:
     """Look up one of the seven canonical patterns by name."""
@@ -124,6 +204,6 @@ def pattern_by_name(name: str) -> DataPattern:
 def pattern_index(name: str) -> int:
     """Stable index of a canonical pattern (used by per-cell sensitivities)."""
     try:
-        return PATTERN_NAMES.index(name)
-    except ValueError:
+        return PATTERN_INDEX[name]
+    except KeyError:
         raise ConfigError(f"unknown data pattern {name!r}") from None

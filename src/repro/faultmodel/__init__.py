@@ -17,6 +17,12 @@ from repro.faultmodel.profiles import MfrProfile, PROFILES, profile_for
 from repro.faultmodel.kinetics import DisturbanceKinetics
 from repro.faultmodel.population import RowCells, CellPopulation
 from repro.faultmodel.model import RowHammerFaultModel
+from repro.faultmodel.batch import (
+    BatchOracle,
+    OraclePoint,
+    temperature_sweep,
+    timing_sweep,
+)
 
 __all__ = [
     "MfrProfile",
@@ -26,4 +32,8 @@ __all__ = [
     "RowCells",
     "CellPopulation",
     "RowHammerFaultModel",
+    "BatchOracle",
+    "OraclePoint",
+    "temperature_sweep",
+    "timing_sweep",
 ]

@@ -20,7 +20,10 @@ hammer units.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from functools import lru_cache
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigError
 
@@ -43,6 +46,23 @@ DISTANCE_WEIGHTS: Dict[int, float] = {
 def distance_weight(distance: int) -> float:
     """Damage weight of one activation on a row ``|distance|`` rows away."""
     return DISTANCE_WEIGHTS.get(abs(distance), 0.0)
+
+
+@lru_cache(maxsize=4096)
+def _cached_hammer_units(kinetics: "DisturbanceKinetics",
+                         distances: Tuple[int, ...],
+                         t_agg_on_ns: float, t_agg_off_ns: float) -> float:
+    """Memoized per-hammer damage for one (distances, timing) key.
+
+    ``DisturbanceKinetics`` is a frozen dataclass, so it hashes by value
+    and the cache survives across testers sharing one parameter set.  The
+    sum runs in the caller's aggressor order, matching the uncached
+    :meth:`DisturbanceKinetics.hammer_units` term by term.
+    """
+    return sum(
+        kinetics.activation_damage(distance, t_agg_on_ns, t_agg_off_ns)
+        for distance in distances
+    )
 
 
 @dataclass(frozen=True)
@@ -109,3 +129,24 @@ class DisturbanceKinetics:
             self.activation_damage(victim_row - aggressor, t_agg_on_ns, t_agg_off_ns)
             for aggressor in aggressor_rows
         )
+
+    def hammer_units_grid(self, victim_row: int,
+                          aggressor_rows: Sequence[int],
+                          t_agg_on_ns: Sequence[float],
+                          t_agg_off_ns: Sequence[float]) -> "np.ndarray":
+        """Per-point damage units over paired timing grids, as a vector.
+
+        Element ``j`` equals ``hammer_units(victim_row, aggressor_rows,
+        t_agg_on_ns[j], t_agg_off_ns[j])`` exactly: each distinct timing is
+        evaluated through the same scalar ``pow`` calls the pointwise
+        oracle makes (bit-for-bit equality matters more here than
+        vectorizing a tiny loop).  Repeated timings — every point of a
+        temperature sweep shares one — are computed once and reused.
+        """
+        distances = tuple(victim_row - aggressor
+                          for aggressor in aggressor_rows)
+        out = np.empty(len(t_agg_on_ns), dtype=float)
+        for j, (on, off) in enumerate(zip(t_agg_on_ns, t_agg_off_ns)):
+            out[j] = _cached_hammer_units(self, distances, float(on),
+                                          float(off))
+        return out

@@ -14,12 +14,14 @@ value, and its per-data-pattern sensitivity.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.dram.data import DataPattern, PATTERNS
+from repro.dram.data import DataPattern, PATTERNS, pattern_index
+from repro.errors import ConfigError
 from repro.dram.geometry import Geometry
 from repro.faultmodel import temperature as temp_mod
 from repro.faultmodel import variation
@@ -79,21 +81,14 @@ class RowCells:
         cached = self._stored_bit_cache.get(key)
         if cached is not None:
             return cached
-        if pattern.is_random:
-            bits = np.fromiter(
-                (pattern.bit_for(self.row, victim_row, int(c), int(ch), int(b), seed)
-                 for c, ch, b in zip(self.col, self.chip, self.bit)),
-                dtype=np.int8, count=len(self))
-        else:
-            byte = pattern.byte_for(self.row, victim_row)
-            bits = ((np.int32(byte) >> self.bit.astype(np.int32)) & 1).astype(np.int8)
+        bits = pattern.bits_for_cells(self.row, victim_row, self.col,
+                                      self.chip, self.bit, seed)
         self._stored_bit_cache[key] = bits
         return bits
 
     def pattern_factor(self, pattern: DataPattern) -> np.ndarray:
         """Per-cell damage multiplier under ``pattern``."""
-        index = next(i for i, p in enumerate(PATTERNS) if p.name == pattern.name)
-        return self.pattern_factors[:, index]
+        return self.pattern_factors[:, pattern_index(pattern.name)]
 
     # ------------------------------------------------------------------
     def thresholds(self, temperature_c: float, pattern: DataPattern,
@@ -117,20 +112,31 @@ class RowCells:
         return out
 
 
+#: Default bound on the per-row cell cache.  Long sweeps (the column
+#: campaign alone touches thousands of rows) previously needed manual
+#: ``clear_cache()`` calls to bound memory; the LRU makes that automatic
+#: while keeping every hot row resident.
+DEFAULT_ROW_CACHE_ROWS = 4096
+
+
 class CellPopulation:
-    """Deterministic generator and cache of per-row vulnerable cells."""
+    """Deterministic generator and LRU cache of per-row vulnerable cells."""
 
     def __init__(self, profile: MfrProfile, geometry: Geometry,
-                 tree: SeedSequenceTree) -> None:
+                 tree: SeedSequenceTree,
+                 row_cache_rows: int = DEFAULT_ROW_CACHE_ROWS) -> None:
+        if row_cache_rows < 1:
+            raise ConfigError("row_cache_rows must be >= 1")
         self.profile = profile
         self.geometry = geometry
         self.tree = tree
+        self.row_cache_rows = int(row_cache_rows)
         self._module_factor = variation.module_factor(tree, profile)
         self._base_constant = variation.base_constant(profile)
         self._column_weights = variation.column_weight_field(tree, profile, geometry)
         self._flat_weights = self._column_weights.ravel()
         self._subarray_cache: Dict[Tuple[int, int], float] = {}
-        self._row_cache: Dict[Tuple[int, int], RowCells] = {}
+        self._row_cache: "OrderedDict[Tuple[int, int], RowCells]" = OrderedDict()
 
     # ------------------------------------------------------------------
     @property
@@ -150,18 +156,26 @@ class CellPopulation:
         return self._subarray_cache[key]
 
     def clear_cache(self) -> None:
-        """Drop cached rows (used by long sweeps to bound memory)."""
+        """Drop every generation cache (rows *and* subarray factors).
+
+        Purely a memory knob: regeneration is deterministic from the seed
+        tree, so dropped entries come back identical on next touch.
+        """
         self._row_cache.clear()
+        self._subarray_cache.clear()
 
     # ------------------------------------------------------------------
     def cells_for(self, bank: int, row: int) -> RowCells:
-        """The vulnerable cells of physical ``row`` in ``bank`` (cached)."""
+        """The vulnerable cells of physical ``row`` in ``bank`` (LRU-cached)."""
         key = (bank, row)
         cached = self._row_cache.get(key)
         if cached is not None:
+            self._row_cache.move_to_end(key)
             return cached
         cells = self._generate(bank, row)
         self._row_cache[key] = cells
+        if len(self._row_cache) > self.row_cache_rows:
+            self._row_cache.popitem(last=False)
         return cells
 
     def _generate(self, bank: int, row: int) -> RowCells:

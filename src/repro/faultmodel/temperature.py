@@ -76,3 +76,21 @@ def active_mask(t_lo: np.ndarray, t_hi: np.ndarray, gap: np.ndarray,
     gap_filled = np.nan_to_num(gap, nan=np.inf)
     gap_hit = np.abs(gap_filled - temperature_c) < (PAPER_TEMP_STEP_C / 2.0)
     return mask & ~gap_hit
+
+
+def active_mask_grid(t_lo: np.ndarray, t_hi: np.ndarray, gap: np.ndarray,
+                     temperatures_c) -> np.ndarray:
+    """``(cells, temperatures)`` boolean activity matrix.
+
+    Column ``j`` is bit-identical to
+    ``active_mask(t_lo, t_hi, gap, temperatures_c[j])`` — comparisons and
+    the subtraction are exactly-rounded elementwise operations, so the
+    batched layout cannot change any outcome.  Gapless cells carry NaN and
+    every comparison against NaN is False, exactly like the pointwise
+    path's NaN-to-inf substitution (gap values are always finite or NaN).
+    """
+    temps = np.asarray(temperatures_c, dtype=float)
+    mask = (t_lo[:, None] <= temps[None, :]) & (temps[None, :] <= t_hi[:, None])
+    gap_hit = (np.abs(gap[:, None] - temps[None, :])
+               < (PAPER_TEMP_STEP_C / 2.0))
+    return mask & ~gap_hit

@@ -135,3 +135,21 @@ def temperature_log_shift(s: float, q: float, z: float, walk_sd: float,
     sign = 1.0 if dt > 0 else -1.0
     walk = walk_sd * z * (magnitude / 5.0) ** 0.25 * sign
     return s * dt + q * dt * dt + walk
+
+
+def temperature_log_shift_grid(s: float, q: float, z: float, walk_sd: float,
+                               temperatures_c,
+                               reference_c: float = 50.0) -> np.ndarray:
+    """``g(T)`` over a whole temperature grid, as a float64 vector.
+
+    Evaluates the scalar response point-by-point instead of with array
+    transcendentals: the batched oracle promises bit-for-bit equality
+    with the pointwise path, and libm ``pow`` is only guaranteed to round
+    identically when invoked the same way on the same scalar.  The grid
+    has at most a few dozen points, so this costs nothing next to the
+    per-cell work it amortizes.
+    """
+    return np.array([
+        temperature_log_shift(s, q, z, walk_sd, float(t), reference_c)
+        for t in temperatures_c
+    ], dtype=float)

@@ -14,7 +14,13 @@ run on real hardware needs:
   merged result is bit-identical to an uninterrupted run with the same
   seed;
 * optional **fault injection** (:mod:`repro.faults`) at the unit-of-work
-  boundary, for testing exactly this machinery.
+  boundary, for testing exactly this machinery;
+* **process-based parallelism** across modules (``workers > 1``): each
+  worker runs one module's full unit sequence in its own process and
+  ships back the module's serialized payload, which the parent merges in
+  spec order.  Modules are mutually independent and every unit draws its
+  randomness structurally from the seed, so the merged result — and every
+  checkpoint file — is byte-identical to a serial run.
 
 Because every study draws its randomness structurally from the
 configuration seed, retried and resumed units converge to exactly the
@@ -23,13 +29,14 @@ values an undisturbed run produces — resilience never changes the science.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import StudyConfig
 from repro.dram.catalog import ModuleSpec
-from repro.errors import RetryExhaustedError, SubstrateFault
-from repro.faults.plan import FaultPlan
+from repro.errors import ConfigError, RetryExhaustedError, SubstrateFault
+from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
 from repro.rng import SeedSequenceTree
 from repro.runner.adapters import StudyAdapter, adapter_for
 from repro.runner.checkpoint import CheckpointStore, PathLike
@@ -114,13 +121,17 @@ class CampaignRunner:
                  resume: bool = False,
                  fault_plan: Optional[FaultPlan] = None,
                  retry: Optional[RetryPolicy] = None,
-                 clock=None) -> None:
+                 clock=None,
+                 workers: int = 1) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
         self.config = config
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
         self.fault_plan = fault_plan
         self.retry = retry if retry is not None else RetryPolicy()
         self.clock = clock if clock is not None else VirtualClock()
+        self.workers = int(workers)
         # Jitter streams are derived from the config seed, one per unit id,
         # so the retry schedule is reproducible and order-independent.
         self._tree = SeedSequenceTree(config.seed, "campaign")
@@ -137,6 +148,8 @@ class CampaignRunner:
         specs = list(specs) if specs is not None \
             else self.config.module_specs()
         stats = CampaignStats(modules_requested=len(specs))
+        if self.workers > 1:
+            return self._run_parallel(adapter, study, specs, store, stats)
         modules: List[object] = []
         quarantined: List[QuarantineRecord] = []
         for spec in specs:
@@ -157,6 +170,115 @@ class CampaignRunner:
             if store is not None:
                 store.save(module_id, adapter.to_dict(module_result))
         stats.backoff_slept_s = getattr(self.clock, "slept_s", 0.0)
+        return CampaignOutcome(study=study, config=self.config,
+                               result=adapter.make_result(modules),
+                               quarantined=quarantined, stats=stats,
+                               fault_plan=self.fault_plan)
+
+    # ------------------------------------------------------------------
+    # Parallel execution across modules
+    # ------------------------------------------------------------------
+    def _check_parallel_safe(self) -> None:
+        """Reject fault specs whose semantics depend on global call order.
+
+        ``after`` / ``max_fires`` count opportunities across the whole
+        campaign; with per-module worker processes each module sees its own
+        counters, which would silently change which units fault.  Pure
+        rate-based specs decide from ``(seed, site, kind, key)`` alone and
+        are order-independent, so they parallelize exactly.
+        """
+        if self.fault_plan is None:
+            return
+        for spec in self.fault_plan.specs:
+            if spec.after > 0 or spec.max_fires is not None:
+                raise ConfigError(
+                    "fault specs using 'after' or 'max_fires' count "
+                    "opportunities in campaign call order and are not "
+                    "reproducible with workers > 1; use rate-based specs "
+                    "or run serially")
+
+    def _run_parallel(self, adapter: StudyAdapter, study: str,
+                      specs: List[ModuleSpec],
+                      store: Optional[CheckpointStore],
+                      stats: CampaignStats) -> CampaignOutcome:
+        """Fan module runs out to worker processes; merge in spec order.
+
+        Workers never touch the checkpoint store — they return serialized
+        payloads and the parent persists them, so checkpoint files are
+        written exactly once and in a single process.
+        """
+        self._check_parallel_safe()
+        fault_seed = self.fault_plan.seed if self.fault_plan is not None \
+            else None
+        fault_specs = self.fault_plan.specs if self.fault_plan is not None \
+            else ()
+
+        resumed: Dict[str, object] = {}
+        pending: List[ModuleSpec] = []
+        for spec in specs:
+            if store is not None and store.has(spec.module_id):
+                resumed[spec.module_id] = adapter.from_dict(
+                    store.load(spec.module_id))
+                stats.modules_resumed += 1
+            else:
+                pending.append(spec)
+
+        reports: Dict[str, dict] = {}
+        first_error: Optional[BaseException] = None
+        if pending:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    (spec, pool.submit(_run_module_worker, _WorkerTask(
+                        study=study, config=self.config, spec=spec,
+                        retry=self.retry, fault_seed=fault_seed,
+                        fault_specs=fault_specs)))
+                    for spec in pending
+                ]
+                for spec, future in futures:
+                    try:
+                        reports[spec.module_id] = future.result()
+                    except BaseException as error:  # noqa: BLE001
+                        # Fatal faults (e.g. injected crashes) propagate
+                        # like in a serial run; keep draining so completed
+                        # modules still reach the checkpoint store first.
+                        if first_error is None:
+                            first_error = error
+
+        modules: List[object] = []
+        quarantined: List[QuarantineRecord] = []
+        worker_slept = 0.0
+        for spec in specs:
+            module_id = spec.module_id
+            if module_id in resumed:
+                modules.append(resumed[module_id])
+                continue
+            report = reports.get(module_id)
+            if report is None:
+                continue  # its worker crashed; first_error re-raised below
+            worker_stats = report["stats"]
+            stats.units_run += worker_stats.units_run
+            stats.units_retried += worker_stats.units_retried
+            worker_slept += report["slept_s"]
+            if self.fault_plan is not None:
+                for event in report["fault_events"]:
+                    self.fault_plan.log.record(FaultEvent(
+                        site=event["site"], kind=event["kind"],
+                        key=tuple(event["key"]),
+                        magnitude=event["magnitude"]))
+            if report["status"] == "quarantined":
+                quarantined.append(QuarantineRecord(
+                    module_id=module_id, unit=report["unit"],
+                    attempts=report["attempts"], cause=report["cause"]))
+                continue
+            payload = report["payload"]
+            modules.append(adapter.from_dict(payload))
+            stats.modules_completed += 1
+            if store is not None:
+                store.save(module_id, payload)
+        if first_error is not None:
+            raise first_error
+        stats.backoff_slept_s = (getattr(self.clock, "slept_s", 0.0)
+                                 + worker_slept)
         return CampaignOutcome(study=study, config=self.config,
                                result=adapter.make_result(modules),
                                quarantined=quarantined, stats=stats,
@@ -198,3 +320,45 @@ class CampaignRunner:
         return call_with_retry(attempt_once, unit=unit, policy=self.retry,
                                clock=self.clock,
                                gen=self._tree.generator("retry", unit))
+
+
+@dataclass(frozen=True)
+class _WorkerTask:
+    """Everything one worker process needs to run one module end-to-end."""
+
+    study: str
+    config: StudyConfig
+    spec: ModuleSpec
+    retry: RetryPolicy
+    fault_seed: Optional[int]
+    fault_specs: Tuple[FaultSpec, ...]
+
+
+def _run_module_worker(task: _WorkerTask) -> dict:
+    """Run one module's full unit sequence in a worker process.
+
+    Rebuilds the runner from the task (fresh virtual clock, fresh fault
+    plan from the same seed, same retry policy): unit ids, jitter streams
+    and fault decisions are derived structurally from the seeds, so the
+    module's result is identical to what the serial runner computes.
+    Returns a picklable report; quarantine travels as data rather than as
+    an exception so one bad module cannot poison the pool.
+    """
+    adapter = adapter_for(task.study, task.config)
+    plan = None
+    if task.fault_seed is not None:
+        plan = FaultPlan(seed=task.fault_seed, specs=task.fault_specs)
+    runner = CampaignRunner(task.config, fault_plan=plan, retry=task.retry)
+    stats = CampaignStats()
+    try:
+        result = runner._run_module(adapter, task.study, task.spec, stats)
+    except RetryExhaustedError as error:
+        report: dict = {"status": "quarantined", "unit": error.unit,
+                        "attempts": error.attempts,
+                        "cause": repr(error.last_cause)}
+    else:
+        report = {"status": "ok", "payload": adapter.to_dict(result)}
+    report["stats"] = stats
+    report["slept_s"] = getattr(runner.clock, "slept_s", 0.0)
+    report["fault_events"] = plan.log.to_dicts() if plan is not None else []
+    return report

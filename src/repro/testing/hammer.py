@@ -15,6 +15,7 @@ Two execution modes share the same fault-model math:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,8 @@ from repro.dram.data import DataPattern
 from repro.dram.module import DRAMModule
 from repro.dram.refresh import RetentionGuard
 from repro.errors import ConfigError
+from repro.faultmodel import batch as batch_mod
+from repro.faultmodel.batch import OraclePoint
 from repro.faultmodel.model import FlippedCell
 from repro.softmc.session import SoftMCSession
 from repro.testing import hcfirst as hcfirst_mod
@@ -75,6 +78,8 @@ class HammerTester:
             else RetentionGuard()
         self.observe_distances = tuple(observe_distances)
         self._session = SoftMCSession(module) if mode == "command" else None
+        self._batch_oracle: Optional[batch_mod.BatchOracle] = None
+        self._noise_cache: "OrderedDict" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Helpers
@@ -98,9 +103,36 @@ class HammerTester:
         return min(hcfirst_mod.MAX_HAMMERS,
                    self.guard.max_hammers(self.hammer_period_ns(t_on_ns, t_off_ns)))
 
+    #: Bound on the memoized trial-noise draw sequences (below).
+    NOISE_CACHE_ENTRIES = 1024
+
     def _trial_gen(self, bank: int, victim: int,
                    repetition: int) -> np.random.Generator:
         return self.module.tree.generator("trial", bank, victim, repetition)
+
+    def _trial_noise_draws(self, bank: int, victim: int, repetition: int,
+                           specs: Tuple[Tuple[float, int], ...]
+                           ) -> List[np.ndarray]:
+        """Sequential ``normal(0, sigma, n)`` draws from a fresh trial gen.
+
+        The draws are a pure function of the generator's seed path and the
+        ``(sigma, n)`` sequence, so they are memoized: studies revisit the
+        same ``(row, repetition)`` across patterns, hammer counts and
+        timing grids, and each revisit would otherwise pay a fresh Philox
+        construction plus the draws.  Callers must treat the returned
+        arrays as read-only (they are shared across hits).
+        """
+        key = (bank, victim, repetition, specs)
+        draws = self._noise_cache.get(key)
+        if draws is None:
+            gen = self._trial_gen(bank, victim, repetition)
+            draws = [gen.normal(0.0, sigma, size=n) for sigma, n in specs]
+            if len(self._noise_cache) >= self.NOISE_CACHE_ENTRIES:
+                self._noise_cache.popitem(last=False)
+            self._noise_cache[key] = draws
+        else:
+            self._noise_cache.move_to_end(key)
+        return draws
 
     def _set_temperature(self, temperature_c: Optional[float]) -> float:
         if temperature_c is not None:
@@ -116,6 +148,236 @@ class HammerTester:
             if 0 <= phys < self.module.geometry.rows_per_bank:
                 rows[distance] = phys
         return rows
+
+    # ------------------------------------------------------------------
+    # Batched grid evaluation
+    # ------------------------------------------------------------------
+    @property
+    def batch_oracle(self) -> batch_mod.BatchOracle:
+        """Grid view of this module's analytic oracle (oracle mode only)."""
+        if self._batch_oracle is None:
+            self._batch_oracle = batch_mod.BatchOracle(self.module.fault_model)
+        return self._batch_oracle
+
+    @staticmethod
+    def _sign_uniform(units: np.ndarray) -> bool:
+        """Whether hammer units are positive (or not) at *every* grid point.
+
+        The batched path draws trial noise once per observed row and reuses
+        it across grid points; that only reproduces the pointwise RNG
+        stream when the draw *happens* at every point or at none (the
+        pointwise oracle skips the draw for zero-unit points).  With the
+        standard double-sided geometry units are timing-independent in
+        sign, so this always holds; it is checked anyway so exotic
+        aggressor layouts fall back to the pointwise loop instead of
+        silently diverging.
+        """
+        return bool((units > 0.0).all() or (units <= 0.0).all())
+
+    def ber_grid(self, bank: int, victim_logical: int, pattern: DataPattern,
+                 points: Sequence[OraclePoint],
+                 hammer_count: int = BER_HAMMERS,
+                 repetition: int = 0) -> List[BERResult]:
+        """BER tests at every grid point in one batched oracle pass.
+
+        Element ``j`` is bit-for-bit identical to ``ber_test(...)`` at
+        ``points[j]`` — same flips, same order, same field values — but the
+        per-row cell arrays, stored-bit masks and pattern factors are built
+        once and reused across the whole grid.  Command mode falls back to
+        the pointwise loop (the command path is inherently per-point).
+        """
+        points = list(points)
+
+        def pointwise() -> List[BERResult]:
+            return [
+                self.ber_test(bank, victim_logical, pattern, hammer_count,
+                              p.temperature_c, p.t_on_ns, p.t_off_ns,
+                              repetition)
+                for p in points
+            ]
+
+        if self.mode != "oracle" or not points:
+            return pointwise()
+
+        model = self.module.fault_model
+        phys_victim = self.module.to_physical(victim_logical)
+        aggressors = (phys_victim - 1, phys_victim + 1)
+        observed = self.observed_physical_rows(victim_logical)
+
+        # Timing resolution is pure, so the per-row units vectors can be
+        # checked for draw alignment before any module state is touched;
+        # misaligned grids (never with the standard geometry) take the
+        # pointwise path from an unmodified module.
+        timings = [self._resolve_timing(p.t_on_ns, p.t_off_ns) for p in points]
+        # Resolve each distinct timing once; per-point unit vectors are
+        # exact gathers of the per-timing scalars.
+        seen: Dict[Tuple[float, float], int] = {}
+        timing_map = np.array([seen.setdefault(t, len(seen)) for t in timings])
+        unique_timings = list(seen)
+        units_by_distance = {
+            distance: model.kinetics.hammer_units_grid(
+                phys, aggressors, [on for on, _ in unique_timings],
+                [off for _, off in unique_timings])[timing_map]
+            for distance, phys in observed.items()
+        }
+        if not all(self._sign_uniform(u) for u in units_by_distance.values()):
+            return pointwise()
+
+        results: List[BERResult] = []
+        resolved: List[batch_mod.ResolvedPoint] = []
+        checked: set = set()
+        for point, (t_on, t_off) in zip(points, timings):
+            temperature = self._set_temperature(point.temperature_c)
+            if (t_on, t_off) not in checked:
+                # ``check`` is a pure function of the elapsed time, so one
+                # call per distinct timing raises at exactly the point the
+                # pointwise loop would (the timing's first occurrence).
+                self.guard.check(hammer_count * 2 * (t_on + t_off),
+                                 "BER test")
+                checked.add((t_on, t_off))
+            resolved.append((temperature, t_on, t_off))
+            results.append(BERResult(
+                victim_row=victim_logical, hammer_count=hammer_count,
+                temperature_c=temperature, pattern_name=pattern.name,
+                t_on_ns=t_on, t_off_ns=t_off))
+
+        # The (temperature column, timing) grouping is a property of the
+        # sweep alone, so it is computed once here and shared by every
+        # observed distance instead of re-derived inside the oracle.
+        deduped = batch_mod.dedupe_temperatures([t for t, _, _ in resolved])
+        groups = batch_mod.group_points(deduped[1], timing_map,
+                                        len(unique_timings))
+
+        oracle = self.batch_oracle
+        # One draw per observed row, shared by every point: each pointwise
+        # call starts a fresh generator from the same seed path, so its
+        # draws are identical across points.  The whole draw sequence is
+        # resolved up front so it can be served from the memoized cache.
+        row_cells = {distance: model.population.cells_for(bank, phys)
+                     for distance, phys in observed.items()}
+        draws_needed = {
+            distance: (len(row_cells[distance])
+                       and units_by_distance[distance][0] > 0.0
+                       and row_cells[distance].trial_sigma > 0.0)
+            for distance in observed
+        }
+        specs = tuple(
+            (row_cells[distance].trial_sigma, len(row_cells[distance]))
+            for distance in observed if draws_needed[distance])
+        draws = iter(self._trial_noise_draws(bank, victim_logical,
+                                             repetition, specs))
+        for distance, phys in observed.items():
+            units = units_by_distance[distance]
+            cells = row_cells[distance]
+            noise = next(draws) if draws_needed[distance] else None
+            _, _, flips = oracle.point_flip_matrix(
+                bank, phys, pattern, phys_victim, aggressors, resolved,
+                hammer_count, units=units, trial_noise=noise,
+                deduped=deduped, groups=groups)
+            # One record per flipping cell, built lazily and shared across
+            # the points that flip it: FlippedCell is a frozen value
+            # object, so the shared instances compare (and serialize)
+            # identically to the pointwise path's per-point constructions.
+            records: Dict[int, FlippedCell] = {}
+            per_point: List[List[FlippedCell]] = [[] for _ in results]
+            # Flat nonzero + divmod beats 2-D ``np.nonzero`` ~7x on these
+            # small bool matrices; the stable sort by point index then
+            # preserves ascending cell order within each point — the
+            # pointwise emission order.
+            cell_index, point_index = np.divmod(
+                np.flatnonzero(flips.ravel()), flips.shape[1])
+            order = np.argsort(point_index, kind="stable")
+            for j, i in zip(point_index[order].tolist(),
+                            cell_index[order].tolist()):
+                record = records.get(i)
+                if record is None:
+                    records[i] = record = FlippedCell(
+                        bank, phys, int(cells.chip[i]), int(cells.col[i]),
+                        int(cells.bit[i]))
+                per_point[j].append(record)
+            for j, result in enumerate(results):
+                result.flips_by_distance[distance] = per_point[j]
+        return results
+
+    def hcfirst_grid(self, bank: int, victim_logical: int,
+                     pattern: DataPattern, points: Sequence[OraclePoint],
+                     repetition: int = 0) -> List[Optional[int]]:
+        """HCfirst at every grid point in one batched oracle pass.
+
+        Element ``j`` equals ``hcfirst(...)`` at ``points[j]`` exactly; the
+        binary search runs against a per-point analytic threshold, so
+        batching only removes redundant per-point threshold rebuilds.
+        """
+        points = list(points)
+
+        def pointwise() -> List[Optional[int]]:
+            return [
+                self.hcfirst(bank, victim_logical, pattern, p.temperature_c,
+                             p.t_on_ns, p.t_off_ns, repetition)
+                for p in points
+            ]
+
+        if self.mode != "oracle" or not points:
+            return pointwise()
+
+        model = self.module.fault_model
+        phys_victim = self.module.to_physical(victim_logical)
+        aggressors = (phys_victim - 1, phys_victim + 1)
+        timings = [self._resolve_timing(p.t_on_ns, p.t_off_ns) for p in points]
+        units = model.kinetics.hammer_units_grid(
+            phys_victim, aggressors,
+            [t_on for t_on, _ in timings], [t_off for _, t_off in timings])
+        if not self._sign_uniform(units):
+            return pointwise()
+
+        resolved: List[batch_mod.ResolvedPoint] = []
+        maxima: List[int] = []
+        max_by_timing: Dict[Tuple[float, float], int] = {}
+        for point, (t_on, t_off) in zip(points, timings):
+            temperature = self._set_temperature(point.temperature_c)
+            resolved.append((temperature, t_on, t_off))
+            if (t_on, t_off) not in max_by_timing:
+                # Pure in the timing pair (the retention budget is fixed),
+                # so a temperature sweep resolves it once.
+                max_by_timing[(t_on, t_off)] = self.max_safe_hammers(t_on,
+                                                                     t_off)
+            maxima.append(max_by_timing[(t_on, t_off)])
+
+        deduped = batch_mod.dedupe_temperatures([t for t, _, _ in resolved])
+        timing_seen: Dict[Tuple[float, float], int] = {}
+        timing_map = np.array([timing_seen.setdefault(t, len(timing_seen))
+                               for t in timings])
+        groups = batch_mod.group_points(deduped[1], timing_map,
+                                        len(timing_seen))
+
+        cells = model.population.cells_for(bank, phys_victim)
+        noise = None
+        if len(cells) and units[0] > 0.0 and cells.trial_sigma > 0.0:
+            noise = self._trial_noise_draws(
+                bank, victim_logical, repetition,
+                ((cells.trial_sigma, len(cells)),))[0]
+        # The per-point searches reduce to one vectorized run: the oracle
+        # predicate is ``count >= threshold`` and the minimum over cells is
+        # order-independent, so this matches the scalar search per point.
+        thresholds = self.batch_oracle.row_hcfirst_vector(
+            bank, phys_victim, pattern, phys_victim, aggressors, resolved,
+            units=units, trial_noise=noise, deduped=deduped, groups=groups)
+        return hcfirst_mod.binary_search_hcfirst_grid(thresholds, maxima)
+
+    def hcfirst_min_grid(self, bank: int, victim_logical: int,
+                         pattern: DataPattern, points: Sequence[OraclePoint],
+                         repetitions: int = 5) -> List[Optional[int]]:
+        """Per-point minimum HCfirst across repetitions (grid ``hcfirst_min``)."""
+        points = list(points)
+        per_rep = [
+            self.hcfirst_grid(bank, victim_logical, pattern, points, rep)
+            for rep in range(repetitions)
+        ]
+        out: List[Optional[int]] = []
+        for j in range(len(points)):
+            observed = [rep[j] for rep in per_rep if rep[j] is not None]
+            out.append(min(observed) if observed else None)
+        return out
 
     # ------------------------------------------------------------------
     # BER tests

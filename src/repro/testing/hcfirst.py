@@ -10,7 +10,9 @@ fits in a retention-safe window (512 K at nominal timings).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigError
 
@@ -65,3 +67,99 @@ def binary_search_hcfirst(has_flips: Callable[[int], bool],
             return maximum
         return None
     return lowest_flipping
+
+
+def _vector_search(limits: np.ndarray, ceilings: np.ndarray, initial: int,
+                   initial_delta: int, resolution: int) -> np.ndarray:
+    """The scalar search's iteration, run over arrays (-1 means None)."""
+    counts = np.minimum(initial, ceilings)
+    lowest = np.full(limits.shape, -1, dtype=np.int64)
+    delta = initial_delta
+    while delta >= resolution:
+        flips = counts >= limits
+        better = flips & ((lowest < 0) | (counts < lowest))
+        lowest = np.where(better, counts, lowest)
+        counts = np.where(flips, counts - delta, counts + delta)
+        counts = np.maximum(resolution, np.minimum(counts, ceilings))
+        delta //= 2
+    never = lowest < 0
+    at_ceiling = never & (ceilings >= limits)
+    return np.where(at_ceiling, ceilings, lowest)
+
+
+def _reachable_counts(initial: int, initial_delta: int, resolution: int,
+                      maximum: int) -> set:
+    """Superset of every hammer count the search can ever test."""
+    start = min(initial, maximum)
+    values = {start, maximum}
+    frontier = {start}
+    delta = initial_delta
+    while delta >= resolution:
+        frontier = {
+            max(resolution, min(value + step, maximum))
+            for value in frontier for step in (-delta, delta)
+        }
+        values |= frontier
+        delta //= 2
+    return values
+
+
+_TABLE_CACHE: dict = {}
+_TABLE_CACHE_ENTRIES = 128
+
+
+def _search_table(initial: int, initial_delta: int, resolution: int,
+                  maximum: int) -> tuple:
+    """``(breakpoints, results)`` lookup table for one parameter set.
+
+    The search only ever compares the threshold against reachable hammer
+    counts, so its result is a step function of the threshold with
+    breakpoints at those counts: for any threshold ``T``, the outcome
+    equals the outcome at the smallest reachable count ``>= T``.
+    """
+    key = (initial, initial_delta, resolution, maximum)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        breaks = np.array(
+            sorted(_reachable_counts(initial, initial_delta, resolution,
+                                     maximum)), dtype=float)
+        results = _vector_search(breaks,
+                                 np.full(breaks.shape, maximum, np.int64),
+                                 initial, initial_delta, resolution)
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_ENTRIES:
+            _TABLE_CACHE.clear()
+        table = _TABLE_CACHE[key] = (breaks, results)
+    return table
+
+
+def binary_search_hcfirst_grid(thresholds: Sequence[float],
+                               maxima: Sequence[int],
+                               initial: int = INITIAL_HAMMERS,
+                               initial_delta: int = INITIAL_DELTA,
+                               resolution: int = RESOLUTION
+                               ) -> List[Optional[int]]:
+    """Run the paper's search at many grid points against known thresholds.
+
+    The analytic oracle's flip predicate is ``count >= threshold``, which
+    makes the search a pure function of ``(threshold, maximum)``: element
+    ``j`` equals ``binary_search_hcfirst(lambda c: c >= thresholds[j],
+    maximum=maxima[j])`` exactly.  Each distinct ``maximum`` resolves
+    through a cached step-function table (one vectorized replay of the
+    search at every reachable count), so a grid point costs one binary
+    lookup.  NaN/inf thresholds land past the last breakpoint and return
+    ``None``, matching the scalar search's never-flipping answer.
+    """
+    if initial <= 0 or initial_delta <= 0 or resolution <= 0:
+        raise ConfigError("search parameters must be positive")
+    limits = np.asarray(thresholds, dtype=float)
+    ceilings = np.asarray(maxima, dtype=np.int64)
+    out = np.empty(limits.shape, dtype=np.int64)
+    for maximum in np.unique(ceilings):
+        selected = ceilings == maximum
+        breaks, results = _search_table(initial, initial_delta, resolution,
+                                        int(maximum))
+        index = np.searchsorted(breaks, limits[selected], side="left")
+        inside = index < len(breaks)
+        out[selected] = np.where(
+            inside, results[np.minimum(index, len(breaks) - 1)], -1)
+    return [None if value < 0 else int(value) for value in out]

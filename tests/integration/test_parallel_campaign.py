@@ -1,0 +1,125 @@
+"""Parallel campaign execution: worker merges are byte-identical to serial.
+
+The runner's ``workers > 1`` mode fans module runs out to worker
+processes.  Because modules are mutually independent and all randomness is
+structural (derived from seeds, never from call order), the merged study
+result, the checkpoint files and the quarantine list must match a serial
+run exactly — parallelism is purely a wall-clock optimization.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.core.temperature_study import TemperatureStudy
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, FaultSpec, parse_fault_plan
+from repro.runner import CampaignRunner, RetryPolicy
+
+pytestmark = pytest.mark.faults
+
+CONFIG = QUICK.scaled(rows_per_region=12, modules_per_manufacturer=1,
+                      temperatures_c=(50.0, 70.0, 90.0),
+                      hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return CONFIG.module_specs()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_dict(specs):
+    return result_to_dict(TemperatureStudy(CONFIG).run(specs))
+
+
+def canonical(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+class TestParallelEqualsSerial:
+    def test_worker_merge_byte_identical(self, specs, uninterrupted_dict):
+        serial = CampaignRunner(CONFIG).run("temperature", specs)
+        parallel = CampaignRunner(CONFIG, workers=4).run("temperature", specs)
+        assert canonical(parallel.result) == canonical(serial.result)
+        assert result_to_dict(parallel.result) == uninterrupted_dict
+        assert parallel.stats.units_run == serial.stats.units_run
+        assert parallel.stats.modules_completed == len(specs)
+
+    def test_rate_faulted_campaign_identical(self, specs):
+        """Rate-based fault decisions are pure in (seed, site, kind, key),
+        so worker processes fire exactly the faults a serial run fires."""
+        serial_plan = parse_fault_plan("campaign.unit=0.08", seed=CONFIG.seed)
+        parallel_plan = parse_fault_plan("campaign.unit=0.08",
+                                         seed=CONFIG.seed)
+        serial = CampaignRunner(
+            CONFIG, fault_plan=serial_plan,
+            retry=RetryPolicy(max_attempts=3)).run("temperature", specs)
+        parallel = CampaignRunner(
+            CONFIG, fault_plan=parallel_plan, workers=3,
+            retry=RetryPolicy(max_attempts=3)).run("temperature", specs)
+        assert canonical(parallel.result) == canonical(serial.result)
+        assert parallel_plan.log.to_dicts() == serial_plan.log.to_dicts()
+        assert parallel.stats.units_retried == serial.stats.units_retried
+        assert ([r.module_id for r in parallel.quarantined]
+                == [r.module_id for r in serial.quarantined])
+
+    def test_quarantine_order_follows_specs(self, specs):
+        target = specs[2].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.unit", kind="abort", match=target)])
+        outcome = CampaignRunner(
+            CONFIG, fault_plan=plan, workers=4,
+            retry=RetryPolicy(max_attempts=2)).run("temperature", specs)
+        assert [r.module_id for r in outcome.quarantined] == [target]
+        assert outcome.stats.modules_completed == len(specs) - 1
+
+
+class TestParallelCheckpointing:
+    def test_checkpoints_match_serial(self, tmp_path, specs):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        CampaignRunner(CONFIG, checkpoint_dir=serial_dir).run("temperature",
+                                                              specs)
+        CampaignRunner(CONFIG, checkpoint_dir=parallel_dir,
+                       workers=4).run("temperature", specs)
+        serial_files = sorted(p.name for p in serial_dir.glob("module-*.json"))
+        parallel_files = sorted(p.name
+                                for p in parallel_dir.glob("module-*.json"))
+        assert serial_files == parallel_files and serial_files
+        for name in serial_files:
+            assert ((serial_dir / name).read_bytes()
+                    == (parallel_dir / name).read_bytes())
+
+    def test_parallel_resume_from_serial_checkpoints(self, tmp_path, specs,
+                                                     uninterrupted_dict):
+        CampaignRunner(CONFIG, checkpoint_dir=tmp_path).run(
+            "temperature", specs[:2])
+        outcome = CampaignRunner(CONFIG, checkpoint_dir=tmp_path, resume=True,
+                                 workers=4).run("temperature", specs)
+        assert outcome.stats.modules_resumed == 2
+        assert outcome.stats.modules_completed == len(specs) - 2
+        assert result_to_dict(outcome.result) == uninterrupted_dict
+
+
+class TestParallelGuards:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            CampaignRunner(CONFIG, workers=0)
+
+    def test_order_dependent_fault_specs_rejected(self, specs):
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.unit", kind="crash", after=5,
+                      max_fires=1)])
+        runner = CampaignRunner(CONFIG, fault_plan=plan, workers=2)
+        with pytest.raises(ConfigError, match="workers"):
+            runner.run("temperature", specs)
+
+    def test_rate_only_specs_accepted(self, specs):
+        plan = parse_fault_plan("campaign.unit=0.01", seed=CONFIG.seed)
+        outcome = CampaignRunner(CONFIG, fault_plan=plan,
+                                 workers=2).run("temperature", specs[:1])
+        done = outcome.stats.modules_completed + len(outcome.quarantined)
+        assert done == 1

@@ -1,0 +1,156 @@
+"""Property tests: the batched oracle is bit-for-bit the pointwise oracle.
+
+The batch layer (``repro.faultmodel.batch`` + the ``*_grid`` methods of
+:class:`~repro.testing.hammer.HammerTester`) promises that element ``j`` of
+every grid result equals the corresponding pointwise call at point ``j``
+exactly — same flips in the same order, same HCfirst integers, not merely
+statistically close.  These tests drive random (module, pattern,
+temperature-grid, timing-grid, victim, repetition) draws through both
+paths and require equality.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import PATTERNS
+from repro.faultmodel.batch import OraclePoint, temperature_sweep
+from repro.testing.hammer import HammerTester
+
+MODULE_IDS = ("A0", "B1", "C0", "D1")
+PATTERN_NAMES = tuple(p.name for p in PATTERNS)
+PATTERN_BY_NAME = {p.name: p for p in PATTERNS}
+TEMPERATURES = tuple(float(t) for t in range(50, 95, 5))
+#: Legal grid values: tAggOn >= tRAS (34.5/52.5/105), tAggOff >= tRP.
+T_ON_VALUES = (None, 52.5, 105.0, 154.5)
+T_OFF_VALUES = (None, 25.5, 40.5)
+
+_TESTERS = {}
+
+
+def _tester_for(module_id: str) -> HammerTester:
+    if module_id not in _TESTERS:
+        module = spec_by_id(module_id).instantiate(seed=2021)
+        _TESTERS[module_id] = HammerTester(module)
+    return _TESTERS[module_id]
+
+
+points_strategy = st.lists(
+    st.tuples(st.sampled_from(TEMPERATURES),
+              st.sampled_from(T_ON_VALUES),
+              st.sampled_from(T_OFF_VALUES)),
+    min_size=1, max_size=5)
+
+
+def as_points(triples):
+    return [OraclePoint(temp, t_on, t_off) for temp, t_on, t_off in triples]
+
+
+@given(module_id=st.sampled_from(MODULE_IDS),
+       pattern_name=st.sampled_from(PATTERN_NAMES),
+       triples=points_strategy,
+       row=st.integers(min_value=4, max_value=2000),
+       repetition=st.integers(min_value=0, max_value=2))
+@settings(max_examples=25, deadline=None)
+def test_ber_grid_matches_pointwise(module_id, pattern_name, triples, row,
+                                    repetition):
+    tester = _tester_for(module_id)
+    pattern = PATTERN_BY_NAME[pattern_name]
+    points = as_points(triples)
+    grid = tester.ber_grid(0, row, pattern, points, repetition=repetition)
+    for point, got in zip(points, grid):
+        want = tester.ber_test(0, row, pattern,
+                               temperature_c=point.temperature_c,
+                               t_on_ns=point.t_on_ns, t_off_ns=point.t_off_ns,
+                               repetition=repetition)
+        assert got.victim_row == want.victim_row
+        assert got.hammer_count == want.hammer_count
+        assert got.temperature_c == want.temperature_c
+        assert got.pattern_name == want.pattern_name
+        assert got.t_on_ns == want.t_on_ns
+        assert got.t_off_ns == want.t_off_ns
+        assert got.flips_by_distance == want.flips_by_distance
+
+
+@given(module_id=st.sampled_from(MODULE_IDS),
+       pattern_name=st.sampled_from(PATTERN_NAMES),
+       triples=points_strategy,
+       row=st.integers(min_value=4, max_value=2000),
+       repetition=st.integers(min_value=0, max_value=2))
+@settings(max_examples=25, deadline=None)
+def test_hcfirst_grid_matches_pointwise(module_id, pattern_name, triples,
+                                        row, repetition):
+    tester = _tester_for(module_id)
+    pattern = PATTERN_BY_NAME[pattern_name]
+    points = as_points(triples)
+    grid = tester.hcfirst_grid(0, row, pattern, points, repetition=repetition)
+    want = [
+        tester.hcfirst(0, row, pattern, temperature_c=p.temperature_c,
+                       t_on_ns=p.t_on_ns, t_off_ns=p.t_off_ns,
+                       repetition=repetition)
+        for p in points
+    ]
+    assert grid == want
+
+
+@given(module_id=st.sampled_from(MODULE_IDS),
+       pattern_name=st.sampled_from(PATTERN_NAMES),
+       row=st.integers(min_value=4, max_value=2000),
+       temperature=st.sampled_from(TEMPERATURES),
+       repetitions=st.integers(min_value=1, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_hcfirst_min_grid_matches_pointwise(module_id, pattern_name, row,
+                                            temperature, repetitions):
+    tester = _tester_for(module_id)
+    pattern = PATTERN_BY_NAME[pattern_name]
+    got = tester.hcfirst_min_grid(0, row, pattern, [OraclePoint(temperature)],
+                                  repetitions=repetitions)
+    want = tester.hcfirst_min(0, row, pattern, temperature_c=temperature,
+                              repetitions=repetitions)
+    assert got == [want]
+
+
+def test_temperature_sweep_full_grid_exact():
+    """The exact sweep the temperature study runs, on every manufacturer."""
+    for module_id in MODULE_IDS:
+        tester = _tester_for(module_id)
+        pattern = PATTERN_BY_NAME["rowstripe"]
+        points = temperature_sweep(TEMPERATURES)
+        row = 640
+        ber = tester.ber_grid(0, row, pattern, points)
+        hcs = tester.hcfirst_grid(0, row, pattern, points)
+        for point, got_ber, got_hc in zip(points, ber, hcs):
+            want_ber = tester.ber_test(0, row, pattern,
+                                       temperature_c=point.temperature_c)
+            want_hc = tester.hcfirst(0, row, pattern,
+                                     temperature_c=point.temperature_c)
+            assert got_ber.flips_by_distance == want_ber.flips_by_distance
+            assert got_hc == want_hc
+
+
+def test_command_mode_falls_back_pointwise():
+    """Command-mode grid calls run the pointwise command path per point.
+
+    The command path reads flips back in bus order rather than cell-array
+    order, so agreement with the oracle is on flip *sets* (the same
+    contract ``test_oracle_vs_commands`` checks pointwise).
+    """
+    module = spec_by_id("A0").instantiate(seed=2021)
+    command = HammerTester(module, mode="command")
+    oracle = _tester_for("A0")
+    pattern = PATTERN_BY_NAME["checkered"]
+    points = [OraclePoint(55.0), OraclePoint(75.0)]
+    got = command.ber_grid(0, 48, pattern, points, hammer_count=180_000)
+    want = oracle.ber_grid(0, 48, pattern, points, hammer_count=180_000)
+    for g, w in zip(got, want):
+        assert g.t_on_ns == w.t_on_ns and g.temperature_c == w.temperature_c
+        for distance in (0, -2, 2):
+            g_cells = {(f.row, f.chip, f.col, f.bit)
+                       for f in g.flips_by_distance[distance]}
+            w_cells = {(f.row, f.chip, f.col, f.bit)
+                       for f in w.flips_by_distance[distance]}
+            assert g_cells == w_cells
+
+    hc_got = command.hcfirst_grid(0, 48, pattern, points)
+    hc_want = oracle.hcfirst_grid(0, 48, pattern, points)
+    assert hc_got == hc_want

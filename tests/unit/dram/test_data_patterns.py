@@ -107,3 +107,35 @@ class TestValidation:
     def test_byte_out_of_range_rejected(self):
         with pytest.raises(ConfigError):
             DataPattern("bad", 0x155, 0x00)
+
+
+class TestVectorizedBits:
+    """The vectorized stored-bit path equals the scalar per-cell path."""
+
+    def _check(self, pattern, row, victim, seed=0):
+        import numpy as np
+        cols = np.array([0, 3, 7, 31, 63], dtype=np.int32)
+        chips = np.array([0, 1, 2, 3, 0], dtype=np.int16)
+        bits = np.array([0, 1, 4, 7, 5], dtype=np.int8)
+        got = pattern.bits_for_cells(row, victim, cols, chips, bits, seed)
+        want = [pattern.bit_for(row, victim, int(c), int(ch), int(b), seed)
+                for c, ch, b in zip(cols, chips, bits)]
+        assert got.tolist() == want
+
+    def test_matches_scalar_for_fixed_patterns(self):
+        for pattern in PATTERNS:
+            if pattern.is_random:
+                continue
+            for row, victim in ((10, 10), (11, 10), (12, 10)):
+                self._check(pattern, row, victim)
+
+    def test_matches_scalar_for_random_fill(self):
+        for seed in (0, 42, 2021):
+            for row in (5, 6, 1000):
+                self._check(RANDOM, row, 0, seed=seed)
+
+    def test_empty_cell_arrays(self):
+        import numpy as np
+        empty = np.empty(0, dtype=np.int32)
+        out = RANDOM.bits_for_cells(5, 0, empty, empty, empty, 42)
+        assert out.shape == (0,)

@@ -132,3 +132,61 @@ class TestThresholds:
         assert a is b
         c = cells.stored_bits(pattern, 78)  # other parity
         assert c is not a
+
+
+class TestCacheBounds:
+    def test_clear_cache_drops_subarray_factors_too(self, population):
+        population.cells_for(0, 5)
+        population.subarray_factor(0, 3)
+        assert population._row_cache and population._subarray_cache
+        population.clear_cache()
+        assert not population._row_cache
+        assert not population._subarray_cache
+
+    def test_cells_identical_after_clear(self, population):
+        """Clearing caches is invisible: regenerated cells match field by
+        field (the seed tree, not cache state, defines the device)."""
+        rows = [(0, 5), (0, 77), (1, 200)]
+        before = [population.cells_for(bank, row) for bank, row in rows]
+        population.clear_cache()
+        after = [population.cells_for(bank, row) for bank, row in rows]
+        for a, b in zip(before, after):
+            assert a is not b
+            assert np.array_equal(a.chip, b.chip)
+            assert np.array_equal(a.col, b.col)
+            assert np.array_equal(a.bit, b.bit)
+            assert np.array_equal(a.hc_base, b.hc_base)
+            assert np.array_equal(a.t_lo, b.t_lo)
+            assert np.array_equal(a.t_hi, b.t_hi)
+            assert np.array_equal(a.gap, b.gap, equal_nan=True)
+            assert np.array_equal(a.vul_value, b.vul_value)
+            assert np.array_equal(a.pattern_factors, b.pattern_factors)
+            assert (a.s, a.q, a.z) == (b.s, b.q, b.z)
+
+    def test_row_cache_is_bounded_lru(self):
+        population = CellPopulation(PROFILES["A"], GEOMETRY,
+                                    SeedSequenceTree(4, "pop-tests"),
+                                    row_cache_rows=8)
+        for row in range(12):
+            population.cells_for(0, row)
+        assert len(population._row_cache) == 8
+        # The most recently touched rows survive; the oldest were evicted.
+        assert (0, 11) in population._row_cache
+        assert (0, 0) not in population._row_cache
+
+    def test_lru_eviction_tracks_recency(self):
+        population = CellPopulation(PROFILES["A"], GEOMETRY,
+                                    SeedSequenceTree(4, "pop-tests"),
+                                    row_cache_rows=2)
+        a = population.cells_for(0, 1)
+        population.cells_for(0, 2)
+        assert population.cells_for(0, 1) is a  # refreshes row 1
+        population.cells_for(0, 3)              # evicts row 2, not row 1
+        assert population.cells_for(0, 1) is a
+        assert (0, 2) not in population._row_cache
+
+    def test_bad_cache_bound_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CellPopulation(PROFILES["A"], GEOMETRY,
+                           SeedSequenceTree(4, "pop-tests"), row_cache_rows=0)

@@ -77,3 +77,43 @@ class TestSearch:
         result = binary_search_hcfirst(predicate_for(1000),
                                        initial=10 ** 9, maximum=MAX_HAMMERS)
         assert result is not None
+
+
+class TestGridSearch:
+    """``binary_search_hcfirst_grid`` equals the scalar search pointwise."""
+
+    def _scalar(self, threshold, maximum):
+        return binary_search_hcfirst(
+            lambda count, limit=threshold: count >= limit, maximum=maximum)
+
+    def test_matches_scalar_across_thresholds(self):
+        import numpy as np
+
+        from repro.testing.hcfirst import binary_search_hcfirst_grid
+
+        rng = np.random.default_rng(7)
+        thresholds = list(rng.uniform(1.0, 600_000.0, size=200))
+        thresholds += [0.0, 1.0, float(RESOLUTION), float(RESOLUTION) - 0.5,
+                       float(INITIAL_HAMMERS), float(INITIAL_HAMMERS) + 0.5,
+                       float(MAX_HAMMERS), float(MAX_HAMMERS) + 0.5,
+                       float("inf"), float("nan"), 262_144.0, 131_072.0]
+        for maximum in (MAX_HAMMERS, 200_000, 50_000, 512):
+            maxima = [maximum] * len(thresholds)
+            got = binary_search_hcfirst_grid(thresholds, maxima)
+            want = [self._scalar(t, maximum) for t in thresholds]
+            assert got == want
+
+    def test_mixed_maxima(self):
+        from repro.testing.hcfirst import binary_search_hcfirst_grid
+
+        thresholds = [1000.0, 1000.0, 600_000.0, float("inf")]
+        maxima = [MAX_HAMMERS, 2048, 200_000, MAX_HAMMERS]
+        got = binary_search_hcfirst_grid(thresholds, maxima)
+        want = [self._scalar(t, m) for t, m in zip(thresholds, maxima)]
+        assert got == want
+
+    def test_bad_parameters_rejected(self):
+        from repro.testing.hcfirst import binary_search_hcfirst_grid
+
+        with pytest.raises(ConfigError):
+            binary_search_hcfirst_grid([1.0], [MAX_HAMMERS], initial=0)

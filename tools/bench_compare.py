@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Compare the last two benchmark runs in ``BENCH_throughput.json``.
+
+The benchmark harness (``benchmarks/conftest.py``) appends one entry per
+``pytest benchmarks/`` invocation.  This tool diffs the latest run against
+the previous one and exits non-zero when any benchmark's mean slowed down
+by more than the tolerance (default 20%), so CI catches performance
+regressions the way the unit suite catches correctness ones.
+
+Usage::
+
+    python tools/bench_compare.py [--tolerance 0.20] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_JSON = pathlib.Path(__file__).parent.parent / "BENCH_throughput.json"
+
+
+def compare(previous: dict, latest: dict, tolerance: float) -> list:
+    """Return (name, prev_mean, new_mean, ratio) for regressed benchmarks."""
+    regressions = []
+    for name, stats in sorted(latest.get("results", {}).items()):
+        before = previous.get("results", {}).get(name)
+        if before is None or before["mean_s"] <= 0.0:
+            continue
+        ratio = stats["mean_s"] / before["mean_s"]
+        if ratio > 1.0 + tolerance:
+            regressions.append((name, before["mean_s"], stats["mean_s"],
+                                ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=pathlib.Path, default=DEFAULT_JSON,
+                        help="benchmark history file (default: "
+                             "BENCH_throughput.json at the repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional slowdown (default: 0.20)")
+    args = parser.parse_args(argv)
+
+    if not args.json.exists():
+        print(f"no benchmark history at {args.json}; run "
+              "'pytest benchmarks/bench_throughput.py --benchmark-only' "
+              "first")
+        return 0
+    runs = json.loads(args.json.read_text()).get("runs", [])
+    if len(runs) < 2:
+        print(f"{len(runs)} run(s) recorded; need two to compare")
+        return 0
+
+    previous, latest = runs[-2], runs[-1]
+    print(f"comparing {previous['timestamp']} -> {latest['timestamp']} "
+          f"(tolerance {args.tolerance:.0%})")
+    for name, stats in sorted(latest.get("results", {}).items()):
+        before = previous.get("results", {}).get(name)
+        if before is None:
+            print(f"  {name:45s} {stats['mean_s'] * 1e3:9.3f} ms   (new)")
+            continue
+        ratio = stats["mean_s"] / before["mean_s"]
+        print(f"  {name:45s} {before['mean_s'] * 1e3:9.3f} ms -> "
+              f"{stats['mean_s'] * 1e3:9.3f} ms  ({ratio:5.2f}x)")
+    for stem, speedup in sorted(latest.get("speedups", {}).items()):
+        print(f"  grid speedup [{stem}]: {speedup:.2f}x over pointwise")
+
+    regressions = compare(previous, latest, args.tolerance)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%}:")
+        for name, before, after, ratio in regressions:
+            print(f"  {name}: {before * 1e3:.3f} ms -> {after * 1e3:.3f} ms "
+                  f"({ratio:.2f}x)")
+        return 1
+    print("\nOK: no benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
