@@ -58,9 +58,10 @@ def mean_confidence_interval(values: Sequence[float],
     return mean, mean - half, mean + half
 
 
-def percentile_markers(values: Sequence[float],
-                       percentiles: Sequence[float] = (1, 5, 10, 25, 50, 75, 90, 95, 99),
-                       descending: bool = True) -> Dict[str, float]:
+def percentile_markers(
+        values: Sequence[float],
+        percentiles: Sequence[float] = (1, 5, 10, 25, 50, 75, 90, 95, 99),
+        descending: bool = True) -> Dict[str, float]:
     """Percentile markers over a sorted distribution (Fig. 11's P1..P99).
 
     With ``descending=True`` (the paper sorts rows from highest to lowest

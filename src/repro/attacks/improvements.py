@@ -15,6 +15,7 @@ from repro.dram.data import DataPattern
 from repro.dram.module import DRAMModule
 from repro.errors import ConfigError
 from repro.testing.hammer import BER_HAMMERS, HammerTester
+from repro.units import PAPER_TEMP_MIN_C
 
 # ----------------------------------------------------------------------
 # Improvement 1: temperature-aware targeting (exploits Obsvs. 1-3)
@@ -41,7 +42,8 @@ def plan_temperature_aware_attack(module: DRAMModule, bank: int,
                                   candidate_rows: Sequence[int],
                                   temperatures_c: Sequence[float],
                                   pattern: DataPattern,
-                                  baseline_temperature_c: float = 50.0
+                                  baseline_temperature_c:
+                                  float = PAPER_TEMP_MIN_C,
                                   ) -> TemperatureAwarePlan:
     """Profile candidates across temperatures; pick the softest point.
 
@@ -201,7 +203,8 @@ class ActiveTimeAmplification:
     def evaluate(self, victim_row: int, pattern: DataPattern,
                  reads_per_activation: int,
                  hammer_count: int = BER_HAMMERS,
-                 temperature_c: float = 50.0) -> AmplifiedAttackOutcome:
+                 temperature_c: float = PAPER_TEMP_MIN_C
+                 ) -> AmplifiedAttackOutcome:
         t_on = self.achieved_t_on_ns(reads_per_activation)
         nominal = self.tester.ber_test(self.bank, victim_row, pattern,
                                        hammer_count,

@@ -140,6 +140,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "serial run (default: 1)")
     campaign.add_argument("--save-json", metavar="FILE", default=None,
                           help="also dump the merged study result as JSON")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check determinism & unit-discipline invariants "
+             "(DRH001-DRH005) over python sources")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to check "
+                           "(default: the installed repro package)")
+    lint.add_argument("--format", dest="output_format", default="text",
+                      choices=("text", "json"),
+                      help="report format (default: text)")
+    lint.add_argument("--config", metavar="PYPROJECT", default=None,
+                      help="pyproject.toml holding [tool.deeprh.lint] "
+                           "(default: nearest pyproject.toml above the "
+                           "first path)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="describe every rule and exit")
     return parser
 
 
@@ -170,6 +187,42 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
         path = save_result(outcome.result, args.save_json)
         print(f"wrote {path}", file=sys.stderr)
     return 0 if outcome.ok else 2
+
+
+def _lint(args) -> int:
+    import pathlib
+
+    from repro.statcheck import (
+        find_pyproject,
+        iter_rules,
+        lint_paths,
+        load_config,
+        render_json,
+        render_text,
+    )
+    from repro.statcheck.engine import discover_files
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+    paths = args.paths
+    if not paths:
+        paths = [str(pathlib.Path(__file__).resolve().parent)]
+    config_path = args.config
+    if config_path is None:
+        config_path = find_pyproject(paths[0])
+    try:
+        config = load_config(config_path)
+        files = discover_files(paths)
+        violations = lint_paths(files, config=config)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    render = render_json if args.output_format == "json" else render_text
+    print(render(violations, files_checked=len(files)))
+    return 1 if violations else 0
 
 
 def _reproduce(cache: StudyCache, outdir: str) -> int:
@@ -208,6 +261,9 @@ def main(argv=None) -> int:
     if args.command == "list-modules":
         print(report.table4())
         return 0
+
+    if args.command == "lint":
+        return _lint(args)
 
     config = config_mod.preset(args.preset)
     if args.seed is not None:

@@ -9,7 +9,7 @@ grid point.  Feeds Figs. 7-10 and Obsvs. 8-11.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ Table 3 (range continuity), Fig. 4 (BER vs temperature) and Fig. 5
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from typing import List, Optional
 from repro.dram.data import DataPattern
 from repro.dram.module import DRAMModule
 from repro.errors import ConfigError
-from repro.units import ms_to_ns, TREFW_MS
+from repro.units import ms_to_ns, PAPER_TEMP_MIN_C, TREFW_MS
 
 
 class ActivationDefense(ABC):
@@ -78,7 +78,7 @@ class DefenseHarness:
 
     def run_double_sided(self, victim_row: int, pattern: DataPattern,
                          hammers: int,
-                         temperature_c: float = 50.0,
+                         temperature_c: float = PAPER_TEMP_MIN_C,
                          t_on_ns: Optional[float] = None,
                          t_off_ns: Optional[float] = None,
                          window_ms: float = TREFW_MS) -> DefenseOutcome:

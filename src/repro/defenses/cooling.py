@@ -14,10 +14,12 @@ import numpy as np
 
 from repro.core.temperature_study import TemperatureStudyResult
 from repro.errors import ConfigError
+from repro.units import PAPER_TEMP_MAX_C, PAPER_TEMP_MIN_C
 
 
 def cooling_benefit_pct(result: TemperatureStudyResult, mfr: str,
-                        hot_c: float = 90.0, cool_c: float = 50.0,
+                        hot_c: float = PAPER_TEMP_MAX_C,
+                        cool_c: float = PAPER_TEMP_MIN_C,
                         distance: int = 0) -> float:
     """BER reduction (percent) from cooling ``hot_c`` -> ``cool_c``.
 
@@ -39,8 +41,8 @@ def cooling_benefit_pct(result: TemperatureStudyResult, mfr: str,
 
 
 def cooling_report(result: TemperatureStudyResult,
-                   hot_c: float = 90.0,
-                   cool_c: float = 50.0) -> Dict[str, float]:
+                   hot_c: float = PAPER_TEMP_MAX_C,
+                   cool_c: float = PAPER_TEMP_MIN_C) -> Dict[str, float]:
     """Per-manufacturer cooling benefit (negative = cooling hurts)."""
     return {
         mfr: cooling_benefit_pct(result, mfr, hot_c, cool_c)

@@ -17,6 +17,7 @@ from repro.dram.data import DataPattern
 from repro.dram.module import DRAMModule
 from repro.errors import ConfigError
 from repro.testing.hammer import BER_HAMMERS, HammerTester
+from repro.units import PAPER_TEMP_MIN_C
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,7 @@ class ActiveTimeCap:
     def evaluate(self, victim_row: int, pattern: DataPattern,
                  requested_t_on_ns: float,
                  hammer_count: int = BER_HAMMERS,
-                 temperature_c: float = 50.0) -> CapReport:
+                 temperature_c: float = PAPER_TEMP_MIN_C) -> CapReport:
         capped_t_on = self.effective_t_on(requested_t_on_ns)
         uncapped = self.tester.ber_test(
             self.bank, victim_row, pattern, hammer_count,

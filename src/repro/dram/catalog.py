@@ -163,7 +163,8 @@ def spec_by_id(module_id: str) -> ModuleSpec:
         ) from None
 
 
-def modules_for_manufacturer(mfr: str, standard: Optional[str] = None) -> List[ModuleSpec]:
+def modules_for_manufacturer(mfr: str,
+                             standard: Optional[str] = None) -> List[ModuleSpec]:
     """All cataloged modules of one manufacturer, optionally one standard."""
     mfr = mfr.upper()
     if mfr not in MANUFACTURERS:

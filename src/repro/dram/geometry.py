@@ -41,7 +41,8 @@ class Geometry:
                       "chips", "subarray_rows"):
             value = getattr(self, field)
             if not isinstance(value, int) or value <= 0:
-                raise GeometryError(f"{field} must be a positive integer, got {value!r}")
+                raise GeometryError(
+                    f"{field} must be a positive integer, got {value!r}")
         if self.subarray_rows > self.rows_per_bank:
             raise GeometryError(
                 f"subarray_rows ({self.subarray_rows}) cannot exceed "

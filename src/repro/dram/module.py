@@ -31,6 +31,7 @@ from repro.errors import ConfigError, TimingViolation
 from repro.faultmodel.model import RowHammerFaultModel
 from repro.faultmodel.profiles import MfrProfile, profile_for
 from repro.rng import SeedSequenceTree
+from repro.units import PAPER_TEMP_MIN_C
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dram.catalog import ModuleSpec
@@ -69,7 +70,7 @@ class DRAMModule:
         self.spec = spec
         self.tree = tree
         self.fault_model = RowHammerFaultModel(profile, geometry, timing, tree)
-        self.temperature_c: float = 50.0
+        self.temperature_c: float = PAPER_TEMP_MIN_C
         self.trr = trr
         self._banks: Dict[int, BankState] = {}
         self._trial_gen: Optional[np.random.Generator] = None

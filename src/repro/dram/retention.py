@@ -25,7 +25,7 @@ import numpy as np
 from repro.dram.geometry import Geometry
 from repro.errors import ConfigError
 from repro.rng import SeedSequenceTree
-from repro.units import ms_to_ns
+from repro.units import TREFW_MS, ms_to_ns
 
 #: Reference temperature of the sampled retention times.
 RETENTION_REFERENCE_C = 45.0
@@ -62,7 +62,7 @@ class RetentionModel:
 
     def __init__(self, geometry: Geometry, tree: SeedSequenceTree,
                  weak_cells_per_row: float = 0.05,
-                 min_retention_ms: float = 64.0,
+                 min_retention_ms: float = TREFW_MS,
                  median_retention_ms: float = 2000.0,
                  sigma: float = 1.0) -> None:
         if weak_cells_per_row < 0:

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.units import TREFW_MS, ms_to_ns
 
 
 @dataclass(frozen=True)
@@ -69,7 +70,8 @@ class TimingSet:
         steps = math.ceil(interval_ns / self.clock_ns - 1e-9)
         return steps * self.clock_ns
 
-    def hammers_per_refresh_window(self, trefw_ns: float = 64e6) -> int:
+    def hammers_per_refresh_window(
+            self, trefw_ns: float = ms_to_ns(TREFW_MS)) -> int:
         """Max double-sided hammers (2 activations each) in one tREFW."""
         return int(trefw_ns // (2.0 * self.tRC))
 

@@ -191,7 +191,8 @@ class BatchOracle:
     def __init__(self, model,
                  matrix_cache_entries: int = MATRIX_CACHE_ENTRIES) -> None:
         self.model = model
-        self._matrix_cache: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+        self._matrix_cache: \
+            "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         self._matrix_cache_entries = int(matrix_cache_entries)
 
     def clear_cache(self) -> None:

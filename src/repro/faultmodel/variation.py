@@ -20,7 +20,7 @@ import numpy as np
 from scipy.stats import norm
 
 from repro.dram.geometry import Geometry
-from repro.faultmodel.profiles import MfrProfile
+from repro.faultmodel.profiles import MfrProfile, REFERENCE_TEMPERATURE_C
 from repro.rng import SeedSequenceTree
 
 
@@ -126,7 +126,8 @@ def row_temperature_response(tree: SeedSequenceTree, profile: MfrProfile,
 
 def temperature_log_shift(s: float, q: float, z: float, walk_sd: float,
                           temperature_c: float,
-                          reference_c: float = 50.0) -> float:
+                          reference_c: float = REFERENCE_TEMPERATURE_C
+                          ) -> float:
     """Evaluate the row response curve ``g(T)`` (see above) at one point."""
     dt = temperature_c - reference_c
     if dt == 0.0:
@@ -139,7 +140,8 @@ def temperature_log_shift(s: float, q: float, z: float, walk_sd: float,
 
 def temperature_log_shift_grid(s: float, q: float, z: float, walk_sd: float,
                                temperatures_c,
-                               reference_c: float = 50.0) -> np.ndarray:
+                               reference_c: float = REFERENCE_TEMPERATURE_C
+                               ) -> np.ndarray:
     """``g(T)`` over a whole temperature grid, as a float64 vector.
 
     Evaluates the scalar response point-by-point instead of with array

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
-
 from repro.errors import ConfigError
 from repro.rng import SeedSequenceTree
 
@@ -66,7 +64,7 @@ def zipf_stream(n_requests: int, rows: int = 4096, cols: int = 128,
     _check(n_requests, rows, cols)
     if alpha <= 1.0:
         raise ConfigError("zipf alpha must exceed 1.0")
-    gen = SeedSequenceTree(seed, "workload", "zipf").generator(alpha)
+    gen = SeedSequenceTree(seed, "workload", "zipf").generator(repr(alpha))
     ranks = gen.zipf(alpha, size=n_requests)
     hot_rows = gen.permutation(rows)
     requests = []

@@ -93,6 +93,6 @@ class CheckpointStore:
         """Module ids with a finished checkpoint, sorted."""
         prefix = f"module-{self.study}-"
         found = []
-        for path in self.directory.glob(f"{prefix}*.json"):
+        for path in sorted(self.directory.glob(f"{prefix}*.json")):
             found.append(path.name[len(prefix):-len(".json")])
         return sorted(found)

@@ -1,0 +1,55 @@
+"""Static analysis of the repo's determinism and unit-discipline invariants.
+
+The reproduction's core guarantee is *structural determinism*: every
+stochastic draw descends from :class:`repro.rng.SeedSequenceTree`, so
+resumed, parallel and batched campaigns are byte-identical to serial runs.
+That invariant — and the ns/°C/MT-s unit conventions of
+:mod:`repro.units` — is easy to break silently: one ``np.random.seed()``
+in a helper, one ``for path in dir.glob(...)`` in a merge path, and every
+figure stops being reproducible without any test failing loudly.
+
+``deeprh lint`` walks the AST of every module under ``src/repro`` and
+enforces:
+
+========  ==============================================================
+DRH001    global / unseeded RNG (``random.*``, ``np.random.*`` module
+          state, ``default_rng``/``Generator`` built outside
+          ``repro/rng.py``)
+DRH002    wall-clock reads (``time.time``, ``perf_counter``,
+          ``datetime.now`` ...) outside allowlisted clock modules
+DRH003    nondeterministic iteration order (sets, unsorted directory
+          listings) feeding results
+DRH004    fragile seed-path parts (floats, f-strings) passed to
+          ``SeedSequenceTree`` / ``derive``
+DRH005    bare magic numbers where a :mod:`repro.units` helper or
+          constant exists, and mixed ns/ms arithmetic
+DRH900    malformed suppression (missing the required justification)
+DRH901    suppression that matches no violation (stale ignore)
+========  ==============================================================
+
+A violation can be silenced only with a justified suppression::
+
+    value = time.monotonic()  # drh: ignore[DRH002] -- paces a real rig
+
+Configuration lives in ``pyproject.toml`` under ``[tool.deeprh.lint]``.
+"""
+
+from repro.statcheck.config import LintConfig, find_pyproject, load_config
+from repro.statcheck.engine import lint_file, lint_paths, lint_source
+from repro.statcheck.reporting import render_json, render_text
+from repro.statcheck.rules import RULES, Rule, Violation, iter_rules
+
+__all__ = [
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "Violation",
+    "find_pyproject",
+    "iter_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,153 @@
+"""Lint configuration: defaults, ``pyproject.toml`` loading, path matching.
+
+The linter reads ``[tool.deeprh.lint]`` from ``pyproject.toml``::
+
+    [tool.deeprh.lint]
+    disable = ["DRH901"]
+    wallclock-modules = ["src/repro/runner/retry.py"]
+    rng-modules = ["src/repro/rng.py"]
+
+    [tool.deeprh.lint.per-file-ignores]
+    "src/repro/legacy.py" = ["DRH005"]
+
+Unknown keys are rejected rather than silently ignored, so a typo in the
+config cannot quietly disable a rule.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+
+PathLike = Union[str, pathlib.Path]
+
+#: Modules allowed to construct raw bit generators / ``Generator`` objects.
+DEFAULT_RNG_MODULES: Tuple[str, ...] = ("repro/rng.py",)
+
+_KNOWN_KEYS = frozenset(
+    ("disable", "wallclock-modules", "rng-modules", "per-file-ignores"))
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run where.
+
+    Attributes:
+        disabled: rule codes switched off globally.
+        wallclock_modules: path patterns allowed to read the wall clock
+            (DRH002) — bench harnesses and the clock-injection seam.
+        rng_modules: path patterns allowed to construct raw numpy bit
+            generators (DRH001) — normally only ``repro/rng.py``.
+        per_file_ignores: path pattern -> codes ignored in those files.
+    """
+
+    disabled: FrozenSet[str] = frozenset()
+    wallclock_modules: Tuple[str, ...] = ()
+    rng_modules: Tuple[str, ...] = DEFAULT_RNG_MODULES
+    per_file_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def ignored_for(self, path: PathLike) -> FrozenSet[str]:
+        """All codes disabled for ``path`` (global + per-file)."""
+        codes = set(self.disabled)
+        for pattern, ignored in self.per_file_ignores.items():
+            if path_matches(path, pattern):
+                codes.update(ignored)
+        return frozenset(codes)
+
+    def allows_wallclock(self, path: PathLike) -> bool:
+        return any(path_matches(path, p) for p in self.wallclock_modules)
+
+    def allows_raw_rng(self, path: PathLike) -> bool:
+        return any(path_matches(path, p) for p in self.rng_modules)
+
+
+def path_matches(path: PathLike, pattern: str) -> bool:
+    """Match ``path`` against a config pattern, suffix-tolerantly.
+
+    Patterns are POSIX-style and may be relative to any ancestor, so
+    ``repro/rng.py`` matches ``/repo/src/repro/rng.py`` regardless of
+    where the repo is checked out.
+    """
+    posix = pathlib.PurePath(path).as_posix()
+    pattern = pathlib.PurePath(pattern).as_posix()
+    return (fnmatch(posix, pattern)
+            or fnmatch(posix, "*/" + pattern)
+            or posix == pattern)
+
+
+def _check_code(code: object) -> str:
+    if not (isinstance(code, str) and code.startswith("DRH")
+            and code[3:].isdigit() and len(code) == 6):
+        raise ConfigError(
+            f"[tool.deeprh.lint] rule codes look like 'DRH001'; got {code!r}")
+    return code
+
+
+def _check_str_list(value: object, key: str) -> Tuple[str, ...]:
+    if not (isinstance(value, (list, tuple))
+            and all(isinstance(v, str) for v in value)):
+        raise ConfigError(
+            f"[tool.deeprh.lint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(pyproject: Optional[PathLike]) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``pyproject.toml`` (or defaults).
+
+    Passing ``None`` — or a file without a ``[tool.deeprh.lint]`` table —
+    yields the default configuration.  Requires :mod:`tomllib`
+    (Python 3.11+); on older interpreters the defaults are returned and
+    the config table is ignored.
+    """
+    if pyproject is None:
+        return LintConfig()
+    path = pathlib.Path(pyproject)
+    if not path.is_file():
+        raise ConfigError(f"lint config file not found: {path}")
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: run with built-in defaults
+        return LintConfig()
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("deeprh", {}).get("lint", {})
+    unknown = set(table) - _KNOWN_KEYS
+    if unknown:
+        raise ConfigError(
+            f"unknown [tool.deeprh.lint] keys: {', '.join(sorted(unknown))}; "
+            f"expected one of {', '.join(sorted(_KNOWN_KEYS))}")
+    per_file: Dict[str, Tuple[str, ...]] = {}
+    raw_ignores = table.get("per-file-ignores", {})
+    if not isinstance(raw_ignores, dict):
+        raise ConfigError(
+            "[tool.deeprh.lint] per-file-ignores must be a table of "
+            "path pattern -> list of codes")
+    for pattern, codes in raw_ignores.items():
+        per_file[pattern] = tuple(
+            _check_code(c) for c in _check_str_list(codes, "per-file-ignores"))
+    return LintConfig(
+        disabled=frozenset(
+            _check_code(c) for c in _check_str_list(
+                table.get("disable", ()), "disable")),
+        wallclock_modules=_check_str_list(
+            table.get("wallclock-modules", ()), "wallclock-modules"),
+        rng_modules=_check_str_list(
+            table.get("rng-modules", DEFAULT_RNG_MODULES), "rng-modules"),
+        per_file_ignores=per_file,
+    )
+
+
+def find_pyproject(start: PathLike) -> Optional[pathlib.Path]:
+    """Walk upward from ``start`` to the nearest ``pyproject.toml``."""
+    node = pathlib.Path(start).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None

@@ -1,0 +1,99 @@
+"""Lint driver: discover files, run rules, apply suppressions and config.
+
+File discovery is itself determinism-disciplined: directories are walked
+in sorted order, so the report — and the JSON consumed by CI — is stable
+across filesystems.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.statcheck.config import LintConfig, PathLike
+from repro.statcheck.rules import check_module, Violation
+from repro.statcheck.suppressions import scan_suppressions
+
+
+def _sort_key(violation: Violation):
+    return (violation.path, violation.line, violation.col, violation.code)
+
+
+def lint_source(source: str, path: str = "<string>",
+                config: Optional[LintConfig] = None) -> List[Violation]:
+    """Lint one module's source text (the unit-test entry point)."""
+    config = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Violation(
+            path=path, line=error.lineno or 1, col=error.offset or 0,
+            code="DRH900", message=f"file does not parse: {error.msg}",
+            hint="fix the syntax error; unparseable files cannot be "
+                 "checked")]
+    suppressions, malformed = scan_suppressions(source, path)
+    ignored = config.ignored_for(path)
+    kept: List[Violation] = []
+    for violation in check_module(tree, path, config):
+        if violation.code in ignored:
+            continue
+        suppression = suppressions.get(violation.line)
+        if suppression is not None and suppression.covers(violation.code):
+            suppression.used = True
+            continue
+        kept.append(violation)
+    if "DRH900" not in ignored:
+        kept.extend(malformed)
+    if "DRH901" not in ignored:
+        for suppression in suppressions.values():
+            live = [c for c in suppression.codes if c not in ignored]
+            if live and not suppression.used:
+                kept.append(Violation(
+                    path=path, line=suppression.line, col=0, code="DRH901",
+                    message="suppression matches no violation on this line "
+                            f"([{', '.join(suppression.codes)}])",
+                    hint="delete the stale '# drh: ignore' comment"))
+    return sorted(kept, key=_sort_key)
+
+
+def lint_file(path: PathLike,
+              config: Optional[LintConfig] = None) -> List[Violation]:
+    """Lint one ``.py`` file on disk."""
+    file_path = pathlib.Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ConfigError(f"cannot read {file_path}: {error}") from error
+    return lint_source(source, path=file_path.as_posix(), config=config)
+
+
+def discover_files(paths: Sequence[PathLike]) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated module list."""
+    found: List[pathlib.Path] = []
+    for entry in paths:
+        path = pathlib.Path(entry)
+        if path.is_dir():
+            found.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            found.append(path)
+        else:
+            raise ConfigError(f"lint target does not exist: {path}")
+    unique: List[pathlib.Path] = []
+    seen = set()
+    for path in found:
+        key = path.resolve().as_posix()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(paths: Iterable[PathLike],
+               config: Optional[LintConfig] = None) -> List[Violation]:
+    """Lint every module under ``paths`` and return sorted violations."""
+    violations: List[Violation] = []
+    for file_path in discover_files(list(paths)):
+        violations.extend(lint_file(file_path, config=config))
+    return sorted(violations, key=_sort_key)

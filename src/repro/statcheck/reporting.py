@@ -1,0 +1,46 @@
+"""Text and JSON renderers for lint results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.statcheck.rules import RULES, Violation
+
+
+def render_text(violations: Sequence[Violation], files_checked: int) -> str:
+    """Human-readable report, one line per violation plus a summary."""
+    lines: List[str] = [v.render() for v in violations]
+    if violations:
+        counts = Counter(v.code for v in violations)
+        per_rule = ", ".join(f"{code}: {n}"
+                             for code, n in sorted(counts.items()))
+        lines.append(f"{len(violations)} violation(s) in {files_checked} "
+                     f"file(s) [{per_rule}]")
+    else:
+        lines.append(f"statcheck: {files_checked} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files_checked: int) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    payload = {
+        "files_checked": files_checked,
+        "violation_count": len(violations),
+        "counts": dict(sorted(Counter(
+            v.code for v in violations).items())),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "code": v.code,
+                "title": RULES[v.code].title if v.code in RULES else "",
+                "message": v.message,
+                "hint": v.hint,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

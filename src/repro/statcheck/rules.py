@@ -1,0 +1,559 @@
+"""The DRH rule set: AST checks behind ``deeprh lint``.
+
+Each rule guards one way the repo's determinism or unit discipline can
+rot silently (see DESIGN.md §10 for the invariant each rule protects).
+Rules are deliberately syntactic: they resolve import aliases and local
+parameter annotations, but do no whole-program type inference — a check
+that is cheap enough to run in tier-1 and predictable enough that a
+developer can see *why* a line was flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.statcheck.config import LintConfig
+
+#: ``numpy.random`` names that construct generator/bit-generator state.
+#: Allowed only inside ``rng-modules`` (normally ``repro/rng.py``).
+_NP_CONSTRUCTORS = frozenset((
+    "Generator", "Philox", "PCG64", "PCG64DXSM", "MT19937", "SFC64",
+    "BitGenerator", "SeedSequence", "default_rng", "RandomState"))
+
+#: ``time`` module functions that read (or pace by) the wall clock.
+_WALLCLOCK_TIME = frozenset((
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "sleep"))
+
+#: ``datetime`` classmethods that read the wall clock.
+_WALLCLOCK_DATETIME = frozenset(("now", "utcnow", "today"))
+
+#: Methods returning filesystem-order (hence nondeterministic) listings.
+_LISTING_METHODS = frozenset(("glob", "iglob", "rglob", "iterdir", "scandir"))
+
+#: ``SeedSequenceTree`` methods / ``repro.rng`` functions taking seed paths.
+_SEED_PATH_METHODS = frozenset(("generator", "child", "seed"))
+_SEED_PATH_FUNCTIONS = frozenset(("derive", "seed_from_path"))
+
+#: Order-sensitive consumers: feeding them a set fixes an arbitrary order.
+_ORDER_SENSITIVE_WRAPPERS = frozenset(("list", "tuple", "enumerate", "sum"))
+
+#: Unit suffixes recognized in identifiers/parameters (repro.units).
+_TIME_SUFFIXES = ("_ns", "_us", "_ms", "_s")
+_UNIT_SUFFIXES = _TIME_SUFFIXES + ("_c", "_mts")
+
+#: Values too trivial to be "magic" (zero/unity scale factors).
+_TRIVIAL_LITERALS = (0, 1)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one check: code, one-liner, and the invariant story."""
+
+    code: str
+    title: str
+    rationale: str
+
+
+RULES: Dict[str, Rule] = {rule.code: rule for rule in (
+    Rule("DRH001", "global or unseeded RNG",
+         "all randomness must derive from repro.rng.SeedSequenceTree so "
+         "resumed/parallel campaigns replay the exact same draws"),
+    Rule("DRH002", "wall-clock read outside allowlisted modules",
+         "simulated results must not depend on host time; clocks are "
+         "injected (see repro.runner.retry.VirtualClock)"),
+    Rule("DRH003", "nondeterministic iteration order feeding results",
+         "set/frozenset and unsorted directory listings iterate in "
+         "arbitrary order, which changes merge output byte layout"),
+    Rule("DRH004", "fragile seed-path part",
+         "float and f-string path parts make structural seeds depend on "
+         "formatting/rounding; use ints, plain strings, or repr()"),
+    Rule("DRH005", "unit-discipline violation",
+         "magic numbers duplicating repro.units constants drift "
+         "independently; mixed ns/ms arithmetic is a silent 1e6 error"),
+    Rule("DRH900", "suppression without justification",
+         "an unexplained ignore is indistinguishable from a mistake"),
+    Rule("DRH901", "stale suppression",
+         "an ignore matching no violation hides future regressions"),
+)}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, what to do about it."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} "
+        text += self.message
+        if self.hint:
+            text += f" [fix: {self.hint}]"
+        return text
+
+
+@dataclass
+class _ImportMap:
+    """Local names for the modules/functions the rules care about."""
+
+    random_modules: Set[str] = field(default_factory=set)
+    random_functions: Set[str] = field(default_factory=set)
+    numpy_modules: Set[str] = field(default_factory=set)
+    np_random_modules: Set[str] = field(default_factory=set)
+    np_random_functions: Dict[str, str] = field(default_factory=dict)
+    time_modules: Set[str] = field(default_factory=set)
+    time_functions: Dict[str, str] = field(default_factory=dict)
+    datetime_modules: Set[str] = field(default_factory=set)
+    datetime_classes: Set[str] = field(default_factory=set)
+    os_modules: Set[str] = field(default_factory=set)
+    os_functions: Dict[str, str] = field(default_factory=dict)
+    glob_modules: Set[str] = field(default_factory=set)
+    glob_functions: Dict[str, str] = field(default_factory=dict)
+    rng_functions: Set[str] = field(default_factory=set)
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_modules.add(local)
+                    elif alias.name == "numpy":
+                        self.numpy_modules.add(local)
+                    elif alias.name == "numpy.random":
+                        target = alias.asname
+                        if target is not None:
+                            self.np_random_modules.add(target)
+                        else:  # plain `import numpy.random` binds `numpy`
+                            self.numpy_modules.add(local)
+                    elif alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(local)
+                    elif alias.name == "os":
+                        self.os_modules.add(local)
+                    elif alias.name == "glob":
+                        self.glob_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if module == "random":
+                        self.random_functions.add(local)
+                    elif module == "numpy" and alias.name == "random":
+                        self.np_random_modules.add(local)
+                    elif module == "numpy.random":
+                        self.np_random_functions[local] = alias.name
+                    elif module == "time":
+                        self.time_functions[local] = alias.name
+                    elif module == "datetime" and alias.name in (
+                            "datetime", "date"):
+                        self.datetime_classes.add(local)
+                    elif module == "os":
+                        self.os_functions[local] = alias.name
+                    elif module == "glob":
+                        self.glob_functions[local] = alias.name
+                    elif module in ("repro.rng", "repro"):
+                        if alias.name in _SEED_PATH_FUNCTIONS:
+                            self.rng_functions.add(local)
+
+    def is_np_random_attr(self, node: ast.expr) -> bool:
+        """True when ``node`` denotes the ``numpy.random`` module."""
+        if isinstance(node, ast.Name):
+            return node.id in self.np_random_modules
+        return (isinstance(node, ast.Attribute)
+                and node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in self.numpy_modules)
+
+
+def _suffix_of(name: str, suffixes: Tuple[str, ...]) -> Optional[str]:
+    for suffix in suffixes:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return suffix
+    return None
+
+
+def _identifier(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor running every DRH rule over one module."""
+
+    def __init__(self, path: str, config: LintConfig,
+                 imports: _ImportMap) -> None:
+        self.path = path
+        self.config = config
+        self.imports = imports
+        self.violations: List[Violation] = []
+        self.allow_wallclock = config.allows_wallclock(path)
+        self.allow_raw_rng = config.allows_raw_rng(path)
+        self._parents: Dict[int, ast.AST] = {}
+        #: Stack of {param name -> annotation identifier} per function.
+        self._float_params: List[Set[str]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def run(self, tree: ast.AST) -> List[Violation]:
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self.visit(tree)
+        return self.violations
+
+    def _parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def _flag(self, node: ast.AST, code: str, message: str,
+              hint: str = "") -> None:
+        self.violations.append(Violation(
+            path=self.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), code=code,
+            message=message, hint=hint))
+
+    # -- function scopes (for DRH004 annotation lookups, DRH005) -------
+    def _visit_function(self, node) -> None:
+        floats: Set[str] = set()
+        for arg in (*node.args.posonlyargs, *node.args.args,
+                    *node.args.kwonlyargs):
+            if (isinstance(arg.annotation, ast.Name)
+                    and arg.annotation.id == "float"):
+                floats.add(arg.arg)
+        self._check_default_units(node)
+        self._float_params.append(floats)
+        self.generic_visit(node)
+        self._float_params.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _is_float_param(self, name: str) -> bool:
+        return any(name in scope for scope in reversed(self._float_params))
+
+    # -- DRH001 / DRH002 / DRH004 / parts of DRH003+DRH005 -------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng_call(node)
+        self._check_wallclock_call(node)
+        self._check_listing_call(node)
+        self._check_set_consumer(node)
+        self._check_seed_path_call(node)
+        self._check_keyword_units(node)
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (isinstance(base, ast.Name)
+                    and base.id in self.imports.random_modules):
+                self._flag(node, "DRH001",
+                           f"call to stdlib 'random.{func.attr}' bypasses "
+                           "the seeded substrate",
+                           "draw from a SeedSequenceTree generator instead")
+                return
+            if self.imports.is_np_random_attr(base):
+                if func.attr in _NP_CONSTRUCTORS:
+                    if not self.allow_raw_rng:
+                        self._flag(
+                            node, "DRH001",
+                            f"'np.random.{func.attr}' constructed outside "
+                            "repro/rng.py",
+                            "obtain generators via SeedSequenceTree"
+                            ".generator(...) / repro.rng.derive(...)")
+                else:
+                    self._flag(
+                        node, "DRH001",
+                        f"module-level 'np.random.{func.attr}' uses hidden "
+                        "global RNG state",
+                        "draw from a SeedSequenceTree generator instead")
+                return
+        elif isinstance(func, ast.Name):
+            if func.id in self.imports.random_functions:
+                self._flag(node, "DRH001",
+                           f"call to stdlib random function '{func.id}'",
+                           "draw from a SeedSequenceTree generator instead")
+            elif func.id in self.imports.np_random_functions:
+                original = self.imports.np_random_functions[func.id]
+                if original in _NP_CONSTRUCTORS and self.allow_raw_rng:
+                    return
+                self._flag(node, "DRH001",
+                           f"'numpy.random.{original}' called outside "
+                           "repro/rng.py",
+                           "obtain generators via SeedSequenceTree"
+                           ".generator(...) / repro.rng.derive(...)")
+
+    def _check_wallclock_call(self, node: ast.Call) -> None:
+        if self.allow_wallclock:
+            return
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (isinstance(base, ast.Name)
+                    and base.id in self.imports.time_modules
+                    and func.attr in _WALLCLOCK_TIME):
+                name = f"time.{func.attr}"
+            elif func.attr in _WALLCLOCK_DATETIME:
+                if (isinstance(base, ast.Name)
+                        and base.id in self.imports.datetime_classes):
+                    name = f"{base.id}.{func.attr}"
+                elif (isinstance(base, ast.Attribute)
+                        and base.attr in ("datetime", "date")
+                        and isinstance(base.value, ast.Name)
+                        and base.value.id in self.imports.datetime_modules):
+                    name = f"datetime.{base.attr}.{func.attr}"
+        elif isinstance(func, ast.Name):
+            original = self.imports.time_functions.get(func.id)
+            if original in _WALLCLOCK_TIME:
+                name = f"time.{original}"
+        if name is not None:
+            self._flag(node, "DRH002",
+                       f"wall-clock read '{name}' in a deterministic module",
+                       "inject a clock (VirtualClock/WallClock) or add the "
+                       "module to [tool.deeprh.lint] wallclock-modules")
+
+    # -- DRH003 --------------------------------------------------------
+    def _is_listing_call(self, node: ast.expr) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (isinstance(base, ast.Name)
+                    and base.id in self.imports.os_modules
+                    and func.attr in ("listdir", "scandir")):
+                return f"os.{func.attr}"
+            if (isinstance(base, ast.Name)
+                    and base.id in self.imports.glob_modules
+                    and func.attr in ("glob", "iglob")):
+                return f"glob.{func.attr}"
+            if func.attr in _LISTING_METHODS:
+                return f".{func.attr}()"
+        elif isinstance(func, ast.Name):
+            original = self.imports.os_functions.get(func.id)
+            if original in ("listdir", "scandir"):
+                return f"os.{original}"
+            original = self.imports.glob_functions.get(func.id)
+            if original in ("glob", "iglob"):
+                return f"glob.{original}"
+        return None
+
+    def _check_listing_call(self, node: ast.Call) -> None:
+        name = self._is_listing_call(node)
+        if name is None:
+            return
+        parent = self._parent(node)
+        if (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted"):
+            return
+        self._flag(node, "DRH003",
+                   f"directory listing '{name}' is filesystem-ordered",
+                   "wrap it in sorted(...) before iterating or storing")
+
+    def _set_valued(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set literal"
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")):
+            return f"{node.func.id}(...)"
+        return None
+
+    def _check_unordered_iter(self, iterable: ast.expr) -> None:
+        described = self._set_valued(iterable)
+        if described is not None:
+            self._flag(iterable, "DRH003",
+                       f"iterating {described} yields arbitrary order",
+                       "iterate sorted(...) so downstream results are "
+                       "order-stable")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for comp in node.generators:
+            self._check_unordered_iter(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._check_set_consumer(node)
+        self.generic_visit(node)
+
+    def _check_set_consumer(self, node: ast.expr) -> None:
+        """Flag sets fed into order-sensitive constructors/aggregators."""
+        parent = self._parent(node)
+        if not (isinstance(parent, ast.Call) and node in parent.args):
+            return
+        func = parent.func
+        sensitive = (isinstance(func, ast.Name)
+                     and func.id in _ORDER_SENSITIVE_WRAPPERS) \
+            or (isinstance(func, ast.Attribute) and func.attr == "join")
+        if sensitive and self._set_valued(node) is not None:
+            self._flag(node, "DRH003",
+                       "materializing a set into an ordered value fixes an "
+                       "arbitrary order",
+                       "apply sorted(...) first")
+
+    # -- DRH004 --------------------------------------------------------
+    def _check_seed_path_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr not in (_SEED_PATH_METHODS | _SEED_PATH_FUNCTIONS):
+                return
+            called = func.attr
+        elif isinstance(func, ast.Name):
+            if func.id not in self.imports.rng_functions:
+                return
+            called = func.id
+        else:
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                continue
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, float):
+                self._flag(arg, "DRH004",
+                           f"float literal {arg.value!r} as a seed-path "
+                           f"part of '{called}'",
+                           "use an int, a plain string, or repr(value)")
+            elif isinstance(arg, ast.JoinedStr):
+                self._flag(arg, "DRH004",
+                           f"f-string as a seed-path part of '{called}'",
+                           "pass the parts separately; formatting changes "
+                           "silently reseed every stream")
+            elif (isinstance(arg, ast.Name)
+                    and self._is_float_param(arg.id)):
+                self._flag(arg, "DRH004",
+                           f"float parameter '{arg.id}' as a seed-path "
+                           f"part of '{called}'",
+                           "encode it stably first, e.g. repr(value)")
+
+    # -- DRH005 --------------------------------------------------------
+    def _magic_unit_literal(self, name: str,
+                            value: object) -> Optional[Tuple[str, str]]:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        if value in _TRIVIAL_LITERALS:
+            return None
+        if name.endswith("_ns") and abs(value) >= 1000 and value % 1000 == 0:
+            return (f"bare literal {value!r} for '{name}' looks like a "
+                    "converted duration",
+                    "use repro.units.ms_to_ns()/us_to_ns() or NS_PER_*")
+        if name.endswith("_ms") and float(value) == 64.0:
+            return (f"bare literal {value!r} for '{name}' duplicates the "
+                    "refresh window",
+                    "use repro.units.TREFW_MS")
+        if name.endswith("_c") and float(value) in (50.0, 90.0):
+            return (f"bare literal {value!r} for '{name}' duplicates the "
+                    "paper's temperature bounds",
+                    "use repro.units.PAPER_TEMP_MIN_C / PAPER_TEMP_MAX_C")
+        return None
+
+    def _flag_unit_literal(self, node: ast.AST, name: str,
+                           value: object) -> None:
+        found = self._magic_unit_literal(name, value)
+        if found is not None:
+            message, hint = found
+            self._flag(node, "DRH005", message, hint)
+
+    def _check_keyword_units(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if (keyword.arg is not None
+                    and _suffix_of(keyword.arg, _UNIT_SUFFIXES)
+                    and isinstance(keyword.value, ast.Constant)):
+                self._flag_unit_literal(keyword.value, keyword.arg,
+                                        keyword.value.value)
+
+    def _check_default_units(self, node) -> None:
+        positional = (*node.args.posonlyargs, *node.args.args)
+        defaults = node.args.defaults
+        for arg, default in zip(positional[len(positional) - len(defaults):],
+                                defaults):
+            if (isinstance(default, ast.Constant)
+                    and _suffix_of(arg.arg, _UNIT_SUFFIXES)):
+                self._flag_unit_literal(default, arg.arg, default.value)
+        for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+            if (default is not None and isinstance(default, ast.Constant)
+                    and _suffix_of(arg.arg, _UNIT_SUFFIXES)):
+                self._flag_unit_literal(default, arg.arg, default.value)
+
+    def _check_assign_units(self, target: ast.expr,
+                            value: Optional[ast.expr]) -> None:
+        name = _identifier(target)
+        if (name is None or name.isupper() or name.upper() == name
+                or not isinstance(value, ast.Constant)):
+            return
+        if _suffix_of(name, _UNIT_SUFFIXES):
+            self._flag_unit_literal(value, name, value.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_assign_units(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_assign_units(node.target, node.value)
+        self.generic_visit(node)
+
+    def _operand_unit(self, node: ast.expr) -> Optional[str]:
+        name = _identifier(node)
+        if name is None:
+            return None
+        suffix = _suffix_of(name, _UNIT_SUFFIXES)
+        return suffix
+
+    def _check_mixed_units(self, node: ast.AST, left: ast.expr,
+                           right: ast.expr) -> None:
+        left_unit = self._operand_unit(left)
+        right_unit = self._operand_unit(right)
+        if (left_unit is not None and right_unit is not None
+                and left_unit != right_unit):
+            self._flag(node, "DRH005",
+                       f"mixing '*{left_unit}' and '*{right_unit}' "
+                       "operands without an explicit conversion",
+                       "convert via repro.units helpers before combining")
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_mixed_units(node, node.left, node.right)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for left, right in zip((node.left, *node.comparators),
+                               node.comparators):
+            self._check_mixed_units(node, left, right)
+        self.generic_visit(node)
+
+
+def check_module(tree: ast.AST, path: str,
+                 config: LintConfig) -> List[Violation]:
+    """Run every enabled DRH rule over one parsed module."""
+    imports = _ImportMap()
+    imports.collect(tree)
+    return _Checker(path, config, imports).run(tree)
+
+
+def iter_rules() -> Iterator[Rule]:
+    """All rules, in code order (for ``deeprh lint --list-rules``)."""
+    for code in sorted(RULES):
+        yield RULES[code]

@@ -1,0 +1,97 @@
+"""Parsing of ``# drh: ignore[...]`` suppression comments.
+
+A suppression silences specific rule codes on its own line and *must*
+carry a written justification after ``--``::
+
+    gen = make_generator()  # drh: ignore[DRH001] -- calibration-only path
+
+Suppressions without a justification are themselves violations (DRH900):
+an unexplained ignore is indistinguishable from a mistake three months
+later.  Suppressions that match no violation are reported as stale
+(DRH901) so dead ignores cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.statcheck.rules import Violation
+
+#: Any comment that invokes the drh namespace at all.
+_DRH_COMMENT = re.compile(r"#\s*drh\s*:")
+
+#: The one well-formed shape: codes in brackets, then ``--`` + reason.
+_SUPPRESS = re.compile(
+    r"#\s*drh\s*:\s*ignore\s*\[(?P<codes>[^\]]*)\]"
+    r"\s*(?:--\s*(?P<reason>\S.*))?\s*$")
+
+_CODE = re.compile(r"^DRH\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One justified ignore comment, pinned to a source line."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+    def covers(self, code: str) -> bool:
+        return code in self.codes
+
+
+def scan_suppressions(
+        source: str, path: str) -> Tuple[Dict[int, Suppression],
+                                         List[Violation]]:
+    """Extract suppressions from ``source``; malformed ones become DRH900.
+
+    Returns ``(line -> suppression, malformed-violations)``.  Tokenizes
+    rather than regexing raw lines so a ``# drh:`` inside a string
+    literal is not mistaken for a directive.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    malformed: List[Violation] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, []  # the parser reports the real problem
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        if not _DRH_COMMENT.search(comment):
+            continue
+        line, col = token.start
+        match = _SUPPRESS.search(comment)
+        if match is None:
+            malformed.append(Violation(
+                path=path, line=line, col=col, code="DRH900",
+                message=f"unparseable drh directive {comment.strip()!r}",
+                hint="write '# drh: ignore[DRHnnn] -- justification'"))
+            continue
+        codes = tuple(c.strip() for c in match.group("codes").split(",")
+                      if c.strip())
+        reason = (match.group("reason") or "").strip()
+        bad = [c for c in codes if not _CODE.match(c)]
+        if not codes or bad:
+            malformed.append(Violation(
+                path=path, line=line, col=col, code="DRH900",
+                message="suppression must name rule codes like DRH001"
+                        + (f"; got {', '.join(bad)}" if bad else ""),
+                hint="write '# drh: ignore[DRHnnn] -- justification'"))
+            continue
+        if not reason:
+            malformed.append(Violation(
+                path=path, line=line, col=col, code="DRH900",
+                message="suppression is missing its justification "
+                        f"for [{', '.join(codes)}]",
+                hint="append ' -- <why this violation is intentional>'"))
+            continue
+        suppressions[line] = Suppression(line=line, codes=codes,
+                                         reason=reason)
+    return suppressions, malformed

@@ -1,7 +1,5 @@
 """End-to-end flows: chamber -> pattern -> hammer -> flips -> defense."""
 
-import pytest
-
 from repro.dram.data import pattern_by_name
 from repro.dram.refresh import RefreshEngine
 from repro.dram.trr import TargetRowRefresh

@@ -4,7 +4,6 @@ command path produce identical flips (DESIGN.md §5)."""
 import pytest
 
 from repro.dram.data import pattern_by_name
-from repro.softmc.session import SoftMCSession
 from repro.testing.hammer import HammerTester
 
 

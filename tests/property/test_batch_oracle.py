@@ -9,7 +9,6 @@ temperature-grid, timing-grid, victim, repetition) draws through both
 paths and require equality.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dram.catalog import spec_by_id

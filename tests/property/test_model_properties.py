@@ -1,7 +1,6 @@
 """Property-based tests on fault-model invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dram.data import PATTERNS

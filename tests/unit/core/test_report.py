@@ -1,7 +1,5 @@
 """Tests for the table/figure renderers."""
 
-import pytest
-
 from repro.core import report
 from repro.dram.timing import DDR3_1600, DDR4_2400
 

@@ -6,7 +6,6 @@ from repro.dram.mapping import (
     BitInversionMapping,
     DirectMapping,
     HalfSwapMapping,
-    RowMapping,
     mapping_for_manufacturer,
 )
 from repro.errors import MappingError

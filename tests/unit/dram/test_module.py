@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dram.data import pattern_by_name
-from repro.errors import ConfigError, ProtocolError, TimingViolation
+from repro.errors import ConfigError, ProtocolError
 
 
 def open_close(module, bank, row, now=0.0):

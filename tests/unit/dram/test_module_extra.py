@@ -3,8 +3,6 @@ independence, temperature gating of flips."""
 
 import pytest
 
-from repro.dram.data import pattern_by_name
-
 
 class TestPatternRefillWrite:
     def test_write_none_restores_pattern_bytes(self, module_a, rowstripe):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dram.trr import TargetRowRefresh
-from repro.rng import SeedSequenceTree
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Tests for the RowHammer fault model (command path and oracle)."""
 
-import numpy as np
 import pytest
 
 from repro.dram.data import pattern_by_name

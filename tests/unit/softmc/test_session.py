@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dram.data import pattern_by_name
 from repro.errors import ConfigError
 from repro.softmc.session import SoftMCSession
 

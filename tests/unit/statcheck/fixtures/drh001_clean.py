@@ -1,0 +1,21 @@
+"""Fixture: the blessed randomness idioms — all derive from the tree."""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.rng import SeedSequenceTree, derive
+
+
+def draw_from_tree(tree: SeedSequenceTree, bank: int, row: int):
+    gen = tree.generator("row-cells", bank, row)
+    return gen.random()
+
+
+def draw_from_derive(seed: int):
+    return derive(seed, "module", "A0").integers(0, 10)
+
+
+def annotation_only_is_fine(gen: Optional[np.random.Generator] = None):
+    # Referencing the Generator *type* is not construction.
+    return gen

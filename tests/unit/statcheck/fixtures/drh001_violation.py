@@ -1,0 +1,26 @@
+"""Fixture: every flavor of unseeded/global RNG the linter must catch."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+from random import shuffle
+
+
+def stdlib_module_call():
+    return random.randint(0, 10)
+
+
+def stdlib_imported_function(items):
+    shuffle(items)
+
+
+def numpy_global_state():
+    np.random.seed(1234)
+    return np.random.rand(4)
+
+
+def raw_generator_outside_rng_module():
+    gen = np.random.Generator(np.random.Philox(key=7))
+    other = default_rng(7)
+    return gen, other

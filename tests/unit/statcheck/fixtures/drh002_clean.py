@@ -1,0 +1,17 @@
+"""Fixture: time handled through injected clocks — nothing to flag."""
+
+
+class InjectedClock:
+    def __init__(self):
+        self._now_s = 0.0
+
+    def now(self):
+        return self._now_s
+
+    def sleep(self, seconds):
+        self._now_s += seconds
+
+
+def elapsed(clock, started_s):
+    # Method names `time`/`now` on non-time objects are not wall-clock reads.
+    return clock.now() - started_s

@@ -1,0 +1,25 @@
+"""Fixture: wall-clock reads a deterministic module must not make."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def reads_wall_time():
+    return time.time()
+
+
+def reads_monotonic():
+    return time.monotonic()
+
+
+def imported_perf_counter():
+    return perf_counter()
+
+
+def reads_calendar_clock():
+    return datetime.now()
+
+
+def paces_by_sleeping(seconds: float):
+    time.sleep(seconds)

@@ -1,0 +1,22 @@
+"""Fixture: order-stable iteration — sorted sets and listings."""
+
+import os
+import pathlib
+
+
+def iterates_sorted_set(module_ids):
+    return [m for m in sorted(set(module_ids))]
+
+
+def membership_tests_are_fine(module_ids, wanted):
+    lookup = set(module_ids)
+    return wanted in lookup
+
+
+def sorted_listdir(directory):
+    return sorted(os.listdir(directory))
+
+
+def sorted_pathlib_glob(directory: pathlib.Path):
+    for path in sorted(directory.glob("*.json")):
+        yield path.name

@@ -1,0 +1,34 @@
+"""Fixture: nondeterministic iteration orders feeding results."""
+
+import glob
+import os
+import pathlib
+
+
+def iterates_a_set(module_ids):
+    out = []
+    for module_id in set(module_ids):
+        out.append(module_id)
+    return out
+
+
+def comprehension_over_set_call(rows):
+    return [row * 2 for row in set(rows)]
+
+
+def materializes_set_literal():
+    return list({"b", "a", "c"})
+
+
+def unsorted_listdir(directory):
+    for name in os.listdir(directory):
+        yield name
+
+
+def unsorted_glob(pattern):
+    return glob.glob(pattern)
+
+
+def unsorted_pathlib_glob(directory: pathlib.Path):
+    for path in directory.glob("*.json"):
+        yield path.name

@@ -1,0 +1,15 @@
+"""Fixture: stable seed-path parts — ints, strings, repr()ed floats."""
+
+from repro.rng import SeedSequenceTree, derive
+
+
+def int_and_string_parts(tree: SeedSequenceTree, bank: int, row: int):
+    return tree.generator("row-cells", bank, row)
+
+
+def reprd_float_part(tree: SeedSequenceTree, alpha: float):
+    return tree.generator("zipf", repr(alpha))
+
+
+def int_parameter(seed: int, repetition: int):
+    return derive(seed, "trial", repetition)

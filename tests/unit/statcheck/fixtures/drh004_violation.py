@@ -1,0 +1,19 @@
+"""Fixture: fragile (float / f-string) seed-path parts."""
+
+from repro.rng import SeedSequenceTree, derive
+
+
+def float_literal_path(tree: SeedSequenceTree):
+    return tree.generator("temp", 52.5)
+
+
+def fstring_path(tree: SeedSequenceTree, bank: int):
+    return tree.child(f"bank-{bank}")
+
+
+def float_parameter_path(tree: SeedSequenceTree, alpha: float):
+    return tree.generator("zipf", alpha)
+
+
+def float_in_derive(seed: int):
+    return derive(seed, "module", 3.5)

@@ -1,0 +1,26 @@
+"""Fixture: disciplined unit handling via repro.units."""
+
+from repro.units import PAPER_TEMP_MAX_C, PAPER_TEMP_MIN_C, TREFW_MS, ms_to_ns
+
+#: Module-level constant *definitions* are exempt — this is where a new
+#: canonical value is allowed to be spelled out.
+DEFAULT_SETTLE_NS = 1500.0
+
+
+def hammer(module, trefw_ns: float = ms_to_ns(TREFW_MS)):
+    return module.hammers_per_refresh_window(trefw_ns=trefw_ns)
+
+
+def call_site_constants(tester):
+    tester.run(window_ms=TREFW_MS)
+    return tester.ber_test(temperature_c=PAPER_TEMP_MAX_C)
+
+
+def same_unit_arithmetic(start_ns: float, stop_ns: float,
+                         floor_c: float = PAPER_TEMP_MIN_C) -> float:
+    return (stop_ns - start_ns) + floor_c * 0.0
+
+
+def datasheet_values_pass(timing):
+    # Small non-converted datasheet timings are legitimate literals.
+    return timing.program(clock_ns=1.5, burst_ns=3.0)

@@ -1,0 +1,26 @@
+"""Fixture: unit-discipline breaches repro.units exists to prevent."""
+
+
+def hammer(module, trefw_ns: float = 64_000_000.0):
+    return module.hammers_per_refresh_window(trefw_ns=trefw_ns)
+
+
+def call_site_magic_window(tester):
+    return tester.run(window_ms=64.0)
+
+
+def call_site_magic_temperature(tester):
+    return tester.ber_test(temperature_c=90.0)
+
+
+def mixed_time_arithmetic(elapsed_ns: float, budget_ms: float) -> float:
+    return elapsed_ns + budget_ms
+
+
+def mixed_comparison(window_ns: float, deadline_s: float) -> bool:
+    return window_ns > deadline_s
+
+
+class Chamber:
+    def __init__(self):
+        self.setpoint_c = 50.0

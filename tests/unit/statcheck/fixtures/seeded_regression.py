@@ -1,0 +1,12 @@
+"""Fixture: the canonical regression — a stray global seed call.
+
+One ``np.random.seed()`` anywhere in a study path silently couples every
+later draw to import order; this snippet must always fail DRH001.
+"""
+
+import numpy as np
+
+
+def prepare_module():
+    np.random.seed(2021)
+    return np.random.normal(0.0, 1.0, size=8)

@@ -1,0 +1,109 @@
+"""Configuration loading and the ``deeprh lint`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.statcheck import LintConfig, lint_source, load_config
+
+SEEDED = "import numpy as np\n\nnp.random.seed(7)\n"
+
+
+def write_pyproject(tmp_path, body):
+    path = tmp_path / "pyproject.toml"
+    path.write_text(body)
+    return path
+
+
+class TestConfigLoading:
+    def test_defaults_without_pyproject(self):
+        config = load_config(None)
+        assert config.disabled == frozenset()
+        assert config.allows_raw_rng("src/repro/rng.py")
+        assert not config.allows_raw_rng("src/repro/dram/module.py")
+
+    def test_disable_and_allowlists(self, tmp_path):
+        path = write_pyproject(tmp_path, """
+[tool.deeprh.lint]
+disable = ["DRH005"]
+wallclock-modules = ["src/repro/runner/retry.py"]
+rng-modules = ["src/repro/rng.py", "src/repro/statcheck/selftest.py"]
+""")
+        config = load_config(path)
+        assert config.disabled == frozenset({"DRH005"})
+        assert config.allows_wallclock("/repo/src/repro/runner/retry.py")
+        assert not config.allows_wallclock("src/repro/thermal/pid.py")
+        assert config.allows_raw_rng("src/repro/statcheck/selftest.py")
+
+    def test_per_file_ignores(self, tmp_path):
+        path = write_pyproject(tmp_path, """
+[tool.deeprh.lint.per-file-ignores]
+"legacy/*.py" = ["DRH001"]
+""")
+        config = load_config(path)
+        assert lint_source(SEEDED, path="legacy/old.py", config=config) == []
+        assert lint_source(SEEDED, path="fresh/new.py", config=config) != []
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = write_pyproject(tmp_path,
+                               "[tool.deeprh.lint]\nwalclock-modules = []\n")
+        with pytest.raises(ConfigError, match="unknown"):
+            load_config(path)
+
+    def test_bad_code_rejected(self, tmp_path):
+        path = write_pyproject(tmp_path,
+                               '[tool.deeprh.lint]\ndisable = ["E501"]\n')
+        with pytest.raises(ConfigError, match="DRH001"):
+            load_config(path)
+
+    def test_disabled_rule_filtered(self):
+        config = LintConfig(disabled=frozenset({"DRH001"}))
+        assert lint_source(SEEDED, config=config) == []
+
+
+class TestLintCLI:
+    def write_module(self, tmp_path, body):
+        module = tmp_path / "snippet.py"
+        module.write_text(body)
+        return module
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        self.write_module(tmp_path, "x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_with_findings(self, tmp_path, capsys):
+        self.write_module(tmp_path, SEEDED)
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DRH001" in out and "snippet.py:3" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        self.write_module(tmp_path, SEEDED)
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violation_count"] == 1
+        assert payload["counts"] == {"DRH001": 1}
+        violation = payload["violations"][0]
+        assert violation["code"] == "DRH001"
+        assert violation["hint"]
+
+    def test_respects_config_flag(self, tmp_path, capsys):
+        self.write_module(tmp_path, SEEDED)
+        config = write_pyproject(tmp_path,
+                                 '[tool.deeprh.lint]\ndisable = ["DRH001"]\n')
+        assert main(["lint", "--config", str(config), str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DRH001", "DRH002", "DRH003", "DRH004", "DRH005",
+                     "DRH900", "DRH901"):
+            assert code in out

@@ -1,0 +1,113 @@
+"""Positive/negative fixture coverage for every DRH rule."""
+
+import pathlib
+
+import pytest
+
+from repro.statcheck import LintConfig, lint_file, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+ALL_RULES = ("DRH001", "DRH002", "DRH003", "DRH004", "DRH005")
+
+
+def codes_in(path, config=None):
+    return [v.code for v in lint_file(path, config=config)]
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize("code", ALL_RULES)
+    def test_violation_fixture_trips_its_rule(self, code):
+        found = codes_in(FIXTURES / f"{code.lower()}_violation.py")
+        assert code in found
+
+    @pytest.mark.parametrize("code", ALL_RULES)
+    def test_clean_fixture_passes_its_rule(self, code):
+        found = codes_in(FIXTURES / f"{code.lower()}_clean.py")
+        assert code not in found
+
+    @pytest.mark.parametrize("code", ALL_RULES)
+    def test_clean_fixtures_are_fully_clean(self, code):
+        # Clean fixtures must trip *no* rule, so they double as regression
+        # tests against overzealous checks.
+        assert codes_in(FIXTURES / f"{code.lower()}_clean.py") == []
+
+
+class TestSeededRegression:
+    def test_np_random_seed_fails_with_drh001(self):
+        violations = lint_file(FIXTURES / "seeded_regression.py")
+        assert violations, "the seeded snippet must not lint clean"
+        assert all(v.code == "DRH001" for v in violations)
+        seeded = [v for v in violations if "np.random.seed" in v.message]
+        assert seeded and seeded[0].line == 11
+
+
+class TestDRH001Details:
+    def test_counts_every_rng_flavor(self):
+        violations = lint_file(FIXTURES / "drh001_violation.py")
+        # random.randint, shuffle, np.random.seed, np.random.rand,
+        # Generator(...), Philox(...), default_rng(...)
+        assert len([v for v in violations if v.code == "DRH001"]) == 7
+
+    def test_rng_module_allowlist_permits_construction(self):
+        source = (
+            "import numpy as np\n"
+            "def derive(key):\n"
+            "    return np.random.Generator(np.random.Philox(key=key))\n")
+        config = LintConfig(rng_modules=("repro/rng.py",))
+        assert lint_source(source, path="src/repro/rng.py",
+                           config=config) == []
+        assert len(lint_source(source, path="src/repro/other.py",
+                               config=config)) == 2
+
+
+class TestDRH002Details:
+    def test_wallclock_allowlist(self):
+        source = "import time\n\ndef now():\n    return time.monotonic()\n"
+        config = LintConfig(
+            wallclock_modules=("src/repro/runner/retry.py",))
+        assert lint_source(source, path="src/repro/runner/retry.py",
+                           config=config) == []
+        flagged = lint_source(source, path="src/repro/runner/campaign.py",
+                              config=config)
+        assert [v.code for v in flagged] == ["DRH002"]
+
+
+class TestDRH003Details:
+    def test_sorted_wrapping_is_the_fix(self):
+        flagged = lint_source(
+            "import os\n"
+            "def walk(d):\n"
+            "    return [n for n in os.listdir(d)]\n")
+        assert [v.code for v in flagged] == ["DRH003"]
+        clean = lint_source(
+            "import os\n"
+            "def walk(d):\n"
+            "    return [n for n in sorted(os.listdir(d))]\n")
+        assert clean == []
+
+
+class TestDRH004Details:
+    def test_flags_annotated_float_parameter(self):
+        violations = lint_file(FIXTURES / "drh004_violation.py")
+        by_message = [v for v in violations
+                      if "float parameter 'alpha'" in v.message]
+        assert len(by_message) == 1
+
+
+class TestDRH005Details:
+    def test_mixed_unit_arithmetic_message(self):
+        violations = lint_file(FIXTURES / "drh005_violation.py")
+        mixed = [v for v in violations if "mixing" in v.message]
+        assert len(mixed) == 2  # one BinOp, one comparison
+
+    def test_uppercase_constant_definitions_exempt(self):
+        assert lint_source("TREFW_BACKUP_MS = 64.0\n") == []
+        assert [v.code for v in lint_source("window_ms = 64.0\n")] \
+            == ["DRH005"]
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_reports_drh900(self):
+        violations = lint_source("def broken(:\n", path="bad.py")
+        assert [v.code for v in violations] == ["DRH900"]
+        assert "does not parse" in violations[0].message

@@ -1,0 +1,52 @@
+"""The tier-1 gate: ``src/repro`` must lint clean, fast.
+
+This is the machine-checked version of the determinism contract that
+PR 1/PR 2 established by convention: if anyone adds a stray global seed,
+wall-clock read, or unsorted merge iteration to the library, this test —
+not a code reviewer — catches it.
+"""
+
+import pathlib
+import time
+
+from repro.statcheck import (
+    lint_paths,
+    load_config,
+    render_text,
+)
+from repro.statcheck.engine import discover_files
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+SRC = REPO_ROOT / "src" / "repro"
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+
+def test_repo_layout_still_matches():
+    assert SRC.is_dir(), "src/repro moved; update the self-lint test"
+    assert PYPROJECT.is_file()
+
+
+def test_src_repro_lints_clean():
+    config = load_config(PYPROJECT)
+    violations = lint_paths([SRC], config=config)
+    files = len(discover_files([SRC]))
+    assert violations == [], "\n" + render_text(violations, files)
+
+
+def test_full_lint_is_fast_enough_for_tier1():
+    config = load_config(PYPROJECT)
+    started = time.monotonic()
+    lint_paths([SRC], config=config)
+    elapsed_s = time.monotonic() - started
+    assert elapsed_s < 5.0, (
+        f"lint of src/repro took {elapsed_s:.2f}s; it must stay cheap "
+        "enough to run on every test invocation")
+
+
+def test_lint_covers_the_whole_library():
+    # Guard against discovery silently skipping subpackages.
+    files = {p.as_posix() for p in discover_files([SRC])}
+    for module in ("rng.py", "units.py", "runner/campaign.py",
+                   "statcheck/rules.py"):
+        assert any(path.endswith(f"repro/{module}") for path in files)
+    assert len(files) >= 90

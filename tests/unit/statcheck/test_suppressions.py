@@ -1,0 +1,63 @@
+"""The suppression contract: justified, targeted, and never stale."""
+
+from repro.statcheck import lint_source
+
+SEEDED = "import numpy as np\n\nnp.random.seed(7)"
+
+
+class TestJustifiedSuppressions:
+    def test_justified_suppression_silences_the_rule(self):
+        source = SEEDED + "  # drh: ignore[DRH001] -- test fixture seam\n"
+        assert lint_source(source) == []
+
+    def test_multiple_codes_one_comment(self):
+        source = (
+            "import time\n"
+            "import numpy as np\n"
+            "x = np.random.rand(int(time.time()))"
+            "  # drh: ignore[DRH001, DRH002] -- smoke-only entropy probe\n")
+        assert lint_source(source) == []
+
+    def test_suppression_only_covers_named_codes(self):
+        source = (
+            "import time\n"
+            "import numpy as np\n"
+            "x = np.random.rand(int(time.time()))"
+            "  # drh: ignore[DRH001] -- smoke-only entropy probe\n")
+        assert [v.code for v in lint_source(source)] == ["DRH002"]
+
+
+class TestUnjustifiedSuppressionsRejected:
+    def test_missing_justification_is_drh900(self):
+        source = SEEDED + "  # drh: ignore[DRH001]\n"
+        codes = [v.code for v in lint_source(source)]
+        # The violation survives AND the naked ignore is itself flagged.
+        assert codes == ["DRH001", "DRH900"]
+
+    def test_empty_justification_is_drh900(self):
+        source = SEEDED + "  # drh: ignore[DRH001] -- \n"
+        assert "DRH900" in [v.code for v in lint_source(source)]
+
+    def test_bad_code_spelling_is_drh900(self):
+        source = SEEDED + "  # drh: ignore[DRH1] -- because\n"
+        assert "DRH900" in [v.code for v in lint_source(source)]
+
+    def test_unknown_drh_directive_is_drh900(self):
+        source = "x = 1  # drh: disable-all\n"
+        assert [v.code for v in lint_source(source)] == ["DRH900"]
+
+    def test_drh_comment_inside_string_is_not_a_directive(self):
+        source = 'doc = "# drh: ignore[DRH001]"\n'
+        assert lint_source(source) == []
+
+
+class TestStaleSuppressions:
+    def test_unused_suppression_is_drh901(self):
+        source = "x = 1  # drh: ignore[DRH001] -- leftover from refactor\n"
+        violations = lint_source(source)
+        assert [v.code for v in violations] == ["DRH901"]
+        assert "matches no violation" in violations[0].message
+
+    def test_used_suppression_is_not_stale(self):
+        source = SEEDED + "  # drh: ignore[DRH001] -- fixture\n"
+        assert lint_source(source) == []

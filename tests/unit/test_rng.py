@@ -1,7 +1,6 @@
 """Tests for the deterministic RNG substrate."""
 
 import numpy as np
-import pytest
 
 from repro.rng import DEFAULT_SEED, SeedSequenceTree, derive, seed_from_path
 
