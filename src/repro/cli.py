@@ -8,6 +8,8 @@ Examples::
     deeprh observations --preset quick
     deeprh campaign temperature --checkpoint-dir ckpt --fault-plan campaign.unit=0.05
     deeprh campaign temperature --checkpoint-dir ckpt --resume
+    deeprh campaign temperature --workers 4 --module-deadline 120
+    deeprh campaign --verify ckpt
 """
 
 from __future__ import annotations
@@ -113,10 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser(
         "campaign",
         help="run one study through the resilient campaign runner "
-             "(bounded retry, quarantine, checkpoint/resume, optional "
-             "fault injection)")
-    campaign.add_argument("study", choices=("temperature", "acttime",
-                                            "spatial"))
+             "(bounded retry, quarantine, checkpoint/resume, supervised "
+             "parallel workers, optional fault injection)")
+    campaign.add_argument("study", nargs="?", default=None,
+                          choices=("temperature", "acttime", "spatial"))
     campaign.add_argument("--preset", default="quick",
                           choices=sorted(config_mod.PRESETS))
     campaign.add_argument("--seed", type=int, default=None)
@@ -135,9 +137,23 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--max-attempts", type=int, default=3,
                           help="retry budget per unit of work")
     campaign.add_argument("--workers", type=int, default=1, metavar="N",
-                          help="run modules in N worker processes; results "
-                               "and checkpoints are byte-identical to a "
-                               "serial run (default: 1)")
+                          help="run modules in N supervised worker "
+                               "processes; results and checkpoints are "
+                               "byte-identical to a serial run (default: 1)")
+    campaign.add_argument("--module-deadline", type=float, default=None,
+                          metavar="S",
+                          help="wall-clock seconds one worker may spend on "
+                               "one module before the supervisor declares "
+                               "it hung and requeues it (workers > 1; "
+                               "default: no deadline)")
+    campaign.add_argument("--max-requeues", type=int, default=2, metavar="N",
+                          help="extra dispatches a module may consume "
+                               "after losing its worker before it is "
+                               "quarantined (default: 2)")
+    campaign.add_argument("--verify", metavar="DIR", default=None,
+                          help="audit the integrity of a checkpoint "
+                               "directory (sha256/length vs journal) and "
+                               "exit; no study runs")
     campaign.add_argument("--save-json", metavar="FILE", default=None,
                           help="also dump the merged study result as JSON")
 
@@ -162,8 +178,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _campaign(args, config: config_mod.StudyConfig) -> int:
     from repro.faults import parse_fault_plan
-    from repro.runner import CampaignRunner, RetryPolicy
+    from repro.runner import (
+        CampaignRunner,
+        RetryPolicy,
+        SupervisorPolicy,
+        audit_checkpoint_dir,
+    )
 
+    if args.verify is not None:
+        audit = audit_checkpoint_dir(args.verify)
+        print(audit.render())
+        return 0 if audit.ok else 1
+    if args.study is None:
+        print("error: a study (temperature|acttime|spatial) is required "
+              "unless --verify is given", file=sys.stderr)
+        return 1
     if args.resume and args.checkpoint_dir is None:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 1
@@ -172,13 +201,18 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
         fault_seed = args.fault_seed if args.fault_seed is not None \
             else config.seed
         fault_plan = parse_fault_plan(args.fault_plan, seed=fault_seed)
+    if args.module_deadline is not None:
+        config = config.scaled(module_deadline_s=args.module_deadline)
     runner = CampaignRunner(
         config,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         fault_plan=fault_plan,
         retry=RetryPolicy(max_attempts=args.max_attempts),
-        workers=args.workers)
+        workers=args.workers,
+        supervisor=SupervisorPolicy(
+            module_deadline_s=config.module_deadline_s,
+            max_requeues=args.max_requeues))
     outcome = runner.run(args.study)
     print(outcome.degradation_report())
     if args.save_json:

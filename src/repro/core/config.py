@@ -14,7 +14,7 @@ fidelity for wall-clock time:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import rng as rng_mod
 from repro.dram import catalog
@@ -32,6 +32,12 @@ ACTTIME_TEMPERATURE_C = 50.0
 
 #: Temperature of the spatial-variation experiments (Section 7).
 SPATIAL_TEMPERATURE_C = 75.0
+
+#: StudyConfig fields that tune *operations* (supervision, pacing), not
+#: the science.  They are excluded from checkpoint fingerprints so a
+#: campaign resumed with, say, a different worker deadline still merges —
+#: the measurements it produces are identical by construction.
+OPERATIONAL_FIELDS: Tuple[str, ...] = ("module_deadline_s",)
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,11 @@ class StudyConfig:
     column_rows: int = 400
     column_cols: int = 96
     column_t_on_ns: float = 154.5
+    # Operational knob (see OPERATIONAL_FIELDS): wall-clock budget one
+    # parallel campaign worker gets per module before the supervisor
+    # declares it hung, kills its pool and requeues the module.  ``None``
+    # disables deadline supervision.  CLI: --module-deadline.
+    module_deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.modules_per_manufacturer <= 0:
@@ -69,6 +80,8 @@ class StudyConfig:
             raise ConfigError("need at least two temperatures")
         if self.ber_hammer_count <= 0:
             raise ConfigError("ber_hammer_count must be positive")
+        if self.module_deadline_s is not None and self.module_deadline_s <= 0:
+            raise ConfigError("module_deadline_s must be positive (or None)")
 
     # ------------------------------------------------------------------
     def module_specs(self) -> List[catalog.ModuleSpec]:

@@ -94,3 +94,37 @@ class RetryExhaustedError(ReproError):
         self.unit = unit
         self.attempts = attempts
         self.last_cause = last_cause
+
+
+class WorkerLostError(ReproError):
+    """A parallel campaign worker died or hung past its requeue budget.
+
+    The supervisor requeues a module whose worker process crashed
+    (``BrokenProcessPool``) or blew its wall-clock deadline; when the
+    bounded requeue budget is spent the module is given up with this
+    error, which the runner converts into a quarantine record exactly
+    like a :class:`RetryExhaustedError` from the serial path.
+    """
+
+    def __init__(self, message: str, module_id: str = "",
+                 dispatches: int = 0, cause: str = "") -> None:
+        super().__init__(message)
+        self.module_id = module_id
+        self.dispatches = dispatches
+        self.cause = cause
+
+
+class CheckpointCorruptionError(ReproError):
+    """A checkpoint file failed its integrity check (sha256/length).
+
+    Raised by :meth:`~repro.runner.checkpoint.CheckpointStore.load` when a
+    module file's bytes do not match its journal entry, and collected by
+    the resume path which quarantines the bad file and re-runs the module
+    instead of crashing or silently merging torn state.
+    """
+
+    def __init__(self, message: str, path: str = "",
+                 module_id: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.module_id = module_id

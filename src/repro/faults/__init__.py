@@ -2,10 +2,17 @@
 
 See :mod:`repro.faults.plan` for the fault taxonomy and determinism
 guarantees, and :mod:`repro.faults.injector` for attaching a plan to the
-thermal and SoftMC substrates.
+thermal and SoftMC substrates (and for executing worker-process faults).
 """
 
-from repro.faults.injector import attach_softmc, attach_thermal, detach
+from repro.faults.injector import (
+    DEFAULT_HANG_S,
+    WORKER_CRASH_EXIT_CODE,
+    attach_softmc,
+    attach_thermal,
+    detach,
+    perform_worker_fault,
+)
 from repro.faults.plan import (
     SITES,
     FaultEvent,
@@ -16,7 +23,9 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "DEFAULT_HANG_S",
     "SITES",
+    "WORKER_CRASH_EXIT_CODE",
     "FaultEvent",
     "FaultLog",
     "FaultPlan",
@@ -25,4 +34,5 @@ __all__ = [
     "attach_thermal",
     "detach",
     "parse_fault_plan",
+    "perform_worker_fault",
 ]

@@ -8,9 +8,19 @@ seeded schedule and records into the same log.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultEvent, FaultPlan
+
+#: Exit code a worker process dies with under an injected ``crash`` — a
+#: recognizable signature in supervisor logs, distinct from real errors.
+WORKER_CRASH_EXIT_CODE = 73
+
+#: How long an injected ``hang`` sleeps when the spec gives no magnitude:
+#: far beyond any sane module deadline, i.e. "forever" for supervision
+#: purposes while still bounded if nothing ever kills the process.
+DEFAULT_HANG_S = 3600.0
 
 
 def attach_thermal(chamber, plan: Optional[FaultPlan]) -> None:
@@ -35,6 +45,25 @@ def attach_softmc(session, plan: Optional[FaultPlan]) -> None:
     session.controller.faults = plan
     if getattr(session, "chamber", None) is not None:
         attach_thermal(session.chamber, plan)
+
+
+def perform_worker_fault(event: FaultEvent, clock=None) -> None:
+    """Execute a fired ``campaign.worker`` fault inside a worker process.
+
+    ``crash`` kills the process immediately via ``os._exit`` — no cleanup,
+    no exception, exactly like a segfault or OOM kill — which breaks the
+    parent's process pool and exercises its respawn/requeue path.
+    ``hang`` blocks for ``magnitude`` seconds (:data:`DEFAULT_HANG_S` when
+    unset) so the parent's per-module deadline is what ends it.
+    """
+    if event.kind == "crash":
+        os._exit(WORKER_CRASH_EXIT_CODE)
+    if event.kind == "hang":
+        if clock is None:
+            from repro.runner.retry import WallClock
+            clock = WallClock()
+        clock.sleep(event.magnitude if event.magnitude > 0.0
+                    else DEFAULT_HANG_S)
 
 
 def detach(obj) -> None:

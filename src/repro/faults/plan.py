@@ -50,6 +50,12 @@ SITES: Dict[str, Tuple[str, ...]] = {
     # Campaign-level unit-of-work faults: a retryable abort, or a fatal
     # "crash" that the retry layer refuses to absorb (simulated power cut).
     "campaign.unit": ("abort", "crash"),
+    # Worker-process faults for chaos-testing the parallel supervisor: the
+    # worker process dies outright (SIGKILL-style, breaking its pool) or
+    # hangs for ``magnitude`` seconds (default: effectively forever).  Only
+    # rolled inside worker processes, keyed by (module_id, dispatch), so a
+    # requeued module re-rolls and the campaign converges.
+    "campaign.worker": ("crash", "hang"),
 }
 
 
@@ -217,11 +223,14 @@ class FaultPlan:
 def parse_fault_plan(text: str, seed: int = DEFAULT_SEED) -> FaultPlan:
     """Build a plan from a compact CLI spec.
 
-    Comma-separated ``site[:kind]=rate`` tokens, e.g.::
+    Comma-separated ``site[:kind]=rate[@magnitude]`` tokens, e.g.::
 
         campaign.unit=0.1,thermal.settle:overshoot=0.25
+        campaign.worker:hang=0.05@30
 
-    Omitting ``kind`` selects the site's default (first) kind.
+    Omitting ``kind`` selects the site's default (first) kind; the
+    optional ``@magnitude`` is kind-specific (overshoot in degC, hang
+    duration in seconds).
     """
     specs: List[FaultSpec] = []
     for token in text.split(","):
@@ -230,15 +239,20 @@ def parse_fault_plan(text: str, seed: int = DEFAULT_SEED) -> FaultPlan:
             continue
         if "=" not in token:
             raise ConfigError(
-                f"bad fault token {token!r}; expected site[:kind]=rate")
-        name, _, rate_text = token.partition("=")
+                f"bad fault token {token!r}; expected "
+                "site[:kind]=rate[@magnitude]")
+        name, _, value_text = token.partition("=")
         site, _, kind = name.strip().partition(":")
+        rate_text, _, magnitude_text = value_text.partition("@")
         try:
             rate = float(rate_text)
+            magnitude = float(magnitude_text) if magnitude_text else 0.0
         except ValueError:
             raise ConfigError(
-                f"bad fault rate {rate_text!r} in token {token!r}") from None
-        specs.append(FaultSpec(site=site, kind=kind.strip(), rate=rate))
+                f"bad fault rate/magnitude {value_text!r} in token "
+                f"{token!r}") from None
+        specs.append(FaultSpec(site=site, kind=kind.strip(), rate=rate,
+                               magnitude=magnitude))
     if not specs:
         raise ConfigError(f"fault plan spec {text!r} names no faults")
     return FaultPlan(seed=seed, specs=specs)

@@ -1,4 +1,5 @@
-"""Resilient campaign execution: retry, quarantine, checkpoint/resume.
+"""Resilient campaign execution: retry, quarantine, checkpoint/resume,
+supervised parallel dispatch.
 
 Entry point: :class:`~repro.runner.campaign.CampaignRunner`.
 """
@@ -10,30 +11,53 @@ from repro.runner.campaign import (
     CampaignStats,
     QuarantineRecord,
 )
-from repro.runner.checkpoint import CheckpointStore, config_fingerprint
+from repro.runner.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointAudit,
+    CheckpointStore,
+    CorruptionRecord,
+    audit_checkpoint_dir,
+    config_fingerprint,
+)
 from repro.runner.retry import (
     FATAL_FAULT_KINDS,
     RETRYABLE_ERRORS,
+    Deadline,
     RetryPolicy,
     VirtualClock,
     WallClock,
     call_with_retry,
 )
+from repro.runner.supervisor import (
+    CampaignSupervisor,
+    SupervisionEvent,
+    SupervisionLog,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "ADAPTERS",
+    "CHECKPOINT_FORMAT",
     "CampaignOutcome",
     "CampaignRunner",
     "CampaignStats",
+    "CampaignSupervisor",
+    "CheckpointAudit",
     "CheckpointStore",
+    "CorruptionRecord",
+    "Deadline",
     "FATAL_FAULT_KINDS",
     "QuarantineRecord",
     "RETRYABLE_ERRORS",
     "RetryPolicy",
     "StudyAdapter",
+    "SupervisionEvent",
+    "SupervisionLog",
+    "SupervisorPolicy",
     "VirtualClock",
     "WallClock",
     "adapter_for",
+    "audit_checkpoint_dir",
     "call_with_retry",
     "config_fingerprint",
 ]

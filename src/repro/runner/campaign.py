@@ -29,18 +29,27 @@ values an undisturbed run produces — resilience never changes the science.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import StudyConfig
 from repro.dram.catalog import ModuleSpec
 from repro.errors import ConfigError, RetryExhaustedError, SubstrateFault
+from repro.faults.injector import perform_worker_fault
 from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
 from repro.rng import SeedSequenceTree
 from repro.runner.adapters import StudyAdapter, adapter_for
-from repro.runner.checkpoint import CheckpointStore, PathLike
+from repro.runner.checkpoint import (
+    CheckpointStore,
+    CorruptionRecord,
+    PathLike,
+)
 from repro.runner.retry import RetryPolicy, VirtualClock, call_with_retry
+from repro.runner.supervisor import (
+    CampaignSupervisor,
+    SupervisionLog,
+    SupervisorPolicy,
+)
 
 
 @dataclass
@@ -67,6 +76,13 @@ class CampaignStats:
     units_run: int = 0
     units_retried: int = 0
     backoff_slept_s: float = 0.0
+    # Supervision counters (workers > 1): module dispatches repeated after
+    # worker loss or deadline expiry, and worker-pool respawns.
+    modules_requeued: int = 0
+    workers_respawned: int = 0
+    # Checkpoint files that failed integrity verification on resume and
+    # were quarantined (their modules re-ran).
+    checkpoints_quarantined: int = 0
 
 
 @dataclass
@@ -79,6 +95,11 @@ class CampaignOutcome:
     quarantined: List[QuarantineRecord] = field(default_factory=list)
     stats: CampaignStats = field(default_factory=CampaignStats)
     fault_plan: Optional[FaultPlan] = None
+    #: Supervision event log (workers > 1; None on the serial path).
+    supervision: Optional[SupervisionLog] = None
+    #: Checkpoint files quarantined on resume (integrity failures).
+    checkpoint_corruption: List[CorruptionRecord] = field(
+        default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -98,6 +119,18 @@ class CampaignOutcome:
             f"  units:   {stats.units_run} run, {stats.units_retried} "
             f"retries; backoff slept {stats.backoff_slept_s:.2f} s (virtual)",
         ]
+        if self.supervision is not None and self.supervision.eventful():
+            log = self.supervision
+            lines.append(
+                f"  superv:  {stats.modules_requeued} requeue(s), "
+                f"{stats.workers_respawned} pool respawn(s), "
+                f"{log.count('deadline')} deadline expiry(ies), "
+                f"{log.count('give-up')} module(s) lost")
+        if self.checkpoint_corruption:
+            lines.append(f"  ckpt:    {len(self.checkpoint_corruption)} "
+                         "corrupted checkpoint(s) quarantined and re-run:")
+            for record in self.checkpoint_corruption:
+                lines.append(f"    - {record}")
         if self.fault_plan is not None:
             histogram = self.fault_plan.log.by_site_kind()
             summary = ", ".join(f"{label}: {fires}"
@@ -122,7 +155,8 @@ class CampaignRunner:
                  fault_plan: Optional[FaultPlan] = None,
                  retry: Optional[RetryPolicy] = None,
                  clock=None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 supervisor: Optional[SupervisorPolicy] = None) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         self.config = config
@@ -132,6 +166,8 @@ class CampaignRunner:
         self.retry = retry if retry is not None else RetryPolicy()
         self.clock = clock if clock is not None else VirtualClock()
         self.workers = int(workers)
+        self.supervisor = supervisor if supervisor is not None \
+            else SupervisorPolicy(module_deadline_s=config.module_deadline_s)
         # Jitter streams are derived from the config seed, one per unit id,
         # so the retry schedule is reproducible and order-independent.
         self._tree = SeedSequenceTree(config.seed, "campaign")
@@ -142,14 +178,18 @@ class CampaignRunner:
         """Run ``study`` over ``specs`` (default: the config's modules)."""
         adapter = adapter_for(study, self.config)
         store = None
+        corruption: List[CorruptionRecord] = []
         if self.checkpoint_dir is not None:
             store = CheckpointStore(self.checkpoint_dir, study, self.config,
                                     resume=self.resume)
+            corruption = list(store.corrupted)
         specs = list(specs) if specs is not None \
             else self.config.module_specs()
-        stats = CampaignStats(modules_requested=len(specs))
+        stats = CampaignStats(modules_requested=len(specs),
+                              checkpoints_quarantined=len(corruption))
         if self.workers > 1:
-            return self._run_parallel(adapter, study, specs, store, stats)
+            return self._run_parallel(adapter, study, specs, store, stats,
+                                      corruption)
         modules: List[object] = []
         quarantined: List[QuarantineRecord] = []
         for spec in specs:
@@ -173,7 +213,8 @@ class CampaignRunner:
         return CampaignOutcome(study=study, config=self.config,
                                result=adapter.make_result(modules),
                                quarantined=quarantined, stats=stats,
-                               fault_plan=self.fault_plan)
+                               fault_plan=self.fault_plan,
+                               checkpoint_corruption=corruption)
 
     # ------------------------------------------------------------------
     # Parallel execution across modules
@@ -200,12 +241,17 @@ class CampaignRunner:
     def _run_parallel(self, adapter: StudyAdapter, study: str,
                       specs: List[ModuleSpec],
                       store: Optional[CheckpointStore],
-                      stats: CampaignStats) -> CampaignOutcome:
-        """Fan module runs out to worker processes; merge in spec order.
+                      stats: CampaignStats,
+                      corruption: List[CorruptionRecord]) -> CampaignOutcome:
+        """Fan module runs out to supervised workers; merge in spec order.
 
         Workers never touch the checkpoint store — they return serialized
         payloads and the parent persists them, so checkpoint files are
-        written exactly once and in a single process.
+        written exactly once and in a single process.  Dispatch runs under
+        :class:`~repro.runner.supervisor.CampaignSupervisor`: per-module
+        wall-clock deadlines, ``BrokenProcessPool`` detection, pool
+        respawn and bounded requeue, with every decision recorded in a
+        :class:`~repro.runner.supervisor.SupervisionLog`.
         """
         self._check_parallel_safe()
         fault_seed = self.fault_plan.seed if self.fault_plan is not None \
@@ -223,26 +269,26 @@ class CampaignRunner:
             else:
                 pending.append(spec)
 
+        supervision = SupervisionLog()
         reports: Dict[str, dict] = {}
+        lost_by_module: Dict[str, object] = {}
         first_error: Optional[BaseException] = None
         if pending:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    (spec, pool.submit(_run_module_worker, _WorkerTask(
-                        study=study, config=self.config, spec=spec,
-                        retry=self.retry, fault_seed=fault_seed,
-                        fault_specs=fault_specs)))
-                    for spec in pending
-                ]
-                for spec, future in futures:
-                    try:
-                        reports[spec.module_id] = future.result()
-                    except BaseException as error:  # noqa: BLE001
-                        # Fatal faults (e.g. injected crashes) propagate
-                        # like in a serial run; keep draining so completed
-                        # modules still reach the checkpoint store first.
-                        if first_error is None:
-                            first_error = error
+            def make_task(spec: ModuleSpec, dispatch: int) -> "_WorkerTask":
+                return _WorkerTask(study=study, config=self.config,
+                                   spec=spec, retry=self.retry,
+                                   fault_seed=fault_seed,
+                                   fault_specs=fault_specs,
+                                   dispatch=dispatch)
+
+            outcome = CampaignSupervisor(
+                _run_module_worker, make_task, workers=self.workers,
+                policy=self.supervisor, log=supervision).run(pending)
+            reports = outcome.reports
+            lost_by_module = {err.module_id: err for err in outcome.lost}
+            first_error = outcome.first_error
+        stats.modules_requeued = supervision.count("requeue")
+        stats.workers_respawned = supervision.count("respawn")
 
         modules: List[object] = []
         quarantined: List[QuarantineRecord] = []
@@ -254,7 +300,15 @@ class CampaignRunner:
                 continue
             report = reports.get(module_id)
             if report is None:
-                continue  # its worker crashed; first_error re-raised below
+                error = lost_by_module.get(module_id)
+                if error is not None:
+                    # Requeue budget spent: quarantine exactly like the
+                    # serial retry path would.
+                    quarantined.append(QuarantineRecord(
+                        module_id=module_id,
+                        unit=self._unit_id(study, module_id, "worker"),
+                        attempts=error.dispatches, cause=error.cause))
+                continue  # fatal fault; first_error re-raised below
             worker_stats = report["stats"]
             stats.units_run += worker_stats.units_run
             stats.units_retried += worker_stats.units_retried
@@ -282,7 +336,9 @@ class CampaignRunner:
         return CampaignOutcome(study=study, config=self.config,
                                result=adapter.make_result(modules),
                                quarantined=quarantined, stats=stats,
-                               fault_plan=self.fault_plan)
+                               fault_plan=self.fault_plan,
+                               supervision=supervision,
+                               checkpoint_corruption=corruption)
 
     # ------------------------------------------------------------------
     def _run_module(self, adapter: StudyAdapter, study: str,
@@ -332,6 +388,9 @@ class _WorkerTask:
     retry: RetryPolicy
     fault_seed: Optional[int]
     fault_specs: Tuple[FaultSpec, ...]
+    #: 1-based dispatch count; increments when the supervisor requeues the
+    #: module after a worker loss, so worker fault kinds re-roll.
+    dispatch: int = 1
 
 
 def _run_module_worker(task: _WorkerTask) -> dict:
@@ -343,11 +402,21 @@ def _run_module_worker(task: _WorkerTask) -> dict:
     module's result is identical to what the serial runner computes.
     Returns a picklable report; quarantine travels as data rather than as
     an exception so one bad module cannot poison the pool.
+
+    ``campaign.worker`` faults fire here, keyed by ``(module_id,
+    dispatch)``: a ``crash`` kills this process outright (breaking the
+    pool, which the supervisor detects and requeues), a ``hang`` stalls it
+    until the per-module deadline expires.  A requeued dispatch re-rolls
+    under a fresh key, so chaos campaigns converge deterministically.
     """
     adapter = adapter_for(task.study, task.config)
     plan = None
     if task.fault_seed is not None:
         plan = FaultPlan(seed=task.fault_seed, specs=task.fault_specs)
+        event = plan.roll("campaign.worker", task.spec.module_id,
+                          f"dispatch{task.dispatch}")
+        if event is not None:
+            perform_worker_fault(event)
     runner = CampaignRunner(task.config, fault_plan=plan, retry=task.retry)
     stats = CampaignStats()
     try:

@@ -1,50 +1,119 @@
 """Per-module campaign checkpoints: interrupt anywhere, resume anywhere.
 
-Layout of a checkpoint directory::
+Layout of a format-2 checkpoint directory::
 
-    <dir>/manifest.json                  # study + config fingerprint
+    <dir>/manifest.json                    # format + study + config fingerprint
+    <dir>/journal.jsonl                    # append-only integrity journal
     <dir>/module-<study>-<module_id>.json  # one file per completed module
 
 Each module file holds the lossless per-module dictionary from
-:mod:`repro.core.serialize`, written atomically (temp file + rename) so a
-kill mid-write never leaves a truncated checkpoint behind.  The manifest
-pins the exact study and configuration (including the seed); resuming
-against a different configuration is refused rather than silently merging
-incompatible measurements.
+:mod:`repro.core.serialize`, written atomically (temp file, ``fsync``,
+rename, parent-directory ``fsync``) so a power cut never publishes a
+truncated checkpoint.  After every publish one line is appended (and
+``fsync``\\ ed) to the journal::
+
+    {"file": "module-temperature-A0.json", "length": 5321,
+     "module": "A0", "sha256": "..."}
+
+Resuming re-verifies every module file against its last journal entry:
+a mismatching or unparseable file is *quarantined* (renamed to
+``*.corrupt``) and only that module is re-run — torn on-disk state can
+cost one module, never the campaign and never silent corruption of the
+merged result.  The manifest pins the exact study and configuration
+(including the seed, excluding operational knobs — see
+:data:`repro.core.config.OPERATIONAL_FIELDS`); resuming against a
+different configuration is refused rather than silently merging
+incompatible measurements.  Format-1 directories (no journal, no
+checksums) are migrated in place on resume: every module file is
+validity-checked, journaled, and the manifest is rewritten as format 2.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import pathlib
-from typing import Any, Dict, List, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
 
-from repro.core.config import StudyConfig
-from repro.errors import ConfigError
+from repro.core.config import OPERATIONAL_FIELDS, StudyConfig
+from repro.errors import CheckpointCorruptionError, ConfigError
 
 PathLike = Union[str, pathlib.Path]
 
 #: Bump when the checkpoint layout changes incompatibly.
-CHECKPOINT_FORMAT = 1
+CHECKPOINT_FORMAT = 2
+
+#: Formats the store can open (format 1 is migrated in place on resume).
+SUPPORTED_FORMATS = (1, 2)
+
+JOURNAL = "journal.jsonl"
 
 
 def config_fingerprint(study: str, config: StudyConfig) -> Dict[str, Any]:
-    """JSON-safe identity of one campaign: study name + every config knob."""
+    """JSON-safe identity of one campaign: study name + science knobs.
+
+    Operational fields (worker deadlines etc.) are excluded: they change
+    how a campaign is babysat, never what it measures, so resuming under
+    different supervision settings is sound.
+    """
     fields = {key: (list(value) if isinstance(value, tuple) else value)
-              for key, value in dataclasses.asdict(config).items()}
-    return {"format": CHECKPOINT_FORMAT, "study": study, "config": fields}
+              for key, value in dataclasses.asdict(config).items()
+              if key not in OPERATIONAL_FIELDS}
+    return {"study": study, "config": fields}
 
 
-def _write_atomic(path: pathlib.Path, payload: Dict[str, Any]) -> None:
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_atomic_bytes(path: pathlib.Path, data: bytes) -> None:
+    """Publish ``data`` at ``path`` so a power cut leaves old-or-new, never
+    torn: write to a temp file, ``fsync`` it, rename over the target, then
+    ``fsync`` the parent directory so the rename itself is durable."""
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _write_atomic(path: pathlib.Path, payload: Dict[str, Any]) -> bytes:
+    data = _encode(payload)
+    _write_atomic_bytes(path, data)
+    return data
+
+
+def _encode(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class CorruptionRecord:
+    """One checkpoint file that failed verification and was set aside."""
+
+    module_id: str
+    path: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.module_id}: {self.reason} ({self.path})"
 
 
 class CheckpointStore:
-    """One campaign's on-disk checkpoint directory."""
+    """One campaign's on-disk checkpoint directory (format 2)."""
 
     MANIFEST = "manifest.json"
 
@@ -53,6 +122,12 @@ class CheckpointStore:
         self.directory = pathlib.Path(directory)
         self.study = study
         self.fingerprint = config_fingerprint(study, config)
+        #: Module files quarantined during this open (resume only).
+        self.corrupted: List[CorruptionRecord] = []
+        #: Stale ``*.tmp`` files swept during this open (resume only).
+        self.swept_tmp: List[str] = []
+        self._verified: set = set()
+        self._journal: Dict[str, Dict[str, Any]] = {}
         manifest_path = self.directory / self.MANIFEST
         if manifest_path.exists():
             if not resume:
@@ -60,26 +135,140 @@ class CheckpointStore:
                     f"checkpoint directory {self.directory} already holds a "
                     "campaign; pass resume=True (CLI: --resume) to continue "
                     "it, or point at a fresh directory")
-            existing = json.loads(manifest_path.read_text())
-            if existing != self.fingerprint:
-                raise ConfigError(
-                    f"checkpoint directory {self.directory} was written by a "
-                    "different study/configuration; refusing to merge "
-                    "incompatible measurements")
+            self._open_existing(manifest_path)
         else:
             self.directory.mkdir(parents=True, exist_ok=True)
-            _write_atomic(manifest_path, self.fingerprint)
+            _write_atomic(manifest_path, self._manifest_payload())
+
+    # ------------------------------------------------------------------
+    def _manifest_payload(self) -> Dict[str, Any]:
+        return {"format": CHECKPOINT_FORMAT, **self.fingerprint}
+
+    def _open_existing(self, manifest_path: pathlib.Path) -> None:
+        try:
+            existing = json.loads(manifest_path.read_text())
+        except ValueError:
+            raise ConfigError(
+                f"checkpoint manifest {manifest_path} is not valid JSON; "
+                "the directory is corrupt beyond automatic repair") from None
+        existing_format = existing.get("format")
+        if existing_format not in SUPPORTED_FORMATS:
+            raise ConfigError(
+                f"checkpoint directory {self.directory} uses format "
+                f"{existing_format!r}; this build supports "
+                f"{SUPPORTED_FORMATS}")
+        identity = {key: existing.get(key) for key in ("study", "config")}
+        if identity != self.fingerprint:
+            raise ConfigError(
+                f"checkpoint directory {self.directory} was written by a "
+                "different study/configuration; refusing to merge "
+                "incompatible measurements")
+        self._sweep_tmp_files()
+        self._load_journal()
+        self._verify_module_files()
+        if existing_format < CHECKPOINT_FORMAT:
+            # Migration completes only after every surviving module file
+            # is journaled; the manifest rewrite is the commit point.
+            _write_atomic(manifest_path, self._manifest_payload())
+
+    def _sweep_tmp_files(self) -> None:
+        """Remove temp files a killed writer left behind.
+
+        A ``*.tmp`` is by definition unpublished — its rename never
+        happened — so deleting it loses nothing and stops an interrupted
+        campaign from accumulating dead files forever.
+        """
+        for tmp in sorted(self.directory.glob("*.tmp")):
+            tmp.unlink()
+            self.swept_tmp.append(tmp.name)
+
+    def _load_journal(self) -> None:
+        journal_path = self.directory / JOURNAL
+        if not journal_path.exists():
+            return
+        for line in journal_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # A torn append (power cut mid-line).  The entry's module
+                # file is simply treated as unjournaled below — re-verified
+                # from its own bytes or re-run.
+                continue
+            if isinstance(entry, dict) and "module" in entry:
+                self._journal[entry["module"]] = entry
+
+    def _verify_module_files(self) -> None:
+        prefix = f"module-{self.study}-"
+        for path in sorted(self.directory.glob(f"{prefix}*.json")):
+            module_id = path.name[len(prefix):-len(".json")]
+            data = path.read_bytes()
+            entry = self._journal.get(module_id)
+            if entry is not None:
+                if (entry.get("length") == len(data)
+                        and entry.get("sha256") == _sha256(data)):
+                    self._verified.add(module_id)
+                else:
+                    self._quarantine_file(
+                        path, module_id,
+                        "sha256/length mismatch against the journal")
+            else:
+                # Published but never journaled (torn journal append, or a
+                # format-1 directory).  Atomic publish guarantees the file
+                # is complete iff it parses; re-journal it if so.
+                try:
+                    json.loads(data.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    self._quarantine_file(
+                        path, module_id, "unjournaled and unparseable")
+                    continue
+                self._append_journal(module_id, path.name, data)
+                self._verified.add(module_id)
+
+    def _quarantine_file(self, path: pathlib.Path, module_id: str,
+                         reason: str) -> None:
+        target = path.with_suffix(path.suffix + ".corrupt")
+        os.replace(path, target)
+        _fsync_dir(path.parent)
+        self._journal.pop(module_id, None)
+        self.corrupted.append(CorruptionRecord(
+            module_id=module_id, path=str(target), reason=reason))
+
+    def _append_journal(self, module_id: str, file_name: str,
+                        data: bytes) -> None:
+        entry = {"file": file_name, "length": len(data),
+                 "module": module_id, "sha256": _sha256(data)}
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        journal_path = self.directory / JOURNAL
+        created = not journal_path.exists()
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if created:
+            _fsync_dir(self.directory)
+        self._journal[module_id] = entry
 
     # ------------------------------------------------------------------
     def module_path(self, module_id: str) -> pathlib.Path:
         return self.directory / f"module-{self.study}-{module_id}.json"
 
     def has(self, module_id: str) -> bool:
-        return self.module_path(module_id).exists()
+        """True when a *verified* checkpoint exists for ``module_id``.
+
+        Every existing file is verified (or quarantined) when the store is
+        opened, and every ``save`` verifies by construction, so membership
+        in the verified set is exactly "safe to resume from".
+        """
+        return module_id in self._verified
 
     def save(self, module_id: str, payload: Dict[str, Any]) -> pathlib.Path:
         path = self.module_path(module_id)
-        _write_atomic(path, payload)
+        data = _write_atomic(path, payload)
+        self._append_journal(module_id, path.name, data)
+        self._verified.add(module_id)
         return path
 
     def load(self, module_id: str) -> Dict[str, Any]:
@@ -87,7 +276,15 @@ class CheckpointStore:
         if not path.exists():
             raise ConfigError(f"no checkpoint for module {module_id!r} "
                               f"in {self.directory}")
-        return json.loads(path.read_text())
+        data = path.read_bytes()
+        entry = self._journal.get(module_id)
+        if entry is not None and (entry.get("length") != len(data)
+                                  or entry.get("sha256") != _sha256(data)):
+            raise CheckpointCorruptionError(
+                f"checkpoint for module {module_id!r} does not match its "
+                f"journal entry (torn or tampered file)", path=str(path),
+                module_id=module_id)
+        return json.loads(data.decode("utf-8"))
 
     def completed_modules(self) -> List[str]:
         """Module ids with a finished checkpoint, sorted."""
@@ -96,3 +293,123 @@ class CheckpointStore:
         for path in sorted(self.directory.glob(f"{prefix}*.json")):
             found.append(path.name[len(prefix):-len(".json")])
         return sorted(found)
+
+
+# ----------------------------------------------------------------------
+# Standalone integrity audit (CLI: deeprh campaign --verify <dir>)
+# ----------------------------------------------------------------------
+
+@dataclass
+class CheckpointAudit:
+    """Result of a read-only integrity audit of one checkpoint directory."""
+
+    directory: str
+    format: Optional[int] = None
+    study: str = ""
+    verified: List[str] = dataclasses.field(default_factory=list)
+    problems: List[str] = dataclasses.field(default_factory=list)
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "CORRUPT"
+        lines = [f"checkpoint audit of {self.directory}: {status} "
+                 f"(format {self.format}, study {self.study or '?'!r}, "
+                 f"{len(self.verified)} module file(s) verified)"]
+        for problem in self.problems:
+            lines.append(f"  PROBLEM: {problem}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def audit_checkpoint_dir(directory: PathLike) -> CheckpointAudit:
+    """Read-only integrity audit: verify every module file, change nothing.
+
+    Problems (non-zero exit from the CLI): missing/corrupt manifest,
+    unsupported format, checksum/length mismatches, unparseable or
+    unjournaled module files, stale temp files.  Journal entries whose
+    files are gone and already-quarantined ``*.corrupt`` files are notes —
+    a resume handles both without data loss.
+    """
+    root = pathlib.Path(directory)
+    audit = CheckpointAudit(directory=str(root))
+    manifest_path = root / CheckpointStore.MANIFEST
+    if not manifest_path.exists():
+        audit.problems.append("no manifest.json; not a checkpoint directory")
+        return audit
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError:
+        audit.problems.append("manifest.json is not valid JSON")
+        return audit
+    audit.format = manifest.get("format")
+    audit.study = str(manifest.get("study", ""))
+    if audit.format not in SUPPORTED_FORMATS:
+        audit.problems.append(f"unsupported checkpoint format "
+                              f"{audit.format!r}")
+        return audit
+
+    journal: Dict[str, Dict[str, Any]] = {}
+    journal_path = root / JOURNAL
+    if journal_path.exists():
+        for number, line in enumerate(journal_path.read_text().splitlines(),
+                                      start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                audit.notes.append(f"journal line {number} is torn "
+                                   "(ignored; its module re-verifies "
+                                   "from file bytes)")
+                continue
+            if isinstance(entry, dict) and "module" in entry:
+                journal[entry["module"]] = entry
+    elif audit.format == CHECKPOINT_FORMAT:
+        audit.notes.append("format-2 directory without a journal "
+                           "(no modules checkpointed yet)")
+
+    prefix = f"module-{audit.study}-"
+    seen = set()
+    for path in sorted(root.glob(f"{prefix}*.json")):
+        module_id = path.name[len(prefix):-len(".json")]
+        seen.add(module_id)
+        data = path.read_bytes()
+        entry = journal.get(module_id)
+        if entry is not None:
+            if (entry.get("length") == len(data)
+                    and entry.get("sha256") == _sha256(data)):
+                audit.verified.append(module_id)
+            else:
+                audit.problems.append(
+                    f"{path.name}: sha256/length mismatch against the "
+                    "journal (torn or tampered file)")
+            continue
+        try:
+            json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            audit.problems.append(f"{path.name}: unjournaled and "
+                                  "unparseable")
+            continue
+        if audit.format == CHECKPOINT_FORMAT:
+            audit.problems.append(
+                f"{path.name}: parseable but missing from the journal "
+                "(open with --resume to repair the journal)")
+        else:
+            audit.verified.append(module_id)
+            audit.notes.append(f"{path.name}: format-1 file without "
+                               "checksums (open with --resume to migrate)")
+    for module_id in sorted(set(journal) - seen):
+        audit.notes.append(f"journal entry for module {module_id!r} has no "
+                           "file (module will re-run on resume)")
+    for tmp in sorted(root.glob("*.tmp")):
+        audit.problems.append(f"{tmp.name}: stale temp file from a killed "
+                              "writer (swept automatically on resume)")
+    for corrupt in sorted(root.glob("*.corrupt")):
+        audit.notes.append(f"{corrupt.name}: previously quarantined file")
+    return audit

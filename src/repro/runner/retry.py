@@ -72,6 +72,36 @@ class WallClock:
         self.slept_s += seconds
 
 
+class Deadline:
+    """One wall-clock budget, armed at construction.
+
+    The campaign supervisor arms one per dispatched module; unlike the
+    per-unit deadline inside :class:`RetryPolicy` (which only ticks on the
+    campaign's virtual clock), this must catch a worker that stops making
+    progress entirely, so it defaults to real monotonic time.  A budget of
+    ``None`` never expires.
+    """
+
+    def __init__(self, budget_s: Optional[float], clock=None) -> None:
+        if budget_s is not None and budget_s <= 0:
+            raise ConfigError("deadline budget must be positive (or None)")
+        self.budget_s = budget_s
+        self.clock = clock if clock is not None else WallClock()
+        self.started_s = self.clock.now()
+
+    def elapsed_s(self) -> float:
+        return self.clock.now() - self.started_s
+
+    def expired(self) -> bool:
+        return self.budget_s is not None and self.elapsed_s() >= self.budget_s
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds left, clamped at zero (``None`` = unlimited)."""
+        if self.budget_s is None:
+            return None
+        return max(0.0, self.budget_s - self.elapsed_s())
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How hard to try before quarantining a unit of work."""

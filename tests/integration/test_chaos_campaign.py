@@ -1,0 +1,186 @@
+"""Chaos end-to-end: crashed and hung workers, corrupted checkpoints.
+
+The supervised parallel path must survive the failure modes a weeks-long
+physical campaign actually meets — a worker process dying under a module,
+a worker wedging forever, a checkpoint file torn by a power cut — and
+still merge a report byte-identical to an undisturbed single-worker run.
+Worker fault rolls are keyed by ``(module_id, dispatch)``, so every
+scenario here is seed-deterministic.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.core.temperature_study import TemperatureStudy
+from repro.cli import main as cli_main
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.runner import CampaignRunner, SupervisorPolicy
+
+pytestmark = pytest.mark.faults
+
+#: >= 3 modules (one per manufacturer: A, B, C, D) x >= 3 temperatures.
+CONFIG = QUICK.scaled(rows_per_region=10, modules_per_manufacturer=1,
+                      temperatures_c=(50.0, 70.0, 90.0),
+                      hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return CONFIG.module_specs()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_dict(specs):
+    return result_to_dict(TemperatureStudy(CONFIG).run(specs))
+
+
+def canonical(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+class TestWorkerCrashRecovery:
+    def test_crashed_worker_requeued_byte_identical(self, specs,
+                                                    uninterrupted_dict):
+        """A worker dies mid-campaign; the supervisor respawns the pool,
+        requeues the in-flight modules, and the merge is untouched."""
+        victim = specs[1].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.worker", kind="crash",
+                      match=f"{victim}/dispatch1")])
+        outcome = CampaignRunner(CONFIG, workers=4,
+                                 fault_plan=plan).run("temperature", specs)
+        assert outcome.ok
+        assert outcome.stats.modules_completed == len(specs)
+        assert result_to_dict(outcome.result) == uninterrupted_dict
+        log = outcome.supervision
+        assert log.count("worker-lost") >= 1
+        assert log.count("respawn") >= 1
+        assert log.count("requeue", module_id=victim) >= 1
+        assert outcome.stats.modules_requeued >= 1
+        assert outcome.stats.workers_respawned >= 1
+        assert "requeue" in outcome.degradation_report()
+
+    def test_persistent_crasher_quarantined_then_resumed(self, tmp_path,
+                                                         specs,
+                                                         uninterrupted_dict):
+        """The ISSUE acceptance scenario: a worker-crash fault kills one
+        module past its requeue budget; the campaign completes around it;
+        ``--resume`` without faults re-runs just that module and the merge
+        is byte-identical to an uninterrupted single-worker run."""
+        victim = specs[2].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.worker", kind="crash", match=victim)])
+        outcome = CampaignRunner(
+            CONFIG, workers=3, fault_plan=plan, checkpoint_dir=tmp_path,
+            supervisor=SupervisorPolicy(max_requeues=1),
+        ).run("temperature", specs)
+        assert not outcome.ok
+        # The crasher is always given up; siblings sharing its pool may be
+        # charged out too (the crasher cannot be identified at break time),
+        # but nothing is lost silently: every module either completed with
+        # a verified checkpoint or was quarantined with a cause.
+        lost = {r.module_id for r in outcome.quarantined}
+        assert victim in lost
+        assert outcome.supervision.count("give-up", module_id=victim) == 1
+        assert outcome.stats.modules_completed + len(lost) == len(specs)
+        assert (len(list(tmp_path.glob("module-*.json")))
+                == outcome.stats.modules_completed)
+
+        resumed = CampaignRunner(CONFIG, checkpoint_dir=tmp_path,
+                                 resume=True).run("temperature", specs)
+        assert resumed.ok
+        assert resumed.stats.modules_resumed \
+            == outcome.stats.modules_completed
+        assert resumed.stats.modules_completed == len(lost)
+        assert result_to_dict(resumed.result) == uninterrupted_dict
+
+
+class TestHungWorkerDeadline:
+    def test_hang_expires_deadline_and_recovers(self, specs,
+                                                uninterrupted_dict):
+        """A wedged worker trips the module deadline; the pool is killed,
+        the module re-dispatched, and the merge is untouched."""
+        sleeper = specs[0].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.worker", kind="hang", magnitude=60.0,
+                      match=f"{sleeper}/dispatch1")])
+        outcome = CampaignRunner(
+            CONFIG, workers=2, fault_plan=plan,
+            supervisor=SupervisorPolicy(module_deadline_s=2.0),
+        ).run("temperature", specs)
+        assert outcome.ok
+        assert result_to_dict(outcome.result) == uninterrupted_dict
+        log = outcome.supervision
+        assert log.count("deadline", module_id=sleeper) == 1
+        assert log.count("respawn") >= 1
+        assert "deadline" in outcome.degradation_report()
+
+    def test_mixed_chaos_byte_identical(self, specs, uninterrupted_dict):
+        """Crash and hang in one campaign: whatever the interleaving, the
+        supervisor drives all modules to completion and the merged report
+        matches a fault-free serial run byte for byte."""
+        crasher, sleeper = specs[1].module_id, specs[3].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.worker", kind="crash",
+                      match=f"{crasher}/dispatch1"),
+            FaultSpec(site="campaign.worker", kind="hang", magnitude=60.0,
+                      match=f"{sleeper}/dispatch1"),
+        ])
+        serial = CampaignRunner(CONFIG).run("temperature", specs)
+        chaos = CampaignRunner(
+            CONFIG, workers=4, fault_plan=plan,
+            supervisor=SupervisorPolicy(module_deadline_s=3.0),
+        ).run("temperature", specs)
+        assert chaos.ok
+        assert canonical(chaos.result) == canonical(serial.result)
+        assert chaos.supervision.count("requeue") >= 2
+        assert chaos.supervision.count("respawn") >= 1
+
+
+class TestCorruptedCheckpointResume:
+    def test_truncated_checkpoint_quarantined_and_rerun(self, tmp_path,
+                                                        specs,
+                                                        uninterrupted_dict):
+        """The ISSUE acceptance scenario: a hand-truncated module file is
+        detected on resume, quarantined to ``*.corrupt``, and only that
+        module is re-run — no crash, no silent corruption."""
+        CampaignRunner(CONFIG, checkpoint_dir=tmp_path).run("temperature",
+                                                            specs)
+        victim = sorted(tmp_path.glob("module-*.json"))[1]
+        victim.write_bytes(victim.read_bytes()[:100])
+
+        outcome = CampaignRunner(CONFIG, checkpoint_dir=tmp_path,
+                                 resume=True).run("temperature", specs)
+        assert outcome.ok
+        assert outcome.stats.modules_resumed == len(specs) - 1
+        assert outcome.stats.modules_completed == 1
+        assert outcome.stats.checkpoints_quarantined == 1
+        assert len(outcome.checkpoint_corruption) == 1
+        assert (victim.parent / (victim.name + ".corrupt")).exists()
+        assert result_to_dict(outcome.result) == uninterrupted_dict
+        assert "quarantined and re-run" in outcome.degradation_report()
+
+
+class TestVerifyCli:
+    def test_verify_exit_codes_track_integrity(self, tmp_path, specs,
+                                               capsys):
+        CampaignRunner(CONFIG, checkpoint_dir=tmp_path).run("temperature",
+                                                            specs)
+        assert cli_main(["campaign", "--verify", str(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        victim = sorted(tmp_path.glob("module-*.json"))[0]
+        victim.write_bytes(victim.read_bytes()[:50])
+        assert cli_main(["campaign", "--verify", str(tmp_path)]) == 1
+        assert "PROBLEM" in capsys.readouterr().out
+
+        CampaignRunner(CONFIG, checkpoint_dir=tmp_path,
+                       resume=True).run("temperature", specs)
+        assert cli_main(["campaign", "--verify", str(tmp_path)]) == 0
+
+    def test_campaign_without_study_or_verify_errors(self, capsys):
+        assert cli_main(["campaign"]) == 1
+        assert "required" in capsys.readouterr().err

@@ -164,3 +164,44 @@ class TestParse:
             parse_fault_plan("campaign.unit=lots")
         with pytest.raises(ConfigError):
             parse_fault_plan("  ,  ")
+
+    def test_magnitude_suffix(self):
+        plan = parse_fault_plan("campaign.worker:hang=0.05@30")
+        (spec,) = plan.specs
+        assert spec.site == "campaign.worker"
+        assert spec.kind == "hang"
+        assert spec.rate == 0.05
+        assert spec.magnitude == 30.0
+
+    def test_bad_magnitude_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_fault_plan("campaign.worker:hang=0.05@forever")
+
+
+class TestWorkerSite:
+    def test_worker_site_kinds(self):
+        assert SITES["campaign.worker"] == ("crash", "hang")
+        spec = FaultSpec(site="campaign.worker")
+        assert spec.kind == "crash"
+
+    def test_dispatch_key_rerolls(self):
+        """A requeued dispatch gets an independent (but seeded) decision."""
+        def rolls(seed):
+            plan = FaultPlan(seed=seed, specs=[
+                FaultSpec(site="campaign.worker", kind="crash", rate=0.5)])
+            return [plan.roll("campaign.worker", "A0",
+                              f"dispatch{n}") is not None
+                    for n in range(1, 30)]
+
+        assert rolls(7) == rolls(7)
+        assert True in rolls(7) and False in rolls(7)
+
+    def test_match_pins_one_dispatch(self):
+        """match="A0/dispatch1" crashes the first dispatch only — the
+        deterministic crash-recovery scenario of the chaos e2e tests."""
+        plan = FaultPlan(seed=1, specs=[
+            FaultSpec(site="campaign.worker", kind="crash",
+                      match="A0/dispatch1")])
+        assert plan.roll("campaign.worker", "A0", "dispatch1") is not None
+        assert plan.roll("campaign.worker", "A0", "dispatch2") is None
+        assert plan.roll("campaign.worker", "B1", "dispatch1") is None

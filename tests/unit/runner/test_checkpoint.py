@@ -4,11 +4,12 @@ import json
 
 import pytest
 
-from repro.core.config import QUICK
-from repro.errors import ConfigError
+from repro.core.config import OPERATIONAL_FIELDS, QUICK
+from repro.errors import CheckpointCorruptionError, ConfigError
 from repro.runner.checkpoint import (
     CHECKPOINT_FORMAT,
     CheckpointStore,
+    audit_checkpoint_dir,
     config_fingerprint,
 )
 
@@ -16,12 +17,20 @@ pytestmark = pytest.mark.faults
 
 
 class TestFingerprint:
-    def test_pins_study_and_every_knob(self):
+    def test_pins_study_and_every_science_knob(self):
         fp = config_fingerprint("temperature", QUICK)
-        assert fp["format"] == CHECKPOINT_FORMAT
         assert fp["study"] == "temperature"
         assert fp["config"]["seed"] == QUICK.seed
         assert fp["config"]["rows_per_region"] == QUICK.rows_per_region
+
+    def test_excludes_operational_fields(self):
+        # Supervision knobs change how a campaign is babysat, not what it
+        # measures — resuming under a different deadline must be sound.
+        fp = config_fingerprint("temperature", QUICK)
+        for field in OPERATIONAL_FIELDS:
+            assert field not in fp["config"]
+        assert fp == config_fingerprint(
+            "temperature", QUICK.scaled(module_deadline_s=42.0))
 
     def test_is_json_safe(self):
         fp = config_fingerprint("spatial", QUICK)
@@ -39,7 +48,7 @@ class TestStore:
         store = CheckpointStore(tmp_path / "ckpt", "temperature", QUICK)
         manifest = json.loads(
             (tmp_path / "ckpt" / "manifest.json").read_text())
-        assert manifest == store.fingerprint
+        assert manifest == {"format": CHECKPOINT_FORMAT, **store.fingerprint}
 
     def test_save_load_roundtrip_and_listing(self, tmp_path):
         store = CheckpointStore(tmp_path, "temperature", QUICK)
@@ -81,3 +90,136 @@ class TestStore:
         store = CheckpointStore(tmp_path, "temperature", QUICK)
         store.save("A0", {"module_id": "A0"})
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestIntegrityJournal:
+    def test_save_appends_sha256_and_length(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        path = store.save("A0", {"module_id": "A0", "values": [1.5]})
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["module"] == "A0"
+        assert entry["file"] == path.name
+        assert entry["length"] == len(path.read_bytes())
+        assert len(entry["sha256"]) == 64
+
+    def test_truncated_file_is_quarantined_on_resume(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        path = store.save("A0", {"module_id": "A0", "values": [1.5] * 50})
+        store.save("B1", {"module_id": "B1"})
+        path.write_bytes(path.read_bytes()[:20])
+
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True)
+        assert not resumed.has("A0") and resumed.has("B1")
+        assert [r.module_id for r in resumed.corrupted] == ["A0"]
+        assert not path.exists()
+        corrupt = path.with_suffix(path.suffix + ".corrupt")
+        assert corrupt.exists()
+        # Re-running the module heals the directory.
+        resumed.save("A0", {"module_id": "A0", "values": [1.5] * 50})
+        assert resumed.has("A0")
+
+    def test_load_detects_corruption_after_open(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        path = store.save("A0", {"module_id": "A0"})
+        path.write_text('{"module_id": "tampered"}')
+        with pytest.raises(CheckpointCorruptionError):
+            store.load("A0")
+
+    def test_stale_tmp_files_swept_on_resume(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        store.save("A0", {"module_id": "A0"})
+        stale = tmp_path / "module-temperature-B1.json.tmp"
+        stale.write_text("{")
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True)
+        assert not stale.exists()
+        assert resumed.swept_tmp == [stale.name]
+
+    def test_torn_journal_line_tolerated(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        store.save("A0", {"module_id": "A0"})
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(journal.read_text() + '{"file": "module-t')
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True)
+        assert resumed.has("A0")
+        assert resumed.corrupted == []
+
+
+class TestFormatMigration:
+    def _make_format1(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        store.save("A0", {"module_id": "A0"})
+        store.save("B1", {"module_id": "B1"})
+        (tmp_path / "journal.jsonl").unlink()
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 1
+        manifest_path.write_text(json.dumps(manifest))
+
+    def test_format1_migrated_in_place_on_resume(self, tmp_path):
+        self._make_format1(tmp_path)
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True)
+        assert resumed.has("A0") and resumed.has("B1")
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["format"] == CHECKPOINT_FORMAT
+        journal = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert {json.loads(line)["module"] for line in journal} == \
+            {"A0", "B1"}
+
+    def test_unparseable_format1_file_quarantined(self, tmp_path):
+        self._make_format1(tmp_path)
+        victim = tmp_path / "module-temperature-A0.json"
+        victim.write_bytes(victim.read_bytes()[:10])
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True)
+        assert not resumed.has("A0") and resumed.has("B1")
+        assert [r.module_id for r in resumed.corrupted] == ["A0"]
+
+    def test_unknown_format_refused(self, tmp_path):
+        CheckpointStore(tmp_path, "temperature", QUICK)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigError, match="format"):
+            CheckpointStore(tmp_path, "temperature", QUICK, resume=True)
+
+
+class TestAudit:
+    def test_clean_directory_is_ok(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        store.save("A0", {"module_id": "A0"})
+        audit = audit_checkpoint_dir(tmp_path)
+        assert audit.ok
+        assert audit.verified == ["A0"]
+        assert "OK" in audit.render()
+
+    def test_truncation_and_stale_tmp_are_problems(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        path = store.save("A0", {"module_id": "A0", "values": [1.0] * 50})
+        path.write_bytes(path.read_bytes()[:20])
+        (tmp_path / "module-temperature-B1.json.tmp").write_text("{")
+        audit = audit_checkpoint_dir(tmp_path)
+        assert not audit.ok
+        assert len(audit.problems) == 2
+        assert "CORRUPT" in audit.render()
+
+    def test_audit_is_read_only(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        path = store.save("A0", {"module_id": "A0"})
+        before = sorted(p.name for p in tmp_path.iterdir())
+        payload = path.read_bytes()
+        path.write_bytes(payload[:10])
+        audit_checkpoint_dir(tmp_path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == before
+        assert path.read_bytes() == payload[:10]
+
+    def test_not_a_checkpoint_directory(self, tmp_path):
+        audit = audit_checkpoint_dir(tmp_path)
+        assert not audit.ok
+        assert "manifest" in audit.problems[0]

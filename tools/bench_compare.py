@@ -22,6 +22,15 @@ import sys
 DEFAULT_JSON = pathlib.Path(__file__).parent.parent / "BENCH_throughput.json"
 
 
+#: Allowed fractional overhead of a ``*_supervised`` benchmark over its
+#: ``*_unsupervised`` partner in the same run.
+PAIR_TOLERANCE = 0.05
+
+#: Absolute slack (seconds) on the pair gate: at sub-second scale, pool
+#: spawn jitter would otherwise flake a genuinely-within-5% pairing.
+PAIR_EPSILON_S = 0.05
+
+
 def compare(previous: dict, latest: dict, tolerance: float) -> list:
     """Return (name, prev_mean, new_mean, ratio) for regressed benchmarks."""
     regressions = []
@@ -34,6 +43,29 @@ def compare(previous: dict, latest: dict, tolerance: float) -> list:
             regressions.append((name, before["mean_s"], stats["mean_s"],
                                 ratio))
     return regressions
+
+
+def supervised_pair_failures(latest: dict) -> list:
+    """Gate ``*_supervised`` vs ``*_unsupervised`` pairs in one run.
+
+    Returns (stem, bare_mean, supervised_mean) for each pair where the
+    supervised dispatch path costs more than ``PAIR_TOLERANCE`` over the
+    bare-pool baseline (plus ``PAIR_EPSILON_S`` of absolute slack).
+    """
+    results = latest.get("results", {})
+    failures = []
+    for name, stats in sorted(results.items()):
+        if not name.endswith("_supervised"):
+            continue
+        partner = name[: -len("_supervised")] + "_unsupervised"
+        bare = results.get(partner)
+        if bare is None or bare["mean_s"] <= 0.0:
+            continue
+        bound = bare["mean_s"] * (1.0 + PAIR_TOLERANCE) + PAIR_EPSILON_S
+        if stats["mean_s"] > bound:
+            failures.append((name[: -len("_supervised")].rstrip("_"),
+                             bare["mean_s"], stats["mean_s"]))
+    return failures
 
 
 def main(argv=None) -> int:
@@ -69,13 +101,25 @@ def main(argv=None) -> int:
     for stem, speedup in sorted(latest.get("speedups", {}).items()):
         print(f"  grid speedup [{stem}]: {speedup:.2f}x over pointwise")
 
+    failed = False
     regressions = compare(previous, latest, args.tolerance)
     if regressions:
+        failed = True
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
               f"{args.tolerance:.0%}:")
         for name, before, after, ratio in regressions:
             print(f"  {name}: {before * 1e3:.3f} ms -> {after * 1e3:.3f} ms "
                   f"({ratio:.2f}x)")
+    pair_failures = supervised_pair_failures(latest)
+    if pair_failures:
+        failed = True
+        print(f"\nFAIL: supervised dispatch exceeds its unsupervised "
+              f"baseline by more than {PAIR_TOLERANCE:.0%} "
+              f"(+{PAIR_EPSILON_S * 1e3:.0f} ms slack):")
+        for stem, bare, supervised in pair_failures:
+            print(f"  {stem}: bare {bare * 1e3:.3f} ms -> supervised "
+                  f"{supervised * 1e3:.3f} ms")
+    if failed:
         return 1
     print("\nOK: no benchmark regressed beyond tolerance")
     return 0

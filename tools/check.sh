@@ -52,6 +52,11 @@ else
     echo "mypy not installed; skipping (pip install mypy to enable)"
 fi
 
+if [ $fast -eq 0 ]; then
+    step "chaos smoke (supervised workers: crash + hang recovery)"
+    run python tools/faults_smoke.py --chaos
+fi
+
 step "benchmark regression gate"
 run python tools/bench_compare.py
 

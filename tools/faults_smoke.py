@@ -9,6 +9,12 @@ fault-free rerun reproduces the direct study bit-for-bit.
 Usage::
 
     PYTHONPATH=src python tools/faults_smoke.py [--seed N] [--rate R]
+    PYTHONPATH=src python tools/faults_smoke.py --chaos
+
+``--chaos`` exercises the supervised parallel path instead: a worker is
+crashed and another wedged mid-campaign (``campaign.worker`` faults), and
+the merged report must still match a fault-free serial run bit-for-bit
+with the recovery visible in the supervision log.
 
 Exits 0 on success, 1 on any contract violation.  A one-screen version of
 ``pytest -m faults`` for quick sanity checks after touching the substrate.
@@ -22,7 +28,7 @@ from repro.core.config import QUICK
 from repro.core.serialize import result_to_dict
 from repro.core.temperature_study import TemperatureStudy
 from repro.faults.plan import FaultPlan, FaultSpec
-from repro.runner import CampaignRunner, RetryPolicy
+from repro.runner import CampaignRunner, RetryPolicy, SupervisorPolicy
 
 
 def smoke(seed: int, rate: float) -> int:
@@ -65,12 +71,64 @@ def smoke(seed: int, rate: float) -> int:
     return 1 if failures else 0
 
 
+def chaos_smoke(seed: int) -> int:
+    config = QUICK.scaled(seed=seed, rows_per_region=8,
+                          modules_per_manufacturer=1,
+                          temperatures_c=(50.0, 85.0),
+                          hcfirst_repetitions=1, wcdp_sample_rows=2)
+    specs = config.module_specs()
+    crasher, sleeper = specs[0].module_id, specs[2].module_id
+    failures = []
+
+    serial = CampaignRunner(config).run("temperature", specs)
+
+    started = time.perf_counter()
+    plan = FaultPlan(seed=seed, specs=[
+        FaultSpec(site="campaign.worker", kind="crash",
+                  match=f"{crasher}/dispatch1"),
+        FaultSpec(site="campaign.worker", kind="hang", magnitude=60.0,
+                  match=f"{sleeper}/dispatch1"),
+    ])
+    outcome = CampaignRunner(
+        config, workers=2, fault_plan=plan,
+        supervisor=SupervisorPolicy(module_deadline_s=3.0),
+    ).run("temperature", specs)
+    print(outcome.degradation_report())
+    print(f"  wall:    {time.perf_counter() - started:.2f} s")
+
+    if not outcome.ok:
+        failures.append("chaos campaign did not complete every module")
+    log = outcome.supervision
+    if log is None or not log.eventful():
+        failures.append("no supervision incidents recorded despite "
+                        "injected worker faults")
+    else:
+        if log.count("requeue") < 1:
+            failures.append("no requeues logged")
+        if log.count("respawn") < 1:
+            failures.append("no pool respawns logged")
+    if result_to_dict(outcome.result) != result_to_dict(serial.result):
+        failures.append("chaos merge diverged from fault-free serial run")
+    else:
+        print("  parity:  chaos parallel == fault-free serial (bit-exact)")
+
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    print("chaos smoke " + ("FAILED" if failures else "passed"))
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--rate", type=float, default=0.08,
                         help="per-unit fault probability (default 0.08)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="smoke the supervised parallel path with "
+                             "worker crash/hang faults instead")
     args = parser.parse_args()
+    if args.chaos:
+        return chaos_smoke(args.seed)
     return smoke(args.seed, args.rate)
 
 
