@@ -1,0 +1,78 @@
+"""Overhead of live observation over an unobserved campaign.
+
+The tracer and metrics registry sit on the campaign's hottest paths
+(every retryable unit, every oracle matrix build, every grid solve), so
+the recording cost must stay within 5% of an untraced run — observability
+that taxes the thing it observes distorts its own measurements.  Both
+sides run the identical serial campaign; only the active recorders
+differ.  ``tools/bench_compare.py`` gates the ``_traced`` /
+``_untraced`` pair in the recorded history.
+"""
+
+import time
+
+from conftest import record_report
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.obs import MetricsRegistry, Tracer, observed
+from repro.runner import CampaignRunner
+
+#: Serial on purpose: pool spawn noise would swamp the per-call recording
+#: cost this benchmark exists to bound.
+OVERHEAD_CONFIG = QUICK.scaled(rows_per_region=12,
+                               modules_per_manufacturer=1,
+                               temperatures_c=(50.0, 70.0, 90.0),
+                               hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+def _run_untraced():
+    return CampaignRunner(OVERHEAD_CONFIG).run("temperature")
+
+
+def _run_traced():
+    with observed(tracer=Tracer(), metrics=MetricsRegistry()):
+        return CampaignRunner(OVERHEAD_CONFIG).run("temperature")
+
+
+def _best_of(fn, rounds=3):
+    timings = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def test_bench_obs_overhead_untraced(benchmark):
+    outcome = benchmark(_run_untraced)
+    assert outcome.ok
+
+
+def test_bench_obs_overhead_traced(benchmark):
+    outcome = benchmark(_run_traced)
+    assert outcome.ok
+
+
+def test_obs_overhead_within_target():
+    untraced_s = _best_of(_run_untraced)
+    traced_s = _best_of(_run_traced)
+    overhead = traced_s / untraced_s - 1.0
+    record_report(
+        "obs_overhead",
+        "Live tracing + metrics overhead (serial campaign):\n"
+        f"  untraced : {untraced_s * 1e3:8.1f} ms\n"
+        f"  traced   : {traced_s * 1e3:8.1f} ms\n"
+        f"  overhead : {overhead * 100:+7.2f} %  (target < 5 %)")
+    # Generous CI bound (scheduler noise at sub-second scale); the report
+    # records the precise number and bench_compare.py gates the pair in
+    # the recorded history.
+    assert overhead < 0.05 + 0.10, \
+        f"observation overhead {overhead * 100:.1f}% far above the 5% target"
+
+
+def test_traced_result_matches_untraced():
+    """Parity is part of the contract the overhead is measured against."""
+    untraced = _run_untraced()
+    traced = _run_traced()
+    assert result_to_dict(traced.result) == result_to_dict(untraced.result)

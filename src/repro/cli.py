@@ -156,6 +156,47 @@ def build_parser() -> argparse.ArgumentParser:
                                "exit; no study runs")
     campaign.add_argument("--save-json", metavar="FILE", default=None,
                           help="also dump the merged study result as JSON")
+    campaign.add_argument("--trace", metavar="DIR", default=None,
+                          help="record a span trace of the campaign into "
+                               "DIR/trace.jsonl (off by default; results "
+                               "are byte-identical either way)")
+    campaign.add_argument("--metrics", action="store_true",
+                          help="collect campaign metrics (counters, "
+                               "gauges, histograms); printed after the "
+                               "run and written to DIR/metrics.json when "
+                               "--trace DIR is also given")
+    campaign.add_argument("--profile", metavar="N", nargs="?", type=int,
+                          const=25, default=None,
+                          help="profile the campaign under cProfile and "
+                               "print the top N cumulative entries "
+                               "(default N: 25)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a trace recorded with 'deeprh campaign --trace'")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    for name, help_text in (
+            ("summarize", "per-phase wall-clock totals plus campaign "
+                          "health metrics"),
+            ("slowest", "the longest individual spans"),
+            ("export", "dump the spans as JSON or CSV")):
+        trace_cmd = trace_sub.add_parser(name, help=help_text)
+        trace_cmd.add_argument("path", metavar="TRACE",
+                               help="trace.jsonl file or the directory "
+                                    "holding it")
+        if name == "slowest":
+            trace_cmd.add_argument("--top", type=int, default=10,
+                                   metavar="N",
+                                   help="how many spans to show "
+                                        "(default: 10)")
+        if name == "export":
+            trace_cmd.add_argument("--format", dest="output_format",
+                                   default="json",
+                                   choices=("json", "csv"),
+                                   help="output format (default: json)")
+            trace_cmd.add_argument("-o", "--output", metavar="FILE",
+                                   default=None,
+                                   help="write to FILE instead of stdout")
 
     lint = sub.add_parser(
         "lint",
@@ -177,7 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _campaign(args, config: config_mod.StudyConfig) -> int:
+    import pathlib
+
     from repro.faults import parse_fault_plan
+    from repro.obs import MetricsRegistry, Tracer, observed
+    from repro.obs.trace import METRICS_FILENAME, TRACE_FILENAME
     from repro.runner import (
         CampaignRunner,
         RetryPolicy,
@@ -203,24 +248,74 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
         fault_plan = parse_fault_plan(args.fault_plan, seed=fault_seed)
     if args.module_deadline is not None:
         config = config.scaled(module_deadline_s=args.module_deadline)
-    runner = CampaignRunner(
-        config,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        fault_plan=fault_plan,
-        retry=RetryPolicy(max_attempts=args.max_attempts),
-        workers=args.workers,
-        supervisor=SupervisorPolicy(
-            module_deadline_s=config.module_deadline_s,
-            max_requeues=args.max_requeues))
-    outcome = runner.run(args.study)
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry() if (args.metrics or args.trace) else None
+    with observed(tracer=tracer, metrics=metrics):
+        runner = CampaignRunner(
+            config,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            fault_plan=fault_plan,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            workers=args.workers,
+            supervisor=SupervisorPolicy(
+                module_deadline_s=config.module_deadline_s,
+                max_requeues=args.max_requeues))
+        if args.profile is not None:
+            from repro.obs.profile import profile_call
+
+            outcome, profile_report = profile_call(
+                lambda: runner.run(args.study), top_n=args.profile)
+        else:
+            outcome, profile_report = runner.run(args.study), None
     print(outcome.degradation_report())
+    if args.trace:
+        import json
+
+        directory = pathlib.Path(args.trace)
+        directory.mkdir(parents=True, exist_ok=True)
+        trace_path = directory / TRACE_FILENAME
+        tracer.write_jsonl(trace_path)
+        print(f"wrote {trace_path}", file=sys.stderr)
+        metrics_path = directory / METRICS_FILENAME
+        metrics_path.write_text(
+            json.dumps(metrics.to_dict(), sort_keys=True, indent=2) + "\n")
+        print(f"wrote {metrics_path}", file=sys.stderr)
+    if args.metrics and metrics is not None:
+        print()
+        print(metrics.render())
+    if profile_report is not None:
+        print()
+        print(profile_report.render())
     if args.save_json:
         from repro.core.serialize import save_result
 
         path = save_result(outcome.result, args.save_json)
         print(f"wrote {path}", file=sys.stderr)
     return 0 if outcome.ok else 2
+
+
+def _trace(args) -> int:
+    from repro.obs import summary
+
+    try:
+        if args.trace_command == "summarize":
+            print(summary.summarize(args.path))
+        elif args.trace_command == "slowest":
+            print(summary.slowest(args.path, top=args.top))
+        elif args.trace_command == "export":
+            text = summary.export(args.path, args.output_format)
+            if args.output:
+                import pathlib
+
+                pathlib.Path(args.output).write_text(text)
+                print(f"wrote {args.output}", file=sys.stderr)
+            else:
+                print(text, end="")
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _lint(args) -> int:
@@ -298,6 +393,9 @@ def main(argv=None) -> int:
 
     if args.command == "lint":
         return _lint(args)
+
+    if args.command == "trace":
+        return _trace(args)
 
     config = config_mod.preset(args.preset)
     if args.seed is not None:

@@ -41,6 +41,7 @@ import numpy as np
 from repro.dram.data import DataPattern
 from repro.faultmodel import temperature as temp_mod
 from repro.faultmodel.population import RowCells
+from repro.obs import get_metrics, get_tracer
 
 #: A fully-resolved sweep point: (temperature_c, t_on_ns, t_off_ns).
 ResolvedPoint = Tuple[float, float, float]
@@ -204,14 +205,21 @@ class BatchOracle:
                          temps: Sequence[float]
                          ) -> Tuple[np.ndarray, np.ndarray]:
         key = (bank, observed_row, pattern.name, victim_row, tuple(temps))
+        metrics = get_metrics()
         parts = self._matrix_cache.get(key)
         if parts is None:
-            parts = threshold_parts(cells, temps, pattern, victim_row,
-                                    self.model.data_seed)
+            metrics.counter("oracle.cache.miss").inc()
+            with get_tracer().span("oracle.matrix_build", bank=bank,
+                                   row=observed_row, temps=len(temps)):
+                parts = threshold_parts(cells, temps, pattern, victim_row,
+                                        self.model.data_seed)
             self._matrix_cache[key] = parts
             if len(self._matrix_cache) > self._matrix_cache_entries:
                 self._matrix_cache.popitem(last=False)
+                metrics.counter("oracle.cache.evicted").inc()
+            metrics.gauge("oracle.cache.size").set(len(self._matrix_cache))
         else:
+            metrics.counter("oracle.cache.hit").inc()
             self._matrix_cache.move_to_end(key)
         return parts
 
@@ -263,6 +271,7 @@ class BatchOracle:
             pair_units = np.array([unit for _, unit in pairs])
         with np.errstate(divide="ignore"):
             hcfirst = masked[:, cols] / pair_units[None, :]
+        get_metrics().counter("oracle.grid.solves").inc()
         return cells, hcfirst, inverse
 
     def cell_hcfirst_matrix(self, bank: int, observed_row: int,

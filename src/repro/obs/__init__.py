@@ -1,0 +1,121 @@
+"""Observability: deterministic tracing, metrics, and profiling.
+
+The campaign stack (runner, supervisor, checkpoints, batch oracle) is
+instrumented against *this* package, never against concrete recorders:
+instrumented code asks for the process-wide recorder pair —
+:func:`get_tracer` / :func:`get_metrics` — and records unconditionally.
+By default both are no-op singletons (:data:`~repro.obs.trace.NULL_TRACER`
+/ :data:`~repro.obs.metrics.NULL_METRICS`), so an unobserved campaign
+pays only dead method calls.  ``deeprh campaign --trace/--metrics`` (or a
+test, via :func:`observed`) swaps live recorders in for the duration of a
+run.
+
+The determinism contract, enforced by ``deeprh lint`` and the test
+suite:
+
+* all span timings come from :func:`repro.obs.clock.monotonic_ns`, the
+  single allowlisted wall-clock seam — no calendar time anywhere;
+* recorders observe and never steer: a traced campaign's merged result
+  is byte-identical to an untraced one;
+* metric *values* are seed-deterministic (event counts, sizes, virtual
+  backoff); wall-clock durations live only in the trace stream;
+* worker metrics/spans travel through the campaign result channel and
+  merge in spec order, so aggregates are scheduling-independent.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    hit_rate,
+)
+from repro.obs.trace import (
+    METRICS_FILENAME,
+    NULL_TRACER,
+    TRACE_FILENAME,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    traced,
+)
+
+_tracer = NULL_TRACER
+_metrics = NULL_METRICS
+
+
+def get_tracer():
+    """The process-wide active tracer (a no-op unless observation is on)."""
+    return _tracer
+
+
+def get_metrics():
+    """The process-wide active metrics registry (no-op by default)."""
+    return _metrics
+
+
+def observation_active() -> bool:
+    """True when either recorder is live (workers mirror this flag)."""
+    return _tracer.enabled or _metrics.enabled
+
+
+def activate(tracer: Optional[Tracer] = None,
+             metrics: Optional[MetricsRegistry] = None) -> Tuple[object, object]:
+    """Install recorders; returns the previous pair for restoration."""
+    global _tracer, _metrics
+    previous = (_tracer, _metrics)
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    _metrics = metrics if metrics is not None else NULL_METRICS
+    return previous
+
+
+def deactivate(previous: Optional[Tuple[object, object]] = None) -> None:
+    """Restore ``previous`` recorders (default: back to the no-ops)."""
+    global _tracer, _metrics
+    _tracer, _metrics = previous if previous is not None \
+        else (NULL_TRACER, NULL_METRICS)
+
+
+@contextmanager
+def observed(tracer: Optional[Tracer] = None,
+             metrics: Optional[MetricsRegistry] = None
+             ) -> Iterator[Tuple[object, object]]:
+    """Scope the given recorders to a ``with`` block, restoring on exit."""
+    previous = activate(tracer=tracer, metrics=metrics)
+    try:
+        yield (_tracer, _metrics)
+    finally:
+        deactivate(previous)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_FILENAME",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "SpanRecord",
+    "TRACE_FILENAME",
+    "Tracer",
+    "activate",
+    "deactivate",
+    "get_metrics",
+    "get_tracer",
+    "hit_rate",
+    "observation_active",
+    "observed",
+    "traced",
+]

@@ -1,0 +1,25 @@
+"""The sole sanctioned timing source for observability.
+
+Every span timestamp in :mod:`repro.obs` comes from
+:func:`monotonic_ns` — a monotonic, integer-nanosecond reading that can
+never run backwards and never encodes the host's calendar time.  This
+module is the one place the observability layer touches the clock, and it
+is registered in the ``[tool.deeprh.lint]`` ``wallclock-modules``
+allowlist: a wall-clock read anywhere else in ``repro.obs`` (or in the
+instrumented modules, which import this wrapper instead of :mod:`time`)
+is a DRH002 lint failure.
+
+Keeping the seam this narrow preserves the determinism contract: traces
+*carry* timings, but no simulated result may ever depend on one, and a
+grep for ``repro.obs.clock`` finds every place a timing enters the
+system.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic_ns() -> int:
+    """Current monotonic clock reading in integer nanoseconds."""
+    return time.monotonic_ns()

@@ -1,0 +1,254 @@
+"""In-process metrics: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order:
+
+* **Near-zero disabled overhead** — instrumented code calls
+  ``get_metrics().counter("x").inc()`` unconditionally; when metrics are
+  off, :data:`NULL_METRICS` hands back no-op singletons, so the cost is
+  two attribute lookups and a dead method call.
+* **Determinism** — metric *values* must be pure functions of the
+  configuration seed: counts of events, sizes, seeded backoff durations.
+  Wall-clock durations belong in traces (:mod:`repro.obs.trace`), never
+  in metrics, so a campaign's merged ``metrics.json`` is byte-identical
+  across runs of the same seed (asserted by test).
+* **Cross-process merge** — worker processes record into their own
+  registry and ship :meth:`MetricsRegistry.to_dict` payloads back through
+  the campaign result channel; the parent merges them **in spec order**
+  (:meth:`MetricsRegistry.merge_dict`), so the aggregate never depends on
+  which worker finished first.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Default histogram bucket upper edges (values above the last edge land
+#: in the implicit overflow bucket).  Powers of four spanning the range
+#: seeded backoff sleeps and unit/retry counts actually occupy.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.25, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins float (e.g. a cache's current size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: edges are *inclusive* upper bounds.
+
+    ``counts`` has ``len(edges) + 1`` slots; the last is the overflow
+    bucket for observations above every edge.  Bucket edges are fixed at
+    creation so two processes observing into same-named histograms are
+    always mergeable bucket-by-bucket.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        ordered = tuple(float(e) for e in edges)
+        if not ordered or any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ConfigError(
+                "histogram bucket edges must be non-empty and strictly "
+                f"increasing, got {ordered!r}")
+        self.edges = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metrics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter()
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge()
+        return found
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(edges)
+        return found
+
+    # -- reading -------------------------------------------------------
+    def counter_value(self, name: str) -> int:
+        found = self._counters.get(name)
+        return found.value if found is not None else 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot with deterministically sorted keys."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {
+                name: {"edges": list(hist.edges), "counts": list(hist.counts),
+                       "count": hist.count, "total": hist.total}
+                for name in sorted(self._histograms)
+                for hist in (self._histograms[name],)
+            },
+        }
+
+    # -- merging -------------------------------------------------------
+    def merge_dict(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one :meth:`to_dict` payload into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (callers merge in spec order, so "last write" is
+        deterministic).  Sorted iteration keeps first-touch creation
+        order — hence rendered output — independent of the payload.
+        """
+        for name in sorted(snapshot.get("counters", {})):
+            self.counter(name).inc(snapshot["counters"][name])
+        for name in sorted(snapshot.get("gauges", {})):
+            self.gauge(name).set(snapshot["gauges"][name])
+        for name in sorted(snapshot.get("histograms", {})):
+            incoming = snapshot["histograms"][name]
+            hist = self.histogram(name, incoming["edges"])
+            if list(hist.edges) != list(incoming["edges"]):
+                raise ConfigError(
+                    f"histogram {name!r} bucket edges differ between "
+                    "processes; fixed buckets are required to merge")
+            for index, fires in enumerate(incoming["counts"]):
+                hist.counts[index] += fires
+            hist.count += incoming["count"]
+            hist.total += incoming["total"]
+
+    # -- rendering -----------------------------------------------------
+    def render(self) -> str:
+        """Human-readable dump, sorted by metric name."""
+        lines: List[str] = ["metrics:"]
+        for name in sorted(self._counters):
+            lines.append(f"  {name:42s} {self._counters[name].value:>12d}")
+        for name in sorted(self._gauges):
+            lines.append(f"  {name:42s} {self._gauges[name].value:>12g}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            lines.append(f"  {name:42s} n={hist.count} "
+                         f"mean={hist.mean:.4g} total={hist.total:.4g}")
+        if len(lines) == 1:
+            lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    edges: Tuple[float, ...] = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics:
+    """Disabled-mode registry: every operation is a no-op singleton."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_BUCKETS) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counter_value(self, name: str) -> int:
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_dict(self, snapshot: Dict[str, Any]) -> None:
+        pass
+
+    def render(self) -> str:
+        return "metrics: disabled"
+
+
+NULL_METRICS = NullMetrics()
+
+
+def hit_rate(metrics_dict: Dict[str, Any], hit_name: str,
+             miss_name: str) -> Optional[float]:
+    """Hit fraction of a hit/miss counter pair (``None`` if never used)."""
+    counters = metrics_dict.get("counters", {})
+    hits = counters.get(hit_name, 0)
+    misses = counters.get(miss_name, 0)
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)

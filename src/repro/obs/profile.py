@@ -1,0 +1,86 @@
+"""Profiling harness: wrap any campaign in cProfile + tracemalloc.
+
+Where the span tracer answers "which *phase* is slow", the profiler
+answers "which *function*": :func:`profile_call` runs any callable under
+:mod:`cProfile` (and optionally :mod:`tracemalloc`) and distills the
+result into a :class:`ProfileReport` — top-N functions by cumulative
+time and top-N allocation sites by retained bytes.  CLI surface:
+``deeprh campaign ... --profile [N]``.
+
+Profiling is heavyweight (2-4x slowdown under cProfile, more with
+tracemalloc) and is therefore never combined with the overhead-gated
+benchmarks; it exists for one-off investigation, not continuous
+measurement.  Like the tracer, it only observes: the wrapped callable's
+return value passes through untouched, so a profiled campaign still
+produces bit-identical results.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Tuple
+
+
+@dataclass
+class ProfileReport:
+    """Distilled profiling output for one profiled call."""
+
+    top_n: int
+    #: ``print_stats`` text for the top-N cumulative-time functions.
+    stats_text: str
+    #: (location, size_bytes) for the top-N allocation sites, or empty
+    #: when memory profiling was off.
+    memory_top: List[Tuple[str, int]] = field(default_factory=list)
+    #: Peak traced allocation in bytes (0 when memory profiling was off).
+    peak_bytes: int = 0
+
+    def render(self) -> str:
+        lines = [f"profile (top {self.top_n} by cumulative time):",
+                 self.stats_text.rstrip()]
+        if self.memory_top or self.peak_bytes:
+            lines.append(f"memory (tracemalloc peak "
+                         f"{self.peak_bytes / 1e6:.1f} MB), "
+                         f"top {self.top_n} allocation sites:")
+            for location, size in self.memory_top:
+                lines.append(f"  {size / 1e3:10.1f} kB  {location}")
+        return "\n".join(lines)
+
+
+def profile_call(fn: Callable[[], Any], top_n: int = 25,
+                 with_memory: bool = False) -> Tuple[Any, ProfileReport]:
+    """Run ``fn()`` under cProfile (and tracemalloc when ``with_memory``).
+
+    Returns ``(fn's result, report)``.  The profiler is scoped exactly to
+    the call — report rendering and any caller-side export are excluded.
+    """
+    profiler = cProfile.Profile()
+    if with_memory:
+        tracemalloc.start()
+    try:
+        profiler.enable()
+        try:
+            result = fn()
+        finally:
+            profiler.disable()
+        memory_top: List[Tuple[str, int]] = []
+        peak_bytes = 0
+        if with_memory:
+            snapshot = tracemalloc.take_snapshot()
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            for stat in snapshot.statistics("lineno")[:top_n]:
+                frame = stat.traceback[0]
+                memory_top.append(
+                    (f"{frame.filename}:{frame.lineno}", stat.size))
+    finally:
+        if with_memory:
+            tracemalloc.stop()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    return result, ProfileReport(top_n=top_n, stats_text=stream.getvalue(),
+                                 memory_top=memory_top,
+                                 peak_bytes=peak_bytes)

@@ -1,0 +1,228 @@
+"""Span tracer: hierarchical, monotonic-clock timed, JSONL-exportable.
+
+A *span* is one timed region of the campaign — a module run, a retryable
+unit, a checkpoint publish, an oracle matrix build.  Spans nest: the
+tracer keeps an open-span stack and assigns hierarchical dotted ids
+(``"1"``, ``"1.1"``, ``"1.2"``, ``"2"`` …), so a flat JSONL file fully
+reconstructs the call tree.  Worker processes trace into their own
+:class:`Tracer` and ship finished spans back through the campaign result
+channel; the parent re-roots them with :meth:`Tracer.adopt` under a
+``w<n>`` prefix (worker timestamps live in the worker's own monotonic
+clock domain — durations are comparable across processes, absolute
+start offsets are not).
+
+Determinism contract: spans *observe*, they never steer.  All timestamps
+come from :func:`repro.obs.clock.monotonic_ns` (the one allowlisted
+wall-clock seam) and nothing downstream of a measurement may read them;
+a traced campaign's merged result is byte-identical to an untraced one
+(asserted by ``tests/integration/test_traced_campaign.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.obs.clock import monotonic_ns
+
+#: File name a trace directory stores its span stream under.
+TRACE_FILENAME = "trace.jsonl"
+
+#: File name a trace directory stores its merged metrics snapshot under.
+METRICS_FILENAME = "metrics.json"
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    span_id: str
+    parent_id: str          # "" for a root span
+    name: str
+    start_ns: int
+    duration_ns: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"span_id": self.span_id, "parent_id": self.parent_id,
+                "name": self.name, "start_ns": self.start_ns,
+                "duration_ns": self.duration_ns, "attrs": self.attrs}
+
+
+class _OpenSpan:
+    """Context manager for one in-flight span (returned by `Tracer.span`)."""
+
+    __slots__ = ("tracer", "span_id", "name", "attrs", "start_ns",
+                 "children")
+
+    def __init__(self, tracer: "Tracer", span_id: str, name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.attrs = attrs
+        self.start_ns = 0
+        self.children = 0
+
+    def __enter__(self) -> "_OpenSpan":
+        self.tracer._stack.append(self)
+        self.start_ns = monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end_ns = monotonic_ns()
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        parent_id, _, _ = self.span_id.rpartition(".")
+        self.tracer.records.append(SpanRecord(
+            span_id=self.span_id, parent_id=parent_id, name=self.name,
+            start_ns=self.start_ns, duration_ns=end_ns - self.start_ns,
+            attrs=self.attrs))
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Reusable no-op context manager (disabled-mode `span()` result)."""
+
+    __slots__ = ()
+    span_id = ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans in memory; exports one JSON object per line."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self._stack: List[_OpenSpan] = []
+        self._root_children = 0
+        self._adopted = 0
+
+    # -- id allocation -------------------------------------------------
+    def _next_id(self) -> str:
+        if self._stack:
+            top = self._stack[-1]
+            top.children += 1
+            return f"{top.span_id}.{top.children}"
+        self._root_children += 1
+        return str(self._root_children)
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _OpenSpan:
+        """Open a child span of whatever span is currently innermost."""
+        return _OpenSpan(self, self._next_id(), name, attrs)
+
+    def record_span(self, name: str, start_ns: int, end_ns: int,
+                    **attrs: Any) -> None:
+        """Record an externally-timed span (e.g. a supervised dispatch)."""
+        span_id = self._next_id()
+        parent_id, _, _ = span_id.rpartition(".")
+        self.records.append(SpanRecord(
+            span_id=span_id, parent_id=parent_id, name=name,
+            start_ns=start_ns, duration_ns=end_ns - start_ns, attrs=attrs))
+
+    def adopt(self, spans: Sequence[Dict[str, Any]], **attrs: Any) -> None:
+        """Re-root spans shipped from a worker process under this trace.
+
+        Ids are prefixed ``w<n>.`` (one ``n`` per adoption, i.e. per
+        worker report merged, in spec order) so they stay unique;
+        ``attrs`` are folded into the adopted *root* spans to mark their
+        origin (e.g. ``module="A0"``).
+        """
+        self._adopted += 1
+        prefix = f"w{self._adopted}"
+        for span in spans:
+            adopted = dict(span)
+            adopted["span_id"] = f"{prefix}.{span['span_id']}"
+            if span.get("parent_id"):
+                adopted["parent_id"] = f"{prefix}.{span['parent_id']}"
+            else:
+                adopted["parent_id"] = ""
+                adopted["attrs"] = {**span.get("attrs", {}), **attrs}
+            self.records.append(SpanRecord(
+                span_id=adopted["span_id"], parent_id=adopted["parent_id"],
+                name=adopted["name"], start_ns=adopted["start_ns"],
+                duration_ns=adopted["duration_ns"],
+                attrs=adopted.get("attrs", {})))
+
+    # -- export --------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [record.to_dict() for record in self.records]
+
+    def write_jsonl(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write every finished span, one sorted-key JSON object per line."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                handle.write("\n")
+        return target
+
+
+class NullTracer:
+    """Disabled-mode tracer: `span()` hands back one shared no-op."""
+
+    enabled = False
+    records: List[SpanRecord] = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, name: str, start_ns: int, end_ns: int,
+                    **attrs: Any) -> None:
+        pass
+
+    def adopt(self, spans: Sequence[Dict[str, Any]], **attrs: Any) -> None:
+        pass
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator tracing every call of a function as one span.
+
+    Resolves the active tracer *per call*, so decorated functions defined
+    at import time honor whatever recorder is active when they run, and
+    cost only one attribute check when tracing is off.
+    """
+    def decorate(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            from repro.obs import get_tracer
+
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(label):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate

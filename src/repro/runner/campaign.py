@@ -37,6 +37,14 @@ from repro.dram.catalog import ModuleSpec
 from repro.errors import ConfigError, RetryExhaustedError, SubstrateFault
 from repro.faults.injector import perform_worker_fault
 from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    observation_active,
+    observed,
+)
 from repro.rng import SeedSequenceTree
 from repro.runner.adapters import StudyAdapter, adapter_for
 from repro.runner.checkpoint import (
@@ -100,6 +108,8 @@ class CampaignOutcome:
     #: Checkpoint files quarantined on resume (integrity failures).
     checkpoint_corruption: List[CorruptionRecord] = field(
         default_factory=list)
+    #: Old ``*.corrupt`` quarantine generations pruned on resume.
+    checkpoint_pruned: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -131,6 +141,10 @@ class CampaignOutcome:
                          "corrupted checkpoint(s) quarantined and re-run:")
             for record in self.checkpoint_corruption:
                 lines.append(f"    - {record}")
+        if self.checkpoint_pruned:
+            lines.append(f"  ckpt:    pruned "
+                         f"{len(self.checkpoint_pruned)} old quarantine "
+                         f"file(s): {', '.join(self.checkpoint_pruned)}")
         if self.fault_plan is not None:
             histogram = self.fault_plan.log.by_site_kind()
             summary = ", ".join(f"{label}: {fires}"
@@ -179,17 +193,20 @@ class CampaignRunner:
         adapter = adapter_for(study, self.config)
         store = None
         corruption: List[CorruptionRecord] = []
+        pruned: List[str] = []
         if self.checkpoint_dir is not None:
             store = CheckpointStore(self.checkpoint_dir, study, self.config,
                                     resume=self.resume)
             corruption = list(store.corrupted)
+            pruned = list(store.pruned_corrupt)
         specs = list(specs) if specs is not None \
             else self.config.module_specs()
         stats = CampaignStats(modules_requested=len(specs),
                               checkpoints_quarantined=len(corruption))
         if self.workers > 1:
             return self._run_parallel(adapter, study, specs, store, stats,
-                                      corruption)
+                                      corruption, pruned)
+        metrics = get_metrics()
         modules: List[object] = []
         quarantined: List[QuarantineRecord] = []
         for spec in specs:
@@ -197,6 +214,7 @@ class CampaignRunner:
             if store is not None and store.has(module_id):
                 modules.append(adapter.from_dict(store.load(module_id)))
                 stats.modules_resumed += 1
+                metrics.counter("campaign.modules_resumed").inc()
                 continue
             try:
                 module_result = self._run_module(adapter, study, spec, stats)
@@ -204,9 +222,11 @@ class CampaignRunner:
                 quarantined.append(QuarantineRecord(
                     module_id=module_id, unit=error.unit,
                     attempts=error.attempts, cause=repr(error.last_cause)))
+                metrics.counter("campaign.modules_quarantined").inc()
                 continue
             modules.append(module_result)
             stats.modules_completed += 1
+            metrics.counter("campaign.modules_completed").inc()
             if store is not None:
                 store.save(module_id, adapter.to_dict(module_result))
         stats.backoff_slept_s = getattr(self.clock, "slept_s", 0.0)
@@ -214,7 +234,8 @@ class CampaignRunner:
                                result=adapter.make_result(modules),
                                quarantined=quarantined, stats=stats,
                                fault_plan=self.fault_plan,
-                               checkpoint_corruption=corruption)
+                               checkpoint_corruption=corruption,
+                               checkpoint_pruned=pruned)
 
     # ------------------------------------------------------------------
     # Parallel execution across modules
@@ -242,7 +263,8 @@ class CampaignRunner:
                       specs: List[ModuleSpec],
                       store: Optional[CheckpointStore],
                       stats: CampaignStats,
-                      corruption: List[CorruptionRecord]) -> CampaignOutcome:
+                      corruption: List[CorruptionRecord],
+                      pruned: List[str]) -> CampaignOutcome:
         """Fan module runs out to supervised workers; merge in spec order.
 
         Workers never touch the checkpoint store — they return serialized
@@ -259,6 +281,7 @@ class CampaignRunner:
         fault_specs = self.fault_plan.specs if self.fault_plan is not None \
             else ()
 
+        metrics = get_metrics()
         resumed: Dict[str, object] = {}
         pending: List[ModuleSpec] = []
         for spec in specs:
@@ -266,6 +289,7 @@ class CampaignRunner:
                 resumed[spec.module_id] = adapter.from_dict(
                     store.load(spec.module_id))
                 stats.modules_resumed += 1
+                metrics.counter("campaign.modules_resumed").inc()
             else:
                 pending.append(spec)
 
@@ -274,12 +298,17 @@ class CampaignRunner:
         lost_by_module: Dict[str, object] = {}
         first_error: Optional[BaseException] = None
         if pending:
+            # Workers mirror the parent's observation state: each traces
+            # into its own recorders and ships them home in the report.
+            observe = observation_active()
+
             def make_task(spec: ModuleSpec, dispatch: int) -> "_WorkerTask":
                 return _WorkerTask(study=study, config=self.config,
                                    spec=spec, retry=self.retry,
                                    fault_seed=fault_seed,
                                    fault_specs=fault_specs,
-                                   dispatch=dispatch)
+                                   dispatch=dispatch,
+                                   observe=observe)
 
             outcome = CampaignSupervisor(
                 _run_module_worker, make_task, workers=self.workers,
@@ -309,6 +338,11 @@ class CampaignRunner:
                         unit=self._unit_id(study, module_id, "worker"),
                         attempts=error.dispatches, cause=error.cause))
                 continue  # fatal fault; first_error re-raised below
+            if "obs_metrics" in report:
+                # Spec-order merge: aggregates never depend on which
+                # worker finished first.
+                metrics.merge_dict(report["obs_metrics"])
+                get_tracer().adopt(report["obs_spans"], module=module_id)
             worker_stats = report["stats"]
             stats.units_run += worker_stats.units_run
             stats.units_retried += worker_stats.units_retried
@@ -323,10 +357,12 @@ class CampaignRunner:
                 quarantined.append(QuarantineRecord(
                     module_id=module_id, unit=report["unit"],
                     attempts=report["attempts"], cause=report["cause"]))
+                metrics.counter("campaign.modules_quarantined").inc()
                 continue
             payload = report["payload"]
             modules.append(adapter.from_dict(payload))
             stats.modules_completed += 1
+            metrics.counter("campaign.modules_completed").inc()
             if store is not None:
                 store.save(module_id, payload)
         if first_error is not None:
@@ -338,21 +374,24 @@ class CampaignRunner:
                                quarantined=quarantined, stats=stats,
                                fault_plan=self.fault_plan,
                                supervision=supervision,
-                               checkpoint_corruption=corruption)
+                               checkpoint_corruption=corruption,
+                               checkpoint_pruned=pruned)
 
     # ------------------------------------------------------------------
     def _run_module(self, adapter: StudyAdapter, study: str,
                     spec: ModuleSpec, stats: CampaignStats):
-        prepare_unit = self._unit_id(study, spec.module_id, "prepare")
-        run = self._run_unit(prepare_unit, stats,
-                             lambda attempt: adapter.prepare(spec))
-        for point in adapter.points():
-            unit = self._unit_id(study, spec.module_id,
-                                 adapter.point_label(point))
-            self._run_unit(
-                unit, stats,
-                lambda attempt, p=point: adapter.run_point(run, p))
-        return adapter.finalize(run)
+        with get_tracer().span("campaign.module", study=study,
+                               module=spec.module_id):
+            prepare_unit = self._unit_id(study, spec.module_id, "prepare")
+            run = self._run_unit(prepare_unit, stats,
+                                 lambda attempt: adapter.prepare(spec))
+            for point in adapter.points():
+                unit = self._unit_id(study, spec.module_id,
+                                     adapter.point_label(point))
+                self._run_unit(
+                    unit, stats,
+                    lambda attempt, p=point: adapter.run_point(run, p))
+            return adapter.finalize(run)
 
     @staticmethod
     def _unit_id(study: str, module_id: str, label: str) -> str:
@@ -373,9 +412,10 @@ class CampaignRunner:
                         kind=event.kind, unit=unit)
             return fn(attempt)
 
-        return call_with_retry(attempt_once, unit=unit, policy=self.retry,
-                               clock=self.clock,
-                               gen=self._tree.generator("retry", unit))
+        with get_tracer().span("campaign.unit", unit=unit):
+            return call_with_retry(attempt_once, unit=unit,
+                                   policy=self.retry, clock=self.clock,
+                                   gen=self._tree.generator("retry", unit))
 
 
 @dataclass(frozen=True)
@@ -391,6 +431,9 @@ class _WorkerTask:
     #: 1-based dispatch count; increments when the supervisor requeues the
     #: module after a worker loss, so worker fault kinds re-roll.
     dispatch: int = 1
+    #: Mirror of the parent's observation state: when True the worker
+    #: records into fresh local recorders and ships them in its report.
+    observe: bool = False
 
 
 def _run_module_worker(task: _WorkerTask) -> dict:
@@ -417,17 +460,28 @@ def _run_module_worker(task: _WorkerTask) -> dict:
                           f"dispatch{task.dispatch}")
         if event is not None:
             perform_worker_fault(event)
-    runner = CampaignRunner(task.config, fault_plan=plan, retry=task.retry)
-    stats = CampaignStats()
-    try:
-        result = runner._run_module(adapter, task.study, task.spec, stats)
-    except RetryExhaustedError as error:
-        report: dict = {"status": "quarantined", "unit": error.unit,
-                        "attempts": error.attempts,
-                        "cause": repr(error.last_cause)}
-    else:
-        report = {"status": "ok", "payload": adapter.to_dict(result)}
+    # Fresh recorders per task (or explicit no-ops): a pool worker must
+    # neither inherit the parent's recorders across a fork nor leak spans
+    # between the modules it is reused for.
+    tracer = Tracer() if task.observe else None
+    metrics = MetricsRegistry() if task.observe else None
+    with observed(tracer=tracer, metrics=metrics):
+        runner = CampaignRunner(task.config, fault_plan=plan,
+                                retry=task.retry)
+        stats = CampaignStats()
+        try:
+            result = runner._run_module(adapter, task.study, task.spec,
+                                        stats)
+        except RetryExhaustedError as error:
+            report: dict = {"status": "quarantined", "unit": error.unit,
+                            "attempts": error.attempts,
+                            "cause": repr(error.last_cause)}
+        else:
+            report = {"status": "ok", "payload": adapter.to_dict(result)}
     report["stats"] = stats
     report["slept_s"] = getattr(runner.clock, "slept_s", 0.0)
     report["fault_events"] = plan.log.to_dicts() if plan is not None else []
+    if task.observe:
+        report["obs_spans"] = tracer.to_dicts()
+        report["obs_metrics"] = metrics.to_dict()
     return report

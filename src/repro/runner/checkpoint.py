@@ -36,10 +36,11 @@ import json
 import os
 import pathlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.config import OPERATIONAL_FIELDS, StudyConfig
 from repro.errors import CheckpointCorruptionError, ConfigError
+from repro.obs import get_metrics, get_tracer
 
 PathLike = Union[str, pathlib.Path]
 
@@ -50,6 +51,11 @@ CHECKPOINT_FORMAT = 2
 SUPPORTED_FORMATS = (1, 2)
 
 JOURNAL = "journal.jsonl"
+
+#: Quarantined ``*.corrupt`` files kept per module; older generations are
+#: pruned on open so repeated corrupt/resume cycles cannot accumulate
+#: unbounded forensic debris.
+CORRUPT_KEEP = 3
 
 
 def config_fingerprint(study: str, config: StudyConfig) -> Dict[str, Any]:
@@ -126,6 +132,8 @@ class CheckpointStore:
         self.corrupted: List[CorruptionRecord] = []
         #: Stale ``*.tmp`` files swept during this open (resume only).
         self.swept_tmp: List[str] = []
+        #: Old ``*.corrupt`` generations pruned during this open.
+        self.pruned_corrupt: List[str] = []
         self._verified: set = set()
         self._journal: Dict[str, Dict[str, Any]] = {}
         manifest_path = self.directory / self.MANIFEST
@@ -166,6 +174,7 @@ class CheckpointStore:
         self._sweep_tmp_files()
         self._load_journal()
         self._verify_module_files()
+        self._sweep_corrupt_files()
         if existing_format < CHECKPOINT_FORMAT:
             # Migration completes only after every surviving module file
             # is journaled; the manifest rewrite is the commit point.
@@ -202,7 +211,13 @@ class CheckpointStore:
 
     def _verify_module_files(self) -> None:
         prefix = f"module-{self.study}-"
-        for path in sorted(self.directory.glob(f"{prefix}*.json")):
+        paths = sorted(self.directory.glob(f"{prefix}*.json"))
+        with get_tracer().span("checkpoint.verify", files=len(paths)):
+            self._verify_paths(prefix, paths)
+
+    def _verify_paths(self, prefix: str, paths: List[pathlib.Path]) -> None:
+        metrics = get_metrics()
+        for path in paths:
             module_id = path.name[len(prefix):-len(".json")]
             data = path.read_bytes()
             entry = self._journal.get(module_id)
@@ -210,6 +225,7 @@ class CheckpointStore:
                 if (entry.get("length") == len(data)
                         and entry.get("sha256") == _sha256(data)):
                     self._verified.add(module_id)
+                    metrics.counter("checkpoint.verified").inc()
                 else:
                     self._quarantine_file(
                         path, module_id,
@@ -226,15 +242,51 @@ class CheckpointStore:
                     continue
                 self._append_journal(module_id, path.name, data)
                 self._verified.add(module_id)
+                metrics.counter("checkpoint.verified").inc()
 
     def _quarantine_file(self, path: pathlib.Path, module_id: str,
                          reason: str) -> None:
+        # Never overwrite earlier forensic evidence: later quarantines of
+        # the same module get numbered generations (.corrupt, .corrupt.2,
+        # ...); _sweep_corrupt_files bounds how many survive.
         target = path.with_suffix(path.suffix + ".corrupt")
+        generation = 1
+        while target.exists():
+            generation += 1
+            target = path.with_suffix(
+                path.suffix + f".corrupt.{generation}")
         os.replace(path, target)
         _fsync_dir(path.parent)
         self._journal.pop(module_id, None)
         self.corrupted.append(CorruptionRecord(
             module_id=module_id, path=str(target), reason=reason))
+        get_metrics().counter("checkpoint.quarantined").inc()
+
+    def _sweep_corrupt_files(self, keep: int = CORRUPT_KEEP) -> None:
+        """Prune old ``*.corrupt`` generations, keeping the newest per file.
+
+        Each corrupt/resume cycle quarantines under a fresh generation
+        number; without a bound, a flaky disk would grow the directory
+        forever.  The newest ``keep`` generations per module file stay for
+        diagnosis; everything older is deleted and recorded in
+        :attr:`pruned_corrupt` (surfaced by the degradation report).
+        """
+        generations: Dict[str, List[Tuple[int, pathlib.Path]]] = {}
+        for path in sorted(self.directory.glob("*.corrupt*")):
+            stem, _, suffix = path.name.partition(".corrupt")
+            if suffix and not suffix[1:].isdigit():
+                continue  # not a quarantine generation of ours
+            generation = int(suffix[1:]) if suffix else 1
+            generations.setdefault(stem, []).append((generation, path))
+        for stem in sorted(generations):
+            entries = sorted(generations[stem])
+            for _, path in entries[:max(0, len(entries) - keep)]:
+                path.unlink()
+                self.pruned_corrupt.append(path.name)
+        if self.pruned_corrupt:
+            _fsync_dir(self.directory)
+            get_metrics().counter("checkpoint.corrupt_pruned").inc(
+                len(self.pruned_corrupt))
 
     def _append_journal(self, module_id: str, file_name: str,
                         data: bytes) -> None:
@@ -266,8 +318,12 @@ class CheckpointStore:
 
     def save(self, module_id: str, payload: Dict[str, Any]) -> pathlib.Path:
         path = self.module_path(module_id)
-        data = _write_atomic(path, payload)
-        self._append_journal(module_id, path.name, data)
+        with get_tracer().span("checkpoint.publish",
+                               module=module_id) as span:
+            data = _write_atomic(path, payload)
+            self._append_journal(module_id, path.name, data)
+            span.annotate(bytes=len(data))
+        get_metrics().counter("checkpoint.published").inc()
         self._verified.add(module_id)
         return path
 
@@ -410,6 +466,6 @@ def audit_checkpoint_dir(directory: PathLike) -> CheckpointAudit:
     for tmp in sorted(root.glob("*.tmp")):
         audit.problems.append(f"{tmp.name}: stale temp file from a killed "
                               "writer (swept automatically on resume)")
-    for corrupt in sorted(root.glob("*.corrupt")):
+    for corrupt in sorted(root.glob("*.corrupt*")):
         audit.notes.append(f"{corrupt.name}: previously quarantined file")
     return audit

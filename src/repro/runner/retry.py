@@ -31,6 +31,7 @@ from repro.errors import (
     ThermalError,
     TimingViolation,
 )
+from repro.obs import get_metrics
 
 #: Exception classes the retry layer treats as transient.  Everything else
 #: (including programming errors) propagates immediately.
@@ -149,6 +150,8 @@ def call_with_retry(fn: Callable[[int], object], *, unit: str,
     deadline is spent, and re-raises immediately on non-retryable
     exceptions or fatal fault kinds.
     """
+    metrics = get_metrics()
+    metrics.counter("retry.calls").inc()
     started_s = clock.now()
     last_cause: Optional[Exception] = None
     attempt = 0
@@ -165,11 +168,18 @@ def call_with_retry(fn: Callable[[int], object], *, unit: str,
         elapsed_s = clock.now() - started_s
         if policy.unit_deadline_s is not None \
                 and elapsed_s >= policy.unit_deadline_s:
+            metrics.counter("retry.exhausted").inc()
             raise RetryExhaustedError(
                 f"unit {unit} exceeded its {policy.unit_deadline_s:.1f} s "
                 f"deadline after {attempt} attempt(s): {last_cause!r}",
                 unit=unit, attempts=attempt, last_cause=last_cause)
-        clock.sleep(policy.backoff_s(attempt, gen))
+        # The backoff value is seed-deterministic (seeded jitter, virtual
+        # clock), so recording it keeps metrics byte-reproducible.
+        backoff_s = policy.backoff_s(attempt, gen)
+        metrics.counter("retry.retries").inc()
+        metrics.histogram("retry.backoff_s").observe(backoff_s)
+        clock.sleep(backoff_s)
+    metrics.counter("retry.exhausted").inc()
     raise RetryExhaustedError(
         f"unit {unit} failed after {attempt} attempt(s): {last_cause!r}",
         unit=unit, attempts=attempt, last_cause=last_cause)

@@ -40,6 +40,8 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, WorkerLostError
+from repro.obs import get_metrics, get_tracer
+from repro.obs.clock import monotonic_ns
 from repro.runner.retry import Deadline, WallClock
 
 #: Event kinds a :class:`SupervisionLog` may record, in lifecycle order.
@@ -107,6 +109,9 @@ class SupervisionLog:
             raise ConfigError(f"unknown supervision event kind "
                               f"{event.kind!r}; choose from {EVENT_KINDS}")
         self.events.append(event)
+        # One counter per lifecycle kind, so `deeprh trace summarize` can
+        # report requeue/respawn rates without replaying the event list.
+        get_metrics().counter(f"supervisor.{event.kind}").inc()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -166,6 +171,8 @@ class _Dispatched:
     spec: object
     dispatch: int
     deadline: Deadline
+    #: Trace timestamp of the dispatch (0 when tracing is off).
+    started_ns: int = 0
 
 
 class CampaignSupervisor:
@@ -191,6 +198,12 @@ class CampaignSupervisor:
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence) -> SupervisionResult:
+        with get_tracer().span("supervisor.run", workers=self.workers,
+                               modules=len(specs)):
+            return self._run(specs)
+
+    def _run(self, specs: Sequence) -> SupervisionResult:
+        tracer = get_tracer()
         order = {spec.module_id: index for index, spec in enumerate(specs)}
         queue: Deque[Tuple[object, int]] = deque(
             (spec, 1) for spec in specs)
@@ -209,7 +222,8 @@ class CampaignSupervisor:
                     in_flight[future] = _Dispatched(
                         spec, dispatch,
                         Deadline(self.policy.module_deadline_s,
-                                 clock=self.clock))
+                                 clock=self.clock),
+                        started_ns=monotonic_ns() if tracer.enabled else 0)
                     self.log.record(SupervisionEvent(
                         "dispatch", spec.module_id, dispatch))
                 done, _ = wait(list(in_flight),
@@ -224,6 +238,13 @@ class CampaignSupervisor:
                         self.log.record(SupervisionEvent(
                             "complete", module_id, entry.dispatch,
                             f"{entry.deadline.elapsed_s():.2f} s"))
+                        if tracer.enabled:
+                            # Dispatch-to-completion, timed in the parent:
+                            # covers queueing + pickling + the worker run.
+                            tracer.record_span(
+                                "supervisor.module", entry.started_ns,
+                                monotonic_ns(), module=module_id,
+                                dispatch=entry.dispatch)
                     except BrokenProcessPool as error:
                         pool_broken = True
                         self.log.record(SupervisionEvent(

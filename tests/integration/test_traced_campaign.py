@@ -1,0 +1,142 @@
+"""Observation never steers: traced campaigns are byte-identical.
+
+The determinism contract of ``repro.obs`` (DESIGN §10): recorders observe
+and never perturb.  These tests run the same chaos campaign with and
+without live recorders and require the merged study result to be
+byte-identical, the metrics snapshot to be seed-deterministic across
+repeat runs, and the ``deeprh campaign --trace`` → ``deeprh trace``
+round trip to surface per-phase timings and campaign health.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    observed,
+)
+from repro.runner import CampaignRunner
+
+pytestmark = pytest.mark.faults
+
+CONFIG = QUICK.scaled(rows_per_region=10, modules_per_manufacturer=1,
+                      temperatures_c=(50.0, 70.0, 90.0),
+                      hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+def canonical(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def chaos_plan() -> FaultPlan:
+    """Transient unit aborts: enough churn to exercise the retry layer."""
+    return FaultPlan(seed=CONFIG.seed, specs=[
+        FaultSpec(site="campaign.unit", kind="abort", rate=0.05)])
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return CONFIG.module_specs()
+
+
+@pytest.fixture(scope="module")
+def untraced_canonical(specs):
+    outcome = CampaignRunner(CONFIG, fault_plan=chaos_plan()).run(
+        "temperature", specs)
+    assert outcome.ok
+    return canonical(outcome.result)
+
+
+class TestTracedResultParity:
+    def test_serial_traced_run_is_byte_identical(self, specs,
+                                                 untraced_canonical):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        with observed(tracer=tracer, metrics=metrics):
+            outcome = CampaignRunner(CONFIG, fault_plan=chaos_plan()).run(
+                "temperature", specs)
+        assert outcome.ok
+        assert canonical(outcome.result) == untraced_canonical
+        names = {record.name for record in tracer.records}
+        assert {"campaign.module", "campaign.unit"} <= names
+        assert metrics.counter_value("retry.calls") > 0
+
+    def test_parallel_traced_run_is_byte_identical(self, specs,
+                                                   untraced_canonical):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        with observed(tracer=tracer, metrics=metrics):
+            outcome = CampaignRunner(CONFIG, workers=3,
+                                     fault_plan=chaos_plan()).run(
+                "temperature", specs)
+        assert outcome.ok
+        assert canonical(outcome.result) == untraced_canonical
+        # Worker spans arrive re-rooted under w<n>. prefixes, one per
+        # module report, merged in spec order.
+        worker_roots = sorted({record.span_id.split(".")[0]
+                               for record in tracer.records
+                               if record.span_id.startswith("w")})
+        assert worker_roots == [f"w{n + 1}" for n in range(len(specs))]
+        assert metrics.counter_value("supervisor.dispatch") >= len(specs)
+        assert metrics.counter_value("supervisor.complete") == len(specs)
+
+    def test_metrics_are_seed_deterministic(self, specs):
+        snapshots = []
+        for _ in range(2):
+            metrics = MetricsRegistry()
+            with observed(metrics=metrics):
+                outcome = CampaignRunner(CONFIG, workers=2,
+                                         fault_plan=chaos_plan()).run(
+                    "temperature", specs)
+            assert outcome.ok
+            snapshots.append(json.dumps(metrics.to_dict(), sort_keys=True))
+        assert snapshots[0] == snapshots[1]
+
+    def test_recorders_restored_after_run(self):
+        assert get_tracer() is NULL_TRACER
+        assert get_metrics() is NULL_METRICS
+
+
+class TestCliTraceRoundTrip:
+    def test_trace_flag_writes_summarizable_artifacts(self, tmp_path,
+                                                      capsys):
+        trace_dir = tmp_path / "trace-out"
+        code = cli_main([
+            "campaign", "temperature", "--preset", "quick",
+            "--workers", "2", "--trace", str(trace_dir), "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert (trace_dir / "trace.jsonl").is_file()
+        assert (trace_dir / "metrics.json").is_file()
+
+        code = cli_main(["trace", "summarize", str(trace_dir)])
+        assert code == 0
+        summary = capsys.readouterr().out
+        assert "root wall-clock total" in summary
+        assert "hit rate" in summary
+        assert "dispatch(es)" in summary
+
+        code = cli_main(["trace", "slowest", str(trace_dir), "--top", "3"])
+        assert code == 0
+        assert "slowest span(s)" in capsys.readouterr().out
+
+        export_path = tmp_path / "spans.csv"
+        code = cli_main(["trace", "export", str(trace_dir),
+                         "--format", "csv", "-o", str(export_path)])
+        assert code == 0
+        assert export_path.read_text().startswith("span_id,")
+
+    def test_trace_summarize_missing_dir_fails_cleanly(self, tmp_path,
+                                                       capsys):
+        code = cli_main(["trace", "summarize", str(tmp_path / "nope")])
+        assert code == 1
+        assert "no trace found" in capsys.readouterr().err

@@ -1,0 +1,139 @@
+"""Metrics registry: buckets, merge determinism, disabled-mode no-ops."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import NULL_METRICS, MetricsRegistry, hit_rate
+from repro.obs.metrics import Histogram
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.counter("events").inc()
+        metrics.counter("events").inc(4)
+        assert metrics.counter_value("events") == 5
+        assert metrics.counter_value("never-touched") == 0
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("cache.size").set(3)
+        metrics.gauge("cache.size").set(7)
+        assert metrics.to_dict()["gauges"]["cache.size"] == 7.0
+
+
+class TestHistogramBucketEdges:
+    def test_edges_are_inclusive_upper_bounds(self):
+        hist = Histogram(edges=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0):     # both land in the first bucket
+            hist.observe(value)
+        hist.observe(1.5)            # second bucket
+        hist.observe(4.0)            # third bucket (inclusive edge)
+        hist.observe(4.0001)         # overflow
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+
+    def test_overflow_bucket_is_extra_slot(self):
+        hist = Histogram(edges=(1.0,))
+        assert len(hist.counts) == 2
+        hist.observe(100.0)
+        assert hist.counts == [0, 1]
+
+    def test_mean_and_total(self):
+        hist = Histogram(edges=(10.0,))
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.total == 6.0
+        assert hist.mean == 3.0
+        assert Histogram(edges=(1.0,)).mean == 0.0
+
+    def test_rejects_unordered_or_empty_edges(self):
+        with pytest.raises(ConfigError):
+            Histogram(edges=())
+        with pytest.raises(ConfigError):
+            Histogram(edges=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram(edges=(1.0, 1.0))
+
+
+class TestCrossProcessMerge:
+    def _worker_snapshot(self, scale):
+        worker = MetricsRegistry()
+        worker.counter("retry.calls").inc(3 * scale)
+        worker.gauge("cache.size").set(10 * scale)
+        hist = worker.histogram("backoff_s", edges=(1.0, 2.0))
+        hist.observe(0.5 * scale)
+        return worker.to_dict()
+
+    def test_merge_adds_counters_and_buckets(self):
+        parent = MetricsRegistry()
+        parent.merge_dict(self._worker_snapshot(1))
+        parent.merge_dict(self._worker_snapshot(2))
+        merged = parent.to_dict()
+        assert merged["counters"]["retry.calls"] == 9
+        assert merged["gauges"]["cache.size"] == 20.0   # last write wins
+        hist = merged["histograms"]["backoff_s"]
+        assert hist["counts"] == [2, 0, 0]
+        assert hist["count"] == 2
+        assert hist["total"] == 1.5
+
+    def test_merge_is_byte_deterministic(self):
+        """Same snapshots, same order -> byte-identical aggregate."""
+        snapshots = [self._worker_snapshot(s) for s in (1, 2, 3)]
+        outputs = []
+        for _ in range(2):
+            parent = MetricsRegistry()
+            for snapshot in snapshots:
+                parent.merge_dict(snapshot)
+            outputs.append(json.dumps(parent.to_dict(), sort_keys=True))
+        assert outputs[0] == outputs[1]
+
+    def test_merge_rejects_mismatched_edges(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", edges=(1.0, 2.0)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.histogram("h", edges=(5.0, 6.0)).observe(5.5)
+        with pytest.raises(ConfigError):
+            parent.merge_dict(worker.to_dict())
+
+    def test_merge_into_empty_registry_creates_metrics(self):
+        parent = MetricsRegistry()
+        parent.merge_dict(self._worker_snapshot(1))
+        assert parent.counter_value("retry.calls") == 3
+
+
+class TestDisabledMode:
+    def test_null_metrics_records_nothing(self):
+        NULL_METRICS.counter("c").inc(99)
+        NULL_METRICS.gauge("g").set(1.0)
+        NULL_METRICS.histogram("h").observe(5.0)
+        NULL_METRICS.merge_dict({"counters": {"c": 1}})
+        assert NULL_METRICS.counter_value("c") == 0
+        assert NULL_METRICS.to_dict() == {"counters": {}, "gauges": {},
+                                          "histograms": {}}
+        assert NULL_METRICS.enabled is False
+        assert "disabled" in NULL_METRICS.render()
+
+
+class TestRendering:
+    def test_render_lists_all_metric_kinds(self):
+        metrics = MetricsRegistry()
+        metrics.counter("a.count").inc(2)
+        metrics.gauge("b.size").set(4)
+        metrics.histogram("c.dist", edges=(1.0,)).observe(0.5)
+        text = metrics.render()
+        assert "a.count" in text and "b.size" in text and "c.dist" in text
+
+    def test_render_empty_registry(self):
+        assert "no metrics recorded" in MetricsRegistry().render()
+
+
+class TestHitRate:
+    def test_hit_rate_fraction(self):
+        snapshot = {"counters": {"hit": 3, "miss": 1}}
+        assert hit_rate(snapshot, "hit", "miss") == 0.75
+
+    def test_hit_rate_none_when_unused(self):
+        assert hit_rate({"counters": {}}, "hit", "miss") is None

@@ -1,0 +1,131 @@
+"""Trace summaries, exports, and the profiling harness."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.profile import profile_call
+from repro.obs.summary import (
+    export,
+    load_metrics,
+    load_spans,
+    phase_breakdown,
+    slowest,
+    summarize,
+)
+from repro.obs.trace import METRICS_FILENAME, TRACE_FILENAME
+
+
+@pytest.fixture
+def trace_dir(tmp_path):
+    """A --trace output directory with a small known span tree + metrics."""
+    tracer = Tracer()
+    with tracer.span("campaign.module", module="A0"):
+        with tracer.span("campaign.unit", unit="A0:50"):
+            pass
+        with tracer.span("campaign.unit", unit="A0:70"):
+            pass
+    tracer.write_jsonl(tmp_path / TRACE_FILENAME)
+    metrics = MetricsRegistry()
+    metrics.counter("oracle.cache.hit").inc(30)
+    metrics.counter("oracle.cache.miss").inc(10)
+    metrics.counter("oracle.grid.solves").inc(40)
+    metrics.counter("supervisor.dispatch").inc(4)
+    metrics.counter("supervisor.complete").inc(4)
+    metrics.counter("supervisor.requeue").inc(1)
+    metrics.counter("supervisor.respawn").inc(2)
+    (tmp_path / METRICS_FILENAME).write_text(
+        json.dumps(metrics.to_dict(), sort_keys=True))
+    return tmp_path
+
+
+class TestLoading:
+    def test_load_spans_accepts_dir_or_file(self, trace_dir):
+        from_dir = load_spans(trace_dir)
+        from_file = load_spans(trace_dir / TRACE_FILENAME)
+        assert from_dir == from_file
+        assert len(from_dir) == 3
+
+    def test_load_spans_missing_trace(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_spans(tmp_path)
+
+    def test_load_spans_rejects_garbage(self, tmp_path):
+        (tmp_path / TRACE_FILENAME).write_text("not json\n")
+        with pytest.raises(ConfigError):
+            load_spans(tmp_path)
+
+    def test_load_metrics_optional(self, tmp_path):
+        (tmp_path / TRACE_FILENAME).write_text("")
+        assert load_metrics(tmp_path) is None
+
+
+class TestSummarize:
+    def test_phase_breakdown_groups_and_sorts(self, trace_dir):
+        phases = phase_breakdown(load_spans(trace_dir))
+        assert [p.name for p in phases] == ["campaign.module",
+                                            "campaign.unit"]
+        assert phases[0].count == 1
+        assert phases[1].count == 2
+
+    def test_summarize_reports_phases_and_health(self, trace_dir):
+        text = summarize(trace_dir)
+        assert "campaign.module" in text
+        assert "campaign.unit" in text
+        assert "root wall-clock total" in text
+        # oracle LRU hit rate and supervisor requeue/respawn counts
+        assert "75.0% hit rate" in text
+        assert "1 requeue(s)" in text
+        assert "2 respawn(s)" in text
+
+    def test_summarize_without_metrics(self, trace_dir):
+        (trace_dir / METRICS_FILENAME).unlink()
+        text = summarize(trace_dir)
+        assert "campaign health" not in text
+
+    def test_slowest_ranks_by_duration(self, trace_dir):
+        text = slowest(trace_dir, top=2)
+        lines = text.splitlines()
+        assert "2 slowest span(s) of 3" in lines[0]
+        # The root span contains its children, so it must rank first.
+        assert "campaign.module" in lines[1]
+
+
+class TestExport:
+    def test_export_json_is_the_span_list(self, trace_dir):
+        spans = json.loads(export(trace_dir, "json"))
+        assert spans == load_spans(trace_dir)
+
+    def test_export_csv_has_header_and_rows(self, trace_dir):
+        rows = list(csv.reader(io.StringIO(export(trace_dir, "csv"))))
+        assert rows[0] == ["span_id", "parent_id", "name", "start_ns",
+                           "duration_ns", "attrs"]
+        assert len(rows) == 4
+        assert json.loads(rows[1][5]) == {"unit": "A0:50"}
+
+    def test_export_unknown_format(self, trace_dir):
+        with pytest.raises(ConfigError):
+            export(trace_dir, "xml")
+
+
+class TestProfileCall:
+    def test_result_passes_through(self):
+        result, report = profile_call(lambda: sum(range(100)), top_n=5)
+        assert result == 4950
+        assert report.top_n == 5
+        assert "cumulative" in report.stats_text
+        assert "profile (top 5" in report.render()
+
+    def test_memory_profiling_collects_sites(self):
+        def allocate():
+            return [bytes(1000) for _ in range(100)]
+
+        result, report = profile_call(allocate, top_n=3, with_memory=True)
+        assert len(result) == 100
+        assert report.peak_bytes > 0
+        assert report.memory_top
+        assert "tracemalloc peak" in report.render()

@@ -1,0 +1,171 @@
+"""Span tracer: nesting, hierarchical ids, adoption, JSONL, disabled mode."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    observation_active,
+    observed,
+    traced,
+)
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_sibling_roots_get_sequential_ids(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.span_id for r in tracer.records] == ["1", "2"]
+        assert all(r.parent_id == "" for r in tracer.records)
+
+    def test_nested_spans_get_dotted_ids_and_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("inner2"):
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["outer"].span_id == "1"
+        assert by_name["inner"].span_id == "1.1"
+        assert by_name["leaf"].span_id == "1.1.1"
+        assert by_name["inner2"].span_id == "1.2"
+        assert by_name["leaf"].parent_id == "1.1"
+        assert by_name["inner2"].parent_id == "1"
+
+    def test_children_close_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r.name for r in tracer.records] == ["inner", "outer"]
+
+    def test_parent_duration_covers_child(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records
+        assert outer.start_ns <= inner.start_ns
+        assert outer.duration_ns >= inner.duration_ns >= 0
+
+    def test_exception_annotates_and_still_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (record,) = tracer.records
+        assert record.attrs["error"] == "ValueError"
+        assert not tracer._stack
+
+    def test_annotate_merges_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s", fixed=1) as span:
+            span.annotate(discovered=2)
+        (record,) = tracer.records
+        assert record.attrs == {"fixed": 1, "discovered": 2}
+
+    def test_record_span_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.record_span("timed", 100, 350, kind="external")
+        timed = tracer.records[0]
+        assert timed.span_id == "1.1"
+        assert timed.duration_ns == 250
+        assert timed.attrs == {"kind": "external"}
+
+
+class TestAdoption:
+    def test_adopt_reroots_with_worker_prefix(self):
+        worker = Tracer()
+        with worker.span("module"):
+            with worker.span("unit"):
+                pass
+        parent = Tracer()
+        parent.adopt(worker.to_dicts(), module="A0")
+        parent.adopt(worker.to_dicts(), module="B0")
+        ids = [r.span_id for r in parent.records]
+        assert ids == ["w1.1.1", "w1.1", "w2.1.1", "w2.1"]
+        roots = [r for r in parent.records if r.parent_id == ""]
+        assert [r.attrs["module"] for r in roots] == ["A0", "B0"]
+        nested = [r for r in parent.records if r.parent_id]
+        assert [r.parent_id for r in nested] == ["w1.1", "w2.1"]
+
+
+class TestExport:
+    def test_write_jsonl_round_trips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", n=1):
+            with tracer.span("b"):
+                pass
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        spans = [json.loads(line) for line in lines]
+        assert {s["name"] for s in spans} == {"a", "b"}
+        for span in spans:
+            assert set(span) == {"span_id", "parent_id", "name",
+                                 "start_ns", "duration_ns", "attrs"}
+
+
+class TestDisabledMode:
+    def test_null_tracer_is_inert(self):
+        span = NULL_TRACER.span("anything", attr=1)
+        assert span is _NULL_SPAN
+        with span as inner:
+            inner.annotate(ignored=True)
+        NULL_TRACER.record_span("x", 0, 10)
+        NULL_TRACER.adopt([{"span_id": "1", "name": "x", "start_ns": 0,
+                            "duration_ns": 1}])
+        assert NULL_TRACER.to_dicts() == []
+        assert NULL_TRACER.enabled is False
+
+    def test_default_recorder_is_the_null_tracer(self):
+        assert get_tracer() is NULL_TRACER
+        assert not observation_active()
+
+    def test_observed_installs_and_restores(self):
+        tracer = Tracer()
+        with observed(tracer=tracer):
+            assert get_tracer() is tracer
+            assert observation_active()
+        assert get_tracer() is NULL_TRACER
+        assert not observation_active()
+
+
+class TestTracedDecorator:
+    def test_traced_records_when_active(self):
+        @traced("labelled")
+        def work(x):
+            return x * 2
+
+        tracer = Tracer()
+        with observed(tracer=tracer):
+            assert work(21) == 42
+        assert [r.name for r in tracer.records] == ["labelled"]
+
+    def test_traced_is_passthrough_when_disabled(self):
+        @traced()
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert NULL_TRACER.to_dicts() == []
+
+    def test_traced_defaults_to_qualname(self):
+        @traced()
+        def helper():
+            return None
+
+        tracer = Tracer()
+        with observed(tracer=tracer):
+            helper()
+        assert tracer.records[0].name.endswith("helper")

@@ -7,6 +7,10 @@ the previous one and exits non-zero when any benchmark's mean slowed down
 by more than the tolerance (default 20%), so CI catches performance
 regressions the way the unit suite catches correctness ones.
 
+Benchmarks present in only one of the two runs are reported as *new* or
+*removed* rather than crashing the comparison — renaming or retiring a
+benchmark must not break the gate for everything else.
+
 Usage::
 
     python tools/bench_compare.py [--tolerance 0.20] [--json PATH]
@@ -22,50 +26,76 @@ import sys
 DEFAULT_JSON = pathlib.Path(__file__).parent.parent / "BENCH_throughput.json"
 
 
-#: Allowed fractional overhead of a ``*_supervised`` benchmark over its
-#: ``*_unsupervised`` partner in the same run.
+#: Allowed fractional overhead of the instrumented benchmark in a suffix
+#: pair over its baseline partner in the same run.
 PAIR_TOLERANCE = 0.05
 
 #: Absolute slack (seconds) on the pair gate: at sub-second scale, pool
 #: spawn jitter would otherwise flake a genuinely-within-5% pairing.
 PAIR_EPSILON_S = 0.05
 
+#: ``(instrumented-suffix, baseline-suffix)`` benchmark pairs gated within
+#: one run: supervised dispatch vs a bare pool, and a traced campaign vs
+#: an untraced one.  Both must stay within ``PAIR_TOLERANCE``.
+PAIR_SUFFIXES = (
+    ("_supervised", "_unsupervised"),
+    ("_traced", "_untraced"),
+)
+
+
+def _mean(stats) -> float:
+    """The mean of one benchmark entry, or ``0.0`` when malformed."""
+    if not isinstance(stats, dict):
+        return 0.0
+    mean = stats.get("mean_s")
+    return float(mean) if isinstance(mean, (int, float)) else 0.0
+
 
 def compare(previous: dict, latest: dict, tolerance: float) -> list:
     """Return (name, prev_mean, new_mean, ratio) for regressed benchmarks."""
     regressions = []
     for name, stats in sorted(latest.get("results", {}).items()):
-        before = previous.get("results", {}).get(name)
-        if before is None or before["mean_s"] <= 0.0:
+        before = _mean(previous.get("results", {}).get(name))
+        after = _mean(stats)
+        if before <= 0.0:
             continue
-        ratio = stats["mean_s"] / before["mean_s"]
+        ratio = after / before
         if ratio > 1.0 + tolerance:
-            regressions.append((name, before["mean_s"], stats["mean_s"],
-                                ratio))
+            regressions.append((name, before, after, ratio))
     return regressions
 
 
-def supervised_pair_failures(latest: dict) -> list:
-    """Gate ``*_supervised`` vs ``*_unsupervised`` pairs in one run.
+def pair_failures(latest: dict) -> list:
+    """Gate instrumented-vs-baseline suffix pairs in one run.
 
-    Returns (stem, bare_mean, supervised_mean) for each pair where the
-    supervised dispatch path costs more than ``PAIR_TOLERANCE`` over the
-    bare-pool baseline (plus ``PAIR_EPSILON_S`` of absolute slack).
+    Returns (stem, suffix, bare_mean, instrumented_mean) for each
+    :data:`PAIR_SUFFIXES` pair where the instrumented path costs more
+    than ``PAIR_TOLERANCE`` over its baseline partner (plus
+    ``PAIR_EPSILON_S`` of absolute slack).
     """
     results = latest.get("results", {})
     failures = []
     for name, stats in sorted(results.items()):
-        if not name.endswith("_supervised"):
-            continue
-        partner = name[: -len("_supervised")] + "_unsupervised"
-        bare = results.get(partner)
-        if bare is None or bare["mean_s"] <= 0.0:
-            continue
-        bound = bare["mean_s"] * (1.0 + PAIR_TOLERANCE) + PAIR_EPSILON_S
-        if stats["mean_s"] > bound:
-            failures.append((name[: -len("_supervised")].rstrip("_"),
-                             bare["mean_s"], stats["mean_s"]))
+        for suffix, baseline_suffix in PAIR_SUFFIXES:
+            if not name.endswith(suffix):
+                continue
+            stem = name[: -len(suffix)]
+            bare = _mean(results.get(stem + baseline_suffix))
+            instrumented = _mean(stats)
+            if bare <= 0.0:
+                continue
+            bound = bare * (1.0 + PAIR_TOLERANCE) + PAIR_EPSILON_S
+            if instrumented > bound:
+                failures.append((stem.rstrip("_"), suffix.lstrip("_"),
+                                 bare, instrumented))
     return failures
+
+
+def supervised_pair_failures(latest: dict) -> list:
+    """Back-compat shim: the ``_supervised`` subset of :func:`pair_failures`."""
+    return [(stem, bare, instrumented)
+            for stem, suffix, bare, instrumented in pair_failures(latest)
+            if suffix == "supervised"]
 
 
 def main(argv=None) -> int:
@@ -88,16 +118,26 @@ def main(argv=None) -> int:
         return 0
 
     previous, latest = runs[-2], runs[-1]
-    print(f"comparing {previous['timestamp']} -> {latest['timestamp']} "
+    print(f"comparing {previous.get('timestamp', '?')} -> "
+          f"{latest.get('timestamp', '?')} "
           f"(tolerance {args.tolerance:.0%})")
-    for name, stats in sorted(latest.get("results", {}).items()):
-        before = previous.get("results", {}).get(name)
-        if before is None:
-            print(f"  {name:45s} {stats['mean_s'] * 1e3:9.3f} ms   (new)")
-            continue
-        ratio = stats["mean_s"] / before["mean_s"]
-        print(f"  {name:45s} {before['mean_s'] * 1e3:9.3f} ms -> "
-              f"{stats['mean_s'] * 1e3:9.3f} ms  ({ratio:5.2f}x)")
+    previous_results = previous.get("results", {})
+    latest_results = latest.get("results", {})
+    for name, stats in sorted(latest_results.items()):
+        after = _mean(stats)
+        before = _mean(previous_results.get(name))
+        if name not in previous_results:
+            print(f"  {name:45s} {after * 1e3:9.3f} ms   (new benchmark)")
+        elif before <= 0.0:
+            print(f"  {name:45s} {after * 1e3:9.3f} ms   "
+                  "(no previous mean)")
+        else:
+            ratio = after / before
+            print(f"  {name:45s} {before * 1e3:9.3f} ms -> "
+                  f"{after * 1e3:9.3f} ms  ({ratio:5.2f}x)")
+    for name in sorted(set(previous_results) - set(latest_results)):
+        print(f"  {name:45s} (removed benchmark; was "
+              f"{_mean(previous_results[name]) * 1e3:.3f} ms)")
     for stem, speedup in sorted(latest.get("speedups", {}).items()):
         print(f"  grid speedup [{stem}]: {speedup:.2f}x over pointwise")
 
@@ -110,15 +150,15 @@ def main(argv=None) -> int:
         for name, before, after, ratio in regressions:
             print(f"  {name}: {before * 1e3:.3f} ms -> {after * 1e3:.3f} ms "
                   f"({ratio:.2f}x)")
-    pair_failures = supervised_pair_failures(latest)
-    if pair_failures:
+    pairs = pair_failures(latest)
+    if pairs:
         failed = True
-        print(f"\nFAIL: supervised dispatch exceeds its unsupervised "
-              f"baseline by more than {PAIR_TOLERANCE:.0%} "
+        print(f"\nFAIL: instrumented benchmark(s) exceed their baseline "
+              f"partner by more than {PAIR_TOLERANCE:.0%} "
               f"(+{PAIR_EPSILON_S * 1e3:.0f} ms slack):")
-        for stem, bare, supervised in pair_failures:
-            print(f"  {stem}: bare {bare * 1e3:.3f} ms -> supervised "
-                  f"{supervised * 1e3:.3f} ms")
+        for stem, suffix, bare, instrumented in pairs:
+            print(f"  {stem}: baseline {bare * 1e3:.3f} ms -> {suffix} "
+                  f"{instrumented * 1e3:.3f} ms")
     if failed:
         return 1
     print("\nOK: no benchmark regressed beyond tolerance")

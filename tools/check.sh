@@ -55,6 +55,12 @@ fi
 if [ $fast -eq 0 ]; then
     step "chaos smoke (supervised workers: crash + hang recovery)"
     run python tools/faults_smoke.py --chaos
+
+    step "obs smoke (traced campaign parity + trace summarize)"
+    run python tools/obs_smoke.py
+
+    step "obs unit suite (tracer, metrics, summaries)"
+    run python -m pytest tests/unit/obs -q
 fi
 
 step "benchmark regression gate"

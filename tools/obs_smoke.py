@@ -1,0 +1,89 @@
+"""Smoke-test the observability stack end to end.
+
+Runs one short seeded campaign twice — untraced, then under live
+recorders via the ``deeprh campaign --trace --metrics`` CLI path — and
+verifies the contract the test suite enforces at scale: the traced
+result is byte-identical to the untraced one, the trace directory holds
+a summarizable span stream, and ``deeprh trace summarize`` surfaces the
+per-phase wall-clock table plus oracle/retry health counters.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_smoke.py [--seed N]
+
+Exits 0 on success, 1 on any contract violation.  A one-screen version
+of ``pytest tests/unit/obs tests/integration/test_traced_campaign.py``
+for quick sanity checks after touching the instrumentation.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.obs import MetricsRegistry, Tracer, observed
+from repro.obs.summary import load_spans, summarize
+from repro.obs.trace import METRICS_FILENAME, TRACE_FILENAME
+from repro.runner import CampaignRunner
+
+
+def smoke(seed: int) -> int:
+    config = QUICK.scaled(seed=seed, rows_per_region=8,
+                          modules_per_manufacturer=1,
+                          temperatures_c=(50.0, 85.0),
+                          hcfirst_repetitions=1, wcdp_sample_rows=2)
+    specs = config.module_specs()
+    failures = []
+
+    untraced = CampaignRunner(config).run("temperature", specs)
+
+    started = time.perf_counter()
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with observed(tracer=tracer, metrics=metrics):
+        traced = CampaignRunner(config).run("temperature", specs)
+    print(traced.degradation_report())
+    print(f"  wall:    {time.perf_counter() - started:.2f} s")
+
+    if result_to_dict(traced.result) != result_to_dict(untraced.result):
+        failures.append("traced campaign diverged from untraced run")
+    else:
+        print("  parity:  traced == untraced (bit-exact)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_dir = pathlib.Path(tmp)
+        tracer.write_jsonl(trace_dir / TRACE_FILENAME)
+        (trace_dir / METRICS_FILENAME).write_text(
+            json.dumps(metrics.to_dict(), sort_keys=True))
+        spans = load_spans(trace_dir)
+        if not spans:
+            failures.append("trace stream is empty")
+        names = {span["name"] for span in spans}
+        for expected in ("campaign.module", "campaign.unit",
+                         "oracle.matrix_build"):
+            if expected not in names:
+                failures.append(f"no {expected!r} spans recorded")
+        text = summarize(trace_dir)
+        print(text)
+        for needle in ("root wall-clock total", "hit rate"):
+            if needle not in text:
+                failures.append(f"summarize output lacks {needle!r}")
+
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    print("obs smoke " + ("FAILED" if failures else "passed"))
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2021)
+    args = parser.parse_args()
+    return smoke(args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
