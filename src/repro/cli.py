@@ -171,6 +171,56 @@ def build_parser() -> argparse.ArgumentParser:
                                "print the top N cumulative entries "
                                "(default N: 25)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run campaigns as a long-lived service on a Unix socket "
+             "(bounded admission, per-request deadlines, circuit-broken "
+             "parallelism, graceful drain on SIGTERM)")
+    serve.add_argument("--socket", required=True, metavar="PATH",
+                       help="Unix domain socket to listen on")
+    serve.add_argument("--max-inflight", type=int, default=2, metavar="N",
+                       help="campaigns executing concurrently (default: 2)")
+    serve.add_argument("--max-queue", type=int, default=8, metavar="N",
+                       help="admitted requests waiting beyond the inflight "
+                            "bound; the next one is rejected 'overloaded' "
+                            "(default: 8)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="retry budget per unit of work (default: 3)")
+    serve.add_argument("--fault-plan", metavar="SPEC", default=None,
+                       help="service-level fault injection, e.g. "
+                            "'serve.request:reject=0.2,"
+                            "campaign.worker:crash=0.1'")
+    serve.add_argument("--fault-seed", type=int, default=None,
+                       help="seed of the service fault plan (default: 0)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       metavar="N",
+                       help="worker-pool losses within the window that "
+                            "trip the breaker to serial execution "
+                            "(default: 3)")
+    serve.add_argument("--breaker-window", type=float, default=60.0,
+                       metavar="S",
+                       help="sliding loss-counting window in seconds "
+                            "(default: 60)")
+    serve.add_argument("--breaker-cooldown", type=float, default=120.0,
+                       metavar="S",
+                       help="seconds the breaker stays open before a "
+                            "half-open trial (default: 120)")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       metavar="S",
+                       help="seconds in-flight campaigns get to finish on "
+                            "SIGTERM before they are cancelled at the "
+                            "next checkpoint boundary (default: 5)")
+    serve.add_argument("--resume-manifest", metavar="FILE", default=None,
+                       help="where the drain manifest of interrupted "
+                            "requests is written (default: "
+                            "SOCKET.resume.json)")
+    serve.add_argument("--shared-cache-entries", type=int, default=4096,
+                       metavar="N",
+                       help="size of the cross-request oracle matrix "
+                            "cache; 0 disables sharing (default: 4096)")
+    serve.add_argument("--metrics", action="store_true",
+                       help="collect service metrics; printed on exit")
+
     trace = sub.add_parser(
         "trace",
         help="inspect a trace recorded with 'deeprh campaign --trace'")
@@ -217,6 +267,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Exit code of a campaign stopped by SIGINT/SIGTERM (128 + SIGINT).
+INTERRUPTED_EXIT = 130
+
+
+def _install_sigterm_as_interrupt() -> None:
+    """Let SIGTERM take the same graceful-checkpoint path as Ctrl-C.
+
+    Only possible on the main thread; elsewhere (embedded use, tests)
+    SIGTERM keeps its default disposition and the interrupt handling
+    simply never triggers.
+    """
+    import signal
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:
+        pass
+
+
 def _campaign(args, config: config_mod.StudyConfig) -> int:
     import pathlib
 
@@ -250,24 +322,43 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
         config = config.scaled(module_deadline_s=args.module_deadline)
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if (args.metrics or args.trace) else None
-    with observed(tracer=tracer, metrics=metrics):
-        runner = CampaignRunner(
-            config,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
-            fault_plan=fault_plan,
-            retry=RetryPolicy(max_attempts=args.max_attempts),
-            workers=args.workers,
-            supervisor=SupervisorPolicy(
-                module_deadline_s=config.module_deadline_s,
-                max_requeues=args.max_requeues))
-        if args.profile is not None:
-            from repro.obs.profile import profile_call
+    _install_sigterm_as_interrupt()
+    try:
+        with observed(tracer=tracer, metrics=metrics):
+            runner = CampaignRunner(
+                config,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                fault_plan=fault_plan,
+                retry=RetryPolicy(max_attempts=args.max_attempts),
+                workers=args.workers,
+                supervisor=SupervisorPolicy(
+                    module_deadline_s=config.module_deadline_s,
+                    max_requeues=args.max_requeues))
+            if args.profile is not None:
+                from repro.obs.profile import profile_call
 
-            outcome, profile_report = profile_call(
-                lambda: runner.run(args.study), top_n=args.profile)
+                outcome, profile_report = profile_call(
+                    lambda: runner.run(args.study), top_n=args.profile)
+            else:
+                outcome, profile_report = runner.run(args.study), None
+    except KeyboardInterrupt:
+        # Graceful stop: no traceback, an honest account of what is on
+        # disk, and a copy-pasteable way to pick the campaign back up.
+        print("\ninterrupted", file=sys.stderr)
+        if args.checkpoint_dir is not None:
+            print("completed modules are checkpointed in "
+                  f"{args.checkpoint_dir}; resume with:", file=sys.stderr)
+            seed_flag = f" --seed {args.seed}" if args.seed is not None \
+                else ""
+            print(f"  deeprh campaign {args.study} --preset {args.preset}"
+                  f"{seed_flag} --checkpoint-dir {args.checkpoint_dir} "
+                  "--resume", file=sys.stderr)
         else:
-            outcome, profile_report = runner.run(args.study), None
+            print("no --checkpoint-dir was given, so nothing was saved; "
+                  "rerun with --checkpoint-dir to make campaigns "
+                  "resumable", file=sys.stderr)
+        return INTERRUPTED_EXIT
     print(outcome.degradation_report())
     if args.trace:
         import json
@@ -293,6 +384,43 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
         path = save_result(outcome.result, args.save_json)
         print(f"wrote {path}", file=sys.stderr)
     return 0 if outcome.ok else 2
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.faults import parse_fault_plan
+    from repro.obs import MetricsRegistry, observed
+    from repro.serve.breaker import BreakerPolicy
+    from repro.serve.server import CampaignService
+
+    fault_plan = None
+    if args.fault_plan:
+        fault_seed = args.fault_seed if args.fault_seed is not None else 0
+        fault_plan = parse_fault_plan(args.fault_plan, seed=fault_seed)
+    service = CampaignService(
+        args.socket,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        breaker=BreakerPolicy(threshold=args.breaker_threshold,
+                              window_s=args.breaker_window,
+                              cooldown_s=args.breaker_cooldown),
+        fault_plan=fault_plan,
+        drain_grace_s=args.drain_grace,
+        resume_manifest=args.resume_manifest,
+        shared_cache_entries=args.shared_cache_entries,
+        max_attempts=args.max_attempts)
+    metrics = MetricsRegistry() if args.metrics else None
+    print(f"deeprh serve: listening on {args.socket} "
+          f"(max {args.max_inflight} inflight + {args.max_queue} queued); "
+          "SIGTERM drains gracefully", file=sys.stderr)
+    with observed(metrics=metrics):
+        status = asyncio.run(service.serve_forever())
+    print(f"deeprh serve: drained; resume manifest at "
+          f"{service.resume_manifest}", file=sys.stderr)
+    if metrics is not None:
+        print(metrics.render())
+    return status
 
 
 def _trace(args) -> int:
@@ -396,6 +524,13 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         return _trace(args)
+
+    if args.command == "serve":
+        try:
+            return _serve(args)
+        except ConfigError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
 
     config = config_mod.preset(args.preset)
     if args.seed is not None:

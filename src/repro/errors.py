@@ -114,6 +114,21 @@ class WorkerLostError(ReproError):
         self.cause = cause
 
 
+class CampaignCancelled(ReproError):
+    """A campaign was cancelled cooperatively before it completed.
+
+    Raised at unit/module boundaries when a :class:`~repro.runner.cancel.
+    CancelToken` is set — by a per-request deadline, an explicit client
+    cancel, or a draining service.  Modules checkpointed before the
+    cancellation remain on disk and verified, so a cancelled campaign with
+    a checkpoint directory is always resumable.
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class CheckpointCorruptionError(ReproError):
     """A checkpoint file failed its integrity check (sha256/length).
 

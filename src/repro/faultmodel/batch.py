@@ -32,6 +32,8 @@ to the corresponding pointwise call at point ``j`` (property-tested by
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -45,6 +47,96 @@ from repro.obs import get_metrics, get_tracer
 
 #: A fully-resolved sweep point: (temperature_c, t_on_ns, t_off_ns).
 ResolvedPoint = Tuple[float, float, float]
+
+
+class SharedMatrixCache:
+    """Process-wide bounded LRU of oracle threshold parts.
+
+    One campaign's :class:`BatchOracle` keeps a private per-model cache;
+    a long-lived service running many campaigns over the same modules
+    would rebuild identical matrices once per request.  Installing one of
+    these (see :func:`install_shared_matrix_cache`) lets every oracle in
+    the process share a single bounded pool instead.
+
+    Safety comes from purity: entries are keyed by the *full* identity of
+    what they derive from — the model's seed-tree root and prefix, its
+    calibration profile and geometry constants, and the (bank, row,
+    pattern, victim, temperatures) coordinates — so a hit can only ever
+    return bit-identical values to a rebuild, regardless of which request
+    populated it.  Cached arrays are marked read-only; all access is under
+    one lock, so concurrent requests in server threads stay coherent.
+    """
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries < 1:
+            raise ValueError("shared matrix cache needs at least one entry")
+        self.entries = int(entries)
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = \
+            OrderedDict()
+
+    def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        with self._lock:
+            parts = self._cache.get(key)
+            if parts is not None:
+                self._cache.move_to_end(key)
+            return parts
+
+    def put(self, key: tuple,
+            parts: Tuple[np.ndarray, np.ndarray]) -> None:
+        for array in parts:
+            array.setflags(write=False)
+        metrics = get_metrics()
+        with self._lock:
+            self._cache[key] = parts
+            while len(self._cache) > self.entries:
+                self._cache.popitem(last=False)
+                metrics.counter("oracle.shared_cache.evicted").inc()
+            metrics.gauge("oracle.shared_cache.size").set(len(self._cache))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+
+_shared_cache: Optional[SharedMatrixCache] = None
+
+
+def install_shared_matrix_cache(cache: Optional[SharedMatrixCache]
+                                ) -> Optional[SharedMatrixCache]:
+    """Install (or with ``None`` remove) the process-wide shared cache.
+
+    Returns the previously installed cache so callers can restore it.
+    Affects only oracles in *this* process: campaign worker processes
+    spawn fresh and fall back to their private per-model LRUs.
+    """
+    global _shared_cache
+    previous = _shared_cache
+    _shared_cache = cache
+    return previous
+
+
+def shared_matrix_cache() -> Optional[SharedMatrixCache]:
+    """The currently installed process-wide cache, if any."""
+    return _shared_cache
+
+
+def model_cache_namespace(model) -> tuple:
+    """The identity prefix that makes threshold parts shareable.
+
+    Threshold parts are pure functions of the model's seed tree (root
+    seed + path prefix — which embeds the module id), its data-fill seed,
+    and the calibration/geometry constants the cell population is drawn
+    from.  Two models agreeing on this tuple produce bit-identical parts
+    for every (bank, row, pattern, victim, temps) coordinate.
+    """
+    return (model.tree.root_seed, model.tree.prefix, model.data_seed,
+            dataclasses.astuple(model.profile),
+            dataclasses.astuple(model.geometry))
 
 
 @dataclass(frozen=True)
@@ -195,6 +287,7 @@ class BatchOracle:
         self._matrix_cache: \
             "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         self._matrix_cache_entries = int(matrix_cache_entries)
+        self._namespace: Optional[tuple] = None
 
     def clear_cache(self) -> None:
         """Drop the cached threshold parts (memory pressure only)."""
@@ -206,6 +299,22 @@ class BatchOracle:
                          ) -> Tuple[np.ndarray, np.ndarray]:
         key = (bank, observed_row, pattern.name, victim_row, tuple(temps))
         metrics = get_metrics()
+        shared = shared_matrix_cache()
+        if shared is not None:
+            if self._namespace is None:
+                self._namespace = model_cache_namespace(self.model)
+            shared_key = self._namespace + key
+            parts = shared.get(shared_key)
+            if parts is None:
+                metrics.counter("oracle.shared_cache.miss").inc()
+                with get_tracer().span("oracle.matrix_build", bank=bank,
+                                       row=observed_row, temps=len(temps)):
+                    parts = threshold_parts(cells, temps, pattern,
+                                            victim_row, self.model.data_seed)
+                shared.put(shared_key, parts)
+            else:
+                metrics.counter("oracle.shared_cache.hit").inc()
+            return parts
         parts = self._matrix_cache.get(key)
         if parts is None:
             metrics.counter("oracle.cache.miss").inc()

@@ -56,6 +56,17 @@ SITES: Dict[str, Tuple[str, ...]] = {
     # rolled inside worker processes, keyed by (module_id, dispatch), so a
     # requeued module re-rolls and the campaign converges.
     "campaign.worker": ("crash", "hang"),
+    # Checkpoint publish fails mid-write with a full disk (ENOSPC): the
+    # temp file is left torn and the raise must not leak it nor journal
+    # an unverifiable entry.  Keyed by (module_id, publish-count).
+    "checkpoint.publish": ("enospc",),
+    # Service-level faults for chaos-testing `deeprh serve`: an incoming
+    # connection is dropped before its first request is read, an accepted
+    # request is rejected (429-style) or aborted mid-run, or one streamed
+    # response write fails like a closed peer socket.
+    "serve.accept": ("drop",),
+    "serve.request": ("reject", "abort"),
+    "serve.stream": ("drop",),
 }
 
 

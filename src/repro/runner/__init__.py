@@ -11,6 +11,7 @@ from repro.runner.campaign import (
     CampaignStats,
     QuarantineRecord,
 )
+from repro.runner.cancel import CancelToken
 from repro.runner.checkpoint import (
     CHECKPOINT_FORMAT,
     CheckpointAudit,
@@ -38,6 +39,7 @@ from repro.runner.supervisor import (
 __all__ = [
     "ADAPTERS",
     "CHECKPOINT_FORMAT",
+    "CancelToken",
     "CampaignOutcome",
     "CampaignRunner",
     "CampaignStats",

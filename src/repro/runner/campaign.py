@@ -30,7 +30,7 @@ values an undisturbed run produces — resilience never changes the science.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import StudyConfig
 from repro.dram.catalog import ModuleSpec
@@ -46,7 +46,9 @@ from repro.obs import (
     observed,
 )
 from repro.rng import SeedSequenceTree
+from repro.runner import cancel as cancel_mod
 from repro.runner.adapters import StudyAdapter, adapter_for
+from repro.runner.cancel import CancelToken
 from repro.runner.checkpoint import (
     CheckpointStore,
     CorruptionRecord,
@@ -170,7 +172,11 @@ class CampaignRunner:
                  retry: Optional[RetryPolicy] = None,
                  clock=None,
                  workers: int = 1,
-                 supervisor: Optional[SupervisorPolicy] = None) -> None:
+                 supervisor: Optional[SupervisorPolicy] = None,
+                 cancel: Optional[CancelToken] = None,
+                 on_module: Optional[Callable[[str, Dict, bool], None]]
+                 = None,
+                 on_supervision: Optional[Callable] = None) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         self.config = config
@@ -182,6 +188,20 @@ class CampaignRunner:
         self.workers = int(workers)
         self.supervisor = supervisor if supervisor is not None \
             else SupervisorPolicy(module_deadline_s=config.module_deadline_s)
+        #: Cooperative stop flag checked at module/unit boundaries (serial)
+        #: and at every supervision tick (parallel).  Set by `deeprh serve`
+        #: request deadlines, client cancels, and graceful drain.
+        self.cancel = cancel
+        #: Incremental per-module hook: ``on_module(module_id, payload,
+        #: resumed)`` fires as each module's serialized payload becomes
+        #: available — serially right after the module's checkpoint is
+        #: published, in parallel as worker reports arrive.  `deeprh
+        #: serve` streams these to the requesting client.
+        self.on_module = on_module
+        #: Listener for every supervision event (workers > 1): the seam
+        #: `deeprh serve` uses to feed its circuit breaker with
+        #: respawn/worker-lost signals as they happen.
+        self.on_supervision = on_supervision
         # Jitter streams are derived from the config seed, one per unit id,
         # so the retry schedule is reproducible and order-independent.
         self._tree = SeedSequenceTree(config.seed, "campaign")
@@ -196,7 +216,8 @@ class CampaignRunner:
         pruned: List[str] = []
         if self.checkpoint_dir is not None:
             store = CheckpointStore(self.checkpoint_dir, study, self.config,
-                                    resume=self.resume)
+                                    resume=self.resume,
+                                    faults=self.fault_plan)
             corruption = list(store.corrupted)
             pruned = list(store.pruned_corrupt)
         specs = list(specs) if specs is not None \
@@ -210,11 +231,15 @@ class CampaignRunner:
         modules: List[object] = []
         quarantined: List[QuarantineRecord] = []
         for spec in specs:
+            cancel_mod.check(self.cancel)
             module_id = spec.module_id
             if store is not None and store.has(module_id):
-                modules.append(adapter.from_dict(store.load(module_id)))
+                payload = store.load(module_id)
+                modules.append(adapter.from_dict(payload))
                 stats.modules_resumed += 1
                 metrics.counter("campaign.modules_resumed").inc()
+                if self.on_module is not None:
+                    self.on_module(module_id, payload, True)
                 continue
             try:
                 module_result = self._run_module(adapter, study, spec, stats)
@@ -227,8 +252,12 @@ class CampaignRunner:
             modules.append(module_result)
             stats.modules_completed += 1
             metrics.counter("campaign.modules_completed").inc()
-            if store is not None:
-                store.save(module_id, adapter.to_dict(module_result))
+            if store is not None or self.on_module is not None:
+                payload = adapter.to_dict(module_result)
+                if store is not None:
+                    store.save(module_id, payload)
+                if self.on_module is not None:
+                    self.on_module(module_id, payload, False)
         stats.backoff_slept_s = getattr(self.clock, "slept_s", 0.0)
         return CampaignOutcome(study=study, config=self.config,
                                result=adapter.make_result(modules),
@@ -286,17 +315,20 @@ class CampaignRunner:
         pending: List[ModuleSpec] = []
         for spec in specs:
             if store is not None and store.has(spec.module_id):
-                resumed[spec.module_id] = adapter.from_dict(
-                    store.load(spec.module_id))
+                payload = store.load(spec.module_id)
+                resumed[spec.module_id] = adapter.from_dict(payload)
                 stats.modules_resumed += 1
                 metrics.counter("campaign.modules_resumed").inc()
+                if self.on_module is not None:
+                    self.on_module(spec.module_id, payload, True)
             else:
                 pending.append(spec)
 
-        supervision = SupervisionLog()
+        supervision = SupervisionLog(on_event=self.on_supervision)
         reports: Dict[str, dict] = {}
         lost_by_module: Dict[str, object] = {}
         first_error: Optional[BaseException] = None
+        supervision_cancelled = False
         if pending:
             # Workers mirror the parent's observation state: each traces
             # into its own recorders and ships them home in the report.
@@ -310,12 +342,20 @@ class CampaignRunner:
                                    dispatch=dispatch,
                                    observe=observe)
 
+            on_report = None
+            if self.on_module is not None:
+                def on_report(module_id: str, report: dict) -> None:
+                    if report.get("status") == "ok":
+                        self.on_module(module_id, report["payload"], False)
+
             outcome = CampaignSupervisor(
                 _run_module_worker, make_task, workers=self.workers,
-                policy=self.supervisor, log=supervision).run(pending)
+                policy=self.supervisor, log=supervision,
+                cancel=self.cancel, on_report=on_report).run(pending)
             reports = outcome.reports
             lost_by_module = {err.module_id: err for err in outcome.lost}
             first_error = outcome.first_error
+            supervision_cancelled = outcome.cancelled
         stats.modules_requeued = supervision.count("requeue")
         stats.workers_respawned = supervision.count("respawn")
 
@@ -367,6 +407,10 @@ class CampaignRunner:
                 store.save(module_id, payload)
         if first_error is not None:
             raise first_error
+        if supervision_cancelled:
+            # Completed reports reached the checkpoint store above, so the
+            # cancelled campaign is resumable up to the last full module.
+            cancel_mod.check(self.cancel)
         stats.backoff_slept_s = (getattr(self.clock, "slept_s", 0.0)
                                  + worker_slept)
         return CampaignOutcome(study=study, config=self.config,
@@ -386,6 +430,7 @@ class CampaignRunner:
             run = self._run_unit(prepare_unit, stats,
                                  lambda attempt: adapter.prepare(spec))
             for point in adapter.points():
+                cancel_mod.check(self.cancel)
                 unit = self._unit_id(study, spec.module_id,
                                      adapter.point_label(point))
                 self._run_unit(

@@ -1,0 +1,56 @@
+"""Cooperative cancellation for long-running campaigns.
+
+A :class:`CancelToken` is a thread-safe flag set by *whoever owns the
+request* — a per-request deadline watchdog in ``deeprh serve``, a client
+``cancel`` message, or a draining service — and observed by the campaign
+runner at its unit/module boundaries and by the parallel supervisor at
+every poll tick.  Cancellation is cooperative on purpose: a module is
+never torn mid-measurement, so everything checkpointed before the token
+fired stays verified and resumable, and the merged bytes of the modules
+that *did* complete are untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import CampaignCancelled
+
+
+class CancelToken:
+    """A settable, thread-safe "stop at the next safe point" flag."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Set the flag (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        """Why the token fired (empty until :meth:`cancel`)."""
+        return self._reason
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`~repro.errors.CampaignCancelled` when set."""
+        if self._event.is_set():
+            raise CampaignCancelled(
+                f"campaign cancelled: {self._reason}", reason=self._reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"cancelled: {self._reason!r}" if self.cancelled() else "armed"
+        return f"CancelToken({state})"
+
+
+def check(token: Optional[CancelToken]) -> None:
+    """Raise if ``token`` is set; a ``None`` token never cancels."""
+    if token is not None:
+        token.raise_if_cancelled()

@@ -31,6 +31,7 @@ validity-checked, journaled, and the manifest is rewritten as format 2.
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import json
 import os
@@ -83,22 +84,45 @@ def _fsync_dir(directory: pathlib.Path) -> None:
         os.close(fd)
 
 
-def _write_atomic_bytes(path: pathlib.Path, data: bytes) -> None:
+def _write_atomic_bytes(path: pathlib.Path, data: bytes,
+                        faults=None, fault_key: str = "") -> None:
     """Publish ``data`` at ``path`` so a power cut leaves old-or-new, never
     torn: write to a temp file, ``fsync`` it, rename over the target, then
-    ``fsync`` the parent directory so the rename itself is durable."""
+    ``fsync`` the parent directory so the rename itself is durable.
+
+    A failure anywhere before the rename (a genuinely full disk, or an
+    injected ``checkpoint.publish:enospc``) unlinks the temp file before
+    re-raising: the torn bytes never survive to masquerade as a pending
+    publish, and the caller sees the original ``OSError``.
+    """
     tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "wb") as handle:
+            if faults is not None:
+                event = faults.roll("checkpoint.publish", fault_key)
+                if event is not None:
+                    # A full disk tears the write partway: some bytes land,
+                    # then the write call fails.
+                    handle.write(data[: len(data) // 2])
+                    handle.flush()
+                    raise OSError(
+                        errno.ENOSPC,
+                        f"injected disk-full during checkpoint publish "
+                        f"({event})")
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     _fsync_dir(path.parent)
 
 
-def _write_atomic(path: pathlib.Path, payload: Dict[str, Any]) -> bytes:
+def _write_atomic(path: pathlib.Path, payload: Dict[str, Any],
+                  faults=None, fault_key: str = "") -> bytes:
     data = _encode(payload)
-    _write_atomic_bytes(path, data)
+    _write_atomic_bytes(path, data, faults=faults, fault_key=fault_key)
     return data
 
 
@@ -124,10 +148,13 @@ class CheckpointStore:
     MANIFEST = "manifest.json"
 
     def __init__(self, directory: PathLike, study: str, config: StudyConfig,
-                 resume: bool = False) -> None:
+                 resume: bool = False, faults=None) -> None:
         self.directory = pathlib.Path(directory)
         self.study = study
         self.fingerprint = config_fingerprint(study, config)
+        #: Optional :class:`~repro.faults.plan.FaultPlan` armed on the
+        #: publish path (``checkpoint.publish`` site).
+        self.faults = faults
         #: Module files quarantined during this open (resume only).
         self.corrupted: List[CorruptionRecord] = []
         #: Stale ``*.tmp`` files swept during this open (resume only).
@@ -320,7 +347,11 @@ class CheckpointStore:
         path = self.module_path(module_id)
         with get_tracer().span("checkpoint.publish",
                                module=module_id) as span:
-            data = _write_atomic(path, payload)
+            # The journal entry is appended only after the atomic publish
+            # succeeded, so the journal can never describe bytes that are
+            # not durably on disk (asserted by the fault-injection tests).
+            data = _write_atomic(path, payload, faults=self.faults,
+                                 fault_key=module_id)
             self._append_journal(module_id, path.name, data)
             span.annotate(bytes=len(data))
         get_metrics().counter("checkpoint.published").inc()

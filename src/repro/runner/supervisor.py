@@ -33,6 +33,7 @@ operational.
 
 from __future__ import annotations
 
+import signal
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -42,6 +43,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigError, WorkerLostError
 from repro.obs import get_metrics, get_tracer
 from repro.obs.clock import monotonic_ns
+from repro.runner.cancel import CancelToken
 from repro.runner.retry import Deadline, WallClock
 
 #: Event kinds a :class:`SupervisionLog` may record, in lifecycle order.
@@ -53,6 +55,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     "requeue",      # module queued for another dispatch
     "respawn",      # the worker pool was killed and recreated
     "give-up",      # requeue budget spent; module goes to quarantine
+    "cancel",       # a CancelToken fired; dispatch stopped cooperatively
 )
 
 
@@ -99,10 +102,18 @@ class SupervisionEvent:
 
 
 class SupervisionLog:
-    """Structured, append-only record of every supervision decision."""
+    """Structured, append-only record of every supervision decision.
 
-    def __init__(self) -> None:
+    ``on_event`` is an optional listener called with every recorded event
+    — the seam ``deeprh serve`` uses to feed its circuit breaker with
+    respawn/worker-lost signals without polling the log.  Listeners must
+    observe and never steer: an exception from one propagates and kills
+    the dispatch loop, exactly like a bug in the supervisor itself.
+    """
+
+    def __init__(self, on_event: Optional[Callable] = None) -> None:
         self.events: List[SupervisionEvent] = []
+        self.on_event = on_event
 
     def record(self, event: SupervisionEvent) -> None:
         if event.kind not in EVENT_KINDS:
@@ -112,6 +123,8 @@ class SupervisionLog:
         # One counter per lifecycle kind, so `deeprh trace summarize` can
         # report requeue/respawn rates without replaying the event list.
         get_metrics().counter(f"supervisor.{event.kind}").inc()
+        if self.on_event is not None:
+            self.on_event(event)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -162,6 +175,9 @@ class SupervisionResult:
     #: completed modules reach the checkpoint store.
     first_error: Optional[BaseException]
     log: SupervisionLog
+    #: True when a CancelToken stopped dispatch before every module ran;
+    #: ``reports`` then holds only the modules that completed in time.
+    cancelled: bool = False
 
 
 @dataclass
@@ -186,7 +202,9 @@ class CampaignSupervisor:
 
     def __init__(self, worker_fn: Callable, make_task: Callable,
                  workers: int, policy: Optional[SupervisorPolicy] = None,
-                 log: Optional[SupervisionLog] = None, clock=None) -> None:
+                 log: Optional[SupervisionLog] = None, clock=None,
+                 cancel: Optional[CancelToken] = None,
+                 on_report: Optional[Callable] = None) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         self.worker_fn = worker_fn
@@ -195,6 +213,10 @@ class CampaignSupervisor:
         self.policy = policy if policy is not None else SupervisorPolicy()
         self.log = log if log is not None else SupervisionLog()
         self.clock = clock if clock is not None else WallClock()
+        self.cancel = cancel
+        #: ``on_report(module_id, report)`` fires as each worker report
+        #: arrives — the incremental streaming seam for `deeprh serve`.
+        self.on_report = on_report
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence) -> SupervisionResult:
@@ -212,9 +234,20 @@ class CampaignSupervisor:
         lost: List[WorkerLostError] = []
         first_error: Optional[BaseException] = None
 
-        pool = ProcessPoolExecutor(max_workers=self.workers)
+        cancelled = False
+        pool = ProcessPoolExecutor(max_workers=self.workers,
+                                   initializer=_reset_worker_signals)
         try:
             while queue or in_flight:
+                if self.cancel is not None and self.cancel.cancelled():
+                    # Stop at the tick: nothing new is dispatched, the pool
+                    # is killed (in-flight modules simply never complete —
+                    # they re-run on resume), and every report collected so
+                    # far goes back to the runner for checkpointing.
+                    self.log.record(SupervisionEvent(
+                        "cancel", detail=self.cancel.reason))
+                    cancelled = True
+                    break
                 while queue and len(in_flight) < self.workers:
                     spec, dispatch = queue.popleft()
                     future = pool.submit(self.worker_fn,
@@ -238,6 +271,8 @@ class CampaignSupervisor:
                         self.log.record(SupervisionEvent(
                             "complete", module_id, entry.dispatch,
                             f"{entry.deadline.elapsed_s():.2f} s"))
+                        if self.on_report is not None:
+                            self.on_report(module_id, reports[module_id])
                         if tracer.enabled:
                             # Dispatch-to-completion, timed in the parent:
                             # covers queueing + pickling + the worker run.
@@ -298,7 +333,8 @@ class CampaignSupervisor:
         finally:
             _terminate_pool(pool)
         return SupervisionResult(reports=reports, lost=lost,
-                                 first_error=first_error, log=self.log)
+                                 first_error=first_error, log=self.log,
+                                 cancelled=cancelled)
 
     # ------------------------------------------------------------------
     def _requeue(self, queue: Deque, entry: _Dispatched,
@@ -321,7 +357,25 @@ class CampaignSupervisor:
         _terminate_pool(pool)
         self.log.record(SupervisionEvent(
             "respawn", detail=f"fresh pool of {self.workers} worker(s)"))
-        return ProcessPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(max_workers=self.workers,
+                                   initializer=_reset_worker_signals)
+
+
+def _reset_worker_signals() -> None:
+    """Detach a forked worker from its parent's signal plumbing.
+
+    When the parent runs an asyncio loop with ``add_signal_handler`` (the
+    ``deeprh serve`` process), forked workers inherit both the Python-level
+    handlers and the loop's signal wakeup fd.  A worker that then receives
+    SIGTERM — which :func:`_terminate_pool` sends at the end of *every*
+    supervised run — would write the signal number into the parent's wakeup
+    pipe, making the parent's loop dispatch its own SIGTERM handler and
+    spuriously drain the service.  Resetting both in the child keeps its
+    death its own.
+    """
+    signal.set_wakeup_fd(-1)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, signal.SIG_DFL)
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:

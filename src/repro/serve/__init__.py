@@ -1,0 +1,43 @@
+"""Campaign-as-a-service: the resilient runner behind a Unix socket.
+
+``deeprh serve`` turns the one-shot campaign CLI into a long-lived,
+admission-controlled service.  See :mod:`repro.serve.server` for the
+robustness model (bounded admission, deadlines, circuit breaker,
+graceful drain) and :mod:`repro.serve.protocol` for the NDJSON wire
+format.
+"""
+
+from repro.serve.admission import ADMIT, DRAINING, OVERLOADED, AdmissionController
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from repro.serve.client import ServeClient, ServeClientError, ServeReply
+from repro.serve.protocol import (
+    CampaignRequest,
+    ProtocolError,
+    canonical_result_bytes,
+)
+from repro.serve.server import CampaignService
+
+__all__ = [
+    "ADMIT",
+    "CLOSED",
+    "DRAINING",
+    "HALF_OPEN",
+    "OPEN",
+    "OVERLOADED",
+    "AdmissionController",
+    "BreakerPolicy",
+    "CampaignRequest",
+    "CampaignService",
+    "CircuitBreaker",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeReply",
+    "canonical_result_bytes",
+]

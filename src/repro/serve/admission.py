@@ -1,0 +1,100 @@
+"""Admission control for the campaign service: bounded, honest, drainable.
+
+A service that accepts every request eventually queues hours of work it
+cannot deliver; one that silently drops requests is worse.  The
+controller enforces two explicit bounds — ``max_inflight`` campaigns
+executing and ``max_queue`` admitted-but-waiting — and answers every
+admission attempt with one of three verdicts:
+
+* :data:`ADMIT`      — the request may run (or wait in the bounded queue);
+* :data:`OVERLOADED` — both bounds are full; the client receives a
+  429-style rejection *now* instead of an unbounded wait;
+* :data:`DRAINING`   — the service is shutting down and admits nothing.
+
+All calls happen on the service's event-loop thread, so plain counters
+suffice; the class stays synchronous and directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.obs import get_metrics
+
+#: Admission verdicts.
+ADMIT = "admit"
+OVERLOADED = "overloaded"
+DRAINING = "draining"
+
+
+class AdmissionController:
+    """Bounded running/queued bookkeeping with explicit rejection."""
+
+    def __init__(self, max_inflight: int = 2, max_queue: int = 8) -> None:
+        if max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ConfigError("max_queue must be >= 0")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.running = 0
+        self.queued = 0
+        self.admitted_total = 0
+        self.rejected_overloaded = 0
+        self.rejected_draining = 0
+        self.completed_total = 0
+        self.draining = False
+
+    # ------------------------------------------------------------------
+    def try_admit(self) -> str:
+        """Verdict for one incoming campaign request."""
+        metrics = get_metrics()
+        if self.draining:
+            self.rejected_draining += 1
+            metrics.counter("serve.rejected.draining").inc()
+            return DRAINING
+        if self.running + self.queued >= self.max_inflight + self.max_queue:
+            self.rejected_overloaded += 1
+            metrics.counter("serve.rejected.overloaded").inc()
+            return OVERLOADED
+        self.queued += 1
+        self.admitted_total += 1
+        metrics.counter("serve.admitted").inc()
+        metrics.gauge("serve.queue.depth").set(self.queued)
+        return ADMIT
+
+    def begin_run(self) -> None:
+        """An admitted request left the queue and started executing."""
+        self.queued -= 1
+        self.running += 1
+        get_metrics().gauge("serve.queue.depth").set(self.queued)
+
+    def finish(self) -> None:
+        """A running request completed (successfully or not)."""
+        self.running -= 1
+        self.completed_total += 1
+
+    def forget_queued(self) -> None:
+        """An admitted-but-never-run request was abandoned (drain)."""
+        self.queued -= 1
+        get_metrics().gauge("serve.queue.depth").set(self.queued)
+
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting; idempotent."""
+        self.draining = True
+
+    def idle(self) -> bool:
+        return self.running == 0 and self.queued == 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Status-op view of the admission ledger."""
+        return {"running": self.running, "queued": self.queued,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "admitted": self.admitted_total,
+                "completed": self.completed_total,
+                "rejected_overloaded": self.rejected_overloaded,
+                "rejected_draining": self.rejected_draining,
+                "draining": self.draining}

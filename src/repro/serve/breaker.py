@@ -1,0 +1,158 @@
+"""Circuit breaker around worker-pool respawn storms.
+
+A long-lived campaign service keeps accepting requests after the host
+starts killing worker processes (OOM pressure, cgroup limits, a bad
+kernel day).  Each parallel campaign then burns its requeue budget
+respawning pools that die again, which is slower *and* noisier than
+simply running serially.  The breaker watches pool-loss signals from the
+supervision log and, when losses cluster, degrades the service to serial
+execution — which is byte-identical by construction, just slower — until
+a trial request proves parallel dispatch healthy again.
+
+Classic three-state machine:
+
+* ``closed``    — healthy; parallel dispatch allowed.  Pool losses inside
+  a sliding window are counted; reaching the threshold trips the breaker.
+* ``open``      — tripped; every request degrades to serial until the
+  cooldown elapses.
+* ``half-open`` — cooldown over; exactly one trial request may run
+  parallel.  Success closes the breaker, another loss re-opens it.
+
+Thread-safety: the supervision log invokes listeners from whatever thread
+runs the campaign, while ``allow_parallel`` is called from the service's
+event loop — all transitions take the internal lock.  The clock is
+injectable (seconds, monotonic) so tests drive transitions virtually;
+the default reads :func:`repro.obs.clock.monotonic_ns`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.obs import get_metrics
+from repro.obs.clock import monotonic_ns
+
+#: Breaker states, in escalation order.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+def _default_clock() -> float:
+    return monotonic_ns() / 1e9
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to trip, how long to back off, how to probe recovery.
+
+    ``threshold`` pool losses within ``window_s`` seconds trip the
+    breaker; it stays open for ``cooldown_s`` seconds before offering a
+    single half-open trial.
+    """
+
+    threshold: int = 3
+    window_s: float = 60.0
+    cooldown_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigError("breaker threshold must be >= 1")
+        if self.window_s <= 0 or self.cooldown_s <= 0:
+            raise ConfigError("breaker window_s/cooldown_s must be positive")
+
+
+class CircuitBreaker:
+    """Trips on clustered worker-pool losses; recovers via one trial."""
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.clock = clock if clock is not None else _default_clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._losses: List[float] = []
+        self._opened_at = 0.0
+        self._trial_inflight = False
+        self.trips = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state(self.clock())
+
+    def _effective_state(self, now: float) -> str:
+        """State after applying any due cooldown expiry (lock held)."""
+        if self._state == OPEN and \
+                now - self._opened_at >= self.policy.cooldown_s:
+            self._state = HALF_OPEN
+            self._trial_inflight = False
+        return self._state
+
+    # ------------------------------------------------------------------
+    def record_loss(self) -> None:
+        """One worker-pool loss (respawn / worker-lost supervision event)."""
+        now = self.clock()
+        with self._lock:
+            state = self._effective_state(now)
+            if state == HALF_OPEN:
+                # The trial failed: straight back to open, fresh cooldown.
+                self._trip(now)
+                return
+            if state == OPEN:
+                return
+            self._losses.append(now)
+            cutoff = now - self.policy.window_s
+            self._losses = [t for t in self._losses if t >= cutoff]
+            if len(self._losses) >= self.policy.threshold:
+                self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self._state = OPEN
+        self._opened_at = now
+        self._losses = []
+        self._trial_inflight = False
+        self.trips += 1
+        get_metrics().counter("serve.breaker.trips").inc()
+
+    # ------------------------------------------------------------------
+    def allow_parallel(self) -> bool:
+        """May the next request dispatch parallel workers?
+
+        In ``half-open`` exactly one caller gets True (the trial); callers
+        granted a trial must later report :meth:`record_success` or a
+        :meth:`record_loss`.
+        """
+        with self._lock:
+            state = self._effective_state(self.clock())
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._trial_inflight:
+                self._trial_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A parallel request finished without losing its pool."""
+        with self._lock:
+            state = self._effective_state(self.clock())
+            if state == HALF_OPEN:
+                self._state = CLOSED
+                self._losses = []
+                self._trial_inflight = False
+                self.recoveries += 1
+                get_metrics().counter("serve.breaker.recoveries").inc()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Status-op view: state plus lifetime trip/recovery counts."""
+        with self._lock:
+            state = self._effective_state(self.clock())
+            return {"state": state, "trips": self.trips,
+                    "recoveries": self.recoveries,
+                    "recent_losses": len(self._losses)}

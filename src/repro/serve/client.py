@@ -1,0 +1,192 @@
+"""A small blocking client for ``deeprh serve``.
+
+Deliberately synchronous and stdlib-only: tests, the smoke tool and the
+throughput benchmark each open one plain ``AF_UNIX`` socket per logical
+client and read NDJSON lines until their request concludes.  Concurrency
+in those callers comes from threads or multiple processes, never from
+sharing one client between threads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.serve.protocol import canonical_result_bytes
+
+
+class ServeClientError(ReproError):
+    """The server closed the connection before concluding a request."""
+
+
+@dataclass
+class ServeReply:
+    """Everything one campaign request produced, in arrival order."""
+
+    #: "ok" (result event), "rejected", or "error".
+    status: str
+    #: Rejection/error reason ("" for ok).
+    reason: str = ""
+    detail: str = ""
+    #: The final result dict (None unless status == "ok").
+    result: Optional[Dict[str, Any]] = None
+    #: Degradation report text from the campaign runner.
+    report: str = ""
+    stats: Dict[str, Any] = field(default_factory=dict)
+    degraded: bool = False
+    #: Incremental module events: [(module_id, resumed, payload), ...].
+    modules: List[tuple] = field(default_factory=list)
+    #: Raw protocol events, in order.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def result_bytes(self) -> bytes:
+        """Canonical bytes of the result — the byte-parity comparator."""
+        if self.result is None:
+            raise ServeClientError("request produced no result "
+                                   f"({self.status}: {self.reason})")
+        return canonical_result_bytes(self.result)
+
+
+class ServeClient:
+    """One connection to a running campaign service."""
+
+    def __init__(self, socket_path, timeout: Optional[float] = None) -> None:
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._file = self._sock.makefile("rwb")
+        self._request_count = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            # Closing flushes any buffered bytes; if the server already
+            # reset the socket (accept drop, shutdown) that flush fails.
+            # The connection is gone either way — never let teardown mask
+            # the error the caller is already handling.
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def send(self, payload: Dict[str, Any]) -> None:
+        try:
+            self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+        except ConnectionError as error:
+            raise ServeClientError(
+                f"server closed the connection: {error}") from None
+
+    def read_event(self) -> Dict[str, Any]:
+        try:
+            line = self._file.readline()
+        except ConnectionError as error:
+            # An accept-dropped or shut-down server resets the socket;
+            # to the caller that is the same "server went away" outcome
+            # as an orderly close.
+            raise ServeClientError(
+                f"server closed the connection: {error}") from None
+        if not line:
+            raise ServeClientError("server closed the connection")
+        return json.loads(line)
+
+    def _next_id(self, prefix: str) -> str:
+        self._request_count += 1
+        return f"{prefix}{self._request_count}"
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        request_id = self._next_id("ping-")
+        self.send({"op": "ping", "id": request_id})
+        event = self.read_event()
+        return event.get("event") == "pong" and event.get("id") == request_id
+
+    def status(self) -> Dict[str, Any]:
+        request_id = self._next_id("status-")
+        self.send({"op": "status", "id": request_id})
+        return self.read_event()
+
+    def cancel(self, request_id: str) -> None:
+        self.send({"op": "cancel", "id": request_id})
+
+    # ------------------------------------------------------------------
+    def campaign(self, study: str, *, request_id: Optional[str] = None,
+                 preset: str = "quick", seed: Optional[int] = None,
+                 overrides: Optional[Dict[str, Any]] = None,
+                 workers: int = 1, deadline_s: Optional[float] = None,
+                 checkpoint_dir: Optional[str] = None, resume: bool = False,
+                 fault_plan: Optional[str] = None,
+                 fault_seed: Optional[int] = None) -> ServeReply:
+        """Submit one campaign and block until it concludes."""
+        payload: Dict[str, Any] = {
+            "op": "campaign",
+            "id": request_id if request_id is not None
+            else self._next_id("req-"),
+            "study": study, "preset": preset, "workers": workers,
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        if overrides:
+            payload["overrides"] = overrides
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if checkpoint_dir is not None:
+            payload["checkpoint_dir"] = str(checkpoint_dir)
+        if resume:
+            payload["resume"] = True
+        if fault_plan is not None:
+            payload["fault_plan"] = fault_plan
+        if fault_seed is not None:
+            payload["fault_seed"] = fault_seed
+        self.send(payload)
+        return self.collect(payload["id"])
+
+    def collect(self, request_id: str) -> ServeReply:
+        """Read events for ``request_id`` until a concluding one arrives."""
+        reply = ServeReply(status="pending")
+        while True:
+            event = self.read_event()
+            if event.get("id") != request_id:
+                continue  # interleaved response to another request
+            reply.events.append(event)
+            kind = event.get("event")
+            if kind == "accepted":
+                continue
+            if kind == "module":
+                reply.modules.append((event["module_id"], event["resumed"],
+                                      event["payload"]))
+                continue
+            if kind == "rejected":
+                reply.status = "rejected"
+                reply.reason = event.get("reason", "")
+                reply.detail = event.get("detail", "")
+                return reply
+            if kind == "error":
+                reply.status = "error"
+                reply.reason = event.get("reason", "")
+                reply.detail = event.get("detail", "")
+                return reply
+            if kind == "result":
+                reply.status = "ok"
+                reply.result = event["result"]
+                reply.report = event.get("report", "")
+                reply.stats = event.get("stats", {})
+                reply.degraded = bool(event.get("degraded", False))
+                return reply

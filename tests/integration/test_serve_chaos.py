@@ -1,0 +1,480 @@
+"""Chaos for the campaign service: concurrency, faults, drain, signals.
+
+The acceptance contract for ``deeprh serve``: under concurrent clients,
+injected service faults (``serve.accept`` / ``serve.request`` /
+``serve.stream``) and worker-pool chaos (``campaign.worker`` crashes),
+every accepted request either concludes with a result byte-identical to
+a solo CLI-style run of the same ``(seed, spec)`` or is *cleanly*
+rejected with an explicit event — never silently dropped.  A drain
+(SIGTERM) stops admission, cancels in-flight work at checkpoint
+boundaries, writes a resume manifest whose entries are resubmittable,
+and exits 0.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.cli import INTERRUPTED_EXIT
+from repro.cli import main as cli_main
+from repro.core.config import PRESETS
+from repro.core.serialize import result_to_dict
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.runner import CampaignRunner
+from repro.serve import CampaignService, ServeClient, ServeClientError
+from repro.serve.protocol import build_campaign_request, canonical_result_bytes
+
+pytestmark = [pytest.mark.faults, pytest.mark.slow]
+
+#: Small enough for chaos rounds, big enough for >1 checkpoint boundary.
+OVERRIDES = {
+    "rows_per_region": 8,
+    "modules_per_manufacturer": 1,
+    "temperatures_c": (50.0, 85.0),
+    "hcfirst_repetitions": 1,
+    "wcdp_sample_rows": 2,
+}
+
+
+def tiny_config(seed):
+    return PRESETS["quick"].scaled(seed=seed, **OVERRIDES)
+
+
+_SOLO_BYTES = {}
+
+
+def solo_bytes(seed) -> bytes:
+    """Canonical result bytes of an undisturbed solo run for ``seed``."""
+    if seed not in _SOLO_BYTES:
+        outcome = CampaignRunner(tiny_config(seed)).run("temperature")
+        _SOLO_BYTES[seed] = canonical_result_bytes(
+            result_to_dict(outcome.result))
+    return _SOLO_BYTES[seed]
+
+
+class ServiceHarness:
+    """Run a CampaignService on a background event-loop thread."""
+
+    def __init__(self, tmp_path, **kwargs):
+        self.socket = tmp_path / "serve.sock"
+        kwargs.setdefault("drain_grace_s", 0.1)
+        self.service = CampaignService(self.socket, **kwargs)
+        self.loop = None
+        self.exit_code = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            ready = asyncio.Event()
+            task = asyncio.ensure_future(self.service.serve_forever(
+                install_signals=False, ready=ready))
+            await ready.wait()
+            self.loop = asyncio.get_running_loop()
+            self._started.set()
+            return await task
+
+        try:
+            self.exit_code = asyncio.run(main())
+        finally:
+            self._started.set()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._started.wait(10), "service failed to start"
+        assert self.socket.exists(), "service socket never appeared"
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._thread.is_alive():
+            self.drain("teardown")
+        self._thread.join(60)
+        assert not self._thread.is_alive(), "service failed to drain"
+
+    def drain(self, reason="test-drain"):
+        self.loop.call_soon_threadsafe(self.service.begin_drain, reason)
+
+    def client(self, timeout=300.0):
+        return ServeClient(self.socket, timeout=timeout)
+
+
+def conclude_all(client, request_ids):
+    """Read interleaved events until every request id concludes."""
+    pending = set(request_ids)
+    replies = {}
+    events = {rid: [] for rid in request_ids}
+    while pending:
+        event = client.read_event()
+        rid = event.get("id")
+        if rid not in pending:
+            continue
+        events[rid].append(event)
+        kind = event.get("event")
+        if kind in ("rejected", "error", "result"):
+            replies[rid] = event
+            pending.discard(rid)
+    return replies, events
+
+
+class TestConcurrentChaosByteParity:
+    def test_worker_crashes_and_stream_drops_never_corrupt_results(
+            self, tmp_path):
+        """Three concurrent clients, every campaign losing a worker to an
+        injected crash and ~40% of incremental stream events to injected
+        write failures: each final result is still byte-identical to an
+        undisturbed solo run of the same seed."""
+        victim = tiny_config(100).module_specs()[1].module_id
+        plan = FaultPlan(seed=9, specs=[
+            FaultSpec(site="serve.stream", kind="drop", rate=0.4),
+            FaultSpec(site="campaign.worker", kind="crash",
+                      match=f"{victim}/dispatch1"),
+        ])
+        seeds = (100, 101, 102)
+        replies = {}
+
+        def submit(seed):
+            with ServeClient(harness.socket, timeout=300.0) as client:
+                replies[seed] = client.campaign(
+                    "temperature", seed=seed, overrides=OVERRIDES,
+                    workers=2)
+
+        with ServiceHarness(tmp_path, max_inflight=2, max_queue=8,
+                            fault_plan=plan) as harness:
+            threads = [threading.Thread(target=submit, args=(seed,))
+                       for seed in seeds]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(300)
+            assert harness.service.fault_plan.log.count() > 0
+
+        # No silent drops: every submission concluded, and concluded ok.
+        assert sorted(replies) == sorted(seeds)
+        for seed in seeds:
+            reply = replies[seed]
+            assert reply.ok, (reply.status, reply.reason, reply.detail)
+            assert reply.result_bytes() == solo_bytes(seed)
+            # The crash was real (the supervisor retried the module) but
+            # invisible in the merged bytes.
+            assert reply.stats["modules_completed"] == 4
+
+
+class TestAdmissionUnderPressure:
+    def test_overload_is_an_explicit_rejection(self, tmp_path):
+        """With capacity 1+0, a second concurrent request is rejected
+        'overloaded' while the first runs to a byte-exact conclusion."""
+        with ServiceHarness(tmp_path, max_inflight=1,
+                            max_queue=0) as harness:
+            with harness.client() as first, harness.client() as second:
+                first.send({"op": "campaign", "id": "r-run",
+                            "study": "temperature", "seed": 100,
+                            "overrides": OVERRIDES})
+                accepted = first.read_event()
+                assert accepted["event"] == "accepted"
+
+                reply = second.campaign("temperature", seed=101,
+                                        overrides=OVERRIDES)
+                assert reply.status == "rejected"
+                assert reply.reason == "overloaded"
+
+                conclusion = first.collect("r-run")
+                assert conclusion.ok
+                assert conclusion.result_bytes() == solo_bytes(100)
+
+    def test_malformed_lines_are_rejected_not_fatal(self, tmp_path):
+        with ServiceHarness(tmp_path) as harness:
+            with harness.client() as client:
+                client._file.write(b"this is not json\n")
+                client._file.flush()
+                event = client.read_event()
+                assert event["event"] == "rejected"
+                assert event["reason"] == "bad-request"
+                assert client.ping()  # connection survived
+
+
+class TestInjectedServiceFaults:
+    def test_accept_and_request_faults_fail_clean_then_recover(
+            self, tmp_path):
+        """One injected accept drop and one injected admission rejection,
+        each with ``max_fires=1``: the affected client sees an explicit
+        failure, the next attempt succeeds, and no capacity leaks."""
+        plan = FaultPlan(seed=3, specs=[
+            FaultSpec(site="serve.accept", kind="drop", max_fires=1),
+            FaultSpec(site="serve.request", kind="reject", max_fires=1),
+        ])
+        with ServiceHarness(tmp_path, fault_plan=plan) as harness:
+            # Connection 1 is dropped at accept: the client observes the
+            # server closing the socket, not a hang.
+            with pytest.raises(ServeClientError):
+                with harness.client(timeout=10.0) as doomed:
+                    doomed.ping()
+            with harness.client() as client:
+                rejected = client.campaign("temperature", seed=100,
+                                           overrides=OVERRIDES)
+                assert rejected.status == "rejected"
+                assert rejected.reason == "injected"
+
+                reply = client.campaign("temperature", seed=100,
+                                        overrides=OVERRIDES)
+                assert reply.ok
+                assert reply.result_bytes() == solo_bytes(100)
+
+                status = client.status()
+                assert status["admission"]["running"] == 0
+                assert status["admission"]["queued"] == 0
+
+
+class TestDeadlines:
+    def test_deadline_cancels_cleanly_and_checkpoints_survive(
+            self, tmp_path):
+        """A hopeless deadline produces an explicit 'deadline' error; the
+        checkpoints it left behind resume offline to the exact solo
+        bytes, and the service keeps serving."""
+        ckpt = tmp_path / "ckpt-deadline"
+        with ServiceHarness(tmp_path) as harness:
+            with harness.client() as client:
+                reply = client.campaign("temperature", seed=100,
+                                        overrides=OVERRIDES,
+                                        deadline_s=0.05,
+                                        checkpoint_dir=str(ckpt))
+                assert reply.status == "error"
+                assert reply.reason == "deadline"
+
+                again = client.campaign("temperature", seed=101,
+                                        overrides=OVERRIDES)
+                assert again.ok
+                assert again.result_bytes() == solo_bytes(101)
+
+        resumed = CampaignRunner(tiny_config(100), checkpoint_dir=ckpt,
+                                 resume=True).run("temperature")
+        assert resumed.ok
+        assert canonical_result_bytes(result_to_dict(resumed.result)) \
+            == solo_bytes(100)
+
+
+class TestGracefulDrain:
+    def test_drain_concludes_every_request_and_manifests_resume(
+            self, tmp_path):
+        """Drain mid-campaign with a second request queued: the running
+        request is interrupted at a checkpoint boundary, the queued one
+        is released explicitly, the manifest lists both as resubmittable
+        entries, and the interrupted campaign resumes offline to the
+        exact solo bytes."""
+        ckpt = tmp_path / "ckpt-drain"
+        with ServiceHarness(tmp_path, max_inflight=1,
+                            max_queue=4) as harness:
+            with harness.client() as client:
+                client.send({"op": "campaign", "id": "r-run",
+                             "study": "temperature", "seed": 100,
+                             "overrides": OVERRIDES,
+                             "checkpoint_dir": str(ckpt)})
+                client.send({"op": "campaign", "id": "r-queued",
+                             "study": "temperature", "seed": 101,
+                             "overrides": OVERRIDES})
+                # Wait for the first module checkpoint, then pull the plug.
+                while True:
+                    event = client.read_event()
+                    if event.get("event") == "module":
+                        break
+                harness.drain("test-sigterm")
+                replies, _ = conclude_all(client, ["r-run", "r-queued"])
+
+            assert replies["r-run"]["event"] == "error"
+            assert replies["r-run"]["reason"] == "drain"
+            assert replies["r-queued"]["event"] == "error"
+            assert replies["r-queued"]["reason"] == "drain"
+
+        assert harness.exit_code == 0
+        manifest = json.loads(harness.service.resume_manifest.read_text())
+        assert manifest["reason"] == "test-sigterm"
+        assert [e["id"] for e in manifest["interrupted"]] == ["r-run"]
+        assert [e["id"] for e in manifest["queued"]] == ["r-queued"]
+
+        # Manifest entries are resubmittable wholesale...
+        entry = manifest["interrupted"][0]
+        request = build_campaign_request(entry)
+        assert request.resume
+        assert request.checkpoint_dir == str(ckpt)
+        # ...and resuming the interrupted campaign offline converges on
+        # the undisturbed bytes (completed modules were checkpointed).
+        resumed = CampaignRunner(request.config,
+                                 checkpoint_dir=request.checkpoint_dir,
+                                 resume=True).run("temperature")
+        assert resumed.ok
+        assert resumed.stats.modules_resumed >= 1
+        assert canonical_result_bytes(result_to_dict(resumed.result)) \
+            == solo_bytes(100)
+
+    def test_draining_service_rejects_new_work_explicitly(self, tmp_path):
+        """While an in-flight campaign holds the drain grace period open,
+        new submissions are rejected 'draining', not queued or dropped."""
+        with ServiceHarness(tmp_path, drain_grace_s=10.0) as harness:
+            with harness.client() as holder, harness.client() as prober:
+                holder.send({"op": "campaign", "id": "r-hold",
+                             "study": "temperature", "seed": 100,
+                             "overrides": OVERRIDES})
+                assert holder.read_event()["event"] == "accepted"
+                harness.drain()
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if prober.status().get("draining"):
+                        break
+                late = prober.campaign("temperature", seed=101,
+                                       overrides=OVERRIDES)
+                assert late.status == "rejected"
+                assert late.reason == "draining"
+                # The held request concludes either way: finished inside
+                # the grace period (ok) or cancelled at a boundary.
+                held = holder.collect("r-hold")
+                assert held.status in ("ok", "error")
+        assert harness.exit_code == 0
+
+
+def _spawn_serve(sock, manifest_path):
+    """Start a real ``deeprh serve`` subprocess (signal handlers live)."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--socket", str(sock), "--drain-grace", "0.1",
+         "--resume-manifest", str(manifest_path)],
+        cwd="/root/repo", env=dict(os.environ, PYTHONPATH="src"),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _connect_serve(proc, sock):
+    """Connect once the subprocess listens.
+
+    The socket path appears at bind() time, a moment before listen() —
+    retry through that window instead of asserting on bare path
+    existence.
+    """
+    deadline = time.monotonic() + 30.0
+    while True:
+        assert proc.poll() is None, proc.stderr.read().decode()
+        assert time.monotonic() < deadline, "socket never came up"
+        try:
+            return ServeClient(sock, timeout=120.0)
+        except (FileNotFoundError, ConnectionRefusedError):
+            time.sleep(0.05)
+
+
+class TestRealProcessSignals:
+    def test_sigterm_to_deeprh_serve_drains_and_exits_zero(self, tmp_path):
+        """The real thing: a ``deeprh serve`` subprocess takes SIGTERM
+        mid-campaign, concludes the request with a drain error, writes
+        the manifest, removes its socket, and exits 0."""
+        sock = tmp_path / "real.sock"
+        manifest_path = tmp_path / "real.resume.json"
+        proc = _spawn_serve(sock, manifest_path)
+        try:
+            with _connect_serve(proc, sock) as client:
+                assert client.ping()
+                client.send({"op": "campaign", "id": "r-sig",
+                             "study": "temperature", "seed": 100,
+                             "overrides": OVERRIDES,
+                             "checkpoint_dir": str(tmp_path / "ckpt-sig")})
+                accepted = client.read_event()
+                assert accepted["event"] == "accepted"
+                proc.send_signal(signal.SIGTERM)
+                reply = client.collect("r-sig")
+                assert reply.status == "error"
+                assert reply.reason == "drain"
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["reason"] == "SIGTERM"
+        assert [e["id"] for e in manifest["interrupted"]
+                + manifest["queued"]] == ["r-sig"]
+        assert not sock.exists()
+
+    def test_pool_teardown_does_not_forge_a_sigterm_drain(self, tmp_path):
+        """Regression: forked pool workers inherit the serve loop's
+        SIGTERM handler *and* its signal wakeup fd.  Terminating them at
+        the end of every ``workers>1`` campaign must not write into the
+        parent's wakeup pipe and make the service believe it was
+        signalled — it has to keep serving.  Only a real subprocess with
+        live signal handlers can catch this (the in-process harness runs
+        with ``install_signals=False``)."""
+        sock = tmp_path / "pool.sock"
+        manifest_path = tmp_path / "pool.resume.json"
+        proc = _spawn_serve(sock, manifest_path)
+        try:
+            with _connect_serve(proc, sock) as client:
+                reply = client.campaign("temperature", seed=100,
+                                        overrides=OVERRIDES, workers=2)
+                assert reply.ok, (reply.status, reply.reason)
+                # Pool teardown has happened; the service must still be
+                # up and this very connection must still work.
+                time.sleep(0.5)
+                assert proc.poll() is None, \
+                    "service exited after worker-pool teardown"
+                assert client.ping()
+                again = client.campaign("temperature", seed=100,
+                                        overrides=OVERRIDES, workers=2)
+                assert again.ok
+                assert again.result_bytes() == reply.result_bytes()
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert json.loads(manifest_path.read_text())["reason"] == "SIGTERM"
+
+    def test_campaign_keyboard_interrupt_checkpoints_and_exits_130(
+            self, tmp_path, monkeypatch, capsys):
+        """``deeprh campaign`` stopped by SIGTERM (mapped onto the Ctrl-C
+        path) prints a resume hint instead of a traceback and exits 130;
+        the checkpoints on disk resume to completion."""
+        import repro.core.config as config_mod
+        import repro.runner as runner_mod
+
+        monkeypatch.setattr(
+            config_mod, "preset",
+            lambda name: PRESETS[name].scaled(**OVERRIDES))
+        ckpt = tmp_path / "ckpt-int"
+        real_runner = runner_mod.CampaignRunner
+
+        class InterruptAfterTwo(real_runner):
+            def __init__(self, *args, **kwargs):
+                seen = []
+
+                def on_module(module_id, payload, resumed):
+                    seen.append(module_id)
+                    if len(seen) == 2:
+                        signal.raise_signal(signal.SIGTERM)
+
+                kwargs["on_module"] = on_module
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "CampaignRunner", InterruptAfterTwo)
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            code = cli_main(["campaign", "temperature", "--preset", "quick",
+                             "--seed", "77",
+                             "--checkpoint-dir", str(ckpt)])
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        assert code == INTERRUPTED_EXIT
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err and "--seed 77" in err
+
+        config = PRESETS["quick"].scaled(seed=77, **OVERRIDES)
+        monkeypatch.setattr(runner_mod, "CampaignRunner", real_runner)
+        baseline = result_to_dict(real_runner(config).run("temperature")
+                                  .result)
+        resumed = real_runner(config, checkpoint_dir=ckpt,
+                              resume=True).run("temperature")
+        assert resumed.ok
+        assert resumed.stats.modules_resumed == 2
+        assert result_to_dict(resumed.result) == baseline

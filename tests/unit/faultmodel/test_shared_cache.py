@@ -1,0 +1,120 @@
+"""The cross-request oracle matrix cache: exactness, bounds, isolation."""
+
+import numpy as np
+import pytest
+
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+from repro.faultmodel.batch import (
+    BatchOracle,
+    SharedMatrixCache,
+    install_shared_matrix_cache,
+    model_cache_namespace,
+    shared_matrix_cache,
+)
+
+
+@pytest.fixture()
+def shared():
+    cache = SharedMatrixCache(entries=64)
+    previous = install_shared_matrix_cache(cache)
+    yield cache
+    install_shared_matrix_cache(previous)
+
+
+def make_model(module_id: str = "A0", seed: int = 7):
+    return spec_by_id(module_id).instantiate(seed=seed).fault_model
+
+
+TEMPS = (50.0, 70.0, 90.0)
+
+
+def sweep(oracle, row: int = 40):
+    pattern = pattern_by_name("rowstripe")
+    points = [(t, None, None) for t in TEMPS]  # resolved (T, on, off)
+    return oracle.row_hcfirst_vector(0, row, pattern, row,
+                                     [row - 1, row + 1], points)
+
+
+class TestExactness:
+    def test_shared_cache_is_bit_identical_to_private_path(self, shared):
+        baseline_oracle = BatchOracle(make_model())
+        install_shared_matrix_cache(None)
+        baseline = sweep(baseline_oracle)
+        install_shared_matrix_cache(shared)
+        served = sweep(BatchOracle(make_model()))
+        np.testing.assert_array_equal(baseline, served)
+
+    def test_second_oracle_hits_what_the_first_built(self, shared):
+        sweep(BatchOracle(make_model()))
+        populated = len(shared)
+        assert populated > 0
+        first = sweep(BatchOracle(make_model()))
+        assert len(shared) == populated  # pure hits, nothing rebuilt
+        second = sweep(BatchOracle(make_model()))
+        np.testing.assert_array_equal(first, second)
+
+
+class TestIsolation:
+    def test_namespace_separates_models(self):
+        assert model_cache_namespace(make_model("A0")) \
+            != model_cache_namespace(make_model("B0"))
+        assert model_cache_namespace(make_model("A0", seed=7)) \
+            != model_cache_namespace(make_model("A0", seed=8))
+        assert model_cache_namespace(make_model("A0")) \
+            == model_cache_namespace(make_model("A0"))
+
+    def test_different_seeds_never_share_entries(self, shared):
+        left = sweep(BatchOracle(make_model(seed=7)))
+        count_after_left = len(shared)
+        right = sweep(BatchOracle(make_model(seed=8)))
+        assert len(shared) > count_after_left  # distinct namespace: misses
+        assert not np.array_equal(left, right)
+
+    def test_cached_arrays_are_read_only(self, shared):
+        oracle = BatchOracle(make_model())
+        sweep(oracle)
+        for key in list(shared._cache):
+            thresholds, _ = shared._cache[key]
+            with pytest.raises(ValueError):
+                thresholds[0] = 0.0
+
+
+class TestBounds:
+    def test_lru_evicts_beyond_the_entry_bound(self):
+        cache = SharedMatrixCache(entries=2)
+        arr = np.zeros(1)
+        cache.put(("a",), (arr, arr))
+        cache.put(("b",), (arr, arr))
+        cache.put(("c",), (arr, arr))
+        assert len(cache) == 2
+        assert cache.get(("a",)) is None      # oldest evicted
+        assert cache.get(("c",)) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = SharedMatrixCache(entries=2)
+        arr = np.zeros(1)
+        cache.put(("a",), (arr, arr))
+        cache.put(("b",), (arr, arr))
+        cache.get(("a",))                      # touch: "a" is now newest
+        cache.put(("c",), (arr, arr))
+        assert cache.get(("a",)) is not None
+        assert cache.get(("b",)) is None
+
+    def test_clear_empties(self):
+        cache = SharedMatrixCache(entries=4)
+        arr = np.zeros(1)
+        cache.put(("a",), (arr, arr))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestInstall:
+    def test_install_returns_previous_and_none_uninstalls(self):
+        first = SharedMatrixCache()
+        assert install_shared_matrix_cache(first) is None
+        second = SharedMatrixCache()
+        assert install_shared_matrix_cache(second) is first
+        assert shared_matrix_cache() is second
+        assert install_shared_matrix_cache(None) is second
+        assert shared_matrix_cache() is None

@@ -1,0 +1,112 @@
+"""Cooperative cancellation: tokens, boundaries, resumability."""
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.errors import CampaignCancelled
+from repro.runner import CampaignRunner, CancelToken
+from repro.runner.cancel import check
+
+pytestmark = pytest.mark.faults
+
+TINY = QUICK.scaled(rows_per_region=10, modules_per_manufacturer=1,
+                    temperatures_c=(50.0, 70.0, 90.0),
+                    hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return TINY.module_specs()
+
+
+class TestCancelToken:
+    def test_starts_uncancelled(self):
+        token = CancelToken()
+        assert not token.cancelled()
+        assert token.reason == ""
+        token.raise_if_cancelled()  # no-op
+
+    def test_cancel_is_sticky_and_first_reason_wins(self):
+        token = CancelToken()
+        token.cancel("deadline")
+        token.cancel("drain")
+        assert token.cancelled()
+        assert token.reason == "deadline"
+
+    def test_raise_if_cancelled_carries_the_reason(self):
+        token = CancelToken()
+        token.cancel("drain")
+        with pytest.raises(CampaignCancelled) as excinfo:
+            token.raise_if_cancelled()
+        assert excinfo.value.reason == "drain"
+
+    def test_module_check_ignores_none(self):
+        check(None)  # campaigns without a token never pay for one
+        token = CancelToken()
+        check(token)
+        token.cancel("x")
+        with pytest.raises(CampaignCancelled):
+            check(token)
+
+
+class TestSerialCancellation:
+    def test_cancel_mid_campaign_keeps_completed_checkpoints(
+            self, specs, tmp_path):
+        """Cancel after the second module: the first two checkpoints
+        survive, and a resumed run completes byte-identically."""
+        ckpt = tmp_path / "ckpt"
+        token = CancelToken()
+        seen = []
+
+        def on_module(module_id, payload, resumed):
+            seen.append(module_id)
+            if len(seen) == 2:
+                token.cancel("test-stop")
+
+        runner = CampaignRunner(TINY, checkpoint_dir=ckpt, cancel=token,
+                                on_module=on_module)
+        with pytest.raises(CampaignCancelled) as excinfo:
+            runner.run("temperature", specs)
+        assert excinfo.value.reason == "test-stop"
+        assert len(seen) == 2
+
+        baseline = result_to_dict(
+            CampaignRunner(TINY).run("temperature", specs).result)
+        resumed = CampaignRunner(TINY, checkpoint_dir=ckpt,
+                                 resume=True).run("temperature", specs)
+        assert resumed.ok
+        assert resumed.stats.modules_resumed == 2
+        assert result_to_dict(resumed.result) == baseline
+
+    def test_pre_cancelled_token_stops_before_any_work(self, specs):
+        token = CancelToken()
+        token.cancel("never-started")
+        runner = CampaignRunner(TINY, cancel=token)
+        with pytest.raises(CampaignCancelled):
+            runner.run("temperature", specs)
+
+
+class TestParallelCancellation:
+    def test_cancel_stops_dispatch_and_leaves_resumable_state(
+            self, specs, tmp_path):
+        """Cancelling a parallel campaign checkpoints every module whose
+        report arrived before the tick and records a 'cancel' event."""
+        ckpt = tmp_path / "ckpt"
+        token = CancelToken()
+
+        def on_module(module_id, payload, resumed):
+            token.cancel("parallel-stop")
+
+        runner = CampaignRunner(TINY, checkpoint_dir=ckpt, workers=2,
+                                cancel=token, on_module=on_module)
+        with pytest.raises(CampaignCancelled):
+            runner.run("temperature", specs)
+
+        baseline = result_to_dict(
+            CampaignRunner(TINY).run("temperature", specs).result)
+        resumed = CampaignRunner(TINY, checkpoint_dir=ckpt,
+                                 resume=True).run("temperature", specs)
+        assert resumed.ok
+        assert resumed.stats.modules_resumed >= 1
+        assert result_to_dict(resumed.result) == baseline

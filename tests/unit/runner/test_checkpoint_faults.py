@@ -1,0 +1,100 @@
+"""Checkpoint publish under a full disk (``checkpoint.publish:enospc``).
+
+The publish path must fail *atomically*: the torn temp file is unlinked
+before the ``OSError`` propagates, the journal never records an entry for
+bytes that are not durably on disk, and a resume re-runs exactly the
+module whose publish failed.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.runner import CampaignRunner, audit_checkpoint_dir
+from repro.runner.checkpoint import JOURNAL, CheckpointStore, _sha256
+
+pytestmark = pytest.mark.faults
+
+TINY = QUICK.scaled(rows_per_region=10, modules_per_manufacturer=1,
+                    temperatures_c=(50.0, 70.0, 90.0),
+                    hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+def enospc_plan(match: str = "") -> FaultPlan:
+    return FaultPlan(seed=TINY.seed, specs=[
+        FaultSpec(site="checkpoint.publish", kind="enospc", match=match)])
+
+
+def assert_journal_verifiable(directory) -> None:
+    """Every journal entry must describe bytes that are on disk."""
+    journal_path = directory / JOURNAL
+    if not journal_path.exists():
+        return
+    for line in journal_path.read_text().splitlines():
+        entry = json.loads(line)
+        data = (directory / entry["file"]).read_bytes()
+        assert len(data) == entry["length"]
+        assert _sha256(data) == entry["sha256"]
+
+
+class TestStoreUnderEnospc:
+    def test_failed_publish_leaves_no_tmp_and_no_journal_entry(
+            self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", "temperature", TINY,
+                                faults=enospc_plan())
+        with pytest.raises(OSError) as excinfo:
+            store.save("A0", {"module_id": "A0", "values": [1, 2, 3]})
+        assert excinfo.value.errno == errno.ENOSPC
+        assert not list((tmp_path / "ckpt").glob("*.tmp"))
+        assert not store.has("A0")
+        assert_journal_verifiable(tmp_path / "ckpt")
+
+    def test_publish_succeeds_once_space_returns(self, tmp_path):
+        plan = FaultPlan(seed=TINY.seed, specs=[
+            FaultSpec(site="checkpoint.publish", kind="enospc",
+                      max_fires=1)])
+        store = CheckpointStore(tmp_path / "ckpt", "temperature", TINY,
+                                faults=plan)
+        payload = {"module_id": "A0", "values": [1, 2, 3]}
+        with pytest.raises(OSError):
+            store.save("A0", payload)
+        store.save("A0", payload)  # second attempt: disk has space again
+        assert store.has("A0")
+        assert store.load("A0") == payload
+        assert_journal_verifiable(tmp_path / "ckpt")
+
+
+class TestCampaignUnderEnospc:
+    def test_campaign_fails_loudly_then_resumes_byte_identical(
+            self, tmp_path):
+        specs = TINY.module_specs()
+        victim = specs[2].module_id
+        ckpt = tmp_path / "ckpt"
+        runner = CampaignRunner(TINY, checkpoint_dir=ckpt,
+                                fault_plan=enospc_plan(match=victim))
+        with pytest.raises(OSError) as excinfo:
+            runner.run("temperature", specs)
+        assert excinfo.value.errno == errno.ENOSPC
+
+        # No torn state: no temp files, journal fully verifiable, and the
+        # victim has no checkpoint at all (old-or-nothing, never torn).
+        assert not list(ckpt.glob("*.tmp"))
+        assert_journal_verifiable(ckpt)
+        store = CheckpointStore(ckpt, "temperature", TINY, resume=True)
+        assert not store.has(victim)
+        audit = audit_checkpoint_dir(ckpt)
+        assert audit.ok
+        assert len(audit.verified) == 2  # the modules before the victim
+
+        baseline = result_to_dict(
+            CampaignRunner(TINY).run("temperature", specs).result)
+        resumed = CampaignRunner(TINY, checkpoint_dir=ckpt,
+                                 resume=True).run("temperature", specs)
+        assert resumed.ok
+        assert resumed.stats.modules_resumed == 2
+        assert result_to_dict(resumed.result) == baseline
+        assert_journal_verifiable(ckpt)

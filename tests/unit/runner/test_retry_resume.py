@@ -1,0 +1,137 @@
+"""Retry backoff schedules must survive checkpoint/resume unchanged.
+
+Jitter streams are derived structurally — ``SeedSequenceTree(seed,
+"campaign").generator("retry", unit)`` — and every runner builds the tree
+fresh from the configuration seed.  So the backoff sequence a unit sees
+is a pure function of ``(seed, unit_id, attempt)``: a module retried
+*after* a resume draws exactly the jitter it would have drawn in the
+original process.  These tests pin that contract, which the serve chaos
+suite leans on for byte-determinism under faults.
+"""
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.errors import RetryExhaustedError, SubstrateFault
+from repro.rng import SeedSequenceTree
+from repro.runner import CampaignRunner, RetryPolicy, VirtualClock, call_with_retry
+
+pytestmark = pytest.mark.faults
+
+TINY = QUICK.scaled(rows_per_region=10, modules_per_manufacturer=1,
+                    temperatures_c=(50.0, 70.0, 90.0),
+                    hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+POLICY = RetryPolicy(max_attempts=4, backoff_base_s=0.5,
+                     jitter_fraction=0.5)
+
+UNIT = "temperature/A0/prepare"
+
+
+def backoff_schedule(seed: int, unit: str, attempts: int = 3):
+    """The jitter sequence a fresh runner process would draw for ``unit``."""
+    gen = SeedSequenceTree(seed, "campaign").generator("retry", unit)
+    return [POLICY.backoff_s(attempt, gen)
+            for attempt in range(1, attempts + 1)]
+
+
+class TestScheduleDerivation:
+    def test_identical_across_fresh_trees(self):
+        """Two independent processes (pre- and post-resume) agree."""
+        assert backoff_schedule(7, UNIT) == backoff_schedule(7, UNIT)
+
+    def test_distinct_across_units_and_seeds(self):
+        assert backoff_schedule(7, UNIT) != backoff_schedule(8, UNIT)
+        assert backoff_schedule(7, UNIT) != \
+            backoff_schedule(7, "temperature/B0/prepare")
+
+    def test_jitter_stays_within_the_policy_envelope(self):
+        for attempt, backoff in enumerate(backoff_schedule(7, UNIT),
+                                          start=1):
+            base = min(POLICY.backoff_max_s,
+                       POLICY.backoff_base_s
+                       * POLICY.backoff_factor ** (attempt - 1))
+            assert base <= backoff <= base * (1 + POLICY.jitter_fraction)
+
+
+class TestRetriedUnitAcrossResume:
+    def _flaky(self, failures: int):
+        state = {"calls": 0}
+
+        def unit_fn(attempt: int):
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                raise SubstrateFault("flaky", site="softmc.session",
+                                     kind="reset")
+            return "done"
+
+        return unit_fn
+
+    def _run_once(self, failures: int) -> float:
+        """One fresh process retrying UNIT: returns total backoff slept."""
+        clock = VirtualClock()
+        gen = SeedSequenceTree(TINY.seed, "campaign").generator(
+            "retry", UNIT)
+        call_with_retry(self._flaky(failures), unit=UNIT, policy=POLICY,
+                        clock=clock, gen=gen)
+        return clock.slept_s
+
+    def test_pre_and_post_resume_backoff_is_identical(self):
+        """A module retried before an interruption and the same module
+        retried after resume sleep for exactly the same (virtual) time."""
+        assert self._run_once(failures=3) == self._run_once(failures=3)
+
+    def test_exhaustion_is_deterministic_too(self):
+        def run():
+            clock = VirtualClock()
+            gen = SeedSequenceTree(TINY.seed, "campaign").generator(
+                "retry", UNIT)
+            with pytest.raises(RetryExhaustedError) as excinfo:
+                call_with_retry(self._flaky(99), unit=UNIT, policy=POLICY,
+                                clock=clock, gen=gen)
+            return clock.slept_s, excinfo.value.attempts
+
+        assert run() == run()
+
+
+class TestCampaignLevelResumeDeterminism:
+    def test_faulted_campaign_backoff_matches_interrupt_plus_resume(
+            self, tmp_path):
+        """End to end: an uninterrupted faulted campaign and an
+        interrupted-then-resumed one absorb identical per-module backoff.
+
+        The resumed run skips completed modules entirely, so its total
+        sleep is the sum over the modules it actually ran — each of which
+        must draw the exact jitter the uninterrupted run drew.  The sum
+        identity requires every module to complete (a quarantined module
+        is never checkpointed, so a resume would re-run it and re-sleep
+        its backoffs); the fault rate below retries without exhausting.
+        """
+        from repro.core.serialize import result_to_dict
+        from repro.faults.plan import FaultPlan, FaultSpec
+
+        specs = TINY.module_specs()
+
+        def faults():
+            return FaultPlan(seed=5, specs=[
+                FaultSpec(site="campaign.unit", kind="abort", rate=0.3)])
+
+        whole = CampaignRunner(TINY, retry=POLICY, fault_plan=faults())
+        whole_outcome = whole.run("temperature", specs)
+        assert whole_outcome.ok
+        assert not whole_outcome.quarantined
+        assert whole_outcome.stats.units_retried > 0
+
+        # Interrupted run: first half of the modules only.
+        ckpt = tmp_path / "ckpt"
+        half = CampaignRunner(TINY, retry=POLICY, fault_plan=faults(),
+                              checkpoint_dir=ckpt)
+        half.run("temperature", specs[:2])
+        resumed = CampaignRunner(TINY, retry=POLICY, fault_plan=faults(),
+                                 checkpoint_dir=ckpt, resume=True)
+        resumed_outcome = resumed.run("temperature", specs)
+
+        assert result_to_dict(resumed_outcome.result) \
+            == result_to_dict(whole_outcome.result)
+        assert (half.clock.slept_s + resumed.clock.slept_s
+                == pytest.approx(whole.clock.slept_s))

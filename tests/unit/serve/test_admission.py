@@ -1,0 +1,70 @@
+"""Admission control: bounded, explicit, drainable."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.admission import ADMIT, DRAINING, OVERLOADED, AdmissionController
+
+
+class TestBounds:
+    def test_admits_until_both_bounds_full(self):
+        ctl = AdmissionController(max_inflight=2, max_queue=1)
+        assert [ctl.try_admit() for _ in range(3)] == [ADMIT] * 3
+        assert ctl.try_admit() == OVERLOADED
+        assert ctl.rejected_overloaded == 1
+
+    def test_finish_frees_capacity(self):
+        ctl = AdmissionController(max_inflight=1, max_queue=0)
+        assert ctl.try_admit() == ADMIT
+        ctl.begin_run()
+        assert ctl.try_admit() == OVERLOADED
+        ctl.finish()
+        assert ctl.try_admit() == ADMIT
+
+    def test_zero_queue_means_inflight_only(self):
+        ctl = AdmissionController(max_inflight=3, max_queue=0)
+        assert [ctl.try_admit() for _ in range(3)] == [ADMIT] * 3
+        assert ctl.try_admit() == OVERLOADED
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_queue=-1)
+
+
+class TestLedger:
+    def test_running_and_queued_track_lifecycle(self):
+        ctl = AdmissionController(max_inflight=2, max_queue=2)
+        ctl.try_admit()
+        ctl.try_admit()
+        assert (ctl.running, ctl.queued) == (0, 2)
+        ctl.begin_run()
+        assert (ctl.running, ctl.queued) == (1, 1)
+        ctl.finish()
+        ctl.forget_queued()
+        assert ctl.idle()
+        assert ctl.completed_total == 1
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        ctl = AdmissionController()
+        ctl.try_admit()
+        snap = ctl.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["admitted"] == 1
+
+
+class TestDrain:
+    def test_draining_rejects_everything(self):
+        ctl = AdmissionController(max_inflight=4, max_queue=4)
+        ctl.begin_drain()
+        assert ctl.try_admit() == DRAINING
+        assert ctl.rejected_draining == 1
+
+    def test_drain_is_idempotent(self):
+        ctl = AdmissionController()
+        ctl.begin_drain()
+        ctl.begin_drain()
+        assert ctl.draining

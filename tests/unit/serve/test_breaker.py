@@ -1,0 +1,134 @@
+"""Circuit breaker state machine, driven by a virtual clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+POLICY = BreakerPolicy(threshold=3, window_s=10.0, cooldown_s=30.0)
+
+
+def make() -> tuple:
+    clock = FakeClock()
+    return CircuitBreaker(POLICY, clock=clock), clock
+
+
+class TestTrip:
+    def test_starts_closed_and_allows_parallel(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow_parallel()
+
+    def test_losses_below_threshold_stay_closed(self):
+        breaker, _ = make()
+        breaker.record_loss()
+        breaker.record_loss()
+        assert breaker.state == CLOSED
+
+    def test_threshold_losses_in_window_trip_open(self):
+        breaker, _ = make()
+        for _ in range(3):
+            breaker.record_loss()
+        assert breaker.state == OPEN
+        assert not breaker.allow_parallel()
+        assert breaker.trips == 1
+
+    def test_stale_losses_age_out_of_the_window(self):
+        breaker, clock = make()
+        breaker.record_loss()
+        breaker.record_loss()
+        clock.advance(11.0)  # past window_s
+        breaker.record_loss()
+        breaker.record_loss()
+        assert breaker.state == CLOSED
+
+    def test_losses_while_open_are_ignored(self):
+        breaker, _ = make()
+        for _ in range(5):
+            breaker.record_loss()
+        assert breaker.trips == 1
+
+
+class TestRecovery:
+    def _tripped(self):
+        breaker, clock = make()
+        for _ in range(3):
+            breaker.record_loss()
+        return breaker, clock
+
+    def test_cooldown_moves_open_to_half_open(self):
+        breaker, clock = self._tripped()
+        clock.advance(29.0)
+        assert breaker.state == OPEN
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_grants_exactly_one_trial(self):
+        breaker, clock = self._tripped()
+        clock.advance(31.0)
+        assert breaker.allow_parallel()       # the trial
+        assert not breaker.allow_parallel()   # everyone else: serial
+        assert not breaker.allow_parallel()
+
+    def test_trial_success_closes(self):
+        breaker, clock = self._tripped()
+        clock.advance(31.0)
+        assert breaker.allow_parallel()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow_parallel()
+        assert breaker.recoveries == 1
+
+    def test_trial_loss_reopens_with_fresh_cooldown(self):
+        breaker, clock = self._tripped()
+        clock.advance(31.0)
+        assert breaker.allow_parallel()
+        breaker.record_loss()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        clock.advance(29.0)
+        assert breaker.state == OPEN
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_success_while_closed_is_a_no_op(self):
+        breaker, _ = make()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.recoveries == 0
+
+
+class TestPolicyAndSnapshot:
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ConfigError):
+            BreakerPolicy(threshold=0)
+        with pytest.raises(ConfigError):
+            BreakerPolicy(window_s=0.0)
+        with pytest.raises(ConfigError):
+            BreakerPolicy(cooldown_s=-1.0)
+
+    def test_snapshot_reports_state_and_counts(self):
+        breaker, _ = make()
+        breaker.record_loss()
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["recent_losses"] == 1
+        assert snap["trips"] == 0

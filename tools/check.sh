@@ -59,6 +59,9 @@ if [ $fast -eq 0 ]; then
     step "obs smoke (traced campaign parity + trace summarize)"
     run python tools/obs_smoke.py
 
+    step "serve smoke (concurrent clients: byte parity + graceful drain)"
+    run python tools/serve_smoke.py
+
     step "obs unit suite (tracer, metrics, summaries)"
     run python -m pytest tests/unit/obs -q
 fi

@@ -1,0 +1,144 @@
+"""Smoke-test ``deeprh serve``: admission, byte parity, graceful drain.
+
+Starts an in-process campaign service on a throwaway Unix socket, submits
+two concurrent seeded campaigns from separate client connections, and
+verifies the service contract end to end: both requests are admitted and
+concluded, each result is byte-identical (canonical JSON bytes) to a solo
+campaign-runner run of the same ``(seed, spec)``, status reporting works,
+and a drain concludes with exit code 0 plus a resume manifest on disk.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--seed N] [--workers N]
+
+Exits 0 on success, 1 on any contract violation.  A one-screen version of
+``pytest tests/integration/test_serve_chaos.py`` for quick sanity checks
+after touching the service.
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import threading
+import time
+
+from repro.core.config import PRESETS
+from repro.core.serialize import result_to_dict
+from repro.runner import CampaignRunner
+from repro.serve import CampaignService, ServeClient
+from repro.serve.protocol import canonical_result_bytes
+
+OVERRIDES = {
+    "rows_per_region": 8,
+    "modules_per_manufacturer": 1,
+    "temperatures_c": (50.0, 85.0),
+    "hcfirst_repetitions": 1,
+    "wcdp_sample_rows": 2,
+}
+
+
+def smoke(seed: int, workers: int) -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = f"{tmp}/serve.sock"
+        service = CampaignService(socket_path, max_inflight=2, max_queue=4,
+                                  drain_grace_s=0.2)
+        started = threading.Event()
+        state = {"exit": None, "loop": None}
+
+        def run_service():
+            async def main():
+                ready = asyncio.Event()
+                task = asyncio.ensure_future(service.serve_forever(
+                    install_signals=False, ready=ready))
+                await ready.wait()
+                state["loop"] = asyncio.get_running_loop()
+                started.set()
+                return await task
+
+            try:
+                state["exit"] = asyncio.run(main())
+            finally:
+                started.set()
+
+        thread = threading.Thread(target=run_service, daemon=True)
+        thread.start()
+        if not started.wait(10) or state["loop"] is None:
+            print("SMOKE FAILURE: service failed to start", file=sys.stderr)
+            return 1
+
+        seeds = (seed, seed + 1)
+        replies = {}
+
+        def submit(request_seed):
+            with ServeClient(socket_path, timeout=300.0) as client:
+                replies[request_seed] = client.campaign(
+                    "temperature", seed=request_seed, overrides=OVERRIDES,
+                    workers=workers)
+
+        wall = time.perf_counter()
+        threads = [threading.Thread(target=submit, args=(s,))
+                   for s in seeds]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(300)
+        print(f"  wall:    {time.perf_counter() - wall:.2f} s "
+              f"({len(seeds)} concurrent campaigns, workers={workers})")
+
+        with ServeClient(socket_path, timeout=10.0) as client:
+            if not client.ping():
+                failures.append("ping did not pong")
+            status = client.status()
+            if status.get("admission", {}).get("completed") != len(seeds):
+                failures.append(f"status reports {status.get('admission')}, "
+                                f"expected {len(seeds)} completed")
+
+        for request_seed in seeds:
+            reply = replies.get(request_seed)
+            if reply is None or not reply.ok:
+                failures.append(f"seed {request_seed} did not conclude ok: "
+                                f"{reply and (reply.status, reply.reason)}")
+                continue
+            solo = CampaignRunner(
+                PRESETS["quick"].scaled(seed=request_seed, **OVERRIDES)
+            ).run("temperature")
+            if reply.result_bytes() != canonical_result_bytes(
+                    result_to_dict(solo.result)):
+                failures.append(f"seed {request_seed}: served bytes "
+                                "diverged from solo run")
+            elif not failures:
+                print(f"  parity:  seed {request_seed} served == solo "
+                      "(byte-exact)")
+
+        state["loop"].call_soon_threadsafe(service.begin_drain, "smoke")
+        thread.join(60)
+        if thread.is_alive():
+            failures.append("service did not drain within 60 s")
+        elif state["exit"] != 0:
+            failures.append(f"drain exited {state['exit']}, expected 0")
+        else:
+            manifest = json.loads(service.resume_manifest.read_text())
+            print(f"  drain:   exit 0, manifest "
+                  f"({len(manifest['interrupted'])} interrupted, "
+                  f"{len(manifest['queued'])} queued)")
+
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    print("serve smoke " + ("FAILED" if failures else "passed"))
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="workers per served campaign (default: 2)")
+    args = parser.parse_args()
+    return smoke(args.seed, args.workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
