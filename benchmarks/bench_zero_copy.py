@@ -1,0 +1,175 @@
+"""Zero-copy data plane: transport and matrix-cache benchmark pairs.
+
+Two suffix pairs, each gated to a minimum 2x speedup by
+``tools/bench_compare.py`` (``SPEEDUP_PAIRS``):
+
+* ``_pickled`` vs ``_shm`` — the parent's per-report path for one wave of
+  module results from a worker pool.  A parallel campaign's merge loop is
+  its *serial* bottleneck: workers overlap, the parent does not.  On the
+  pickled plane the parent unpickles each payload off the result pipe,
+  re-serializes it (``store.save`` encodes the checkpoint blob), and
+  writes it.  On the shm plane the worker already encoded: the parent
+  verifies the descriptor's sha256 over the mapped segment, writes the
+  raw bytes, and decodes the payload by view.  Both sides finish with
+  identical checkpoint files on disk — asserted, so the speedup is for
+  byte-identical output.
+* ``_rebuild`` vs ``_attach`` — building one ``(cells x temperatures)``
+  threshold matrix from the fault model versus attaching to the same
+  matrix already published in a :class:`SharedArena` by another worker.
+"""
+
+import pickle
+
+import numpy as np
+from conftest import record_report
+
+from repro.dram.catalog import spec_by_id
+from repro.dram.data import pattern_by_name
+from repro.faultmodel.batch import threshold_parts
+from repro.faultmodel.shared_arena import SharedArena
+from repro.runner import gridblob, shm
+
+#: The paper's sensitivity sweep: 24 temperatures x 36 timing points.
+SWEEP_SHAPE = (24, 36)
+SWEEP_ROWS = 24
+#: One dispatch wave from ``--workers 4``: four in-flight module reports.
+MODULES = [f"M{i}" for i in range(4)]
+
+_PAYLOAD = None
+
+
+def _payload() -> dict:
+    """One module's result on the 24x36 sweep (built once per process)."""
+    global _PAYLOAD
+    if _PAYLOAD is None:
+        rng = np.random.default_rng(7)
+        rows = {}
+        for row in range(SWEEP_ROWS):
+            rows[f"row{row:03d}"] = {
+                "hcfirst": rng.integers(10_000, 1_000_000,
+                                        size=SWEEP_SHAPE).tolist(),
+                "ber": rng.random(SWEEP_SHAPE).tolist(),
+                "flips": rng.integers(0, 50, size=SWEEP_SHAPE).tolist(),
+            }
+        _PAYLOAD = {"module_id": "bench", "sweep": list(SWEEP_SHAPE),
+                    "rows": rows}
+    return _PAYLOAD
+
+
+def _blob(module_id: str) -> bytes:
+    return gridblob.encode_module(_payload(), study="bench",
+                                  module_id=module_id)
+
+
+def _pickled_merge(pipe_results, out_dir):
+    """Pickled plane, parent side: unpickle, encode, checkpoint."""
+    for module_id, raw in pipe_results:
+        payload = pickle.loads(raw)
+        blob = gridblob.encode_module(payload, study="bench",
+                                      module_id=module_id)
+        (out_dir / f"module-bench-{module_id}.grid").write_bytes(blob)
+
+
+def _shm_merge(descriptors, out_dir):
+    """Shm plane, parent side: verify, write raw bytes, decode by view.
+
+    Segments are kept (``unlink=False``) so every benchmark round
+    re-attaches to the same published wave, exactly as the campaign
+    attaches to each worker-published segment once.
+    """
+    for module_id, descriptor in descriptors:
+        segment = shm.reclaim(descriptor)
+        try:
+            (out_dir / f"module-bench-{module_id}.grid").write_bytes(
+                segment.blob)
+            payload = gridblob.decode_module(segment.blob)
+        finally:
+            segment.close(unlink=False)
+        assert payload["module_id"] == "bench"
+
+
+def test_transport_wave_pickled(benchmark, tmp_path):
+    """What the result pipe delivers: one pickled payload per module."""
+    pipe_results = [(module_id, pickle.dumps(_payload()))
+                    for module_id in MODULES]
+    _pickled_merge(pipe_results, tmp_path)  # warm
+
+    benchmark(_pickled_merge, pipe_results, tmp_path)
+
+
+def test_transport_wave_shm(benchmark, tmp_path):
+    pickled_dir = tmp_path / "pickled"
+    shm_dir = tmp_path / "shm"
+    pickled_dir.mkdir()
+    shm_dir.mkdir()
+    token = shm.campaign_token(seed=7, nonce=shm.next_nonce())
+    # Worker side, outside the timed region: encode + publish one wave.
+    descriptors = [
+        (module_id,
+         shm.publish(shm.segment_name(token, module_id, 0),
+                     _blob(module_id)))
+        for module_id in MODULES]
+    try:
+        _shm_merge(descriptors, shm_dir)  # warm
+
+        benchmark(_shm_merge, descriptors, shm_dir)
+    finally:
+        shm.sweep(token, [(module_id, 0) for module_id in MODULES])
+    # Byte-identical output: the speedup is not bought with different bytes.
+    _pickled_merge([(m, pickle.dumps(_payload())) for m in MODULES],
+                   pickled_dir)
+    for module_id in MODULES:
+        name = f"module-bench-{module_id}.grid"
+        assert ((shm_dir / name).read_bytes()
+                == (pickled_dir / name).read_bytes())
+    record_report(
+        "zero_copy_transport",
+        f"data-plane pair: parent merge path for a {len(MODULES)}-report "
+        f"wave (--workers 4), each {SWEEP_ROWS} rows x "
+        f"{SWEEP_SHAPE[0]}x{SWEEP_SHAPE[1]} sweep grids; shm checkpoints "
+        "asserted byte-identical to the pickled plane "
+        "(gate: >=2x in tools/bench_compare.py)")
+
+
+# ----------------------------------------------------------------------
+# Matrix rebuild vs shared-arena attach
+# ----------------------------------------------------------------------
+
+ARENA_TEMPS = tuple(float(t) for t in range(50, 98, 2))
+
+
+def _matrix_inputs():
+    model = spec_by_id("A0").instantiate(seed=7).fault_model
+    cells = model.population.cells_for(0, 40)
+    pattern = pattern_by_name("rowstripe")
+    return model, cells, pattern
+
+
+def test_threshold_matrix_rebuild(benchmark):
+    _, cells, pattern = _matrix_inputs()
+    reference = threshold_parts(cells, ARENA_TEMPS, pattern, 40)
+
+    base, mask = benchmark(threshold_parts, cells, ARENA_TEMPS, pattern, 40)
+    np.testing.assert_array_equal(base, reference[0])
+
+
+def test_threshold_matrix_attach(benchmark, tmp_path):
+    _, cells, pattern = _matrix_inputs()
+    base, mask = threshold_parts(cells, ARENA_TEMPS, pattern, 40)
+    arena = SharedArena.create(str(tmp_path))
+    try:
+        key = ("bench", "A0", 0, 40)
+        assert arena.store(key, (base, mask))
+
+        fetched = benchmark(arena.fetch, key)
+        np.testing.assert_array_equal(fetched[0], base)
+        np.testing.assert_array_equal(fetched[1], mask)
+        del fetched
+    finally:
+        arena.destroy()
+    record_report(
+        "zero_copy_matrix",
+        f"threshold matrix pair: ({base.shape[0]} cells x "
+        f"{len(ARENA_TEMPS)} temperatures) rebuild vs shared-arena attach; "
+        "fetched parts asserted bit-identical "
+        "(gate: >=2x in tools/bench_compare.py)")

@@ -71,17 +71,29 @@ def spatial_result():
     return SpatialStudy(BENCH_CONFIG).run()
 
 
+#: ``(slow-suffix, fast-suffix)`` benchmark pairs whose speedup is
+#: recorded per run: pointwise-vs-grid oracle sweeps, and the zero-copy
+#: data plane's pickled-vs-shm / rebuild-vs-attach pairs (the latter two
+#: are gated to >= 2x by ``tools/bench_compare.py``).
+SPEEDUP_SUFFIXES = (
+    ("_pointwise", "_grid"),
+    ("_pickled", "_shm"),
+    ("_rebuild", "_attach"),
+)
+
+
 def _grid_speedups(results: Dict[str, Dict[str, float]]) -> Dict[str, float]:
-    """mean(pointwise)/mean(grid) for each ``*_pointwise``/``*_grid`` pair."""
+    """mean(slow)/mean(fast) for each :data:`SPEEDUP_SUFFIXES` pair."""
     speedups = {}
     for name, stats in results.items():
-        if not name.endswith("_pointwise"):
-            continue
-        partner = name[: -len("_pointwise")] + "_grid"
-        if partner in results and results[partner]["mean_s"] > 0.0:
-            stem = name[len("test_"):-len("_pointwise")]
-            speedups[stem] = round(
-                stats["mean_s"] / results[partner]["mean_s"], 2)
+        for slow_suffix, fast_suffix in SPEEDUP_SUFFIXES:
+            if not name.endswith(slow_suffix):
+                continue
+            partner = name[: -len(slow_suffix)] + fast_suffix
+            if partner in results and results[partner]["mean_s"] > 0.0:
+                stem = name[len("test_"):-len(slow_suffix)]
+                speedups[stem] = round(
+                    stats["mean_s"] / results[partner]["mean_s"], 2)
     return speedups
 
 

@@ -150,6 +150,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="extra dispatches a module may consume "
                                "after losing its worker before it is "
                                "quarantined (default: 2)")
+    campaign.add_argument("--data-plane", default="auto",
+                          choices=("auto", "shm", "pickle"),
+                          help="how worker results travel home (workers "
+                               "> 1): 'shm' publishes into shared-memory "
+                               "segments the parent merges by view, "
+                               "'pickle' ships them through the pool "
+                               "pipe; results are byte-identical either "
+                               "way (default: auto = shm when available)")
+    campaign.add_argument("--shared-cache-entries", type=int, default=None,
+                          metavar="N",
+                          help="bound on the worker-side oracle matrix "
+                               "cache (default: [tool.deeprh.cache] in "
+                               "pyproject.toml, else 4096)")
+    campaign.add_argument("--row-cache-rows", type=int, default=None,
+                          metavar="N",
+                          help="bound on the per-population row cell "
+                               "cache (default: [tool.deeprh.cache] in "
+                               "pyproject.toml, else 4096)")
     campaign.add_argument("--verify", metavar="DIR", default=None,
                           help="audit the integrity of a checkpoint "
                                "directory (sha256/length vs journal) and "
@@ -214,10 +232,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="where the drain manifest of interrupted "
                             "requests is written (default: "
                             "SOCKET.resume.json)")
-    serve.add_argument("--shared-cache-entries", type=int, default=4096,
+    serve.add_argument("--shared-cache-entries", type=int, default=None,
                        metavar="N",
                        help="size of the cross-request oracle matrix "
-                            "cache; 0 disables sharing (default: 4096)")
+                            "cache; 0 disables sharing (default: "
+                            "[tool.deeprh.cache] in pyproject.toml, "
+                            "else 4096)")
+    serve.add_argument("--row-cache-rows", type=int, default=None,
+                       metavar="N",
+                       help="bound on the per-population row cell cache "
+                            "(default: [tool.deeprh.cache] in "
+                            "pyproject.toml, else 4096)")
     serve.add_argument("--metrics", action="store_true",
                        help="collect service metrics; printed on exit")
 
@@ -320,6 +345,9 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
         fault_plan = parse_fault_plan(args.fault_plan, seed=fault_seed)
     if args.module_deadline is not None:
         config = config.scaled(module_deadline_s=args.module_deadline)
+    from repro.core.toolconfig import load_cache_config, resolve_cache_setting
+
+    cache_config = load_cache_config()
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if (args.metrics or args.trace) else None
     _install_sigterm_as_interrupt()
@@ -334,7 +362,13 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
                 workers=args.workers,
                 supervisor=SupervisorPolicy(
                     module_deadline_s=config.module_deadline_s,
-                    max_requeues=args.max_requeues))
+                    max_requeues=args.max_requeues),
+                data_plane=args.data_plane,
+                shared_cache_entries=resolve_cache_setting(
+                    args.shared_cache_entries,
+                    cache_config.shared_cache_entries),
+                row_cache_rows=resolve_cache_setting(
+                    args.row_cache_rows, cache_config.row_cache_rows))
             if args.profile is not None:
                 from repro.obs.profile import profile_call
 
@@ -398,6 +432,11 @@ def _serve(args) -> int:
     if args.fault_plan:
         fault_seed = args.fault_seed if args.fault_seed is not None else 0
         fault_plan = parse_fault_plan(args.fault_plan, seed=fault_seed)
+    from repro.core.toolconfig import load_cache_config, resolve_cache_setting
+
+    cache_config = load_cache_config()
+    shared_cache_entries = resolve_cache_setting(
+        args.shared_cache_entries, cache_config.shared_cache_entries)
     service = CampaignService(
         args.socket,
         max_inflight=args.max_inflight,
@@ -408,7 +447,10 @@ def _serve(args) -> int:
         fault_plan=fault_plan,
         drain_grace_s=args.drain_grace,
         resume_manifest=args.resume_manifest,
-        shared_cache_entries=args.shared_cache_entries,
+        shared_cache_entries=shared_cache_entries
+        if shared_cache_entries is not None else 4096,
+        row_cache_rows=resolve_cache_setting(
+            args.row_cache_rows, cache_config.row_cache_rows),
         max_attempts=args.max_attempts)
     metrics = MetricsRegistry() if args.metrics else None
     print(f"deeprh serve: listening on {args.socket} "

@@ -1,0 +1,91 @@
+"""``[tool.deeprh]`` configuration from ``pyproject.toml``.
+
+The cache knobs — how many oracle threshold matrices the shared cache
+holds, how many rows a cell population keeps resident — are operational,
+not scientific: every setting yields bit-identical results, only at a
+different memory/speed point.  They are therefore configured like other
+tooling, in ``pyproject.toml``::
+
+    [tool.deeprh.cache]
+    shared_cache_entries = 8192
+    row_cache_rows = 2048
+
+CLI flags (``deeprh campaign --shared-cache-entries``, ``deeprh serve
+--row-cache-rows``) override the file; unset values fall back to the
+library defaults.  :mod:`repro.statcheck` keeps its own
+``[tool.deeprh.lint]`` table; this module only reads ``cache``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tomllib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """``[tool.deeprh.cache]``: unset fields mean "library default"."""
+
+    shared_cache_entries: Optional[int] = None
+    row_cache_rows: Optional[int] = None
+
+
+def find_pyproject(start: Optional[str] = None) -> Optional[pathlib.Path]:
+    """The nearest ``pyproject.toml`` at or above ``start`` (default cwd)."""
+    path = pathlib.Path(start) if start is not None else pathlib.Path.cwd()
+    if path.is_file():
+        path = path.parent
+    for directory in (path, *path.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_cache_config(path: Optional[str] = None) -> CacheConfig:
+    """Read ``[tool.deeprh.cache]`` from ``path`` or the nearest pyproject.
+
+    A missing file or missing table yields all-default config; a present
+    but malformed table is a :class:`ConfigError` — silent fallback would
+    hide a typo'd bound until memory ran out mid-campaign.
+    """
+    pyproject = pathlib.Path(path) if path is not None \
+        else find_pyproject()
+    if pyproject is None or not pyproject.is_file():
+        return CacheConfig()
+    try:
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as error:
+        raise ConfigError(f"cannot parse {pyproject}: {error}") from error
+    table = data.get("tool", {}).get("deeprh", {}).get("cache", {})
+    if not isinstance(table, dict):
+        raise ConfigError(f"[tool.deeprh.cache] in {pyproject} must be "
+                          "a table")
+    known = {"shared_cache_entries", "row_cache_rows"}
+    unknown = set(table) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown [tool.deeprh.cache] key(s) in {pyproject}: "
+            f"{', '.join(sorted(unknown))}; expected {sorted(known)}")
+    values = {}
+    for key in known:
+        value = table.get(key)
+        if value is None:
+            continue
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            raise ConfigError(f"[tool.deeprh.cache] {key} in {pyproject} "
+                              "must be a non-negative integer")
+        values[key] = value
+    return CacheConfig(**values)
+
+
+def resolve_cache_setting(flag: Optional[int],
+                          configured: Optional[int]) -> Optional[int]:
+    """CLI flag beats pyproject beats library default (None)."""
+    return flag if flag is not None else configured

@@ -67,32 +67,54 @@ class SharedMatrixCache:
     one lock, so concurrent requests in server threads stay coherent.
     """
 
-    def __init__(self, entries: int = 4096) -> None:
+    def __init__(self, entries: int = 4096, arena=None) -> None:
         if entries < 1:
             raise ValueError("shared matrix cache needs at least one entry")
         self.entries = int(entries)
         self._lock = threading.Lock()
         self._cache: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = \
             OrderedDict()
+        #: Optional cross-process tier (a :class:`~repro.faultmodel.
+        #: shared_arena.SharedArena`): local misses attach to matrices
+        #: other worker processes already built, local puts publish for
+        #: them.  Purity of the keys makes either tier bit-identical.
+        self.arena = arena
 
     def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         with self._lock:
             parts = self._cache.get(key)
             if parts is not None:
                 self._cache.move_to_end(key)
-            return parts
+                return parts
+        if self.arena is not None:
+            parts = self.arena.fetch(key)
+            if parts is not None:
+                get_metrics().counter("oracle.arena.attach").inc()
+                self._insert(key, parts)
+                return parts
+        return None
 
     def put(self, key: tuple,
             parts: Tuple[np.ndarray, np.ndarray]) -> None:
         for array in parts:
             array.setflags(write=False)
+        if self.arena is not None and self.arena.store(key, parts):
+            get_metrics().counter("oracle.arena.store").inc()
+        self._insert(key, parts)
+
+    def _insert(self, key: tuple,
+                parts: Tuple[np.ndarray, np.ndarray]) -> None:
+        # No size gauge here: the cache outlives any one module, so its
+        # size reflects worker-process history (which modules this pool
+        # worker happened to run) — scheduling state, not seed state,
+        # and exporting it would break the metrics determinism contract.
+        # Live size is available via len() (the serve status endpoint).
         metrics = get_metrics()
         with self._lock:
             self._cache[key] = parts
             while len(self._cache) > self.entries:
                 self._cache.popitem(last=False)
                 metrics.counter("oracle.shared_cache.evicted").inc()
-            metrics.gauge("oracle.shared_cache.size").set(len(self._cache))
 
     def __len__(self) -> int:
         with self._lock:
@@ -259,9 +281,14 @@ def threshold_matrix(cells: RowCells, temperatures: Sequence[float],
     """
     matrix, mask = threshold_parts(cells, temperatures, pattern, victim_row,
                                    data_seed)
+    # ``matrix`` is freshly built here (no cache), so mask in place: the
+    # multiply and the inf-fill touch the same elements with the same
+    # operations as the old ``np.where(mask, matrix, np.inf)`` full copy.
+    assert matrix.dtype == np.float64 and mask.dtype == np.bool_
     if trial_noise is not None and cells.trial_sigma > 0.0:
-        matrix = matrix * np.exp(trial_noise)[:, None]
-    return np.where(mask, matrix, np.inf)
+        np.multiply(matrix, np.exp(trial_noise)[:, None], out=matrix)
+    np.copyto(matrix, np.inf, where=~mask)
+    return matrix
 
 
 class BatchOracle:
@@ -288,6 +315,37 @@ class BatchOracle:
             "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         self._matrix_cache_entries = int(matrix_cache_entries)
         self._namespace: Optional[tuple] = None
+        # Reused masking scratch: one (cells x temps) float64 buffer and
+        # one bool buffer, grown as needed, instead of a fresh full-matrix
+        # copy per sweep (`np.where(mask, matrix, np.inf)` allocated two).
+        # Never escapes `_pair_hcfirst`, so reuse cannot alias results.
+        self._masked_scratch = np.empty((0, 0), dtype=np.float64)
+        self._notmask_scratch = np.empty((0, 0), dtype=np.bool_)
+
+    def _masked_parts(self, matrix: np.ndarray, mask: np.ndarray,
+                      trial_noise: Optional[np.ndarray],
+                      trial_sigma: float) -> np.ndarray:
+        """Noise-scaled, inf-masked thresholds in the reused scratch.
+
+        Element-for-element the same operations as the old
+        ``matrix * exp(noise)[:, None]`` + ``np.where(mask, ., np.inf)``
+        pair, written into preallocated buffers.  The hot path stays in
+        float64/bool end to end — the asserts pin that down so a silent
+        upcast (e.g. a float128 operand sneaking in) cannot cost silently.
+        """
+        assert matrix.dtype == np.float64 and mask.dtype == np.bool_
+        if self._masked_scratch.shape != matrix.shape:
+            self._masked_scratch = np.empty(matrix.shape, dtype=np.float64)
+            self._notmask_scratch = np.empty(matrix.shape, dtype=np.bool_)
+        scratch = self._masked_scratch
+        if trial_noise is not None and trial_sigma > 0.0:
+            np.multiply(matrix, np.exp(trial_noise)[:, None], out=scratch)
+        else:
+            np.copyto(scratch, matrix)
+        notmask = np.logical_not(mask, out=self._notmask_scratch)
+        np.copyto(scratch, np.inf, where=notmask)
+        assert scratch.dtype == np.float64
+        return scratch
 
     def clear_cache(self) -> None:
         """Drop the cached threshold parts (memory pressure only)."""
@@ -367,19 +425,22 @@ class BatchOracle:
             else dedupe_temperatures([p[0] for p in points])
         matrix, mask = self._threshold_parts(cells, bank, observed_row,
                                              pattern, victim_row, temps)
-        if trial_noise is not None and cells.trial_sigma > 0.0:
-            matrix = matrix * np.exp(trial_noise)[:, None]
-        masked = np.where(mask, matrix, np.inf)
+        masked = self._masked_parts(matrix, mask, trial_noise,
+                                    cells.trial_sigma)
         if groups is not None:
             representative, inverse = groups
             cols = np.asarray(temp_index, dtype=np.intp)[representative]
             pair_units = units[representative]
         else:
             pairs, inverse = dedupe_points(temp_index, units)
-            cols = [col for col, _ in pairs]
+            cols = np.asarray([col for col, _ in pairs], dtype=np.intp)
             pair_units = np.array([unit for _, unit in pairs])
+        # One gather allocation, divided in place (the gather must
+        # allocate anyway: its result is what escapes to the caller).
+        hcfirst = np.take(masked, cols, axis=1)
         with np.errstate(divide="ignore"):
-            hcfirst = masked[:, cols] / pair_units[None, :]
+            np.divide(hcfirst, pair_units[None, :], out=hcfirst)
+        assert hcfirst.dtype == np.float64
         get_metrics().counter("oracle.grid.solves").inc()
         return cells, hcfirst, inverse
 

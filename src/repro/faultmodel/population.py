@@ -26,6 +26,7 @@ from repro.dram.geometry import Geometry
 from repro.faultmodel import temperature as temp_mod
 from repro.faultmodel import variation
 from repro.faultmodel.profiles import MfrProfile
+from repro.obs import get_metrics
 from repro.rng import SeedSequenceTree
 
 
@@ -118,13 +119,41 @@ class RowCells:
 #: while keeping every hot row resident.
 DEFAULT_ROW_CACHE_ROWS = 4096
 
+_default_row_cache_rows = DEFAULT_ROW_CACHE_ROWS
+
+
+def set_default_row_cache_rows(rows: Optional[int]) -> int:
+    """Set the process-wide default row-cache bound; returns the previous.
+
+    ``None`` restores the library default.  Populations constructed after
+    the call pick up the new bound; existing populations are unchanged.
+    Purely a memory knob — regeneration is deterministic, so the bound
+    never changes science.  Set from ``deeprh serve``/``deeprh campaign``
+    flags and ``[tool.deeprh.cache]``, and inside campaign worker
+    processes before a module runs.
+    """
+    global _default_row_cache_rows
+    if rows is not None and rows < 1:
+        raise ConfigError("row_cache_rows must be >= 1")
+    previous = _default_row_cache_rows
+    _default_row_cache_rows = DEFAULT_ROW_CACHE_ROWS if rows is None \
+        else int(rows)
+    return previous
+
+
+def default_row_cache_rows() -> int:
+    """The row-cache bound populations are built with by default."""
+    return _default_row_cache_rows
+
 
 class CellPopulation:
     """Deterministic generator and LRU cache of per-row vulnerable cells."""
 
     def __init__(self, profile: MfrProfile, geometry: Geometry,
                  tree: SeedSequenceTree,
-                 row_cache_rows: int = DEFAULT_ROW_CACHE_ROWS) -> None:
+                 row_cache_rows: Optional[int] = None) -> None:
+        if row_cache_rows is None:
+            row_cache_rows = _default_row_cache_rows
         if row_cache_rows < 1:
             raise ConfigError("row_cache_rows must be >= 1")
         self.profile = profile
@@ -168,14 +197,18 @@ class CellPopulation:
     def cells_for(self, bank: int, row: int) -> RowCells:
         """The vulnerable cells of physical ``row`` in ``bank`` (LRU-cached)."""
         key = (bank, row)
+        metrics = get_metrics()
         cached = self._row_cache.get(key)
         if cached is not None:
             self._row_cache.move_to_end(key)
+            metrics.counter("population.row_cache.hit").inc()
             return cached
+        metrics.counter("population.row_cache.miss").inc()
         cells = self._generate(bank, row)
         self._row_cache[key] = cells
         if len(self._row_cache) > self.row_cache_rows:
             self._row_cache.popitem(last=False)
+            metrics.counter("population.row_cache.evicted").inc()
         return cells
 
     def _generate(self, bank: int, row: int) -> RowCells:

@@ -1,0 +1,203 @@
+"""Cross-process shared-memory arena for oracle threshold matrices.
+
+:class:`~repro.faultmodel.batch.SharedMatrixCache` keeps one process's
+oracles from rebuilding identical ``(cells x points)`` threshold parts —
+but campaign workers are separate processes, so under ``workers > 1``
+every worker used to rebuild every matrix its modules touch, once per
+dispatch.  This module provides the cross-worker tier: one fixed-capacity
+``multiprocessing.shared_memory`` segment holding the matrix bytes, plus
+a tiny on-disk pickled index mapping cache keys to offsets, so a matrix
+any worker builds is a zero-copy ``np.frombuffer`` view for every other
+worker (and for re-dispatches after a pool respawn).
+
+Concurrency and crash safety:
+
+* all index access runs under ``fcntl.flock`` on a sidecar lock file —
+  shared for readers, exclusive for writers; the OS releases the lock
+  when a worker dies, so a crash mid-anything never wedges the campaign;
+* a store copies the matrix bytes into the arena *first* and commits by
+  atomically replacing the index file (write + ``os.replace``) — a torn
+  store leaves unreferenced bytes, never a dangling index entry;
+* the arena is append-only for its lifetime (one campaign); when full,
+  stores are refused and callers fall back to their per-process LRU —
+  recorded on the ``oracle.arena.full`` counter, never an error.
+
+Correctness comes from the same purity argument as the in-process cache:
+entries are keyed by the full identity of what they derive from, so a hit
+is bit-identical to a rebuild no matter which worker populated it.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import os
+import pickle
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import get_metrics
+
+
+def _unregister(name: str) -> None:
+    """Undo a resource-tracker registration we manage explicitly.
+
+    Same rationale as :func:`repro.runner.shm._unregister` (not imported
+    to keep faultmodel free of runner dependencies): create and — before
+    Python 3.13 — attach both register with the resource tracker, which
+    would unlink the arena when any single worker exits.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except (ImportError, KeyError, FileNotFoundError):  # pragma: no cover
+        pass
+
+#: Default arena capacity; threshold parts are ~(cells x temps) float64 +
+#: bool, a few hundred KB per hot row at paper scales.
+DEFAULT_ARENA_BYTES = 64 * 1024 * 1024
+
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArena:
+    """One campaign's shared matrix pool: segment + index + lock."""
+
+    def __init__(self, segment: shared_memory.SharedMemory,
+                 index_path: str, lock_path: str, owner: bool) -> None:
+        self._segment = segment
+        self.name = segment.name
+        self.index_path = index_path
+        self.lock_path = lock_path
+        self._owner = owner
+        self.capacity = len(segment.buf)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, directory: str,
+               capacity: int = DEFAULT_ARENA_BYTES) -> "SharedArena":
+        """Parent side: build a fresh arena under ``directory``."""
+        # The create (and each worker attach) registration stays with the
+        # resource tracker: registers into its cache are set-idempotent,
+        # the one unlink in destroy() clears it, and if the whole process
+        # tree dies first the tracker unlinks the arena for us.
+        segment = shared_memory.SharedMemory(create=True, size=capacity)
+        index_path = os.path.join(directory, "arena-index.pkl")
+        lock_path = os.path.join(directory, "arena-index.lock")
+        with open(lock_path, "w"):
+            pass
+        arena = cls(segment, index_path, lock_path, owner=True)
+        arena._write_index({"__next__": 0})
+        return arena
+
+    @classmethod
+    def attach(cls, name: str, index_path: str,
+               lock_path: str) -> "SharedArena":
+        """Worker side: attach to a parent-created arena."""
+        segment = shared_memory.SharedMemory(name=name, create=False)
+        return cls(segment, index_path, lock_path, owner=False)
+
+    def close(self) -> None:
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    def destroy(self) -> None:
+        """Unlink the segment and remove the index (parent, at end)."""
+        if self._segment is not None:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                _unregister(self.name)
+            self._segment.close()
+            self._segment = None
+        for path in (self.index_path, self.lock_path):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    def _write_index(self, index: Dict) -> None:
+        tmp = self.index_path + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.index_path)
+
+    def _read_index(self) -> Dict:
+        try:
+            with open(self.index_path, "rb") as handle:
+                return pickle.load(handle)
+        except (FileNotFoundError, EOFError, pickle.UnpicklingError):
+            # Destroyed underneath us (campaign teardown) or unreadable:
+            # behave as empty — callers fall back to rebuilding.
+            return {"__next__": self.capacity}
+
+    def _locked(self, exclusive: bool):
+        handle = open(self.lock_path, "a+b")
+        fcntl.flock(handle.fileno(),
+                    fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        return handle
+
+    def _view(self, offset: int, dtype, shape) -> np.ndarray:
+        count = int(np.prod(shape, dtype=np.int64))
+        array = np.frombuffer(self._segment.buf, dtype=dtype,
+                              count=count, offset=offset).reshape(shape)
+        array.setflags(write=False)
+        return array
+
+    # ------------------------------------------------------------------
+    def fetch(self, key: tuple
+              ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Read-only ``(base, mask)`` views for ``key``, or None."""
+        handle = self._locked(exclusive=False)
+        try:
+            entry = self._read_index().get(key)
+        finally:
+            handle.close()  # closing drops the flock
+        if entry is None:
+            return None
+        base_offset, shape, mask_offset = entry
+        return (self._view(base_offset, np.float64, shape),
+                self._view(mask_offset, np.bool_, shape))
+
+    def store(self, key: tuple,
+              parts: Tuple[np.ndarray, np.ndarray]) -> bool:
+        """Publish ``(base, mask)`` for every process; False when full."""
+        base, mask = parts
+        base = np.ascontiguousarray(base, dtype=np.float64)
+        mask = np.ascontiguousarray(mask, dtype=np.bool_)
+        handle = self._locked(exclusive=True)
+        try:
+            index = self._read_index()
+            if key in index:
+                return True  # another worker won the race; same bytes
+            base_offset = _aligned(index["__next__"])
+            mask_offset = _aligned(base_offset + base.nbytes)
+            end = mask_offset + mask.nbytes
+            if end > self.capacity:
+                get_metrics().counter("oracle.arena.full").inc()
+                return False
+            buf = self._segment.buf
+            buf[base_offset:base_offset + base.nbytes] = base.tobytes()
+            buf[mask_offset:mask_offset + mask.nbytes] = mask.tobytes()
+            index[key] = (base_offset, tuple(base.shape), mask_offset)
+            index["__next__"] = end
+            self._write_index(index)  # commit point
+            return True
+        finally:
+            handle.close()
+
+    def __len__(self) -> int:
+        handle = self._locked(exclusive=False)
+        try:
+            return len(self._read_index()) - 1  # minus the bump pointer
+        finally:
+            handle.close()

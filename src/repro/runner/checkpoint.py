@@ -1,31 +1,39 @@
 """Per-module campaign checkpoints: interrupt anywhere, resume anywhere.
 
-Layout of a format-2 checkpoint directory::
+Layout of a format-3 checkpoint directory::
 
     <dir>/manifest.json                    # format + study + config fingerprint
     <dir>/journal.jsonl                    # append-only integrity journal
-    <dir>/module-<study>-<module_id>.json  # one file per completed module
+    <dir>/module-<study>-<module_id>.grid  # one blob per completed module
 
-Each module file holds the lossless per-module dictionary from
-:mod:`repro.core.serialize`, written atomically (temp file, ``fsync``,
-rename, parent-directory ``fsync``) so a power cut never publishes a
-truncated checkpoint.  After every publish one line is appended (and
-``fsync``\\ ed) to the journal::
+Each module file is a format-3 *grid blob* (:mod:`repro.runner.gridblob`):
+a compact JSON header plus a 64-byte-aligned raw block holding the
+payload's numeric grids as memmap-able fixed-dtype arrays, with the
+block's sha256 in the header.  Files are written atomically (temp file,
+``fsync``, rename, parent-directory ``fsync``) so a power cut never
+publishes a truncated checkpoint.  After every publish one line is
+appended (and ``fsync``\\ ed) to the journal::
 
-    {"file": "module-temperature-A0.json", "length": 5321,
+    {"file": "module-temperature-A0.grid", "length": 5321,
      "module": "A0", "sha256": "..."}
 
 Resuming re-verifies every module file against its last journal entry:
-a mismatching or unparseable file is *quarantined* (renamed to
+a mismatching or unverifiable file is *quarantined* (renamed to
 ``*.corrupt``) and only that module is re-run — torn on-disk state can
 cost one module, never the campaign and never silent corruption of the
 merged result.  The manifest pins the exact study and configuration
 (including the seed, excluding operational knobs — see
 :data:`repro.core.config.OPERATIONAL_FIELDS`); resuming against a
 different configuration is refused rather than silently merging
-incompatible measurements.  Format-1 directories (no journal, no
-checksums) are migrated in place on resume: every module file is
-validity-checked, journaled, and the manifest is rewritten as format 2.
+incompatible measurements.
+
+Older directories are migrated in place on resume, exactly as format 1
+was migrated to format 2: every legacy ``*.json`` module file is
+validity-checked (journal sha for format 2, JSON parse for format 1),
+re-encoded as a ``*.grid`` blob, journaled, and removed; the manifest
+rewrite is the commit point, so a crash mid-migration re-runs the
+migration idempotently (a ``.json`` whose ``.grid`` already verifies is
+simply a leftover and is swept).
 """
 
 from __future__ import annotations
@@ -42,14 +50,16 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.core.config import OPERATIONAL_FIELDS, StudyConfig
 from repro.errors import CheckpointCorruptionError, ConfigError
 from repro.obs import get_metrics, get_tracer
+from repro.runner import gridblob
+from repro.runner.gridblob import GridBlobError
 
 PathLike = Union[str, pathlib.Path]
 
 #: Bump when the checkpoint layout changes incompatibly.
-CHECKPOINT_FORMAT = 2
+CHECKPOINT_FORMAT = 3
 
-#: Formats the store can open (format 1 is migrated in place on resume).
-SUPPORTED_FORMATS = (1, 2)
+#: Formats the store can open (1 and 2 are migrated in place on resume).
+SUPPORTED_FORMATS = (1, 2, 3)
 
 JOURNAL = "journal.jsonl"
 
@@ -143,7 +153,7 @@ class CorruptionRecord:
 
 
 class CheckpointStore:
-    """One campaign's on-disk checkpoint directory (format 2)."""
+    """One campaign's on-disk checkpoint directory (format 3)."""
 
     MANIFEST = "manifest.json"
 
@@ -161,6 +171,9 @@ class CheckpointStore:
         self.swept_tmp: List[str] = []
         #: Old ``*.corrupt`` generations pruned during this open.
         self.pruned_corrupt: List[str] = []
+        #: Legacy ``*.json`` module files re-encoded as ``*.grid`` blobs
+        #: during this open (format-1/2 migration).
+        self.migrated_legacy: List[str] = []
         self._verified: set = set()
         self._journal: Dict[str, Dict[str, Any]] = {}
         manifest_path = self.directory / self.MANIFEST
@@ -238,17 +251,21 @@ class CheckpointStore:
 
     def _verify_module_files(self) -> None:
         prefix = f"module-{self.study}-"
-        paths = sorted(self.directory.glob(f"{prefix}*.json"))
-        with get_tracer().span("checkpoint.verify", files=len(paths)):
-            self._verify_paths(prefix, paths)
+        grid_paths = sorted(self.directory.glob(f"{prefix}*.grid"))
+        legacy_paths = sorted(self.directory.glob(f"{prefix}*.json"))
+        with get_tracer().span("checkpoint.verify",
+                               files=len(grid_paths) + len(legacy_paths)):
+            self._verify_grid_paths(prefix, grid_paths)
+            self._migrate_legacy_paths(prefix, legacy_paths)
 
-    def _verify_paths(self, prefix: str, paths: List[pathlib.Path]) -> None:
+    def _verify_grid_paths(self, prefix: str,
+                           paths: List[pathlib.Path]) -> None:
         metrics = get_metrics()
         for path in paths:
-            module_id = path.name[len(prefix):-len(".json")]
+            module_id = path.name[len(prefix):-len(".grid")]
             data = path.read_bytes()
             entry = self._journal.get(module_id)
-            if entry is not None:
+            if entry is not None and entry.get("file") == path.name:
                 if (entry.get("length") == len(data)
                         and entry.get("sha256") == _sha256(data)):
                     self._verified.add(module_id)
@@ -257,19 +274,67 @@ class CheckpointStore:
                     self._quarantine_file(
                         path, module_id,
                         "sha256/length mismatch against the journal")
-            else:
-                # Published but never journaled (torn journal append, or a
-                # format-1 directory).  Atomic publish guarantees the file
-                # is complete iff it parses; re-journal it if so.
-                try:
-                    json.loads(data.decode("utf-8"))
-                except (ValueError, UnicodeDecodeError):
+                continue
+            # Published but never journaled (torn journal append, or a
+            # crash between the migration's publish and its journal line).
+            # The blob self-verifies: its header carries the block's raw
+            # sha256, so no grid is ever re-parsed to prove integrity.
+            try:
+                gridblob.verify_blob(data)
+            except GridBlobError as error:
+                self._quarantine_file(
+                    path, module_id, f"unjournaled and unverifiable "
+                    f"({error})")
+                continue
+            self._append_journal(module_id, path.name, data)
+            self._verified.add(module_id)
+            metrics.counter("checkpoint.verified").inc()
+
+    def _migrate_legacy_paths(self, prefix: str,
+                              paths: List[pathlib.Path]) -> None:
+        """Re-encode verified format-1/2 ``*.json`` files as grid blobs.
+
+        A ``.json`` whose module already has a verified ``.grid`` is a
+        leftover from a crash between a migration's publish and its
+        ``.json`` unlink — removing it loses nothing.  Anything else is
+        validity-checked exactly as format 2 did (journal sha when
+        journaled, JSON parse otherwise), re-encoded, journaled under the
+        new name, and only then removed.
+        """
+        metrics = get_metrics()
+        for path in paths:
+            module_id = path.name[len(prefix):-len(".json")]
+            if module_id in self._verified:
+                path.unlink()
+                _fsync_dir(self.directory)
+                self.migrated_legacy.append(path.name)
+                continue
+            data = path.read_bytes()
+            entry = self._journal.get(module_id)
+            if entry is not None and entry.get("file") == path.name:
+                if (entry.get("length") != len(data)
+                        or entry.get("sha256") != _sha256(data)):
                     self._quarantine_file(
-                        path, module_id, "unjournaled and unparseable")
+                        path, module_id,
+                        "sha256/length mismatch against the journal")
                     continue
-                self._append_journal(module_id, path.name, data)
-                self._verified.add(module_id)
-                metrics.counter("checkpoint.verified").inc()
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self._quarantine_file(
+                    path, module_id, "unjournaled and unparseable")
+                continue
+            blob = gridblob.encode_module(payload, study=self.study,
+                                          module_id=module_id)
+            grid_path = self.module_path(module_id)
+            _write_atomic_bytes(grid_path, blob)
+            self._append_journal(module_id, grid_path.name, blob)
+            path.unlink()
+            _fsync_dir(self.directory)
+            self._verified.add(module_id)
+            self.migrated_legacy.append(path.name)
+            metrics.counter("checkpoint.verified").inc()
+            metrics.counter("checkpoint.migrated").inc()
 
     def _quarantine_file(self, path: pathlib.Path, module_id: str,
                          reason: str) -> None:
@@ -332,6 +397,10 @@ class CheckpointStore:
 
     # ------------------------------------------------------------------
     def module_path(self, module_id: str) -> pathlib.Path:
+        return self.directory / f"module-{self.study}-{module_id}.grid"
+
+    def legacy_module_path(self, module_id: str) -> pathlib.Path:
+        """Where formats 1 and 2 stored this module (JSON)."""
         return self.directory / f"module-{self.study}-{module_id}.json"
 
     def has(self, module_id: str) -> bool:
@@ -344,41 +413,87 @@ class CheckpointStore:
         return module_id in self._verified
 
     def save(self, module_id: str, payload: Dict[str, Any]) -> pathlib.Path:
+        blob = gridblob.encode_module(payload, study=self.study,
+                                      module_id=module_id)
+        return self.save_blob(module_id, blob)
+
+    def save_blob(self, module_id: str, blob: bytes) -> pathlib.Path:
+        """Publish an already-encoded format-3 blob for ``module_id``.
+
+        The zero-copy parallel path lands here: a worker encodes the blob
+        once, ships it through shared memory, and the parent writes those
+        exact bytes — no re-encode, no pickle — so the checkpoint file is
+        byte-identical to what :meth:`save` would have written serially.
+        The blob's identity (study, module) is checked against its header;
+        its block sha was verified by the transport.
+        """
+        header = gridblob.read_header(blob)
+        if (header.get("study") != self.study
+                or header.get("module") != module_id):
+            raise ConfigError(
+                f"blob identifies as module "
+                f"{header.get('module')!r} of study "
+                f"{header.get('study')!r}; refusing to publish it as "
+                f"{module_id!r} of {self.study!r}")
         path = self.module_path(module_id)
         with get_tracer().span("checkpoint.publish",
                                module=module_id) as span:
             # The journal entry is appended only after the atomic publish
             # succeeded, so the journal can never describe bytes that are
             # not durably on disk (asserted by the fault-injection tests).
-            data = _write_atomic(path, payload, faults=self.faults,
-                                 fault_key=module_id)
-            self._append_journal(module_id, path.name, data)
-            span.annotate(bytes=len(data))
+            _write_atomic_bytes(path, blob, faults=self.faults,
+                                fault_key=module_id)
+            self._append_journal(module_id, path.name, blob)
+            span.annotate(bytes=len(blob))
         get_metrics().counter("checkpoint.published").inc()
         self._verified.add(module_id)
         return path
 
     def load(self, module_id: str) -> Dict[str, Any]:
         path = self.module_path(module_id)
+        legacy = False
         if not path.exists():
-            raise ConfigError(f"no checkpoint for module {module_id!r} "
-                              f"in {self.directory}")
+            path = self.legacy_module_path(module_id)
+            legacy = True
+            if not path.exists():
+                raise ConfigError(f"no checkpoint for module {module_id!r} "
+                                  f"in {self.directory}")
         data = path.read_bytes()
         entry = self._journal.get(module_id)
-        if entry is not None and (entry.get("length") != len(data)
-                                  or entry.get("sha256") != _sha256(data)):
+        journaled = entry is not None and entry.get("file") == path.name
+        if journaled and (entry.get("length") != len(data)
+                          or entry.get("sha256") != _sha256(data)):
             raise CheckpointCorruptionError(
                 f"checkpoint for module {module_id!r} does not match its "
                 f"journal entry (torn or tampered file)", path=str(path),
                 module_id=module_id)
-        return json.loads(data.decode("utf-8"))
+        if legacy:
+            return json.loads(data.decode("utf-8"))
+        try:
+            # The journal sha already covers the whole file when journaled;
+            # an unjournaled load self-verifies the block hash instead.
+            return gridblob.decode_module(data, verify=not journaled)
+        except GridBlobError as error:
+            raise CheckpointCorruptionError(
+                f"checkpoint for module {module_id!r} is not a valid grid "
+                f"blob ({error})", path=str(path),
+                module_id=module_id) from None
+
+    def load_blob(self, module_id: str) -> bytes:
+        """The raw verified blob bytes of one module (format 3 only)."""
+        path = self.module_path(module_id)
+        if not path.exists():
+            raise ConfigError(f"no format-3 checkpoint for module "
+                              f"{module_id!r} in {self.directory}")
+        return path.read_bytes()
 
     def completed_modules(self) -> List[str]:
         """Module ids with a finished checkpoint, sorted."""
         prefix = f"module-{self.study}-"
-        found = []
-        for path in sorted(self.directory.glob(f"{prefix}*.json")):
-            found.append(path.name[len(prefix):-len(".json")])
+        found = set()
+        for suffix in (".grid", ".json"):
+            for path in sorted(self.directory.glob(f"{prefix}*{suffix}")):
+                found.add(path.name[len(prefix):-len(suffix)])
         return sorted(found)
 
 
@@ -416,8 +531,14 @@ class CheckpointAudit:
 def audit_checkpoint_dir(directory: PathLike) -> CheckpointAudit:
     """Read-only integrity audit: verify every module file, change nothing.
 
+    Format-3 ``*.grid`` blobs verify by raw hashing — the whole-file
+    sha256 against the journal when journaled, the header's block sha256
+    otherwise — never by re-parsing grid data.  Legacy ``*.json`` files
+    (format 1/2, or a crash mid-migration) are audited exactly as before
+    and noted as migrate-on-resume.
+
     Problems (non-zero exit from the CLI): missing/corrupt manifest,
-    unsupported format, checksum/length mismatches, unparseable or
+    unsupported format, checksum/length mismatches, unverifiable or
     unjournaled module files, stale temp files.  Journal entries whose
     files are gone and already-quarantined ``*.corrupt`` files are notes —
     a resume handles both without data loss.
@@ -458,20 +579,51 @@ def audit_checkpoint_dir(directory: PathLike) -> CheckpointAudit:
             if isinstance(entry, dict) and "module" in entry:
                 journal[entry["module"]] = entry
     elif audit.format == CHECKPOINT_FORMAT:
-        audit.notes.append("format-2 directory without a journal "
-                           "(no modules checkpointed yet)")
+        audit.notes.append(f"format-{CHECKPOINT_FORMAT} directory without "
+                           "a journal (no modules checkpointed yet)")
 
     prefix = f"module-{audit.study}-"
     seen = set()
-    for path in sorted(root.glob(f"{prefix}*.json")):
-        module_id = path.name[len(prefix):-len(".json")]
+    grid_verified = set()
+    for path in sorted(root.glob(f"{prefix}*.grid")):
+        module_id = path.name[len(prefix):-len(".grid")]
         seen.add(module_id)
         data = path.read_bytes()
         entry = journal.get(module_id)
-        if entry is not None:
+        if entry is not None and entry.get("file") == path.name:
             if (entry.get("length") == len(data)
                     and entry.get("sha256") == _sha256(data)):
                 audit.verified.append(module_id)
+                grid_verified.add(module_id)
+            else:
+                audit.problems.append(
+                    f"{path.name}: sha256/length mismatch against the "
+                    "journal (torn or tampered file)")
+            continue
+        try:
+            gridblob.verify_blob(data)
+        except GridBlobError as error:
+            audit.problems.append(f"{path.name}: unjournaled and "
+                                  f"unverifiable ({error})")
+            continue
+        audit.problems.append(
+            f"{path.name}: self-verifies but is missing from the journal "
+            "(open with --resume to repair the journal)")
+    for path in sorted(root.glob(f"{prefix}*.json")):
+        module_id = path.name[len(prefix):-len(".json")]
+        if module_id in grid_verified:
+            audit.notes.append(f"{path.name}: superseded by a migrated "
+                               ".grid blob (removed on resume)")
+            continue
+        seen.add(module_id)
+        data = path.read_bytes()
+        entry = journal.get(module_id)
+        if entry is not None and entry.get("file") == path.name:
+            if (entry.get("length") == len(data)
+                    and entry.get("sha256") == _sha256(data)):
+                audit.verified.append(module_id)
+                audit.notes.append(f"{path.name}: legacy JSON checkpoint "
+                                   "(open with --resume to migrate)")
             else:
                 audit.problems.append(
                     f"{path.name}: sha256/length mismatch against the "
@@ -483,7 +635,9 @@ def audit_checkpoint_dir(directory: PathLike) -> CheckpointAudit:
             audit.problems.append(f"{path.name}: unjournaled and "
                                   "unparseable")
             continue
-        if audit.format == CHECKPOINT_FORMAT:
+        if audit.format is not None and audit.format >= 2:
+            # Formats 2+ journal every publish; a parseable stray points
+            # at a torn journal append, which a resume repairs.
             audit.problems.append(
                 f"{path.name}: parseable but missing from the journal "
                 "(open with --resume to repair the journal)")

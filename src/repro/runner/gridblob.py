@@ -1,0 +1,353 @@
+"""Format-3 module blobs: JSON header + memmap-able raw numeric block.
+
+A format-2 checkpoint stores each module as indented, key-sorted JSON —
+human-friendly, but every save re-serializes (and every load re-parses)
+megabytes of nested float lists, and a parallel campaign additionally
+pickles the same payload through the worker pool.  A format-3 *grid blob*
+splits the payload instead:
+
+* every large rectangular numeric list (a "grid": BER counts, HCfirst
+  arrays, per-row vectors) is lifted out of the payload and packed as a
+  fixed-dtype C-order array in a raw binary **block**;
+* everything else — the scalar fields, the dict structure, small lists —
+  stays as JSON in a compact **header**, with each lifted grid replaced by
+  a ``{"__drh_grid__": index}`` placeholder.
+
+Layout of one blob::
+
+    DRH3 <10-digit header length>\\n     # 16-byte prelude
+    <header JSON, sorted keys, compact>  # includes sha256 of the block
+    <\\n padding to a 64-byte boundary>
+    <block: 64-byte-aligned float64 value planes + uint8 kind planes>
+
+Each grid owns a ``float64`` *value plane*; grids mixing ints, floats and
+``None`` additionally carry a ``uint8`` *kind plane* (0 = float, 1 = int,
+2 = ``None``, stored as NaN in the value plane).  Uniform grids skip the
+kind plane entirely.  Alignment means a reader can ``np.memmap`` the file
+and view every grid zero-copy (:func:`open_arrays`).
+
+**Exactness.**  :func:`decode_module` returns a payload *equal* to what
+:func:`encode_module` consumed: ints survive via the kind plane (lists
+containing ints beyond 2**53 are left in the JSON header, where exactness
+is free), floats round-trip bit-for-bit through the binary plane, and
+``None`` markers are explicit.  Checkpoint byte-determinism therefore
+reduces to payload determinism, exactly as with the JSON format.
+
+The block's sha256 travels in the header, so integrity verification is a
+raw hash over the bulk bytes — no JSON reload of the grids
+(:func:`verify_blob`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+MAGIC = b"DRH3 "
+
+#: Alignment of the block start and of every plane within the block.
+ALIGN = 64
+
+#: Grids smaller than this stay as JSON in the header: a plane's header
+#: entry plus alignment padding costs more than a tiny list saves.
+MIN_GRID_ELEMENTS = 8
+
+#: Placeholder key marking a lifted grid inside the header's ``meta``.
+PLACEHOLDER = "__drh_grid__"
+
+#: Largest integer magnitude a float64 value plane represents exactly.
+MAX_EXACT_INT = 2 ** 53
+
+_PRELUDE_LEN = 16  # b"DRH3 " + 10 digits + b"\n"
+
+KIND_FLOAT, KIND_INT, KIND_NONE = 0, 1, 2
+
+
+class GridBlobError(ValueError):
+    """A blob failed structural or integrity validation."""
+
+
+# ----------------------------------------------------------------------
+# Grid detection
+# ----------------------------------------------------------------------
+
+def _leaf_ok(value: Any) -> bool:
+    if value is None or isinstance(value, float):
+        return True
+    if isinstance(value, bool):
+        # bool is an int subclass but must round-trip as True/False.
+        return False
+    if isinstance(value, int):
+        return -MAX_EXACT_INT <= value <= MAX_EXACT_INT
+    return False
+
+
+def _grid_shape(value: Any) -> Optional[Tuple[int, ...]]:
+    """Shape of ``value`` as a rectangular numeric grid, else ``None``."""
+    if not isinstance(value, list) or not value:
+        return None
+    first = value[0]
+    if isinstance(first, list):
+        inner = _grid_shape(first)
+        if inner is None:
+            return None
+        for child in value[1:]:
+            if _grid_shape(child) != inner:
+                return None
+        return (len(value),) + inner
+    for leaf in value:
+        if not _leaf_ok(leaf):
+            return None
+    return (len(value),)
+
+
+def _flatten(value: Any, out: List[Any]) -> None:
+    if value and isinstance(value[0], list):
+        for child in value:
+            _flatten(child, out)
+    else:
+        out.extend(value)
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+def _pack_grid(value: list, shape: Tuple[int, ...]
+               ) -> Tuple[Dict[str, Any], List[np.ndarray]]:
+    """``(descriptor-sans-offsets, planes)`` for one lifted grid."""
+    flat: List[Any] = []
+    _flatten(value, flat)
+    n = len(flat)
+    values = np.array(
+        [math.nan if v is None else float(v) for v in flat],
+        dtype=np.float64)
+    kinds = np.fromiter(
+        (KIND_NONE if v is None
+         else (KIND_INT if isinstance(v, int) else KIND_FLOAT)
+         for v in flat), dtype=np.uint8, count=n)
+    descriptor: Dict[str, Any] = {"shape": list(shape)}
+    planes = [values]
+    first = int(kinds[0])
+    if bool((kinds == first).all()):
+        descriptor["kinds"] = "int" if first == KIND_INT else (
+            "none" if first == KIND_NONE else "float")
+    else:
+        descriptor["kinds"] = None  # filled with a plane reference below
+        planes.append(kinds)
+    return descriptor, planes
+
+
+def _extract(node: Any, grids: List[Dict[str, Any]],
+             planes: List[List[np.ndarray]]) -> Any:
+    if isinstance(node, dict):
+        if PLACEHOLDER in node:
+            raise GridBlobError(
+                f"payload already contains a {PLACEHOLDER!r} key; refusing "
+                "to encode an ambiguous structure")
+        # Canonical walk order: equal payloads encode to identical bytes
+        # regardless of dict insertion order (a migrated JSON checkpoint
+        # re-encodes to exactly the blob a fresh save would write).
+        return {key: _extract(node[key], grids, planes)
+                for key in sorted(node)}
+    if isinstance(node, list):
+        shape = _grid_shape(node)
+        if shape is not None and math.prod(shape) >= MIN_GRID_ELEMENTS:
+            descriptor, grid_planes = _pack_grid(node, shape)
+            grids.append(descriptor)
+            planes.append(grid_planes)
+            return {PLACEHOLDER: len(grids) - 1}
+        return [_extract(value, grids, planes) for value in node]
+    return node
+
+
+def _pad(length: int) -> int:
+    return (-length) % ALIGN
+
+
+def encode_module(payload: Dict[str, Any], *, study: str,
+                  module_id: str) -> bytes:
+    """Encode one module payload as a self-verifying format-3 blob."""
+    grids: List[Dict[str, Any]] = []
+    planes: List[List[np.ndarray]] = []
+    meta = _extract(payload, grids, planes)
+
+    chunks: List[bytes] = []
+    offset = 0
+    for descriptor, grid_planes in zip(grids, planes):
+        refs = []
+        for plane in grid_planes:
+            raw = plane.tobytes()
+            refs.append({"offset": offset, "nbytes": len(raw)})
+            chunks.append(raw)
+            padding = _pad(len(raw))
+            if padding:
+                chunks.append(b"\x00" * padding)
+            offset += len(raw) + padding
+        descriptor["values"] = refs[0]
+        if descriptor["kinds"] is None:
+            descriptor["kinds"] = refs[1]
+    block = b"".join(chunks)
+
+    header = {
+        "format": 3,
+        "study": study,
+        "module": module_id,
+        "meta": meta,
+        "grids": grids,
+        "block": {"length": len(block),
+                  "sha256": hashlib.sha256(block).hexdigest()},
+    }
+    header_bytes = json.dumps(header, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8")
+    prelude = MAGIC + b"%010d\n" % len(header_bytes)
+    padding = _pad(_PRELUDE_LEN + len(header_bytes))
+    return prelude + header_bytes + b"\n" * padding + block
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+def split_blob(data) -> Tuple[Dict[str, Any], int]:
+    """``(header, block_offset)`` of one blob; structural checks only.
+
+    Accepts any bytes-like object (``bytes``, ``memoryview`` over a
+    shared-memory segment, ``np.memmap``); only the small header is ever
+    copied out of it.
+    """
+    if len(data) < _PRELUDE_LEN or bytes(data[:len(MAGIC)]) != MAGIC:
+        raise GridBlobError("not a format-3 grid blob (bad magic)")
+    try:
+        header_len = int(bytes(data[len(MAGIC):_PRELUDE_LEN - 1]))
+    except ValueError:
+        raise GridBlobError("torn prelude: unreadable header length") \
+            from None
+    header_end = _PRELUDE_LEN + header_len
+    if header_end > len(data):
+        raise GridBlobError("truncated blob: header extends past the file")
+    try:
+        header = json.loads(
+            bytes(data[_PRELUDE_LEN:header_end]).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        raise GridBlobError("unparseable blob header") from None
+    if not isinstance(header, dict) or header.get("format") != 3:
+        raise GridBlobError("blob header is not a format-3 descriptor")
+    block_offset = header_end + _pad(header_end)
+    block_info = header.get("block", {})
+    if len(data) - block_offset != block_info.get("length"):
+        raise GridBlobError(
+            "truncated blob: block length disagrees with the header")
+    return header, block_offset
+
+
+def verify_blob(data: bytes) -> Dict[str, Any]:
+    """Full integrity check: structure plus the block's raw sha256.
+
+    Returns the parsed header; raises :class:`GridBlobError` on any
+    mismatch.  This is the format-3 equivalent of "does the JSON parse"
+    — but it hashes the bulk bytes instead of re-parsing them.
+    """
+    header, block_offset = split_blob(data)
+    digest = hashlib.sha256(data[block_offset:]).hexdigest()
+    if digest != header["block"].get("sha256"):
+        raise GridBlobError("block sha256 mismatch (torn or tampered blob)")
+    return header
+
+
+def _unpack_grid(descriptor: Dict[str, Any], block: memoryview) -> list:
+    shape = tuple(descriptor["shape"])
+    count = math.prod(shape)
+    ref = descriptor["values"]
+    values = np.frombuffer(block, dtype=np.float64, count=count,
+                           offset=ref["offset"])
+    kinds = descriptor["kinds"]
+    if kinds == "float":
+        return values.reshape(shape).tolist()
+    if kinds == "int":
+        return values.astype(np.int64).reshape(shape).tolist()
+    if kinds == "none":
+        flat: List[Any] = [None] * count
+    else:
+        kind_plane = np.frombuffer(block, dtype=np.uint8, count=count,
+                                   offset=kinds["offset"])
+        flat = [None if k == KIND_NONE
+                else (int(v) if k == KIND_INT else v)
+                for v, k in zip(values.tolist(), kind_plane.tolist())]
+    if len(shape) == 1:
+        return flat
+    nested = np.empty(count, dtype=object)
+    nested[:] = flat
+    return nested.reshape(shape).tolist()
+
+
+def _restore(node: Any, grids: List[list]) -> Any:
+    if isinstance(node, dict):
+        if PLACEHOLDER in node:
+            return grids[node[PLACEHOLDER]]
+        return {key: _restore(value, grids) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_restore(value, grids) for value in node]
+    return node
+
+
+def decode_module(data: bytes, verify: bool = False) -> Dict[str, Any]:
+    """Decode one blob back to the exact payload it encoded.
+
+    ``verify=True`` additionally hashes the block against the header (the
+    checkpoint store skips this when the whole-file journal sha already
+    matched).
+    """
+    if verify:
+        verify_blob(data)
+    header, block_offset = split_blob(data)
+    block = memoryview(data)[block_offset:]
+    grids = [_unpack_grid(descriptor, block)
+             for descriptor in header.get("grids", [])]
+    return _restore(header["meta"], grids)
+
+
+def read_header(data: bytes) -> Dict[str, Any]:
+    """The parsed header of one blob (no block hashing)."""
+    header, _ = split_blob(data)
+    return header
+
+
+def open_arrays(path) -> List[Dict[str, Any]]:
+    """Zero-copy grid views of one blob file via ``np.memmap``.
+
+    Returns one entry per lifted grid: ``{"shape", "values", "kinds"}``
+    where ``values`` is a read-only float64 view into the mapped file and
+    ``kinds`` is either a uint8 view or the uniform-kind string.  The
+    views keep the mapping alive; nothing is copied.
+    """
+    path = pathlib.Path(path)
+    with open(path, "rb") as handle:
+        prelude = handle.read(_PRELUDE_LEN)
+        if len(prelude) < _PRELUDE_LEN or prelude[:len(MAGIC)] != MAGIC:
+            raise GridBlobError(f"{path} is not a format-3 grid blob")
+        header_len = int(prelude[len(MAGIC):-1])
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+    block_offset = _PRELUDE_LEN + header_len \
+        + _pad(_PRELUDE_LEN + header_len)
+    mapped = np.memmap(path, dtype=np.uint8, mode="r")
+    views = []
+    for descriptor in header.get("grids", []):
+        shape = tuple(descriptor["shape"])
+        count = math.prod(shape)
+        ref = descriptor["values"]
+        start = block_offset + ref["offset"]
+        values = mapped[start:start + ref["nbytes"]] \
+            .view(np.float64)[:count].reshape(shape)
+        kinds: Any = descriptor["kinds"]
+        if isinstance(kinds, dict):
+            start = block_offset + kinds["offset"]
+            kinds = mapped[start:start + kinds["nbytes"]] \
+                .view(np.uint8)[:count].reshape(shape)
+        views.append({"shape": shape, "values": values, "kinds": kinds})
+    return views

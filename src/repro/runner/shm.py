@@ -1,0 +1,223 @@
+"""Shared-memory transport for the zero-copy worker data plane.
+
+The pickled pool path ships every completed module's payload — megabytes
+of nested lists — through the executor's result pipe: pickle in the
+worker, unpickle in the parent, JSON-encode again at the checkpoint.  The
+zero-copy plane replaces all of that with one
+:class:`multiprocessing.shared_memory.SharedMemory` segment per module:
+
+* the **worker** encodes its payload once as a format-3 grid blob
+  (:mod:`repro.runner.gridblob`), copies the bytes into a segment whose
+  name the parent chose at dispatch, and returns only a tiny descriptor
+  ``{"name", "nbytes", "sha256"}`` through the pool;
+* the **parent** attaches, verifies the descriptor's sha256 over the
+  mapped bytes, writes them straight into the checkpoint file
+  (:meth:`CheckpointStore.save_blob` — no re-encode), decodes the payload
+  by view for the in-memory merge, and unlinks the segment.
+
+Naming is deterministic per ``(campaign token, module, dispatch)``, which
+makes crash hygiene possible: the parent can *sweep* every segment it ever
+named — from its supervision log — whether or not the worker lived to
+report it, so a worker killed mid-publish leaks nothing.  A re-dispatched
+module reuses its name only after unlinking any stale segment first.
+
+Byte-determinism: the blob bytes a worker publishes are exactly the bytes
+a serial ``store.save`` would have produced (the codec's canonical walk
+guarantees it), so shared-memory checkpoints are bit-identical to serial
+ones — chaos-tested in ``tests/integration/test_zero_copy_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+_SHM_API = None
+
+
+def _shm_module():
+    global _SHM_API
+    if _SHM_API is None:
+        from multiprocessing import shared_memory
+        _SHM_API = shared_memory
+    return _SHM_API
+
+
+def available() -> bool:
+    """True when POSIX shared memory is usable on this platform."""
+    if os.name != "posix":
+        return False
+    try:
+        _shm_module()
+    except ImportError:  # pragma: no cover - py>=3.8 always has it
+        return False
+    return True
+
+
+def _unregister(name: str) -> None:
+    """Undo a resource-tracker registration the caller will not unlink.
+
+    Both ``create`` and (before Python 3.13) ``attach`` register the
+    segment with the process-tree-wide resource tracker, which unlinks
+    everything still registered when its process exits.  Ownership here is
+    explicit — workers publish, the parent reclaims or sweeps — so any
+    path that registers without eventually calling ``unlink()`` (which
+    sends its own unregister) must call this to stay balanced.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except (ImportError, KeyError, FileNotFoundError):  # pragma: no cover
+        pass
+
+
+def segment_name(token: str, module_id: str, dispatch: int) -> str:
+    """Deterministic, filesystem-safe segment name for one dispatch.
+
+    ``token`` scopes the campaign (two concurrent campaigns in one serve
+    process must not collide); the module id is hashed because shm names
+    have tight length and character limits on some platforms.
+    """
+    digest = hashlib.sha256(module_id.encode("utf-8")).hexdigest()[:12]
+    return f"drh{token}m{digest}d{dispatch}"
+
+
+def unlink_segment(name: str) -> bool:
+    """Remove a named segment if it exists; True when one was removed."""
+    shared_memory = _shm_module()
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError:
+        return False
+    try:
+        segment.unlink()  # shm_unlink + its own tracker unregister
+    except FileNotFoundError:  # pragma: no cover - raced with another sweep
+        _unregister(name)
+    segment.close()
+    return True
+
+
+def publish(name: str, data: bytes) -> dict:
+    """Copy ``data`` into a fresh segment ``name`` (worker side).
+
+    Any stale segment under the same name — a previous dispatch of the
+    same module that died after creating it — is unlinked first, so
+    requeues converge instead of crashing on ``FileExistsError``.
+    Returns the descriptor the parent needs to reclaim the bytes.
+    """
+    shared_memory = _shm_module()
+    unlink_segment(name)
+    segment = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(1, len(data)))
+    _unregister(name)
+    try:
+        segment.buf[:len(data)] = data
+    finally:
+        segment.close()
+    return {"name": name, "nbytes": len(data),
+            "sha256": hashlib.sha256(data).hexdigest()}
+
+
+class SegmentCorruptionError(RuntimeError):
+    """A published segment's bytes do not match its descriptor."""
+
+
+class ReclaimedSegment:
+    """Parent-side view of one published segment (context manager).
+
+    Exposes the blob as a :class:`memoryview` over the mapped segment —
+    consumers (checkpoint write, grid decode) never copy the bulk bytes.
+    Exiting the context closes the mapping and unlinks the segment.
+    """
+
+    def __init__(self, descriptor: dict) -> None:
+        shared_memory = _shm_module()
+        self.name = descriptor["name"]
+        self._segment = shared_memory.SharedMemory(name=self.name,
+                                                   create=False)
+        nbytes = int(descriptor["nbytes"])
+        self.blob = self._segment.buf[:nbytes]
+        digest = hashlib.sha256(self.blob).hexdigest()
+        if digest != descriptor.get("sha256"):
+            self.close(unlink=True)
+            raise SegmentCorruptionError(
+                f"shared-memory segment {self.name} does not match its "
+                "descriptor (sha256 mismatch)")
+
+    def __enter__(self) -> "ReclaimedSegment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(unlink=True)
+
+    def close(self, unlink: bool = False) -> None:
+        if self.blob is not None:
+            self.blob.release()
+            self.blob = None
+        if self._segment is not None:
+            if unlink:
+                try:
+                    self._segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    _unregister(self.name)
+            else:
+                _unregister(self.name)
+            self._segment.close()
+            self._segment = None
+
+
+def reclaim(descriptor: dict) -> ReclaimedSegment:
+    """Attach to a worker-published segment and verify its integrity."""
+    return ReclaimedSegment(descriptor)
+
+
+def campaign_token(seed: int, nonce: int) -> str:
+    """Collision-free token for one campaign run in this process."""
+    return f"{os.getpid():x}s{seed & 0xFFFFFFFF:x}n{nonce:x}"
+
+
+_TOKEN_COUNTER = 0
+
+
+def next_nonce() -> int:
+    """Monotonic per-process nonce (serve runs campaigns concurrently)."""
+    global _TOKEN_COUNTER
+    _TOKEN_COUNTER += 1
+    return _TOKEN_COUNTER
+
+
+def sweep(token: str, dispatched: list) -> list:
+    """Unlink every segment this campaign could have created.
+
+    ``dispatched`` holds ``(module_id, dispatch)`` pairs — one per
+    supervision "dispatch" event — so segments published by workers that
+    crashed or hung before the parent could reclaim them are removed too.
+    Returns the names actually found and unlinked (normally empty: happy
+    paths reclaim eagerly).
+    """
+    leaked = []
+    for module_id, dispatch in dispatched:
+        name = segment_name(token, module_id, dispatch)
+        if unlink_segment(name):
+            leaked.append(name)
+    return leaked
+
+
+def worker_crash(exit_code: int = 73) -> None:  # pragma: no cover
+    """Die like a SIGKILL mid-publish (used by injected campaign.shm)."""
+    os._exit(exit_code)
+
+
+def find_segments(token: str) -> list:
+    """Names under ``/dev/shm`` belonging to ``token`` (test helper)."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    prefix = f"drh{token}"
+    return [name for name in sorted(os.listdir(root))
+            if name.startswith(prefix)]
+
+
+def default_plane(workers: int) -> str:
+    """The data plane a runner picks under ``data_plane='auto'``."""
+    return "shm" if workers > 1 and available() else "pickle"

@@ -250,8 +250,28 @@ class CampaignSupervisor:
                     break
                 while queue and len(in_flight) < self.workers:
                     spec, dispatch = queue.popleft()
-                    future = pool.submit(self.worker_fn,
-                                         self.make_task(spec, dispatch))
+                    try:
+                        future = pool.submit(self.worker_fn,
+                                             self.make_task(spec, dispatch))
+                    except BrokenProcessPool:
+                        # A sibling died and the pool noticed before we
+                        # collected its future: submit refuses new work.
+                        # The module we were about to dispatch never ran
+                        # — put it back uncharged.  Everything in flight
+                        # gets the usual broken-pool treatment (charged;
+                        # the crasher cannot be identified), then the
+                        # pool respawns and dispatch resumes.
+                        queue.appendleft((spec, dispatch))
+                        for broken in list(in_flight):
+                            entry = in_flight.pop(broken)
+                            self._requeue(queue, entry, lost,
+                                          cause="worker pool broke while "
+                                                "the module was in flight")
+                        pool = self._respawn(pool)
+                        queue = deque(sorted(
+                            queue,
+                            key=lambda item: order[item[0].module_id]))
+                        continue
                     in_flight[future] = _Dispatched(
                         spec, dispatch,
                         Deadline(self.policy.module_deadline_s,

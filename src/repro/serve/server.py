@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Set
 from repro.core.serialize import result_to_dict
 from repro.errors import CampaignCancelled, ConfigError
 from repro.faultmodel.batch import SharedMatrixCache, install_shared_matrix_cache
+from repro.faultmodel.population import set_default_row_cache_rows
 from repro.faults.plan import FaultPlan
 from repro.obs import get_metrics
 from repro.runner import CampaignRunner, RetryPolicy, SupervisorPolicy
@@ -104,6 +105,7 @@ class CampaignService:
                  drain_grace_s: float = 5.0,
                  resume_manifest=None,
                  shared_cache_entries: int = 4096,
+                 row_cache_rows: Optional[int] = None,
                  max_attempts: int = 3) -> None:
         if drain_grace_s < 0:
             raise ConfigError("drain_grace_s must be >= 0")
@@ -117,7 +119,9 @@ class CampaignService:
             resume_manifest if resume_manifest is not None
             else str(socket_path) + ".resume.json")
         self.shared_cache_entries = int(shared_cache_entries)
+        self.row_cache_rows = row_cache_rows
         self.retry = RetryPolicy(max_attempts=max_attempts)
+        self._prev_row_cache_rows: Optional[int] = None
         self._queue: "asyncio.Queue[Optional[_Job]]" = asyncio.Queue()
         self._jobs: Set[_Job] = set()
         self._conns: Set[_Connection] = set()
@@ -141,6 +145,9 @@ class CampaignService:
         if self.shared_cache_entries > 0:
             self._prev_cache = install_shared_matrix_cache(
                 SharedMatrixCache(entries=self.shared_cache_entries))
+        if self.row_cache_rows is not None:
+            self._prev_row_cache_rows = set_default_row_cache_rows(
+                self.row_cache_rows)
         if install_signals:
             for signum, name in ((signal.SIGTERM, "SIGTERM"),
                                  (signal.SIGINT, "SIGINT")):
@@ -177,6 +184,8 @@ class CampaignService:
             self._close_connection(conn)
         if self.shared_cache_entries > 0:
             install_shared_matrix_cache(self._prev_cache)
+        if self.row_cache_rows is not None:
+            set_default_row_cache_rows(self._prev_row_cache_rows)
         with contextlib.suppress(OSError):
             self.socket_path.unlink()
 
@@ -444,7 +453,10 @@ class CampaignService:
                 module_deadline_s=request.config.module_deadline_s),
             cancel=job.token,
             on_module=on_module,
-            on_supervision=on_supervision)
+            on_supervision=on_supervision,
+            shared_cache_entries=self.shared_cache_entries
+            if self.shared_cache_entries > 0 else None,
+            row_cache_rows=self.row_cache_rows)
         deadline_handle = None
         if request.deadline_s is not None:
             deadline_handle = loop.call_later(

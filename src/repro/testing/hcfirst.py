@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.faultmodel.kernels import step_lookup
 
 #: Paper defaults (in hammers; one hammer = one aggressor-pair activation).
 INITIAL_HAMMERS = 256 * 1024
@@ -158,8 +159,5 @@ def binary_search_hcfirst_grid(thresholds: Sequence[float],
         selected = ceilings == maximum
         breaks, results = _search_table(initial, initial_delta, resolution,
                                         int(maximum))
-        index = np.searchsorted(breaks, limits[selected], side="left")
-        inside = index < len(breaks)
-        out[selected] = np.where(
-            inside, results[np.minimum(index, len(breaks) - 1)], -1)
+        out[selected] = step_lookup(breaks, results, limits[selected])
     return [None if value < 0 else int(value) for value in out]

@@ -86,7 +86,7 @@ class TestWorkerCrashRecovery:
         assert victim in lost
         assert outcome.supervision.count("give-up", module_id=victim) == 1
         assert outcome.stats.modules_completed + len(lost) == len(specs)
-        assert (len(list(tmp_path.glob("module-*.json")))
+        assert (len(list(tmp_path.glob("module-*.grid")))
                 == outcome.stats.modules_completed)
 
         resumed = CampaignRunner(CONFIG, checkpoint_dir=tmp_path,
@@ -149,7 +149,7 @@ class TestCorruptedCheckpointResume:
         module is re-run — no crash, no silent corruption."""
         CampaignRunner(CONFIG, checkpoint_dir=tmp_path).run("temperature",
                                                             specs)
-        victim = sorted(tmp_path.glob("module-*.json"))[1]
+        victim = sorted(tmp_path.glob("module-*.grid"))[1]
         victim.write_bytes(victim.read_bytes()[:100])
 
         outcome = CampaignRunner(CONFIG, checkpoint_dir=tmp_path,
@@ -172,7 +172,7 @@ class TestVerifyCli:
         assert cli_main(["campaign", "--verify", str(tmp_path)]) == 0
         assert "OK" in capsys.readouterr().out
 
-        victim = sorted(tmp_path.glob("module-*.json"))[0]
+        victim = sorted(tmp_path.glob("module-*.grid"))[0]
         victim.write_bytes(victim.read_bytes()[:50])
         assert cli_main(["campaign", "--verify", str(tmp_path)]) == 1
         assert "PROBLEM" in capsys.readouterr().out

@@ -85,9 +85,9 @@ class TestParallelCheckpointing:
                                                               specs)
         CampaignRunner(CONFIG, checkpoint_dir=parallel_dir,
                        workers=4).run("temperature", specs)
-        serial_files = sorted(p.name for p in serial_dir.glob("module-*.json"))
+        serial_files = sorted(p.name for p in serial_dir.glob("module-*.grid"))
         parallel_files = sorted(p.name
-                                for p in parallel_dir.glob("module-*.json"))
+                                for p in parallel_dir.glob("module-*.grid"))
         assert serial_files == parallel_files and serial_files
         for name in serial_files:
             assert ((serial_dir / name).read_bytes()

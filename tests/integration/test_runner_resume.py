@@ -83,7 +83,7 @@ class TestKillAndResume:
             runner.run("temperature", specs)
 
         # The first two modules were checkpointed before the kill.
-        ckpts = sorted(p.name for p in tmp_path.glob("module-*.json"))
+        ckpts = sorted(p.name for p in tmp_path.glob("module-*.grid"))
         assert len(ckpts) == 2
 
         resumed = CampaignRunner(CONFIG, checkpoint_dir=tmp_path,

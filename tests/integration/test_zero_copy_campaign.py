@@ -1,0 +1,187 @@
+"""Zero-copy data plane: shm campaigns are byte-identical to serial.
+
+The shared-memory plane replaces pickled result payloads with format-3
+blobs published into named segments.  Determinism therefore rests on the
+codec's canonical encoding plus the parent writing the *worker's* bytes
+straight to the checkpoint — both verified here against the serial path,
+including under chaos: a worker killed between publishing its segment and
+reporting it must leak no segment and corrupt no checkpoint.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.core.serialize import result_to_dict
+from repro.core.temperature_study import TemperatureStudy
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import MetricsRegistry, observed
+from repro.runner import CampaignRunner, shm
+
+pytestmark = pytest.mark.faults
+
+CONFIG = QUICK.scaled(rows_per_region=10, modules_per_manufacturer=1,
+                      temperatures_c=(50.0, 70.0, 90.0),
+                      hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return CONFIG.module_specs()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_dict(specs):
+    return result_to_dict(TemperatureStudy(CONFIG).run(specs))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = set(shm.find_segments(""))
+    yield
+    leaked = set(shm.find_segments("")) - before
+    assert not leaked, f"campaign leaked shm segments: {sorted(leaked)}"
+
+
+def canonical(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def checkpoint_bytes(directory):
+    return {path.name: path.read_bytes()
+            for path in sorted(directory.glob("module-*.grid"))}
+
+
+class TestPlaneEquivalence:
+    def test_shm_result_matches_serial_and_pickle(self, specs,
+                                                  uninterrupted_dict):
+        shm_run = CampaignRunner(CONFIG, workers=4,
+                                 data_plane="shm").run("temperature", specs)
+        pickle_run = CampaignRunner(
+            CONFIG, workers=4, data_plane="pickle").run("temperature", specs)
+        assert result_to_dict(shm_run.result) == uninterrupted_dict
+        assert canonical(shm_run.result) == canonical(pickle_run.result)
+        assert shm_run.stats.modules_completed == len(specs)
+
+    def test_shm_checkpoints_byte_identical_to_serial(self, tmp_path,
+                                                      specs):
+        serial_dir = tmp_path / "serial"
+        shm_dir = tmp_path / "shm"
+        CampaignRunner(CONFIG, checkpoint_dir=serial_dir).run(
+            "temperature", specs)
+        metrics = MetricsRegistry()
+        with observed(metrics=metrics):
+            CampaignRunner(CONFIG, workers=3, data_plane="shm",
+                           checkpoint_dir=shm_dir).run("temperature", specs)
+        serial_files = checkpoint_bytes(serial_dir)
+        shm_files = checkpoint_bytes(shm_dir)
+        assert serial_files and shm_files.keys() == serial_files.keys()
+        for name, data in serial_files.items():
+            assert shm_files[name] == data
+        # Every module travelled by segment, none by pickle.
+        assert metrics.counter_value("campaign.shm.reclaimed") == len(specs)
+
+    def test_single_worker_auto_uses_pickle(self, specs):
+        outcome = CampaignRunner(CONFIG, workers=1).run("temperature",
+                                                        specs[:1])
+        assert outcome.stats.modules_completed == 1
+
+    def test_invalid_plane_rejected(self):
+        with pytest.raises(ConfigError, match="data_plane"):
+            CampaignRunner(CONFIG, data_plane="rdma")
+
+
+class TestPublishCrashChaos:
+    def test_crash_between_publish_and_report(self, tmp_path, specs,
+                                              uninterrupted_dict):
+        """The ISSUE acceptance scenario: a worker dies *after* copying
+        its blob into the segment but *before* reporting the descriptor.
+        The supervisor requeues the module; the sweep removes the orphan
+        segment; the checkpoint and merge stay byte-identical."""
+        victim = specs[1].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.shm", kind="crash",
+                      match=f"{victim}/dispatch1")])
+        metrics = MetricsRegistry()
+        with observed(metrics=metrics):
+            outcome = CampaignRunner(
+                CONFIG, workers=4, data_plane="shm", fault_plan=plan,
+                checkpoint_dir=tmp_path).run("temperature", specs)
+        assert outcome.ok
+        assert outcome.stats.modules_completed == len(specs)
+        assert result_to_dict(outcome.result) == uninterrupted_dict
+        assert outcome.supervision.count("worker-lost") >= 1
+        assert outcome.supervision.count("requeue", module_id=victim) >= 1
+        # The orphaned dispatch-1 segment was swept, not leaked.
+        assert metrics.counter_value("campaign.shm.swept") >= 1
+
+    def test_crashed_campaign_checkpoint_matches_serial(self, tmp_path,
+                                                        specs):
+        serial_dir = tmp_path / "serial"
+        chaos_dir = tmp_path / "chaos"
+        CampaignRunner(CONFIG, checkpoint_dir=serial_dir).run(
+            "temperature", specs)
+        victim = specs[0].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.shm", kind="crash",
+                      match=f"{victim}/dispatch1")])
+        CampaignRunner(CONFIG, workers=3, data_plane="shm",
+                       fault_plan=plan,
+                       checkpoint_dir=chaos_dir).run("temperature", specs)
+        assert checkpoint_bytes(chaos_dir) == checkpoint_bytes(serial_dir)
+
+    def test_worker_crash_chaos_on_the_shm_plane(self, specs,
+                                                 uninterrupted_dict):
+        """The pre-existing worker-crash fault (dies before publishing)
+        composes with the shm plane: requeue, republish, same bytes."""
+        victim = specs[2].module_id
+        plan = FaultPlan(seed=CONFIG.seed, specs=[
+            FaultSpec(site="campaign.worker", kind="crash",
+                      match=f"{victim}/dispatch1")])
+        outcome = CampaignRunner(CONFIG, workers=4, data_plane="shm",
+                                 fault_plan=plan).run("temperature", specs)
+        assert outcome.ok
+        assert result_to_dict(outcome.result) == uninterrupted_dict
+
+
+class TestDegradedReclaim:
+    def test_missing_segment_degrades_to_quarantine(self, specs):
+        """A descriptor whose segment vanished (or never matched) must
+        degrade that one module, not kill the dispatch loop."""
+        runner = CampaignRunner(CONFIG, workers=2, data_plane="shm")
+        metrics = MetricsRegistry()
+        report = {"status": "ok",
+                  "shm": {"name": "drhnope", "nbytes": 8,
+                          "sha256": "0" * 64}}
+        with observed(metrics=metrics):
+            runner._reclaim_report("temperature", "A0", report, None,
+                                   metrics)
+        assert report["status"] == "quarantined"
+        assert report["unit"] == "temperature/A0/publish"
+        assert "payload" not in report
+        assert metrics.counter_value("campaign.shm.degraded") == 1
+
+
+class TestFormat3Resume:
+    def test_resume_across_planes_is_byte_identical(self, tmp_path, specs,
+                                                    uninterrupted_dict):
+        """A serial (pickle-plane) half-campaign resumed on the shm plane
+        completes to the same merged result and checkpoint bytes."""
+        CampaignRunner(CONFIG, checkpoint_dir=tmp_path).run(
+            "temperature", specs[:2])
+        outcome = CampaignRunner(
+            CONFIG, checkpoint_dir=tmp_path, resume=True, workers=4,
+            data_plane="shm").run("temperature", specs)
+        assert outcome.stats.modules_resumed == 2
+        assert outcome.stats.modules_completed == len(specs) - 2
+        assert result_to_dict(outcome.result) == uninterrupted_dict
+
+    def test_shm_checkpoints_verify_clean(self, tmp_path, specs):
+        from repro.runner.checkpoint import audit_checkpoint_dir
+        CampaignRunner(CONFIG, workers=3, data_plane="shm",
+                       checkpoint_dir=tmp_path).run("temperature", specs)
+        audit = audit_checkpoint_dir(tmp_path)
+        assert audit.ok
+        assert sorted(audit.verified) == sorted(s.module_id for s in specs)

@@ -1,0 +1,124 @@
+"""Sweep-deduplication edge cases: empty, degenerate, and non-finite grids.
+
+``dedupe_temperatures`` / ``dedupe_points`` / ``group_points`` are the
+batch oracle's collapse step — every per-point answer is an exact gather
+through the indices they return, so a wrong inverse silently corrupts a
+whole sweep.  These tests pin the degenerate shapes the campaign configs
+never exercise: empty sweeps, all-duplicate timing points,
+single-temperature grids, and NaN/inf timing entries.
+"""
+
+import numpy as np
+
+from repro.faultmodel.batch import (
+    dedupe_points,
+    dedupe_temperatures,
+    group_points,
+)
+
+
+class TestDedupeTemperaturesEdges:
+    def test_empty_sweep_yields_empty_unique_and_index(self):
+        unique, index = dedupe_temperatures([])
+        assert unique == []
+        assert index == []
+
+    def test_single_temperature_grid_collapses_to_one_column(self):
+        unique, index = dedupe_temperatures([45.0] * 7)
+        assert unique == [45.0]
+        assert index == [0] * 7
+
+    def test_gather_reconstructs_the_input_exactly(self):
+        temps = [70.0, 50.0, 70.0, 90.0, 50.0]
+        unique, index = dedupe_temperatures(temps)
+        assert unique == [70.0, 50.0, 90.0]  # first-seen order
+        assert [unique[k] for k in index] == temps
+
+    def test_infinities_dedupe_by_value_and_sign(self):
+        inf = float("inf")
+        unique, index = dedupe_temperatures([inf, -inf, inf])
+        assert unique == [inf, -inf]
+        assert index == [0, 1, 0]
+
+    def test_repeated_nan_object_collapses(self):
+        # dict lookup short-circuits on identity, so the same NaN object
+        # dedupes; the gather stays exact either way.
+        nan = float("nan")
+        unique, index = dedupe_temperatures([nan, nan, nan])
+        assert len(unique) == 1
+        assert index == [0, 0, 0]
+
+    def test_negative_zero_shares_the_positive_zero_column(self):
+        # -0.0 == 0.0 and hashes alike: one column, exact gather.
+        unique, index = dedupe_temperatures([0.0, -0.0])
+        assert len(unique) == 1
+        assert index == [0, 0]
+
+
+class TestDedupePointsEdges:
+    def test_empty_sweep_yields_empty_pairs(self):
+        pairs, inverse = dedupe_points([], np.empty(0))
+        assert pairs == []
+        assert inverse.shape == (0,)
+        assert inverse.dtype == np.intp
+
+    def test_all_duplicate_timing_points_collapse_to_one_pair(self):
+        units = np.full(9, 2.5)
+        pairs, inverse = dedupe_points([0] * 9, units)
+        assert pairs == [(0, 2.5)]
+        assert inverse.tolist() == [0] * 9
+
+    def test_gather_reconstructs_every_point_key(self):
+        temp_index = [0, 1, 0, 1, 0]
+        units = np.array([1.0, 1.0, 2.0, 1.0, 1.0])
+        pairs, inverse = dedupe_points(temp_index, units)
+        assert pairs == [(0, 1.0), (1, 1.0), (0, 2.0)]
+        for j, k in enumerate(inverse):
+            assert pairs[k] == (temp_index[j], units[j])
+
+    def test_inf_units_are_ordinary_keys(self):
+        units = np.array([np.inf, np.inf, 1.0])
+        pairs, inverse = dedupe_points([0, 0, 0], units)
+        assert pairs == [(0, np.inf), (0, 1.0)]
+        assert inverse.tolist() == [0, 0, 1]
+
+    def test_nan_units_never_merge_but_gather_stays_valid(self):
+        # tolist() mints fresh float objects, so NaN keys compare unequal
+        # and each point keeps its own pair — conservative, never wrong.
+        units = np.array([np.nan, np.nan])
+        pairs, inverse = dedupe_points([0, 0], units)
+        assert len(pairs) == 2
+        assert inverse.tolist() == [0, 1]
+        for j, k in enumerate(inverse):
+            assert pairs[k][0] == 0
+            assert np.isnan(pairs[k][1])
+
+
+class TestGroupPointsEdges:
+    def test_empty_sweep_yields_empty_groups(self):
+        representative, inverse = group_points([], [], n_timings=4)
+        assert representative.shape == (0,)
+        assert inverse.shape == (0,)
+
+    def test_all_duplicate_points_form_one_group(self):
+        representative, inverse = group_points([2] * 6, [1] * 6, n_timings=3)
+        assert representative.tolist() == [0]
+        assert inverse.tolist() == [0] * 6
+
+    def test_single_temperature_grid_groups_by_timing_only(self):
+        timing = [0, 1, 0, 2, 1]
+        representative, inverse = group_points([0] * 5, timing, n_timings=3)
+        # Groups sorted by combined key == timing index here.
+        assert representative.tolist() == [0, 1, 3]
+        for j, k in enumerate(inverse):
+            assert timing[representative[k]] == timing[j]
+
+    def test_representative_belongs_to_its_group(self):
+        temp = [0, 1, 1, 0, 2]
+        timing = [1, 0, 0, 1, 1]
+        representative, inverse = group_points(temp, timing, n_timings=2)
+        for k, rep in enumerate(representative):
+            assert inverse[rep] == k
+        for j in range(len(temp)):
+            rep = representative[inverse[j]]
+            assert (temp[rep], timing[rep]) == (temp[j], timing[j])

@@ -1,0 +1,70 @@
+"""Configurable row-cache bound: process default, counters, validation."""
+
+import pytest
+
+from repro.dram.catalog import spec_by_id
+from repro.errors import ConfigError
+from repro.faultmodel.population import (
+    DEFAULT_ROW_CACHE_ROWS,
+    default_row_cache_rows,
+    set_default_row_cache_rows,
+)
+from repro.obs import MetricsRegistry, observed
+
+
+@pytest.fixture(autouse=True)
+def restore_default():
+    yield
+    set_default_row_cache_rows(None)
+
+
+def make_population(**kwargs):
+    model = spec_by_id("A0").instantiate(seed=7).fault_model
+    from repro.faultmodel.population import CellPopulation
+    return CellPopulation(model.profile, model.geometry, model.tree,
+                          **kwargs)
+
+
+class TestProcessDefault:
+    def test_setter_returns_the_previous_bound(self):
+        previous = set_default_row_cache_rows(17)
+        assert previous == DEFAULT_ROW_CACHE_ROWS
+        assert default_row_cache_rows() == 17
+        assert set_default_row_cache_rows(None) == 17
+        assert default_row_cache_rows() == DEFAULT_ROW_CACHE_ROWS
+
+    def test_new_populations_inherit_the_process_default(self):
+        set_default_row_cache_rows(3)
+        assert make_population().row_cache_rows == 3
+
+    def test_explicit_bound_beats_the_process_default(self):
+        set_default_row_cache_rows(3)
+        assert make_population(row_cache_rows=9).row_cache_rows == 9
+
+    def test_zero_or_negative_bounds_are_rejected(self):
+        with pytest.raises(ConfigError):
+            set_default_row_cache_rows(0)
+        with pytest.raises(ConfigError):
+            make_population(row_cache_rows=-1)
+
+
+class TestCounters:
+    def test_hits_misses_and_evictions_are_recorded(self):
+        population = make_population(row_cache_rows=2)
+        metrics = MetricsRegistry()
+        with observed(metrics=metrics):
+            population.cells_for(0, 10)   # miss
+            population.cells_for(0, 10)   # hit
+            population.cells_for(0, 11)   # miss
+            population.cells_for(0, 12)   # miss + evicts row 10
+            population.cells_for(0, 10)   # miss again (was evicted)
+        assert metrics.counter_value("population.row_cache.hit") == 1
+        assert metrics.counter_value("population.row_cache.miss") == 4
+        assert metrics.counter_value("population.row_cache.evicted") == 2
+
+    def test_eviction_does_not_change_the_cells(self):
+        population = make_population(row_cache_rows=1)
+        first = population.cells_for(0, 10)
+        population.cells_for(0, 11)  # evicts row 10
+        regenerated = population.cells_for(0, 10)
+        assert regenerated.hc_base.tolist() == first.hc_base.tolist()

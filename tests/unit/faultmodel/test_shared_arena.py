@@ -1,0 +1,128 @@
+"""The cross-worker matrix arena: purity, bounds, crash consistency."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.faultmodel.shared_arena import DEFAULT_ARENA_BYTES, SharedArena
+from repro.obs import MetricsRegistry, observed
+
+
+@pytest.fixture()
+def arena(tmp_path):
+    arena = SharedArena.create(str(tmp_path), capacity=1 << 16)
+    yield arena
+    arena.destroy()
+
+
+def parts(rows=8, cols=5, fill=1.5):
+    base = np.full((rows, cols), fill, dtype=np.float64)
+    mask = np.zeros((rows, cols), dtype=np.bool_)
+    mask[::2] = True
+    return base, mask
+
+
+class TestStoreFetch:
+    def test_fetch_returns_the_exact_stored_bytes(self, arena):
+        base, mask = parts()
+        assert arena.store(("ns", "k1"), (base, mask)) is True
+        fetched_base, fetched_mask = arena.fetch(("ns", "k1"))
+        np.testing.assert_array_equal(fetched_base, base)
+        np.testing.assert_array_equal(fetched_mask, mask)
+        assert fetched_base.dtype == np.float64
+        assert fetched_mask.dtype == np.bool_
+
+    def test_miss_returns_none(self, arena):
+        assert arena.fetch(("ns", "absent")) is None
+
+    def test_views_are_read_only(self, arena):
+        arena.store(("ns", "k"), parts())
+        base, mask = arena.fetch(("ns", "k"))
+        with pytest.raises(ValueError):
+            base[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            mask[0, 0] = False
+
+    def test_second_attach_sees_the_first_processes_entries(self, arena):
+        base, mask = parts(fill=9.25)
+        arena.store(("ns", "k"), (base, mask))
+        other = SharedArena.attach(arena.name, arena.index_path,
+                                   arena.lock_path)
+        try:
+            fetched, fetched_mask = other.fetch(("ns", "k"))
+            np.testing.assert_array_equal(fetched, base)
+        finally:
+            # Views keep the mapping alive; release before close (in a
+            # campaign worker the process exit does this implicitly).
+            del fetched, fetched_mask
+            other.close()
+
+    def test_duplicate_store_is_a_noop_win(self, arena):
+        base, mask = parts()
+        arena.store(("ns", "k"), (base, mask))
+        before = len(arena)
+        # Another worker racing to the same key: same derivation, same
+        # bytes — the second store must not burn arena space.
+        assert arena.store(("ns", "k"), (base * 0 + 7.0, mask)) is True
+        assert len(arena) == before
+        fetched, _ = arena.fetch(("ns", "k"))
+        np.testing.assert_array_equal(fetched, base)
+
+    def test_offsets_stay_aligned(self, arena):
+        arena.store(("a",), parts(rows=3, cols=3))
+        arena.store(("b",), parts(rows=2, cols=7))
+        with open(arena.index_path, "rb") as handle:
+            index = pickle.load(handle)
+        for key, entry in index.items():
+            if key == "__next__":
+                continue
+            base_offset, _, mask_offset = entry
+            assert base_offset % 64 == 0
+            assert mask_offset % 64 == 0
+
+
+class TestCapacity:
+    def test_full_arena_refuses_and_counts(self, tmp_path):
+        arena = SharedArena.create(str(tmp_path), capacity=1 << 12)
+        try:
+            metrics = MetricsRegistry()
+            with observed(metrics=metrics):
+                big = parts(rows=64, cols=64)  # 32 KiB >> 4 KiB arena
+                assert arena.store(("ns", "big"), big) is False
+                assert arena.fetch(("ns", "big")) is None
+            assert metrics.counter_value("oracle.arena.full") == 1
+        finally:
+            arena.destroy()
+
+    def test_default_capacity_is_generous(self):
+        assert DEFAULT_ARENA_BYTES >= 32 * 1024 * 1024
+
+
+class TestCrashConsistency:
+    def test_torn_index_reads_as_empty_not_an_error(self, arena):
+        arena.store(("ns", "k"), parts())
+        with open(arena.index_path, "wb") as handle:
+            handle.write(b"\x80")  # torn pickle: opcode with no body
+        assert arena.fetch(("ns", "k")) is None
+        # And the arena now behaves full: stores refuse, callers fall
+        # back to their local LRU instead of corrupting offsets.
+        assert arena.store(("ns", "k2"), parts()) is False
+
+    def test_missing_index_reads_as_empty(self, arena):
+        import os
+        os.unlink(arena.index_path)
+        assert arena.fetch(("ns", "k")) is None
+
+    def test_destroy_removes_index_and_lock_files(self, tmp_path):
+        import os
+        arena = SharedArena.create(str(tmp_path), capacity=1 << 12)
+        arena.destroy()
+        assert not os.path.exists(arena.index_path)
+        assert not os.path.exists(arena.lock_path)
+
+    def test_len_counts_entries_not_the_bump_pointer(self, arena):
+        assert len(arena) == 0
+        arena.store(("a",), parts())
+        arena.store(("b",), parts())
+        assert len(arena) == 2

@@ -1,0 +1,168 @@
+"""Format-3 grid blobs: exact round trips, canonical bytes, integrity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runner import gridblob
+from repro.runner.gridblob import (
+    ALIGN,
+    MAGIC,
+    GridBlobError,
+    decode_module,
+    encode_module,
+    open_arrays,
+    read_header,
+    split_blob,
+    verify_blob,
+)
+
+
+def payload_with_grids():
+    """A payload shaped like a real module result: scalars + big grids."""
+    return {
+        "summary": {"modules": 3, "mean_hcfirst": 41212.5},
+        "hcfirst": [[10000.0, 12500.5, None, 9000.25],
+                    [11000.0, None, 8000.75, 15000.0]],
+        "counts": [[3, 0, 7, 2], [1, 9, 4, 6]],
+        "mixed": [1, 2.5, None, 4, 5.25, None, 7, 8],
+        "tiny": [1.0, 2.0],  # below MIN_GRID_ELEMENTS: stays in the header
+        "label": "temperature",
+        "nested": {"b": [0.0] * 9, "a": True},
+    }
+
+
+class TestRoundTrip:
+    def test_decode_returns_an_equal_payload(self):
+        payload = payload_with_grids()
+        blob = encode_module(payload, study="s", module_id="A0")
+        assert decode_module(blob) == payload
+
+    def test_floats_round_trip_bit_for_bit(self):
+        values = [np.nextafter(1.0, 2.0), 2.0 ** -1074, -0.0,
+                  float("inf"), float("-inf"), 1e308, 3.141592653589793,
+                  123456789.000000123]
+        blob = encode_module({"grid": values}, study="s", module_id="m")
+        decoded = decode_module(blob)["grid"]
+        assert [v.hex() for v in decoded] == [v.hex() for v in values]
+
+    def test_ints_survive_via_the_kind_plane(self):
+        values = [2 ** 53, -(2 ** 53), 0, 1, -1, 42, 7, 9]
+        blob = encode_module({"grid": values}, study="s", module_id="m")
+        decoded = decode_module(blob)["grid"]
+        assert decoded == values
+        assert all(isinstance(v, int) for v in decoded)
+
+    def test_huge_ints_stay_exact_in_the_json_header(self):
+        # Beyond 2**53 a float64 plane would round: the list must not be
+        # lifted, and the value must survive exactly.
+        values = [2 ** 53 + 1] * 9
+        blob = encode_module({"grid": values}, study="s", module_id="m")
+        assert decode_module(blob)["grid"] == values
+        assert read_header(blob)["grids"] == []
+
+    def test_bools_are_not_coerced_to_ints(self):
+        payload = {"grid": [True, False] * 5}
+        blob = encode_module(payload, study="s", module_id="m")
+        decoded = decode_module(blob)["grid"]
+        assert decoded == payload["grid"]
+        assert all(isinstance(v, bool) for v in decoded)
+
+    def test_ragged_lists_stay_in_the_header(self):
+        payload = {"ragged": [[1.0, 2.0], [3.0, 4.0, 5.0], [6.0] * 4]}
+        blob = encode_module(payload, study="s", module_id="m")
+        assert decode_module(blob) == payload
+        assert read_header(blob)["grids"] == []
+
+
+class TestCanonicalBytes:
+    def test_key_order_does_not_change_the_bytes(self):
+        forward = {"a": [1.0] * 8, "b": {"x": 1, "y": [2.0] * 8}}
+        backward = {"b": {"y": [2.0] * 8, "x": 1}, "a": [1.0] * 8}
+        assert encode_module(forward, study="s", module_id="m") \
+            == encode_module(backward, study="s", module_id="m")
+
+    def test_same_payload_encodes_to_identical_bytes(self):
+        payload = payload_with_grids()
+        assert encode_module(payload, study="s", module_id="m") \
+            == encode_module(json.loads(json.dumps(payload)),
+                             study="s", module_id="m")
+
+    def test_block_is_aligned_and_planes_are_aligned(self):
+        blob = encode_module(payload_with_grids(), study="s",
+                             module_id="m")
+        header, block_offset = split_blob(blob)
+        assert block_offset % ALIGN == 0
+        for descriptor in header["grids"]:
+            assert descriptor["values"]["offset"] % ALIGN == 0
+
+
+class TestIntegrity:
+    def test_verify_accepts_a_clean_blob(self):
+        blob = encode_module(payload_with_grids(), study="s",
+                             module_id="m")
+        header = verify_blob(blob)
+        assert header["study"] == "s" and header["module"] == "m"
+
+    def test_flipped_block_byte_fails_verification(self):
+        blob = bytearray(encode_module(payload_with_grids(), study="s",
+                                       module_id="m"))
+        blob[-1] ^= 0xFF
+        with pytest.raises(GridBlobError, match="sha256"):
+            verify_blob(bytes(blob))
+
+    def test_truncated_blob_is_rejected_structurally(self):
+        blob = encode_module(payload_with_grids(), study="s",
+                             module_id="m")
+        with pytest.raises(GridBlobError, match="truncated"):
+            split_blob(blob[:-3])
+
+    def test_bad_magic_is_rejected(self):
+        with pytest.raises(GridBlobError, match="magic"):
+            split_blob(b"JSON" + b"\x00" * 32)
+
+    def test_torn_prelude_is_rejected(self):
+        with pytest.raises(GridBlobError, match="prelude"):
+            split_blob(MAGIC + b"xxxxxxxxxx\n" + b"\x00" * 64)
+
+    def test_placeholder_key_in_payload_refuses_to_encode(self):
+        with pytest.raises(GridBlobError, match="refusing"):
+            encode_module({gridblob.PLACEHOLDER: 0}, study="s",
+                          module_id="m")
+
+    def test_memoryview_input_decodes_like_bytes(self):
+        blob = encode_module(payload_with_grids(), study="s",
+                             module_id="m")
+        assert decode_module(memoryview(blob)) == decode_module(blob)
+
+
+class TestOpenArrays:
+    def test_memmap_views_match_the_payload(self, tmp_path):
+        payload = payload_with_grids()
+        blob = encode_module(payload, study="s", module_id="m")
+        path = tmp_path / "module.grid"
+        path.write_bytes(blob)
+        views = open_arrays(path)
+        by_shape = {view["shape"]: view for view in views}
+        hcfirst = by_shape[(2, 4)]
+        expected = np.array([[v if v is not None else np.nan
+                              for v in row] for row in payload["hcfirst"]])
+        np.testing.assert_array_equal(
+            np.nan_to_num(np.asarray(hcfirst["values"]), nan=-1.0),
+            np.nan_to_num(expected, nan=-1.0))
+
+    def test_views_are_read_only(self, tmp_path):
+        blob = encode_module({"grid": [1.0] * 16}, study="s",
+                             module_id="m")
+        path = tmp_path / "module.grid"
+        path.write_bytes(blob)
+        (view,) = open_arrays(path)
+        with pytest.raises(ValueError):
+            view["values"][0] = 0.0
+
+    def test_non_blob_file_is_rejected(self, tmp_path):
+        path = tmp_path / "module.grid"
+        path.write_bytes(b'{"format": 2}' + b" " * 32)
+        with pytest.raises(GridBlobError):
+            open_arrays(path)

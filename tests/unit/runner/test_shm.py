@@ -1,0 +1,101 @@
+"""The shared-memory transport: publish/reclaim, sweep, integrity."""
+
+import pytest
+
+from repro.runner import shm
+
+pytestmark = pytest.mark.skipif(not shm.available(),
+                                reason="POSIX shared memory unavailable")
+
+
+@pytest.fixture()
+def token():
+    value = shm.campaign_token(seed=7, nonce=shm.next_nonce())
+    yield value
+    # Belt and braces: no test leaves segments behind.
+    for name in shm.find_segments(value):
+        shm.unlink_segment(name)
+
+
+class TestPublishReclaim:
+    def test_round_trip_returns_the_exact_bytes(self, token):
+        name = shm.segment_name(token, "A0", 0)
+        blob = b"DRH3 payload bytes" * 100
+        descriptor = shm.publish(name, blob)
+        assert descriptor["name"] == name
+        assert descriptor["nbytes"] == len(blob)
+        with shm.reclaim(descriptor) as segment:
+            assert bytes(segment.blob) == blob
+        # Context exit unlinked the segment.
+        assert shm.find_segments(token) == []
+
+    def test_empty_payload_publishes_and_reclaims(self, token):
+        descriptor = shm.publish(shm.segment_name(token, "A0", 0), b"")
+        with shm.reclaim(descriptor) as segment:
+            assert bytes(segment.blob) == b""
+
+    def test_republish_replaces_a_stale_segment(self, token):
+        # A worker that died after publishing leaves a segment behind;
+        # the requeued dispatch must converge, not FileExistsError.
+        name = shm.segment_name(token, "A0", 1)
+        shm.publish(name, b"stale attempt")
+        descriptor = shm.publish(name, b"fresh attempt, longer payload")
+        with shm.reclaim(descriptor) as segment:
+            assert bytes(segment.blob) == b"fresh attempt, longer payload"
+
+    def test_corrupt_descriptor_raises_and_unlinks(self, token):
+        name = shm.segment_name(token, "A0", 2)
+        descriptor = shm.publish(name, b"honest bytes")
+        descriptor["sha256"] = "0" * 64
+        with pytest.raises(shm.SegmentCorruptionError):
+            shm.reclaim(descriptor)
+        # The poisoned segment must not linger for a later dispatch.
+        assert shm.find_segments(token) == []
+
+    def test_reclaim_of_missing_segment_raises_file_not_found(self, token):
+        descriptor = {"name": shm.segment_name(token, "gone", 0),
+                      "nbytes": 4, "sha256": "0" * 64}
+        with pytest.raises(FileNotFoundError):
+            shm.reclaim(descriptor)
+
+
+class TestNaming:
+    def test_names_are_unique_per_module_and_dispatch(self, token):
+        names = {shm.segment_name(token, module, dispatch)
+                 for module in ("A0", "B1", "H3")
+                 for dispatch in range(3)}
+        assert len(names) == 9
+
+    def test_tokens_differ_across_nonces(self):
+        assert shm.campaign_token(7, shm.next_nonce()) \
+            != shm.campaign_token(7, shm.next_nonce())
+
+    def test_names_are_shm_safe(self, token):
+        name = shm.segment_name(token, "module/with:odd chars", 12)
+        assert "/" not in name and len(name) <= 60
+
+
+class TestSweep:
+    def test_sweep_removes_orphans_and_reports_them(self, token):
+        orphan = shm.segment_name(token, "A0", 0)
+        shm.publish(orphan, b"worker died before reporting")
+        reclaimed_name = shm.segment_name(token, "B1", 0)
+        descriptor = shm.publish(reclaimed_name, b"reclaimed eagerly")
+        with shm.reclaim(descriptor):
+            pass
+        swept = shm.sweep(token, [("A0", 0), ("A0", 1), ("B1", 0)])
+        assert swept == [orphan]
+        assert shm.find_segments(token) == []
+
+    def test_sweep_of_clean_campaign_is_empty(self, token):
+        assert shm.sweep(token, [("A0", 0), ("B1", 0)]) == []
+
+    def test_unlink_segment_on_missing_name_is_false(self, token):
+        assert shm.unlink_segment(shm.segment_name(token, "never", 9)) \
+            is False
+
+
+class TestPlaneSelection:
+    def test_auto_prefers_shm_only_for_parallel_runs(self):
+        assert shm.default_plane(1) == "pickle"
+        assert shm.default_plane(4) == "shm"

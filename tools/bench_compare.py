@@ -42,6 +42,16 @@ PAIR_SUFFIXES = (
     ("_traced", "_untraced"),
 )
 
+#: ``(fast-suffix, slow-suffix, minimum-speedup)`` pairs gated within one
+#: run: the optimized path must beat its baseline partner by at least the
+#: stated factor, or the optimization has silently rotted.  The zero-copy
+#: data plane's acceptance bar (parent merge of a worker wave, and a
+#: shared-arena attach vs a matrix rebuild) is 2x.
+SPEEDUP_PAIRS = (
+    ("_shm", "_pickled", 2.0),
+    ("_attach", "_rebuild", 2.0),
+)
+
 
 def _mean(stats) -> float:
     """The mean of one benchmark entry, or ``0.0`` when malformed."""
@@ -51,10 +61,24 @@ def _mean(stats) -> float:
     return float(mean) if isinstance(mean, (int, float)) else 0.0
 
 
+def _speedup_pair_member(name: str) -> bool:
+    """True when a benchmark is one side of a :data:`SPEEDUP_PAIRS` pair.
+
+    Those benchmarks are gated by their *within-run* slow/fast ratio
+    (:func:`speedup_failures`), which both sides measure under the same
+    machine load — the cross-run absolute comparison would only re-test
+    how busy the machine was, so they are excluded from it.
+    """
+    return any(name.endswith(fast_suffix) or name.endswith(slow_suffix)
+               for fast_suffix, slow_suffix, _ in SPEEDUP_PAIRS)
+
+
 def compare(previous: dict, latest: dict, tolerance: float) -> list:
     """Return (name, prev_mean, new_mean, ratio) for regressed benchmarks."""
     regressions = []
     for name, stats in sorted(latest.get("results", {}).items()):
+        if _speedup_pair_member(name):
+            continue
         before = _mean(previous.get("results", {}).get(name))
         after = _mean(stats)
         if before <= 0.0:
@@ -88,6 +112,30 @@ def pair_failures(latest: dict) -> list:
             if instrumented > bound:
                 failures.append((stem.rstrip("_"), suffix.lstrip("_"),
                                  bare, instrumented))
+    return failures
+
+
+def speedup_failures(latest: dict) -> list:
+    """Gate optimized-vs-baseline suffix pairs to a minimum speedup.
+
+    Returns ``(stem, slow_mean, fast_mean, speedup, minimum)`` for each
+    :data:`SPEEDUP_PAIRS` pair present in the latest run whose measured
+    ``slow/fast`` ratio falls below the pair's minimum.
+    """
+    results = latest.get("results", {})
+    failures = []
+    for name, stats in sorted(results.items()):
+        for fast_suffix, slow_suffix, minimum in SPEEDUP_PAIRS:
+            if not name.endswith(fast_suffix):
+                continue
+            stem = name[: -len(fast_suffix)]
+            slow = _mean(results.get(stem + slow_suffix))
+            fast = _mean(stats)
+            if slow <= 0.0 or fast <= 0.0:
+                continue
+            if slow / fast < minimum:
+                failures.append((stem.rstrip("_"), slow, fast,
+                                 slow / fast, minimum))
     return failures
 
 
@@ -139,7 +187,7 @@ def main(argv=None) -> int:
         print(f"  {name:45s} (removed benchmark; was "
               f"{_mean(previous_results[name]) * 1e3:.3f} ms)")
     for stem, speedup in sorted(latest.get("speedups", {}).items()):
-        print(f"  grid speedup [{stem}]: {speedup:.2f}x over pointwise")
+        print(f"  pair speedup [{stem}]: {speedup:.2f}x over baseline")
 
     failed = False
     regressions = compare(previous, latest, args.tolerance)
@@ -159,6 +207,14 @@ def main(argv=None) -> int:
         for stem, suffix, bare, instrumented in pairs:
             print(f"  {stem}: baseline {bare * 1e3:.3f} ms -> {suffix} "
                   f"{instrumented * 1e3:.3f} ms")
+    slow_pairs = speedup_failures(latest)
+    if slow_pairs:
+        failed = True
+        print("\nFAIL: optimized benchmark(s) fall short of their "
+              "minimum speedup over the baseline partner:")
+        for stem, slow, fast, speedup, minimum in slow_pairs:
+            print(f"  {stem}: {slow * 1e3:.3f} ms -> {fast * 1e3:.3f} ms "
+                  f"({speedup:.2f}x; need >= {minimum:.1f}x)")
     if failed:
         return 1
     print("\nOK: no benchmark regressed beyond tolerance")

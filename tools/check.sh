@@ -64,6 +64,9 @@ if [ $fast -eq 0 ]; then
 
     step "obs unit suite (tracer, metrics, summaries)"
     run python -m pytest tests/unit/obs -q
+
+    step "zero-copy data plane benchmarks (pickled-vs-shm, rebuild-vs-attach)"
+    run python -m pytest benchmarks/bench_zero_copy.py --benchmark-only -q
 fi
 
 step "benchmark regression gate"
