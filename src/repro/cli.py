@@ -25,7 +25,7 @@ from repro.core.observations import check_all_observations
 from repro.core.spatial_study import SpatialStudy, SpatialStudyResult
 from repro.core.temperature_study import TemperatureStudy, TemperatureStudyResult
 from repro.dram.timing import DDR4_2400
-from repro.errors import ConfigError
+from repro.errors import CampaignParked, ConfigError
 
 
 class StudyCache:
@@ -77,6 +77,39 @@ def _experiment_renderers(cache: StudyCache) -> Dict[str, Callable[[], str]]:
         "fig14": lambda: report.fig14(cache.spatial()),
         "fig15": lambda: report.fig15(cache.spatial()),
     }
+
+
+def _add_governor_args(parser: argparse.ArgumentParser) -> None:
+    """Resource-governor flags shared by ``campaign`` and ``serve``.
+
+    Any budget flag implies ``--governor``; budgets left unset fall back
+    to ``[tool.deeprh.governor]`` in pyproject.toml.
+    """
+    parser.add_argument("--governor", action="store_true",
+                        help="enable the resource governor: under "
+                             "RSS/shm/fd/disk pressure the run degrades "
+                             "down a deterministic ladder (shrink caches, "
+                             "pickle data plane, serial, shed, park) "
+                             "instead of crashing; results stay "
+                             "byte-identical at every rung")
+    parser.add_argument("--rss-budget-mb", type=int, default=None,
+                        metavar="MB",
+                        help="process RSS ceiling (implies --governor)")
+    parser.add_argument("--shm-budget-mb", type=int, default=None,
+                        metavar="MB",
+                        help="/dev/shm data-plane ceiling (implies "
+                             "--governor)")
+    parser.add_argument("--fd-budget", type=int, default=None, metavar="N",
+                        help="open file-descriptor ceiling (implies "
+                             "--governor)")
+    parser.add_argument("--disk-headroom-mb", type=int, default=None,
+                        metavar="MB",
+                        help="minimum free space on the checkpoint "
+                             "volume (implies --governor)")
+    parser.add_argument("--cache-entry-budget", type=int, default=None,
+                        metavar="N",
+                        help="shared oracle-cache occupancy ceiling "
+                             "(implies --governor)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="profile the campaign under cProfile and "
                                "print the top N cumulative entries "
                                "(default N: 25)")
+    campaign.add_argument("--journal-max-entries", type=int, default=None,
+                          metavar="N",
+                          help="compact the checkpoint journal once it "
+                               "exceeds N lines (default: 512)")
+    _add_governor_args(campaign)
 
     serve = sub.add_parser(
         "serve",
@@ -245,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "pyproject.toml, else 4096)")
     serve.add_argument("--metrics", action="store_true",
                        help="collect service metrics; printed on exit")
+    _add_governor_args(serve)
 
     trace = sub.add_parser(
         "trace",
@@ -294,6 +333,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 #: Exit code of a campaign stopped by SIGINT/SIGTERM (128 + SIGINT).
 INTERRUPTED_EXIT = 130
+
+#: Exit code of a campaign the resource governor parked (EX_TEMPFAIL:
+#: "try again later" — the checkpoints and parked.json are on disk).
+PARKED_EXIT = 75
+
+
+def _build_governor_from_args(args, faults=None):
+    """Flags + ``[tool.deeprh.governor]`` -> governor (or ``None``)."""
+    from repro.core.toolconfig import load_governor_config
+    from repro.runner import build_governor
+
+    return build_governor(
+        load_governor_config(),
+        enabled=args.governor,
+        rss_budget_mb=args.rss_budget_mb,
+        shm_budget_mb=args.shm_budget_mb,
+        fd_budget=args.fd_budget,
+        disk_headroom_mb=args.disk_headroom_mb,
+        cache_entry_budget=args.cache_entry_budget,
+        faults=faults)
 
 
 def _install_sigterm_as_interrupt() -> None:
@@ -348,6 +407,7 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
     from repro.core.toolconfig import load_cache_config, resolve_cache_setting
 
     cache_config = load_cache_config()
+    governor = _build_governor_from_args(args, faults=fault_plan)
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if (args.metrics or args.trace) else None
     _install_sigterm_as_interrupt()
@@ -368,7 +428,9 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
                     args.shared_cache_entries,
                     cache_config.shared_cache_entries),
                 row_cache_rows=resolve_cache_setting(
-                    args.row_cache_rows, cache_config.row_cache_rows))
+                    args.row_cache_rows, cache_config.row_cache_rows),
+                governor=governor,
+                journal_max_entries=args.journal_max_entries)
             if args.profile is not None:
                 from repro.obs.profile import profile_call
 
@@ -376,6 +438,23 @@ def _campaign(args, config: config_mod.StudyConfig) -> int:
                     lambda: runner.run(args.study), top_n=args.profile)
             else:
                 outcome, profile_report = runner.run(args.study), None
+    except CampaignParked as parked:
+        # The governor ran out of ladder: the campaign checkpointed,
+        # wrote parked.json, and stopped cleanly.  EX_TEMPFAIL tells
+        # schedulers to retry the same command later with --resume.
+        print(f"\nparked: {parked}", file=sys.stderr)
+        if governor is not None:
+            print(governor.render(), file=sys.stderr)
+        if args.checkpoint_dir is not None:
+            seed_flag = f" --seed {args.seed}" if args.seed is not None \
+                else ""
+            print(f"{parked.completed} module(s) checkpointed in "
+                  f"{args.checkpoint_dir}; once resources recover, "
+                  "resume with:", file=sys.stderr)
+            print(f"  deeprh campaign {args.study} --preset {args.preset}"
+                  f"{seed_flag} --checkpoint-dir {args.checkpoint_dir} "
+                  "--resume", file=sys.stderr)
+        return PARKED_EXIT
     except KeyboardInterrupt:
         # Graceful stop: no traceback, an honest account of what is on
         # disk, and a copy-pasteable way to pick the campaign back up.
@@ -451,7 +530,8 @@ def _serve(args) -> int:
         if shared_cache_entries is not None else 4096,
         row_cache_rows=resolve_cache_setting(
             args.row_cache_rows, cache_config.row_cache_rows),
-        max_attempts=args.max_attempts)
+        max_attempts=args.max_attempts,
+        governor=_build_governor_from_args(args, faults=fault_plan))
     metrics = MetricsRegistry() if args.metrics else None
     print(f"deeprh serve: listening on {args.socket} "
           f"(max {args.max_inflight} inflight + {args.max_queue} queued); "

@@ -129,6 +129,26 @@ class CampaignCancelled(ReproError):
         self.reason = reason
 
 
+class CampaignParked(ReproError):
+    """The resource governor parked a campaign instead of letting it crash.
+
+    The final rung of the degradation ladder: completed modules are
+    checkpointed, a ``parked.json`` resume manifest is published next to
+    them, and the run stops cleanly.  Re-running the same campaign with
+    ``--resume`` (once pressure clears) picks up the remaining modules
+    and produces byte-identical results.
+    """
+
+    def __init__(self, message: str, checkpoint_dir: str = "",
+                 completed: int = 0, remaining: int = 0,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.checkpoint_dir = checkpoint_dir
+        self.completed = completed
+        self.remaining = remaining
+        self.reason = reason
+
+
 class CheckpointCorruptionError(ReproError):
     """A checkpoint file failed its integrity check (sha256/length).
 

@@ -116,6 +116,28 @@ class SharedMatrixCache:
                 self._cache.popitem(last=False)
                 metrics.counter("oracle.shared_cache.evicted").inc()
 
+    def resize(self, entries: int) -> int:
+        """Shrink (or re-grow) the LRU bound in place; returns evictions.
+
+        The resource governor's *shrink-caches* rung lands here: clamping
+        the bound evicts the oldest entries immediately, releasing their
+        matrices to the allocator.  Growing the bound back is free.
+        Entries only change where matrices come from, never their bytes,
+        so resizing mid-service is invisible to result determinism.
+        """
+        if entries < 1:
+            raise ValueError("shared matrix cache needs at least one entry")
+        metrics = get_metrics()
+        evicted = 0
+        with self._lock:
+            self.entries = int(entries)
+            while len(self._cache) > self.entries:
+                self._cache.popitem(last=False)
+                evicted += 1
+        if evicted:
+            metrics.counter("oracle.shared_cache.evicted").inc(evicted)
+        return evicted
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._cache)

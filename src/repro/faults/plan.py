@@ -56,23 +56,33 @@ SITES: Dict[str, Tuple[str, ...]] = {
     # rolled inside worker processes, keyed by (module_id, dispatch), so a
     # requeued module re-rolls and the campaign converges.
     "campaign.worker": ("crash", "hang"),
-    # Zero-copy data-plane fault: the worker dies *after* publishing its
-    # result into a shared-memory segment but before reporting it — the
-    # parent must requeue the module and sweep the orphaned segment.
-    # Rolled inside workers, keyed by (module_id, dispatch) like
-    # campaign.worker so requeued dispatches re-roll.
-    "campaign.shm": ("crash",),
+    # Zero-copy data-plane faults: "crash" kills the worker *after* it
+    # published its result into a shared-memory segment but before
+    # reporting it — the parent must requeue the module and sweep the
+    # orphaned segment.  "exhausted" simulates /dev/shm running out of
+    # space at publish time: the worker must fall back to the pickled
+    # data plane in-band instead of dying.  Rolled inside workers, keyed
+    # by (module_id, dispatch) like campaign.worker so requeued
+    # dispatches re-roll.
+    "campaign.shm": ("crash", "exhausted"),
     # Checkpoint publish fails mid-write with a full disk (ENOSPC): the
     # temp file is left torn and the raise must not leak it nor journal
     # an unverifiable entry.  Keyed by (module_id, publish-count).
     "checkpoint.publish": ("enospc",),
     # Service-level faults for chaos-testing `deeprh serve`: an incoming
-    # connection is dropped before its first request is read, an accepted
-    # request is rejected (429-style) or aborted mid-run, or one streamed
-    # response write fails like a closed peer socket.
-    "serve.accept": ("drop",),
+    # connection is dropped before its first request is read ("drop") or
+    # the accept path hits a transient descriptor-exhaustion error that
+    # the loop must survive ("emfile"); an accepted request is rejected
+    # (429-style) or aborted mid-run; or one streamed response write
+    # fails like a closed peer socket.
+    "serve.accept": ("drop", "emfile"),
     "serve.request": ("reject", "abort"),
     "serve.stream": ("drop",),
+    # Resource-governor fault: one assessment observes synthetic RSS
+    # pressure above budget, forcing the degradation ladder to climb one
+    # rung.  Rolled in the parent (or service) process only, keyed by the
+    # assessment counter.
+    "governor.rss": ("pressure",),
 }
 
 

@@ -12,6 +12,21 @@ from repro.runner.campaign import (
     QuarantineRecord,
 )
 from repro.runner.cancel import CancelToken
+from repro.runner.governor import (
+    RUNG_NAMES,
+    RUNG_NORMAL,
+    RUNG_PARK,
+    RUNG_PICKLE_PLANE,
+    RUNG_SERIAL,
+    RUNG_SHED,
+    RUNG_SHRINK_CACHES,
+    GovernorBudgets,
+    GovernorPolicy,
+    ResourceGovernor,
+    SystemProbes,
+    build_governor,
+    rung_name,
+)
 from repro.runner.checkpoint import (
     CHECKPOINT_FORMAT,
     CheckpointAudit,
@@ -49,10 +64,21 @@ __all__ = [
     "CorruptionRecord",
     "Deadline",
     "FATAL_FAULT_KINDS",
+    "GovernorBudgets",
+    "GovernorPolicy",
     "QuarantineRecord",
     "RETRYABLE_ERRORS",
+    "RUNG_NAMES",
+    "RUNG_NORMAL",
+    "RUNG_PARK",
+    "RUNG_PICKLE_PLANE",
+    "RUNG_SERIAL",
+    "RUNG_SHED",
+    "RUNG_SHRINK_CACHES",
+    "ResourceGovernor",
     "RetryPolicy",
     "StudyAdapter",
+    "SystemProbes",
     "SupervisionEvent",
     "SupervisionLog",
     "SupervisorPolicy",
@@ -60,6 +86,8 @@ __all__ = [
     "WallClock",
     "adapter_for",
     "audit_checkpoint_dir",
+    "build_governor",
     "call_with_retry",
     "config_fingerprint",
+    "rung_name",
 ]

@@ -29,6 +29,9 @@ values an undisturbed run produces — resilience never changes the science.
 
 from __future__ import annotations
 
+import errno
+import json
+import pathlib
 import shutil
 import tempfile
 from dataclasses import dataclass, field
@@ -36,7 +39,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import StudyConfig
 from repro.dram.catalog import ModuleSpec
-from repro.errors import ConfigError, RetryExhaustedError, SubstrateFault
+from repro.errors import (
+    CampaignParked,
+    ConfigError,
+    RetryExhaustedError,
+    SubstrateFault,
+)
 from repro.faults.injector import perform_worker_fault
 from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
 from repro.obs import (
@@ -56,6 +64,11 @@ from repro.runner.checkpoint import (
     CheckpointStore,
     CorruptionRecord,
     PathLike,
+)
+from repro.runner.governor import (
+    RUNG_SERIAL,
+    ResourceGovernor,
+    rung_name,
 )
 from repro.runner.retry import RetryPolicy, VirtualClock, call_with_retry
 from repro.runner.supervisor import (
@@ -115,6 +128,8 @@ class CampaignOutcome:
         default_factory=list)
     #: Old ``*.corrupt`` quarantine generations pruned on resume.
     checkpoint_pruned: List[str] = field(default_factory=list)
+    #: Resource-governor snapshot at campaign end (None when ungoverned).
+    governor: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -150,6 +165,13 @@ class CampaignOutcome:
             lines.append(f"  ckpt:    pruned "
                          f"{len(self.checkpoint_pruned)} old quarantine "
                          f"file(s): {', '.join(self.checkpoint_pruned)}")
+        if self.governor is not None and (self.governor.get("escalations")
+                                          or self.governor.get("recoveries")):
+            lines.append(
+                f"  governor: peak rung {self.governor['peak_rung']}, "
+                f"{self.governor['escalations']} escalation(s), "
+                f"{self.governor['recoveries']} recovery(ies); "
+                f"final rung {self.governor['rung']}")
         if self.fault_plan is not None:
             histogram = self.fault_plan.log.by_site_kind()
             summary = ", ".join(f"{label}: {fires}"
@@ -182,7 +204,9 @@ class CampaignRunner:
                  on_supervision: Optional[Callable] = None,
                  data_plane: str = "auto",
                  shared_cache_entries: Optional[int] = None,
-                 row_cache_rows: Optional[int] = None) -> None:
+                 row_cache_rows: Optional[int] = None,
+                 governor: Optional[ResourceGovernor] = None,
+                 journal_max_entries: Optional[int] = None) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         if data_plane not in ("auto", "shm", "pickle"):
@@ -224,6 +248,14 @@ class CampaignRunner:
         #: process before the module runs.
         self.shared_cache_entries = shared_cache_entries
         self.row_cache_rows = row_cache_rows
+        #: Optional resource governor: budgets are assessed at unit/module
+        #: boundaries (serial) and supervision ticks (parallel), and the
+        #: degradation ladder adjusts transport/parallelism/caching
+        #: without ever changing result bytes.  Parent-process only — the
+        #: ladder steers dispatch, never the science inside workers.
+        self.governor = governor
+        #: Checkpoint journal compaction bound (None = store default).
+        self.journal_max_entries = journal_max_entries
         # Jitter streams are derived from the config seed, one per unit id,
         # so the retry schedule is reproducible and order-independent.
         self._tree = SeedSequenceTree(config.seed, "campaign")
@@ -239,25 +271,81 @@ class CampaignRunner:
         if self.checkpoint_dir is not None:
             store = CheckpointStore(self.checkpoint_dir, study, self.config,
                                     resume=self.resume,
-                                    faults=self.fault_plan)
+                                    faults=self.fault_plan,
+                                    journal_max_entries=
+                                    self.journal_max_entries)
             corruption = list(store.corrupted)
             pruned = list(store.pruned_corrupt)
         specs = list(specs) if specs is not None \
             else self.config.module_specs()
         stats = CampaignStats(modules_requested=len(specs),
                               checkpoints_quarantined=len(corruption))
-        if self.workers > 1:
+        workers = self.workers
+        if self.governor is not None:
+            if self.checkpoint_dir is not None:
+                self.governor.attach_disk_path(str(self.checkpoint_dir))
+            # One assessment up front so a campaign started under pressure
+            # begins on the right rung instead of discovering it mid-run.
+            self.governor.assess()
+            workers = self.governor.effective_workers(workers)
+        if workers > 1:
             return self._run_parallel(adapter, study, specs, store, stats,
                                       corruption, pruned)
         metrics = get_metrics()
-        modules: List[object] = []
+        completed: Dict[str, object] = {}
         quarantined: List[QuarantineRecord] = []
+        self._run_specs_serially(adapter, study, specs, store, stats,
+                                 completed, quarantined, metrics)
+        modules = [completed[spec.module_id] for spec in specs
+                   if spec.module_id in completed]
+        stats.backoff_slept_s = getattr(self.clock, "slept_s", 0.0)
+        self._clear_park_manifest(store)
+        return CampaignOutcome(study=study, config=self.config,
+                               result=adapter.make_result(modules),
+                               quarantined=quarantined, stats=stats,
+                               fault_plan=self.fault_plan,
+                               checkpoint_corruption=corruption,
+                               checkpoint_pruned=pruned,
+                               governor=self.governor.snapshot()
+                               if self.governor is not None else None)
+
+    # ------------------------------------------------------------------
+    # Serial execution (also the parallel path's degraded continuation)
+    # ------------------------------------------------------------------
+    def _run_specs_serially(self, adapter: StudyAdapter, study: str,
+                            specs: Sequence[ModuleSpec],
+                            store: Optional[CheckpointStore],
+                            stats: CampaignStats,
+                            completed: Dict[str, object],
+                            quarantined: List[QuarantineRecord],
+                            metrics,
+                            all_specs: Optional[Sequence[ModuleSpec]]
+                            = None) -> None:
+        """Run ``specs`` in order, filling ``completed`` keyed by module.
+
+        Shared between the serial path and the governed continuation of a
+        degraded parallel run: module results are identical either way, so
+        the ladder can hand work from one to the other mid-campaign.
+        ``all_specs`` (when given) is the campaign's full spec list, so a
+        park manifest written mid-continuation accounts for every module,
+        not just the remaining ones.
+        """
+        manifest_specs = all_specs if all_specs is not None else specs
         for spec in specs:
             cancel_mod.check(self.cancel)
             module_id = spec.module_id
+            if self.governor is not None:
+                self.governor.tick()
+                if self.governor.should_park():
+                    self._park(study, manifest_specs, store, completed,
+                               quarantined,
+                               f"rung {rung_name(self.governor.rung())} "
+                               f"before module {module_id}")
+            if module_id in completed:
+                continue
             if store is not None and store.has(module_id):
                 payload = store.load(module_id)
-                modules.append(adapter.from_dict(payload))
+                completed[module_id] = adapter.from_dict(payload)
                 stats.modules_resumed += 1
                 metrics.counter("campaign.modules_resumed").inc()
                 if self.on_module is not None:
@@ -271,22 +359,104 @@ class CampaignRunner:
                     attempts=error.attempts, cause=repr(error.last_cause)))
                 metrics.counter("campaign.modules_quarantined").inc()
                 continue
-            modules.append(module_result)
-            stats.modules_completed += 1
-            metrics.counter("campaign.modules_completed").inc()
             if store is not None or self.on_module is not None:
                 payload = adapter.to_dict(module_result)
                 if store is not None:
-                    store.save(module_id, payload)
+                    self._save_checkpoint(store, module_id, payload, study,
+                                          manifest_specs, completed,
+                                          quarantined)
                 if self.on_module is not None:
                     self.on_module(module_id, payload, False)
-        stats.backoff_slept_s = getattr(self.clock, "slept_s", 0.0)
-        return CampaignOutcome(study=study, config=self.config,
-                               result=adapter.make_result(modules),
-                               quarantined=quarantined, stats=stats,
-                               fault_plan=self.fault_plan,
-                               checkpoint_corruption=corruption,
-                               checkpoint_pruned=pruned)
+            completed[module_id] = module_result
+            stats.modules_completed += 1
+            metrics.counter("campaign.modules_completed").inc()
+
+    def _save_checkpoint(self, store: CheckpointStore, module_id: str,
+                         payload: Dict, study: str,
+                         specs: Sequence[ModuleSpec],
+                         completed: Dict[str, object],
+                         quarantined: List[QuarantineRecord]) -> None:
+        """Persist one module; a full disk escalates to park, not a crash.
+
+        ENOSPC from the publish (real or injected via
+        ``checkpoint.publish:enospc``) means no further module can be made
+        durable — retrying would only tear more temp files.  With a
+        governor the campaign parks on what is already checkpointed; the
+        failed module simply re-runs on resume.  Without a governor the
+        error propagates exactly as before.
+        """
+        try:
+            store.save(module_id, payload)
+        except OSError as error:
+            if error.errno == errno.ENOSPC and self.governor is not None:
+                self.governor.record_enospc(module_id)
+                self._park(study, specs, store, completed, quarantined,
+                           f"checkpoint ENOSPC at {module_id}")
+            raise
+
+    def _park(self, study: str, specs: Sequence[ModuleSpec],
+              store: Optional[CheckpointStore],
+              completed: Dict[str, object],
+              quarantined: List[QuarantineRecord],
+              reason: str) -> None:
+        """Last rung: publish a resume manifest and stop cleanly.
+
+        Everything checkpointed so far stays durable and verified;
+        ``parked.json`` records what remains so an operator (or `deeprh
+        serve`) can resume once pressure clears.  Raises
+        :class:`~repro.errors.CampaignParked` — never returns.
+        """
+        quarantined_ids = {record.module_id for record in quarantined}
+        if store is not None:
+            done = [spec.module_id for spec in specs
+                    if store.has(spec.module_id)]
+        else:
+            done = [spec.module_id for spec in specs
+                    if spec.module_id in completed]
+        remaining = [spec.module_id for spec in specs
+                     if spec.module_id not in done
+                     and spec.module_id not in quarantined_ids]
+        directory = str(self.checkpoint_dir) \
+            if self.checkpoint_dir is not None else ""
+        if directory:
+            manifest = {
+                "study": study,
+                "preset": self.config.name,
+                "seed": self.config.seed,
+                "reason": reason,
+                "completed": sorted(done),
+                "remaining": remaining,
+                "governor": self.governor.snapshot()
+                if self.governor is not None else None,
+                "resume": f"re-run with --checkpoint-dir {directory} "
+                          "--resume once resources recover",
+            }
+            try:
+                (pathlib.Path(directory) / "parked.json").write_text(
+                    json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+            except OSError:
+                # A manifest that cannot be written (e.g. the very ENOSPC
+                # that parked us) must not mask the park itself; the
+                # checkpoint journal still names every completed module.
+                pass
+        get_metrics().counter("campaign.parked").inc()
+        raise CampaignParked(
+            f"campaign parked by resource governor ({reason}): "
+            f"{len(done)} module(s) checkpointed, {len(remaining)} "
+            "remaining; resume with --resume once resources recover",
+            checkpoint_dir=directory, completed=len(done),
+            remaining=len(remaining), reason=reason)
+
+    def _clear_park_manifest(self, store: Optional[CheckpointStore]) -> None:
+        """Drop a stale ``parked.json`` once a campaign runs to the end."""
+        if self.checkpoint_dir is None:
+            return
+        manifest = pathlib.Path(str(self.checkpoint_dir)) / "parked.json"
+        try:
+            manifest.unlink()
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # Parallel execution across modules
@@ -299,10 +469,18 @@ class CampaignRunner:
         counters, which would silently change which units fault.  Pure
         rate-based specs decide from ``(seed, site, kind, key)`` alone and
         are order-independent, so they parallelize exactly.
+
+        Sites rolled only in the parent process (checkpoint publishes, the
+        resource governor, the serve layer) keep a single campaign-wide
+        counter regardless of worker count, so their windowed specs stay
+        reproducible and are allowed through.
         """
         if self.fault_plan is None:
             return
+        parent_rolled = ("checkpoint.", "governor.", "serve.")
         for spec in self.fault_plan.specs:
+            if spec.site.startswith(parent_rolled):
+                continue
             if spec.after > 0 or spec.max_fires is not None:
                 raise ConfigError(
                     "fault specs using 'after' or 'max_fires' count "
@@ -349,6 +527,8 @@ class CampaignRunner:
         plane = self.data_plane
         if plane == "auto":
             plane = shm.default_plane(self.workers)
+        if self.governor is not None:
+            plane = self.governor.effective_plane(plane)
         token = shm.campaign_token(self.config.seed, shm.next_nonce()) \
             if plane == "shm" else None
 
@@ -357,6 +537,7 @@ class CampaignRunner:
         lost_by_module: Dict[str, object] = {}
         first_error: Optional[BaseException] = None
         supervision_cancelled = False
+        degraded_reason = ""
         if pending:
             # Workers mirror the parent's observation state: each traces
             # into its own recorders and ships them home in the report.
@@ -377,9 +558,24 @@ class CampaignRunner:
                     arena = None
 
             def make_task(spec: ModuleSpec, dispatch: int) -> "_WorkerTask":
+                # Governed dispatch: the ladder is consulted per dispatch,
+                # so a requeue after a mid-run escalation ships with the
+                # degraded transport/caching while earlier dispatches keep
+                # theirs — results are byte-identical either way.
+                governor = self.governor
+                entries = self.shared_cache_entries
+                rows = self.row_cache_rows
+                task_arena = arena
+                use_shm = token is not None
+                if governor is not None:
+                    entries = governor.cache_entries_for(entries)
+                    rows = governor.row_cache_rows_for(rows)
+                    if not governor.arena_allowed():
+                        task_arena = None
+                    if governor.plane_degraded():
+                        use_shm = False
                 shm_name = shm.segment_name(token, spec.module_id,
-                                            dispatch) \
-                    if token is not None else None
+                                            dispatch) if use_shm else None
                 return _WorkerTask(study=study, config=self.config,
                                    spec=spec, retry=self.retry,
                                    fault_seed=fault_seed,
@@ -387,15 +583,14 @@ class CampaignRunner:
                                    dispatch=dispatch,
                                    observe=observe,
                                    shm_name=shm_name,
-                                   shared_cache_entries=
-                                   self.shared_cache_entries,
-                                   row_cache_rows=self.row_cache_rows,
-                                   arena_name=arena.name
-                                   if arena is not None else None,
-                                   arena_index=arena.index_path
-                                   if arena is not None else None,
-                                   arena_lock=arena.lock_path
-                                   if arena is not None else None)
+                                   shared_cache_entries=entries,
+                                   row_cache_rows=rows,
+                                   arena_name=task_arena.name
+                                   if task_arena is not None else None,
+                                   arena_index=task_arena.index_path
+                                   if task_arena is not None else None,
+                                   arena_lock=task_arena.lock_path
+                                   if task_arena is not None else None)
 
             on_report = None
             if token is not None or self.on_module is not None:
@@ -407,11 +602,26 @@ class CampaignRunner:
                             and report.get("status") == "ok":
                         self.on_module(module_id, report["payload"], False)
 
+            on_tick = None
+            if self.governor is not None:
+                governor = self.governor
+
+                def on_tick() -> Optional[str]:
+                    # The supervision tick doubles as the governor's
+                    # heartbeat while workers run; at rung *serial* (or
+                    # worse) parallel dispatch stands down and the runner
+                    # continues on the serial path below.
+                    rung = governor.tick()
+                    if rung >= RUNG_SERIAL:
+                        return f"governor rung {rung_name(rung)}"
+                    return None
+
             try:
                 outcome = CampaignSupervisor(
                     _run_module_worker, make_task, workers=self.workers,
                     policy=self.supervisor, log=supervision,
-                    cancel=self.cancel, on_report=on_report).run(pending)
+                    cancel=self.cancel, on_report=on_report,
+                    on_tick=on_tick).run(pending)
             finally:
                 if token is not None:
                     # Crash hygiene: unlink every segment any dispatch
@@ -433,16 +643,16 @@ class CampaignRunner:
             lost_by_module = {err.module_id: err for err in outcome.lost}
             first_error = outcome.first_error
             supervision_cancelled = outcome.cancelled
+            degraded_reason = outcome.degraded_reason
         stats.modules_requeued = supervision.count("requeue")
         stats.workers_respawned = supervision.count("respawn")
 
-        modules: List[object] = []
+        completed: Dict[str, object] = dict(resumed)
         quarantined: List[QuarantineRecord] = []
         worker_slept = 0.0
         for spec in specs:
             module_id = spec.module_id
             if module_id in resumed:
-                modules.append(resumed[module_id])
                 continue
             report = reports.get(module_id)
             if report is None:
@@ -476,27 +686,58 @@ class CampaignRunner:
                     attempts=report["attempts"], cause=report["cause"]))
                 metrics.counter("campaign.modules_quarantined").inc()
                 continue
+            if report.get("plane_degraded"):
+                # The worker's shm publish failed (real or injected) and
+                # it fell back to the pickled plane in-band.  Latch the
+                # ladder so no further dispatch targets a full tmpfs.
+                metrics.counter("campaign.shm.exhausted").inc()
+                if self.governor is not None:
+                    self.governor.record_shm_exhausted(module_id)
             payload = report["payload"]
-            modules.append(adapter.from_dict(payload))
+            completed[module_id] = adapter.from_dict(payload)
             stats.modules_completed += 1
             metrics.counter("campaign.modules_completed").inc()
             if store is not None and not report.get("persisted"):
-                store.save(module_id, payload)
+                self._save_checkpoint(store, module_id, payload, study,
+                                      specs, completed, quarantined)
         if first_error is not None:
             raise first_error
         if supervision_cancelled:
             # Completed reports reached the checkpoint store above, so the
             # cancelled campaign is resumable up to the last full module.
             cancel_mod.check(self.cancel)
+        if degraded_reason:
+            # The governor stood parallel dispatch down.  Park right away
+            # at the last rung; otherwise finish the remaining modules on
+            # the serial path (which keeps ticking the governor and can
+            # itself escalate to park).
+            accounted = set(completed) | {record.module_id
+                                          for record in quarantined}
+            remaining = [spec for spec in specs
+                         if spec.module_id not in accounted]
+            if remaining:
+                if self.governor is not None and self.governor.should_park():
+                    self._park(study, specs, store, completed, quarantined,
+                               degraded_reason)
+                metrics.counter("campaign.governor.serialized").inc(
+                    len(remaining))
+                self._run_specs_serially(adapter, study, remaining, store,
+                                         stats, completed, quarantined,
+                                         metrics, all_specs=specs)
+        modules = [completed[spec.module_id] for spec in specs
+                   if spec.module_id in completed]
         stats.backoff_slept_s = (getattr(self.clock, "slept_s", 0.0)
                                  + worker_slept)
+        self._clear_park_manifest(store)
         return CampaignOutcome(study=study, config=self.config,
                                result=adapter.make_result(modules),
                                quarantined=quarantined, stats=stats,
                                fault_plan=self.fault_plan,
                                supervision=supervision,
                                checkpoint_corruption=corruption,
-                               checkpoint_pruned=pruned)
+                               checkpoint_pruned=pruned,
+                               governor=self.governor.snapshot()
+                               if self.governor is not None else None)
 
     # ------------------------------------------------------------------
     def _reclaim_report(self, study: str, module_id: str, report: dict,
@@ -553,6 +794,11 @@ class CampaignRunner:
 
     def _run_unit(self, unit: str, stats: CampaignStats, fn):
         stats.units_run += 1
+        if self.governor is not None:
+            # Unit boundaries are the serial path's supervision ticks: the
+            # rung may climb mid-module, but park only happens between
+            # modules (a half-run module is simply not durable yet).
+            self.governor.tick()
 
         def attempt_once(attempt: int):
             if attempt > 1:
@@ -706,17 +952,33 @@ def _run_module_worker(task: _WorkerTask) -> dict:
                 blob = gridblob.encode_module(
                     payload, study=task.study,
                     module_id=task.spec.module_id)
-                descriptor = shm.publish(task.shm_name, blob)
+                event = None
                 if plan is not None:
                     event = plan.roll("campaign.shm",
                                       task.spec.module_id,
                                       f"dispatch{task.dispatch}")
-                    if event is not None:
-                        # Die mid-publish: the segment exists but the
-                        # report never arrives — the parent must requeue
-                        # this module and sweep the orphan.
-                        perform_worker_fault(event)
-                report["shm"] = descriptor
+                if event is not None and event.kind == "exhausted":
+                    # Injected /dev/shm exhaustion: fall back to the
+                    # pickled plane in-band — same payload bytes, just a
+                    # slower ride home — and tell the parent so its
+                    # governor can latch the ladder.
+                    report["payload"] = payload
+                    report["plane_degraded"] = "injected shm exhaustion"
+                else:
+                    try:
+                        descriptor = shm.publish(task.shm_name, blob)
+                    except OSError as error:
+                        # Real tmpfs pressure degrades identically.
+                        report["payload"] = payload
+                        report["plane_degraded"] = \
+                            f"shm publish failed ({error})"
+                    else:
+                        if event is not None:
+                            # Die mid-publish: the segment exists but the
+                            # report never arrives — the parent must
+                            # requeue this module and sweep the orphan.
+                            perform_worker_fault(event)
+                        report["shm"] = descriptor
             else:
                 report["payload"] = payload
     report["stats"] = stats

@@ -63,6 +63,14 @@ SUPPORTED_FORMATS = (1, 2, 3)
 
 JOURNAL = "journal.jsonl"
 
+#: Default journal-compaction threshold: once the on-disk ``journal.jsonl``
+#: holds more lines than this *and* carries dead weight (superseded or torn
+#: lines), it is rewritten atomically with only the live module records.
+#: Long campaigns re-publish modules across requeues, migrations and
+#: resumes; without a bound the append-only journal would grow without
+#: limit on exactly the runs that need disk headroom most.
+DEFAULT_JOURNAL_MAX_ENTRIES = 512
+
 #: Quarantined ``*.corrupt`` files kept per module; older generations are
 #: pruned on open so repeated corrupt/resume cycles cannot accumulate
 #: unbounded forensic debris.
@@ -158,10 +166,23 @@ class CheckpointStore:
     MANIFEST = "manifest.json"
 
     def __init__(self, directory: PathLike, study: str, config: StudyConfig,
-                 resume: bool = False, faults=None) -> None:
+                 resume: bool = False, faults=None,
+                 journal_max_entries: Optional[int] = None) -> None:
         self.directory = pathlib.Path(directory)
         self.study = study
         self.fingerprint = config_fingerprint(study, config)
+        if journal_max_entries is not None and journal_max_entries < 1:
+            raise ConfigError("journal_max_entries must be >= 1 (or None "
+                              "for the default)")
+        #: Journal-compaction threshold (lines on disk, including torn
+        #: and superseded ones).
+        self.journal_max_entries = journal_max_entries \
+            if journal_max_entries is not None \
+            else DEFAULT_JOURNAL_MAX_ENTRIES
+        #: Times the journal was compacted during this store's lifetime.
+        self.journal_compactions = 0
+        #: Journal lines currently on disk (live + dead weight).
+        self._journal_lines = 0
         #: Optional :class:`~repro.faults.plan.FaultPlan` armed on the
         #: publish path (``checkpoint.publish`` site).
         self.faults = faults
@@ -239,6 +260,7 @@ class CheckpointStore:
             line = line.strip()
             if not line:
                 continue
+            self._journal_lines += 1
             try:
                 entry = json.loads(line)
             except ValueError:
@@ -394,6 +416,31 @@ class CheckpointStore:
         if created:
             _fsync_dir(self.directory)
         self._journal[module_id] = entry
+        self._journal_lines += 1
+        self._maybe_compact_journal()
+
+    def _maybe_compact_journal(self) -> None:
+        """Bound ``journal.jsonl``: rewrite it with only live records.
+
+        Compaction happens at publish time, once the line count exceeds
+        :attr:`journal_max_entries` *and* dead weight exists (lines beyond
+        the live last-wins records — superseded entries, torn appends).
+        When every line is live the journal is already minimal; rewriting
+        it would be pure churn, so an over-threshold but dead-weight-free
+        journal is left alone.  The rewrite itself is atomic (temp file +
+        rename), so a crash mid-compaction leaves the old journal intact.
+        """
+        if self._journal_lines <= self.journal_max_entries:
+            return
+        if self._journal_lines <= len(self._journal):
+            return
+        lines = [json.dumps(self._journal[module_id], sort_keys=True)
+                 for module_id in sorted(self._journal)]
+        data = ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+        _write_atomic_bytes(self.directory / JOURNAL, data)
+        self._journal_lines = len(lines)
+        self.journal_compactions += 1
+        get_metrics().counter("checkpoint.journal_compacted").inc()
 
     # ------------------------------------------------------------------
     def module_path(self, module_id: str) -> pathlib.Path:

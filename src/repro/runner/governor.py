@@ -1,0 +1,498 @@
+"""Process-wide resource governor driving a deterministic degradation ladder.
+
+Long sensitivity sweeps (the paper's 272-chip characterization scaled into
+a service) die ugly deaths under resource pressure: RSS creeps past the
+cgroup limit, ``/dev/shm`` fills with data-plane segments, the descriptor
+table runs out under connection churn, or the checkpoint volume hits
+ENOSPC mid-publish.  Instead of crashing, the governor walks a fixed
+**degradation ladder** — each rung trades throughput for head-room while
+preserving byte-determinism (every module result is a pure function of
+``(seed, spec)``; rungs only change *how* work is transported and
+scheduled, never *what* is computed):
+
+====  =============== ====================================================
+rung  name            action
+====  =============== ====================================================
+0     normal          full configuration
+1     shrink-caches   SharedMatrixCache / row caches clamp to a small
+                      bound; the SharedArena cross-process tier is dropped
+2     pickle-plane    zero-copy shm data plane falls back to pickled
+                      results (no new ``/dev/shm`` segments)
+3     serial          parallel dispatch stops; remaining modules run
+                      in-process, in spec order
+4     shed            ``deeprh serve`` refuses new campaigns with an
+                      explicit 429-style ``shed`` verdict
+5     park            the campaign checkpoints, publishes a resume
+                      manifest (``parked.json``) and stops cleanly
+====  =============== ====================================================
+
+Budgets are compared against **injectable probes** (defaulting to
+``/proc`` readers), so tests and chaos drills script pressure exactly;
+the ``governor.rss:pressure`` fault site injects synthetic RSS pressure
+through the same seeded :class:`~repro.faults.plan.FaultPlan` machinery
+as every other failure mode.  The governor never reads the wall clock —
+escalation and recovery are paced by *assessment counts* (every
+``assess_every`` ticks), keeping it legal outside the lint wallclock
+allowlist and deterministic under test.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.obs import get_metrics, get_tracer
+
+# Degradation-ladder rungs, mildest to last-resort.  Order is load-bearing:
+# every escalation moves to the max of the rungs demanded by each breached
+# budget, and recovery steps down one rung at a time.
+RUNG_NORMAL = 0
+RUNG_SHRINK_CACHES = 1
+RUNG_PICKLE_PLANE = 2
+RUNG_SERIAL = 3
+RUNG_SHED = 4
+RUNG_PARK = 5
+
+RUNG_NAMES = ("normal", "shrink-caches", "pickle-plane", "serial",
+              "shed", "park")
+
+
+def rung_name(rung: int) -> str:
+    """Human label for a rung index (clamped into the ladder)."""
+    return RUNG_NAMES[max(RUNG_NORMAL, min(int(rung), RUNG_PARK))]
+
+
+@dataclass(frozen=True)
+class GovernorBudgets:
+    """Resource ceilings; ``None`` means "unlimited" for that resource.
+
+    ``disk_free_bytes`` is a *floor* on free space in the checkpoint
+    directory's filesystem (headroom), the others are ceilings on usage.
+    """
+
+    rss_bytes: Optional[int] = None
+    shm_bytes: Optional[int] = None
+    open_fds: Optional[int] = None
+    disk_free_bytes: Optional[int] = None
+    cache_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for field in ("rss_bytes", "shm_bytes", "open_fds",
+                      "disk_free_bytes", "cache_entries"):
+            value = getattr(self, field)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ConfigError(
+                    f"governor budget {field} must be a positive integer "
+                    f"or None, got {value!r}")
+
+    def any_set(self) -> bool:
+        return any(getattr(self, field) is not None for field in
+                   ("rss_bytes", "shm_bytes", "open_fds",
+                    "disk_free_bytes", "cache_entries"))
+
+
+@dataclass(frozen=True)
+class GovernorPolicy:
+    """Pacing and shrink targets for the ladder.
+
+    ``assess_every`` spaces full probe assessments to one per N ticks
+    (ticks are cheap and happen at unit/module/poll boundaries);
+    ``recover_after`` consecutive all-clear assessments step the ladder
+    down one rung.  The shrink targets are the clamped cache bounds at
+    rung ``shrink-caches`` and above.
+    """
+
+    assess_every: int = 8
+    recover_after: int = 3
+    shrunk_cache_entries: int = 64
+    shrunk_row_cache_rows: int = 64
+
+    def __post_init__(self) -> None:
+        for field in ("assess_every", "recover_after",
+                      "shrunk_cache_entries", "shrunk_row_cache_rows"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ConfigError(
+                    f"governor policy {field} must be a positive integer, "
+                    f"got {value!r}")
+
+
+class SystemProbes:
+    """Default resource probes reading ``/proc`` and friends.
+
+    Every reading is a plain integer; a probe that cannot read its source
+    (non-Linux, restricted /proc) returns 0, which never breaches a
+    budget — the governor degrades to "blind" on that axis rather than
+    crashing the campaign it is supposed to protect.
+    """
+
+    SHM_DIR = "/dev/shm"
+    SHM_PREFIX = "drh"
+
+    def rss_bytes(self) -> int:
+        try:
+            with open("/proc/self/status", "r", encoding="ascii",
+                      errors="replace") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        return int(line.split()[1]) * 1024
+        except (OSError, ValueError, IndexError):
+            pass
+        try:
+            import resource
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            return int(usage.ru_maxrss) * 1024
+        except Exception:
+            return 0
+        return 0
+
+    def open_fds(self) -> int:
+        try:
+            return len(sorted(os.listdir("/proc/self/fd")))
+        except OSError:
+            return 0
+
+    def shm_bytes(self) -> int:
+        """Bytes held by this library's ``/dev/shm`` data-plane segments."""
+        total = 0
+        try:
+            names = sorted(os.listdir(self.SHM_DIR))
+        except OSError:
+            return 0
+        for name in names:
+            if not name.startswith(self.SHM_PREFIX):
+                continue
+            try:
+                total += os.stat(os.path.join(self.SHM_DIR, name)).st_size
+            except OSError:
+                continue
+        return total
+
+    def disk_free_bytes(self, path: str) -> int:
+        try:
+            return int(shutil.disk_usage(path).free)
+        except OSError:
+            return 0
+
+    def cache_entries(self) -> int:
+        from repro.faultmodel.batch import shared_matrix_cache
+        cache = shared_matrix_cache()
+        return len(cache) if cache is not None else 0
+
+
+#: Minimum rung demanded by a breach of each budget axis.  RSS is absent:
+#: memory pressure escalates *progressively* (one rung per breached
+#: assessment) because any rung sheds some memory, while the other axes
+#: map straight to the rung that relieves them.
+_BREACH_RUNGS = {
+    "cache_entries": RUNG_SHRINK_CACHES,
+    "shm_bytes": RUNG_PICKLE_PLANE,
+    "open_fds": RUNG_SERIAL,
+    "disk_free_bytes": RUNG_SHED,
+}
+
+
+class ResourceGovernor:
+    """Tracks budgets against probes and drives the degradation ladder.
+
+    Thread-safe: ``deeprh serve`` ticks it from the event loop's health
+    task while campaign threads tick it at module boundaries.  All state
+    transitions are recorded (bounded) and mirrored to obs counters and
+    the ``governor.rung`` gauge.
+    """
+
+    #: Transition-history bound: enough to show a full climb and descent.
+    MAX_TRANSITIONS = 32
+
+    def __init__(self, budgets: Optional[GovernorBudgets] = None,
+                 probes: Optional[SystemProbes] = None,
+                 policy: Optional[GovernorPolicy] = None,
+                 faults=None, disk_path: Optional[str] = None) -> None:
+        self.budgets = budgets if budgets is not None else GovernorBudgets()
+        self.probes = probes if probes is not None else SystemProbes()
+        self.policy = policy if policy is not None else GovernorPolicy()
+        self.faults = faults
+        self.disk_path = disk_path
+        self._lock = threading.Lock()
+        self._rung = RUNG_NORMAL
+        self._floor = RUNG_NORMAL
+        self._peak = RUNG_NORMAL
+        self._ticks = 0
+        self._assessments = 0
+        self._clear_streak = 0
+        self._escalations = 0
+        self._recoveries = 0
+        self._transitions: List[Dict[str, object]] = []
+        self._last_readings: Dict[str, Dict[str, object]] = {}
+
+    # -- probe plumbing -------------------------------------------------
+    def attach_disk_path(self, path: Optional[str]) -> None:
+        """Point the disk-headroom probe at the checkpoint directory."""
+        with self._lock:
+            self.disk_path = path
+
+    def _read(self) -> Dict[str, Dict[str, object]]:
+        """One reading per budget axis: value, budget, breached flag."""
+        budgets = self.budgets
+        readings: Dict[str, Dict[str, object]] = {}
+
+        def record(axis: str, value: int, budget: Optional[int],
+                   breached: bool) -> None:
+            readings[axis] = {"value": int(value), "budget": budget,
+                              "breached": bool(breached)}
+
+        value = self.probes.rss_bytes() if budgets.rss_bytes is not None \
+            else 0
+        record("rss_bytes", value, budgets.rss_bytes,
+               budgets.rss_bytes is not None and value > budgets.rss_bytes)
+        value = self.probes.shm_bytes() if budgets.shm_bytes is not None \
+            else 0
+        record("shm_bytes", value, budgets.shm_bytes,
+               budgets.shm_bytes is not None and value > budgets.shm_bytes)
+        value = self.probes.open_fds() if budgets.open_fds is not None \
+            else 0
+        record("open_fds", value, budgets.open_fds,
+               budgets.open_fds is not None and value > budgets.open_fds)
+        if budgets.disk_free_bytes is not None and self.disk_path:
+            free = self.probes.disk_free_bytes(self.disk_path)
+            record("disk_free_bytes", free, budgets.disk_free_bytes,
+                   free < budgets.disk_free_bytes)
+        else:
+            record("disk_free_bytes", 0, budgets.disk_free_bytes, False)
+        value = self.probes.cache_entries() \
+            if budgets.cache_entries is not None else 0
+        record("cache_entries", value, budgets.cache_entries,
+               budgets.cache_entries is not None
+               and value > budgets.cache_entries)
+        return readings
+
+    # -- ladder mechanics ----------------------------------------------
+    def _transition(self, rung: int, direction: str, reason: str) -> None:
+        """Record a rung change (caller holds the lock)."""
+        entry = {"assessment": self._assessments,
+                 "from": rung_name(self._rung), "to": rung_name(rung),
+                 "direction": direction, "reason": reason}
+        self._rung = rung
+        self._peak = max(self._peak, rung)
+        if direction == "escalations":
+            self._escalations += 1
+        else:
+            self._recoveries += 1
+        self._transitions.append(entry)
+        del self._transitions[:-self.MAX_TRANSITIONS]
+        metrics = get_metrics()
+        metrics.counter(f"governor.{direction}").inc()
+        metrics.gauge("governor.rung").set(rung)
+
+    def tick(self) -> int:
+        """Cheap heartbeat; runs a full assessment every ``assess_every``.
+
+        Returns the (possibly updated) current rung.
+        """
+        with self._lock:
+            self._ticks += 1
+            due = self._ticks % self.policy.assess_every == 0
+        if due:
+            self.assess()
+        return self.rung()
+
+    def assess(self) -> int:
+        """Probe every budget axis and walk the ladder; returns the rung."""
+        with self._lock:
+            self._assessments += 1
+            index = self._assessments
+        event = None
+        if self.faults is not None:
+            event = self.faults.roll("governor.rss", f"assess{index}")
+        with get_tracer().span("governor.assess", assessment=index):
+            readings = self._read()
+            with self._lock:
+                if event is not None:
+                    # Synthetic RSS pressure: force the axis breached with
+                    # a reading visibly above budget (or the probe value
+                    # when no budget is configured).
+                    budget = self.budgets.rss_bytes
+                    forced = (budget * 2) if budget else (1 << 40)
+                    readings["rss_bytes"] = {
+                        "value": forced, "budget": budget, "breached": True}
+                self._last_readings = readings
+                reasons = []
+                target = self._floor
+                for axis, reading in readings.items():
+                    if not reading["breached"]:
+                        continue
+                    if axis == "rss_bytes":
+                        demanded = min(self._rung + 1, RUNG_PARK)
+                    else:
+                        demanded = _BREACH_RUNGS[axis]
+                    reasons.append(
+                        f"{axis} {reading['value']} vs budget "
+                        f"{reading['budget']}")
+                    target = max(target, demanded)
+                if reasons:
+                    self._clear_streak = 0
+                    if target > self._rung:
+                        self._transition(target, "escalations",
+                                         "; ".join(reasons))
+                else:
+                    self._clear_streak += 1
+                    if (self._clear_streak >= self.policy.recover_after
+                            and self._rung > self._floor):
+                        self._clear_streak = 0
+                        self._transition(
+                            self._rung - 1, "recoveries",
+                            f"{self.policy.recover_after} clear "
+                            "assessments")
+                get_metrics().gauge("governor.rung").set(self._rung)
+                return self._rung
+
+    # -- out-of-band escalations ---------------------------------------
+    def record_enospc(self, detail: str = "") -> None:
+        """A checkpoint publish hit ENOSPC: latch the ladder at *park*.
+
+        Retrying the publish would tear the very state a resume depends
+        on; parking (with whatever is already durable) is the only safe
+        response.
+        """
+        with self._lock:
+            self._floor = max(self._floor, RUNG_PARK)
+            if self._rung < RUNG_PARK:
+                self._transition(RUNG_PARK, "escalations",
+                                 f"checkpoint ENOSPC {detail}".strip())
+            get_metrics().counter("governor.enospc").inc()
+
+    def record_shm_exhausted(self, detail: str = "") -> None:
+        """A worker's shm publish failed: latch at *pickle-plane*.
+
+        The failed dispatch already fell back in-band; latching stops the
+        parent from handing out new segment names into a full tmpfs.
+        """
+        with self._lock:
+            self._floor = max(self._floor, RUNG_PICKLE_PLANE)
+            if self._rung < RUNG_PICKLE_PLANE:
+                self._transition(RUNG_PICKLE_PLANE, "escalations",
+                                 f"shm exhausted {detail}".strip())
+            get_metrics().counter("governor.shm_exhausted").inc()
+
+    # -- ladder queries -------------------------------------------------
+    def rung(self) -> int:
+        with self._lock:
+            return self._rung
+
+    def peak_rung(self) -> int:
+        with self._lock:
+            return self._peak
+
+    def effective_workers(self, requested: int) -> int:
+        return 1 if self.rung() >= RUNG_SERIAL else requested
+
+    def effective_plane(self, plane: str) -> str:
+        return "pickle" if self.rung() >= RUNG_PICKLE_PLANE else plane
+
+    def plane_degraded(self) -> bool:
+        return self.rung() >= RUNG_PICKLE_PLANE
+
+    def cache_entries_for(self, requested: Optional[int]) -> Optional[int]:
+        if self.rung() < RUNG_SHRINK_CACHES:
+            return requested
+        shrunk = self.policy.shrunk_cache_entries
+        return shrunk if requested is None else min(requested, shrunk)
+
+    def row_cache_rows_for(self, requested: Optional[int]) -> Optional[int]:
+        if self.rung() < RUNG_SHRINK_CACHES:
+            return requested
+        shrunk = self.policy.shrunk_row_cache_rows
+        return shrunk if requested is None else min(requested, shrunk)
+
+    def arena_allowed(self) -> bool:
+        return self.rung() < RUNG_SHRINK_CACHES
+
+    def should_shed(self) -> bool:
+        return self.rung() >= RUNG_SHED
+
+    def should_park(self) -> bool:
+        return self.rung() >= RUNG_PARK
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state dump for status/health responses and outcomes."""
+        with self._lock:
+            return {
+                "rung": rung_name(self._rung),
+                "rung_index": self._rung,
+                "peak_rung": rung_name(self._peak),
+                "floor": rung_name(self._floor),
+                "ticks": self._ticks,
+                "assessments": self._assessments,
+                "escalations": self._escalations,
+                "recoveries": self._recoveries,
+                "readings": {axis: dict(reading) for axis, reading
+                             in self._last_readings.items()},
+                "transitions": [dict(t) for t in self._transitions],
+            }
+
+    def render(self) -> str:
+        snap = self.snapshot()
+        lines = [f"governor: rung {snap['rung']} "
+                 f"(peak {snap['peak_rung']}, floor {snap['floor']}, "
+                 f"{snap['assessments']} assessment(s))"]
+        for transition in snap["transitions"]:
+            lines.append(
+                f"  {transition['direction'][:-1]} at assessment "
+                f"{transition['assessment']}: {transition['from']} -> "
+                f"{transition['to']} ({transition['reason']})")
+        return "\n".join(lines)
+
+
+def build_governor(config=None, *, enabled: bool = False,
+                   rss_budget_mb: Optional[int] = None,
+                   shm_budget_mb: Optional[int] = None,
+                   fd_budget: Optional[int] = None,
+                   disk_headroom_mb: Optional[int] = None,
+                   cache_entry_budget: Optional[int] = None,
+                   probes: Optional[SystemProbes] = None,
+                   faults=None) -> Optional[ResourceGovernor]:
+    """Assemble a governor from pyproject config plus CLI overrides.
+
+    Returns ``None`` when governance is neither enabled nor implied by a
+    budget flag — ungoverned campaigns must pay zero overhead.  MB-scale
+    knobs (config and flags) convert to bytes here, once.
+    """
+    def pick(flag: Optional[int], key: str) -> Optional[int]:
+        if flag is not None:
+            return flag
+        return getattr(config, key, None) if config is not None else None
+
+    rss_mb = pick(rss_budget_mb, "rss_budget_mb")
+    shm_mb = pick(shm_budget_mb, "shm_budget_mb")
+    fds = pick(fd_budget, "fd_budget")
+    disk_mb = pick(disk_headroom_mb, "disk_headroom_mb")
+    entries = pick(cache_entry_budget, "cache_entry_budget")
+    flagged = any(value is not None for value in
+                  (rss_budget_mb, shm_budget_mb, fd_budget,
+                   disk_headroom_mb, cache_entry_budget))
+    if not enabled and not flagged:
+        return None
+    budgets = GovernorBudgets(
+        rss_bytes=rss_mb * 1024 * 1024 if rss_mb is not None else None,
+        shm_bytes=shm_mb * 1024 * 1024 if shm_mb is not None else None,
+        open_fds=fds,
+        disk_free_bytes=disk_mb * 1024 * 1024
+        if disk_mb is not None else None,
+        cache_entries=entries)
+    policy_kwargs = {}
+    for key in ("assess_every", "recover_after"):
+        value = getattr(config, key, None) if config is not None else None
+        if value is not None:
+            policy_kwargs[key] = value
+    policy = GovernorPolicy(**policy_kwargs) if policy_kwargs else None
+    return ResourceGovernor(budgets=budgets, probes=probes, policy=policy,
+                            faults=faults)

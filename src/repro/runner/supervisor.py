@@ -56,6 +56,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     "respawn",      # the worker pool was killed and recreated
     "give-up",      # requeue budget spent; module goes to quarantine
     "cancel",       # a CancelToken fired; dispatch stopped cooperatively
+    "degrade",      # the resource governor asked dispatch to stand down
 )
 
 
@@ -178,6 +179,10 @@ class SupervisionResult:
     #: True when a CancelToken stopped dispatch before every module ran;
     #: ``reports`` then holds only the modules that completed in time.
     cancelled: bool = False
+    #: Non-empty when the ``on_tick`` hook (the resource governor) stopped
+    #: parallel dispatch; the runner finishes the remaining modules
+    #: serially (or parks) instead of treating the run as failed.
+    degraded_reason: str = ""
 
 
 @dataclass
@@ -204,7 +209,8 @@ class CampaignSupervisor:
                  workers: int, policy: Optional[SupervisorPolicy] = None,
                  log: Optional[SupervisionLog] = None, clock=None,
                  cancel: Optional[CancelToken] = None,
-                 on_report: Optional[Callable] = None) -> None:
+                 on_report: Optional[Callable] = None,
+                 on_tick: Optional[Callable] = None) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         self.worker_fn = worker_fn
@@ -217,6 +223,12 @@ class CampaignSupervisor:
         #: ``on_report(module_id, report)`` fires as each worker report
         #: arrives — the incremental streaming seam for `deeprh serve`.
         self.on_report = on_report
+        #: ``on_tick()`` runs once per supervision tick and may return a
+        #: reason string to stop parallel dispatch (the resource governor's
+        #: seam).  In-flight modules are abandoned like on cancel — they
+        #: re-run on the degraded path — and the reason travels back on
+        #: :attr:`SupervisionResult.degraded_reason`.
+        self.on_tick = on_tick
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence) -> SupervisionResult:
@@ -235,10 +247,21 @@ class CampaignSupervisor:
         first_error: Optional[BaseException] = None
 
         cancelled = False
+        degraded_reason = ""
         pool = ProcessPoolExecutor(max_workers=self.workers,
                                    initializer=_reset_worker_signals)
         try:
             while queue or in_flight:
+                if self.on_tick is not None:
+                    reason = self.on_tick()
+                    if reason:
+                        # Same shape as cancel: stop dispatching, kill the
+                        # pool, hand back what completed.  The runner owns
+                        # what happens next (serial continuation or park).
+                        self.log.record(SupervisionEvent(
+                            "degrade", detail=reason))
+                        degraded_reason = reason
+                        break
                 if self.cancel is not None and self.cancel.cancelled():
                     # Stop at the tick: nothing new is dispatched, the pool
                     # is killed (in-flight modules simply never complete —
@@ -354,7 +377,8 @@ class CampaignSupervisor:
             _terminate_pool(pool)
         return SupervisionResult(reports=reports, lost=lost,
                                  first_error=first_error, log=self.log,
-                                 cancelled=cancelled)
+                                 cancelled=cancelled,
+                                 degraded_reason=degraded_reason)
 
     # ------------------------------------------------------------------
     def _requeue(self, queue: Deque, entry: _Dispatched,

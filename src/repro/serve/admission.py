@@ -43,6 +43,7 @@ class AdmissionController:
         self.admitted_total = 0
         self.rejected_overloaded = 0
         self.rejected_draining = 0
+        self.rejected_shed = 0
         self.completed_total = 0
         self.draining = False
 
@@ -63,6 +64,16 @@ class AdmissionController:
         metrics.counter("serve.admitted").inc()
         metrics.gauge("serve.queue.depth").set(self.queued)
         return ADMIT
+
+    def record_shed(self) -> None:
+        """The resource governor refused this request before admission.
+
+        Shedding happens *upstream* of :meth:`try_admit` — capacity may
+        exist, but the process is resource-starved — so it keeps its own
+        counter instead of riding ``rejected_overloaded``.
+        """
+        self.rejected_shed += 1
+        get_metrics().counter("serve.rejected.shed").inc()
 
     def begin_run(self) -> None:
         """An admitted request left the queue and started executing."""
@@ -97,4 +108,5 @@ class AdmissionController:
                 "completed": self.completed_total,
                 "rejected_overloaded": self.rejected_overloaded,
                 "rejected_draining": self.rejected_draining,
+                "rejected_shed": self.rejected_shed,
                 "draining": self.draining}

@@ -5,17 +5,49 @@ throughput benchmark each open one plain ``AF_UNIX`` socket per logical
 client and read NDJSON lines until their request concludes.  Concurrency
 in those callers comes from threads or multiple processes, never from
 sharing one client between threads.
+
+Connecting tolerates a slow-starting or briefly-shedding server:
+``connect_retries`` retries refused/reset connections with **seeded**
+exponential backoff (:func:`backoff_delay_s` — same seed and attempt →
+same delay, so chaos tests replay the exact retry schedule).  An
+established connection never auto-reconnects mid-request — replaying a
+campaign submission is not idempotent — but :meth:`ServeClient.reconnect`
+lets a caller rebuild the transport explicitly.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.serve.protocol import canonical_result_bytes
+
+#: Connection errors worth retrying: the socket file does not exist yet
+#: (server still binding), or the server refused/reset the attempt
+#: (accept-dropped under an injected fault, backlog momentarily full).
+_RETRYABLE_CONNECT = (FileNotFoundError, ConnectionRefusedError,
+                      ConnectionResetError)
+
+
+def backoff_delay_s(attempt: int, *, base_s: float = 0.05,
+                    seed: int = 0, cap_s: float = 2.0) -> float:
+    """Deterministic full-jitter exponential backoff for one attempt.
+
+    ``delay = U(0, min(cap, base * 2**attempt))`` with the uniform draw
+    taken from a PRNG seeded by ``(seed, attempt)`` — every retry
+    schedule is a pure function of its inputs, so tests assert on exact
+    delays instead of sleeping real time.
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    ceiling = min(float(cap_s), float(base_s) * (2 ** attempt))
+    rng = random.Random(  # drh: ignore[DRH001] -- pure fn of (seed, attempt); paces reconnects, never result bytes
+        seed * 1000003 + attempt)
+    return rng.uniform(0.0, ceiling)
 
 
 class ServeClientError(ReproError):
@@ -57,19 +89,75 @@ class ServeReply:
 class ServeClient:
     """One connection to a running campaign service."""
 
-    def __init__(self, socket_path, timeout: Optional[float] = None) -> None:
+    def __init__(self, socket_path, timeout: Optional[float] = None, *,
+                 connect_retries: int = 0, backoff_base_s: float = 0.05,
+                 backoff_seed: int = 0, clock=None) -> None:
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
         self.socket_path = str(socket_path)
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        if timeout is not None:
-            self._sock.settimeout(timeout)
-        self._sock.connect(self.socket_path)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.connect_retries = int(connect_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_seed = int(backoff_seed)
+        #: Injectable clock (needs ``sleep``); defaults to real sleeps.
+        if clock is None:
+            from repro.runner.retry import WallClock
+            clock = WallClock()
+        self.clock = clock
+        self.connect_attempts = 0
         self._request_count = 0
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        """(Re)establish the transport, retrying with seeded backoff."""
+        last_error: Optional[OSError] = None
+        for attempt in range(self.connect_retries + 1):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if self.timeout is not None:
+                sock.settimeout(self.timeout)
+            self.connect_attempts += 1
+            try:
+                sock.connect(self.socket_path)
+            except _RETRYABLE_CONNECT as error:
+                sock.close()
+                last_error = error
+                if self.connect_retries == 0:
+                    # No retries requested: keep the historical contract
+                    # and let the raw OSError subclass propagate.
+                    raise
+                if attempt < self.connect_retries:
+                    self.clock.sleep(backoff_delay_s(
+                        attempt, base_s=self.backoff_base_s,
+                        seed=self.backoff_seed))
+                continue
+            except OSError:
+                sock.close()
+                raise
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            return
+        raise ServeClientError(
+            f"could not connect to {self.socket_path} after "
+            f"{self.connect_retries + 1} attempt(s): {last_error}")
+
+    def reconnect(self) -> None:
+        """Drop the current transport and dial again (same backoff).
+
+        Any in-flight request on the old connection is cancelled
+        server-side by the disconnect; the caller resubmits explicitly.
+        """
+        self.close()
+        self._connect()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
-            self._file.close()
+            if self._file is not None:
+                self._file.close()
         except OSError:
             # Closing flushes any buffered bytes; if the server already
             # reset the socket (accept drop, shutdown) that flush fails.
@@ -78,6 +166,8 @@ class ServeClient:
             pass
         finally:
             self._sock.close()
+            self._sock = None
+            self._file = None
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -87,6 +177,8 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     def send(self, payload: Dict[str, Any]) -> None:
+        if self._file is None:
+            raise ServeClientError("client is closed; call reconnect()")
         try:
             self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
             self._file.flush()
@@ -95,6 +187,8 @@ class ServeClient:
                 f"server closed the connection: {error}") from None
 
     def read_event(self) -> Dict[str, Any]:
+        if self._file is None:
+            raise ServeClientError("client is closed; call reconnect()")
         try:
             line = self._file.readline()
         except ConnectionError as error:
@@ -121,6 +215,12 @@ class ServeClient:
     def status(self) -> Dict[str, Any]:
         request_id = self._next_id("status-")
         self.send({"op": "status", "id": request_id})
+        return self.read_event()
+
+    def health(self) -> Dict[str, Any]:
+        """The service's degradation-ladder view (``health`` op)."""
+        request_id = self._next_id("health-")
+        self.send({"op": "health", "id": request_id})
         return self.read_event()
 
     def cancel(self, request_id: str) -> None:

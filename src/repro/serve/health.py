@@ -1,0 +1,101 @@
+"""Service-side face of the resource governor: health checks and shedding.
+
+``deeprh serve`` owns one process-wide
+:class:`~repro.runner.governor.ResourceGovernor` and wires it in three
+places: a periodic **health task** ticks the governor between requests
+(so pressure is noticed even while the service idles), the **admission
+path** asks :meth:`HealthMonitor.should_shed` before any queueing
+decision and answers with an explicit 429-style ``shed`` verdict, and
+the **``health`` protocol op** exposes the full ladder state to clients
+so a rejected caller can poll for recovery instead of hammering blindly.
+
+The monitor also applies the *shrink-caches* rung to the service's
+installed :class:`~repro.faultmodel.batch.SharedMatrixCache` in place —
+a long-lived service cannot wait for the next campaign to construct a
+smaller cache; memory must come back now.  An ungoverned service gets a
+null monitor whose checks cost one attribute read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs import get_metrics
+from repro.runner.governor import (
+    RUNG_NORMAL,
+    ResourceGovernor,
+    rung_name,
+)
+
+
+class HealthMonitor:
+    """Bridges one governor into the service's admission and status paths."""
+
+    def __init__(self, governor: Optional[ResourceGovernor] = None) -> None:
+        self.governor = governor
+        #: SharedMatrixCache bound before any governed shrink (None until
+        #: the first shrink; used to restore on recovery).
+        self._unshrunk_entries: Optional[int] = None
+
+    @property
+    def governed(self) -> bool:
+        return self.governor is not None
+
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """One health-task heartbeat; returns the current rung."""
+        if self.governor is None:
+            return RUNG_NORMAL
+        rung = self.governor.tick()
+        self.apply_cache_policy()
+        return rung
+
+    def rung(self) -> int:
+        return self.governor.rung() if self.governor is not None \
+            else RUNG_NORMAL
+
+    def rung_label(self) -> str:
+        return rung_name(self.rung())
+
+    def should_shed(self) -> bool:
+        return self.governor is not None and self.governor.should_shed()
+
+    # ------------------------------------------------------------------
+    def apply_cache_policy(self) -> None:
+        """Clamp (or restore) the installed shared cache to the rung.
+
+        Idempotent per rung: shrinking evicts immediately via
+        :meth:`~repro.faultmodel.batch.SharedMatrixCache.resize`; once
+        the ladder recovers below *shrink-caches* the original bound is
+        restored (entries refill lazily as campaigns run).
+        """
+        if self.governor is None:
+            return
+        from repro.faultmodel.batch import shared_matrix_cache
+        cache = shared_matrix_cache()
+        if cache is None:
+            return
+        shrunk = self.governor.cache_entries_for(None)
+        if shrunk is not None:
+            if self._unshrunk_entries is None:
+                self._unshrunk_entries = cache.entries
+            if cache.entries > shrunk:
+                evicted = cache.resize(shrunk)
+                get_metrics().counter("serve.cache.shrunk").inc()
+                if evicted:
+                    get_metrics().counter(
+                        "serve.cache.shrink_evictions").inc(evicted)
+        elif self._unshrunk_entries is not None:
+            if cache.entries < self._unshrunk_entries:
+                cache.resize(self._unshrunk_entries)
+                get_metrics().counter("serve.cache.restored").inc()
+            self._unshrunk_entries = None
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe health payload for the ``health`` op."""
+        if self.governor is None:
+            return {"governed": False, "rung": rung_name(RUNG_NORMAL)}
+        snap = self.governor.snapshot()
+        snap["governed"] = True
+        return snap

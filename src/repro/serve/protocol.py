@@ -13,6 +13,7 @@ Requests::
      "fault_plan": "campaign.unit=0.05", "fault_seed": 7}
     {"op": "cancel", "id": "r1"}
     {"op": "status", "id": "s1"}
+    {"op": "health", "id": "h1"}
     {"op": "ping", "id": "p1"}
 
 Responses (``event`` discriminates)::
@@ -25,11 +26,15 @@ Responses (``event`` discriminates)::
      "result": {...}, "report": "...", "stats": {...}}
     {"event": "error",   "id": "r1", "reason": "deadline", "detail": ...}
     {"event": "status",  "id": "s1", ...}
+    {"event": "health",  "id": "h1", "governed": true, "governor": {...},
+     "admission": {...}, "breaker": {...}, "draining": false}
     {"event": "pong",    "id": "p1"}
 
-Rejection reasons are :data:`REASON_OVERLOADED`, :data:`REASON_DRAINING`
-and :data:`REASON_BAD_REQUEST` (plus :data:`REASON_INJECTED` under a
-``serve.request:reject`` fault).  Every response is encoded canonically —
+Rejection reasons are :data:`REASON_OVERLOADED`, :data:`REASON_DRAINING`,
+:data:`REASON_SHED` (the resource governor's 429-style load-shedding
+verdict) and :data:`REASON_BAD_REQUEST` (plus :data:`REASON_INJECTED`
+under a ``serve.request:reject`` fault).  Every response is encoded
+canonically —
 sorted keys, no whitespace — so "identical result bytes" is a property of
 the wire, not of any particular JSON emitter.
 """
@@ -49,13 +54,16 @@ from repro.errors import ConfigError
 STUDIES = ("temperature", "acttime", "spatial")
 
 #: Request ops.
-OPS = ("campaign", "cancel", "status", "ping")
+OPS = ("campaign", "cancel", "status", "health", "ping")
 
 #: Rejection reasons.
 REASON_OVERLOADED = "overloaded"
 REASON_DRAINING = "draining"
 REASON_BAD_REQUEST = "bad-request"
 REASON_INJECTED = "injected"
+#: The resource governor is shedding load (degradation-ladder rung
+#: ``shed`` or worse); retry once the ``health`` op reports recovery.
+REASON_SHED = "shed"
 
 #: Error-event reasons for accepted requests that did not produce a result.
 ERROR_DEADLINE = "deadline"
@@ -63,6 +71,9 @@ ERROR_CANCELLED = "cancelled"
 ERROR_DRAIN = "drain"
 ERROR_ABORTED = "aborted"
 ERROR_INTERNAL = "internal"
+#: The governor parked the campaign on its checkpoints; resubmit with the
+#: same checkpoint_dir and resume=true once resources recover.
+ERROR_PARKED = "parked"
 
 _TUPLE_FIELDS = ("temperatures_c", "t_agg_on_grid_ns", "t_agg_off_grid_ns")
 _CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(StudyConfig))
@@ -241,6 +252,12 @@ def error_event(request_id: str, reason: str, detail: str = "") -> Dict[str, Any
 
 def status_event(request_id: str, **fields: Any) -> Dict[str, Any]:
     event: Dict[str, Any] = {"event": "status", "id": request_id}
+    event.update(fields)
+    return event
+
+
+def health_event(request_id: str, **fields: Any) -> Dict[str, Any]:
+    event: Dict[str, Any] = {"event": "health", "id": request_id}
     event.update(fields)
     return event
 

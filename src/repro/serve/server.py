@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import errno
 import json
 import pathlib
 import signal
@@ -42,16 +43,18 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
 from repro.core.serialize import result_to_dict
-from repro.errors import CampaignCancelled, ConfigError
+from repro.errors import CampaignCancelled, CampaignParked, ConfigError
 from repro.faultmodel.batch import SharedMatrixCache, install_shared_matrix_cache
 from repro.faultmodel.population import set_default_row_cache_rows
 from repro.faults.plan import FaultPlan
 from repro.obs import get_metrics
 from repro.runner import CampaignRunner, RetryPolicy, SupervisorPolicy
 from repro.runner.cancel import CancelToken
+from repro.runner.governor import ResourceGovernor
 from repro.serve import protocol
 from repro.serve.admission import ADMIT, DRAINING, AdmissionController
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
+from repro.serve.health import HealthMonitor
 from repro.serve.protocol import CampaignRequest, ProtocolError
 
 #: CancelToken reasons -> protocol error reasons.
@@ -106,9 +109,13 @@ class CampaignService:
                  resume_manifest=None,
                  shared_cache_entries: int = 4096,
                  row_cache_rows: Optional[int] = None,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: int = 3,
+                 governor: Optional[ResourceGovernor] = None,
+                 health_interval_s: float = 0.25) -> None:
         if drain_grace_s < 0:
             raise ConfigError("drain_grace_s must be >= 0")
+        if health_interval_s <= 0:
+            raise ConfigError("health_interval_s must be positive")
         self.socket_path = pathlib.Path(socket_path)
         self.admission = AdmissionController(max_inflight=max_inflight,
                                              max_queue=max_queue)
@@ -133,6 +140,13 @@ class CampaignService:
         self._consumers: List[asyncio.Task] = []
         self._server: Optional[asyncio.AbstractServer] = None
         self._prev_cache: Optional[SharedMatrixCache] = None
+        #: Resource governance: the ladder's serve-side face.  Campaigns
+        #: executed by this service share the governor, so pressure seen
+        #: by any request degrades (and recovers) the whole process.
+        self.governor = governor
+        self.health = HealthMonitor(governor)
+        self.health_interval_s = float(health_interval_s)
+        self._health_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -163,6 +177,8 @@ class CampaignService:
         self._consumers = [
             asyncio.ensure_future(self._consume())
             for _ in range(self.admission.max_inflight)]
+        if self.health.governed:
+            self._health_task = asyncio.ensure_future(self._health_loop())
         if ready is not None:
             ready.set()
         try:
@@ -172,6 +188,11 @@ class CampaignService:
         return 0
 
     async def _close(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -188,6 +209,17 @@ class CampaignService:
             set_default_row_cache_rows(self._prev_row_cache_rows)
         with contextlib.suppress(OSError):
             self.socket_path.unlink()
+
+    async def _health_loop(self) -> None:
+        """Tick the governor even while the service idles.
+
+        Campaigns tick the shared governor from their own loops; this
+        task covers the gaps so a starved-but-idle service still climbs
+        (and, crucially, recovers down) the ladder between requests.
+        """
+        while True:
+            self.health.tick()
+            await asyncio.sleep(self.health_interval_s)
 
     # ------------------------------------------------------------------
     def begin_drain(self, reason: str = "drain") -> None:
@@ -249,6 +281,16 @@ class CampaignService:
         index = self._conn_count
         if self.fault_plan is not None:
             event = self.fault_plan.roll("serve.accept", "conn", index)
+            if event is not None and event.kind == "emfile":
+                # Injected descriptor exhaustion: the accept itself
+                # succeeded (asyncio already holds the fd) but the
+                # process is at its limit, so shed this connection and
+                # keep serving — a real EMFILE must never kill the loop.
+                get_metrics().counter("serve.accept.emfile").inc()
+                if self.governor is not None:
+                    self.governor.tick()
+                writer.close()
+                return
             if event is not None:
                 # Injected accept failure: the peer sees an immediate
                 # close, exactly like an accept-queue overflow.
@@ -270,6 +312,13 @@ class CampaignService:
                 self._dispatch(conn, line)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
+        except OSError as error:
+            # Transient accept/read errors (EMFILE, ENFILE, ECONNABORTED)
+            # cost one connection, never the server.
+            if error.errno not in (errno.EMFILE, errno.ENFILE,
+                                   errno.ECONNABORTED):
+                raise
+            get_metrics().counter("serve.accept.emfile").inc()
         finally:
             # A departed client cannot receive results; cancel its
             # unfinished requests so their capacity frees immediately.
@@ -313,6 +362,8 @@ class CampaignService:
             conn.send(protocol.pong(request_id))
         elif op == "status":
             conn.send(self._status(request_id))
+        elif op == "health":
+            conn.send(self._health_event(request_id))
         elif op == "cancel":
             self._cancel(conn, request_id)
         elif op == "campaign":
@@ -327,10 +378,22 @@ class CampaignService:
             admission=self.admission.snapshot(),
             breaker=self.breaker.snapshot(),
             draining=self._draining,
+            governed=self.health.governed,
+            governor_rung=self.health.rung_label(),
             connections=len(self._conns),
             shared_cache_entries=len(cache) if cache is not None else 0,
             faults_injected=(len(self.fault_plan.log)
                             if self.fault_plan is not None else 0))
+
+    def _health_event(self, request_id: str) -> Dict[str, Any]:
+        snapshot = self.health.snapshot()
+        return protocol.health_event(
+            request_id,
+            governed=snapshot.pop("governed"),
+            governor=snapshot,
+            admission=self.admission.snapshot(),
+            breaker=self.breaker.snapshot(),
+            draining=self._draining)
 
     def _cancel(self, conn: _Connection, request_id: str) -> None:
         job = conn.jobs.get(request_id)
@@ -364,6 +427,17 @@ class CampaignService:
                     "injected serve.request:reject"))
                 return
             abort_injected = event is not None and event.kind == "abort"
+        if self.health.should_shed():
+            # Governor rung >= shed: capacity may exist, but resources
+            # do not.  Refuse with an explicit verdict the client can
+            # distinguish from overload and back off on.
+            self.admission.record_shed()
+            conn.send(protocol.rejected(
+                request_id, protocol.REASON_SHED,
+                f"resource governor shedding load "
+                f"(rung {self.health.rung_label()}); "
+                f"poll the health op and retry after recovery"))
+            return
         verdict = self.admission.try_admit()
         if verdict != ADMIT:
             reason = protocol.REASON_DRAINING if verdict == DRAINING \
@@ -454,6 +528,7 @@ class CampaignService:
             cancel=job.token,
             on_module=on_module,
             on_supervision=on_supervision,
+            governor=self.governor,
             shared_cache_entries=self.shared_cache_entries
             if self.shared_cache_entries > 0 else None,
             row_cache_rows=self.row_cache_rows)
@@ -468,6 +543,13 @@ class CampaignService:
             self._finish_job(job, self._cancel_error(job))
             if job.token.reason == "drain":
                 self._record_drained(job, "interrupted")
+            return
+        except CampaignParked as error:
+            # The governor parked the campaign on its checkpoints; the
+            # client resubmits with resume=true once health recovers.
+            metrics.counter("serve.requests.parked").inc()
+            self._finish_job(job, protocol.error_event(
+                request.id, protocol.ERROR_PARKED, str(error)))
             return
         except ConfigError as error:
             metrics.counter("serve.requests.failed").inc()

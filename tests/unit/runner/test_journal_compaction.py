@@ -1,0 +1,149 @@
+"""Journal compaction: ``journal.jsonl`` growth is bounded at publish time.
+
+Long campaigns re-publish modules across requeues, migrations and
+resumes; the append-only journal must not outgrow the disk on exactly
+the runs that need headroom most.  Compaction rewrites the file with
+only the live last-wins records — atomically, and only when dead weight
+actually exists.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.config import QUICK
+from repro.errors import ConfigError
+from repro.runner.checkpoint import (
+    DEFAULT_JOURNAL_MAX_ENTRIES,
+    CheckpointStore,
+    _encode,
+    audit_checkpoint_dir,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def journal_lines(directory):
+    path = directory / "journal.jsonl"
+    if not path.exists():
+        return []
+    return [line for line in path.read_text().splitlines() if line.strip()]
+
+
+class TestCompaction:
+    def test_default_threshold_is_generous(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK)
+        assert store.journal_max_entries == DEFAULT_JOURNAL_MAX_ENTRIES
+
+    def test_threshold_validated(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CheckpointStore(tmp_path, "temperature", QUICK,
+                            journal_max_entries=0)
+
+    def test_republished_modules_compact_to_live_records(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK,
+                                journal_max_entries=4)
+        for round_number in range(3):
+            for module_id in ("A0", "B1", "C2"):
+                store.save(module_id, {"module_id": module_id,
+                                       "round": round_number})
+        lines = journal_lines(tmp_path)
+        assert len(lines) == 3  # one live record per module
+        assert store.journal_compactions >= 1
+        assert {json.loads(line)["module"] for line in lines} \
+            == {"A0", "B1", "C2"}
+
+    def test_all_live_journal_is_never_rewritten(self, tmp_path):
+        """Over-threshold but dead-weight-free: rewriting is pure churn."""
+        store = CheckpointStore(tmp_path, "temperature", QUICK,
+                                journal_max_entries=2)
+        for module_id in ("A0", "B1", "C2", "D3", "E4"):
+            store.save(module_id, {"module_id": module_id})
+        assert len(journal_lines(tmp_path)) == 5
+        assert store.journal_compactions == 0
+
+    def test_compacted_journal_still_verifies_on_resume(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK,
+                                journal_max_entries=2)
+        for _ in range(4):
+            store.save("A0", {"module_id": "A0", "values": [1.0, 2.0]})
+            store.save("B1", {"module_id": "B1", "values": [3.0]})
+        assert store.journal_compactions >= 1
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True)
+        assert resumed.has("A0") and resumed.has("B1")
+        assert not resumed.corrupted
+        assert resumed.load("B1")["values"] == [3.0]
+        audit = audit_checkpoint_dir(tmp_path)
+        assert audit.ok, audit.render()
+
+    def test_torn_lines_count_as_dead_weight(self, tmp_path):
+        store = CheckpointStore(tmp_path, "temperature", QUICK,
+                                journal_max_entries=3)
+        store.save("A0", {"module_id": "A0"})
+        with open(tmp_path / "journal.jsonl", "a") as handle:
+            handle.write('{"file": "torn\n' * 3)
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True, journal_max_entries=3)
+        resumed.save("B1", {"module_id": "B1"})
+        lines = journal_lines(tmp_path)
+        assert len(lines) == 2  # torn debris compacted away
+        for line in lines:
+            json.loads(line)  # every surviving line parses
+
+    def test_compaction_rewrite_is_atomic(self, tmp_path):
+        """No ``journal.jsonl.tmp`` survives a completed compaction."""
+        store = CheckpointStore(tmp_path, "temperature", QUICK,
+                                journal_max_entries=1)
+        for _ in range(3):
+            store.save("A0", {"module_id": "A0"})
+        assert store.journal_compactions >= 1
+        assert not list(tmp_path.glob("journal.jsonl*.tmp"))
+
+
+class TestMixedFormatResume:
+    """Format-2 directories migrated under a tight compaction bound."""
+
+    def _make_format2(self, tmp_path, modules):
+        CheckpointStore(tmp_path, "temperature", QUICK)
+        with open(tmp_path / "journal.jsonl", "w") as journal:
+            for module_id in modules:
+                name = f"module-temperature-{module_id}.json"
+                data = _encode({"module_id": module_id,
+                                "values": [0.5] * 4})
+                (tmp_path / name).write_bytes(data)
+                journal.write(json.dumps(
+                    {"file": name, "length": len(data),
+                     "module": module_id,
+                     "sha256": hashlib.sha256(data).hexdigest()},
+                    sort_keys=True) + "\n")
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 2
+        manifest_path.write_text(json.dumps(manifest))
+
+    def test_migration_journal_growth_is_compacted(self, tmp_path):
+        """Migrating N modules appends N .grid lines on top of the N
+        legacy .json lines; with a tight bound the superseded legacy
+        lines are compacted away during the same resume."""
+        modules = ["A0", "B1", "C2", "D3"]
+        self._make_format2(tmp_path, modules)
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True, journal_max_entries=4)
+        assert sorted(resumed.completed_modules()) == modules
+        lines = journal_lines(tmp_path)
+        assert len(lines) == len(modules)
+        for line in lines:
+            assert json.loads(line)["file"].endswith(".grid")
+
+    def test_mixed_resume_then_new_saves_stay_consistent(self, tmp_path):
+        self._make_format2(tmp_path, ["A0", "B1"])
+        resumed = CheckpointStore(tmp_path, "temperature", QUICK,
+                                  resume=True, journal_max_entries=2)
+        resumed.save("C2", {"module_id": "C2"})
+        reopened = CheckpointStore(tmp_path, "temperature", QUICK,
+                                   resume=True)
+        assert sorted(reopened.completed_modules()) == ["A0", "B1", "C2"]
+        assert not reopened.corrupted
+        assert reopened.load("A0")["values"] == [0.5] * 4

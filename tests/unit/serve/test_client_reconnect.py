@@ -1,0 +1,143 @@
+"""ServeClient connection retries: seeded backoff, explicit reconnect.
+
+The backoff schedule is a pure function of ``(seed, attempt)``, so these
+tests assert exact delays through an injected clock — no real sleeping,
+no timing flakiness.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeClientError, backoff_delay_s
+
+pytestmark = pytest.mark.faults
+
+
+class RecordingClock:
+    """Captures sleeps; optionally runs a hook on the Nth sleep."""
+
+    def __init__(self, on_sleep=None):
+        self.sleeps = []
+        self.on_sleep = on_sleep
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        if self.on_sleep is not None:
+            self.on_sleep(len(self.sleeps))
+
+
+class TestBackoffDelay:
+    def test_deterministic_in_seed_and_attempt(self):
+        for attempt in range(6):
+            assert backoff_delay_s(attempt, seed=7) \
+                == backoff_delay_s(attempt, seed=7)
+        assert backoff_delay_s(2, seed=7) != backoff_delay_s(2, seed=8)
+        assert backoff_delay_s(2, seed=7) != backoff_delay_s(3, seed=7)
+
+    def test_exponential_ceiling_with_cap(self):
+        for attempt in range(20):
+            delay = backoff_delay_s(attempt, base_s=0.05, seed=1, cap_s=2.0)
+            assert 0.0 <= delay <= min(2.0, 0.05 * 2 ** attempt)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay_s(-1)
+
+
+@pytest.fixture
+def listener(tmp_path):
+    """A live Unix-socket acceptor (accepts and holds connections)."""
+    path = tmp_path / "serve.sock"
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(str(path))
+    server.listen(8)
+    accepted = []
+    stop = threading.Event()
+
+    def accept_loop():
+        server.settimeout(0.1)
+        while not stop.is_set():
+            try:
+                conn, _ = server.accept()
+            except socket.timeout:
+                continue
+            accepted.append(conn)
+
+    thread = threading.Thread(target=accept_loop, daemon=True)
+    thread.start()
+    yield path
+    stop.set()
+    thread.join(timeout=2)
+    for conn in accepted:
+        conn.close()
+    server.close()
+
+
+class TestConnectRetries:
+    def test_no_retries_preserves_raw_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ServeClient(tmp_path / "nope.sock")
+
+    def test_exhausted_retries_raise_client_error(self, tmp_path):
+        clock = RecordingClock()
+        with pytest.raises(ServeClientError, match="4 attempt"):
+            ServeClient(tmp_path / "nope.sock", connect_retries=3,
+                        backoff_seed=5, clock=clock)
+        assert clock.sleeps == [
+            backoff_delay_s(attempt, seed=5) for attempt in range(3)]
+
+    def test_retry_succeeds_once_the_server_appears(self, tmp_path):
+        path = tmp_path / "late.sock"
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+
+        def bind_on_second_sleep(count):
+            if count == 2:
+                server.bind(str(path))
+                server.listen(1)
+
+        clock = RecordingClock(on_sleep=bind_on_second_sleep)
+        client = ServeClient(path, connect_retries=5, backoff_seed=0,
+                             clock=clock)
+        assert client.connect_attempts == 3
+        assert len(clock.sleeps) == 2
+        client.close()
+        server.close()
+
+    def test_refused_connections_are_retryable(self, tmp_path):
+        """A bound-but-unlistened socket refuses; retries must cover it."""
+        path = tmp_path / "refused.sock"
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(str(path))  # no listen(): connect gets ECONNREFUSED
+        clock = RecordingClock()
+        with pytest.raises(ServeClientError):
+            ServeClient(path, connect_retries=2, clock=clock)
+        assert len(clock.sleeps) == 2
+        server.close()
+
+
+class TestReconnect:
+    def test_reconnect_rebuilds_the_transport(self, listener):
+        client = ServeClient(listener, connect_retries=2,
+                             clock=RecordingClock())
+        first_attempts = client.connect_attempts
+        client.reconnect()
+        assert client.connect_attempts == first_attempts + 1
+        client.close()
+
+    def test_closed_client_refuses_io_until_reconnect(self, listener):
+        client = ServeClient(listener)
+        client.close()
+        with pytest.raises(ServeClientError, match="reconnect"):
+            client.send({"op": "ping", "id": "p1"})
+        with pytest.raises(ServeClientError, match="reconnect"):
+            client.read_event()
+        client.reconnect()
+        client.send({"op": "ping", "id": "p1"})  # transport is live again
+        client.close()
+
+    def test_double_close_is_harmless(self, listener):
+        client = ServeClient(listener)
+        client.close()
+        client.close()

@@ -40,6 +40,7 @@ PAIR_EPSILON_S = 0.05
 PAIR_SUFFIXES = (
     ("_supervised", "_unsupervised"),
     ("_traced", "_untraced"),
+    ("_governed", "_ungoverned"),
 )
 
 #: ``(fast-suffix, slow-suffix, minimum-speedup)`` pairs gated within one

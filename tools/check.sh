@@ -53,8 +53,11 @@ else
 fi
 
 if [ $fast -eq 0 ]; then
-    step "chaos smoke (supervised workers: crash + hang recovery)"
+    step "chaos smoke (supervised workers: crash + hang + shm recovery)"
     run python tools/faults_smoke.py --chaos
+
+    step "governor smoke (degradation ladder: park + resume parity)"
+    run python tools/faults_smoke.py --governor
 
     step "obs smoke (traced campaign parity + trace summarize)"
     run python tools/obs_smoke.py
@@ -67,6 +70,9 @@ if [ $fast -eq 0 ]; then
 
     step "zero-copy data plane benchmarks (pickled-vs-shm, rebuild-vs-attach)"
     run python -m pytest benchmarks/bench_zero_copy.py --benchmark-only -q
+
+    step "governor overhead benchmark (governed-vs-ungoverned, <5% gate)"
+    run python -m pytest benchmarks/bench_governor_overhead.py -q
 fi
 
 step "benchmark regression gate"

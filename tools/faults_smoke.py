@@ -12,9 +12,15 @@ Usage::
     PYTHONPATH=src python tools/faults_smoke.py --chaos
 
 ``--chaos`` exercises the supervised parallel path instead: a worker is
-crashed and another wedged mid-campaign (``campaign.worker`` faults), and
-the merged report must still match a fault-free serial run bit-for-bit
-with the recovery visible in the supervision log.
+crashed and another wedged mid-campaign (``campaign.worker`` faults), a
+worker's shm publish is exhausted (``campaign.shm:exhausted`` — the
+payload falls back to the pickled plane in-band), and the merged report
+must still match a fault-free serial run bit-for-bit with the recovery
+visible in the supervision log.
+
+``--governor`` walks the degradation ladder: ``governor.rss:pressure``
+at rate 1.0 forces a breach on every assessment, the ladder climbs to
+*park*, and the parked campaign resumes to bit-exact parity.
 
 Exits 0 on success, 1 on any contract violation.  A one-screen version of
 ``pytest -m faults`` for quick sanity checks after touching the substrate.
@@ -88,9 +94,11 @@ def chaos_smoke(seed: int) -> int:
                   match=f"{crasher}/dispatch1"),
         FaultSpec(site="campaign.worker", kind="hang", magnitude=60.0,
                   match=f"{sleeper}/dispatch1"),
+        FaultSpec(site="campaign.shm", kind="exhausted",
+                  match=f"{sleeper}/dispatch2"),
     ])
     outcome = CampaignRunner(
-        config, workers=2, fault_plan=plan,
+        config, workers=2, fault_plan=plan, data_plane="shm",
         supervisor=SupervisorPolicy(module_deadline_s=3.0),
     ).run("temperature", specs)
     print(outcome.degradation_report())
@@ -118,6 +126,60 @@ def chaos_smoke(seed: int) -> int:
     return 1 if failures else 0
 
 
+def governor_smoke(seed: int) -> int:
+    import tempfile
+
+    from repro.errors import CampaignParked
+    from repro.runner import GovernorBudgets, GovernorPolicy, \
+        ResourceGovernor
+
+    config = QUICK.scaled(seed=seed, rows_per_region=8,
+                          modules_per_manufacturer=1,
+                          temperatures_c=(50.0, 85.0),
+                          hcfirst_repetitions=1, wcdp_sample_rows=2)
+    specs = config.module_specs()
+    failures = []
+
+    serial = CampaignRunner(config).run("temperature", specs)
+
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="drh-governor-smoke-") \
+            as checkpoint_dir:
+        plan = FaultPlan(seed=seed, specs=[
+            FaultSpec(site="governor.rss", kind="pressure", rate=1.0)])
+        governor = ResourceGovernor(
+            budgets=GovernorBudgets(rss_bytes=1 << 30), faults=plan,
+            policy=GovernorPolicy(assess_every=1, recover_after=1))
+        try:
+            CampaignRunner(config, checkpoint_dir=checkpoint_dir,
+                           governor=governor).run("temperature", specs)
+            failures.append("relentless rss pressure never parked the "
+                            "campaign")
+        except CampaignParked as parked:
+            print(f"  parked:  {parked}")
+            print(governor.render())
+            if governor.snapshot()["peak_rung"] != "park":
+                failures.append("parked campaign never reached rung park")
+            if parked.completed + parked.remaining != len(specs):
+                failures.append("park manifest does not account for every "
+                                "module")
+
+        resumed = CampaignRunner(config, checkpoint_dir=checkpoint_dir,
+                                 resume=True).run("temperature", specs)
+        print(f"  wall:    {time.perf_counter() - started:.2f} s")
+        if result_to_dict(resumed.result) != result_to_dict(serial.result):
+            failures.append("parked-then-resumed campaign diverged from "
+                            "uninterrupted serial run")
+        else:
+            print("  parity:  park + resume == uninterrupted serial "
+                  "(bit-exact)")
+
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    print("governor smoke " + ("FAILED" if failures else "passed"))
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=2021)
@@ -125,10 +187,16 @@ def main() -> int:
                         help="per-unit fault probability (default 0.08)")
     parser.add_argument("--chaos", action="store_true",
                         help="smoke the supervised parallel path with "
-                             "worker crash/hang faults instead")
+                             "worker crash/hang/shm faults instead")
+    parser.add_argument("--governor", action="store_true",
+                        help="smoke the degradation ladder: forced rss "
+                             "pressure parks the campaign, resume reaches "
+                             "parity")
     args = parser.parse_args()
     if args.chaos:
         return chaos_smoke(args.seed)
+    if args.governor:
+        return governor_smoke(args.seed)
     return smoke(args.seed, args.rate)
 
 

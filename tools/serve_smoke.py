@@ -95,6 +95,14 @@ def smoke(seed: int, workers: int) -> int:
             if status.get("admission", {}).get("completed") != len(seeds):
                 failures.append(f"status reports {status.get('admission')}, "
                                 f"expected {len(seeds)} completed")
+            health = client.health()
+            if health.get("event") != "health" \
+                    or health.get("governor", {}).get("rung") != "normal":
+                failures.append(f"health op reported {health}, expected "
+                                "rung 'normal'")
+            else:
+                print(f"  health:  governed={health['governed']}, "
+                      f"rung {health['governor']['rung']}")
 
         for request_seed in seeds:
             reply = replies.get(request_seed)
