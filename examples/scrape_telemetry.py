@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Scrape a campaign's telemetry and evaluate PromQL-style queries.
+
+Shows the telemetry plane end to end without needing a running
+Prometheus:
+
+1. run a short seeded campaign under live recorders,
+2. render the registry as Prometheus text exposition 0.0.4 — the same
+   bytes `deeprh serve --metrics-port` serves over HTTP and the
+   `metrics` op returns on the Unix socket,
+3. parse the exposition back and evaluate the queries an operator
+   would put on a dashboard (hit ratios, retry pressure, histogram
+   quantile bounds).
+
+Every query below has a PromQL twin in the comment above it — the
+exposition is standard, so against a real scrape target the PromQL
+works verbatim.
+"""
+
+from repro.core.config import QUICK
+from repro.obs import MetricsRegistry, Tracer, observed
+from repro.obs.expo import parse_prometheus, render_prometheus
+
+CONFIG = QUICK.scaled(rows_per_region=8, modules_per_manufacturer=1,
+                      temperatures_c=(50.0, 85.0),
+                      hcfirst_repetitions=1, wcdp_sample_rows=2)
+
+
+def main() -> None:
+    from repro.runner import CampaignRunner
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with observed(tracer=tracer, metrics=metrics):
+        outcome = CampaignRunner(CONFIG).run("temperature")
+    print(f"campaign ok: {outcome.ok}")
+
+    # The scrape body a Prometheus server would ingest.  Service gauges
+    # (governor rung, admission, latency) merge in the same way via
+    # render_prometheus(..., extra_gauges=...) inside `deeprh serve`.
+    exposition = render_prometheus(metrics.to_dict())
+    lines = exposition.splitlines()
+    print(f"\nscrape exposition: {len(lines)} line(s), showing head:")
+    for line in lines[:12]:
+        print(f"  {line}")
+
+    samples = parse_prometheus(exposition)
+
+    def q(name, default=0.0):
+        return samples.get(name, default)
+
+    # PromQL: deeprh_oracle_cache_hit_total
+    #         / (deeprh_oracle_cache_hit_total + deeprh_oracle_cache_miss_total)
+    hits = q("deeprh_oracle_cache_hit_total")
+    misses = q("deeprh_oracle_cache_miss_total")
+    ratio = hits / (hits + misses) if hits + misses else 0.0
+    print(f"\noracle cache hit ratio: {ratio * 100:.1f}% "
+          f"({hits:.0f} hit / {misses:.0f} miss)")
+
+    # PromQL: rate(deeprh_retry_retries_total[5m])
+    #         / rate(deeprh_retry_calls_total[5m])
+    units = q("deeprh_retry_calls_total")
+    retries = q("deeprh_retry_retries_total")
+    per_unit = retries / units if units else 0.0
+    print(f"retry pressure: {per_unit:.3f} retries/unit "
+          f"({retries:.0f} over {units:.0f} unit(s))")
+
+    # PromQL: rate(deeprh_oracle_grid_solves_total[5m])
+    #         / rate(deeprh_campaign_modules_completed_total[5m])
+    solves = q("deeprh_oracle_grid_solves_total")
+    modules = q("deeprh_campaign_modules_completed_total")
+    per_module = solves / modules if modules else 0.0
+    print(f"oracle load: {per_module:.1f} grid solves/module "
+          f"({solves:.0f} over {modules:.0f} module(s))")
+
+    redo = render_prometheus(metrics.to_dict())
+    print(f"\ndeterministic exposition: {redo == exposition}")
+
+
+if __name__ == "__main__":
+    main()

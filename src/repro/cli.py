@@ -15,6 +15,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, Optional
 
@@ -283,7 +284,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "pyproject.toml, else 4096)")
     serve.add_argument("--metrics", action="store_true",
                        help="collect service metrics; printed on exit")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="also serve the Prometheus scrape exposition "
+                            "over HTTP on 127.0.0.1:PORT (0 picks a free "
+                            "port; off by default)")
+    serve.add_argument("--trace", metavar="DIR", default=None,
+                       help="export request-scoped span traces into "
+                            "DIR/trace.jsonl (rotated at a size bound; "
+                            "clients opt in per request)")
     _add_governor_args(serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a running 'deeprh serve' instance")
+    top.add_argument("--socket", required=True, metavar="PATH",
+                     help="unix socket of the service to watch")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="seconds between polls (default: 2.0)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no clearing)")
 
     trace = sub.add_parser(
         "trace",
@@ -298,6 +318,12 @@ def build_parser() -> argparse.ArgumentParser:
         trace_cmd.add_argument("path", metavar="TRACE",
                                help="trace.jsonl file or the directory "
                                     "holding it")
+        if name == "summarize":
+            trace_cmd.add_argument("--request", metavar="ID", default=None,
+                                   help="reconstruct one serve request's "
+                                        "span tree (server + worker "
+                                        "spans) instead of the phase "
+                                        "table")
         if name == "slowest":
             trace_cmd.add_argument("--top", type=int, default=10,
                                    metavar="N",
@@ -315,7 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="statically check determinism & unit-discipline invariants "
-             "(DRH001-DRH005) over python sources")
+             "(DRH001-DRH006) over python sources")
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to check "
                            "(default: the installed repro package)")
@@ -531,18 +557,60 @@ def _serve(args) -> int:
         row_cache_rows=resolve_cache_setting(
             args.row_cache_rows, cache_config.row_cache_rows),
         max_attempts=args.max_attempts,
-        governor=_build_governor_from_args(args, faults=fault_plan))
-    metrics = MetricsRegistry() if args.metrics else None
+        governor=_build_governor_from_args(args, faults=fault_plan),
+        metrics_port=args.metrics_port,
+        trace_dir=args.trace)
+    collect_metrics = args.metrics or args.metrics_port is not None
+    metrics = MetricsRegistry() if collect_metrics else None
     print(f"deeprh serve: listening on {args.socket} "
           f"(max {args.max_inflight} inflight + {args.max_queue} queued); "
           "SIGTERM drains gracefully", file=sys.stderr)
+    if args.trace:
+        print(f"deeprh serve: request traces into {args.trace}",
+              file=sys.stderr)
+
+    async def _run() -> int:
+        # The scrape banner waits for the bind: with --metrics-port 0 the
+        # kernel picks the port, and only the bound address is useful.
+        ready = asyncio.Event()
+        serving = asyncio.ensure_future(service.serve_forever(ready=ready))
+        await ready.wait()
+        if service.metrics_address is not None:
+            print(f"deeprh serve: scrape endpoint on "
+                  f"http://{service.metrics_address}/metrics",
+                  file=sys.stderr, flush=True)
+        return await serving
+
     with observed(metrics=metrics):
-        status = asyncio.run(service.serve_forever())
+        status = asyncio.run(_run())
     print(f"deeprh serve: drained; resume manifest at "
           f"{service.resume_manifest}", file=sys.stderr)
-    if metrics is not None:
+    if metrics is not None and args.metrics:
         print(metrics.render())
     return status
+
+
+def _top(args) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+    from repro.serve.top import poll_once
+
+    poll = 0
+    try:
+        with ServeClient(args.socket, timeout=5.0) as client:
+            while True:
+                frame = poll_once(client, poll=poll)
+                if args.once:
+                    print(frame)
+                    return 0
+                # ANSI clear + home keeps the frame in place like top(1).
+                print("\x1b[2J\x1b[H" + frame, flush=True)
+                poll += 1
+                client.clock.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (ServeClientError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 def _trace(args) -> int:
@@ -550,7 +618,10 @@ def _trace(args) -> int:
 
     try:
         if args.trace_command == "summarize":
-            print(summary.summarize(args.path))
+            if getattr(args, "request", None):
+                print(summary.request_tree(args.path, args.request))
+            else:
+                print(summary.summarize(args.path))
         elif args.trace_command == "slowest":
             print(summary.slowest(args.path, top=args.top))
         elif args.trace_command == "export":
@@ -654,6 +725,9 @@ def main(argv=None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 1
 
+    if args.command == "top":
+        return _top(args)
+
     config = config_mod.preset(args.preset)
     if args.seed is not None:
         config = config.scaled(seed=args.seed)
@@ -708,5 +782,17 @@ def main(argv=None) -> int:
     return 2  # pragma: no cover
 
 
+def run() -> None:  # pragma: no cover
+    """Console entry point: exit quietly when a pager closes the pipe."""
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `deeprh trace summarize ... | head` closes stdout early; the
+        # interpreter would otherwise traceback while flushing at exit.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(128 + 13)
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    run()

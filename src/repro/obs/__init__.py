@@ -25,6 +25,7 @@ suite:
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from typing import Iterator, Optional, Tuple
 
@@ -44,6 +45,7 @@ from repro.obs.trace import (
     TRACE_FILENAME,
     NullTracer,
     SpanRecord,
+    TraceContext,
     Tracer,
     traced,
 )
@@ -51,20 +53,36 @@ from repro.obs.trace import (
 _tracer = NULL_TRACER
 _metrics = NULL_METRICS
 
+#: Task/thread-scoped recorder override, layered over the process-wide
+#: pair.  ``deeprh serve`` binds one request's tracer here inside the
+#: asyncio task executing it; ``asyncio.to_thread`` copies the context,
+#: so the runner thread (and everything it instruments) records into the
+#: request's tracer while concurrent requests keep their own.  Plain
+#: :func:`activate` keeps its historical process-wide, cross-thread
+#: semantics for the CLI and tests.
+_override: "contextvars.ContextVar[Optional[Tuple[object, object]]]" = \
+    contextvars.ContextVar("repro_obs_override", default=None)
+
 
 def get_tracer():
-    """The process-wide active tracer (a no-op unless observation is on)."""
-    return _tracer
+    """The active tracer (a no-op unless observation is on).
+
+    A context-bound recorder pair (:func:`bound_recorders`) wins over the
+    process-wide pair installed by :func:`activate`.
+    """
+    bound = _override.get()
+    return bound[0] if bound is not None else _tracer
 
 
 def get_metrics():
-    """The process-wide active metrics registry (no-op by default)."""
-    return _metrics
+    """The active metrics registry (no-op by default); see :func:`get_tracer`."""
+    bound = _override.get()
+    return bound[1] if bound is not None else _metrics
 
 
 def observation_active() -> bool:
     """True when either recorder is live (workers mirror this flag)."""
-    return _tracer.enabled or _metrics.enabled
+    return get_tracer().enabled or get_metrics().enabled
 
 
 def activate(tracer: Optional[Tracer] = None,
@@ -96,6 +114,27 @@ def observed(tracer: Optional[Tracer] = None,
         deactivate(previous)
 
 
+@contextmanager
+def bound_recorders(tracer=None, metrics=None
+                    ) -> Iterator[Tuple[object, object]]:
+    """Bind recorders to the current task/thread context only.
+
+    Unlike :func:`observed` (process-wide), the binding rides
+    :mod:`contextvars`: it is visible to this asyncio task, to threads
+    started via ``asyncio.to_thread`` from within it, and to nothing
+    else — the seam `deeprh serve` uses to trace one request without
+    recorders from concurrent requests bleeding into each other.
+    ``None`` fields inherit whatever is currently effective.
+    """
+    effective = (tracer if tracer is not None else get_tracer(),
+                 metrics if metrics is not None else get_metrics())
+    token = _override.set(effective)
+    try:
+        yield effective
+    finally:
+        _override.reset(token)
+
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "METRICS_FILENAME",
@@ -109,8 +148,10 @@ __all__ = [
     "NullTracer",
     "SpanRecord",
     "TRACE_FILENAME",
+    "TraceContext",
     "Tracer",
     "activate",
+    "bound_recorders",
     "deactivate",
     "get_metrics",
     "get_tracer",

@@ -1,0 +1,141 @@
+"""Prometheus text-format exposition of a metrics snapshot.
+
+Renders one :meth:`repro.obs.metrics.MetricsRegistry.to_dict` snapshot —
+plus any caller-supplied gauges (governor rung, admission ledger, cache
+occupancy) — as `Prometheus text exposition format 0.0.4
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_, the
+format ``deeprh serve`` answers on its ``metrics`` protocol op and on
+the optional ``--metrics-port`` HTTP listener.
+
+Mapping rules, chosen so the scrape is a pure function of the snapshot:
+
+* metric names are sanitized to ``deeprh_<name>`` with every character
+  outside ``[a-zA-Z0-9_]`` replaced by ``_`` (so ``oracle.cache.hit``
+  becomes ``deeprh_oracle_cache_hit``);
+* counters gain the conventional ``_total`` suffix;
+* histograms render cumulative ``_bucket{le="..."}`` series (edges are
+  the registry's inclusive upper bounds, which matches Prometheus ``le``
+  semantics exactly), a ``+Inf`` bucket, ``_sum`` and ``_count``;
+* families are emitted in sorted-name order with ``# TYPE`` headers, so
+  identical snapshots always scrape to identical bytes.
+
+:func:`parse_prometheus` reads that text back into a flat sample map —
+enough to round-trip values in tests and ``tools/obs_smoke.py`` without
+a Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+#: Every exported family is namespaced under this prefix.
+PREFIX = "deeprh_"
+
+#: The content type an HTTP scrape endpoint must answer with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Registry name -> Prometheus family name (``deeprh_`` namespaced)."""
+    cleaned = _SANITIZE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return PREFIX + cleaned
+
+
+def _format_value(value: float) -> str:
+    """Canonical sample value: integral floats render without exponent."""
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_edge(edge: float) -> str:
+    return _format_value(edge)
+
+
+def render_prometheus(snapshot: Mapping[str, Any],
+                      extra_gauges: Optional[Mapping[str, float]] = None
+                      ) -> str:
+    """One snapshot (+ extra gauges) as exposition text.
+
+    ``snapshot`` is a :meth:`MetricsRegistry.to_dict` payload;
+    ``extra_gauges`` maps registry-style dotted names to floats and is
+    rendered alongside the snapshot's own gauges.  Output ends with a
+    newline, as the format requires.
+    """
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        family = sanitize_metric_name(name) + "_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(
+            f"{family} {_format_value(snapshot['counters'][name])}")
+    gauges: Dict[str, float] = dict(snapshot.get("gauges", {}))
+    for name, value in (extra_gauges or {}).items():
+        gauges[name] = float(value)
+    for name in sorted(gauges):
+        family = sanitize_metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(gauges[name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        family = sanitize_metric_name(name)
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{family}_bucket{{le="{_format_edge(edge)}"}} '
+                         f"{cumulative}")
+        lines.append(f'{family}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{family}_sum {_format_value(hist['total'])}")
+        lines.append(f"{family}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Exposition text -> flat ``{sample_key: value}`` map.
+
+    Label-free samples key by bare family name; labeled samples key as
+    ``name{labels}`` with the label block verbatim.  Comment and blank
+    lines are skipped; anything else raises :class:`ConfigError` — a
+    scrape endpoint that emits unparseable lines is broken, not merely
+    unlucky.
+    """
+    samples: Dict[str, float] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ConfigError(
+                f"exposition line {number} is not a valid sample: {raw!r}")
+        key = match.group("name")
+        if match.group("labels") is not None:
+            key += "{" + match.group("labels") + "}"
+        value = match.group("value")
+        if value == "+Inf":
+            samples[key] = math.inf
+        elif value == "-Inf":
+            samples[key] = -math.inf
+        else:
+            try:
+                samples[key] = float(value)
+            except ValueError:
+                raise ConfigError(
+                    f"exposition line {number} has a non-numeric value: "
+                    f"{raw!r}") from None
+    return samples

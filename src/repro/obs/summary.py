@@ -43,23 +43,66 @@ def _trace_file(path: PathLike) -> pathlib.Path:
     return node
 
 
-def load_spans(path: PathLike) -> List[Dict[str, Any]]:
-    """All spans from a trace directory or JSONL file, in file order."""
+def _trace_segments(path: PathLike) -> List[pathlib.Path]:
+    """Every segment of a trace, oldest first.
+
+    A long-lived ``deeprh serve --trace DIR`` rotates its span stream
+    into ``trace.jsonl.N`` segments (larger N = older); reading them
+    before the live ``trace.jsonl`` restores file order across the whole
+    retained history.  A bare ``*.jsonl`` path is its own single segment.
+    """
+    live = _trace_file(path)
+    rotated = []
+    index = 1
+    while True:
+        segment = live.parent / f"{live.name}.{index}"
+        if not segment.is_file():
+            break
+        rotated.append(segment)
+        index += 1
+    return list(reversed(rotated)) + [live]
+
+
+def _load_segment(source: pathlib.Path,
+                  live_tail: bool) -> List[Dict[str, Any]]:
     spans: List[Dict[str, Any]] = []
-    source = _trace_file(path)
-    for number, line in enumerate(source.read_text().splitlines(), start=1):
+    text = source.read_text()
+    lines = text.splitlines()
+    complete = text.endswith("\n")
+    for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         try:
             span = json.loads(line)
         except ValueError:
+            if live_tail and number == len(lines) and not complete:
+                # A still-appending writer was caught mid-line: the torn
+                # tail is in-flight data, not corruption.  Summarize what
+                # is durable; the next read will see the whole line.
+                break
             raise ConfigError(
                 f"{source}:{number}: not valid JSON; the trace is "
                 "truncated or not a span stream") from None
         if not isinstance(span, dict) or "duration_ns" not in span:
             raise ConfigError(f"{source}:{number}: not a span record")
         spans.append(span)
+    return spans
+
+
+def load_spans(path: PathLike) -> List[Dict[str, Any]]:
+    """All spans from a trace directory or JSONL file, in file order.
+
+    Rotated ``trace.jsonl.N`` segments are read oldest-first before the
+    live segment.  Only the live segment's final line may be torn (a
+    writer caught mid-append); an invalid line anywhere else raises
+    :class:`ConfigError`.
+    """
+    segments = _trace_segments(path)
+    spans: List[Dict[str, Any]] = []
+    for segment in segments:
+        spans.extend(_load_segment(segment,
+                                   live_tail=segment is segments[-1]))
     return spans
 
 
@@ -176,6 +219,77 @@ def summarize(path: PathLike) -> str:
         if metric_lines:
             lines.append("campaign health (metrics.json):")
             lines.extend(metric_lines)
+    return "\n".join(lines)
+
+
+def _span_prefix(span_id: str) -> str:
+    """The request-group prefix of a rerooted span id (``r3.1.2`` -> ``r3``)."""
+    head, _, _ = span_id.partition(".")
+    return head
+
+
+def request_tree(path: PathLike, request_id: str) -> str:
+    """Render one serve request's span tree across processes.
+
+    ``deeprh serve --trace DIR`` appends every request's spans rerooted
+    under a unique ``r<n>`` prefix; the request's own root span is named
+    ``serve.request`` and carries ``attrs.request``.  This locates that
+    root by request id, gathers every span sharing its prefix (including
+    adopted ``w<n>`` worker subtrees, which are roots of their own inside
+    the group), and renders the whole tree indented — server spans and
+    worker spans in one view, reconstructing the request's critical path
+    across process boundaries.
+    """
+    spans = load_spans(path)
+    root = None
+    for span in spans:
+        if (span.get("name") == "serve.request"
+                and span.get("attrs", {}).get("request") == request_id):
+            root = span
+            break
+    if root is None:
+        known = sorted({s["attrs"]["request"] for s in spans
+                        if s.get("name") == "serve.request"
+                        and "request" in s.get("attrs", {})})
+        hint = f"; known request(s): {', '.join(known)}" if known else ""
+        raise ConfigError(
+            f"no serve.request span with request id {request_id!r} "
+            f"in {_trace_file(path)}{hint}")
+    prefix = _span_prefix(str(root["span_id"]))
+    group = [s for s in spans
+             if _span_prefix(str(s.get("span_id", ""))) == prefix]
+    by_id = {s["span_id"]: s for s in group}
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    orphans: List[Dict[str, Any]] = []
+    for span in group:
+        if span is root:
+            continue
+        parent = span.get("parent_id", "")
+        if parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            # Adopted worker subtrees are roots of their own within the
+            # group (their clocks live in another process); hang them
+            # under the request root so the tree reads end-to-end.
+            orphans.append(span)
+    children.setdefault(root["span_id"], []).extend(orphans)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: str(s["span_id"]))
+
+    lines = [f"request {request_id} ({len(group)} span(s), "
+             f"prefix {prefix})"]
+
+    def render(span: Dict[str, Any], depth: int) -> None:
+        attrs = span.get("attrs", {})
+        detail = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        lines.append(
+            f"  {'  ' * depth}{span.get('name', '?'):{max(1, 30 - 2 * depth)}s}"
+            f" {int(span['duration_ns']) / NS_PER_MS:>9.2f}ms"
+            f"  [{span['span_id']}]" + (f"  {detail}" if detail else ""))
+        for child in children.get(span["span_id"], []):
+            render(child, depth + 1)
+
+    render(root, 0)
     return "\n".join(lines)
 
 

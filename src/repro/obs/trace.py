@@ -34,6 +34,50 @@ TRACE_FILENAME = "trace.jsonl"
 #: File name a trace directory stores its merged metrics snapshot under.
 METRICS_FILENAME = "metrics.json"
 
+#: Default size bound of one live trace segment before it rotates.
+DEFAULT_TRACE_MAX_BYTES = 4 * 1024 * 1024
+
+#: Default number of rotated ``trace.jsonl.N`` segments kept on disk.
+DEFAULT_TRACE_SEGMENTS = 4
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one request's trace as it crosses process boundaries.
+
+    ``request_id`` is the client-chosen request id (folded into root-span
+    attributes so a trace stream holding many requests stays queryable);
+    ``prefix`` is a server-assigned unique span-id prefix (``r1``,
+    ``r2``, …) applied by :func:`reroot_spans` when the request's spans
+    are appended to a shared trace file, so span ids from concurrent
+    requests never collide.
+    """
+
+    request_id: str
+    prefix: str = ""
+
+
+def reroot_spans(spans: Sequence[Dict[str, Any]],
+                 prefix: str) -> List[Dict[str, Any]]:
+    """Prefix every span id (and non-empty parent id) with ``prefix.``.
+
+    The tree *shape* is preserved — roots stay roots — while the ids
+    become globally unique within a shared, multi-request trace stream;
+    ``deeprh trace summarize --request`` groups a request's spans back
+    together by this prefix.  With an empty prefix the spans pass
+    through unchanged.
+    """
+    if not prefix:
+        return [dict(span) for span in spans]
+    rerooted = []
+    for span in spans:
+        moved = dict(span)
+        moved["span_id"] = f"{prefix}.{span['span_id']}"
+        if span.get("parent_id"):
+            moved["parent_id"] = f"{prefix}.{span['parent_id']}"
+        rerooted.append(moved)
+    return rerooted
+
 
 @dataclass
 class SpanRecord:
@@ -203,6 +247,78 @@ class NullTracer:
 
 
 NULL_TRACER = NullTracer()
+
+
+class RotatingTraceWriter:
+    """Append span dicts to ``DIR/trace.jsonl``, rotating at a size bound.
+
+    A long-lived ``deeprh serve --trace DIR`` appends every finished
+    request's spans here; without rotation the file grows without bound
+    for the life of the service.  When the live segment exceeds
+    ``max_bytes`` it is renamed ``trace.jsonl.1`` (older segments shift
+    to ``.2`` … up to ``max_segments``, beyond which the oldest is
+    deleted) and a fresh live segment starts.  Each rotation increments
+    the ``obs.trace.rotated`` counter so scrape output shows how much
+    history has been shed.
+
+    Writes happen on the caller's thread (the serve event loop) and each
+    request's spans are written in one buffered flush, so readers see
+    whole lines — :func:`repro.obs.summary.load_spans` additionally
+    tolerates one torn trailing line on a live directory.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path], *,
+                 max_bytes: int = DEFAULT_TRACE_MAX_BYTES,
+                 max_segments: int = DEFAULT_TRACE_SEGMENTS) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if max_segments < 1:
+            raise ValueError("max_segments must be >= 1")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / TRACE_FILENAME
+        self.max_bytes = int(max_bytes)
+        self.max_segments = int(max_segments)
+        self.rotations = 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, spans: Sequence[Dict[str, Any]]) -> None:
+        """Write one batch of span dicts as sorted-key JSONL lines."""
+        if not spans:
+            return
+        text = "".join(json.dumps(span, sort_keys=True) + "\n"
+                       for span in spans)
+        self._handle.write(text)
+        self._handle.flush()
+        if self._handle.tell() >= self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        oldest = self.directory / f"{TRACE_FILENAME}.{self.max_segments}"
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.max_segments - 1, 0, -1):
+            segment = self.directory / f"{TRACE_FILENAME}.{index}"
+            if segment.exists():
+                segment.rename(
+                    self.directory / f"{TRACE_FILENAME}.{index + 1}")
+        self.path.rename(self.directory / f"{TRACE_FILENAME}.1")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
+        from repro.obs import get_metrics
+
+        get_metrics().counter("obs.trace.rotated").inc()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RotatingTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def traced(name: Optional[str] = None) -> Callable:

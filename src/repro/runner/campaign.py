@@ -48,8 +48,12 @@ from repro.errors import (
 from repro.faults.injector import perform_worker_fault
 from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
 from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
     MetricsRegistry,
+    TraceContext,
     Tracer,
+    bound_recorders,
     get_metrics,
     get_tracer,
     observation_active,
@@ -206,7 +210,8 @@ class CampaignRunner:
                  shared_cache_entries: Optional[int] = None,
                  row_cache_rows: Optional[int] = None,
                  governor: Optional[ResourceGovernor] = None,
-                 journal_max_entries: Optional[int] = None) -> None:
+                 journal_max_entries: Optional[int] = None,
+                 trace: Optional[TraceContext] = None) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         if data_plane not in ("auto", "shm", "pickle"):
@@ -256,6 +261,12 @@ class CampaignRunner:
         self.governor = governor
         #: Checkpoint journal compaction bound (None = store default).
         self.journal_max_entries = journal_max_entries
+        #: Request-scoped trace identity (serve only).  When set, the run
+        #: opens a ``campaign.run`` root span carrying the request id and
+        #: adopted worker spans are tagged with it — `deeprh trace
+        #: summarize --request` reassembles the cross-process tree.  The
+        #: default (None) leaves the historical span structure untouched.
+        self.trace = trace
         # Jitter streams are derived from the config seed, one per unit id,
         # so the retry schedule is reproducible and order-independent.
         self._tree = SeedSequenceTree(config.seed, "campaign")
@@ -264,6 +275,14 @@ class CampaignRunner:
     def run(self, study: str = "temperature",
             specs: Optional[Sequence[ModuleSpec]] = None) -> CampaignOutcome:
         """Run ``study`` over ``specs`` (default: the config's modules)."""
+        if self.trace is None:
+            return self._run_study(study, specs)
+        with get_tracer().span("campaign.run", study=study,
+                               request=self.trace.request_id):
+            return self._run_study(study, specs)
+
+    def _run_study(self, study: str,
+                   specs: Optional[Sequence[ModuleSpec]]) -> CampaignOutcome:
         adapter = adapter_for(study, self.config)
         store = None
         corruption: List[CorruptionRecord] = []
@@ -669,7 +688,13 @@ class CampaignRunner:
                 # Spec-order merge: aggregates never depend on which
                 # worker finished first.
                 metrics.merge_dict(report["obs_metrics"])
-                get_tracer().adopt(report["obs_spans"], module=module_id)
+                if self.trace is not None:
+                    get_tracer().adopt(report["obs_spans"],
+                                       module=module_id,
+                                       request=self.trace.request_id)
+                else:
+                    get_tracer().adopt(report["obs_spans"],
+                                       module=module_id)
             worker_stats = report["stats"]
             stats.units_run += worker_stats.units_run
             stats.units_retried += worker_stats.units_retried
@@ -928,10 +953,16 @@ def _run_module_worker(task: _WorkerTask) -> dict:
             perform_worker_fault(event)
     # Fresh recorders per task (or explicit no-ops): a pool worker must
     # neither inherit the parent's recorders across a fork nor leak spans
-    # between the modules it is reused for.
+    # between the modules it is reused for.  The context-bound layer is
+    # shadowed explicitly — a fork taken while the parent had a request
+    # tracer bound (deeprh serve) would otherwise win over `observed`
+    # here and swallow this task's spans into the dead parent copy.
     tracer = Tracer() if task.observe else None
     metrics = MetricsRegistry() if task.observe else None
-    with observed(tracer=tracer, metrics=metrics):
+    with observed(tracer=tracer, metrics=metrics), \
+            bound_recorders(
+                tracer=tracer if tracer is not None else NULL_TRACER,
+                metrics=metrics if metrics is not None else NULL_METRICS):
         runner = CampaignRunner(task.config, fault_plan=plan,
                                 retry=task.retry)
         stats = CampaignStats()

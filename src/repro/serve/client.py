@@ -71,6 +71,8 @@ class ServeReply:
     degraded: bool = False
     #: Incremental module events: [(module_id, resumed, payload), ...].
     modules: List[tuple] = field(default_factory=list)
+    #: Streamed progress events (dicts with module_id/done/total/flips/rung).
+    progress: List[Dict[str, Any]] = field(default_factory=list)
     #: Raw protocol events, in order.
     events: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -226,6 +228,13 @@ class ServeClient:
     def cancel(self, request_id: str) -> None:
         self.send({"op": "cancel", "id": request_id})
 
+    def metrics(self) -> str:
+        """The Prometheus exposition text (``metrics`` op)."""
+        request_id = self._next_id("metrics-")
+        self.send({"op": "metrics", "id": request_id})
+        event = self.read_event()
+        return event.get("text", "")
+
     # ------------------------------------------------------------------
     def campaign(self, study: str, *, request_id: Optional[str] = None,
                  preset: str = "quick", seed: Optional[int] = None,
@@ -233,7 +242,8 @@ class ServeClient:
                  workers: int = 1, deadline_s: Optional[float] = None,
                  checkpoint_dir: Optional[str] = None, resume: bool = False,
                  fault_plan: Optional[str] = None,
-                 fault_seed: Optional[int] = None) -> ServeReply:
+                 fault_seed: Optional[int] = None,
+                 trace: bool = False) -> ServeReply:
         """Submit one campaign and block until it concludes."""
         payload: Dict[str, Any] = {
             "op": "campaign",
@@ -255,6 +265,8 @@ class ServeClient:
             payload["fault_plan"] = fault_plan
         if fault_seed is not None:
             payload["fault_seed"] = fault_seed
+        if trace:
+            payload["trace"] = True
         self.send(payload)
         return self.collect(payload["id"])
 
@@ -272,6 +284,9 @@ class ServeClient:
             if kind == "module":
                 reply.modules.append((event["module_id"], event["resumed"],
                                       event["payload"]))
+                continue
+            if kind == "progress":
+                reply.progress.append(event)
                 continue
             if kind == "rejected":
                 reply.status = "rejected"

@@ -81,15 +81,31 @@ class HealthMonitor:
                 self._unshrunk_entries = cache.entries
             if cache.entries > shrunk:
                 evicted = cache.resize(shrunk)
-                get_metrics().counter("serve.cache.shrunk").inc()
+                metrics = get_metrics()
+                metrics.counter("serve.cache.shrunk").inc()
                 if evicted:
-                    get_metrics().counter(
+                    metrics.counter(
                         "serve.cache.shrink_evictions").inc(evicted)
+                self._record_resize(cache)
         elif self._unshrunk_entries is not None:
             if cache.entries < self._unshrunk_entries:
                 cache.resize(self._unshrunk_entries)
                 get_metrics().counter("serve.cache.restored").inc()
+                self._record_resize(cache)
             self._unshrunk_entries = None
+
+    @staticmethod
+    def _record_resize(cache: Any) -> None:
+        """Publish the post-resize bound so scrapes see governor shrinks.
+
+        ``serve.cache.shrunk``/``restored`` count the transitions; these
+        gauges carry the resulting capacity and occupancy, making a
+        governor-driven shrink visible in exposition output without
+        correlating counter deltas.
+        """
+        metrics = get_metrics()
+        metrics.gauge("serve.cache.resize.capacity").set(cache.entries)
+        metrics.gauge("serve.cache.resize.occupancy").set(len(cache))
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:

@@ -1,0 +1,74 @@
+"""Per-op request latency tracking for ``deeprh serve``.
+
+The deterministic :class:`~repro.obs.metrics.MetricsRegistry` may only
+hold seed-deterministic values, so wall-clock request latencies cannot
+live there.  :class:`LatencyTracker` is the serve-side home for them: a
+bounded sliding window of durations per protocol op, summarized as
+nearest-rank p50/p95 for the ``status`` op and the scrape endpoint.
+Timestamps come from :func:`repro.obs.clock.monotonic_ns` — the one
+allowlisted wall-clock seam — and nothing on the result path reads them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+from repro.units import NS_PER_MS
+
+#: How many recent samples each op keeps (old samples slide off).
+DEFAULT_WINDOW = 256
+
+
+def _nearest_rank(ordered: list, quantile: float) -> float:
+    """Nearest-rank quantile of an ascending list (q in [0, 1])."""
+    if not ordered:
+        return 0.0
+    index = -(-int(quantile * 1000 * len(ordered)) // 1000)  # ceil(q * n)
+    return ordered[min(len(ordered), max(1, index)) - 1]
+
+
+class LatencyTracker:
+    """Sliding-window latency percentiles, one window per op name."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._samples: Dict[str, Deque[int]] = {}
+        self._counts: Dict[str, int] = {}
+
+    def observe(self, op: str, duration_ns: int) -> None:
+        """Record one completed request's wall-clock duration."""
+        window = self._samples.get(op)
+        if window is None:
+            window = self._samples[op] = deque(maxlen=self.window)
+        window.append(int(duration_ns))
+        self._counts[op] = self._counts.get(op, 0) + 1
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-op ``{count, window, p50_ms, p95_ms, max_ms}`` summary.
+
+        ``count`` is the lifetime observation count; percentiles cover
+        only the current window.  Ops are emitted in sorted order so the
+        snapshot renders identically for identical inputs.
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        for op in sorted(self._samples):
+            ordered = sorted(self._samples[op])
+            summary[op] = {
+                "count": self._counts[op],
+                "window": len(ordered),
+                "p50_ms": _nearest_rank(ordered, 0.50) / NS_PER_MS,
+                "p95_ms": _nearest_rank(ordered, 0.95) / NS_PER_MS,
+                "max_ms": ordered[-1] / NS_PER_MS,
+            }
+        return summary
+
+    def gauges(self) -> Dict[str, float]:
+        """Scrape-friendly flat gauges (``serve.latency.<op>.p50_ms`` …)."""
+        flat: Dict[str, float] = {}
+        for op, stats in self.snapshot().items():
+            for field in ("p50_ms", "p95_ms", "max_ms"):
+                flat[f"serve.latency.{op}.{field}"] = stats[field]
+        return flat

@@ -14,6 +14,7 @@ Requests::
     {"op": "cancel", "id": "r1"}
     {"op": "status", "id": "s1"}
     {"op": "health", "id": "h1"}
+    {"op": "metrics", "id": "m1"}
     {"op": "ping", "id": "p1"}
 
 Responses (``event`` discriminates)::
@@ -22,6 +23,10 @@ Responses (``event`` discriminates)::
     {"event": "rejected", "id": "r1", "reason": "overloaded", "detail": ...}
     {"event": "module",  "id": "r1", "module_id": "A0", "resumed": false,
      "payload": {...}}
+    {"event": "progress", "id": "r1", "module_id": "A0", "done": 1,
+     "total": 4, "flips": 128, "rung": "full"}
+    {"event": "metrics", "id": "m1", "content_type": "text/plain; ...",
+     "text": "# TYPE deeprh_... counter\\n..."}
     {"event": "result",  "id": "r1", "ok": true, "degraded": false,
      "result": {...}, "report": "...", "stats": {...}}
     {"event": "error",   "id": "r1", "reason": "deadline", "detail": ...}
@@ -54,7 +59,7 @@ from repro.errors import ConfigError
 STUDIES = ("temperature", "acttime", "spatial")
 
 #: Request ops.
-OPS = ("campaign", "cancel", "status", "health", "ping")
+OPS = ("campaign", "cancel", "status", "health", "metrics", "ping")
 
 #: Rejection reasons.
 REASON_OVERLOADED = "overloaded"
@@ -99,6 +104,9 @@ class CampaignRequest:
     resume: bool = False
     fault_plan: Optional[str] = None
     fault_seed: Optional[int] = None
+    #: Client opted into request-scoped tracing (spans exported to the
+    #: service's ``--trace`` directory; a no-op when tracing is off).
+    trace: bool = False
 
     def describe(self) -> Dict[str, Any]:
         """Resubmittable request dict (for the drain resume manifest).
@@ -135,6 +143,8 @@ class CampaignRequest:
             payload["fault_plan"] = self.fault_plan
         if self.fault_seed is not None:
             payload["fault_seed"] = self.fault_seed
+        if self.trace:
+            payload["trace"] = True
         return payload
 
 
@@ -199,7 +209,8 @@ def build_campaign_request(payload: Dict[str, Any]) -> CampaignRequest:
         checkpoint_dir=payload.get("checkpoint_dir"),
         resume=bool(payload.get("resume", False)),
         fault_plan=payload.get("fault_plan"),
-        fault_seed=int(fault_seed) if fault_seed is not None else None)
+        fault_seed=int(fault_seed) if fault_seed is not None else None,
+        trace=bool(payload.get("trace", False)))
 
 
 # ----------------------------------------------------------------------
@@ -243,6 +254,21 @@ def result_event(request_id: str, *, ok: bool, degraded: bool,
     return {"event": "result", "id": request_id, "ok": bool(ok),
             "degraded": bool(degraded), "result": result,
             "report": report, "stats": stats}
+
+
+def progress_event(request_id: str, *, module_id: str, done: int,
+                   total: int, flips: int, rung: str) -> Dict[str, Any]:
+    """Streamed after each finished module: how far along a campaign is."""
+    return {"event": "progress", "id": request_id, "module_id": module_id,
+            "done": int(done), "total": int(total), "flips": int(flips),
+            "rung": rung}
+
+
+def metrics_event(request_id: str, text: str,
+                  content_type: str) -> Dict[str, Any]:
+    """The scrape exposition, answered to the ``metrics`` op."""
+    return {"event": "metrics", "id": request_id,
+            "content_type": content_type, "text": text}
 
 
 def error_event(request_id: str, reason: str, detail: str = "") -> Dict[str, Any]:

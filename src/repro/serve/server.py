@@ -47,7 +47,17 @@ from repro.errors import CampaignCancelled, CampaignParked, ConfigError
 from repro.faultmodel.batch import SharedMatrixCache, install_shared_matrix_cache
 from repro.faultmodel.population import set_default_row_cache_rows
 from repro.faults.plan import FaultPlan
-from repro.obs import get_metrics
+from repro.obs import bound_recorders, get_metrics
+from repro.obs.clock import monotonic_ns
+from repro.obs.expo import CONTENT_TYPE, render_prometheus
+from repro.obs.trace import (
+    DEFAULT_TRACE_MAX_BYTES,
+    DEFAULT_TRACE_SEGMENTS,
+    RotatingTraceWriter,
+    TraceContext,
+    Tracer,
+    reroot_spans,
+)
 from repro.runner import CampaignRunner, RetryPolicy, SupervisorPolicy
 from repro.runner.cancel import CancelToken
 from repro.runner.governor import ResourceGovernor
@@ -55,6 +65,7 @@ from repro.serve import protocol
 from repro.serve.admission import ADMIT, DRAINING, AdmissionController
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.health import HealthMonitor
+from repro.serve.latency import LatencyTracker
 from repro.serve.protocol import CampaignRequest, ProtocolError
 
 #: CancelToken reasons -> protocol error reasons.
@@ -96,6 +107,8 @@ class _Job:
     degraded: bool = False
     pool_lost: bool = False
     modules_streamed: int = 0
+    modules_total: int = 0
+    flips: int = 0
 
 
 class CampaignService:
@@ -111,11 +124,17 @@ class CampaignService:
                  row_cache_rows: Optional[int] = None,
                  max_attempts: int = 3,
                  governor: Optional[ResourceGovernor] = None,
-                 health_interval_s: float = 0.25) -> None:
+                 health_interval_s: float = 0.25,
+                 metrics_port: Optional[int] = None,
+                 trace_dir=None,
+                 trace_max_bytes: int = DEFAULT_TRACE_MAX_BYTES,
+                 trace_segments: int = DEFAULT_TRACE_SEGMENTS) -> None:
         if drain_grace_s < 0:
             raise ConfigError("drain_grace_s must be >= 0")
         if health_interval_s <= 0:
             raise ConfigError("health_interval_s must be positive")
+        if metrics_port is not None and not 0 <= int(metrics_port) <= 65535:
+            raise ConfigError("metrics_port must be in [0, 65535]")
         self.socket_path = pathlib.Path(socket_path)
         self.admission = AdmissionController(max_inflight=max_inflight,
                                              max_queue=max_queue)
@@ -147,6 +166,19 @@ class CampaignService:
         self.health = HealthMonitor(governor)
         self.health_interval_s = float(health_interval_s)
         self._health_task: Optional[asyncio.Task] = None
+        #: Telemetry plane.  The latency tracker holds wall-clock request
+        #: percentiles (deliberately outside the deterministic metrics
+        #: registry); the trace writer, when configured, receives every
+        #: traced request's spans rerooted under a unique ``r<n>`` prefix.
+        self.latency = LatencyTracker()
+        self.metrics_port = int(metrics_port) \
+            if metrics_port is not None else None
+        self.metrics_address: Optional[str] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self._trace_writer = RotatingTraceWriter(
+            trace_dir, max_bytes=trace_max_bytes,
+            max_segments=trace_segments) if trace_dir is not None else None
+        self._request_seq = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -174,6 +206,15 @@ class CampaignService:
             self.socket_path.unlink()
         self._server = await asyncio.start_unix_server(
             self._handle_connection, path=str(self.socket_path))
+        if self.metrics_port is not None:
+            # Localhost-only scrape listener: same exposition text as the
+            # ``metrics`` protocol op, for Prometheus-shaped pollers that
+            # speak HTTP rather than the NDJSON socket.
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, host="127.0.0.1",
+                port=self.metrics_port)
+            bound_port = self._metrics_server.sockets[0].getsockname()[1]
+            self.metrics_address = f"127.0.0.1:{bound_port}"
         self._consumers = [
             asyncio.ensure_future(self._consume())
             for _ in range(self.admission.max_inflight)]
@@ -193,6 +234,10 @@ class CampaignService:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._health_task
             self._health_task = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -207,6 +252,8 @@ class CampaignService:
             install_shared_matrix_cache(self._prev_cache)
         if self.row_cache_rows is not None:
             set_default_row_cache_rows(self._prev_row_cache_rows)
+        if self._trace_writer is not None:
+            self._trace_writer.close()
         with contextlib.suppress(OSError):
             self.socket_path.unlink()
 
@@ -358,16 +405,24 @@ class CampaignService:
             return
         op = payload["op"]
         request_id = payload["id"]
+        started_ns = monotonic_ns()
         if op == "ping":
             conn.send(protocol.pong(request_id))
         elif op == "status":
             conn.send(self._status(request_id))
         elif op == "health":
             conn.send(self._health_event(request_id))
+        elif op == "metrics":
+            conn.send(protocol.metrics_event(
+                request_id, self._scrape_text(), CONTENT_TYPE))
         elif op == "cancel":
             self._cancel(conn, request_id)
         elif op == "campaign":
             self._admit(conn, payload)
+        if op != "campaign":
+            # Campaign latency is observed end-to-end in _execute; the
+            # synchronous ops are timed here.
+            self.latency.observe(op, monotonic_ns() - started_ns)
 
     def _status(self, request_id: str) -> Dict[str, Any]:
         from repro.faultmodel.batch import shared_matrix_cache
@@ -382,8 +437,92 @@ class CampaignService:
             governor_rung=self.health.rung_label(),
             connections=len(self._conns),
             shared_cache_entries=len(cache) if cache is not None else 0,
+            shared_cache_capacity=(cache.entries
+                                   if cache is not None else 0),
+            latency=self.latency.snapshot(),
+            trace_rotations=(self._trace_writer.rotations
+                             if self._trace_writer is not None else 0),
             faults_injected=(len(self.fault_plan.log)
                             if self.fault_plan is not None else 0))
+
+    def _telemetry_gauges(self) -> Dict[str, float]:
+        """Service-state gauges merged into every scrape.
+
+        Everything the ``status``/``health`` ops report numerically —
+        governor rung, admission ledger, breaker counters, shared-cache
+        occupancy — flattened to registry-style dotted names so one
+        scrape shows the whole service next to the campaign counters.
+        """
+        from repro.faultmodel.batch import shared_matrix_cache
+
+        gauges: Dict[str, float] = {}
+        for key, value in self.admission.snapshot().items():
+            if isinstance(value, bool):
+                gauges[f"serve.admission.{key}"] = 1.0 if value else 0.0
+            elif isinstance(value, (int, float)):
+                gauges[f"serve.admission.{key}"] = float(value)
+        breaker = self.breaker.snapshot()
+        gauges["serve.breaker.open"] = \
+            0.0 if breaker.get("state") == "closed" else 1.0
+        for key in ("trips", "recoveries", "recent_losses"):
+            if key in breaker:
+                gauges[f"serve.breaker.{key}"] = float(breaker[key])
+        health = self.health.snapshot()
+        for key in ("rung_index", "ticks", "assessments",
+                    "escalations", "recoveries"):
+            value = health.get(key)
+            if isinstance(value, (int, float)):
+                gauges[f"serve.governor.{key}"] = float(value)
+        gauges.setdefault("serve.governor.rung_index", 0.0)
+        gauges["serve.governed"] = 1.0 if self.health.governed else 0.0
+        gauges["serve.draining"] = 1.0 if self._draining else 0.0
+        gauges["serve.connections"] = float(len(self._conns))
+        cache = shared_matrix_cache()
+        gauges["serve.cache.occupancy"] = \
+            float(len(cache)) if cache is not None else 0.0
+        gauges["serve.cache.capacity"] = \
+            float(cache.entries) if cache is not None else 0.0
+        gauges.update(self.latency.gauges())
+        return gauges
+
+    def _scrape_text(self) -> str:
+        """The Prometheus exposition for this instant's service state."""
+        return render_prometheus(get_metrics().to_dict(),
+                                 extra_gauges=self._telemetry_gauges())
+
+    async def _handle_metrics_http(self, reader: asyncio.StreamReader,
+                                   writer: asyncio.StreamWriter) -> None:
+        """Minimal one-shot HTTP/1.0 responder for ``--metrics-port``.
+
+        Any ``GET`` is answered with the scrape text (scrapers poll a
+        single fixed path, so routing would be ceremony); other methods
+        get 405.  The connection closes after one response.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            method = request_line.split(b" ", 1)[0] if request_line else b""
+            if method != b"GET":
+                body = b"method not allowed\n"
+                head = (b"HTTP/1.0 405 Method Not Allowed\r\n"
+                        b"Content-Type: text/plain\r\n")
+            else:
+                body = self._scrape_text().encode("utf-8")
+                head = (b"HTTP/1.0 200 OK\r\nContent-Type: "
+                        + CONTENT_TYPE.encode("ascii") + b"\r\n")
+            writer.write(head
+                         + f"Content-Length: {len(body)}\r\n".encode("ascii")
+                         + b"Connection: close\r\n\r\n" + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, BrokenPipeError):
+                await writer.wait_closed()
 
     def _health_event(self, request_id: str) -> Dict[str, Any]:
         snapshot = self.health.snapshot()
@@ -449,7 +588,8 @@ class CampaignService:
                 f"{self.admission.queued} queued"))
             return
         job = _Job(request=request, conn=conn,
-                   abort_injected=abort_injected)
+                   abort_injected=abort_injected,
+                   modules_total=len(request.config.module_specs()))
         conn.jobs[request_id] = job
         self._jobs.add(job)
         conn.send(protocol.accepted(request_id))
@@ -516,6 +656,16 @@ class CampaignService:
             loop.call_soon_threadsafe(
                 self._stream_module, job, module_id, payload, resumed)
 
+        tracer: Optional[Tracer] = None
+        ctx: Optional[TraceContext] = None
+        if self._trace_writer is not None and request.trace:
+            # Request-scoped tracing: a private tracer rides the task
+            # context into the runner thread (bound_recorders), so this
+            # request's spans never mingle with a concurrent request's.
+            self._request_seq += 1
+            tracer = Tracer()
+            ctx = TraceContext(request_id=request.id,
+                               prefix=f"r{self._request_seq}")
         runner = CampaignRunner(
             request.config,
             checkpoint_dir=request.checkpoint_dir,
@@ -531,55 +681,77 @@ class CampaignService:
             governor=self.governor,
             shared_cache_entries=self.shared_cache_entries
             if self.shared_cache_entries > 0 else None,
-            row_cache_rows=self.row_cache_rows)
+            row_cache_rows=self.row_cache_rows,
+            trace=ctx)
+
+        def run_campaign():
+            if tracer is None:
+                return runner.run(request.study)
+            with bound_recorders(tracer=tracer):
+                with tracer.span("serve.request", request=request.id,
+                                 study=request.study, workers=workers):
+                    return runner.run(request.study)
+
         deadline_handle = None
         if request.deadline_s is not None:
             deadline_handle = loop.call_later(
                 request.deadline_s, job.token.cancel, "deadline")
+        started_ns = monotonic_ns()
         try:
-            outcome = await asyncio.to_thread(runner.run, request.study)
-        except CampaignCancelled:
-            metrics.counter("serve.requests.cancelled").inc()
-            self._finish_job(job, self._cancel_error(job))
-            if job.token.reason == "drain":
-                self._record_drained(job, "interrupted")
-            return
-        except CampaignParked as error:
-            # The governor parked the campaign on its checkpoints; the
-            # client resubmits with resume=true once health recovers.
-            metrics.counter("serve.requests.parked").inc()
-            self._finish_job(job, protocol.error_event(
-                request.id, protocol.ERROR_PARKED, str(error)))
-            return
-        except ConfigError as error:
-            metrics.counter("serve.requests.failed").inc()
-            self._finish_job(job, protocol.error_event(
-                request.id, protocol.ERROR_INTERNAL, str(error)))
-            return
-        except Exception as error:  # noqa: BLE001 - service must not die
-            metrics.counter("serve.requests.failed").inc()
-            self._finish_job(job, protocol.error_event(
-                request.id, protocol.ERROR_INTERNAL,
-                f"{type(error).__name__}: {error}"))
-            return
+            try:
+                outcome = await asyncio.to_thread(run_campaign)
+            except CampaignCancelled:
+                metrics.counter("serve.requests.cancelled").inc()
+                self._finish_job(job, self._cancel_error(job))
+                if job.token.reason == "drain":
+                    self._record_drained(job, "interrupted")
+                return
+            except CampaignParked as error:
+                # The governor parked the campaign on its checkpoints;
+                # the client resubmits with resume=true once health
+                # recovers.
+                metrics.counter("serve.requests.parked").inc()
+                self._finish_job(job, protocol.error_event(
+                    request.id, protocol.ERROR_PARKED, str(error)))
+                return
+            except ConfigError as error:
+                metrics.counter("serve.requests.failed").inc()
+                self._finish_job(job, protocol.error_event(
+                    request.id, protocol.ERROR_INTERNAL, str(error)))
+                return
+            except Exception as error:  # noqa: BLE001 - service must not die
+                metrics.counter("serve.requests.failed").inc()
+                self._finish_job(job, protocol.error_event(
+                    request.id, protocol.ERROR_INTERNAL,
+                    f"{type(error).__name__}: {error}"))
+                return
+            finally:
+                if deadline_handle is not None:
+                    deadline_handle.cancel()
+            if workers > 1 and not job.pool_lost:
+                self.breaker.record_success()
+            metrics.counter("serve.requests.completed").inc()
+            self._finish_job(job, protocol.result_event(
+                request.id, ok=outcome.ok, degraded=job.degraded,
+                result=result_to_dict(outcome.result),
+                report=outcome.degradation_report(),
+                stats={
+                    "modules_completed": outcome.stats.modules_completed,
+                    "modules_resumed": outcome.stats.modules_resumed,
+                    "modules_quarantined": len(outcome.quarantined),
+                    "units_run": outcome.stats.units_run,
+                    "units_retried": outcome.stats.units_retried,
+                    "workers": workers,
+                }))
         finally:
-            if deadline_handle is not None:
-                deadline_handle.cancel()
-        if workers > 1 and not job.pool_lost:
-            self.breaker.record_success()
-        metrics.counter("serve.requests.completed").inc()
-        self._finish_job(job, protocol.result_event(
-            request.id, ok=outcome.ok, degraded=job.degraded,
-            result=result_to_dict(outcome.result),
-            report=outcome.degradation_report(),
-            stats={
-                "modules_completed": outcome.stats.modules_completed,
-                "modules_resumed": outcome.stats.modules_resumed,
-                "modules_quarantined": len(outcome.quarantined),
-                "units_run": outcome.stats.units_run,
-                "units_retried": outcome.stats.units_retried,
-                "workers": workers,
-            }))
+            # Telemetry epilogue — runs on every exit path so cancelled
+            # and failed requests still leave a latency sample and their
+            # partial trace behind.
+            self.latency.observe("campaign", monotonic_ns() - started_ns)
+            if tracer is not None and ctx is not None \
+                    and self._trace_writer is not None:
+                self._trace_writer.append(
+                    reroot_spans(tracer.to_dicts(), ctx.prefix))
 
     def _request_fault_plan(self, request: CampaignRequest
                             ) -> Optional[FaultPlan]:
@@ -619,5 +791,24 @@ class CampaignService:
                 get_metrics().counter("serve.stream.dropped").inc()
                 return
         job.modules_streamed += 1
+        job.flips += _count_flips(payload)
         job.conn.send(protocol.module_event(job.request.id, module_id,
                                             payload, resumed))
+        job.conn.send(protocol.progress_event(
+            job.request.id, module_id=module_id,
+            done=job.modules_streamed, total=job.modules_total,
+            flips=job.flips, rung=self.health.rung_label()))
+
+
+def _count_flips(payload: Dict[str, Any]) -> int:
+    """Flips observed in one module payload (0 when the shape is foreign).
+
+    Progress events are advisory; a study whose payload carries no
+    ``flip_cells`` map simply reports zero rather than failing the
+    stream.
+    """
+    cells = payload.get("flip_cells")
+    if not isinstance(cells, dict):
+        return 0
+    return sum(len(group) for group in cells.values()
+               if isinstance(group, (list, tuple, set)))

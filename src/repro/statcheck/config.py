@@ -28,8 +28,14 @@ PathLike = Union[str, pathlib.Path]
 #: Modules allowed to construct raw bit generators / ``Generator`` objects.
 DEFAULT_RNG_MODULES: Tuple[str, ...] = ("repro/rng.py",)
 
+#: Modules allowed bare ``print()``/``logging`` calls (DRH006) — the CLI
+#: is the user-facing surface; library telemetry goes through the obs
+#: registry instead.
+DEFAULT_PRINT_MODULES: Tuple[str, ...] = ("repro/cli.py",)
+
 _KNOWN_KEYS = frozenset(
-    ("disable", "wallclock-modules", "rng-modules", "per-file-ignores"))
+    ("disable", "wallclock-modules", "rng-modules", "print-modules",
+     "per-file-ignores"))
 
 
 @dataclass(frozen=True)
@@ -42,12 +48,15 @@ class LintConfig:
             (DRH002) — bench harnesses and the clock-injection seam.
         rng_modules: path patterns allowed to construct raw numpy bit
             generators (DRH001) — normally only ``repro/rng.py``.
+        print_modules: path patterns allowed bare ``print()``/``logging``
+            calls (DRH006) — normally only the CLI entry point.
         per_file_ignores: path pattern -> codes ignored in those files.
     """
 
     disabled: FrozenSet[str] = frozenset()
     wallclock_modules: Tuple[str, ...] = ()
     rng_modules: Tuple[str, ...] = DEFAULT_RNG_MODULES
+    print_modules: Tuple[str, ...] = DEFAULT_PRINT_MODULES
     per_file_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
 
     def ignored_for(self, path: PathLike) -> FrozenSet[str]:
@@ -63,6 +72,9 @@ class LintConfig:
 
     def allows_raw_rng(self, path: PathLike) -> bool:
         return any(path_matches(path, p) for p in self.rng_modules)
+
+    def allows_print(self, path: PathLike) -> bool:
+        return any(path_matches(path, p) for p in self.print_modules)
 
 
 def path_matches(path: PathLike, pattern: str) -> bool:
@@ -137,6 +149,9 @@ def load_config(pyproject: Optional[PathLike]) -> LintConfig:
             table.get("wallclock-modules", ()), "wallclock-modules"),
         rng_modules=_check_str_list(
             table.get("rng-modules", DEFAULT_RNG_MODULES), "rng-modules"),
+        print_modules=_check_str_list(
+            table.get("print-modules", DEFAULT_PRINT_MODULES),
+            "print-modules"),
         per_file_ignores=per_file,
     )
 

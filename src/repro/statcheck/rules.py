@@ -73,6 +73,10 @@ RULES: Dict[str, Rule] = {rule.code: rule for rule in (
     Rule("DRH005", "unit-discipline violation",
          "magic numbers duplicating repro.units constants drift "
          "independently; mixed ns/ms arithmetic is a silent 1e6 error"),
+    Rule("DRH006", "bare print()/logging call in library code",
+         "library telemetry must flow through the obs registry (metrics/"
+         "spans) so it stays deterministic, mergeable, and scrapeable; "
+         "stray stdout/logging bypasses that plane"),
     Rule("DRH900", "suppression without justification",
          "an unexplained ignore is indistinguishable from a mistake"),
     Rule("DRH901", "stale suppression",
@@ -117,6 +121,8 @@ class _ImportMap:
     glob_modules: Set[str] = field(default_factory=set)
     glob_functions: Dict[str, str] = field(default_factory=dict)
     rng_functions: Set[str] = field(default_factory=set)
+    logging_modules: Set[str] = field(default_factory=set)
+    logging_functions: Set[str] = field(default_factory=set)
 
     def collect(self, tree: ast.AST) -> None:
         for node in ast.walk(tree):
@@ -141,6 +147,9 @@ class _ImportMap:
                         self.os_modules.add(local)
                     elif alias.name == "glob":
                         self.glob_modules.add(local)
+                    elif alias.name in ("logging", "logging.config",
+                                        "logging.handlers"):
+                        self.logging_modules.add(local)
             elif isinstance(node, ast.ImportFrom) and node.level == 0:
                 module = node.module or ""
                 for alias in node.names:
@@ -163,6 +172,8 @@ class _ImportMap:
                     elif module in ("repro.rng", "repro"):
                         if alias.name in _SEED_PATH_FUNCTIONS:
                             self.rng_functions.add(local)
+                    elif module == "logging" or module.startswith("logging."):
+                        self.logging_functions.add(local)
 
     def is_np_random_attr(self, node: ast.expr) -> bool:
         """True when ``node`` denotes the ``numpy.random`` module."""
@@ -200,6 +211,7 @@ class _Checker(ast.NodeVisitor):
         self.violations: List[Violation] = []
         self.allow_wallclock = config.allows_wallclock(path)
         self.allow_raw_rng = config.allows_raw_rng(path)
+        self.allow_print = config.allows_print(path)
         self._parents: Dict[int, ast.AST] = {}
         #: Stack of {param name -> annotation identifier} per function.
         self._float_params: List[Set[str]] = []
@@ -245,6 +257,7 @@ class _Checker(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_rng_call(node)
         self._check_wallclock_call(node)
+        self._check_print_call(node)
         self._check_listing_call(node)
         self._check_set_consumer(node)
         self._check_seed_path_call(node)
@@ -322,6 +335,35 @@ class _Checker(ast.NodeVisitor):
                        f"wall-clock read '{name}' in a deterministic module",
                        "inject a clock (VirtualClock/WallClock) or add the "
                        "module to [tool.deeprh.lint] wallclock-modules")
+
+    # -- DRH006 --------------------------------------------------------
+    def _check_print_call(self, node: ast.Call) -> None:
+        """Flag bare ``print()`` and ``logging`` calls in library code."""
+        if self.allow_print:
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "print":
+                self._flag(node, "DRH006",
+                           "bare print() in library code",
+                           "emit through the obs registry (get_metrics()/"
+                           "get_tracer()) or return the text to the CLI "
+                           "layer; add the module to [tool.deeprh.lint] "
+                           "print-modules if it IS a user-facing surface")
+            elif func.id in self.imports.logging_functions:
+                self._flag(node, "DRH006",
+                           f"logging call '{func.id}' in library code",
+                           "record through the obs registry instead of "
+                           "the logging module")
+        elif isinstance(func, ast.Attribute):
+            base = func.value
+            if (isinstance(base, ast.Name)
+                    and base.id in self.imports.logging_modules):
+                self._flag(node, "DRH006",
+                           f"logging call 'logging.{func.attr}' in "
+                           "library code",
+                           "record through the obs registry instead of "
+                           "the logging module")
 
     # -- DRH003 --------------------------------------------------------
     def _is_listing_call(self, node: ast.expr) -> Optional[str]:

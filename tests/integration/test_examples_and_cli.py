@@ -41,6 +41,14 @@ class TestExamples:
         assert "matches device mapping (HalfSwapMapping): True" in result.stdout
         assert "faster" in result.stdout
 
+    def test_scrape_telemetry(self):
+        result = run_example("scrape_telemetry.py")
+        assert result.returncode == 0, result.stderr
+        assert "deeprh_oracle_cache_hit_total" in result.stdout
+        assert "oracle cache hit ratio" in result.stdout
+        assert "retries/unit" in result.stdout
+        assert "deterministic exposition: True" in result.stdout
+
     @pytest.mark.slow
     def test_defense_shootout(self):
         result = run_example("defense_shootout.py")

@@ -1,0 +1,173 @@
+"""The live telemetry plane of ``deeprh serve``.
+
+A running service must be watchable without being perturbable: the
+``metrics`` op and the localhost HTTP listener answer the same
+deterministic Prometheus exposition (registry + admission + governor +
+latency gauges), each streamed module is echoed as a ``progress`` event,
+a traced request's spans land in the rotating trace directory where
+``deeprh trace summarize --request`` reconstructs the cross-process span
+tree — and the traced, scraped campaign's result stays byte-identical
+to a bare solo run.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.config import PRESETS
+from repro.core.serialize import result_to_dict
+from repro.obs import MetricsRegistry, observed, summary
+from repro.obs.expo import CONTENT_TYPE, parse_prometheus
+from repro.runner import CampaignRunner
+from repro.serve.protocol import canonical_result_bytes
+from repro.serve.top import render_frame
+
+from .test_governed_serve import OVERRIDES, ServiceHarness
+
+pytestmark = pytest.mark.slow
+
+
+def solo_bytes(seed) -> bytes:
+    config = PRESETS["quick"].scaled(seed=seed, **OVERRIDES)
+    outcome = CampaignRunner(config).run("temperature")
+    return canonical_result_bytes(result_to_dict(outcome.result))
+
+
+class TestScrape:
+    def test_metrics_op_answers_parseable_exposition(self, tmp_path):
+        # The CLI activates a process-wide registry when scraping is on
+        # (--metrics / --metrics-port); the harness mirrors that.
+        with observed(metrics=MetricsRegistry()):
+            with ServiceHarness(tmp_path) as harness:
+                with harness.client() as client:
+                    reply = client.campaign("temperature", preset="quick",
+                                            seed=230, overrides=OVERRIDES)
+                    assert reply.ok
+                    samples = parse_prometheus(client.metrics())
+        # Registry counters, admission ledger, and latency all merge
+        # into one scrape.
+        assert samples["deeprh_serve_requests_completed_total"] >= 1
+        assert samples["deeprh_serve_admission_admitted"] >= 1
+        assert samples["deeprh_serve_admission_completed"] >= 1
+        assert samples["deeprh_serve_governor_rung_index"] == 0
+        assert samples["deeprh_serve_governed"] == 0
+        assert "deeprh_serve_cache_capacity" in samples
+        assert samples["deeprh_serve_latency_campaign_p50_ms"] > 0
+
+    def test_http_listener_serves_the_same_scrape(self, tmp_path):
+        with ServiceHarness(tmp_path, metrics_port=0) as harness:
+            assert harness.service.metrics_address is not None
+            host, _, port = harness.service.metrics_address.partition(":")
+            conn = http.client.HTTPConnection(host, int(port), timeout=10)
+            try:
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                body = response.read().decode("utf-8")
+                assert response.status == 200
+                assert response.getheader("Content-Type") == CONTENT_TYPE
+            finally:
+                conn.close()
+            with harness.client() as client:
+                over_socket = client.metrics()
+        http_samples = parse_prometheus(body)
+        socket_samples = parse_prometheus(over_socket)
+        assert set(http_samples) == set(socket_samples)
+
+    def test_http_listener_rejects_non_get(self, tmp_path):
+        with ServiceHarness(tmp_path, metrics_port=0) as harness:
+            host, _, port = harness.service.metrics_address.partition(":")
+            conn = http.client.HTTPConnection(host, int(port), timeout=10)
+            try:
+                conn.request("POST", "/metrics", body="{}")
+                assert conn.getresponse().status == 405
+            finally:
+                conn.close()
+
+    def test_top_frame_renders_from_a_live_service(self, tmp_path):
+        with ServiceHarness(tmp_path) as harness:
+            with harness.client() as client:
+                reply = client.campaign("temperature", preset="quick",
+                                        seed=230, overrides=OVERRIDES)
+                assert reply.ok
+                frame = render_frame(client.status(), client.health(),
+                                     client.metrics(), poll=1)
+        assert "deeprh top — poll 1" in frame
+        assert "1 completed" in frame
+        assert "p50" in frame           # campaign latency observed
+
+
+class TestProgressEvents:
+    def test_each_module_streams_a_progress_event(self, tmp_path):
+        with ServiceHarness(tmp_path) as harness:
+            with harness.client() as client:
+                reply = client.campaign("temperature", preset="quick",
+                                        seed=231, overrides=OVERRIDES)
+        assert reply.ok
+        assert len(reply.progress) == len(reply.modules) > 0
+        dones = [event["done"] for event in reply.progress]
+        assert dones == list(range(1, len(reply.progress) + 1))
+        final = reply.progress[-1]
+        assert final["total"] == len(reply.modules)
+        assert final["rung"] == "normal"
+        assert all(isinstance(event["flips"], int)
+                   for event in reply.progress)
+        # flips accumulate monotonically module over module
+        flips = [event["flips"] for event in reply.progress]
+        assert flips == sorted(flips)
+
+
+class TestRequestTracing:
+    def test_traced_request_reconstructs_and_stays_byte_identical(
+            self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        with ServiceHarness(tmp_path, trace_dir=trace_dir) as harness:
+            with harness.client() as client:
+                traced = client.campaign("temperature", preset="quick",
+                                         seed=232, overrides=OVERRIDES,
+                                         workers=2, trace=True,
+                                         request_id="traced-1")
+                untraced = client.campaign("temperature", preset="quick",
+                                           seed=232, overrides=OVERRIDES,
+                                           workers=2)
+        assert traced.ok and untraced.ok
+        # Tracing observes, never steers: all three runs agree bitwise.
+        assert traced.result_bytes() == untraced.result_bytes() \
+            == solo_bytes(232)
+
+        spans = summary.load_spans(trace_dir)
+        names = {span["name"] for span in spans}
+        assert "serve.request" in names
+        assert "campaign.run" in names
+
+        tree = summary.request_tree(trace_dir, "traced-1")
+        assert "request traced-1" in tree
+        assert "serve.request" in tree.splitlines()[1]
+        assert "campaign.run" in tree
+        # Worker spans (their own prefix group members) joined the tree.
+        assert "campaign.module" in tree
+
+    def test_untraced_requests_leave_the_trace_dir_empty(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        with ServiceHarness(tmp_path, trace_dir=trace_dir) as harness:
+            with harness.client() as client:
+                reply = client.campaign("temperature", preset="quick",
+                                        seed=233, overrides=OVERRIDES)
+        assert reply.ok
+        assert (trace_dir / "trace.jsonl").read_text() == ""
+
+    def test_status_reports_latency_and_trace_rotations(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        with ServiceHarness(tmp_path, trace_dir=trace_dir) as harness:
+            with harness.client() as client:
+                reply = client.campaign("temperature", preset="quick",
+                                        seed=234, overrides=OVERRIDES,
+                                        trace=True)
+                assert reply.ok
+                status = client.status()
+        assert status["trace_rotations"] == 0
+        latency = status["latency"]
+        assert latency["campaign"]["count"] == 1
+        assert latency["campaign"]["p95_ms"] > 0
+        # JSON-serializable end to end (it crossed the wire to get here).
+        json.dumps(latency)

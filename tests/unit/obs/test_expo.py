@@ -1,0 +1,108 @@
+"""Prometheus exposition: rendering rules, determinism, and the parser."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry
+from repro.obs.expo import (
+    CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+@pytest.fixture
+def registry():
+    metrics = MetricsRegistry()
+    metrics.counter("oracle.cache.hit").inc(30)
+    metrics.counter("oracle.cache.miss").inc(10)
+    metrics.gauge("serve.cache.resize.capacity").set(64)
+    metrics.histogram("retry.backoff_s", (0.1, 1.0, 10.0)).observe(0.05)
+    metrics.histogram("retry.backoff_s").observe(0.5)
+    metrics.histogram("retry.backoff_s").observe(99.0)
+    return metrics
+
+
+class TestNames:
+    def test_dots_become_underscores_under_the_prefix(self):
+        assert sanitize_metric_name("oracle.cache.hit") \
+            == "deeprh_oracle_cache_hit"
+
+    def test_every_exotic_character_is_sanitized(self):
+        assert sanitize_metric_name("a-b c/d") == "deeprh_a_b_c_d"
+
+    def test_leading_digit_gets_an_underscore(self):
+        assert sanitize_metric_name("9lives") == "deeprh__9lives"
+
+
+class TestRender:
+    def test_counters_gain_total_suffix(self, registry):
+        text = render_prometheus(registry.to_dict())
+        assert "deeprh_oracle_cache_hit_total 30" in text
+        assert "# TYPE deeprh_oracle_cache_hit_total counter" in text
+
+    def test_gauges_render_without_suffix(self, registry):
+        text = render_prometheus(registry.to_dict())
+        assert "deeprh_serve_cache_resize_capacity 64" in text
+
+    def test_extra_gauges_merge_into_the_family_list(self, registry):
+        text = render_prometheus(registry.to_dict(),
+                                 extra_gauges={"serve.governor.rung_index": 2})
+        assert "deeprh_serve_governor_rung_index 2" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        samples = parse_prometheus(render_prometheus(registry.to_dict()))
+        assert samples['deeprh_retry_backoff_s_bucket{le="0.1"}'] == 1
+        assert samples['deeprh_retry_backoff_s_bucket{le="1"}'] == 2
+        assert samples['deeprh_retry_backoff_s_bucket{le="10"}'] == 2
+        assert samples['deeprh_retry_backoff_s_bucket{le="+Inf"}'] == 3
+        assert samples["deeprh_retry_backoff_s_count"] == 3
+        assert samples["deeprh_retry_backoff_s_sum"] == pytest.approx(99.55)
+
+    def test_families_sort_and_render_deterministically(self, registry):
+        snapshot = registry.to_dict()
+        first = render_prometheus(snapshot)
+        assert first == render_prometheus(snapshot)
+        names = [line.split()[0] for line in first.splitlines()
+                 if not line.startswith("#")]
+        # counters, then gauges, then histogram series — sorted within
+        # each section, ending in a trailing newline as the format asks.
+        assert names[0] == "deeprh_oracle_cache_hit_total"
+        assert first.endswith("\n")
+
+    def test_empty_snapshot_renders_to_just_a_newline(self):
+        assert render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}}) == "\n"
+
+    def test_content_type_pins_the_format_version(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TestParse:
+    def test_round_trips_every_counter(self, registry):
+        snapshot = registry.to_dict()
+        samples = parse_prometheus(render_prometheus(snapshot))
+        for name, value in snapshot["counters"].items():
+            key = "deeprh_" + name.replace(".", "_") + "_total"
+            assert samples[key] == float(value)
+
+    def test_skips_comments_and_blank_lines(self):
+        samples = parse_prometheus("# HELP x y\n\ndeeprh_x 1\n")
+        assert samples == {"deeprh_x": 1.0}
+
+    def test_infinities_parse(self):
+        samples = parse_prometheus('x_bucket{le="+Inf"} 3\nneg -Inf\n')
+        assert samples['x_bucket{le="+Inf"}'] == 3.0
+        assert samples["neg"] == -math.inf
+
+    @pytest.mark.parametrize("line", [
+        "just-a-name",
+        "deeprh_x not-a-number",
+        "{orphan} 1",
+    ])
+    def test_rejects_malformed_lines(self, line):
+        with pytest.raises(ConfigError):
+            parse_prometheus(line + "\n")

@@ -14,10 +14,16 @@ from repro.obs.summary import (
     load_metrics,
     load_spans,
     phase_breakdown,
+    request_tree,
     slowest,
     summarize,
 )
-from repro.obs.trace import METRICS_FILENAME, TRACE_FILENAME
+from repro.obs.trace import (
+    METRICS_FILENAME,
+    TRACE_FILENAME,
+    RotatingTraceWriter,
+    reroot_spans,
+)
 
 
 @pytest.fixture
@@ -62,6 +68,132 @@ class TestLoading:
     def test_load_metrics_optional(self, tmp_path):
         (tmp_path / TRACE_FILENAME).write_text("")
         assert load_metrics(tmp_path) is None
+
+
+def span_line(span_id, name, parent_id="", duration_ns=1_000_000, **attrs):
+    return {"span_id": span_id, "parent_id": parent_id, "name": name,
+            "start_ns": 0, "duration_ns": duration_ns, "attrs": attrs}
+
+
+def write_jsonl(path, spans, *, torn_tail=None):
+    text = "".join(json.dumps(span, sort_keys=True) + "\n" for span in spans)
+    if torn_tail is not None:
+        text += torn_tail           # no trailing newline: a mid-append tear
+    path.write_text(text)
+
+
+class TestLoadingEdgeCases:
+    def test_empty_trace_dir_has_no_trace(self, tmp_path):
+        # A directory that exists but was never written to (serve started
+        # with --trace and received no traced request yet).
+        with pytest.raises(ConfigError, match="no trace found"):
+            load_spans(tmp_path)
+        assert load_metrics(tmp_path) is None
+
+    def test_empty_trace_file_loads_zero_spans(self, tmp_path):
+        (tmp_path / TRACE_FILENAME).write_text("")
+        assert load_spans(tmp_path) == []
+        assert "0 span(s)" in summarize(tmp_path)
+
+    def test_live_directory_tolerates_a_torn_tail(self, tmp_path):
+        # A writer caught mid-append: the final line is half a record and
+        # has no newline.  Durable lines still summarize.
+        write_jsonl(tmp_path / TRACE_FILENAME,
+                    [span_line("1", "campaign.module")],
+                    torn_tail='{"span_id": "2", "na')
+        spans = load_spans(tmp_path)
+        assert [s["span_id"] for s in spans] == ["1"]
+        assert "campaign.module" in summarize(tmp_path)
+
+    def test_newline_terminated_garbage_still_raises(self, tmp_path):
+        # A *complete* bad line is corruption, not a torn tail.
+        write_jsonl(tmp_path / TRACE_FILENAME, [span_line("1", "a")])
+        with open(tmp_path / TRACE_FILENAME, "a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_spans(tmp_path)
+
+    def test_torn_line_mid_file_raises(self, tmp_path):
+        (tmp_path / TRACE_FILENAME).write_text(
+            '{"torn\n' + json.dumps(span_line("1", "a")) + "\n")
+        with pytest.raises(ConfigError):
+            load_spans(tmp_path)
+
+    def test_torn_tail_in_a_rotated_segment_raises(self, tmp_path):
+        # Only the live segment may be mid-append; a rotated segment is
+        # immutable, so a torn line there is real corruption.
+        write_jsonl(tmp_path / TRACE_FILENAME, [span_line("1", "a")])
+        (tmp_path / f"{TRACE_FILENAME}.1").write_text('{"torn')
+        with pytest.raises(ConfigError):
+            load_spans(tmp_path)
+
+    def test_rotated_segments_read_oldest_first(self, tmp_path):
+        write_jsonl(tmp_path / f"{TRACE_FILENAME}.2", [span_line("1", "old")])
+        write_jsonl(tmp_path / f"{TRACE_FILENAME}.1", [span_line("2", "mid")])
+        write_jsonl(tmp_path / TRACE_FILENAME, [span_line("3", "new")])
+        assert [s["name"] for s in load_spans(tmp_path)] \
+            == ["old", "mid", "new"]
+
+    def test_load_spans_spans_a_writers_rotation(self, tmp_path):
+        with RotatingTraceWriter(tmp_path, max_bytes=1) as writer:
+            for index in range(3):
+                writer.append([span_line(str(index), f"batch{index}")])
+        assert [s["name"] for s in load_spans(tmp_path)] \
+            == ["batch0", "batch1", "batch2"]
+
+    def test_mixed_worker_prefix_spans_summarize(self, tmp_path):
+        # Adopted worker subtrees (w1., w2.) sit next to server-side ids
+        # in one stream; phase accounting must not care about id shape.
+        write_jsonl(tmp_path / TRACE_FILENAME, [
+            span_line("1", "campaign.run"),
+            span_line("w1.1", "campaign.module", duration_ns=4_000_000),
+            span_line("w1.1.1", "campaign.unit", parent_id="w1.1"),
+            span_line("w2.1", "campaign.module", duration_ns=2_000_000),
+        ])
+        phases = {p.name: p for p in phase_breakdown(load_spans(tmp_path))}
+        assert phases["campaign.module"].count == 2
+        assert phases["campaign.module"].total_ns == 6_000_000
+        text = summarize(tmp_path)
+        # Roots: "1" and both parentless worker roots count toward total.
+        assert "root wall-clock total: 0.007 s" in text
+
+
+class TestRequestTree:
+    def request_spans(self, prefix, request_id, module="A0"):
+        spans = [
+            span_line("1", "serve.request", request=request_id),
+            span_line("1.1", "campaign.run", parent_id="1"),
+            span_line("w1.1", "campaign.module", module=module),
+            span_line("w1.1.1", "campaign.unit", parent_id="w1.1"),
+        ]
+        return reroot_spans(spans, prefix)
+
+    def test_reconstructs_one_request_across_processes(self, tmp_path):
+        write_jsonl(tmp_path / TRACE_FILENAME,
+                    self.request_spans("r1", "req-a")
+                    + self.request_spans("r2", "req-b", module="B0"))
+        text = request_tree(tmp_path, "req-b")
+        assert "request req-b (4 span(s), prefix r2)" in text
+        assert "serve.request" in text
+        # The worker subtree hangs under the request root, indented.
+        assert "module=B0" in text
+        assert "module=A0" not in text          # other request excluded
+        lines = text.splitlines()
+        assert lines[1].startswith("  serve.request")
+        unit = next(line for line in lines if "campaign.unit" in line)
+        assert unit.startswith("      ")        # depth 2 under the root
+
+    def test_unknown_request_lists_known_ids(self, tmp_path):
+        write_jsonl(tmp_path / TRACE_FILENAME,
+                    self.request_spans("r1", "req-a"))
+        with pytest.raises(ConfigError, match="known request"):
+            request_tree(tmp_path, "nope")
+
+    def test_tree_survives_a_live_torn_tail(self, tmp_path):
+        write_jsonl(tmp_path / TRACE_FILENAME,
+                    self.request_spans("r1", "req-a"),
+                    torn_tail='{"span_id": "r2.1", "nam')
+        assert "req-a" in request_tree(tmp_path, "req-a")
 
 
 class TestSummarize:

@@ -6,13 +6,20 @@ import pytest
 
 from repro.obs import (
     NULL_TRACER,
+    MetricsRegistry,
     Tracer,
     get_tracer,
     observation_active,
     observed,
     traced,
 )
-from repro.obs.trace import _NULL_SPAN
+from repro.obs.trace import (
+    _NULL_SPAN,
+    TRACE_FILENAME,
+    RotatingTraceWriter,
+    TraceContext,
+    reroot_spans,
+)
 
 
 class TestSpanNesting:
@@ -139,6 +146,83 @@ class TestDisabledMode:
             assert observation_active()
         assert get_tracer() is NULL_TRACER
         assert not observation_active()
+
+
+class TestReroot:
+    def test_prefixes_ids_but_preserves_roots(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        moved = reroot_spans(tracer.to_dicts(), "r3")
+        by_name = {s["name"]: s for s in moved}
+        assert by_name["outer"]["span_id"] == "r3.1"
+        assert by_name["outer"]["parent_id"] == ""      # root stays a root
+        assert by_name["inner"]["span_id"] == "r3.1.1"
+        assert by_name["inner"]["parent_id"] == "r3.1"
+
+    def test_empty_prefix_copies_unchanged(self):
+        spans = [{"span_id": "1", "parent_id": "", "name": "a",
+                  "start_ns": 0, "duration_ns": 1, "attrs": {}}]
+        moved = reroot_spans(spans, "")
+        assert moved == spans
+        assert moved[0] is not spans[0]   # still a defensive copy
+
+    def test_trace_context_is_frozen(self):
+        ctx = TraceContext("r1", prefix="r1")
+        with pytest.raises(AttributeError):
+            ctx.request_id = "other"
+
+
+class TestRotatingWriter:
+    def span_line(self, name="s"):
+        return {"span_id": "1", "parent_id": "", "name": name,
+                "start_ns": 0, "duration_ns": 1, "attrs": {}}
+
+    def test_appends_sorted_key_jsonl(self, tmp_path):
+        with RotatingTraceWriter(tmp_path) as writer:
+            writer.append([self.span_line("a"), self.span_line("b")])
+        lines = (tmp_path / TRACE_FILENAME).read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+        assert lines[0].startswith('{"attrs":')   # sort_keys on disk
+
+    def test_rotates_past_the_size_bound(self, tmp_path):
+        with RotatingTraceWriter(tmp_path, max_bytes=200,
+                                 max_segments=2) as writer:
+            for index in range(6):
+                writer.append([self.span_line(f"batch{index}")])
+            assert writer.rotations >= 2
+        assert (tmp_path / f"{TRACE_FILENAME}.1").exists()
+        assert (tmp_path / TRACE_FILENAME).exists()
+
+    def test_oldest_segment_is_deleted_beyond_the_cap(self, tmp_path):
+        with RotatingTraceWriter(tmp_path, max_bytes=1,
+                                 max_segments=2) as writer:
+            for index in range(5):
+                writer.append([self.span_line(f"batch{index}")])
+        kept = sorted(p.name for p in tmp_path.iterdir())
+        assert kept == [TRACE_FILENAME, f"{TRACE_FILENAME}.1",
+                        f"{TRACE_FILENAME}.2"]
+
+    def test_rotation_increments_the_counter(self, tmp_path):
+        metrics = MetricsRegistry()
+        with observed(metrics=metrics):
+            with RotatingTraceWriter(tmp_path, max_bytes=1) as writer:
+                writer.append([self.span_line()])
+                writer.append([self.span_line()])
+        assert metrics.to_dict()["counters"]["obs.trace.rotated"] == 2
+
+    def test_empty_append_is_a_no_op(self, tmp_path):
+        with RotatingTraceWriter(tmp_path) as writer:
+            writer.append([])
+        assert (tmp_path / TRACE_FILENAME).read_text() == ""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_bytes": 0}, {"max_bytes": -1}, {"max_segments": 0},
+    ])
+    def test_rejects_nonsense_bounds(self, tmp_path, kwargs):
+        with pytest.raises(ValueError):
+            RotatingTraceWriter(tmp_path, **kwargs)
 
 
 class TestTracedDecorator:

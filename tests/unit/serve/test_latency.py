@@ -1,0 +1,72 @@
+"""Sliding-window per-op latency percentiles for serve."""
+
+import pytest
+
+from repro.serve.latency import DEFAULT_WINDOW, LatencyTracker
+
+
+def ms(value):
+    return int(value * 1_000_000)
+
+
+class TestQuantiles:
+    def test_nearest_rank_on_a_known_population(self):
+        tracker = LatencyTracker()
+        for sample in range(1, 101):        # 1..100 ms
+            tracker.observe("status", ms(sample))
+        stats = tracker.snapshot()["status"]
+        assert stats["p50_ms"] == 50.0
+        assert stats["p95_ms"] == 95.0
+        assert stats["max_ms"] == 100.0
+        assert stats["count"] == 100
+
+    def test_single_sample_is_every_quantile(self):
+        tracker = LatencyTracker()
+        tracker.observe("ping", ms(3))
+        stats = tracker.snapshot()["ping"]
+        assert stats["p50_ms"] == stats["p95_ms"] == stats["max_ms"] == 3.0
+
+    def test_percentiles_ignore_arrival_order(self):
+        forward, backward = LatencyTracker(), LatencyTracker()
+        for sample in range(1, 20):
+            forward.observe("x", ms(sample))
+            backward.observe("x", ms(20 - sample))
+        assert forward.snapshot() == backward.snapshot()
+
+
+class TestWindowing:
+    def test_old_samples_slide_off(self):
+        tracker = LatencyTracker(window=4)
+        for sample in (1000, 1000, 1000, 1, 2, 3, 4):
+            tracker.observe("campaign", ms(sample))
+        stats = tracker.snapshot()["campaign"]
+        assert stats["window"] == 4
+        assert stats["count"] == 7          # lifetime count keeps growing
+        assert stats["max_ms"] == 4.0       # the 1000ms outliers slid off
+
+    def test_default_window(self):
+        assert LatencyTracker().window == DEFAULT_WINDOW == 256
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            LatencyTracker(window=0)
+
+
+class TestExport:
+    def test_ops_snapshot_in_sorted_order(self):
+        tracker = LatencyTracker()
+        tracker.observe("status", ms(1))
+        tracker.observe("campaign", ms(2))
+        assert list(tracker.snapshot()) == ["campaign", "status"]
+
+    def test_gauges_flatten_for_the_scrape(self):
+        tracker = LatencyTracker()
+        tracker.observe("campaign", ms(10))
+        gauges = tracker.gauges()
+        assert gauges["serve.latency.campaign.p50_ms"] == 10.0
+        assert gauges["serve.latency.campaign.p95_ms"] == 10.0
+        assert gauges["serve.latency.campaign.max_ms"] == 10.0
+
+    def test_empty_tracker_exports_nothing(self):
+        assert LatencyTracker().snapshot() == {}
+        assert LatencyTracker().gauges() == {}

@@ -79,6 +79,18 @@ class TestBuildCampaignRequest:
         assert again.checkpoint_dir == "/ckpt/r1"
         assert again.fault_plan == "campaign.unit=0.1"
 
+    def test_trace_flag_round_trips_through_describe(self):
+        request = build_campaign_request(campaign_payload(trace=True))
+        assert request.trace is True
+        resubmit = request.describe()
+        assert resubmit["trace"] is True
+        assert build_campaign_request(resubmit).trace is True
+
+    def test_trace_defaults_off_and_stays_out_of_describe(self):
+        request = build_campaign_request(campaign_payload())
+        assert request.trace is False
+        assert "trace" not in request.describe()
+
     def test_describe_round_trips_overridden_configs_exactly(self):
         """A checkpoint directory refuses any config fingerprint other
         than the one it was written with, so the manifest entry must
@@ -105,6 +117,10 @@ class TestEncoding:
             protocol.accepted("r"),
             protocol.rejected("r", protocol.REASON_OVERLOADED, "full"),
             protocol.module_event("r", "A0", {"k": 1}, resumed=False),
+            protocol.progress_event("r", module_id="A0", done=1, total=4,
+                                    flips=17, rung="normal"),
+            protocol.metrics_event("r", "deeprh_x_total 1\n",
+                                   "text/plain; version=0.0.4"),
             protocol.result_event("r", ok=True, degraded=False,
                                   result={"k": 1}, report="fine",
                                   stats={"units_run": 3}),
@@ -116,3 +132,14 @@ class TestEncoding:
             line = encode(event)
             assert line.endswith(b"\n")
             assert json.loads(line)["id"] == "r"
+
+    def test_progress_event_carries_the_liveness_fields(self):
+        event = protocol.progress_event("r", module_id="B0", done=2,
+                                        total=4, flips=31, rung="serial")
+        assert event == {"event": "progress", "id": "r", "module_id": "B0",
+                         "done": 2, "total": 4, "flips": 31,
+                         "rung": "serial"}
+
+    def test_metrics_op_parses(self):
+        payload = parse_line(json.dumps({"op": "metrics", "id": "m1"}))
+        assert payload["op"] == "metrics"

@@ -1,0 +1,18 @@
+"""Fixture: stdout/logging telemetry a library module must not emit."""
+
+import logging
+from logging import getLogger, warning
+
+logger = getLogger(__name__)
+
+
+def narrates_progress(module_id):
+    print(f"processing {module_id}")
+
+
+def logs_directly(count):
+    logging.info("merged %d reports", count)
+
+
+def logs_via_imported_function(detail):
+    warning("degraded: %s", detail)

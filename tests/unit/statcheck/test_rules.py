@@ -7,7 +7,7 @@ import pytest
 from repro.statcheck import LintConfig, lint_file, lint_source
 
 FIXTURES = pathlib.Path(__file__).parent / "fixtures"
-ALL_RULES = ("DRH001", "DRH002", "DRH003", "DRH004", "DRH005")
+ALL_RULES = ("DRH001", "DRH002", "DRH003", "DRH004", "DRH005", "DRH006")
 
 
 def codes_in(path, config=None):
@@ -104,6 +104,26 @@ class TestDRH005Details:
         assert lint_source("TREFW_BACKUP_MS = 64.0\n") == []
         assert [v.code for v in lint_source("window_ms = 64.0\n")] \
             == ["DRH005"]
+
+
+class TestDRH006Details:
+    def test_counts_every_emission_flavor(self):
+        violations = lint_file(FIXTURES / "drh006_violation.py")
+        # getLogger(...), print(...), logging.info(...), warning(...)
+        assert len([v for v in violations if v.code == "DRH006"]) == 4
+
+    def test_print_module_allowlist_permits_cli(self):
+        source = "def show(text):\n    print(text)\n"
+        config = LintConfig(print_modules=("repro/cli.py",))
+        assert lint_source(source, path="src/repro/cli.py",
+                           config=config) == []
+        flagged = lint_source(source, path="src/repro/serve/server.py",
+                              config=config)
+        assert [v.code for v in flagged] == ["DRH006"]
+
+    def test_method_named_print_not_flagged(self):
+        assert lint_source("def f(console):\n"
+                           "    console.print('x')\n") == []
 
 
 class TestSyntaxErrors:

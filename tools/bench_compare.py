@@ -41,6 +41,7 @@ PAIR_SUFFIXES = (
     ("_supervised", "_unsupervised"),
     ("_traced", "_untraced"),
     ("_governed", "_ungoverned"),
+    ("_scraped", "_unscraped"),
 )
 
 #: ``(fast-suffix, slow-suffix, minimum-speedup)`` pairs gated within one

@@ -35,7 +35,7 @@ if [ $fast -eq 0 ]; then
     run python -m pytest -x -q
 fi
 
-step "deeprh lint (determinism & unit discipline, DRH001-DRH005)"
+step "deeprh lint (determinism & unit discipline, DRH001-DRH006)"
 run python -m repro.cli lint src/repro
 
 step "ruff (pycodestyle/pyflakes/isort)"
@@ -59,7 +59,7 @@ if [ $fast -eq 0 ]; then
     step "governor smoke (degradation ladder: park + resume parity)"
     run python tools/faults_smoke.py --governor
 
-    step "obs smoke (traced campaign parity + trace summarize)"
+    step "obs smoke (traced campaign parity + summarize + scrape round trip)"
     run python tools/obs_smoke.py
 
     step "serve smoke (concurrent clients: byte parity + graceful drain)"
@@ -73,6 +73,9 @@ if [ $fast -eq 0 ]; then
 
     step "governor overhead benchmark (governed-vs-ungoverned, <5% gate)"
     run python -m pytest benchmarks/bench_governor_overhead.py -q
+
+    step "scrape overhead benchmark (scraped-vs-unscraped, <5% gate)"
+    run python -m pytest benchmarks/bench_scrape_overhead.py -q
 fi
 
 step "benchmark regression gate"

@@ -26,6 +26,7 @@ import time
 from repro.core.config import QUICK
 from repro.core.serialize import result_to_dict
 from repro.obs import MetricsRegistry, Tracer, observed
+from repro.obs.expo import parse_prometheus, render_prometheus
 from repro.obs.summary import load_spans, summarize
 from repro.obs.trace import METRICS_FILENAME, TRACE_FILENAME
 from repro.runner import CampaignRunner
@@ -71,6 +72,22 @@ def smoke(seed: int) -> int:
         for needle in ("root wall-clock total", "hit rate"):
             if needle not in text:
                 failures.append(f"summarize output lacks {needle!r}")
+
+    # Scrape round trip: the exposition text must re-parse to exactly
+    # the registry's own values — the contract the serve metrics op and
+    # the --metrics-port listener both rely on.
+    snapshot = metrics.to_dict()
+    exposition = render_prometheus(snapshot)
+    samples = parse_prometheus(exposition)
+    for name, value in snapshot["counters"].items():
+        key = "deeprh_" + name.replace(".", "_") + "_total"
+        if samples.get(key) != float(value):
+            failures.append(
+                f"scrape round trip lost counter {name}: "
+                f"{samples.get(key)} != {value}")
+    if exposition != render_prometheus(snapshot):
+        failures.append("exposition text is not deterministic")
+    print(f"  scrape:  {len(samples)} sample(s) round-tripped")
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
